@@ -1,0 +1,450 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per
+// table/figure row (Table 2, Figures 7–9) plus ablations for the design
+// choices DESIGN.md calls out. ns/op on the scenario benchmarks is the
+// response time the corresponding paper figure reports.
+//
+//	go test -bench=. -benchmem
+package indiss_test
+
+import (
+	"testing"
+	"time"
+
+	"indiss"
+	"indiss/internal/core"
+	"indiss/internal/events"
+	"indiss/internal/fsm"
+	"indiss/internal/simnet"
+	"indiss/internal/sizereport"
+	"indiss/internal/slp"
+	"indiss/internal/ssdp"
+	"indiss/internal/upnp"
+	"indiss/internal/xmlx"
+)
+
+// --- Table 2: size requirements ---
+
+// BenchmarkTable2SizeReport regenerates the size table; the INDISS-total
+// and native-stack NCSS are exported as benchmark metrics.
+func BenchmarkTable2SizeReport(b *testing.B) {
+	var report sizereport.Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		report, err = sizereport.Measure(".", sizereport.DefaultGroups())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	indissTotal := report.Sum("Core framework", "SLP Unit", "UPnP Unit")
+	libs := report.Sum("SLP stack (OpenSLP equivalent)", "UPnP stack (CyberLink equivalent)")
+	b.ReportMetric(float64(indissTotal.NCSS), "indiss-ncss")
+	b.ReportMetric(float64(libs.NCSS), "native-stacks-ncss")
+	b.ReportMetric(indissTotal.KB, "indiss-kb")
+	b.ReportMetric(libs.KB, "native-stacks-kb")
+}
+
+// --- Figure 7: native baselines ---
+
+// BenchmarkFig7NativeSLP: native SLP search (paper: 0.7ms).
+func BenchmarkFig7NativeSLP(b *testing.B) {
+	net := indiss.NewLAN()
+	defer net.Close()
+	clientHost := net.MustAddHost("client", "10.0.0.1")
+	serviceHost := net.MustAddHost("service", "10.0.0.2")
+	sa, err := slp.NewServiceAgent(serviceHost, indiss.OpenSLPProfile())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sa.Close()
+	if err := sa.Register("service:clock", "service:clock://10.0.0.2:4005", time.Hour, nil); err != nil {
+		b.Fatal(err)
+	}
+	ua := slp.NewUserAgent(clientHost, indiss.OpenSLPProfile())
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ua.FindFirst("service:clock", "", 2*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7NativeUPnP: native UPnP search answer (paper: 40ms).
+func BenchmarkFig7NativeUPnP(b *testing.B) {
+	net := indiss.NewLAN()
+	defer net.Close()
+	clientHost := net.MustAddHost("client", "10.0.0.1")
+	serviceHost := net.MustAddHost("service", "10.0.0.2")
+	ssdpCfg, httpDelay := indiss.CyberLinkDeviceProfile()
+	dev, err := upnp.NewRootDevice(serviceHost, indiss.PaddedClockDevice(httpDelay, ssdpCfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dev.Close()
+	cp := ssdp.NewClient(clientHost, indiss.CyberLinkCPProfile().SSDP)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cp.SearchFirst(upnp.TypeURN("clock", 1), 0, 2*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures 8 and 9: bridged discovery in both placements ---
+
+// bridgedSLPBench builds the SLP-client/UPnP-service scenario with INDISS
+// on the given host and benchmarks the SLP search.
+func bridgedSLPBench(b *testing.B, role indiss.Role, indissOnClient bool) {
+	b.Helper()
+	net := indiss.NewLAN()
+	defer net.Close()
+	clientHost := net.MustAddHost("client", "10.0.0.1")
+	serviceHost := net.MustAddHost("service", "10.0.0.2")
+
+	ssdpCfg, httpDelay := indiss.CyberLinkDeviceProfile()
+	dev, err := upnp.NewRootDevice(serviceHost, indiss.PaddedClockDevice(httpDelay, ssdpCfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dev.Close()
+
+	host := serviceHost
+	if indissOnClient {
+		host = clientHost
+	}
+	sys, err := indiss.Deploy(host, indiss.Config{
+		Role:    role,
+		SDPs:    []indiss.SDP{indiss.SLP, indiss.UPnP},
+		Profile: indiss.CalibratedProfile(),
+		NoCache: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+
+	ua := slp.NewUserAgent(clientHost, indiss.OpenSLPProfile())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ua.FindFirst("service:clock", "", 3*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8ServiceSideSLPToUPnP (paper: 65ms).
+func BenchmarkFig8ServiceSideSLPToUPnP(b *testing.B) {
+	bridgedSLPBench(b, indiss.RoleServiceSide, false)
+}
+
+// BenchmarkFig9aClientSideSLPToUPnP (paper: 80ms).
+func BenchmarkFig9aClientSideSLPToUPnP(b *testing.B) {
+	bridgedSLPBench(b, indiss.RoleClientSide, true)
+}
+
+// BenchmarkFig8ServiceSideUPnPToSLP (paper: 40ms).
+func BenchmarkFig8ServiceSideUPnPToSLP(b *testing.B) {
+	net := indiss.NewLAN()
+	defer net.Close()
+	clientHost := net.MustAddHost("client", "10.0.0.1")
+	serviceHost := net.MustAddHost("service", "10.0.0.2")
+
+	sa, err := slp.NewServiceAgent(serviceHost, indiss.OpenSLPProfile())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sa.Close()
+	if err := sa.Register("service:clock", "service:clock://10.0.0.2:4005", time.Hour, nil); err != nil {
+		b.Fatal(err)
+	}
+	sys, err := indiss.Deploy(serviceHost, indiss.Config{
+		Role:    indiss.RoleServiceSide,
+		SDPs:    []indiss.SDP{indiss.SLP, indiss.UPnP},
+		Profile: indiss.CalibratedProfile(),
+		NoCache: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+
+	cp := ssdp.NewClient(clientHost, indiss.CyberLinkCPProfile().SSDP)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cp.SearchFirst(upnp.TypeURN("clock", 1), 0, 3*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9bClientSideUPnPToSLP (paper: 0.12ms, the best case):
+// wire-level turnaround with the view warmed by passive SLP adverts.
+func BenchmarkFig9bClientSideUPnPToSLP(b *testing.B) {
+	net := indiss.NewLAN()
+	defer net.Close()
+	clientHost := net.MustAddHost("client", "10.0.0.1")
+	serviceHost := net.MustAddHost("service", "10.0.0.2")
+
+	sa, err := slp.NewServiceAgent(serviceHost, slp.AgentConfig{
+		ProcessingDelay:  indiss.OpenSLPProfile().ProcessingDelay,
+		AnnounceInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sa.Close()
+	if err := sa.Register("service:clock", "service:clock://10.0.0.2:4005", time.Hour, nil); err != nil {
+		b.Fatal(err)
+	}
+	sys, err := indiss.Deploy(clientHost, indiss.Config{
+		Role:    indiss.RoleClientSide,
+		SDPs:    []indiss.SDP{indiss.SLP, indiss.UPnP},
+		Profile: indiss.CalibratedProfile(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+
+	deadline := time.Now().Add(3 * time.Second)
+	for len(sys.View().Find("clock", time.Now())) == 0 {
+		if time.Now().After(deadline) {
+			b.Fatal("view never warmed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cp := ssdp.NewClient(clientHost, ssdp.ClientConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cp.SearchFirst(upnp.TypeURN("clock", 1), 0, 2*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations: the design choices DESIGN.md calls out ---
+
+// BenchmarkAblationViewCacheOff measures the bridged SLP search with the
+// view cache disabled — the cost the cache saves is the difference
+// between this and BenchmarkFig9bClientSideUPnPToSLP's path.
+func BenchmarkAblationViewCacheOff(b *testing.B) {
+	net := indiss.NewLAN()
+	defer net.Close()
+	clientHost := net.MustAddHost("client", "10.0.0.1")
+	serviceHost := net.MustAddHost("service", "10.0.0.2")
+	dev, err := upnp.NewRootDevice(serviceHost, upnp.DeviceConfig{Kind: "clock"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dev.Close()
+	sys, err := indiss.Deploy(clientHost, indiss.Config{
+		Role: indiss.RoleClientSide, SDPs: []indiss.SDP{indiss.SLP, indiss.UPnP}, NoCache: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	ua := slp.NewUserAgent(clientHost, slp.AgentConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ua.FindFirst("service:clock", "", 2*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationViewCacheOn is the same search answered from the view.
+func BenchmarkAblationViewCacheOn(b *testing.B) {
+	net := indiss.NewLAN()
+	defer net.Close()
+	clientHost := net.MustAddHost("client", "10.0.0.1")
+	serviceHost := net.MustAddHost("service", "10.0.0.2")
+	sys, err := indiss.Deploy(clientHost, indiss.Config{
+		Role: indiss.RoleClientSide, SDPs: []indiss.SDP{indiss.SLP, indiss.UPnP},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	// Device boots after INDISS so its NOTIFY warms the view.
+	dev, err := upnp.NewRootDevice(serviceHost, upnp.DeviceConfig{Kind: "clock"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dev.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for len(sys.View().Find("clock", time.Now())) == 0 {
+		if time.Now().After(deadline) {
+			b.Fatal("view never warmed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ua := slp.NewUserAgent(clientHost, slp.AgentConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ua.FindFirst("service:clock", "", 2*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMonitorDetection measures the monitor's per-datagram
+// cost: the paper claims detection needs "no computation, data
+// interpretation or data transformation" (§2.1).
+func BenchmarkAblationMonitorDetection(b *testing.B) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	a := net.MustAddHost("a", "10.0.0.1")
+	m := net.MustAddHost("m", "10.0.0.2")
+
+	detections := make(chan struct{}, 1024)
+	mon, err := core.NewMonitor(m, core.MonitorConfig{Handler: func(core.Detection) {
+		detections <- struct{}{}
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mon.Close()
+	send, err := a.ListenUDP(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 100)
+	dst := simnet.Addr{IP: "239.255.255.253", Port: 427}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := send.WriteTo(payload, dst); err != nil {
+			b.Fatal(err)
+		}
+		<-detections
+	}
+}
+
+// BenchmarkAblationSLPParse measures SLP wire decoding throughput.
+func BenchmarkAblationSLPParse(b *testing.B) {
+	msg := &slp.SrvRqst{
+		Hdr:         slp.Header{XID: 42, Flags: slp.FlagRequestMcast},
+		ServiceType: "service:clock",
+		Scopes:      []string{"DEFAULT"},
+		Predicate:   "(location=hall)",
+	}
+	data, err := msg.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := slp.Parse(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSLPMarshal measures SLP wire encoding throughput.
+func BenchmarkAblationSLPMarshal(b *testing.B) {
+	msg := &slp.SrvRply{
+		Hdr:   slp.Header{XID: 42},
+		URLs:  []slp.URLEntry{{Lifetime: 1800, URL: "service:clock:soap://10.0.0.2:4004/service/timer/control"}},
+		Error: slp.ErrNone,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := msg.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSSDPParse measures SSDP (HTTPU) decoding throughput.
+func BenchmarkAblationSSDPParse(b *testing.B) {
+	data := (&ssdp.SearchResponse{
+		ST:       "urn:schemas-upnp-org:device:clock:1",
+		USN:      "uuid:clock::urn:schemas-upnp-org:device:clock:1",
+		Location: "http://10.0.0.2:4004/description.xml",
+		Server:   "simnet/1.0 UPnP/1.0 indiss/1.0",
+		MaxAge:   1800,
+	}).Marshal()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ssdp.Parse(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationXMLScan measures the event-based XML scanner over a
+// realistic description document.
+func BenchmarkAblationXMLScan(b *testing.B) {
+	desc := upnp.MarshalDescription(&upnp.DeviceDesc{
+		DeviceType:       upnp.TypeURN("clock", 1),
+		FriendlyName:     "Clock",
+		ModelDescription: indiss.DescriptionPadding(),
+		UDN:              "uuid:clock",
+		Services: []upnp.ServiceDesc{{
+			ServiceType: upnp.ServiceURN("timer", 1),
+			ControlURL:  "/service/timer/control",
+		}},
+	})
+	b.SetBytes(int64(len(desc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := xmlx.NewScanner(desc)
+		for {
+			tok, err := sc.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tok.Kind == xmlx.KindEOF {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkAblationFSMTransition measures one DFA transition, the unit
+// coordination primitive of §2.3.
+func BenchmarkAblationFSMTransition(b *testing.B) {
+	m := fsm.New("bench", "a").
+		AddTuple("a", events.ServiceType, "", "b").
+		AddTuple("b", events.ServiceType, "", "a").
+		MustBuild()
+	inst := m.NewInstance()
+	ev := events.E(events.ServiceType, "clock")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.Feed(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationEventBus measures stream publication through the bus
+// with three subscribed units.
+func BenchmarkAblationEventBus(b *testing.B) {
+	bus := events.NewBus()
+	defer bus.Close()
+	sink := make(chan struct{}, 1024)
+	for _, name := range []string{"slp", "upnp", "jini"} {
+		captured := name
+		bus.Subscribe(captured, events.ListenerFunc(func(events.Envelope) {
+			if captured == "jini" {
+				sink <- struct{}{}
+			}
+		}))
+	}
+	stream := events.NewStream(
+		events.E(events.NetType, "SLP"),
+		events.E(events.ServiceRequest, ""),
+		events.E(events.ServiceType, "clock"),
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish("source", stream)
+		<-sink
+	}
+}

@@ -1,0 +1,55 @@
+// Command experiments regenerates the paper's §4.3 evaluation (Figures
+// 7, 8 and 9) on the simulated testbed and prints paper-vs-measured rows.
+//
+// Usage:
+//
+//	experiments [-runs N] [-fig 7|8|9|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"indiss/internal/experiments"
+)
+
+func main() {
+	runs := flag.Int("runs", experiments.DefaultRuns, "measurements per scenario (paper used 30)")
+	fig := flag.String("fig", "all", "which figure to run: 7, 8, 9 or all")
+	flag.Parse()
+
+	var results []experiments.Result
+	switch *fig {
+	case "7":
+		results = []experiments.Result{
+			experiments.NativeSLP(*runs),
+			experiments.NativeUPnP(*runs),
+			experiments.NativeUPnPFullDiscovery(*runs),
+		}
+	case "8":
+		results = []experiments.Result{
+			experiments.ServiceSideSLPToUPnP(*runs),
+			experiments.ServiceSideUPnPToSLP(*runs),
+		}
+	case "9":
+		results = []experiments.Result{
+			experiments.ClientSideSLPToUPnP(*runs),
+			experiments.ClientSideUPnPToSLP(*runs),
+		}
+	case "all":
+		results = experiments.All(*runs)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+
+	fmt.Println("INDISS §4.3 response-time experiments (median of N successful runs)")
+	fmt.Println()
+	for _, r := range results {
+		fmt.Println(r)
+		if r.Note != "" {
+			fmt.Printf("         %s\n", r.Note)
+		}
+	}
+}

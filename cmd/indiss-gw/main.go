@@ -1,0 +1,124 @@
+// Command indiss-gw runs an INDISS gateway on a scripted networked-home
+// scenario: a UPnP clock device, an SLP printer and a Jini sensor appear
+// on a simulated LAN, and clients of each protocol discover services of
+// the other protocols through the gateway.
+//
+// An optional Figure 5a specification file configures the gateway:
+//
+//	indiss-gw [-spec FILE] [-duration 3s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"indiss"
+	"indiss/internal/jini"
+	"indiss/internal/slp"
+	"indiss/internal/upnp"
+)
+
+func main() {
+	specFile := flag.String("spec", "", "Figure 5a system specification file")
+	duration := flag.Duration("duration", 3*time.Second, "how long to run the scenario")
+	flag.Parse()
+	if err := run(*specFile, *duration); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(specFile string, duration time.Duration) error {
+	spec := ""
+	if specFile != "" {
+		data, err := os.ReadFile(specFile)
+		if err != nil {
+			return err
+		}
+		spec = string(data)
+	}
+
+	net := indiss.NewLAN()
+	defer net.Close()
+	gw := net.MustAddHost("gateway", "10.0.0.9")
+	clockHost := net.MustAddHost("clock", "10.0.0.2")
+	printerHost := net.MustAddHost("printer", "10.0.0.3")
+	clientHost := net.MustAddHost("client", "10.0.0.1")
+
+	fmt.Println("indiss-gw: deploying INDISS on gateway 10.0.0.9")
+	sys, err := indiss.Deploy(gw, indiss.Config{
+		Role:    indiss.RoleGateway,
+		Dynamic: true,
+		Spec:    spec,
+	})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	// A UPnP clock (the paper's §2.4 device).
+	clock, err := upnp.NewRootDevice(clockHost, upnp.DeviceConfig{
+		Kind:         "clock",
+		FriendlyName: "CyberGarage Clock Device",
+		Services:     []upnp.ServiceConfig{{Kind: "timer"}},
+	})
+	if err != nil {
+		return err
+	}
+	defer clock.Close()
+
+	// An SLP printer.
+	printerSA, err := slp.NewServiceAgent(printerHost, slp.AgentConfig{})
+	if err != nil {
+		return err
+	}
+	defer printerSA.Close()
+	if err := printerSA.Register("service:printer", "service:printer://10.0.0.3:515",
+		time.Hour, slp.AttrList{{Name: "location", Values: []string{"hall"}}}); err != nil {
+		return err
+	}
+
+	fmt.Println("indiss-gw: SLP client searching for the UPnP clock ...")
+	ua := slp.NewUserAgent(clientHost, slp.AgentConfig{})
+	if urls, err := ua.FindFirst("service:clock", "", duration); err == nil {
+		fmt.Printf("indiss-gw:   found %s\n", urls[0].URL)
+	} else {
+		fmt.Printf("indiss-gw:   not found: %v\n", err)
+	}
+
+	fmt.Println("indiss-gw: UPnP control point searching for the SLP printer ...")
+	cp := upnp.NewControlPoint(clientHost, upnp.ControlPointConfig{Timeout: duration})
+	if dev, err := cp.Discover(upnp.TypeURN("printer", 1), 0); err == nil {
+		fmt.Printf("indiss-gw:   found %q at %s\n", dev.Desc.FriendlyName, dev.Desc.ModelURL)
+	} else {
+		fmt.Printf("indiss-gw:   not found: %v\n", err)
+	}
+
+	fmt.Println("indiss-gw: Jini client browsing through the bridge registrar ...")
+	jc := jini.NewClient(clientHost, jini.ClientConfig{})
+	if loc, err := jc.DiscoverLookup(duration); err == nil {
+		deadline := time.Now().Add(duration)
+		for {
+			items, err := jc.Lookup(loc, jini.ServiceTemplate{}, time.Second)
+			if err == nil && len(items) > 0 {
+				for _, item := range items {
+					fmt.Printf("indiss-gw:   %s -> %s\n", item.Type, item.Endpoint)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				fmt.Println("indiss-gw:   registrar stayed empty")
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	} else {
+		fmt.Printf("indiss-gw:   no lookup service: %v\n", err)
+	}
+
+	fmt.Printf("indiss-gw: units instantiated at run time: %v\n", sys.Units())
+	fmt.Printf("indiss-gw: services in the gateway's view: %d\n", len(sys.View().Find("", time.Now())))
+	return nil
+}

@@ -1,0 +1,29 @@
+// Command sizereport regenerates the paper's Table 2 (size requirements
+// of INDISS vs the native SDP stacks) over this source tree.
+//
+// Usage (from the module root):
+//
+//	sizereport [-root DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"indiss/internal/sizereport"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root to measure")
+	flag.Parse()
+
+	report, err := sizereport.Measure(*root, sizereport.DefaultGroups())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("Table 2 — size requirements (Go reproduction)")
+	fmt.Println()
+	fmt.Print(report.Table2())
+}

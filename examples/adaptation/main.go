@@ -1,0 +1,135 @@
+// Adaptation: the passive-passive deadlock of paper Figure 6 and the
+// traffic-threshold escape hatch (§4.2).
+//
+// A passive SLP client only listens; a UPnP service only announces on its
+// own group. Without help they can never meet. INDISS on the service host
+// monitors network traffic: while the network is quiet it switches to the
+// active model and re-advertises the local UPnP clock as SLP SAAdverts;
+// when background traffic rises above the threshold it stops, conserving
+// the shared bandwidth.
+//
+//	go run ./examples/adaptation
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"indiss"
+	"indiss/internal/simnet"
+	"indiss/internal/slp"
+	"indiss/internal/ssdp"
+	"indiss/internal/upnp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "adaptation:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	net := indiss.NewLAN()
+	defer net.Close()
+	clientHost := net.MustAddHost("client", "10.0.0.1")
+	serviceHost := net.MustAddHost("service", "10.0.0.2")
+	noiseHost := net.MustAddHost("noise", "10.0.0.7")
+
+	// INDISS first so it hears the device's boot announcements.
+	sys, err := indiss.Deploy(serviceHost, indiss.Config{
+		Role:         indiss.RoleServiceSide,
+		SDPs:         []indiss.SDP{indiss.SLP, indiss.UPnP},
+		ThresholdBps: 4_000,
+	})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	clock, err := upnp.NewRootDevice(serviceHost, upnp.DeviceConfig{
+		Kind:         "clock",
+		FriendlyName: "Clock",
+		// Periodic NOTIFYs keep the bridge's view warm.
+		SSDP: ssdp.ServerConfig{NotifyInterval: 500 * time.Millisecond},
+	})
+	if err != nil {
+		return err
+	}
+	defer clock.Close()
+
+	// The passive SLP client: joins the group, never transmits.
+	listener, err := clientHost.ListenUDP(slp.Port)
+	if err != nil {
+		return err
+	}
+	defer listener.Close()
+	if err := listener.JoinGroup(slp.MulticastGroup); err != nil {
+		return err
+	}
+
+	fmt.Println("phase 1: quiet network — INDISS should switch to the active model")
+	if heard := awaitClockAdvert(listener, 5*time.Second); heard {
+		fmt.Println("phase 1: passive SLP client heard a translated SAAdvert for the clock ✓")
+	} else {
+		fmt.Println("phase 1: no advert heard (unexpected)")
+	}
+	fmt.Printf("phase 1: re-advertising=%v, observed traffic=%.0f B/s\n",
+		sys.Readvertising(), sys.Monitor().TotalRate())
+
+	fmt.Println("\nphase 2: flooding background SDP traffic above the threshold")
+	noise, err := noiseHost.ListenUDP(0)
+	if err != nil {
+		return err
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		payload := make([]byte, 300)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = noise.WriteTo(payload, simnet.Addr{IP: slp.MulticastGroup, Port: slp.Port})
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+	}()
+	defer func() {
+		close(stop)
+		<-done
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for sys.Readvertising() && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Printf("phase 2: re-advertising=%v, observed traffic=%.0f B/s\n",
+		sys.Readvertising(), sys.Monitor().TotalRate())
+	if !sys.Readvertising() {
+		fmt.Println("phase 2: INDISS backed off to the passive model under load ✓")
+	}
+	return nil
+}
+
+// awaitClockAdvert waits for a translated SAAdvert mentioning the clock.
+func awaitClockAdvert(listener *simnet.UDPConn, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		dg, err := listener.Recv(time.Until(deadline))
+		if err != nil {
+			return false
+		}
+		msg, err := slp.Parse(dg.Payload)
+		if err != nil {
+			continue
+		}
+		if adv, ok := msg.(*slp.SAAdvert); ok && strings.Contains(adv.Attrs, "service:clock") {
+			return true
+		}
+	}
+}

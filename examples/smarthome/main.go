@@ -1,0 +1,137 @@
+// Smarthome: the networked home of the paper's introduction.
+//
+// Devices from different manufacturers advertise with different SDPs — a
+// UPnP media renderer, an SLP printer, a Jini temperature sensor — and a
+// single INDISS gateway makes every service discoverable from every
+// protocol. The example prints the full cross-discovery matrix.
+//
+//	go run ./examples/smarthome
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"indiss"
+	"indiss/internal/jini"
+	"indiss/internal/slp"
+	"indiss/internal/upnp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "smarthome:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	net := indiss.NewLAN()
+	defer net.Close()
+	gw := net.MustAddHost("gateway", "10.0.0.9")
+	renderHost := net.MustAddHost("renderer", "10.0.0.2")
+	printerHost := net.MustAddHost("printer", "10.0.0.3")
+	sensorHost := net.MustAddHost("sensor", "10.0.0.4")
+	lookupHost := net.MustAddHost("lookup", "10.0.0.5")
+	phone := net.MustAddHost("phone", "10.0.0.20")
+
+	// --- the home's devices, each on its own middleware ---
+
+	renderer, err := upnp.NewRootDevice(renderHost, upnp.DeviceConfig{
+		Kind:         "mediarenderer",
+		FriendlyName: "Living Room Renderer",
+		Services:     []upnp.ServiceConfig{{Kind: "avtransport"}},
+	})
+	if err != nil {
+		return err
+	}
+	defer renderer.Close()
+
+	printerSA, err := slp.NewServiceAgent(printerHost, slp.AgentConfig{
+		AnnounceInterval: 200 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer printerSA.Close()
+	if err := printerSA.Register("service:printer", "service:printer://10.0.0.3:515",
+		time.Hour, slp.AttrList{
+			{Name: "friendlyName", Values: []string{"Hallway Printer"}},
+			{Name: "color", Values: []string{"true"}},
+		}); err != nil {
+		return err
+	}
+
+	ls, err := jini.NewLookupService(lookupHost, jini.LookupConfig{AnnounceInterval: 200 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer ls.Close()
+	sensorClient := jini.NewClient(sensorHost, jini.ClientConfig{})
+	if _, err := sensorClient.Register(ls.Locator(), jini.ServiceItem{
+		Type:     "net.jini.thermometer.Thermometer",
+		Endpoint: "10.0.0.4:7700",
+		Attrs:    []jini.Entry{{Name: "friendlyName", Value: "Bedroom Thermometer"}},
+	}, time.Second); err != nil {
+		return err
+	}
+
+	// --- one INDISS gateway bridges all three ---
+
+	sys, err := indiss.Deploy(gw, indiss.Config{Role: indiss.RoleGateway, Dynamic: true})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	fmt.Println("gateway: INDISS up (dynamic composition; units appear on first traffic)")
+
+	// --- cross-discovery matrix from the phone ---
+
+	fmt.Println("\nphone (SLP client) browsing foreign services:")
+	ua := slp.NewUserAgent(phone, slp.AgentConfig{})
+	for _, kind := range []string{"mediarenderer", "thermometer"} {
+		if urls, err := ua.FindFirst("service:"+kind, "", 3*time.Second); err == nil {
+			fmt.Printf("  service:%-14s -> %s\n", kind, urls[0].URL)
+		} else {
+			fmt.Printf("  service:%-14s -> not found (%v)\n", kind, err)
+		}
+	}
+
+	fmt.Println("\nphone (UPnP control point) browsing foreign services:")
+	cp := upnp.NewControlPoint(phone, upnp.ControlPointConfig{})
+	for _, kind := range []string{"printer", "thermometer"} {
+		if dev, err := cp.Discover(upnp.TypeURN(kind, 1), 0); err == nil {
+			fmt.Printf("  %-22s -> %q at %s\n", upnp.ShortType(dev.Desc.DeviceType),
+				dev.Desc.FriendlyName, dev.Desc.ModelURL)
+		} else {
+			fmt.Printf("  %-22s -> not found (%v)\n", kind, err)
+		}
+	}
+
+	fmt.Println("\nphone (Jini client) browsing the bridge registrar:")
+	jc := jini.NewClient(phone, jini.ClientConfig{})
+	loc, err := jc.DiscoverLookup(2 * time.Second)
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		items, err := jc.Lookup(loc, jini.ServiceTemplate{}, time.Second)
+		if err == nil && len(items) >= 2 {
+			for _, item := range items {
+				fmt.Printf("  %-34s -> %s\n", item.Type, item.Endpoint)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Println("  (registrar still syncing)")
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	fmt.Println("\ngateway: units instantiated at run time:", sys.Units())
+	fmt.Printf("gateway: %d services in the view\n", len(sys.View().Find("", time.Now())))
+	return nil
+}

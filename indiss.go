@@ -1,0 +1,158 @@
+// Package indiss is the public API of the INDISS reproduction: an
+// INteroperable DIscovery System for networked Services, after Bromberg &
+// Issarny, Middleware 2005.
+//
+// INDISS lets clients and services that speak different service discovery
+// protocols (SLP, UPnP, Jini) find each other without any change to the
+// applications. Deploy an instance on a client, a service host or a
+// gateway node:
+//
+//	net := indiss.NewLAN()
+//	defer net.Close()
+//	gw := net.MustAddHost("gateway", "10.0.0.9")
+//	sys, err := indiss.Deploy(gw, indiss.Config{Role: indiss.RoleGateway})
+//	if err != nil { ... }
+//	defer sys.Close()
+//
+// The instance passively detects which discovery protocols are in use
+// (monitor component), instantiates protocol units on demand, and
+// translates discovery traffic between them through a semantic event
+// vocabulary. See DESIGN.md for the architecture and EXPERIMENTS.md for
+// the reproduced evaluation.
+package indiss
+
+import (
+	"fmt"
+
+	"indiss/internal/core"
+	"indiss/internal/simnet"
+	"indiss/internal/units"
+)
+
+// Role places an INDISS instance (paper §4.2): on the client host, the
+// service host, or a dedicated gateway node.
+type Role = core.Role
+
+// Deployment roles.
+const (
+	RoleClientSide  = core.RoleClientSide
+	RoleServiceSide = core.RoleServiceSide
+	RoleGateway     = core.RoleGateway
+)
+
+// SDP names a service discovery protocol.
+type SDP = core.SDP
+
+// The supported protocols.
+const (
+	SLP  = core.SDPSLP
+	UPnP = core.SDPUPnP
+	Jini = core.SDPJini
+)
+
+// System is a running INDISS instance.
+type System = core.System
+
+// TranslationProfile models INDISS's own processing cost (zero = free).
+type TranslationProfile = core.TranslationProfile
+
+// ServiceRecord is one discovered service in SDP-neutral form.
+type ServiceRecord = core.ServiceRecord
+
+// Spec is a parsed Figure 5a system specification.
+type Spec = core.Spec
+
+// ParseSpec parses the paper's specification language:
+//
+//	System SDP = {
+//	    Component Monitor = { ScanPort = { 1900; 427 } }
+//	    Component Unit SLP(port=427);
+//	    Component Unit UPnP(port=1900);
+//	}
+func ParseSpec(src string) (*Spec, error) { return core.ParseSpec(src) }
+
+// UnitOptions tunes the individual protocol units.
+type UnitOptions struct {
+	// SLP tunes the SLP unit.
+	SLP units.SLPUnitConfig
+	// UPnP tunes the UPnP unit.
+	UPnP units.UPnPUnitConfig
+	// Jini tunes the Jini unit.
+	Jini units.JiniUnitConfig
+}
+
+// Config defines an INDISS deployment.
+type Config struct {
+	// Role is where the instance is deployed. Required.
+	Role Role
+	// SDPs restricts which protocol units the instance may
+	// instantiate. Empty means all three.
+	SDPs []SDP
+	// Dynamic defers unit instantiation until the monitor detects the
+	// protocol in the environment (paper §3). When false, all units
+	// start eagerly.
+	Dynamic bool
+	// ThresholdBps enables the paper's §4.2 adaptation policy: on a
+	// service-side deployment, units switch to active
+	// re-advertisement when observed traffic falls below the
+	// threshold. Zero disables the policy.
+	ThresholdBps float64
+	// Profile models INDISS's own translation cost; the zero value is
+	// free (right for functional use), CalibratedProfile() reproduces
+	// the paper's prototype cost.
+	Profile TranslationProfile
+	// NoCache disables answering from the service view; every request
+	// then triggers fresh native exchanges (the cold path of the
+	// paper's Figures 8 and 9a).
+	NoCache bool
+	// Units tunes the individual protocol units.
+	Units UnitOptions
+	// Spec, when non-empty, is a Figure 5a specification whose
+	// ScanPort and Unit declarations override SDPs and the monitor's
+	// port table.
+	Spec string
+}
+
+// Registry builds the production unit registry for the given options.
+func Registry(opts UnitOptions) *core.Registry {
+	r := core.NewRegistry()
+	r.Register(core.SDPSLP, func() core.Unit { return units.NewSLPUnit(opts.SLP) })
+	r.Register(core.SDPUPnP, func() core.Unit { return units.NewUPnPUnit(opts.UPnP) })
+	r.Register(core.SDPJini, func() core.Unit { return units.NewJiniUnit(opts.Jini) })
+	return r
+}
+
+// Deploy starts an INDISS instance on the host.
+func Deploy(host *simnet.Host, cfg Config) (*System, error) {
+	if cfg.Role == 0 {
+		return nil, fmt.Errorf("indiss: Config.Role is required")
+	}
+	coreCfg := core.Config{
+		Role:         cfg.Role,
+		Units:        cfg.SDPs,
+		Dynamic:      cfg.Dynamic,
+		ThresholdBps: cfg.ThresholdBps,
+		Profile:      cfg.Profile,
+		NoCache:      cfg.NoCache,
+	}
+	if cfg.Spec != "" {
+		spec, err := core.ParseSpec(cfg.Spec)
+		if err != nil {
+			return nil, err
+		}
+		if len(spec.ScanPorts) > 0 {
+			table, err := core.DefaultTable().Restrict(spec.ScanPorts)
+			if err != nil {
+				return nil, err
+			}
+			coreCfg.Table = table
+		}
+		if len(spec.Units) > 0 {
+			coreCfg.Units = coreCfg.Units[:0]
+			for _, u := range spec.Units {
+				coreCfg.Units = append(coreCfg.Units, u.SDP)
+			}
+		}
+	}
+	return core.NewSystem(host, Registry(cfg.Units), coreCfg)
+}

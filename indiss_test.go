@@ -1,0 +1,197 @@
+package indiss_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"indiss"
+	"indiss/internal/slp"
+	"indiss/internal/upnp"
+)
+
+func TestDeployRequiresRole(t *testing.T) {
+	net := indiss.NewLAN()
+	defer net.Close()
+	host := net.MustAddHost("h", "10.0.0.1")
+	if _, err := indiss.Deploy(host, indiss.Config{}); err == nil {
+		t.Fatal("Deploy without role succeeded")
+	}
+}
+
+func TestDeployWithSpec(t *testing.T) {
+	net := indiss.NewLAN()
+	defer net.Close()
+	host := net.MustAddHost("h", "10.0.0.1")
+	sys, err := indiss.Deploy(host, indiss.Config{
+		Role: indiss.RoleGateway,
+		Spec: `
+System SDP = {
+	Component Monitor = { ScanPort = { 1900; 427 } }
+	Component Unit SLP(port=427);
+	Component Unit UPnP(port=1900);
+}`,
+	})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	defer sys.Close()
+	units := sys.Units()
+	if len(units) != 2 || units[0] != indiss.SLP || units[1] != indiss.UPnP {
+		t.Errorf("units = %v, want [SLP UPnP] from spec", units)
+	}
+}
+
+func TestDeployWithBadSpec(t *testing.T) {
+	net := indiss.NewLAN()
+	defer net.Close()
+	host := net.MustAddHost("h", "10.0.0.1")
+	if _, err := indiss.Deploy(host, indiss.Config{
+		Role: indiss.RoleGateway,
+		Spec: "garbage {",
+	}); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if _, err := indiss.Deploy(host, indiss.Config{
+		Role: indiss.RoleGateway,
+		Spec: "System X = { Component Monitor = { ScanPort = { 99 } } }",
+	}); err == nil {
+		t.Fatal("spec with unregistered port accepted")
+	}
+}
+
+func TestParseSpecReExport(t *testing.T) {
+	spec, err := indiss.ParseSpec("System X = { Component Unit SLP(port=427); }")
+	if err != nil || spec.Name != "X" {
+		t.Fatalf("ParseSpec = %+v, %v", spec, err)
+	}
+}
+
+// TestPublicQuickstartFlow is the README snippet as a test: gateway
+// deployment, native SLP client, native UPnP device.
+func TestPublicQuickstartFlow(t *testing.T) {
+	net := indiss.NewLAN()
+	defer net.Close()
+	gw := net.MustAddHost("gateway", "10.0.0.9")
+	clientHost := net.MustAddHost("client", "10.0.0.1")
+	serviceHost := net.MustAddHost("service", "10.0.0.2")
+
+	sys, err := indiss.Deploy(gw, indiss.Config{Role: indiss.RoleGateway, Dynamic: true})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	defer sys.Close()
+
+	dev, err := upnp.NewRootDevice(serviceHost, upnp.DeviceConfig{
+		Kind:         "clock",
+		FriendlyName: "Clock",
+		Services:     []upnp.ServiceConfig{{Kind: "timer"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+
+	ua := slp.NewUserAgent(clientHost, slp.AgentConfig{})
+	urls, err := ua.FindFirst("service:clock", "", 10*time.Second)
+	if err != nil {
+		t.Fatalf("FindFirst: %v", err)
+	}
+	if !strings.HasPrefix(urls[0].URL, "service:clock:soap://10.0.0.2:4004") {
+		t.Errorf("URL = %q", urls[0].URL)
+	}
+	// Dynamic composition instantiated the SLP unit (traffic seen), the
+	// UPnP unit (traffic seen), and — because a request stream forces
+	// its translation targets up — possibly the rest of the
+	// configuration.
+	units := sys.Units()
+	if len(units) < 2 {
+		t.Errorf("units = %v", units)
+	}
+}
+
+// TestBridgedAttributeRequest checks the §2.4 attribute flow: after the
+// bridged SrvRply, an SLP AttrRqst against the returned URL yields the
+// UPnP device's metadata (friendlyName etc.) from the view.
+func TestBridgedAttributeRequest(t *testing.T) {
+	net := indiss.NewLAN()
+	defer net.Close()
+	clientHost := net.MustAddHost("client", "10.0.0.1")
+	serviceHost := net.MustAddHost("service", "10.0.0.2")
+
+	dev, err := upnp.NewRootDevice(serviceHost, upnp.DeviceConfig{
+		Kind:         "clock",
+		FriendlyName: "CyberGarage Clock Device",
+		Manufacturer: "CyberGarage",
+		ModelName:    "Clock",
+		Services:     []upnp.ServiceConfig{{Kind: "timer"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+
+	sys, err := indiss.Deploy(serviceHost, indiss.Config{
+		Role: indiss.RoleServiceSide,
+		SDPs: []indiss.SDP{indiss.SLP, indiss.UPnP},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	ua := slp.NewUserAgent(clientHost, slp.AgentConfig{})
+	urls, err := ua.FindFirst("service:clock", "", 10*time.Second)
+	if err != nil {
+		t.Fatalf("FindFirst: %v", err)
+	}
+
+	attrs, err := ua.FindAttrs(urls[0].URL, 10*time.Second)
+	if err != nil {
+		t.Fatalf("FindAttrs on bridged URL: %v", err)
+	}
+	if got := attrs.First("friendlyName"); got != "CyberGarage Clock Device" {
+		t.Errorf("friendlyName = %q (attrs: %v)", got, attrs)
+	}
+	if got := attrs.First("manufacturer"); got != "CyberGarage" {
+		t.Errorf("manufacturer = %q", got)
+	}
+}
+
+func TestCalibratedProfilesNonZero(t *testing.T) {
+	if indiss.OpenSLPProfile().ProcessingDelay <= 0 {
+		t.Error("OpenSLP profile has no delay")
+	}
+	ssdpCfg, httpDelay := indiss.CyberLinkDeviceProfile()
+	if ssdpCfg.ProcessingDelay <= 0 || httpDelay <= 0 {
+		t.Error("CyberLink device profile has no delay")
+	}
+	if indiss.CyberLinkCPProfile().SSDP.ProcessingDelay <= 0 {
+		t.Error("CyberLink CP profile has no delay")
+	}
+	p := indiss.CalibratedProfile()
+	if p.PerMessage <= 0 || p.XMLParse <= 0 {
+		t.Error("calibrated INDISS profile has no delay")
+	}
+	if len(indiss.DescriptionPadding()) < 8_000 {
+		t.Error("description padding too small to model CyberLink documents")
+	}
+}
+
+func TestRegistryCoversAllSDPs(t *testing.T) {
+	r := indiss.Registry(indiss.UnitOptions{})
+	sdps := r.SDPs()
+	if len(sdps) != 3 {
+		t.Fatalf("registry SDPs = %v", sdps)
+	}
+	for _, sdp := range sdps {
+		u, err := r.New(sdp)
+		if err != nil {
+			t.Errorf("New(%s): %v", sdp, err)
+			continue
+		}
+		if u.SDP() != sdp {
+			t.Errorf("unit SDP = %v, want %v", u.SDP(), sdp)
+		}
+	}
+}

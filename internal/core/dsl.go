@@ -1,0 +1,484 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"indiss/internal/events"
+	"indiss/internal/fsm"
+)
+
+// This file implements the specification language of paper §3. Figure 5a
+// defines an instance as:
+//
+//	System SDP = {
+//	    Component Monitor = {
+//	        ScanPort = { 1900; 1846; 4160; 427 }
+//	    }
+//	    Component Unit SLP(port=1846,427);
+//	    Component Unit UPnP(port=1900);
+//	    Component Unit JINI(port=4160);
+//	}
+//
+// and §3 adds two operators: unit definitions
+//
+//	Component Unit UPnP = {
+//	    setFSM(fsm, UPNP);
+//	    AddParser(component, SSDP);
+//	    AddComposer(component, SSDP);
+//	}
+//
+// and state machine definitions
+//
+//	Component UPnP-FSM = {
+//	    AddTuple(CurrentState, trigger, condition-guard, NewState, actions...);
+//	}
+
+// Spec is a parsed "System" block.
+type Spec struct {
+	// Name is the system's name ("SDP" in Figure 5a).
+	Name string
+	// ScanPorts is the monitor's port list.
+	ScanPorts []int
+	// Units are the units the instance may instantiate.
+	Units []UnitSpec
+	// UnitDefs are unit-definition blocks (setFSM/AddParser/AddComposer).
+	UnitDefs []UnitDef
+	// FSMs are state-machine definition blocks.
+	FSMs []FSMSpec
+}
+
+// UnitSpec is one "Component Unit NAME(port=...)" declaration.
+type UnitSpec struct {
+	SDP   SDP
+	Ports []int
+}
+
+// UnitDef is one "Component Unit NAME = { ... }" definition block.
+type UnitDef struct {
+	Name      string
+	FSM       string
+	Parsers   []string
+	Composers []string
+}
+
+// FSMSpec is one "Component NAME-FSM = { AddTuple(...); }" block.
+type FSMSpec struct {
+	Name   string
+	Tuples []TupleSpec
+}
+
+// TupleSpec mirrors the paper's AddTuple(CurrentState, triggers,
+// condition-guards, NewState, actions) operator.
+type TupleSpec struct {
+	From    string
+	Trigger string // paper event name, e.g. "SDP_C_START"
+	Guard   string // empty for unconditional
+	To      string
+	Actions []string
+}
+
+// ErrSpec reports a specification syntax or semantic error.
+var ErrSpec = errors.New("core: spec error")
+
+// ParseSpec parses a system specification.
+func ParseSpec(src string) (*Spec, error) {
+	p := &specParser{toks: tokenize(src)}
+	spec, err := p.parseSystem()
+	if err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// BuildFSM turns an FSMSpec into a validated machine, resolving trigger
+// names through the event vocabulary and guard/action names through the
+// supplied maps.
+func BuildFSM(spec FSMSpec, start fsm.State, guards map[string]fsm.Guard, actions map[string]fsm.Action, accept ...fsm.State) (*fsm.Machine, error) {
+	b := fsm.New(spec.Name, start)
+	for name, g := range guards {
+		b.Guard(name, g)
+	}
+	for name, a := range actions {
+		b.Action(name, a)
+	}
+	for _, t := range spec.Tuples {
+		trigger, ok := events.ByName(t.Trigger)
+		if !ok {
+			return nil, fmt.Errorf("%w: fsm %s: unknown event %q", ErrSpec, spec.Name, t.Trigger)
+		}
+		b.AddTuple(fsm.State(t.From), trigger, t.Guard, fsm.State(t.To), t.Actions...)
+	}
+	b.Accept(accept...)
+	return b.Build()
+}
+
+// --- tokenizer ---
+
+type token struct {
+	kind tokenKind
+	text string
+}
+
+type tokenKind uint8
+
+const (
+	tokIdent tokenKind = iota + 1
+	tokNumber
+	tokPunct // one of { } ( ) = ; ,
+	tokEOF
+)
+
+func tokenize(src string) []token {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case strings.IndexByte("{}()=;,", c) >= 0:
+			toks = append(toks, token{kind: tokPunct, text: string(c)})
+			i++
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[i:j]})
+			i = j
+		default:
+			j := i
+			for j < len(src) && isIdentChar(src[j]) {
+				j++
+			}
+			if j == i {
+				// Unknown byte: emit as punct so the parser
+				// reports it in context.
+				toks = append(toks, token{kind: tokPunct, text: string(c)})
+				i++
+				continue
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j]})
+			i = j
+		}
+	}
+	return append(toks, token{kind: tokEOF})
+}
+
+func isIdentChar(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		return true
+	case c >= '0' && c <= '9':
+		return true
+	case c == '_', c == '-', c == ':', c == '.':
+		return true
+	default:
+		return false
+	}
+}
+
+// --- parser ---
+
+type specParser struct {
+	toks []token
+	pos  int
+}
+
+func (p *specParser) peek() token { return p.toks[p.pos] }
+
+func (p *specParser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *specParser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.text != s {
+		return fmt.Errorf("%w: expected %q, got %q", ErrSpec, s, t.text)
+	}
+	return nil
+}
+
+func (p *specParser) expectIdent(want string) (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("%w: expected identifier, got %q", ErrSpec, t.text)
+	}
+	if want != "" && !strings.EqualFold(t.text, want) {
+		return "", fmt.Errorf("%w: expected %q, got %q", ErrSpec, want, t.text)
+	}
+	return t.text, nil
+}
+
+func (p *specParser) parseSystem() (*Spec, error) {
+	if _, err := p.expectIdent("System"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent("")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	spec := &Spec{Name: name}
+	for {
+		t := p.peek()
+		if t.kind == tokPunct && t.text == "}" {
+			p.next()
+			break
+		}
+		if t.kind == tokEOF {
+			return nil, fmt.Errorf("%w: unterminated System block", ErrSpec)
+		}
+		if err := p.parseComponent(spec); err != nil {
+			return nil, err
+		}
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("%w: trailing tokens after System block", ErrSpec)
+	}
+	return spec, nil
+}
+
+func (p *specParser) parseComponent(spec *Spec) error {
+	if _, err := p.expectIdent("Component"); err != nil {
+		return err
+	}
+	name, err := p.expectIdent("")
+	if err != nil {
+		return err
+	}
+	switch {
+	case strings.EqualFold(name, "Monitor"):
+		return p.parseMonitor(spec)
+	case strings.EqualFold(name, "Unit"):
+		return p.parseUnit(spec)
+	case strings.HasSuffix(strings.ToUpper(name), "-FSM"):
+		return p.parseFSM(spec, name)
+	default:
+		return fmt.Errorf("%w: unknown component %q", ErrSpec, name)
+	}
+}
+
+// parseMonitor handles: Monitor = { ScanPort = { 1900; 427 } }
+func (p *specParser) parseMonitor(spec *Spec) error {
+	if err := p.expectPunct("="); err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	if _, err := p.expectIdent("ScanPort"); err != nil {
+		return err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for {
+		t := p.next()
+		switch {
+		case t.kind == tokNumber:
+			port, err := strconv.Atoi(t.text)
+			if err != nil || port <= 0 || port > 65535 {
+				return fmt.Errorf("%w: bad port %q", ErrSpec, t.text)
+			}
+			spec.ScanPorts = append(spec.ScanPorts, port)
+		case t.kind == tokPunct && (t.text == ";" || t.text == ","):
+			// separator
+		case t.kind == tokPunct && t.text == "}":
+			// Close the ScanPort list, then the Monitor block.
+			if err := p.expectPunct("}"); err != nil {
+				return err
+			}
+			return nil
+		default:
+			return fmt.Errorf("%w: unexpected %q in ScanPort list", ErrSpec, t.text)
+		}
+	}
+}
+
+// parseUnit handles both declarations — Unit SLP(port=427); — and
+// definitions — Unit UPnP = { setFSM(...); AddParser(...); }.
+func (p *specParser) parseUnit(spec *Spec) error {
+	name, err := p.expectIdent("")
+	if err != nil {
+		return err
+	}
+	t := p.peek()
+	if t.kind == tokPunct && t.text == "(" {
+		return p.parseUnitDecl(spec, name)
+	}
+	if t.kind == tokPunct && t.text == "=" {
+		return p.parseUnitDef(spec, name)
+	}
+	return fmt.Errorf("%w: expected ( or = after Unit %s", ErrSpec, name)
+}
+
+func (p *specParser) parseUnitDecl(spec *Spec, name string) error {
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	if _, err := p.expectIdent("port"); err != nil {
+		return err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return err
+	}
+	u := UnitSpec{SDP: SDP(name)}
+	for {
+		t := p.next()
+		switch {
+		case t.kind == tokNumber:
+			port, err := strconv.Atoi(t.text)
+			if err != nil || port <= 0 || port > 65535 {
+				return fmt.Errorf("%w: bad port %q", ErrSpec, t.text)
+			}
+			u.Ports = append(u.Ports, port)
+		case t.kind == tokPunct && t.text == ",":
+			// separator
+		case t.kind == tokPunct && t.text == ")":
+			if err := p.expectPunct(";"); err != nil {
+				return err
+			}
+			if len(u.Ports) == 0 {
+				return fmt.Errorf("%w: unit %s declares no ports", ErrSpec, name)
+			}
+			spec.Units = append(spec.Units, u)
+			return nil
+		default:
+			return fmt.Errorf("%w: unexpected %q in unit ports", ErrSpec, t.text)
+		}
+	}
+}
+
+func (p *specParser) parseUnitDef(spec *Spec, name string) error {
+	if err := p.expectPunct("="); err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	def := UnitDef{Name: name}
+	for {
+		t := p.next()
+		if t.kind == tokPunct && t.text == "}" {
+			spec.UnitDefs = append(spec.UnitDefs, def)
+			return nil
+		}
+		if t.kind != tokIdent {
+			return fmt.Errorf("%w: expected operator in unit %s, got %q", ErrSpec, name, t.text)
+		}
+		args, err := p.parseArgs()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return err
+		}
+		switch {
+		case strings.EqualFold(t.text, "setFSM"):
+			if len(args) != 2 {
+				return fmt.Errorf("%w: setFSM wants 2 args, got %d", ErrSpec, len(args))
+			}
+			def.FSM = args[1]
+		case strings.EqualFold(t.text, "AddParser"):
+			if len(args) != 2 {
+				return fmt.Errorf("%w: AddParser wants 2 args, got %d", ErrSpec, len(args))
+			}
+			def.Parsers = append(def.Parsers, args[1])
+		case strings.EqualFold(t.text, "AddComposer"):
+			if len(args) != 2 {
+				return fmt.Errorf("%w: AddComposer wants 2 args, got %d", ErrSpec, len(args))
+			}
+			def.Composers = append(def.Composers, args[1])
+		default:
+			return fmt.Errorf("%w: unknown operator %q in unit %s", ErrSpec, t.text, name)
+		}
+	}
+}
+
+// parseFSM handles: Component NAME-FSM = { AddTuple(a,b,c,d,e...); ... }
+func (p *specParser) parseFSM(spec *Spec, name string) error {
+	if err := p.expectPunct("="); err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	f := FSMSpec{Name: strings.TrimSuffix(strings.TrimSuffix(name, "-FSM"), "-fsm")}
+	for {
+		t := p.next()
+		if t.kind == tokPunct && t.text == "}" {
+			spec.FSMs = append(spec.FSMs, f)
+			return nil
+		}
+		if t.kind != tokIdent || !strings.EqualFold(t.text, "AddTuple") {
+			return fmt.Errorf("%w: expected AddTuple in %s, got %q", ErrSpec, name, t.text)
+		}
+		args, err := p.parseArgs()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return err
+		}
+		if len(args) < 4 {
+			return fmt.Errorf("%w: AddTuple wants >= 4 args, got %d", ErrSpec, len(args))
+		}
+		f.Tuples = append(f.Tuples, TupleSpec{
+			From:    args[0],
+			Trigger: args[1],
+			Guard:   args[2],
+			To:      args[3],
+			Actions: args[4:],
+		})
+	}
+}
+
+// parseArgs reads "( a, b, , c )" allowing empty positions (the paper's
+// AddTuple leaves the guard slot empty for unconditional transitions).
+func (p *specParser) parseArgs() ([]string, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var args []string
+	pendingEmpty := true // a ',' or ')' with no preceding value is empty
+	for {
+		t := p.next()
+		switch {
+		case t.kind == tokIdent || t.kind == tokNumber:
+			args = append(args, t.text)
+			pendingEmpty = false
+		case t.kind == tokPunct && t.text == ",":
+			if pendingEmpty {
+				args = append(args, "")
+			}
+			pendingEmpty = true
+		case t.kind == tokPunct && t.text == ")":
+			if pendingEmpty && len(args) > 0 {
+				args = append(args, "")
+			}
+			return args, nil
+		default:
+			return nil, fmt.Errorf("%w: unexpected %q in argument list", ErrSpec, t.text)
+		}
+	}
+}

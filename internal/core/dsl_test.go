@@ -1,0 +1,170 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// figure5a is the paper's example specification, verbatim in structure.
+const figure5a = `
+System SDP = {
+	Component Monitor = {
+		ScanPort = { 1900; 1846; 4160; 427 }
+	}
+	Component Unit SLP(port=1846,427);
+	Component Unit UPnP(port=1900);
+	Component Unit JINI(port=4160);
+}`
+
+func TestParseSpecFigure5a(t *testing.T) {
+	spec, err := ParseSpec(figure5a)
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if spec.Name != "SDP" {
+		t.Errorf("Name = %q", spec.Name)
+	}
+	wantPorts := []int{1900, 1846, 4160, 427}
+	if len(spec.ScanPorts) != len(wantPorts) {
+		t.Fatalf("ScanPorts = %v", spec.ScanPorts)
+	}
+	for i, p := range wantPorts {
+		if spec.ScanPorts[i] != p {
+			t.Errorf("ScanPorts[%d] = %d, want %d", i, spec.ScanPorts[i], p)
+		}
+	}
+	if len(spec.Units) != 3 {
+		t.Fatalf("Units = %+v", spec.Units)
+	}
+	if spec.Units[0].SDP != "SLP" || len(spec.Units[0].Ports) != 2 || spec.Units[0].Ports[1] != 427 {
+		t.Errorf("SLP unit = %+v", spec.Units[0])
+	}
+	if spec.Units[1].SDP != "UPnP" || spec.Units[1].Ports[0] != 1900 {
+		t.Errorf("UPnP unit = %+v", spec.Units[1])
+	}
+	if spec.Units[2].SDP != "JINI" || spec.Units[2].Ports[0] != 4160 {
+		t.Errorf("JINI unit = %+v", spec.Units[2])
+	}
+}
+
+func TestParseSpecUnitDefinition(t *testing.T) {
+	// The §3 unit-definition operators.
+	src := `
+System SDP = {
+	Component Unit UPnP = {
+		setFSM(fsm, UPNP);
+		AddParser(component, SSDP);
+		AddParser(component, XML);
+		AddComposer(component, SSDP);
+	}
+}`
+	spec, err := ParseSpec(src)
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if len(spec.UnitDefs) != 1 {
+		t.Fatalf("UnitDefs = %+v", spec.UnitDefs)
+	}
+	def := spec.UnitDefs[0]
+	if def.Name != "UPnP" || def.FSM != "UPNP" {
+		t.Errorf("def = %+v", def)
+	}
+	if len(def.Parsers) != 2 || def.Parsers[1] != "XML" {
+		t.Errorf("parsers = %v", def.Parsers)
+	}
+	if len(def.Composers) != 1 || def.Composers[0] != "SSDP" {
+		t.Errorf("composers = %v", def.Composers)
+	}
+}
+
+func TestParseSpecFSMDefinition(t *testing.T) {
+	// The §3 AddTuple operator, with an empty guard slot as in the
+	// paper's tuple description.
+	src := `
+System SDP = {
+	Component UPnP-FSM = {
+		AddTuple(Idle, SDP_C_START, , Open);
+		AddTuple(Open, SDP_SERVICE_TYPE, isClock, Matched, record, dispatch);
+	}
+}`
+	spec, err := ParseSpec(src)
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if len(spec.FSMs) != 1 || spec.FSMs[0].Name != "UPnP" {
+		t.Fatalf("FSMs = %+v", spec.FSMs)
+	}
+	tuples := spec.FSMs[0].Tuples
+	if len(tuples) != 2 {
+		t.Fatalf("tuples = %+v", tuples)
+	}
+	if tuples[0].Guard != "" || tuples[0].From != "Idle" || tuples[0].To != "Open" {
+		t.Errorf("tuple 0 = %+v", tuples[0])
+	}
+	if tuples[1].Guard != "isClock" || len(tuples[1].Actions) != 2 || tuples[1].Actions[1] != "dispatch" {
+		t.Errorf("tuple 1 = %+v", tuples[1])
+	}
+}
+
+func TestParseSpecComments(t *testing.T) {
+	src := `
+// instance for the home gateway
+System Home = {
+	// scan everything
+	Component Monitor = { ScanPort = { 427 } }
+	Component Unit SLP(port=427); // the only unit
+}`
+	spec, err := ParseSpec(src)
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if spec.Name != "Home" || len(spec.Units) != 1 {
+		t.Errorf("spec = %+v", spec)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"NotSystem X = {}",
+		"System X = { Component Bogus = {} }",
+		"System X = { Component Unit SLP(port=) ; }",
+		"System X = { Component Unit SLP(port=99999); }",
+		"System X = { Component Unit SLP; }",
+		"System X = { Component Monitor = { ScanPort = { abc } } }",
+		"System X = { Component Unit U = { badOp(a, b); } }",
+		"System X = { Component Unit U = { setFSM(onlyone); } }",
+		"System X = { Component F-FSM = { AddTuple(a, b); } }",
+		"System X = { Component F-FSM = { NotATuple(a, b, c, d); } }",
+		"System X = {",
+		"System X = {} trailing",
+	}
+	for _, src := range bad {
+		if _, err := ParseSpec(src); !errors.Is(err, ErrSpec) {
+			t.Errorf("ParseSpec(%q) err = %v, want ErrSpec", src, err)
+		}
+	}
+}
+
+func TestSpecDrivesSystemConfig(t *testing.T) {
+	// A parsed spec restricts the default table, wiring Figure 5a to a
+	// runnable configuration.
+	spec, err := ParseSpec(figure5a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := DefaultTable().Restrict(spec.ScanPorts)
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	if len(table.Ports()) != 4 {
+		t.Errorf("ports = %v", table.Ports())
+	}
+	var sdps []SDP
+	for _, u := range spec.Units {
+		sdps = append(sdps, u.SDP)
+	}
+	if len(sdps) != 3 || sdps[0] != SDPSLP || sdps[2] != SDPJini {
+		t.Errorf("sdps = %v", sdps)
+	}
+}

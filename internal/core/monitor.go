@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"indiss/internal/simnet"
+)
+
+// Detection is one raw message the monitor attributed to an SDP. The
+// monitor does "no computation, data interpretation or data
+// transformation" (paper §2.1): attribution rests solely on the arrival
+// port, and the payload is forwarded untouched to the appropriate parser.
+type Detection struct {
+	// SDP is the detected protocol.
+	SDP SDP
+	// Port the data arrived on.
+	Port int
+	// Src is the sender.
+	Src simnet.Addr
+	// Dst is the address the data was sent to (a multicast group).
+	Dst simnet.Addr
+	// Data is the raw message, untouched.
+	Data []byte
+	// At is the arrival time.
+	At time.Time
+}
+
+// DetectionHandler consumes detections, typically the System forwarding
+// raw data to unit parsers (paper Figure 2, steps ① and ②).
+type DetectionHandler func(Detection)
+
+// Monitor passively scans the environment on the IANA-registered SDP
+// multicast groups (paper §2.1, Figure 1). It binds shared multicast-only
+// sockets, so native stacks on the same host are unaffected.
+type Monitor struct {
+	host    *simnet.Host
+	table   *CorrespondenceTable
+	handler DetectionHandler
+
+	mu       sync.Mutex
+	conns    []*simnet.UDPConn
+	detected map[SDP]time.Time
+	meters   map[SDP]*RateMeter
+	window   time.Duration
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// MonitorConfig tunes a monitor.
+type MonitorConfig struct {
+	// Table is the port→SDP correspondence table; nil uses DefaultTable.
+	Table *CorrespondenceTable
+	// RateWindow is the sliding window of the per-SDP traffic meters
+	// (default 1s).
+	RateWindow time.Duration
+	// Handler receives every detection. Optional.
+	Handler DetectionHandler
+}
+
+// NewMonitor starts scanning the table's ports on host.
+func NewMonitor(host *simnet.Host, cfg MonitorConfig) (*Monitor, error) {
+	table := cfg.Table
+	if table == nil {
+		table = DefaultTable()
+	}
+	m := &Monitor{
+		host:     host,
+		table:    table,
+		handler:  cfg.Handler,
+		detected: make(map[SDP]time.Time),
+		meters:   make(map[SDP]*RateMeter),
+		window:   cfg.RateWindow,
+		stop:     make(chan struct{}),
+	}
+	for _, port := range table.Ports() {
+		entry, _ := table.Lookup(port)
+		conn, err := host.ListenMulticastUDP(port)
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("core monitor: port %d: %w", port, err)
+		}
+		for _, g := range entry.Groups {
+			if err := conn.JoinGroup(g); err != nil {
+				conn.Close()
+				m.Close()
+				return nil, fmt.Errorf("core monitor: join %s: %w", g, err)
+			}
+		}
+		m.conns = append(m.conns, conn)
+		m.wg.Add(1)
+		go func(c *simnet.UDPConn, entry ScanPort) {
+			defer m.wg.Done()
+			m.scan(c, entry)
+		}(conn, entry)
+	}
+	return m, nil
+}
+
+// Close stops scanning.
+func (m *Monitor) Close() {
+	select {
+	case <-m.stop:
+		return
+	default:
+	}
+	close(m.stop)
+	m.mu.Lock()
+	conns := m.conns
+	m.conns = nil
+	m.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	m.wg.Wait()
+}
+
+// scan is the per-port loop: data arrival alone identifies the SDP.
+func (m *Monitor) scan(conn *simnet.UDPConn, entry ScanPort) {
+	for {
+		dg, err := conn.Recv(0)
+		if err != nil {
+			return
+		}
+		now := time.Now()
+		m.record(entry.SDP, now, len(dg.Payload))
+		if m.handler != nil {
+			m.handler(Detection{
+				SDP:  entry.SDP,
+				Port: entry.Port,
+				Src:  dg.Src,
+				Dst:  dg.Dst,
+				Data: dg.Payload,
+				At:   now,
+			})
+		}
+	}
+}
+
+func (m *Monitor) record(sdp SDP, now time.Time, size int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.detected[sdp] = now
+	meter, ok := m.meters[sdp]
+	if !ok {
+		meter = NewRateMeter(m.window)
+		m.meters[sdp] = meter
+	}
+	meter.Observe(now, size)
+}
+
+// Detected returns the SDPs observed so far, with last-seen times.
+func (m *Monitor) Detected() map[SDP]time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[SDP]time.Time, len(m.detected))
+	for k, v := range m.detected {
+		out[k] = v
+	}
+	return out
+}
+
+// Seen reports whether the SDP has been observed.
+func (m *Monitor) Seen(sdp SDP) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.detected[sdp]
+	return ok
+}
+
+// Rate returns the SDP's observed traffic rate in bytes/second.
+func (m *Monitor) Rate(sdp SDP) float64 {
+	m.mu.Lock()
+	meter, ok := m.meters[sdp]
+	m.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return meter.Rate(time.Now())
+}
+
+// TotalRate sums the rates of every observed SDP — the "network traffic"
+// input of the §4.2 threshold policy.
+func (m *Monitor) TotalRate() float64 {
+	m.mu.Lock()
+	meters := make([]*RateMeter, 0, len(m.meters))
+	for _, meter := range m.meters {
+		meters = append(meters, meter)
+	}
+	m.mu.Unlock()
+	now := time.Now()
+	var sum float64
+	for _, meter := range meters {
+		sum += meter.Rate(now)
+	}
+	return sum
+}

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"indiss/internal/events"
+	"indiss/internal/simnet"
+)
+
+// Config defines one INDISS instance: "configuration of a INDISS instance
+// is initially defined in terms of supported SDPs and the corresponding
+// units that need be instantiated" (paper §3).
+type Config struct {
+	// Role is the deployment placement (client, service or gateway
+	// side).
+	Role Role
+	// Table is the monitor's correspondence table; nil uses
+	// DefaultTable.
+	Table *CorrespondenceTable
+	// Units lists the SDPs this instance may instantiate units for.
+	// Empty means every SDP in the registry.
+	Units []SDP
+	// Dynamic delays unit instantiation until the monitor detects the
+	// protocol — the run-time composition of paper Figure 5. When
+	// false, all units start eagerly.
+	Dynamic bool
+	// ThresholdBps enables the §4.2 adaptation policy: on the service
+	// side, when total observed traffic falls below the threshold,
+	// units switch to active re-advertisement. Zero disables the
+	// policy.
+	ThresholdBps float64
+	// PolicyInterval is how often the adaptation policy re-evaluates
+	// (default 100ms).
+	PolicyInterval time.Duration
+	// Profile models INDISS's own translation cost.
+	Profile TranslationProfile
+	// NoCache disables view-cache answers (see UnitContext.NoCache).
+	NoCache bool
+}
+
+// ErrSystemClosed reports use of a closed system.
+var ErrSystemClosed = errors.New("core: system closed")
+
+// detectionWorkers bounds concurrent native-message translations.
+const detectionWorkers = 64
+
+// System is a running INDISS instance: monitor + dynamically composed
+// units around an event bus (paper Figure 5).
+type System struct {
+	host     *simnet.Host
+	registry *Registry
+	cfg      Config
+
+	bus     *events.Bus
+	view    *ServiceView
+	self    *SelfFilter
+	monitor *Monitor
+
+	mu      sync.Mutex
+	units   map[SDP]Unit
+	allowed map[SDP]struct{}
+	closed  bool
+	reAdv   bool
+
+	sem  chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewSystem starts an INDISS instance on host using units from the
+// registry.
+func NewSystem(host *simnet.Host, registry *Registry, cfg Config) (*System, error) {
+	if cfg.PolicyInterval <= 0 {
+		cfg.PolicyInterval = 100 * time.Millisecond
+	}
+	allowed := cfg.Units
+	if len(allowed) == 0 {
+		allowed = registry.SDPs()
+	}
+	s := &System{
+		host:     host,
+		registry: registry,
+		cfg:      cfg,
+		bus:      events.NewBus(),
+		view:     NewServiceView(),
+		self:     NewSelfFilter(),
+		units:    make(map[SDP]Unit),
+		allowed:  make(map[SDP]struct{}, len(allowed)),
+		sem:      make(chan struct{}, detectionWorkers),
+		stop:     make(chan struct{}),
+	}
+	for _, sdp := range allowed {
+		s.allowed[sdp] = struct{}{}
+	}
+
+	monitor, err := NewMonitor(host, MonitorConfig{
+		Table:   cfg.Table,
+		Handler: s.onDetection,
+	})
+	if err != nil {
+		s.bus.Close()
+		return nil, err
+	}
+	s.monitor = monitor
+
+	if !cfg.Dynamic {
+		for _, sdp := range allowed {
+			if _, err := s.ensureUnit(sdp); err != nil {
+				s.Close()
+				return nil, err
+			}
+		}
+	}
+	if cfg.ThresholdBps > 0 {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.policyLoop()
+		}()
+	}
+	return s, nil
+}
+
+// Close stops the monitor, every unit and the bus.
+func (s *System) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	units := make([]Unit, 0, len(s.units))
+	for _, u := range s.units {
+		units = append(units, u)
+	}
+	s.units = make(map[SDP]Unit)
+	s.mu.Unlock()
+
+	close(s.stop)
+	s.monitor.Close()
+	for _, u := range units {
+		u.Stop()
+	}
+	s.wg.Wait()
+	s.bus.Close()
+}
+
+// Host returns the system's host.
+func (s *System) Host() *simnet.Host { return s.host }
+
+// Monitor returns the system's monitor component.
+func (s *System) Monitor() *Monitor { return s.monitor }
+
+// View returns the shared service view.
+func (s *System) View() *ServiceView { return s.view }
+
+// Bus returns the event bus (exposed for tracing: the paper's control
+// events let upper layers observe "a dynamic representation of the
+// run-time interoperability architecture").
+func (s *System) Bus() *events.Bus { return s.bus }
+
+// Role returns the deployment role.
+func (s *System) Role() Role { return s.cfg.Role }
+
+// Units returns the currently instantiated units' SDPs, sorted — the
+// run-time composition of Figure 5.
+func (s *System) Units() []SDP {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SDP, 0, len(s.units))
+	for sdp := range s.units {
+		out = append(out, sdp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Unit returns the instantiated unit for the SDP, if any.
+func (s *System) Unit(sdp SDP) (Unit, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.units[sdp]
+	return u, ok
+}
+
+// EnsureUnit instantiates the unit for the SDP if allowed and not yet
+// running — the dynamic composition entry point.
+func (s *System) EnsureUnit(sdp SDP) (Unit, error) {
+	return s.ensureUnit(sdp)
+}
+
+func (s *System) ensureUnit(sdp SDP) (Unit, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrSystemClosed
+	}
+	if u, ok := s.units[sdp]; ok {
+		s.mu.Unlock()
+		return u, nil
+	}
+	if _, ok := s.allowed[sdp]; !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("core: SDP %s not in this instance's configuration", sdp)
+	}
+	reAdv := s.reAdv
+	s.mu.Unlock()
+
+	u, err := s.registry.New(sdp)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &UnitContext{
+		Host:          s.host,
+		Bus:           s.bus,
+		Role:          s.cfg.Role,
+		View:          s.view,
+		Self:          s.self,
+		NoCache:       s.cfg.NoCache,
+		Profile:       s.cfg.Profile,
+		BeforePublish: s.beforePublish,
+	}
+	if err := u.Start(ctx); err != nil {
+		return nil, fmt.Errorf("core: start %s unit: %w", sdp, err)
+	}
+	u.SetReadvertise(reAdv)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		u.Stop()
+		return nil, ErrSystemClosed
+	}
+	if existing, raced := s.units[sdp]; raced {
+		s.mu.Unlock()
+		u.Stop()
+		return existing, nil
+	}
+	s.units[sdp] = u
+	s.mu.Unlock()
+	return u, nil
+}
+
+// onDetection routes one raw message from the monitor to the appropriate
+// unit, instantiating it first when running dynamically (Figure 2 steps
+// ①–②).
+func (s *System) onDetection(det Detection) {
+	if s.self.Has(det.Src) {
+		return // our own emission echoed back by multicast loopback
+	}
+	u, err := s.ensureUnit(det.SDP)
+	if err != nil {
+		return // protocol seen but not configured: ignore, per §3
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-s.stop:
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer func() { <-s.sem }()
+		u.HandleNative(det)
+	}()
+}
+
+// beforePublish makes request translation reliable under dynamic
+// composition: a request stream needs its translation targets subscribed
+// before it flows, so every configured unit is instantiated first. Other
+// stream kinds (advertisements) do not force instantiation — the paper's
+// dynamism is preserved for passive traffic.
+func (s *System) beforePublish(stream events.Stream) {
+	if !s.cfg.Dynamic || !stream.Has(events.ServiceRequest) {
+		return
+	}
+	s.mu.Lock()
+	missing := make([]SDP, 0, len(s.allowed))
+	for sdp := range s.allowed {
+		if _, ok := s.units[sdp]; !ok {
+			missing = append(missing, sdp)
+		}
+	}
+	s.mu.Unlock()
+	for _, sdp := range missing {
+		_, _ = s.ensureUnit(sdp)
+	}
+}
+
+// policyLoop implements the §4.2 adaptation: "define a network traffic
+// threshold below which INDISS, hosted on the service host, must become
+// active so as to intercept messages generated from the local services in
+// order to translate them to any known SDPs."
+func (s *System) policyLoop() {
+	ticker := time.NewTicker(s.cfg.PolicyInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			if s.cfg.Role != RoleServiceSide {
+				continue
+			}
+			active := s.monitor.TotalRate() < s.cfg.ThresholdBps
+			s.setReadvertise(active)
+		}
+	}
+}
+
+func (s *System) setReadvertise(enabled bool) {
+	s.mu.Lock()
+	if s.reAdv == enabled {
+		s.mu.Unlock()
+		return
+	}
+	s.reAdv = enabled
+	units := make([]Unit, 0, len(s.units))
+	for _, u := range s.units {
+		units = append(units, u)
+	}
+	s.mu.Unlock()
+	for _, u := range units {
+		u.SetReadvertise(enabled)
+	}
+}
+
+// Readvertising reports whether active re-advertisement is currently
+// enabled.
+func (s *System) Readvertising() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reAdv
+}

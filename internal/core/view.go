@@ -1,0 +1,121 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ServiceRecord is one service INDISS knows about, in SDP-neutral form.
+// Records are produced by units parsing native advertisements and
+// responses, and consumed by units composing answers for other SDPs.
+type ServiceRecord struct {
+	// Origin is the SDP the service natively speaks.
+	Origin SDP
+	// Kind is the canonical short service type ("clock", "printer").
+	Kind string
+	// URL is the service's native endpoint or service URL.
+	URL string
+	// Location is the description document URL for SDPs that have one
+	// (UPnP), empty otherwise.
+	Location string
+	// Attrs are the service's attributes in neutral name=value form.
+	Attrs map[string]string
+	// Expires is when the knowledge lapses (from lifetimes/max-age).
+	Expires time.Time
+}
+
+// Clone deep-copies the record.
+func (r ServiceRecord) Clone() ServiceRecord {
+	attrs := make(map[string]string, len(r.Attrs))
+	for k, v := range r.Attrs {
+		attrs[k] = v
+	}
+	out := r
+	out.Attrs = attrs
+	return out
+}
+
+// ServiceView is the shared, expiring cache of discovered services. It is
+// what makes the paper's Figure 9b the "best case": when a request
+// arrives for a service the view already knows, the unit composes the
+// native answer directly — "the necessary information to generate a
+// search response … is tiny".
+type ServiceView struct {
+	mu      sync.Mutex
+	records map[string]ServiceRecord // keyed by origin|url
+}
+
+// NewServiceView returns an empty view.
+func NewServiceView() *ServiceView {
+	return &ServiceView{records: make(map[string]ServiceRecord)}
+}
+
+func viewKey(origin SDP, url string) string {
+	return string(origin) + "|" + url
+}
+
+// Put inserts or refreshes a record.
+func (v *ServiceView) Put(rec ServiceRecord) {
+	if rec.URL == "" {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.records[viewKey(rec.Origin, rec.URL)] = rec.Clone()
+}
+
+// Remove withdraws a record (service byebye / deregistration).
+func (v *ServiceView) Remove(origin SDP, url string) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	key := viewKey(origin, url)
+	if _, ok := v.records[key]; !ok {
+		return false
+	}
+	delete(v.records, key)
+	return true
+}
+
+// Find returns live records of the given kind (case-insensitive); an
+// empty kind matches everything. Results are URL-ordered.
+func (v *ServiceView) Find(kind string, now time.Time) []ServiceRecord {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var out []ServiceRecord
+	for key, rec := range v.records {
+		if !rec.Expires.After(now) {
+			delete(v.records, key)
+			continue
+		}
+		if kind != "" && !strings.EqualFold(kind, rec.Kind) {
+			continue
+		}
+		out = append(out, rec.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// FindForeign returns live records of the given kind that did NOT
+// originate from the asking SDP — the set a bridge should re-advertise or
+// answer with (a unit never answers its own protocol's services; the
+// native stack already does that).
+func (v *ServiceView) FindForeign(asking SDP, kind string, now time.Time) []ServiceRecord {
+	all := v.Find(kind, now)
+	out := all[:0]
+	for _, rec := range all {
+		if rec.Origin != asking {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Len returns the number of records, live or not.
+func (v *ServiceView) Len() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.records)
+}

@@ -1,0 +1,170 @@
+package events
+
+import (
+	"sync"
+)
+
+// Envelope is a stream in transit on a Bus, tagged with its origin so
+// listeners can avoid echoing their own output back to themselves.
+type Envelope struct {
+	// Source names the publishing component (a unit name, "monitor", …).
+	Source string
+	// Stream is the framed event sequence of one native message.
+	Stream Stream
+}
+
+// Listener consumes envelopes published on a Bus.
+type Listener interface {
+	// OnEvents is called once per published stream, in publication
+	// order. Implementations own the envelope.
+	OnEvents(Envelope)
+}
+
+// ListenerFunc adapts a function to the Listener interface.
+type ListenerFunc func(Envelope)
+
+// OnEvents implements Listener.
+func (f ListenerFunc) OnEvents(env Envelope) { f(env) }
+
+// busQueueCap bounds each subscriber's backlog. A slow listener blocks
+// publishers rather than dropping events: event streams are messages, and
+// silently losing half a message would corrupt the translation process.
+const busQueueCap = 64
+
+// Bus routes event streams between INDISS components. Each subscriber is
+// served by its own goroutine in publication order, mirroring the
+// decoupled event-based architectural style of paper §3: "components
+// operate without being aware of the existence of other components".
+type Bus struct {
+	mu     sync.Mutex
+	subs   []*subscriber
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type subscriber struct {
+	name     string
+	listener Listener
+
+	// mu serializes senders against close: a sender holds mu while
+	// enqueueing, so stop never closes the queue under a blocked send.
+	mu     sync.Mutex
+	closed bool
+	queue  chan Envelope
+}
+
+// send enqueues env unless the subscriber has stopped. It may block for
+// backpressure; the worker goroutine keeps draining, so the block is
+// bounded by listener progress, not by other locks.
+func (sub *subscriber) send(env Envelope) {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.closed {
+		return
+	}
+	sub.queue <- env
+}
+
+// stop closes the queue exactly once, after which send is a no-op.
+func (sub *subscriber) stop() {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.closed {
+		return
+	}
+	sub.closed = true
+	close(sub.queue)
+}
+
+// NewBus creates an empty bus.
+func NewBus() *Bus {
+	return &Bus{}
+}
+
+// Subscribe registers a listener under a diagnostic name. Envelopes whose
+// Source equals name are not delivered to the subscriber (no self-echo).
+func (b *Bus) Subscribe(name string, l Listener) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	sub := &subscriber{
+		name:     name,
+		listener: l,
+		queue:    make(chan Envelope, busQueueCap),
+	}
+	b.subs = append(b.subs, sub)
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		for env := range sub.queue {
+			sub.listener.OnEvents(env)
+		}
+	}()
+}
+
+// Unsubscribe removes the named listener. Its queue is drained by the
+// worker before the worker exits.
+func (b *Bus) Unsubscribe(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, sub := range b.subs {
+		if sub.name == name {
+			sub.stop()
+			b.subs = append(b.subs[:i], b.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Publish delivers the stream to every subscriber except the source
+// itself. Publish blocks if a subscriber's queue is full, providing
+// backpressure instead of loss.
+func (b *Bus) Publish(source string, s Stream) {
+	b.mu.Lock()
+	subs := make([]*subscriber, 0, len(b.subs))
+	if !b.closed {
+		subs = append(subs, b.subs...)
+	}
+	b.mu.Unlock()
+
+	env := Envelope{Source: source, Stream: s}
+	for _, sub := range subs {
+		if sub.name == source {
+			continue
+		}
+		sub.send(env)
+	}
+}
+
+// Close stops the bus: all subscriber queues are closed and their workers
+// awaited. Publishing after Close is a no-op.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		b.wg.Wait()
+		return
+	}
+	b.closed = true
+	subs := b.subs
+	b.subs = nil
+	b.mu.Unlock()
+
+	for _, sub := range subs {
+		sub.stop()
+	}
+	b.wg.Wait()
+}
+
+// Names returns the current subscriber names, for diagnostics.
+func (b *Bus) Names() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, len(b.subs))
+	for i, sub := range b.subs {
+		out[i] = sub.name
+	}
+	return out
+}

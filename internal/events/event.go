@@ -1,0 +1,162 @@
+package events
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Event is the basic element of INDISS communication: "events are basic
+// elements and consist of two parts: event type and data" (paper §2.3).
+type Event struct {
+	Type Type
+	Data string
+}
+
+// E is shorthand for constructing an event.
+func E(t Type, data string) Event { return Event{Type: t, Data: data} }
+
+// String renders the event for traces.
+func (e Event) String() string {
+	if e.Data == "" {
+		return e.Type.String()
+	}
+	return e.Type.String() + "(" + e.Data + ")"
+}
+
+// Attr splits a "name=value" payload, as carried by SDP_SERVICE_ATTR,
+// SDP_RES_ATTR and SDP_REG_ATTR events.
+func (e Event) Attr() (name, value string, ok bool) {
+	return strings.Cut(e.Data, "=")
+}
+
+// Stream is the ordered sequence of events one native message translates
+// to. "The event stream always starts with a SDP_C_START event and ends
+// with a SDP_C_STOP event to specify the events belonging to a same
+// message" (paper §2.4).
+type Stream []Event
+
+// Stream validation errors.
+var (
+	ErrEmptyStream  = errors.New("events: empty stream")
+	ErrNoStart      = errors.New("events: stream does not start with SDP_C_START")
+	ErrNoStop       = errors.New("events: stream does not end with SDP_C_STOP")
+	ErrInnerFraming = errors.New("events: interior SDP_C_START/SDP_C_STOP")
+	ErrInvalidType  = errors.New("events: undefined event type")
+)
+
+// NewStream frames body events into a message stream, adding SDP_C_START
+// and SDP_C_STOP.
+func NewStream(body ...Event) Stream {
+	s := make(Stream, 0, len(body)+2)
+	s = append(s, E(CStart, ""))
+	s = append(s, body...)
+	s = append(s, E(CStop, ""))
+	return s
+}
+
+// Validate checks the framing invariant and that every event type is
+// defined.
+func (s Stream) Validate() error {
+	if len(s) == 0 {
+		return ErrEmptyStream
+	}
+	if s[0].Type != CStart {
+		return fmt.Errorf("%w (got %s)", ErrNoStart, s[0].Type)
+	}
+	if s[len(s)-1].Type != CStop {
+		return fmt.Errorf("%w (got %s)", ErrNoStop, s[len(s)-1].Type)
+	}
+	for i, e := range s {
+		if !e.Type.Valid() {
+			return fmt.Errorf("%w: %d at index %d", ErrInvalidType, uint16(e.Type), i)
+		}
+		if i > 0 && i < len(s)-1 && (e.Type == CStart || e.Type == CStop) {
+			return fmt.Errorf("%w at index %d", ErrInnerFraming, i)
+		}
+	}
+	return nil
+}
+
+// Body returns the events between the framing pair. It returns s unchanged
+// if the stream is not framed.
+func (s Stream) Body() Stream {
+	if len(s) >= 2 && s[0].Type == CStart && s[len(s)-1].Type == CStop {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// First returns the first event of the given type.
+func (s Stream) First(t Type) (Event, bool) {
+	for _, e := range s {
+		if e.Type == t {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// FirstData returns the data of the first event of the given type, or "".
+func (s Stream) FirstData(t Type) string {
+	e, _ := s.First(t)
+	return e.Data
+}
+
+// All returns every event of the given type, in order.
+func (s Stream) All(t Type) []Event {
+	var out []Event
+	for _, e := range s {
+		if e.Type == t {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Has reports whether the stream contains an event of the given type.
+func (s Stream) Has(t Type) bool {
+	_, ok := s.First(t)
+	return ok
+}
+
+// MandatoryOnly filters the stream down to Σm events, which is what a
+// composer that knows no SDP-specific events effectively sees: "the
+// behaviour of the latter is unchanged as they discard unknown events and
+// consider only the mandatory events" (paper §2.3).
+func (s Stream) MandatoryOnly() Stream {
+	out := make(Stream, 0, len(s))
+	for _, e := range s {
+		if e.Type.Mandatory() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Filter returns the events for which keep returns true.
+func (s Stream) Filter(keep func(Event) bool) Stream {
+	out := make(Stream, 0, len(s))
+	for _, e := range s {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the stream.
+func (s Stream) Clone() Stream {
+	out := make(Stream, len(s))
+	copy(out, s)
+	return out
+}
+
+// String renders the stream compactly for traces and tests.
+func (s Stream) String() string {
+	parts := make([]string, len(s))
+	for i, e := range s {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, " ")
+}

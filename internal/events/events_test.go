@@ -1,0 +1,377 @@
+package events
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeMetadata(t *testing.T) {
+	// Table 1 spot checks.
+	tests := []struct {
+		typ       Type
+		name      string
+		cat       Category
+		mandatory bool
+	}{
+		{CStart, "SDP_C_START", CatControl, true},
+		{CParserSwitch, "SDP_C_PARSER_SWITCH", CatControl, true},
+		{NetMulticast, "SDP_NET_MULTICAST", CatNetwork, true},
+		{ServiceRequest, "SDP_SERVICE_REQUEST", CatService, true},
+		{ReqLang, "SDP_REQ_LANG", CatRequest, true},
+		{ResServURL, "SDP_RES_SERV_URL", CatResponse, true},
+		{ReqScope, "SDP_REQ_SCOPE", CatRequest, false},
+		{DeviceURLDesc, "SDP_DEVICE_URL_DESC", CatResponse, false},
+		{JiniGroups, "SDP_JINI_GROUPS", CatRequest, false},
+		{RegURL, "SDP_REG_URL", CatRegistration, false},
+		{AdvLocation, "SDP_ADV_LOCATION", CatAdvertisement, false},
+	}
+	for _, tt := range tests {
+		if got := tt.typ.String(); got != tt.name {
+			t.Errorf("%d.String() = %q, want %q", tt.typ, got, tt.name)
+		}
+		if got := tt.typ.Category(); got != tt.cat {
+			t.Errorf("%s.Category() = %v, want %v", tt.name, got, tt.cat)
+		}
+		if got := tt.typ.Mandatory(); got != tt.mandatory {
+			t.Errorf("%s.Mandatory() = %v, want %v", tt.name, got, tt.mandatory)
+		}
+	}
+}
+
+func TestMandatorySetMatchesTable1(t *testing.T) {
+	// The mandatory set Σm is exactly the union of the five Table 1
+	// subsets; extension-set and SDP-specific events are excluded.
+	var mandatory int
+	for _, typ := range Types() {
+		if !typ.Mandatory() {
+			continue
+		}
+		mandatory++
+		switch typ.Category() {
+		case CatControl, CatNetwork, CatService, CatRequest, CatResponse:
+		default:
+			t.Errorf("%s is mandatory but in set %v", typ, typ.Category())
+		}
+	}
+	// 4 control + 5 network + 6 service + 1 request + 5 response.
+	if mandatory != 21 {
+		t.Errorf("mandatory set has %d events, want 21", mandatory)
+	}
+}
+
+func TestControlEventsNeverMandatoryOutsideControlSet(t *testing.T) {
+	for _, typ := range Types() {
+		if typ.Control() && typ.Category() != CatControl {
+			t.Errorf("%s: Control() true but category %v", typ, typ.Category())
+		}
+	}
+}
+
+func TestByNameRoundTrip(t *testing.T) {
+	for _, typ := range Types() {
+		got, ok := ByName(typ.String())
+		if !ok || got != typ {
+			t.Errorf("ByName(%q) = %v,%v", typ.String(), got, ok)
+		}
+	}
+	if _, ok := ByName("SDP_NOSUCH"); ok {
+		t.Error("ByName accepted an unknown name")
+	}
+}
+
+func TestTypeNamesUnique(t *testing.T) {
+	seen := make(map[string]Type)
+	for _, typ := range Types() {
+		name := typ.String()
+		if prev, dup := seen[name]; dup {
+			t.Errorf("name %q used by both %d and %d", name, prev, typ)
+		}
+		seen[name] = typ
+	}
+}
+
+func TestInvalidType(t *testing.T) {
+	bad := Type(9999)
+	if bad.Valid() {
+		t.Error("Type(9999) should be invalid")
+	}
+	if bad.String() != "SDP_UNKNOWN" {
+		t.Errorf("String = %q", bad.String())
+	}
+	if bad.Mandatory() {
+		t.Error("invalid type must not be mandatory")
+	}
+}
+
+func TestStreamFraming(t *testing.T) {
+	s := NewStream(E(ServiceRequest, ""), E(ServiceType, "service:clock"))
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(s) != 4 {
+		t.Fatalf("len = %d, want 4", len(s))
+	}
+	if s[0].Type != CStart || s[len(s)-1].Type != CStop {
+		t.Error("framing events missing")
+	}
+	body := s.Body()
+	if len(body) != 2 || body[0].Type != ServiceRequest {
+		t.Errorf("Body = %v", body)
+	}
+}
+
+func TestStreamValidateErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		s    Stream
+		want error
+	}{
+		{"empty", Stream{}, ErrEmptyStream},
+		{"no start", Stream{E(ServiceRequest, ""), E(CStop, "")}, ErrNoStart},
+		{"no stop", Stream{E(CStart, ""), E(ServiceRequest, "")}, ErrNoStop},
+		{"interior start", Stream{E(CStart, ""), E(CStart, ""), E(CStop, "")}, ErrInnerFraming},
+		{"interior stop", Stream{E(CStart, ""), E(CStop, ""), E(CStop, "")}, ErrInnerFraming},
+		{"invalid type", Stream{E(CStart, ""), E(Type(999), ""), E(CStop, "")}, ErrInvalidType},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.s.Validate(); !errors.Is(err, tt.want) {
+				t.Errorf("Validate = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestStreamQueries(t *testing.T) {
+	s := NewStream(
+		E(ServiceType, "service:clock"),
+		E(ResAttr, "a=1"),
+		E(ResAttr, "b=2"),
+	)
+	if got := s.FirstData(ServiceType); got != "service:clock" {
+		t.Errorf("FirstData = %q", got)
+	}
+	if got := len(s.All(ResAttr)); got != 2 {
+		t.Errorf("All(ResAttr) = %d", got)
+	}
+	if !s.Has(ServiceType) || s.Has(JiniGroups) {
+		t.Error("Has misreported")
+	}
+	if _, ok := s.First(ResServURL); ok {
+		t.Error("First on missing type should report false")
+	}
+	name, value, ok := E(ResAttr, "key=val=x").Attr()
+	if !ok || name != "key" || value != "val=x" {
+		t.Errorf("Attr = %q %q %v", name, value, ok)
+	}
+}
+
+func TestMandatoryOnlyDropsSpecificEvents(t *testing.T) {
+	// Paper §2.4: SDP_REQ_VERSION, SDP_REQ_SCOPE, SDP_REQ_PREDICATE and
+	// SDP_REQ_ID are specific to SLP and discarded by the UPnP composer.
+	s := NewStream(
+		E(NetMulticast, ""),
+		E(ServiceRequest, ""),
+		E(ReqVersion, "2"),
+		E(ReqScope, "DEFAULT"),
+		E(ReqPredicate, "(port=80)"),
+		E(ReqID, "42"),
+		E(ServiceType, "service:clock"),
+	)
+	got := s.MandatoryOnly()
+	want := NewStream(
+		E(NetMulticast, ""),
+		E(ServiceRequest, ""),
+		E(ServiceType, "service:clock"),
+	)
+	if got.String() != want.String() {
+		t.Errorf("MandatoryOnly:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestStreamCloneIndependent(t *testing.T) {
+	s := NewStream(E(ServiceType, "x"))
+	c := s.Clone()
+	c[1] = E(ServiceType, "y")
+	if s[1].Data != "x" {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func TestStreamStringFormat(t *testing.T) {
+	s := Stream{E(CStart, ""), E(ServiceType, "service:clock"), E(CStop, "")}
+	want := "SDP_C_START SDP_SERVICE_TYPE(service:clock) SDP_C_STOP"
+	if got := s.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestFramingPropertyAnyBody(t *testing.T) {
+	// NewStream must produce a valid stream for any body that itself
+	// contains no framing/control-boundary events.
+	f := func(picks []uint8, datas []string) bool {
+		valid := Types()
+		var body []Event
+		for i, p := range picks {
+			typ := valid[int(p)%len(valid)]
+			if typ == CStart || typ == CStop {
+				continue
+			}
+			data := ""
+			if i < len(datas) {
+				data = datas[i]
+			}
+			body = append(body, E(typ, data))
+		}
+		return NewStream(body...).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBusRoutesToAllButSource(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+
+	var mu sync.Mutex
+	got := make(map[string][]string)
+	record := func(name string) Listener {
+		return ListenerFunc(func(env Envelope) {
+			mu.Lock()
+			defer mu.Unlock()
+			got[name] = append(got[name], env.Source)
+		})
+	}
+	b.Subscribe("slp", record("slp"))
+	b.Subscribe("upnp", record("upnp"))
+	b.Subscribe("jini", record("jini"))
+
+	b.Publish("slp", NewStream(E(ServiceRequest, "")))
+	b.Close() // drains queues
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got["slp"]) != 0 {
+		t.Errorf("source received its own stream: %v", got["slp"])
+	}
+	if len(got["upnp"]) != 1 || len(got["jini"]) != 1 {
+		t.Errorf("peers = %v", got)
+	}
+}
+
+func TestBusOrderingPerSubscriber(t *testing.T) {
+	b := NewBus()
+	var mu sync.Mutex
+	var seen []string
+	b.Subscribe("sink", ListenerFunc(func(env Envelope) {
+		mu.Lock()
+		defer mu.Unlock()
+		seen = append(seen, env.Stream.FirstData(ServiceType))
+	}))
+	const count = 100
+	for i := 0; i < count; i++ {
+		b.Publish("src", NewStream(E(ServiceType, strings.Repeat("x", i%7)+"#"+string(rune('a'+i%26)))))
+	}
+	b.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != count {
+		t.Fatalf("delivered %d, want %d", len(seen), count)
+	}
+	for i := 1; i < count; i++ {
+		// Re-derive the expected payload to confirm order.
+		want := strings.Repeat("x", i%7) + "#" + string(rune('a'+i%26))
+		if seen[i] != want {
+			t.Fatalf("position %d = %q, want %q", i, seen[i], want)
+		}
+	}
+}
+
+func TestBusUnsubscribe(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	var mu sync.Mutex
+	count := 0
+	b.Subscribe("a", ListenerFunc(func(Envelope) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	}))
+	b.Publish("x", NewStream())
+	b.Unsubscribe("a")
+	b.Publish("x", NewStream())
+
+	mu.Lock()
+	defer mu.Unlock()
+	if count > 1 {
+		t.Errorf("received %d after unsubscribe", count)
+	}
+	if names := b.Names(); len(names) != 0 {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestBusCloseIdempotentAndPublishAfterClose(t *testing.T) {
+	b := NewBus()
+	b.Subscribe("a", ListenerFunc(func(Envelope) {}))
+	b.Close()
+	b.Close()
+	b.Publish("x", NewStream()) // must not panic
+	b.Subscribe("late", ListenerFunc(func(Envelope) {}))
+	if names := b.Names(); len(names) != 0 {
+		t.Errorf("subscribe after close should be ignored, got %v", names)
+	}
+}
+
+func TestBusConcurrentPublishers(t *testing.T) {
+	b := NewBus()
+	var mu sync.Mutex
+	total := 0
+	b.Subscribe("sink", ListenerFunc(func(Envelope) {
+		mu.Lock()
+		total++
+		mu.Unlock()
+	}))
+	var wg sync.WaitGroup
+	const publishers, each = 8, 50
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				b.Publish("src", NewStream(E(ServiceAlive, "s")))
+			}
+		}()
+	}
+	wg.Wait()
+	b.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if total != publishers*each {
+		t.Errorf("delivered %d, want %d", total, publishers*each)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	cats := map[Category]string{
+		CatControl:       "SDP Control Events",
+		CatNetwork:       "SDP Network Events",
+		CatService:       "SDP Service Events",
+		CatRequest:       "SDP Request Events",
+		CatResponse:      "SDP Response Events",
+		CatRegistration:  "Registration Events",
+		CatDiscovery:     "Discovery Events",
+		CatAdvertisement: "Advertisement Events",
+		Category(99):     "Unknown Category",
+	}
+	for c, want := range cats {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", c, got, want)
+		}
+	}
+}

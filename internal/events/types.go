@@ -1,0 +1,256 @@
+// Package events defines the semantic event vocabulary at the heart of
+// INDISS.
+//
+// Parsers translate native SDP messages into streams of these events;
+// composers translate event streams back into native messages of another
+// SDP (paper §2.2). The two sides never exchange protocol syntax — only
+// events — which is what makes the translation N-to-N instead of pairwise.
+//
+// The vocabulary has three tiers, following paper §2.3 and Table 1:
+//
+//   - The mandatory set Σm — the greatest common denominator of all SDPs.
+//     Every parser must emit them, every composer must understand them.
+//   - SDP-specific events (SLP, UPnP, Jini) — "events added to the
+//     mandatory ones enable the richest SDPs to interact using their
+//     advanced features without being misunderstood by the poorest",
+//     because unknown events are simply discarded.
+//   - Open extension sets (Registration, Discovery, Advertisement) that
+//     future SDPs enrich without cascading changes.
+package events
+
+// Type identifies an event. The wire-facing names (String) match the
+// paper's SDP_* vocabulary.
+type Type uint16
+
+// Category groups event types into the sets of paper §2.3.
+type Category uint8
+
+// Event categories. Mandatory events live in the first five; the last
+// three are the paper's open extension sets.
+const (
+	CatControl Category = iota + 1
+	CatNetwork
+	CatService
+	CatRequest
+	CatResponse
+	CatRegistration
+	CatDiscovery
+	CatAdvertisement
+)
+
+// String names the category.
+func (c Category) String() string {
+	switch c {
+	case CatControl:
+		return "SDP Control Events"
+	case CatNetwork:
+		return "SDP Network Events"
+	case CatService:
+		return "SDP Service Events"
+	case CatRequest:
+		return "SDP Request Events"
+	case CatResponse:
+		return "SDP Response Events"
+	case CatRegistration:
+		return "Registration Events"
+	case CatDiscovery:
+		return "Discovery Events"
+	case CatAdvertisement:
+		return "Advertisement Events"
+	default:
+		return "Unknown Category"
+	}
+}
+
+// Mandatory event set Σm (paper Table 1).
+const (
+	// Control events notify listeners of component-internal state; they
+	// coordinate parsers and composers inside a unit and never appear in
+	// composed native messages.
+	CStart        Type = iota + 1 // SDP_C_START: first event of a message's stream
+	CStop                         // SDP_C_STOP: last event of a message's stream
+	CParserSwitch                 // SDP_C_PARSER_SWITCH: unit must swap the active parser
+	CSocketSwitch                 // SDP_C_SOCKET_SWITCH: unit must swap the active transport
+
+	// Network events carry transport properties of the parsed message.
+	NetUnicast    // SDP_NET_UNICAST: the message arrived unicast
+	NetMulticast  // SDP_NET_MULTICAST: the message arrived multicast
+	NetSourceAddr // SDP_NET_SOURCE_ADDR: "ip:port" of the sender
+	NetDestAddr   // SDP_NET_DEST_ADDR: "ip:port" the message was sent to
+	NetType       // SDP_NET_TYPE: name of the SDP the message belongs to
+
+	// Service events describe the discovery functions common to all SDPs.
+	ServiceRequest  // SDP_SERVICE_REQUEST: a service search was issued
+	ServiceResponse // SDP_SERVICE_RESPONSE: a search answer
+	ServiceAlive    // SDP_SERVICE_ALIVE: advertisement of an available service
+	ServiceByeBye   // SDP_SERVICE_BYEBYE: advertisement of a departing service
+	ServiceType     // SDP_SERVICE_TYPE: canonical type of the service
+	ServiceAttr     // SDP_SERVICE_ATTR: one "name=value" service attribute
+
+	// Request events refine searches.
+	ReqLang // SDP_REQ_LANG: requested language tag
+
+	// Response events express common SDP answers.
+	ResOK      // SDP_RES_OK: positive acknowledgement
+	ResErr     // SDP_RES_ERR: negative acknowledgement / error code
+	ResTTL     // SDP_RES_TTL: lifetime of the answer in seconds
+	ResServURL // SDP_RES_SERV_URL: URL of the discovered service
+	ResAttr    // SDP_RES_ATTR: one "name=value" attribute of the answer
+
+	// --- SDP-specific events (not mandatory) ---
+
+	// SLP-specific (paper §2.4 discards these in the UPnP composer).
+	ReqVersion   // SDP_REQ_VERSION: SLP protocol version
+	ReqScope     // SDP_REQ_SCOPE: SLP scope list
+	ReqPredicate // SDP_REQ_PREDICATE: SLP LDAP search filter
+	ReqID        // SDP_REQ_ID: SLP transaction id (XID)
+	SLPSPI       // SDP_SLP_SPI: SLP security parameter index
+
+	// UPnP-specific.
+	DeviceURLDesc // SDP_DEVICE_URL_DESC: URL of the device description document
+	DeviceUSN     // SDP_UPNP_USN: unique service name
+	DeviceServer  // SDP_UPNP_SERVER: server product tokens
+	SearchMX      // SDP_UPNP_MX: maximum response delay of an M-SEARCH
+	MaxAge        // SDP_UPNP_MAX_AGE: advertisement cache lifetime
+
+	// Jini-specific.
+	JiniGroups    // SDP_JINI_GROUPS: lookup groups of interest
+	JiniServiceID // SDP_JINI_SERVICE_ID: 128-bit Jini service id
+	JiniLocator   // SDP_JINI_LOCATOR: unicast lookup locator "host:port"
+
+	// --- Open extension sets (paper §2.3) ---
+
+	// Registration events enrich both requests and responses.
+	RegURL      // SDP_REG_URL: URL being registered
+	RegLifetime // SDP_REG_LIFETIME: registration lifetime in seconds
+	RegScope    // SDP_REG_SCOPE: registration scope
+	RegAttr     // SDP_REG_ATTR: one registered "name=value" attribute
+
+	// Discovery events enrich both requests and responses.
+	DiscRepository // SDP_DISC_REPOSITORY: a repository/DA/lookup-service location
+	DiscScope      // SDP_DISC_SCOPE: scope/group being discovered
+
+	// Advertisement events enrich only responses (one-way messages).
+	AdvLocation // SDP_ADV_LOCATION: advertised service location
+	AdvMaxAge   // SDP_ADV_MAX_AGE: advertisement validity in seconds
+
+	// typeSentinel bounds the valid Type range; keep it last.
+	typeSentinel
+)
+
+// typeInfo carries per-type metadata, indexed by Type.
+type typeInfo struct {
+	name      string
+	category  Category
+	mandatory bool
+}
+
+// typeTable is the registry of every defined event type.
+var typeTable = map[Type]typeInfo{
+	CStart:        {"SDP_C_START", CatControl, true},
+	CStop:         {"SDP_C_STOP", CatControl, true},
+	CParserSwitch: {"SDP_C_PARSER_SWITCH", CatControl, true},
+	CSocketSwitch: {"SDP_C_SOCKET_SWITCH", CatControl, true},
+
+	NetUnicast:    {"SDP_NET_UNICAST", CatNetwork, true},
+	NetMulticast:  {"SDP_NET_MULTICAST", CatNetwork, true},
+	NetSourceAddr: {"SDP_NET_SOURCE_ADDR", CatNetwork, true},
+	NetDestAddr:   {"SDP_NET_DEST_ADDR", CatNetwork, true},
+	NetType:       {"SDP_NET_TYPE", CatNetwork, true},
+
+	ServiceRequest:  {"SDP_SERVICE_REQUEST", CatService, true},
+	ServiceResponse: {"SDP_SERVICE_RESPONSE", CatService, true},
+	ServiceAlive:    {"SDP_SERVICE_ALIVE", CatService, true},
+	ServiceByeBye:   {"SDP_SERVICE_BYEBYE", CatService, true},
+	ServiceType:     {"SDP_SERVICE_TYPE", CatService, true},
+	ServiceAttr:     {"SDP_SERVICE_ATTR", CatService, true},
+
+	ReqLang: {"SDP_REQ_LANG", CatRequest, true},
+
+	ResOK:      {"SDP_RES_OK", CatResponse, true},
+	ResErr:     {"SDP_RES_ERR", CatResponse, true},
+	ResTTL:     {"SDP_RES_TTL", CatResponse, true},
+	ResServURL: {"SDP_RES_SERV_URL", CatResponse, true},
+	ResAttr:    {"SDP_RES_ATTR", CatResponse, true},
+
+	ReqVersion:   {"SDP_REQ_VERSION", CatRequest, false},
+	ReqScope:     {"SDP_REQ_SCOPE", CatRequest, false},
+	ReqPredicate: {"SDP_REQ_PREDICATE", CatRequest, false},
+	ReqID:        {"SDP_REQ_ID", CatRequest, false},
+	SLPSPI:       {"SDP_SLP_SPI", CatRequest, false},
+
+	DeviceURLDesc: {"SDP_DEVICE_URL_DESC", CatResponse, false},
+	DeviceUSN:     {"SDP_UPNP_USN", CatResponse, false},
+	DeviceServer:  {"SDP_UPNP_SERVER", CatResponse, false},
+	SearchMX:      {"SDP_UPNP_MX", CatRequest, false},
+	MaxAge:        {"SDP_UPNP_MAX_AGE", CatResponse, false},
+
+	JiniGroups:    {"SDP_JINI_GROUPS", CatRequest, false},
+	JiniServiceID: {"SDP_JINI_SERVICE_ID", CatResponse, false},
+	JiniLocator:   {"SDP_JINI_LOCATOR", CatResponse, false},
+
+	RegURL:      {"SDP_REG_URL", CatRegistration, false},
+	RegLifetime: {"SDP_REG_LIFETIME", CatRegistration, false},
+	RegScope:    {"SDP_REG_SCOPE", CatRegistration, false},
+	RegAttr:     {"SDP_REG_ATTR", CatRegistration, false},
+
+	DiscRepository: {"SDP_DISC_REPOSITORY", CatDiscovery, false},
+	DiscScope:      {"SDP_DISC_SCOPE", CatDiscovery, false},
+
+	AdvLocation: {"SDP_ADV_LOCATION", CatAdvertisement, false},
+	AdvMaxAge:   {"SDP_ADV_MAX_AGE", CatAdvertisement, false},
+}
+
+// String returns the paper's SDP_* name for the type.
+func (t Type) String() string {
+	if info, ok := typeTable[t]; ok {
+		return info.name
+	}
+	return "SDP_UNKNOWN"
+}
+
+// Category returns the event set the type belongs to.
+func (t Type) Category() Category {
+	return typeTable[t].category
+}
+
+// Mandatory reports whether the type belongs to Σm, the set every parser
+// must emit and every composer must understand (paper Table 1).
+func (t Type) Mandatory() bool {
+	return typeTable[t].mandatory
+}
+
+// Control reports whether the type is a control event. Control events
+// coordinate INDISS-internal components and must never leak into composed
+// native messages.
+func (t Type) Control() bool {
+	return typeTable[t].category == CatControl
+}
+
+// Valid reports whether the type is a defined event type.
+func (t Type) Valid() bool {
+	_, ok := typeTable[t]
+	return ok
+}
+
+// Types returns every defined event type in declaration order.
+func Types() []Type {
+	out := make([]Type, 0, len(typeTable))
+	for t := Type(1); t < typeSentinel; t++ {
+		if t.Valid() {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ByName resolves a paper-style SDP_* name to its Type. It reports false
+// for unknown names.
+func ByName(name string) (Type, bool) {
+	for t, info := range typeTable {
+		if info.name == name {
+			return t, true
+		}
+	}
+	return 0, false
+}

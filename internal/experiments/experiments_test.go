@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The experiment scenarios run with full calibrated profiles; a smoke run
+// with few repetitions keeps the suite fast while checking that every
+// scenario completes and the headline orderings hold with wide margins.
+
+func TestMedian(t *testing.T) {
+	seq := []time.Duration{5, 1, 3, 2, 4}
+	i := 0
+	med, n := Median(5, func() (time.Duration, bool) {
+		d := seq[i%len(seq)]
+		i++
+		return d, true
+	})
+	if n != 5 || med != 3 {
+		t.Errorf("median = %v over %d", med, n)
+	}
+
+	// Failures are retried, then given up on.
+	med, n = Median(3, func() (time.Duration, bool) { return 0, false })
+	if n != 0 || med != 0 {
+		t.Errorf("all-fail median = %v over %d", med, n)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{ID: "Fig 7", Name: "SLP -> SLP", Paper: 700 * time.Microsecond, Measured: 790 * time.Microsecond, Runs: 30}
+	s := r.String()
+	for _, want := range []string{"Fig 7", "SLP -> SLP", "0.70ms", "0.79ms", "30 runs"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestScenariosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrated-profile scenarios are slow")
+	}
+	const runs = 3
+	results := All(runs)
+	byName := make(map[string]Result, len(results))
+	for _, r := range results {
+		if r.Runs == 0 {
+			t.Fatalf("%s %s failed: %s", r.ID, r.Name, r.Note)
+		}
+		byName[r.Name] = r
+	}
+
+	// The orderings the paper's evaluation establishes, with generous
+	// margins (×2) so scheduler noise cannot flake the suite.
+	slpNative := byName["SLP -> SLP"].Measured
+	upnpNative := byName["UPnP -> UPnP"].Measured
+	fig8l := byName["Slp->[Slp-UPnP]"].Measured
+	fig9a := byName["[Slp-UPnP]->UPnP"].Measured
+	fig9b := byName["[UPnP-Slp]->Slp"].Measured
+
+	if slpNative*10 > upnpNative {
+		t.Errorf("SLP (%v) not ≪ UPnP (%v)", slpNative, upnpNative)
+	}
+	if fig8l < upnpNative {
+		t.Errorf("bridged SLP→UPnP (%v) should exceed native UPnP (%v)", fig8l, upnpNative)
+	}
+	if fig9a < fig8l {
+		t.Errorf("client side (%v) should exceed service side (%v)", fig9a, fig8l)
+	}
+	if fig9b > slpNative*2 {
+		t.Errorf("best case (%v) should be near/below native SLP (%v)", fig9b, slpNative)
+	}
+}

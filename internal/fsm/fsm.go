@@ -1,0 +1,387 @@
+// Package fsm implements the deterministic finite automata that coordinate
+// INDISS units.
+//
+// Paper §2.3: "A SDP state machine is a Deterministic Finite Automaton
+// (DFA) and is defined as a 5-tuple (Q, Σ, C, T, q0, F), where Q is a
+// finite set of states, Σ is the alphabet defining the set of input events
+// the automaton operates on, C is a finite set of conditions, T: Q×Σ×C → Q
+// is the transition function, q0 ∈ Q is the starting state and F ⊂ Q is a
+// set of accepting states."
+//
+// Transitions are labelled with a trigger event type, an optional named
+// guard (a boolean expression over the incoming event and recorded state
+// variables) and a sequence of named actions. Event data from previous
+// states is recorded in state variables (paper: "events data from previous
+// states are recorded using state variables").
+//
+// Determinism is enforced, not assumed: construction rejects duplicate
+// unguarded transitions for one (state, trigger), and Feed rejects inputs
+// for which two guards are simultaneously true.
+package fsm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"indiss/internal/events"
+)
+
+// State names an automaton state.
+type State string
+
+// Guard is a condition over the incoming event and the recorded state
+// variables (paper: "conditions are written as Boolean expressions over
+// incoming and/or recorded data").
+type Guard func(ev events.Event, vars Vars) bool
+
+// Action executes when a transition fires. Actions "dispatch events to
+// components, record events, or reconfigure the composition" (paper §2.3);
+// concretely they receive the triggering event and the mutable variables.
+type Action func(ev events.Event, vars Vars) error
+
+// Vars holds the state variables of a running automaton instance.
+type Vars map[string]string
+
+// Get returns the variable's value, or "".
+func (v Vars) Get(name string) string { return v[name] }
+
+// Set records a value.
+func (v Vars) Set(name, value string) { v[name] = value }
+
+// Transition is one labelled edge of the DFA.
+type Transition struct {
+	From    State
+	Trigger events.Type
+	// GuardName is "" for an unconditional edge; otherwise it names a
+	// guard registered on the Machine. Named (rather than inline) guards
+	// keep the transition table printable and let construction detect
+	// duplicates.
+	GuardName string
+	To        State
+	// Actions names actions registered on the Machine, executed in
+	// order when the edge fires.
+	Actions []string
+}
+
+// Machine is an immutable, validated DFA definition shared by any number
+// of instances.
+type Machine struct {
+	name    string
+	start   State
+	accept  map[State]struct{}
+	states  map[State]struct{}
+	guards  map[string]Guard
+	actions map[string]Action
+	// edges groups transitions by (state, trigger).
+	edges map[State]map[events.Type][]Transition
+}
+
+// Builder assembles a Machine. Zero value is not usable; call New.
+type Builder struct {
+	name    string
+	start   State
+	accept  []State
+	guards  map[string]Guard
+	actions map[string]Action
+	ts      []Transition
+	err     error
+}
+
+// New starts building a machine with the given diagnostic name and start
+// state.
+func New(name string, start State) *Builder {
+	return &Builder{
+		name:    name,
+		start:   start,
+		guards:  make(map[string]Guard),
+		actions: make(map[string]Action),
+	}
+}
+
+// Construction and execution errors.
+var (
+	ErrNondeterministic = errors.New("fsm: nondeterministic transition")
+	ErrUnknownGuard     = errors.New("fsm: unknown guard")
+	ErrUnknownAction    = errors.New("fsm: unknown action")
+	ErrUnknownState     = errors.New("fsm: unknown state")
+	ErrAmbiguous        = errors.New("fsm: ambiguous guards at runtime")
+)
+
+// Guard registers a named guard.
+func (b *Builder) Guard(name string, g Guard) *Builder {
+	if g == nil {
+		b.fail(fmt.Errorf("fsm: nil guard %q", name))
+		return b
+	}
+	b.guards[name] = g
+	return b
+}
+
+// Action registers a named action.
+func (b *Builder) Action(name string, a Action) *Builder {
+	if a == nil {
+		b.fail(fmt.Errorf("fsm: nil action %q", name))
+		return b
+	}
+	b.actions[name] = a
+	return b
+}
+
+// Accept marks accepting states (F).
+func (b *Builder) Accept(states ...State) *Builder {
+	b.accept = append(b.accept, states...)
+	return b
+}
+
+// AddTuple appends a transition, mirroring the paper's specification
+// operator: AddTuple(CurrentState, triggers, condition-guards, NewState,
+// actions).
+func (b *Builder) AddTuple(from State, trigger events.Type, guardName string, to State, actions ...string) *Builder {
+	b.ts = append(b.ts, Transition{
+		From: from, Trigger: trigger, GuardName: guardName, To: to, Actions: actions,
+	})
+	return b
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Build validates the definition and returns the immutable machine.
+func (b *Builder) Build() (*Machine, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	m := &Machine{
+		name:    b.name,
+		start:   b.start,
+		accept:  make(map[State]struct{}, len(b.accept)),
+		states:  map[State]struct{}{b.start: {}},
+		guards:  b.guards,
+		actions: b.actions,
+		edges:   make(map[State]map[events.Type][]Transition),
+	}
+	for _, t := range b.ts {
+		if !t.Trigger.Valid() {
+			return nil, fmt.Errorf("fsm %s: transition %s--%d: invalid trigger", b.name, t.From, uint16(t.Trigger))
+		}
+		if t.GuardName != "" {
+			if _, ok := b.guards[t.GuardName]; !ok {
+				return nil, fmt.Errorf("%w: %q on %s--%s", ErrUnknownGuard, t.GuardName, t.From, t.Trigger)
+			}
+		}
+		for _, a := range t.Actions {
+			if _, ok := b.actions[a]; !ok {
+				return nil, fmt.Errorf("%w: %q on %s--%s", ErrUnknownAction, a, t.From, t.Trigger)
+			}
+		}
+		m.states[t.From] = struct{}{}
+		m.states[t.To] = struct{}{}
+		byTrigger, ok := m.edges[t.From]
+		if !ok {
+			byTrigger = make(map[events.Type][]Transition)
+			m.edges[t.From] = byTrigger
+		}
+		// Determinism: at most one unguarded edge per (state, trigger),
+		// and no duplicate guard names.
+		for _, existing := range byTrigger[t.Trigger] {
+			if existing.GuardName == t.GuardName {
+				return nil, fmt.Errorf("%w: duplicate edge %s --%s[%s]-->",
+					ErrNondeterministic, t.From, t.Trigger, guardLabel(t.GuardName))
+			}
+		}
+		byTrigger[t.Trigger] = append(byTrigger[t.Trigger], t)
+	}
+	// Accepting states must name states that actually occur in the
+	// transition relation (or the start state).
+	for _, s := range b.accept {
+		if _, ok := m.states[s]; !ok {
+			return nil, fmt.Errorf("%w: accepting state %q", ErrUnknownState, s)
+		}
+		m.accept[s] = struct{}{}
+	}
+	return m, nil
+}
+
+// MustBuild is Build for statically-known machines whose validity is a
+// programming invariant.
+func (b *Builder) MustBuild() *Machine {
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func guardLabel(name string) string {
+	if name == "" {
+		return "true"
+	}
+	return name
+}
+
+// Name returns the machine's diagnostic name.
+func (m *Machine) Name() string { return m.name }
+
+// Start returns q0.
+func (m *Machine) Start() State { return m.start }
+
+// States returns Q, sorted.
+func (m *Machine) States() []State {
+	out := make([]State, 0, len(m.states))
+	for s := range m.states {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Transitions returns T as a flat, deterministic-ordered list.
+func (m *Machine) Transitions() []Transition {
+	var out []Transition
+	for _, s := range m.States() {
+		byTrigger := m.edges[s]
+		triggers := make([]events.Type, 0, len(byTrigger))
+		for tr := range byTrigger {
+			triggers = append(triggers, tr)
+		}
+		sort.Slice(triggers, func(i, j int) bool { return triggers[i] < triggers[j] })
+		for _, tr := range triggers {
+			out = append(out, byTrigger[tr]...)
+		}
+	}
+	return out
+}
+
+// TraceFunc observes fired transitions: the paper's control events let
+// listeners "trace, in real time, SDP internal mechanisms".
+type TraceFunc func(from State, ev events.Event, to State)
+
+// Instance is one running automaton. Instances are safe for concurrent
+// use; each Feed is atomic.
+type Instance struct {
+	m *Machine
+
+	mu      sync.Mutex
+	current State
+	vars    Vars
+	trace   TraceFunc
+}
+
+// NewInstance starts an instance in q0 with empty state variables.
+func (m *Machine) NewInstance() *Instance {
+	return &Instance{m: m, current: m.start, vars: make(Vars)}
+}
+
+// SetTrace installs a transition observer.
+func (i *Instance) SetTrace(t TraceFunc) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.trace = t
+}
+
+// Current returns the instance's current state.
+func (i *Instance) Current() State {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.current
+}
+
+// Accepting reports whether the instance sits in a state of F.
+func (i *Instance) Accepting() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	_, ok := i.m.accept[i.current]
+	return ok
+}
+
+// Var returns a recorded state variable.
+func (i *Instance) Var(name string) string {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.vars.Get(name)
+}
+
+// SetVar records a state variable from outside the automaton (e.g. a unit
+// priming the instance with deployment context).
+func (i *Instance) SetVar(name, value string) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.vars.Set(name, value)
+}
+
+// Reset returns the instance to q0 and clears its variables.
+func (i *Instance) Reset() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.current = i.m.start
+	i.vars = make(Vars)
+}
+
+// Feed offers one event to the automaton. If an edge fires, its actions
+// run in order and Feed reports fired=true. Events that match no edge are
+// filtered (ignored): "according to the unit's current state, incoming
+// events are filtered" (paper §2.3). An event matching two guarded edges
+// whose guards both evaluate true is an ErrAmbiguous violation of the
+// determinism contract.
+func (i *Instance) Feed(ev events.Event) (fired bool, err error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+
+	byTrigger := i.m.edges[i.current]
+	candidates := byTrigger[ev.Type]
+	var chosen *Transition
+	for idx := range candidates {
+		t := &candidates[idx]
+		if t.GuardName == "" {
+			if chosen == nil {
+				chosen = t
+			}
+			continue
+		}
+		if i.m.guards[t.GuardName](ev, i.vars) {
+			if chosen != nil && chosen.GuardName != "" {
+				return false, fmt.Errorf("%w: %s and %s on %s--%s",
+					ErrAmbiguous, guardLabel(chosen.GuardName), t.GuardName, i.current, ev.Type)
+			}
+			// A true guard takes precedence over the unguarded
+			// default edge.
+			chosen = t
+		}
+	}
+	if chosen == nil {
+		return false, nil
+	}
+
+	from := i.current
+	for _, name := range chosen.Actions {
+		if actErr := i.m.actions[name](ev, i.vars); actErr != nil {
+			return false, fmt.Errorf("fsm %s: action %q on %s--%s: %w",
+				i.m.name, name, from, ev.Type, actErr)
+		}
+	}
+	i.current = chosen.To
+	if i.trace != nil {
+		i.trace(from, ev, chosen.To)
+	}
+	return true, nil
+}
+
+// FeedStream feeds every event of a stream in order, stopping at the first
+// error. It returns how many events fired transitions.
+func (i *Instance) FeedStream(s events.Stream) (firedCount int, err error) {
+	for _, ev := range s {
+		fired, err := i.Feed(ev)
+		if err != nil {
+			return firedCount, err
+		}
+		if fired {
+			firedCount++
+		}
+	}
+	return firedCount, nil
+}

@@ -1,0 +1,306 @@
+package fsm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"indiss/internal/events"
+)
+
+// searchMachine builds a small SDP-like coordination process: waiting for
+// a request, accumulating attributes, then replying.
+func searchMachine(t *testing.T) *Machine {
+	t.Helper()
+	m, err := New("search", "idle").
+		Guard("isClock", func(ev events.Event, _ Vars) bool {
+			return ev.Data == "service:clock"
+		}).
+		Action("recordType", func(ev events.Event, vars Vars) error {
+			vars.Set("type", ev.Data)
+			return nil
+		}).
+		Action("recordSource", func(ev events.Event, vars Vars) error {
+			vars.Set("source", ev.Data)
+			return nil
+		}).
+		AddTuple("idle", events.CStart, "", "open").
+		AddTuple("open", events.NetSourceAddr, "", "open", "recordSource").
+		AddTuple("open", events.ServiceType, "isClock", "matched", "recordType").
+		AddTuple("matched", events.CStop, "", "done").
+		Accept("done").
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return m
+}
+
+func TestMachineHappyPath(t *testing.T) {
+	m := searchMachine(t)
+	inst := m.NewInstance()
+
+	stream := events.NewStream(
+		events.E(events.NetSourceAddr, "10.0.0.1:5000"),
+		events.E(events.ServiceType, "service:clock"),
+	)
+	fired, err := inst.FeedStream(stream)
+	if err != nil {
+		t.Fatalf("FeedStream: %v", err)
+	}
+	if fired != 4 {
+		t.Errorf("fired = %d, want 4", fired)
+	}
+	if inst.Current() != "done" || !inst.Accepting() {
+		t.Errorf("current = %s accepting=%v", inst.Current(), inst.Accepting())
+	}
+	if inst.Var("type") != "service:clock" || inst.Var("source") != "10.0.0.1:5000" {
+		t.Errorf("vars: type=%q source=%q", inst.Var("type"), inst.Var("source"))
+	}
+}
+
+func TestGuardBlocksTransition(t *testing.T) {
+	m := searchMachine(t)
+	inst := m.NewInstance()
+	stream := events.NewStream(events.E(events.ServiceType, "service:printer"))
+	if _, err := inst.FeedStream(stream); err != nil {
+		t.Fatalf("FeedStream: %v", err)
+	}
+	// Guard false: the ServiceType event is filtered, machine stays in
+	// "open"; the CStop has no edge from "open" so it is filtered too.
+	if inst.Current() != "open" {
+		t.Errorf("current = %s, want open", inst.Current())
+	}
+	if inst.Accepting() {
+		t.Error("should not accept")
+	}
+}
+
+func TestEventFilteringDoesNotFire(t *testing.T) {
+	m := searchMachine(t)
+	inst := m.NewInstance()
+	fired, err := inst.Feed(events.E(events.JiniGroups, "public"))
+	if err != nil {
+		t.Fatalf("Feed: %v", err)
+	}
+	if fired {
+		t.Error("unrelated event should not fire")
+	}
+	if inst.Current() != "idle" {
+		t.Errorf("current = %s", inst.Current())
+	}
+}
+
+func TestGuardPrecedenceOverDefault(t *testing.T) {
+	m, err := New("prec", "s0").
+		Guard("special", func(ev events.Event, _ Vars) bool { return ev.Data == "x" }).
+		AddTuple("s0", events.ServiceType, "special", "guarded").
+		AddTuple("s0", events.ServiceType, "", "default").
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	inst := m.NewInstance()
+	if _, err := inst.Feed(events.E(events.ServiceType, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Current() != "guarded" {
+		t.Errorf("true guard should win over default edge, got %s", inst.Current())
+	}
+	inst2 := m.NewInstance()
+	if _, err := inst2.Feed(events.E(events.ServiceType, "y")); err != nil {
+		t.Fatal(err)
+	}
+	if inst2.Current() != "default" {
+		t.Errorf("false guard should fall back to default, got %s", inst2.Current())
+	}
+}
+
+func TestBuildRejectsDuplicateUnguardedEdges(t *testing.T) {
+	_, err := New("dup", "s0").
+		AddTuple("s0", events.ServiceType, "", "a").
+		AddTuple("s0", events.ServiceType, "", "b").
+		Build()
+	if !errors.Is(err, ErrNondeterministic) {
+		t.Errorf("err = %v, want ErrNondeterministic", err)
+	}
+}
+
+func TestBuildRejectsDuplicateGuardNames(t *testing.T) {
+	_, err := New("dup", "s0").
+		Guard("g", func(events.Event, Vars) bool { return true }).
+		AddTuple("s0", events.ServiceType, "g", "a").
+		AddTuple("s0", events.ServiceType, "g", "b").
+		Build()
+	if !errors.Is(err, ErrNondeterministic) {
+		t.Errorf("err = %v, want ErrNondeterministic", err)
+	}
+}
+
+func TestBuildRejectsUnknownNames(t *testing.T) {
+	if _, err := New("x", "s0").
+		AddTuple("s0", events.ServiceType, "nosuch", "a").
+		Build(); !errors.Is(err, ErrUnknownGuard) {
+		t.Errorf("err = %v, want ErrUnknownGuard", err)
+	}
+	if _, err := New("x", "s0").
+		AddTuple("s0", events.ServiceType, "", "a", "nosuch").
+		Build(); !errors.Is(err, ErrUnknownAction) {
+		t.Errorf("err = %v, want ErrUnknownAction", err)
+	}
+	if _, err := New("x", "s0").
+		Accept("neverdefined").
+		Build(); !errors.Is(err, ErrUnknownState) {
+		t.Errorf("err = %v, want ErrUnknownState", err)
+	}
+	if _, err := New("x", "s0").
+		AddTuple("s0", events.Type(4242), "", "a").
+		Build(); err == nil {
+		t.Error("invalid trigger accepted")
+	}
+	if _, err := New("x", "s0").Guard("nil", nil).Build(); err == nil {
+		t.Error("nil guard accepted")
+	}
+	if _, err := New("x", "s0").Action("nil", nil).Build(); err == nil {
+		t.Error("nil action accepted")
+	}
+}
+
+func TestRuntimeAmbiguityDetected(t *testing.T) {
+	m, err := New("amb", "s0").
+		Guard("g1", func(events.Event, Vars) bool { return true }).
+		Guard("g2", func(events.Event, Vars) bool { return true }).
+		AddTuple("s0", events.ServiceType, "g1", "a").
+		AddTuple("s0", events.ServiceType, "g2", "b").
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	inst := m.NewInstance()
+	if _, err := inst.Feed(events.E(events.ServiceType, "x")); !errors.Is(err, ErrAmbiguous) {
+		t.Errorf("err = %v, want ErrAmbiguous", err)
+	}
+}
+
+func TestActionErrorAbortsTransition(t *testing.T) {
+	sentinel := errors.New("boom")
+	m, err := New("err", "s0").
+		Action("fail", func(events.Event, Vars) error { return sentinel }).
+		AddTuple("s0", events.ServiceType, "", "s1", "fail").
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	inst := m.NewInstance()
+	if _, err := inst.Feed(events.E(events.ServiceType, "x")); !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+	if inst.Current() != "s0" {
+		t.Errorf("failed action must not change state, got %s", inst.Current())
+	}
+}
+
+func TestTraceObservesTransitions(t *testing.T) {
+	m := searchMachine(t)
+	inst := m.NewInstance()
+	var trace []string
+	inst.SetTrace(func(from State, ev events.Event, to State) {
+		trace = append(trace, fmt.Sprintf("%s--%s-->%s", from, ev.Type, to))
+	})
+	stream := events.NewStream(events.E(events.ServiceType, "service:clock"))
+	if _, err := inst.FeedStream(stream); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"idle--SDP_C_START-->open",
+		"open--SDP_SERVICE_TYPE-->matched",
+		"matched--SDP_C_STOP-->done",
+	}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Errorf("trace[%d] = %s, want %s", i, trace[i], want[i])
+		}
+	}
+}
+
+func TestResetClearsStateAndVars(t *testing.T) {
+	m := searchMachine(t)
+	inst := m.NewInstance()
+	if _, err := inst.FeedStream(events.NewStream(events.E(events.ServiceType, "service:clock"))); err != nil {
+		t.Fatal(err)
+	}
+	inst.Reset()
+	if inst.Current() != "idle" || inst.Var("type") != "" {
+		t.Errorf("after reset: state=%s type=%q", inst.Current(), inst.Var("type"))
+	}
+}
+
+func TestSetVarPrimesInstance(t *testing.T) {
+	m := searchMachine(t)
+	inst := m.NewInstance()
+	inst.SetVar("deployment", "gateway")
+	if inst.Var("deployment") != "gateway" {
+		t.Error("SetVar lost")
+	}
+}
+
+func TestStatesAndTransitionsIntrospection(t *testing.T) {
+	m := searchMachine(t)
+	states := m.States()
+	if len(states) != 4 {
+		t.Errorf("States = %v", states)
+	}
+	ts := m.Transitions()
+	if len(ts) != 4 {
+		t.Errorf("Transitions = %d", len(ts))
+	}
+	if m.Name() != "search" || m.Start() != "idle" {
+		t.Errorf("Name/Start = %s/%s", m.Name(), m.Start())
+	}
+}
+
+func TestMustBuildPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic")
+		}
+	}()
+	New("bad", "s0").
+		AddTuple("s0", events.ServiceType, "missing", "a").
+		MustBuild()
+}
+
+func TestDeterminismPropertySameInputSamePath(t *testing.T) {
+	// Feeding any event sequence to two instances of one machine must
+	// land both in the same state with the same variables — the DFA
+	// property the paper relies on.
+	m := searchMachine(t)
+	valid := events.Types()
+	f := func(picks []uint8, datas []string) bool {
+		a, b := m.NewInstance(), m.NewInstance()
+		for i, p := range picks {
+			typ := valid[int(p)%len(valid)]
+			data := ""
+			if i < len(datas) {
+				data = datas[i]
+			}
+			if i%3 == 0 {
+				data = "service:clock"
+			}
+			ev := events.E(typ, data)
+			fa, errA := a.Feed(ev)
+			fb, errB := b.Feed(ev)
+			if fa != fb || (errA == nil) != (errB == nil) {
+				return false
+			}
+		}
+		return a.Current() == b.Current() && a.Var("type") == b.Var("type")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,14 @@
+// Package httpx is a minimal HTTP/1.1 message layer for the simulated
+// network.
+//
+// UPnP is "a combination of protocols: SSDP, HTTP, and SOAP" (paper §3),
+// and SSDP itself is HTTP-formatted messages carried over UDP (HTTPU) and
+// multicast UDP (HTTPMU). httpx provides the one message codec all of them
+// share, plus a small server and client over simnet TCP for the UPnP
+// description and control exchanges.
+//
+// The package deliberately exposes the parse/serialize functions on their
+// own: the paper's §3 points out that "HTTP or XML parsers developed for
+// one SDP may be reused for another", and the SSDP parser of the UPnP unit
+// is exactly such a reuse of this codec.
+package httpx

@@ -1,0 +1,110 @@
+package httpx
+
+import "strings"
+
+// Field is one header line. Name keeps the casing it was written with;
+// lookups are case-insensitive per RFC 7230.
+type Field struct {
+	Name  string
+	Value string
+}
+
+// Header is an ordered collection of HTTP header fields. Order is
+// preserved so serialization round-trips byte-for-byte, which the codec
+// property tests rely on.
+type Header struct {
+	fields []Field
+}
+
+// NewHeader builds a header from name/value pairs. It panics if given an
+// odd number of arguments — a programming error, not an input error.
+func NewHeader(pairs ...string) Header {
+	if len(pairs)%2 != 0 {
+		panic("httpx: NewHeader requires name/value pairs")
+	}
+	h := Header{fields: make([]Field, 0, len(pairs)/2)}
+	for i := 0; i < len(pairs); i += 2 {
+		h.Add(pairs[i], pairs[i+1])
+	}
+	return h
+}
+
+// Add appends a field, keeping existing fields with the same name.
+func (h *Header) Add(name, value string) {
+	h.fields = append(h.fields, Field{Name: name, Value: value})
+}
+
+// Set replaces every field named name with a single field, or appends it.
+func (h *Header) Set(name, value string) {
+	out := h.fields[:0]
+	replaced := false
+	for _, f := range h.fields {
+		if strings.EqualFold(f.Name, name) {
+			if !replaced {
+				out = append(out, Field{Name: name, Value: value})
+				replaced = true
+			}
+			continue
+		}
+		out = append(out, f)
+	}
+	if !replaced {
+		out = append(out, Field{Name: name, Value: value})
+	}
+	h.fields = out
+}
+
+// Get returns the first value for name, or "".
+func (h Header) Get(name string) string {
+	for _, f := range h.fields {
+		if strings.EqualFold(f.Name, name) {
+			return f.Value
+		}
+	}
+	return ""
+}
+
+// Has reports whether any field is named name.
+func (h Header) Has(name string) bool {
+	for _, f := range h.fields {
+		if strings.EqualFold(f.Name, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// Values returns every value for name in order.
+func (h Header) Values(name string) []string {
+	var out []string
+	for _, f := range h.fields {
+		if strings.EqualFold(f.Name, name) {
+			out = append(out, f.Value)
+		}
+	}
+	return out
+}
+
+// Del removes every field named name.
+func (h *Header) Del(name string) {
+	out := h.fields[:0]
+	for _, f := range h.fields {
+		if !strings.EqualFold(f.Name, name) {
+			out = append(out, f)
+		}
+	}
+	h.fields = out
+}
+
+// Fields returns the fields in order. Callers must not mutate the slice.
+func (h Header) Fields() []Field { return h.fields }
+
+// Len returns the number of fields.
+func (h Header) Len() int { return len(h.fields) }
+
+// Clone returns a deep copy.
+func (h Header) Clone() Header {
+	fields := make([]Field, len(h.fields))
+	copy(fields, h.fields)
+	return Header{fields: fields}
+}

@@ -1,0 +1,366 @@
+package httpx
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"indiss/internal/simnet"
+)
+
+func TestRequestMarshalParseRoundTrip(t *testing.T) {
+	req := &Request{
+		Method: "M-SEARCH",
+		Target: "*",
+		Header: NewHeader(
+			"HOST", "239.255.255.250:1900",
+			"MAN", `"ssdp:discover"`,
+			"MX", "0",
+			"ST", "urn:schemas-upnp-org:device:clock:1",
+		),
+	}
+	back, err := ParseRequest(req.Marshal())
+	if err != nil {
+		t.Fatalf("ParseRequest: %v", err)
+	}
+	if back.Method != "M-SEARCH" || back.Target != "*" || back.Proto != "HTTP/1.1" {
+		t.Errorf("request line = %s %s %s", back.Method, back.Target, back.Proto)
+	}
+	if got := back.Header.Get("st"); got != "urn:schemas-upnp-org:device:clock:1" {
+		t.Errorf("ST = %q (case-insensitive get failed?)", got)
+	}
+	if len(back.Body) != 0 {
+		t.Errorf("body = %q, want empty", back.Body)
+	}
+}
+
+func TestRequestWithBodyRoundTrip(t *testing.T) {
+	body := []byte("<xml>payload</xml>")
+	req := &Request{
+		Method: "POST",
+		Target: "/control",
+		Header: NewHeader("Content-Type", "text/xml"),
+		Body:   body,
+	}
+	raw := req.Marshal()
+	back, err := ParseRequest(raw)
+	if err != nil {
+		t.Fatalf("ParseRequest: %v", err)
+	}
+	if !bytes.Equal(back.Body, body) {
+		t.Errorf("body = %q, want %q", back.Body, body)
+	}
+	if back.Header.Get("Content-Length") != "18" {
+		t.Errorf("auto content-length = %q", back.Header.Get("Content-Length"))
+	}
+}
+
+func TestResponseMarshalParseRoundTrip(t *testing.T) {
+	resp := &Response{
+		StatusCode: 200,
+		Header: NewHeader(
+			"CACHE-CONTROL", "max-age=1800",
+			"ST", "upnp:clock",
+			"USN", "uuid:ClockDevice::upnp:clock",
+			"LOCATION", "http://10.0.0.2:4004/description.xml",
+		),
+		Body: []byte{},
+	}
+	back, err := ParseResponse(resp.Marshal())
+	if err != nil {
+		t.Fatalf("ParseResponse: %v", err)
+	}
+	if back.StatusCode != 200 || back.Status != "OK" {
+		t.Errorf("status = %d %q", back.StatusCode, back.Status)
+	}
+	if got := back.Header.Get("Location"); got != "http://10.0.0.2:4004/description.xml" {
+		t.Errorf("LOCATION = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		data    string
+		wantErr error
+		isResp  bool
+	}{
+		{"no terminator", "GET / HTTP/1.1\r\n", ErrTruncated, false},
+		{"bad request line", "GARBAGE\r\n\r\n", ErrMalformed, false},
+		{"bad proto", "GET / JUNK/1.1\r\n\r\n", ErrMalformed, false},
+		{"bad header line", "GET / HTTP/1.1\r\nnocolon\r\n\r\n", ErrMalformed, false},
+		{"bad status line", "HTTP/1.1 abc OK\r\n\r\n", ErrMalformed, true},
+		{"short body", "GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc", ErrTruncated, false},
+		{"negative length", "GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n", ErrMalformed, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var err error
+			if tt.isResp {
+				_, err = ParseResponse([]byte(tt.data))
+			} else {
+				_, err = ParseRequest([]byte(tt.data))
+			}
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("err = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestIsResponse(t *testing.T) {
+	if !IsResponse([]byte("HTTP/1.1 200 OK\r\n\r\n")) {
+		t.Error("response not recognized")
+	}
+	if IsResponse([]byte("NOTIFY * HTTP/1.1\r\n\r\n")) {
+		t.Error("request misrecognized as response")
+	}
+}
+
+func TestHeaderOperations(t *testing.T) {
+	var h Header
+	h.Add("A", "1")
+	h.Add("a", "2")
+	h.Add("B", "3")
+	if got := h.Values("A"); len(got) != 2 || got[0] != "1" || got[1] != "2" {
+		t.Errorf("Values(A) = %v", got)
+	}
+	h.Set("a", "9")
+	if got := h.Values("A"); len(got) != 1 || got[0] != "9" {
+		t.Errorf("after Set, Values(A) = %v", got)
+	}
+	if h.Len() != 2 {
+		t.Errorf("Len = %d, want 2", h.Len())
+	}
+	h.Del("b")
+	if h.Has("B") {
+		t.Error("Del(b) did not remove B")
+	}
+	clone := h.Clone()
+	clone.Set("A", "changed")
+	if h.Get("A") != "9" {
+		t.Error("Clone is not independent")
+	}
+	if h.Get("missing") != "" {
+		t.Error("Get(missing) should be empty")
+	}
+	h.Set("New", "v")
+	if h.Get("new") != "v" {
+		t.Error("Set should append missing field")
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	// Header values free of CR/LF survive a marshal/parse cycle.
+	f := func(v string) bool {
+		clean := ""
+		for _, r := range v {
+			if r != '\r' && r != '\n' && r >= 0x20 {
+				clean += string(r)
+			}
+		}
+		req := &Request{Method: "GET", Target: "/", Header: NewHeader("X-Test", clean)}
+		back, err := ParseRequest(req.Marshal())
+		if err != nil {
+			return false
+		}
+		// Parsing trims surrounding whitespace, which HTTP permits.
+		want := clean
+		for len(want) > 0 && (want[0] == ' ' || want[0] == '\t') {
+			want = want[1:]
+		}
+		for len(want) > 0 && (want[len(want)-1] == ' ' || want[len(want)-1] == '\t') {
+			want = want[:len(want)-1]
+		}
+		return back.Header.Get("X-Test") == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func newServerClient(t *testing.T, handler Handler, delay time.Duration) (*simnet.Host, simnet.Addr, func()) {
+	t.Helper()
+	n := simnet.New(simnet.Config{LANLatency: 100 * time.Microsecond})
+	a := n.MustAddHost("client", "10.0.0.1")
+	b := n.MustAddHost("server", "10.0.0.2")
+	l, err := b.ListenTCP(8080)
+	if err != nil {
+		t.Fatalf("ListenTCP: %v", err)
+	}
+	srv := &Server{Handler: handler, Delay: delay}
+	srv.Start(l)
+	cleanup := func() {
+		srv.Close()
+		n.Close()
+	}
+	return a, l.Addr(), cleanup
+}
+
+func TestServerGet(t *testing.T) {
+	doc := []byte(`<root><device/></root>`)
+	client, addr, cleanup := newServerClient(t, func(req *Request) *Response {
+		if req.Method != "GET" {
+			return &Response{StatusCode: 400}
+		}
+		if req.Target != "/description.xml" {
+			return &Response{StatusCode: 404}
+		}
+		return &Response{
+			StatusCode: 200,
+			Header:     NewHeader("Content-Type", "text/xml"),
+			Body:       doc,
+		}
+	}, 0)
+	defer cleanup()
+
+	resp, err := Get(client, addr, "/description.xml", time.Second)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if resp.StatusCode != 200 || !bytes.Equal(resp.Body, doc) {
+		t.Errorf("resp = %d %q", resp.StatusCode, resp.Body)
+	}
+
+	resp, err = Get(client, addr, "/missing", time.Second)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if resp.StatusCode != 404 {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServerPostWithBody(t *testing.T) {
+	client, addr, cleanup := newServerClient(t, func(req *Request) *Response {
+		return &Response{StatusCode: 200, Body: append([]byte("echo:"), req.Body...)}
+	}, 0)
+	defer cleanup()
+
+	req := &Request{Method: "POST", Target: "/x", Body: []byte("data")}
+	resp, err := Do(client, addr, req, time.Second)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if string(resp.Body) != "echo:data" {
+		t.Errorf("body = %q", resp.Body)
+	}
+}
+
+func TestServerNilHandlerResponse(t *testing.T) {
+	client, addr, cleanup := newServerClient(t, func(*Request) *Response { return nil }, 0)
+	defer cleanup()
+	resp, err := Do(client, addr, &Request{Method: "GET", Target: "/"}, time.Second)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if resp.StatusCode != 500 {
+		t.Errorf("status = %d, want 500", resp.StatusCode)
+	}
+}
+
+func TestServerMalformedRequest(t *testing.T) {
+	client, addr, cleanup := newServerClient(t, func(*Request) *Response {
+		return &Response{StatusCode: 200}
+	}, 0)
+	defer cleanup()
+
+	s, err := client.DialTCP(addr)
+	if err != nil {
+		t.Fatalf("DialTCP: %v", err)
+	}
+	defer s.Close()
+	if _, err := s.Write([]byte("NOT HTTP AT ALL\r\n\r\n")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	s.SetReadTimeout(time.Second)
+	raw, err := readMessage(s)
+	if err != nil {
+		t.Fatalf("readMessage: %v", err)
+	}
+	resp, err := ParseResponse(raw)
+	if err != nil {
+		t.Fatalf("ParseResponse: %v", err)
+	}
+	if resp.StatusCode != 400 {
+		t.Errorf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServerDelayApplied(t *testing.T) {
+	const delay = 20 * time.Millisecond
+	client, addr, cleanup := newServerClient(t, func(*Request) *Response {
+		return &Response{StatusCode: 200}
+	}, delay)
+	defer cleanup()
+
+	start := time.Now()
+	if _, err := Get(client, addr, "/", time.Second); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Errorf("exchange took %v, want >= %v", elapsed, delay)
+	}
+}
+
+func TestDefaultStatusText(t *testing.T) {
+	codes := map[int]string{
+		200: "OK", 400: "Bad Request", 404: "Not Found",
+		412: "Precondition Failed", 500: "Internal Server Error",
+		501: "Not Implemented", 299: "Unknown",
+	}
+	for code, want := range codes {
+		resp := &Response{StatusCode: code}
+		back, err := ParseResponse(resp.Marshal())
+		if err != nil {
+			t.Fatalf("code %d: %v", code, err)
+		}
+		if back.Status != want {
+			t.Errorf("code %d status = %q, want %q", code, back.Status, want)
+		}
+	}
+}
+
+func TestServerConcurrentRequests(t *testing.T) {
+	client, addr, cleanup := newServerClient(t, func(req *Request) *Response {
+		return &Response{StatusCode: 200, Body: []byte(req.Target)}
+	}, 0)
+	defer cleanup()
+
+	const workers = 8
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		path := "/" + string(rune('a'+i))
+		go func() {
+			resp, err := Get(client, addr, path, 5*time.Second)
+			if err == nil && string(resp.Body) != path {
+				err = errors.New("cross-talk: got " + string(resp.Body) + " want " + path)
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < workers; i++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestServerCloseRacesStart(t *testing.T) {
+	// Close must stop the listener even when it runs before the accept
+	// goroutine is scheduled.
+	for i := 0; i < 20; i++ {
+		n := simnet.New(simnet.Config{})
+		h := n.MustAddHost("h", "10.0.0.1")
+		l, err := h.ListenTCP(80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := &Server{Handler: func(*Request) *Response { return &Response{StatusCode: 200} }}
+		srv.Start(l)
+		srv.Close() // must not deadlock
+		n.Close()
+	}
+}

@@ -1,0 +1,222 @@
+package httpx
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Codec errors.
+var (
+	ErrMalformed = errors.New("httpx: malformed message")
+	ErrTruncated = errors.New("httpx: truncated message")
+)
+
+// Request is an HTTP/1.1 request. SSDP requests (M-SEARCH, NOTIFY) use the
+// same shape with a "*" target and an empty body.
+type Request struct {
+	Method string
+	Target string
+	Proto  string // "HTTP/1.1"
+	Header Header
+	Body   []byte
+}
+
+// Response is an HTTP/1.1 response. SSDP search responses are bodyless
+// 200 OK responses.
+type Response struct {
+	Proto      string // "HTTP/1.1"
+	StatusCode int
+	Status     string // reason phrase, e.g. "OK"
+	Header     Header
+	Body       []byte
+}
+
+const crlf = "\r\n"
+
+// Marshal serializes the request. If a body is present and no
+// Content-Length field exists, one is added.
+func (r *Request) Marshal() []byte {
+	var b bytes.Buffer
+	proto := r.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
+	}
+	fmt.Fprintf(&b, "%s %s %s%s", r.Method, r.Target, proto, crlf)
+	writeFields(&b, r.Header, len(r.Body))
+	b.WriteString(crlf)
+	b.Write(r.Body)
+	return b.Bytes()
+}
+
+// Marshal serializes the response, adding Content-Length when a body is
+// present and the field is missing.
+func (r *Response) Marshal() []byte {
+	var b bytes.Buffer
+	proto := r.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
+	}
+	status := r.Status
+	if status == "" {
+		status = defaultStatusText(r.StatusCode)
+	}
+	fmt.Fprintf(&b, "%s %d %s%s", proto, r.StatusCode, status, crlf)
+	writeFields(&b, r.Header, len(r.Body))
+	b.WriteString(crlf)
+	b.Write(r.Body)
+	return b.Bytes()
+}
+
+func writeFields(b *bytes.Buffer, h Header, bodyLen int) {
+	for _, f := range h.Fields() {
+		b.WriteString(f.Name)
+		b.WriteString(": ")
+		b.WriteString(f.Value)
+		b.WriteString(crlf)
+	}
+	if bodyLen > 0 && !h.Has("Content-Length") {
+		b.WriteString("Content-Length: ")
+		b.WriteString(strconv.Itoa(bodyLen))
+		b.WriteString(crlf)
+	}
+}
+
+func defaultStatusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 412:
+		return "Precondition Failed"
+	case 500:
+		return "Internal Server Error"
+	case 501:
+		return "Not Implemented"
+	default:
+		return "Unknown"
+	}
+}
+
+// ParseRequest decodes a complete request held in data, as arrives in an
+// HTTPU/HTTPMU datagram.
+func ParseRequest(data []byte) (*Request, error) {
+	head, body, err := splitHead(data)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(head, crlf)
+	method, target, proto, err := parseRequestLine(lines[0])
+	if err != nil {
+		return nil, err
+	}
+	h, err := parseFields(lines[1:])
+	if err != nil {
+		return nil, err
+	}
+	body, err = clipBody(h, body)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{Method: method, Target: target, Proto: proto, Header: h, Body: body}, nil
+}
+
+// ParseResponse decodes a complete response held in data.
+func ParseResponse(data []byte) (*Response, error) {
+	head, body, err := splitHead(data)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(head, crlf)
+	proto, code, status, err := parseStatusLine(lines[0])
+	if err != nil {
+		return nil, err
+	}
+	h, err := parseFields(lines[1:])
+	if err != nil {
+		return nil, err
+	}
+	body, err = clipBody(h, body)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Proto: proto, StatusCode: code, Status: status, Header: h, Body: body}, nil
+}
+
+// IsResponse reports whether a raw HTTP message datagram is a response
+// (status line) rather than a request. SSDP listeners receive both on the
+// same socket.
+func IsResponse(data []byte) bool {
+	return bytes.HasPrefix(data, []byte("HTTP/"))
+}
+
+func splitHead(data []byte) (head string, body []byte, err error) {
+	idx := bytes.Index(data, []byte(crlf+crlf))
+	if idx < 0 {
+		return "", nil, fmt.Errorf("%w: missing header terminator", ErrTruncated)
+	}
+	return string(data[:idx]), data[idx+4:], nil
+}
+
+func parseRequestLine(line string) (method, target, proto string, err error) {
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" {
+		return "", "", "", fmt.Errorf("%w: request line %q", ErrMalformed, line)
+	}
+	if !strings.HasPrefix(parts[2], "HTTP/") {
+		return "", "", "", fmt.Errorf("%w: bad protocol %q", ErrMalformed, parts[2])
+	}
+	return parts[0], parts[1], parts[2], nil
+}
+
+func parseStatusLine(line string) (proto string, code int, status string, err error) {
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return "", 0, "", fmt.Errorf("%w: status line %q", ErrMalformed, line)
+	}
+	code, convErr := strconv.Atoi(parts[1])
+	if convErr != nil {
+		return "", 0, "", fmt.Errorf("%w: status code %q", ErrMalformed, parts[1])
+	}
+	if len(parts) == 3 {
+		status = parts[2]
+	}
+	return parts[0], code, status, nil
+}
+
+func parseFields(lines []string) (Header, error) {
+	var h Header
+	for _, line := range lines {
+		if line == "" {
+			continue
+		}
+		name, value, ok := strings.Cut(line, ":")
+		if !ok || name == "" {
+			return Header{}, fmt.Errorf("%w: header line %q", ErrMalformed, line)
+		}
+		h.Add(strings.TrimSpace(name), strings.TrimSpace(value))
+	}
+	return h, nil
+}
+
+// clipBody applies Content-Length if present: datagrams may carry trailing
+// padding, and a declared length beyond the data is a truncation error.
+func clipBody(h Header, body []byte) ([]byte, error) {
+	cl := h.Get("Content-Length")
+	if cl == "" {
+		return body, nil
+	}
+	n, err := strconv.Atoi(cl)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("%w: content-length %q", ErrMalformed, cl)
+	}
+	if n > len(body) {
+		return nil, fmt.Errorf("%w: content-length %d > body %d", ErrTruncated, n, len(body))
+	}
+	return body[:n], nil
+}

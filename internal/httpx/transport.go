@@ -1,0 +1,202 @@
+package httpx
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+
+	"indiss/internal/simnet"
+)
+
+// readMessage pulls one complete HTTP message (head + declared body) off a
+// stream. It reads no further than the message end, so back-to-back
+// messages on one connection stay intact.
+func readMessage(s *simnet.Stream) ([]byte, error) {
+	var buf bytes.Buffer
+	tmp := make([]byte, 1024)
+	headEnd := -1
+	for headEnd < 0 {
+		n, err := s.Read(tmp)
+		if n > 0 {
+			buf.Write(tmp[:n])
+			headEnd = bytes.Index(buf.Bytes(), []byte(crlf+crlf))
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) && buf.Len() == 0 {
+				return nil, io.EOF
+			}
+			if headEnd < 0 {
+				return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+			}
+		}
+	}
+
+	// Head complete; honour Content-Length for the remainder.
+	head := buf.Bytes()[:headEnd]
+	want := contentLength(head)
+	for buf.Len() < headEnd+4+want {
+		n, err := s.Read(tmp)
+		if n > 0 {
+			buf.Write(tmp[:n])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: body short: %v", ErrTruncated, err)
+		}
+	}
+	return buf.Bytes()[:headEnd+4+want], nil
+}
+
+func contentLength(head []byte) int {
+	for _, line := range bytes.Split(head, []byte(crlf)) {
+		name, value, ok := bytes.Cut(line, []byte(":"))
+		if !ok {
+			continue
+		}
+		if !bytes.EqualFold(bytes.TrimSpace(name), []byte("Content-Length")) {
+			continue
+		}
+		n, err := strconv.Atoi(string(bytes.TrimSpace(value)))
+		if err == nil && n >= 0 {
+			return n
+		}
+	}
+	return 0
+}
+
+// Handler responds to one HTTP request. Returning nil produces a 500.
+type Handler func(*Request) *Response
+
+// Server serves HTTP over simnet TCP, one request per connection
+// (Connection: close semantics, which is all UPnP description fetches
+// need). Delay, when set, is slept before handling each request; it models
+// stack processing cost (the CyberLink profile of DESIGN.md §5).
+type Server struct {
+	Handler Handler
+	Delay   time.Duration
+
+	mu       sync.Mutex
+	listener *simnet.Listener
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// Serve accepts connections until the listener closes. It is typically run
+// via Start; exported for callers that manage their own goroutines.
+func (srv *Server) Serve(l *simnet.Listener) {
+	if !srv.adopt(l) {
+		return
+	}
+	srv.acceptLoop(l)
+}
+
+// adopt records the listener so Close can reach it. It reports false —
+// closing the listener on the caller's behalf — when the server has
+// already closed or already serves a listener.
+func (srv *Server) adopt(l *simnet.Listener) bool {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if srv.closed || srv.listener != nil {
+		l.Close()
+		return false
+	}
+	srv.listener = l
+	return true
+}
+
+func (srv *Server) acceptLoop(l *simnet.Listener) {
+	for {
+		s, err := l.Accept()
+		if err != nil {
+			return
+		}
+		srv.wg.Add(1)
+		go func() {
+			defer srv.wg.Done()
+			srv.handle(s)
+		}()
+	}
+}
+
+// Start launches the accept loop in a managed goroutine. The listener is
+// adopted synchronously, so a Close racing with Start still shuts it
+// down.
+func (srv *Server) Start(l *simnet.Listener) {
+	if !srv.adopt(l) {
+		return
+	}
+	srv.wg.Add(1)
+	go func() {
+		defer srv.wg.Done()
+		srv.acceptLoop(l)
+	}()
+}
+
+// Close stops accepting and waits for in-flight handlers.
+func (srv *Server) Close() {
+	srv.mu.Lock()
+	l := srv.listener
+	srv.closed = true
+	srv.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	srv.wg.Wait()
+}
+
+func (srv *Server) handle(s *simnet.Stream) {
+	defer s.Close()
+	s.SetReadTimeout(5 * time.Second)
+	raw, err := readMessage(s)
+	if err != nil {
+		return
+	}
+	req, err := ParseRequest(raw)
+	var resp *Response
+	if err != nil {
+		resp = &Response{StatusCode: 400}
+	} else {
+		if srv.Delay > 0 {
+			simnet.SleepPrecise(srv.Delay)
+		}
+		resp = srv.Handler(req)
+		if resp == nil {
+			resp = &Response{StatusCode: 500}
+		}
+	}
+	_, _ = s.Write(resp.Marshal())
+}
+
+// Do sends one request from host to addr and waits for the response.
+// timeout bounds the whole exchange.
+func Do(host *simnet.Host, addr simnet.Addr, req *Request, timeout time.Duration) (*Response, error) {
+	s, err := host.DialTCP(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	if timeout > 0 {
+		s.SetReadTimeout(timeout)
+	}
+	if _, err := s.Write(req.Marshal()); err != nil {
+		return nil, err
+	}
+	raw, err := readMessage(s)
+	if err != nil {
+		return nil, err
+	}
+	return ParseResponse(raw)
+}
+
+// Get is a convenience GET for description documents.
+func Get(host *simnet.Host, addr simnet.Addr, path string, timeout time.Duration) (*Response, error) {
+	req := &Request{
+		Method: "GET",
+		Target: path,
+		Header: NewHeader("Host", addr.String()),
+	}
+	return Do(host, addr, req, timeout)
+}

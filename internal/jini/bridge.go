@@ -1,0 +1,71 @@
+package jini
+
+// This file exposes the minimal packet-level surface INDISS's Jini unit
+// needs: peeking at monitor-captured datagrams and registering bridge
+// items into a lookup service without a network round trip.
+
+// PacketKind classifies a raw Jini discovery datagram.
+type PacketKind uint8
+
+// Packet kinds visible to the bridge.
+const (
+	// KindRequestPacket is a multicast discovery request.
+	KindRequestPacket PacketKind = PacketKind(kindRequest)
+	// KindAnnouncePacket is a lookup-service announcement.
+	KindAnnouncePacket PacketKind = PacketKind(kindAnnounce)
+)
+
+// PacketReader walks one opened packet.
+type PacketReader struct {
+	r *jreader
+}
+
+// OpenPacket validates a datagram header and returns its kind and a
+// reader over the body. Unicast-only kinds (register/lookup) are reported
+// with their kind value but have no exported parser: the monitor never
+// sees them.
+func OpenPacket(data []byte) (PacketKind, *PacketReader, error) {
+	kind, r, err := openPacket(data)
+	if err != nil {
+		return 0, nil, err
+	}
+	return PacketKind(kind), &PacketReader{r: r}, nil
+}
+
+// ParseRequestPacket decodes a multicast discovery request body.
+func ParseRequestPacket(pr *PacketReader) (groups []string, responsePort int, err error) {
+	m, err := parseRequest(pr.r)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m.Groups, m.ResponsePort, nil
+}
+
+// ParseAnnouncementPacket decodes an announcement body into its locator.
+func ParseAnnouncementPacket(pr *PacketReader) (Locator, error) {
+	m, err := parseAnnouncement(pr.r)
+	if err != nil {
+		return Locator{}, err
+	}
+	return m.Locator, nil
+}
+
+// RegisterLocal inserts or refreshes a service item directly in the
+// lookup service's store, bypassing the unicast protocol — how the INDISS
+// bridge registrar mirrors foreign services it learned from the event
+// bus.
+func (ls *LookupService) RegisterLocal(item ServiceItem) (ServiceID, error) {
+	if item.Type == "" {
+		return ServiceID{}, ErrBadPacket
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if item.ID.IsZero() {
+		ls.seq++
+		copy(item.ID[:], ls.host.IP())
+		item.ID[14] = byte(ls.seq >> 8)
+		item.ID[15] = byte(ls.seq)
+	}
+	ls.items[item.ID] = item
+	return item.ID, nil
+}

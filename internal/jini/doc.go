@@ -1,0 +1,23 @@
+// Package jini simulates the Jini discovery protocols over the simulated
+// network.
+//
+// Jini is the third SDP of the paper's Figure 5 configuration
+// ("Component Unit JINI(port=4160)"). The real Jini stack rides Java RMI
+// and Java object serialization, which have no Go equivalent; per the
+// substitution rule of DESIGN.md §5 this package reproduces the
+// *discovery choreography* — the part INDISS bridges — with a compact
+// length-prefixed binary codec in place of Java serialization:
+//
+//   - Multicast request protocol (Jini Discovery & Join spec §DJ.2.1):
+//     clients multicast a request naming the groups they care about;
+//     lookup services answer with a unicast announcement of their
+//     locator.
+//   - Multicast announcement protocol (§DJ.2.2): lookup services
+//     periodically multicast their presence.
+//   - Unicast discovery (§DJ.2.3): TCP exchange with a known locator.
+//   - The lookup service itself (the "reggie" repository): register
+//     ServiceItems, look them up by ServiceTemplate.
+//
+// Port 4160 is Jini's IANA identification tag; the announcement group
+// mirrors Jini's 224.0.1.84/85 pair.
+package jini

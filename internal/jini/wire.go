@@ -1,0 +1,301 @@
+package jini
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// IANA identification tag of Jini discovery (paper Figure 5a:
+// "Component Unit JINI(port=4160)").
+const (
+	// Port is the registered Jini discovery port.
+	Port = 4160
+	// RequestGroup is the multicast group of the request protocol
+	// (Jini uses 224.0.1.85).
+	RequestGroup = "224.0.1.85"
+	// AnnounceGroup is the multicast group of the announcement protocol
+	// (Jini uses 224.0.1.84).
+	AnnounceGroup = "224.0.1.84"
+	// protocolVersion tags every packet.
+	protocolVersion = 1
+)
+
+// Packet kinds.
+type packetKind uint8
+
+const (
+	kindRequest  packetKind = 1 // multicast discovery request
+	kindAnnounce packetKind = 2 // multicast announcement / unicast response
+	kindRegister packetKind = 3 // unicast: register a service item
+	kindLookup   packetKind = 4 // unicast: lookup by template
+	kindResult   packetKind = 5 // unicast: lookup result
+	kindAck      packetKind = 6 // unicast: registration ack
+)
+
+// Wire errors.
+var (
+	ErrShort      = errors.New("jini: short packet")
+	ErrBadVersion = errors.New("jini: unsupported version")
+	ErrBadPacket  = errors.New("jini: malformed packet")
+)
+
+// ServiceID is Jini's 128-bit service identifier, rendered as hex.
+type ServiceID [16]byte
+
+// String renders the ID in Jini's canonical UUID-ish form.
+func (id ServiceID) String() string {
+	return fmt.Sprintf("%x-%x-%x-%x-%x", id[0:4], id[4:6], id[6:8], id[8:10], id[10:16])
+}
+
+// IsZero reports whether the ID is unset.
+func (id ServiceID) IsZero() bool { return id == ServiceID{} }
+
+// Entry is one attribute entry of a service item. Real Jini entries are
+// typed Java objects; the simulation keeps name/value string pairs, which
+// is what the INDISS event translation needs.
+type Entry struct {
+	Name  string
+	Value string
+}
+
+// ServiceItem is a registered service (Jini Lookup spec §LU.2).
+type ServiceItem struct {
+	// ID identifies the registration; zero asks the registrar to
+	// assign one.
+	ID ServiceID
+	// Type is the service's type name; the simulation uses Java-ish
+	// names like "net.jini.clock.Clock".
+	Type string
+	// Endpoint locates the service, "host:port" or a URL.
+	Endpoint string
+	// Attrs are the service's attribute entries.
+	Attrs []Entry
+}
+
+// ServiceTemplate is a lookup query (§LU.2.1): zero values are wildcards.
+type ServiceTemplate struct {
+	// ID, when non-zero, matches exactly one registration.
+	ID ServiceID
+	// Type, when non-empty, must match the item type exactly or be a
+	// prefix ending at a '.' boundary (simulating interface matching).
+	Type string
+	// Attrs must each be present with equal value on the item.
+	Attrs []Entry
+}
+
+// Locator addresses a lookup service (§DJ.2.3).
+type Locator struct {
+	// Host is the lookup service's IP.
+	Host string
+	// Port is its unicast discovery TCP port.
+	Port int
+}
+
+// String renders the jini:// locator URL.
+func (l Locator) String() string { return fmt.Sprintf("jini://%s:%d", l.Host, l.Port) }
+
+// request is the multicast discovery request.
+type request struct {
+	// Groups the client is interested in; empty means all.
+	Groups []string
+	// ResponsePort is where the client awaits unicast announcements.
+	ResponsePort int
+}
+
+// announcement advertises a lookup service.
+type announcement struct {
+	Locator Locator
+	Groups  []string
+}
+
+// jwriter builds packets.
+type jwriter struct {
+	buf []byte
+	err error
+}
+
+func (w *jwriter) u8(v uint8) { w.buf = append(w.buf, v) }
+func (w *jwriter) u16(v uint16) {
+	w.buf = binary.BigEndian.AppendUint16(w.buf, v)
+}
+
+func (w *jwriter) str(s string) {
+	if len(s) > 0xFFFF {
+		if w.err == nil {
+			w.err = fmt.Errorf("%w: string %d bytes", ErrBadPacket, len(s))
+		}
+		return
+	}
+	w.u16(uint16(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *jwriter) strs(list []string) {
+	w.u16(uint16(len(list)))
+	for _, s := range list {
+		w.str(s)
+	}
+}
+
+func (w *jwriter) entries(list []Entry) {
+	w.u16(uint16(len(list)))
+	for _, e := range list {
+		w.str(e.Name)
+		w.str(e.Value)
+	}
+}
+
+func (w *jwriter) id(id ServiceID) { w.buf = append(w.buf, id[:]...) }
+
+// jreader parses packets.
+type jreader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *jreader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.pos+n > len(r.buf) {
+		r.err = fmt.Errorf("%w: need %d at %d of %d", ErrShort, n, r.pos, len(r.buf))
+		return false
+	}
+	return true
+}
+
+func (r *jreader) u8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.buf[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *jreader) u16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.pos:])
+	r.pos += 2
+	return v
+}
+
+func (r *jreader) str() string {
+	n := int(r.u16())
+	if !r.need(n) {
+		return ""
+	}
+	s := string(r.buf[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+func (r *jreader) strs() []string {
+	n := int(r.u16())
+	var out []string
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, r.str())
+	}
+	return out
+}
+
+func (r *jreader) entries() []Entry {
+	n := int(r.u16())
+	var out []Entry
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, Entry{Name: r.str(), Value: r.str()})
+	}
+	return out
+}
+
+func (r *jreader) id() ServiceID {
+	var id ServiceID
+	if r.need(16) {
+		copy(id[:], r.buf[r.pos:])
+		r.pos += 16
+	}
+	return id
+}
+
+func newPacket(kind packetKind) *jwriter {
+	w := &jwriter{}
+	w.u8(protocolVersion)
+	w.u8(uint8(kind))
+	return w
+}
+
+func openPacket(data []byte) (packetKind, *jreader, error) {
+	if len(data) < 2 {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrShort, len(data))
+	}
+	if data[0] != protocolVersion {
+		return 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, data[0])
+	}
+	kind := packetKind(data[1])
+	if kind < kindRequest || kind > kindAck {
+		return 0, nil, fmt.Errorf("%w: kind %d", ErrBadPacket, kind)
+	}
+	return kind, &jreader{buf: data, pos: 2}, nil
+}
+
+func marshalRequest(m request) ([]byte, error) {
+	w := newPacket(kindRequest)
+	w.strs(m.Groups)
+	w.u16(uint16(m.ResponsePort))
+	return w.buf, w.err
+}
+
+func parseRequest(r *jreader) (request, error) {
+	m := request{Groups: r.strs(), ResponsePort: int(r.u16())}
+	return m, r.err
+}
+
+func marshalAnnouncement(m announcement) ([]byte, error) {
+	w := newPacket(kindAnnounce)
+	w.str(m.Locator.Host)
+	w.u16(uint16(m.Locator.Port))
+	w.strs(m.Groups)
+	return w.buf, w.err
+}
+
+func parseAnnouncement(r *jreader) (announcement, error) {
+	m := announcement{
+		Locator: Locator{Host: r.str(), Port: int(r.u16())},
+		Groups:  r.strs(),
+	}
+	return m, r.err
+}
+
+func marshalItem(w *jwriter, item ServiceItem) {
+	w.id(item.ID)
+	w.str(item.Type)
+	w.str(item.Endpoint)
+	w.entries(item.Attrs)
+}
+
+func parseItem(r *jreader) ServiceItem {
+	return ServiceItem{
+		ID:       r.id(),
+		Type:     r.str(),
+		Endpoint: r.str(),
+		Attrs:    r.entries(),
+	}
+}
+
+func marshalTemplate(w *jwriter, tmpl ServiceTemplate) {
+	w.id(tmpl.ID)
+	w.str(tmpl.Type)
+	w.entries(tmpl.Attrs)
+}
+
+func parseTemplate(r *jreader) ServiceTemplate {
+	return ServiceTemplate{
+		ID:    r.id(),
+		Type:  r.str(),
+		Attrs: r.entries(),
+	}
+}

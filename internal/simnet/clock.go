@@ -1,0 +1,29 @@
+package simnet
+
+import (
+	"runtime"
+	"time"
+)
+
+// The experiments measure sub-millisecond protocol exchanges (native SLP
+// answers in ~0.7ms), but kernel timer granularity makes time.Sleep and
+// timer-channel waits overshoot by a millisecond or more. SleepPrecise
+// trades CPU for accuracy: long waits sleep, the final stretch spins.
+
+// spinThreshold is the window within which waits spin instead of
+// sleeping.
+const spinThreshold = 2 * time.Millisecond
+
+// SleepPrecise sleeps d with sub-millisecond accuracy.
+func SleepPrecise(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	if d > spinThreshold {
+		time.Sleep(d - spinThreshold)
+	}
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}

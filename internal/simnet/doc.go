@@ -1,0 +1,23 @@
+// Package simnet is an in-process IP network simulator used as the testbed
+// substrate for the INDISS reproduction.
+//
+// The paper's evaluation (§4.3) ran on two workstations connected by a
+// 10 Mb/s LAN. simnet reproduces the properties that matter for those
+// experiments — message counts, multicast group semantics, ordering, and
+// relative link costs — without real sockets, so the whole testbed runs
+// deterministically inside one process:
+//
+//   - Hosts own IP addresses and bind UDP conns and TCP listeners to ports.
+//   - UDP supports unicast and multicast with explicit group membership,
+//     mirroring the IGMP joins that SDP monitors rely on (paper §2.1).
+//   - TCP is a reliable byte stream with a connect round-trip, used by the
+//     UPnP description and control servers.
+//   - Every packet pays propagation latency plus a serialization cost
+//     derived from the configured bandwidth, so a 10 Mb/s LAN can be
+//     modelled faithfully.
+//   - Loss injection and per-port traffic metering support the failure
+//     tests and the traffic-threshold adaptation of paper §4.2.
+//
+// All delivery is driven by a single scheduler goroutine per Network, which
+// keeps same-instant deliveries in send order and makes tests reproducible.
+package simnet

@@ -1,0 +1,112 @@
+package simnet
+
+import (
+	"sort"
+	"sync"
+)
+
+// PortStat aggregates traffic observed on one destination port. Ports are
+// how the paper identifies protocols (§2.1: "SDP detection only depends on
+// which port raw data arrived"), so per-port counters double as per-SDP
+// traffic meters for the adaptation policy of §4.2.
+type PortStat struct {
+	Port           int
+	Packets        int64
+	Bytes          int64
+	MulticastBytes int64
+	DroppedPackets int64
+	DroppedBytes   int64
+	TCPConnections int64
+	TCPStreamBytes int64
+}
+
+// Metrics collects network-wide traffic counters. All methods are safe for
+// concurrent use.
+type Metrics struct {
+	mu    sync.Mutex
+	ports map[int]*PortStat
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{ports: make(map[int]*PortStat)}
+}
+
+func (m *Metrics) stat(port int) *PortStat {
+	st, ok := m.ports[port]
+	if !ok {
+		st = &PortStat{Port: port}
+		m.ports[port] = st
+	}
+	return st
+}
+
+func (m *Metrics) addUDP(port, size int, multicast bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.stat(port)
+	st.Packets++
+	st.Bytes += int64(size)
+	if multicast {
+		st.MulticastBytes += int64(size)
+	}
+}
+
+func (m *Metrics) addDrop(port, size int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.stat(port)
+	st.DroppedPackets++
+	st.DroppedBytes += int64(size)
+}
+
+func (m *Metrics) addTCPConn(port int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stat(port).TCPConnections++
+}
+
+func (m *Metrics) addTCPBytes(port, size int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stat(port).TCPStreamBytes += int64(size)
+}
+
+// Port returns a snapshot of the counters for one port.
+func (m *Metrics) Port(port int) PortStat {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st, ok := m.ports[port]; ok {
+		return *st
+	}
+	return PortStat{Port: port}
+}
+
+// Ports returns snapshots for every port that saw traffic, ordered by port.
+func (m *Metrics) Ports() []PortStat {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]PortStat, 0, len(m.ports))
+	for _, st := range m.ports {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Port < out[j].Port })
+	return out
+}
+
+// TotalBytes sums UDP payload bytes across all ports.
+func (m *Metrics) TotalBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for _, st := range m.ports {
+		total += st.Bytes + st.TCPStreamBytes
+	}
+	return total
+}
+
+// Reset zeroes all counters.
+func (m *Metrics) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ports = make(map[int]*PortStat)
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package simnet
+
+// raceEnabled reports that the race detector instruments this build;
+// timing-precision assertions are skipped since instrumentation slows
+// wall-clock-sensitive paths by an order of magnitude.
+const raceEnabled = true

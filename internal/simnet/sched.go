@@ -1,0 +1,164 @@
+package simnet
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// delivery is a unit of scheduled work: run fn at (or after) when. seq
+// breaks ties so that packets scheduled for the same instant are delivered
+// in send order, which keeps tests deterministic.
+type delivery struct {
+	when time.Time
+	seq  uint64
+	fn   func()
+}
+
+type deliveryHeap []delivery
+
+func (h deliveryHeap) Len() int { return len(h) }
+
+func (h deliveryHeap) Less(i, j int) bool {
+	if h[i].when.Equal(h[j].when) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].when.Before(h[j].when)
+}
+
+func (h deliveryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *deliveryHeap) Push(x any) {
+	d, ok := x.(delivery)
+	if !ok {
+		return
+	}
+	*h = append(*h, d)
+}
+
+func (h *deliveryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	d := old[n-1]
+	*h = old[:n-1]
+	return d
+}
+
+// scheduler executes functions at future instants in (when, seq) order.
+// A single goroutine drains the heap; Stop waits for it to exit, so no
+// delivery fires after Stop returns.
+type scheduler struct {
+	mu      sync.Mutex
+	pending deliveryHeap
+	nextSeq uint64
+	stopped bool
+
+	wake chan struct{}
+	done chan struct{}
+}
+
+func newScheduler() *scheduler {
+	s := &scheduler{
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+// schedule enqueues fn to run no earlier than when. If the scheduler has
+// been stopped the call is a no-op, matching UDP semantics where packets
+// in flight on a torn-down network simply vanish.
+func (s *scheduler) schedule(when time.Time, fn func()) {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	heap.Push(&s.pending, delivery{when: when, seq: s.nextSeq, fn: fn})
+	s.nextSeq++
+	s.mu.Unlock()
+
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// stop halts the delivery goroutine and discards pending deliveries.
+func (s *scheduler) stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		<-s.done
+		return
+	}
+	s.stopped = true
+	s.pending = nil
+	s.mu.Unlock()
+
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	<-s.done
+}
+
+func (s *scheduler) run() {
+	defer close(s.done)
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+
+	for {
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			return
+		}
+		if len(s.pending) == 0 {
+			s.mu.Unlock()
+			<-s.wake
+			continue
+		}
+		now := time.Now()
+		next := s.pending[0].when
+		if next.After(now) {
+			s.mu.Unlock()
+			wait := next.Sub(now)
+			if wait <= spinThreshold {
+				// Spin for sub-millisecond precision; timer
+				// granularity would distort the experiments'
+				// microsecond-scale latencies.
+				for time.Now().Before(next) {
+					select {
+					case <-s.wake:
+						// An earlier delivery may have been
+						// scheduled; recheck the heap.
+						next = time.Now()
+					default:
+						runtime.Gosched()
+					}
+				}
+				continue
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(wait - spinThreshold)
+			select {
+			case <-timer.C:
+			case <-s.wake:
+			}
+			continue
+		}
+		d, ok := heap.Pop(&s.pending).(delivery)
+		s.mu.Unlock()
+		if ok {
+			d.fn()
+		}
+	}
+}

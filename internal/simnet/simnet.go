@@ -1,0 +1,250 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Sentinel errors returned by network operations.
+var (
+	ErrClosed        = errors.New("simnet: closed")
+	ErrPortInUse     = errors.New("simnet: port already in use")
+	ErrNoRoute       = errors.New("simnet: no route to host")
+	ErrConnRefused   = errors.New("simnet: connection refused")
+	ErrTimeout       = errors.New("simnet: i/o timeout")
+	ErrDuplicateHost = errors.New("simnet: duplicate host")
+)
+
+// Config fixes the physical characteristics of a simulated network.
+// The zero value is usable and models an instantaneous, lossless fabric,
+// which is what most unit tests want.
+type Config struct {
+	// LANLatency is the one-way propagation delay between two distinct
+	// hosts. The paper's 10 Mb/s LAN is modelled with 250µs.
+	LANLatency time.Duration
+
+	// LoopbackLatency is the one-way delay between two endpoints on the
+	// same host (the "local traffic" of paper Figures 8–9).
+	LoopbackLatency time.Duration
+
+	// BandwidthBps, when non-zero, adds a serialization cost of
+	// len(payload)*8/BandwidthBps seconds to every inter-host packet.
+	BandwidthBps int64
+
+	// LossRate is the probability in [0,1) that an inter-host UDP
+	// datagram is silently dropped. Loopback and TCP traffic is never
+	// dropped (TCP models a reliable transport).
+	LossRate float64
+
+	// Seed makes loss injection reproducible. Zero selects a fixed
+	// default seed, keeping runs deterministic by default.
+	Seed int64
+}
+
+// LAN10Mbps returns the testbed configuration used by the paper-shape
+// experiments: a 10 Mb/s LAN with 250µs one-way latency and fast loopback.
+func LAN10Mbps() Config {
+	return Config{
+		LANLatency:      250 * time.Microsecond,
+		LoopbackLatency: 10 * time.Microsecond,
+		BandwidthBps:    10_000_000,
+	}
+}
+
+// Network is an in-process internetwork of hosts. All methods are safe for
+// concurrent use. Close tears the network down and stops its scheduler.
+type Network struct {
+	cfg Config
+
+	mu      sync.Mutex
+	hosts   map[string]*Host // keyed by IP
+	names   map[string]*Host // keyed by name
+	closed  bool
+	rng     *rand.Rand
+	metrics *Metrics
+
+	sched *scheduler
+}
+
+// New creates an empty network with the given configuration.
+func New(cfg Config) *Network {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Network{
+		cfg:     cfg,
+		hosts:   make(map[string]*Host),
+		names:   make(map[string]*Host),
+		rng:     rand.New(rand.NewSource(seed)),
+		metrics: newMetrics(),
+		sched:   newScheduler(),
+	}
+}
+
+// Close shuts the network down. In-flight packets are discarded and all
+// conns, listeners and streams are closed.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	hosts := make([]*Host, 0, len(n.hosts))
+	for _, h := range n.hosts {
+		hosts = append(hosts, h)
+	}
+	n.mu.Unlock()
+
+	for _, h := range hosts {
+		h.close()
+	}
+	n.sched.stop()
+}
+
+// Metrics exposes the network's traffic counters.
+func (n *Network) Metrics() *Metrics { return n.metrics }
+
+// Config returns the network's physical configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// AddHost registers a host with a unique name and IP.
+func (n *Network) AddHost(name, ip string) (*Host, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := n.hosts[ip]; dup {
+		return nil, fmt.Errorf("%w: ip %s", ErrDuplicateHost, ip)
+	}
+	if _, dup := n.names[name]; dup {
+		return nil, fmt.Errorf("%w: name %s", ErrDuplicateHost, name)
+	}
+	h := &Host{
+		net:       n,
+		name:      name,
+		ip:        ip,
+		udp:       make(map[int]*UDPConn),
+		mcast:     make(map[int][]*UDPConn),
+		listeners: make(map[int]*Listener),
+	}
+	n.hosts[ip] = h
+	n.names[name] = h
+	return h, nil
+}
+
+// MustAddHost is AddHost for tests and examples where a duplicate host is a
+// programming error.
+func (n *Network) MustAddHost(name, ip string) *Host {
+	h, err := n.AddHost(name, ip)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// HostByIP returns the host owning ip, or nil.
+func (n *Network) HostByIP(ip string) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hosts[ip]
+}
+
+// HostByName returns the named host, or nil.
+func (n *Network) HostByName(name string) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.names[name]
+}
+
+// Hosts returns a snapshot of all hosts.
+func (n *Network) Hosts() []*Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*Host, 0, len(n.hosts))
+	for _, h := range n.hosts {
+		out = append(out, h)
+	}
+	return out
+}
+
+// linkDelay computes the one-way delay for a payload of size bytes between
+// two hosts, applying propagation latency plus serialization cost.
+func (n *Network) linkDelay(from, to *Host, size int) time.Duration {
+	if from == to {
+		return n.cfg.LoopbackLatency
+	}
+	d := n.cfg.LANLatency
+	if n.cfg.BandwidthBps > 0 {
+		d += time.Duration(int64(size) * 8 * int64(time.Second) / n.cfg.BandwidthBps)
+	}
+	return d
+}
+
+// dropPacket applies loss injection to an inter-host datagram.
+func (n *Network) dropPacket(from, to *Host) bool {
+	if n.cfg.LossRate <= 0 || from == to {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Float64() < n.cfg.LossRate
+}
+
+// Host is a network node: one IP, a set of bound UDP ports and TCP
+// listeners.
+type Host struct {
+	net  *Network
+	name string
+	ip   string
+
+	mu        sync.Mutex
+	udp       map[int]*UDPConn
+	mcast     map[int][]*UDPConn // shared multicast-only binders per port
+	listeners map[int]*Listener
+	streams   []*Stream
+	closed    bool
+}
+
+// Name returns the host's symbolic name.
+func (h *Host) Name() string { return h.name }
+
+// IP returns the host's address.
+func (h *Host) IP() string { return h.ip }
+
+// Network returns the network the host belongs to.
+func (h *Host) Network() *Network { return h.net }
+
+func (h *Host) close() {
+	h.mu.Lock()
+	conns := make([]*UDPConn, 0, len(h.udp))
+	for _, c := range h.udp {
+		conns = append(conns, c)
+	}
+	for _, list := range h.mcast {
+		conns = append(conns, list...)
+	}
+	listeners := make([]*Listener, 0, len(h.listeners))
+	for _, l := range h.listeners {
+		listeners = append(listeners, l)
+	}
+	streams := make([]*Stream, len(h.streams))
+	copy(streams, h.streams)
+	h.closed = true
+	h.mu.Unlock()
+
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, l := range listeners {
+		l.Close()
+	}
+	for _, s := range streams {
+		s.Close()
+	}
+}

@@ -1,0 +1,303 @@
+package simnet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Datagram is a received UDP packet.
+type Datagram struct {
+	// Payload is the packet body. Receivers own the slice.
+	Payload []byte
+	// Src is the sender's unicast address.
+	Src Addr
+	// Dst is the address the packet was sent to. For multicast traffic
+	// this is the group address, which lets receivers distinguish
+	// unicast from multicast arrivals (the SDP_NET_* events of the
+	// paper's Table 1 need exactly this).
+	Dst Addr
+}
+
+// udpQueueCap bounds a conn's receive queue. Overflowing packets are
+// dropped, matching kernel UDP socket behaviour.
+const udpQueueCap = 256
+
+// UDPConn is a UDP socket bound to one port of one host. It may join any
+// number of multicast groups; a joined conn receives every datagram sent to
+// (group, port) by any host on the network, including its own (multicast
+// loopback is always on, as the monitor component relies on hearing
+// same-host traffic).
+type UDPConn struct {
+	host   *Host
+	port   int
+	shared bool // multicast-only binder (SO_REUSEADDR-style)
+
+	mu     sync.Mutex
+	groups map[string]struct{}
+	closed bool
+
+	queue chan Datagram
+	done  chan struct{}
+}
+
+// ListenUDP binds a UDP port on the host. Port 0 picks a free ephemeral
+// port.
+func (h *Host) ListenUDP(port int) (*UDPConn, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, ErrClosed
+	}
+	if port == 0 {
+		port = h.freePortLocked()
+	} else if _, used := h.udp[port]; used {
+		return nil, fmt.Errorf("%w: udp %d on %s", ErrPortInUse, port, h.name)
+	}
+	c := &UDPConn{
+		host:   h,
+		port:   port,
+		groups: make(map[string]struct{}),
+		queue:  make(chan Datagram, udpQueueCap),
+		done:   make(chan struct{}),
+	}
+	h.udp[port] = c
+	return c, nil
+}
+
+// ListenMulticastUDP binds a shared, multicast-only socket on the port —
+// the SO_REUSEADDR pattern SDP monitors use: any number of such sockets may
+// coexist with each other and with an exclusive binder of the same port.
+// The conn receives only multicast datagrams for groups it joins; unicast
+// traffic goes to the exclusive binder alone. This is how the paper's
+// monitor component observes SDP traffic "without altering the behaviour
+// of SDPs, clients and services" already running on the host.
+func (h *Host) ListenMulticastUDP(port int) (*UDPConn, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, ErrClosed
+	}
+	if port == 0 {
+		return nil, fmt.Errorf("%w: shared binding needs an explicit port", ErrBadAddr)
+	}
+	c := &UDPConn{
+		host:   h,
+		port:   port,
+		shared: true,
+		groups: make(map[string]struct{}),
+		queue:  make(chan Datagram, udpQueueCap),
+		done:   make(chan struct{}),
+	}
+	h.mcast[port] = append(h.mcast[port], c)
+	return c, nil
+}
+
+// ephemeralBase is where automatic port allocation starts, clear of all
+// IANA-registered SDP ports.
+const ephemeralBase = 32768
+
+func (h *Host) freePortLocked() int {
+	for p := ephemeralBase; ; p++ {
+		_, udpUsed := h.udp[p]
+		_, tcpUsed := h.listeners[p]
+		if !udpUsed && !tcpUsed {
+			return p
+		}
+	}
+}
+
+// LocalAddr returns the conn's bound unicast address.
+func (c *UDPConn) LocalAddr() Addr { return Addr{IP: c.host.ip, Port: c.port} }
+
+// Host returns the owning host.
+func (c *UDPConn) Host() *Host { return c.host }
+
+// JoinGroup subscribes the conn to a multicast group. Joining twice is a
+// no-op, as with IP_ADD_MEMBERSHIP.
+func (c *UDPConn) JoinGroup(group string) error {
+	if !IsMulticastIP(group) {
+		return fmt.Errorf("%w: %q is not multicast", ErrBadAddr, group)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.groups[group] = struct{}{}
+	return nil
+}
+
+// LeaveGroup unsubscribes the conn from a multicast group.
+func (c *UDPConn) LeaveGroup(group string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.groups, group)
+}
+
+// memberOf reports whether the conn has joined group.
+func (c *UDPConn) memberOf(group string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.groups[group]
+	return ok
+}
+
+// Close unbinds the port. Blocked and future reads fail with ErrClosed.
+func (c *UDPConn) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+
+	close(c.done)
+
+	h := c.host
+	h.mu.Lock()
+	if c.shared {
+		list := h.mcast[c.port]
+		for i, other := range list {
+			if other == c {
+				h.mcast[c.port] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+	} else if h.udp[c.port] == c {
+		delete(h.udp, c.port)
+	}
+	h.mu.Unlock()
+}
+
+// WriteTo sends payload to dst, which may be unicast or multicast. The send
+// itself never blocks; delivery happens asynchronously after the link
+// delay. Sending on a closed conn or network returns ErrClosed. Sending to
+// a unicast address with no such host returns ErrNoRoute; an unbound port
+// on an existing host is silently dropped (ICMP unreachable is invisible to
+// UDP senders).
+func (c *UDPConn) WriteTo(payload []byte, dst Addr) error {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+
+	n := c.host.net
+	n.mu.Lock()
+	netClosed := n.closed
+	n.mu.Unlock()
+	if netClosed {
+		return ErrClosed
+	}
+
+	// Copy once at the boundary so the caller may reuse its buffer.
+	body := make([]byte, len(payload))
+	copy(body, payload)
+	dg := Datagram{
+		Payload: body,
+		Src:     c.LocalAddr(),
+		Dst:     dst,
+	}
+
+	if dst.IsMulticast() {
+		return c.sendMulticast(dg)
+	}
+	return c.sendUnicast(dg)
+}
+
+func (c *UDPConn) sendUnicast(dg Datagram) error {
+	n := c.host.net
+	to := n.HostByIP(dg.Dst.IP)
+	if to == nil {
+		return fmt.Errorf("%w: %s", ErrNoRoute, dg.Dst.IP)
+	}
+	if n.dropPacket(c.host, to) {
+		n.metrics.addDrop(dg.Dst.Port, len(dg.Payload))
+		return nil
+	}
+	n.metrics.addUDP(dg.Dst.Port, len(dg.Payload), false)
+	delay := n.linkDelay(c.host, to, len(dg.Payload))
+	n.sched.schedule(time.Now().Add(delay), func() {
+		to.mu.Lock()
+		rc := to.udp[dg.Dst.Port]
+		to.mu.Unlock()
+		if rc != nil {
+			rc.push(dg)
+		}
+	})
+	return nil
+}
+
+func (c *UDPConn) sendMulticast(dg Datagram) error {
+	n := c.host.net
+	n.metrics.addUDP(dg.Dst.Port, len(dg.Payload), true)
+	for _, to := range n.Hosts() {
+		to.mu.Lock()
+		receivers := make([]*UDPConn, 0, 1+len(to.mcast[dg.Dst.Port]))
+		if rc := to.udp[dg.Dst.Port]; rc != nil {
+			receivers = append(receivers, rc)
+		}
+		receivers = append(receivers, to.mcast[dg.Dst.Port]...)
+		to.mu.Unlock()
+
+		delivered := false
+		for _, rc := range receivers {
+			if !rc.memberOf(dg.Dst.IP) {
+				continue
+			}
+			if !delivered && n.dropPacket(c.host, to) {
+				// One loss decision per destination host: the
+				// wire either carried the packet there or not.
+				n.metrics.addDrop(dg.Dst.Port, len(dg.Payload))
+				break
+			}
+			delivered = true
+			delay := n.linkDelay(c.host, to, len(dg.Payload))
+			recv := rc
+			n.sched.schedule(time.Now().Add(delay), func() { recv.push(dg) })
+		}
+	}
+	return nil
+}
+
+// push enqueues a datagram for the reader, dropping it if the queue is full
+// or the conn has closed meanwhile.
+func (c *UDPConn) push(dg Datagram) {
+	select {
+	case <-c.done:
+	case c.queue <- dg:
+	default:
+		c.host.net.metrics.addDrop(c.port, len(dg.Payload))
+	}
+}
+
+// C exposes the receive queue for select-based consumers such as the
+// monitor component, which listens on many ports at once.
+func (c *UDPConn) C() <-chan Datagram { return c.queue }
+
+// Recv waits for one datagram. A non-positive timeout blocks until data
+// arrives or the conn closes. It returns ErrTimeout on expiry and ErrClosed
+// after Close.
+func (c *UDPConn) Recv(timeout time.Duration) (Datagram, error) {
+	if timeout <= 0 {
+		select {
+		case dg := <-c.queue:
+			return dg, nil
+		case <-c.done:
+			return Datagram{}, ErrClosed
+		}
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case dg := <-c.queue:
+		return dg, nil
+	case <-c.done:
+		return Datagram{}, ErrClosed
+	case <-timer.C:
+		return Datagram{}, ErrTimeout
+	}
+}

@@ -1,0 +1,241 @@
+// Package sizereport regenerates the paper's Table 2: size requirements
+// of INDISS (core framework + per-SDP units) compared with the native
+// protocol stacks, including the with/without-INDISS interoperability
+// arithmetic of §4.1.
+//
+// The paper measured Java classes and NCSS (non-commented source
+// statements); this report measures the same quantities over the Go tree:
+// kilobytes of source, file count and NCSS (non-blank, non-comment lines
+// that are not lone braces).
+package sizereport
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Group is one Table 2 row source: a set of files or directories.
+type Group struct {
+	// Name labels the row.
+	Name string
+	// Paths are files or directories relative to the module root.
+	// Directories are walked; _test.go files are excluded everywhere.
+	Paths []string
+}
+
+// Row is one measured Table 2 row.
+type Row struct {
+	Name  string
+	KB    float64
+	Files int
+	NCSS  int
+}
+
+// Report is the measured table.
+type Report struct {
+	Rows []Row
+}
+
+// Find returns the named row.
+func (r Report) Find(name string) (Row, bool) {
+	for _, row := range r.Rows {
+		if row.Name == name {
+			return row, true
+		}
+	}
+	return Row{}, false
+}
+
+// Sum adds the named rows together.
+func (r Report) Sum(names ...string) Row {
+	out := Row{Name: strings.Join(names, " + ")}
+	for _, name := range names {
+		if row, ok := r.Find(name); ok {
+			out.KB += row.KB
+			out.Files += row.Files
+			out.NCSS += row.NCSS
+		}
+	}
+	return out
+}
+
+// DefaultGroups maps the paper's Table 2 rows onto this tree.
+func DefaultGroups() []Group {
+	return []Group{
+		{Name: "Core framework", Paths: []string{
+			"internal/core", "internal/events", "internal/fsm",
+			"internal/units/base.go", "internal/units/naming.go",
+			"indiss.go", "testbed.go",
+		}},
+		{Name: "SLP Unit", Paths: []string{"internal/units/slpunit.go"}},
+		{Name: "UPnP Unit", Paths: []string{"internal/units/upnpunit.go"}},
+		{Name: "Jini Unit", Paths: []string{"internal/units/jiniunit.go"}},
+		{Name: "SLP stack (OpenSLP equivalent)", Paths: []string{"internal/slp"}},
+		{Name: "UPnP stack (CyberLink equivalent)", Paths: []string{
+			"internal/upnp", "internal/ssdp", "internal/httpx", "internal/xmlx",
+		}},
+		{Name: "Jini stack (simulated)", Paths: []string{"internal/jini"}},
+		{Name: "Testbed (simnet, not shipped)", Paths: []string{"internal/simnet"}},
+	}
+}
+
+// Measure walks the groups under root and produces the report.
+func Measure(root string, groups []Group) (Report, error) {
+	var report Report
+	for _, g := range groups {
+		row := Row{Name: g.Name}
+		for _, p := range g.Paths {
+			full := filepath.Join(root, p)
+			info, err := os.Stat(full)
+			if err != nil {
+				return Report{}, fmt.Errorf("sizereport: %s: %w", p, err)
+			}
+			if !info.IsDir() {
+				if err := addFile(&row, full); err != nil {
+					return Report{}, err
+				}
+				continue
+			}
+			err = filepath.WalkDir(full, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+					return nil
+				}
+				return addFile(&row, path)
+			})
+			if err != nil {
+				return Report{}, err
+			}
+		}
+		report.Rows = append(report.Rows, row)
+	}
+	return report, nil
+}
+
+func addFile(row *Row, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("sizereport: %w", err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("sizereport: %w", err)
+	}
+	row.KB += float64(info.Size()) / 1024
+	row.Files++
+	row.NCSS += countNCSS(f)
+	return nil
+}
+
+// countNCSS counts non-comment source statements: non-blank, non-comment
+// lines that carry more than structural punctuation.
+func countNCSS(f *os.File) int {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 256*1024), 1024*1024)
+	count := 0
+	inBlock := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if inBlock {
+			if idx := strings.Index(line, "*/"); idx >= 0 {
+				line = strings.TrimSpace(line[idx+2:])
+				inBlock = false
+			} else {
+				continue
+			}
+		}
+		if start := strings.Index(line, "/*"); start >= 0 {
+			end := strings.Index(line[start+2:], "*/")
+			if end < 0 {
+				line = strings.TrimSpace(line[:start])
+				inBlock = true
+			} else {
+				line = strings.TrimSpace(line[:start] + line[start+2+end+2:])
+			}
+		}
+		if idx := strings.Index(line, "//"); idx >= 0 {
+			line = strings.TrimSpace(line[:idx])
+		}
+		if line == "" || isStructural(line) {
+			continue
+		}
+		count++
+	}
+	return count
+}
+
+// isStructural reports lines that are only braces and punctuation.
+func isStructural(line string) bool {
+	for _, r := range line {
+		switch r {
+		case '{', '}', '(', ')', ',', ';', ' ', '\t':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Table2 renders the paper-style table with the §4.1 interoperability
+// arithmetic.
+func (r Report) Table2() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-38s %10s %7s %8s\n", "", "Size (KB)", "Files", "NCSS")
+	line := strings.Repeat("-", 66) + "\n"
+
+	b.WriteString("INDISS size requirements\n")
+	b.WriteString(line)
+	for _, name := range []string{"Core framework", "SLP Unit", "UPnP Unit", "Jini Unit"} {
+		writeRow(&b, r, name)
+	}
+	indiss := r.Sum("Core framework", "SLP Unit", "UPnP Unit")
+	fmt.Fprintf(&b, "%-38s %10.0f %7d %8d\n", "Total (framework + SLP & UPnP units)", indiss.KB, indiss.Files, indiss.NCSS)
+
+	b.WriteString("\nSDP library size requirements\n")
+	b.WriteString(line)
+	writeRow(&b, r, "SLP stack (OpenSLP equivalent)")
+	writeRow(&b, r, "UPnP stack (CyberLink equivalent)")
+	libs := r.Sum("SLP stack (OpenSLP equivalent)", "UPnP stack (CyberLink equivalent)")
+	fmt.Fprintf(&b, "%-38s %10.0f %7d %8d\n", "Total", libs.KB, libs.Files, libs.NCSS)
+
+	b.WriteString("\nInteroperability with and without INDISS (paper §4.1 arithmetic)\n")
+	b.WriteString(line)
+	slpStack, _ := r.Find("SLP stack (OpenSLP equivalent)")
+	upnpStack, _ := r.Find("UPnP stack (CyberLink equivalent)")
+	dual := libs.KB
+	upnpPlus := upnpStack.KB + indiss.KB
+	slpPlus := slpStack.KB + indiss.KB
+	fmt.Fprintf(&b, "%-38s %10.0f\n", "SLP & UPnP stacks (dual-stack node)", dual)
+	fmt.Fprintf(&b, "%-38s %10.0f   overhead vs dual-stack: %+.1f%%\n",
+		"UPnP stack + INDISS", upnpPlus, pct(upnpPlus, dual))
+	fmt.Fprintf(&b, "%-38s %10.0f   overhead vs dual-stack: %+.1f%%\n",
+		"SLP stack + INDISS", slpPlus, pct(slpPlus, dual))
+
+	b.WriteString("\nMemo\n")
+	b.WriteString(line)
+	writeRow(&b, r, "Jini stack (simulated)")
+	writeRow(&b, r, "Testbed (simnet, not shipped)")
+	return b.String()
+}
+
+func writeRow(b *strings.Builder, r Report, name string) {
+	row, ok := r.Find(name)
+	if !ok {
+		return
+	}
+	fmt.Fprintf(b, "%-38s %10.0f %7d %8d\n", row.Name, row.KB, row.Files, row.NCSS)
+}
+
+func pct(v, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (v - base) / base * 100
+}

@@ -1,0 +1,124 @@
+package sizereport
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, root, name, content string) {
+	t.Helper()
+	path := filepath.Join(root, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasureCountsNCSS(t *testing.T) {
+	root := t.TempDir()
+	writeFile(t, root, "pkg/a.go", `// Package pkg does things.
+package pkg
+
+/* block
+comment */
+func A() int {
+	x := 1 // trailing comment
+	return x
+}
+`)
+	writeFile(t, root, "pkg/a_test.go", "package pkg\nfunc TestX() {}\n")
+	writeFile(t, root, "single.go", "package main\nfunc main() {}\n")
+
+	report, err := Measure(root, []Group{
+		{Name: "pkg", Paths: []string{"pkg"}},
+		{Name: "single", Paths: []string{"single.go"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := report.Find("pkg")
+	if !ok {
+		t.Fatal("pkg row missing")
+	}
+	// package pkg / func A() / x := 1 / return x  — braces and comments
+	// excluded; _test.go excluded entirely.
+	if pkg.NCSS != 4 {
+		t.Errorf("pkg NCSS = %d, want 4", pkg.NCSS)
+	}
+	if pkg.Files != 1 {
+		t.Errorf("pkg files = %d, want 1 (tests excluded)", pkg.Files)
+	}
+	single, _ := report.Find("single")
+	if single.NCSS != 2 {
+		t.Errorf("single NCSS = %d, want 2", single.NCSS)
+	}
+	sum := report.Sum("pkg", "single")
+	if sum.NCSS != 6 || sum.Files != 2 {
+		t.Errorf("sum = %+v", sum)
+	}
+}
+
+func TestMeasureMissingPath(t *testing.T) {
+	if _, err := Measure(t.TempDir(), []Group{{Name: "x", Paths: []string{"nope"}}}); err == nil {
+		t.Fatal("missing path accepted")
+	}
+}
+
+func TestDefaultGroupsMeasureRepo(t *testing.T) {
+	// The default groups must resolve against the actual module tree.
+	root := repoRoot(t)
+	report, err := Measure(root, DefaultGroups())
+	if err != nil {
+		t.Fatalf("Measure over repo: %v", err)
+	}
+	indiss := report.Sum("Core framework", "SLP Unit", "UPnP Unit")
+	if indiss.NCSS < 500 {
+		t.Errorf("INDISS NCSS = %d, implausibly small", indiss.NCSS)
+	}
+	table := report.Table2()
+	for _, want := range []string{"Core framework", "UPnP Unit", "overhead vs dual-stack"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("Table2 output missing %q", want)
+		}
+	}
+}
+
+// repoRoot walks up from the working directory to the go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found")
+		}
+		dir = parent
+	}
+}
+
+func TestIsStructural(t *testing.T) {
+	tests := map[string]bool{
+		"}":        true,
+		"})":       true,
+		"},":       true,
+		"({":       true,
+		"return x": false,
+		"x := 1":   false,
+		"} else {": false,
+	}
+	for line, want := range tests {
+		if got := isStructural(line); got != want {
+			t.Errorf("isStructural(%q) = %v, want %v", line, got, want)
+		}
+	}
+}

@@ -1,0 +1,447 @@
+package slp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"indiss/internal/simnet"
+)
+
+// testbed wires a two-host network: a client host and a service host.
+func testbed(t *testing.T, cfg simnet.Config) (*simnet.Network, *simnet.Host, *simnet.Host) {
+	t.Helper()
+	n := simnet.New(cfg)
+	t.Cleanup(n.Close)
+	client := n.MustAddHost("client", "10.0.0.1")
+	service := n.MustAddHost("service", "10.0.0.2")
+	return n, client, service
+}
+
+func TestActiveDiscoveryRepositoryLess(t *testing.T) {
+	// Paper §2: "with a repository-less active discovery model ...
+	// clients perform periodically multicast requests to discover
+	// needed services and the latter are listening to these requests."
+	_, clientHost, serviceHost := testbed(t, simnet.Config{})
+
+	sa, err := NewServiceAgent(serviceHost, AgentConfig{})
+	if err != nil {
+		t.Fatalf("NewServiceAgent: %v", err)
+	}
+	defer sa.Close()
+	if err := sa.Register("service:clock", "service:clock://10.0.0.2:4005",
+		time.Hour, AttrList{{Name: "location", Values: []string{"hall"}}}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+
+	ua := NewUserAgent(clientHost, AgentConfig{})
+	urls, err := ua.FindFirst("service:clock", "", time.Second)
+	if err != nil {
+		t.Fatalf("FindFirst: %v", err)
+	}
+	if len(urls) != 1 || urls[0].URL != "service:clock://10.0.0.2:4005" {
+		t.Errorf("urls = %+v", urls)
+	}
+}
+
+func TestFindFirstNoMatchTimesOut(t *testing.T) {
+	_, clientHost, serviceHost := testbed(t, simnet.Config{})
+	sa, err := NewServiceAgent(serviceHost, AgentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+	if err := sa.Register("service:clock", "service:clock://10.0.0.2:4005", time.Hour, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	ua := NewUserAgent(clientHost, AgentConfig{})
+	_, err = ua.FindFirst("service:fax", "", 50*time.Millisecond)
+	if !errors.Is(err, simnet.ErrTimeout) {
+		t.Errorf("err = %v, want timeout (multicast misses are silent)", err)
+	}
+}
+
+func TestPredicateFiltersAtAgent(t *testing.T) {
+	_, clientHost, serviceHost := testbed(t, simnet.Config{})
+	sa, err := NewServiceAgent(serviceHost, AgentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+	if err := sa.Register("service:clock", "service:clock://10.0.0.2:4005",
+		time.Hour, AttrList{{Name: "location", Values: []string{"hall"}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	ua := NewUserAgent(clientHost, AgentConfig{})
+	if _, err := ua.FindFirst("service:clock", "(location=hall)", time.Second); err != nil {
+		t.Errorf("matching predicate failed: %v", err)
+	}
+	if _, err := ua.FindFirst("service:clock", "(location=kitchen)", 50*time.Millisecond); !errors.Is(err, simnet.ErrTimeout) {
+		t.Errorf("non-matching predicate: err = %v, want timeout", err)
+	}
+}
+
+func TestFindServicesConvergenceAcrossAgents(t *testing.T) {
+	// Multiple SAs answer one convergence round; the PRList silences
+	// them on retransmission and all URLs are collected.
+	n := simnet.New(simnet.Config{})
+	t.Cleanup(n.Close)
+	clientHost := n.MustAddHost("client", "10.0.0.1")
+
+	for i, ip := range []string{"10.0.0.2", "10.0.0.3", "10.0.0.4"} {
+		h := n.MustAddHost("svc"+string(rune('a'+i)), ip)
+		sa, err := NewServiceAgent(h, AgentConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sa.Close()
+		if err := sa.Register("service:clock", "service:clock://"+ip+":4005", time.Hour, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ua := NewUserAgent(clientHost, AgentConfig{})
+	urls, err := ua.FindServices("service:clock", "")
+	if err != nil {
+		t.Fatalf("FindServices: %v", err)
+	}
+	if len(urls) != 3 {
+		t.Errorf("found %d services, want 3: %+v", len(urls), urls)
+	}
+}
+
+func TestConvergenceSurvivesPacketLoss(t *testing.T) {
+	// With 30% loss, retransmission within the convergence window must
+	// still find the service.
+	n := simnet.New(simnet.Config{LossRate: 0.3, Seed: 11})
+	t.Cleanup(n.Close)
+	clientHost := n.MustAddHost("client", "10.0.0.1")
+	serviceHost := n.MustAddHost("service", "10.0.0.2")
+
+	sa, err := NewServiceAgent(serviceHost, AgentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+	if err := sa.Register("service:clock", "service:clock://10.0.0.2:4005", time.Hour, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	ua := NewUserAgent(clientHost, AgentConfig{})
+	urls, err := ua.FindServices("service:clock", "")
+	if err != nil {
+		t.Fatalf("FindServices under loss: %v", err)
+	}
+	if len(urls) != 1 {
+		t.Errorf("urls = %+v", urls)
+	}
+}
+
+func TestDirectoryAgentRegistrationAndLookup(t *testing.T) {
+	// Paper §2: "when a repository exists ... the main challenge for
+	// clients and services is to discover the location of the
+	// repository, which acts as a mandatory intermediary."
+	n := simnet.New(simnet.Config{})
+	t.Cleanup(n.Close)
+	clientHost := n.MustAddHost("client", "10.0.0.1")
+	serviceHost := n.MustAddHost("service", "10.0.0.2")
+	daHost := n.MustAddHost("da", "10.0.0.5")
+
+	// The heartbeat matters: the SA starts after the DA's boot advert,
+	// so it learns the repository from a periodic re-announcement.
+	da, err := NewDirectoryAgent(daHost, AgentConfig{}, WithHeartbeat(10*time.Millisecond))
+	if err != nil {
+		t.Fatalf("NewDirectoryAgent: %v", err)
+	}
+	defer da.Close()
+
+	// The SA hears a DAAdvert (passive repository discovery) and
+	// forwards its registration.
+	sa, err := NewServiceAgent(serviceHost, AgentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+	if err := sa.Register("service:clock", "service:clock://10.0.0.2:4005", time.Hour, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Registration propagates asynchronously; wait for the DA store.
+	deadline := time.Now().Add(time.Second)
+	for da.Registrations() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("registration never reached the DA")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if addr, ok := sa.DA(); !ok || addr.IP != "10.0.0.5" {
+		t.Errorf("SA did not adopt DA: %v %v", addr, ok)
+	}
+
+	// The UA discovers the DA actively, pins it, and queries unicast.
+	ua := NewUserAgent(clientHost, AgentConfig{})
+	daAddr, err := ua.DiscoverDA(time.Second)
+	if err != nil {
+		t.Fatalf("DiscoverDA: %v", err)
+	}
+	if daAddr.IP != "10.0.0.5" || daAddr.Port != Port {
+		t.Errorf("DA addr = %v", daAddr)
+	}
+	urls, err := ua.FindFirst("service:clock", "", time.Second)
+	if err != nil {
+		t.Fatalf("FindFirst via DA: %v", err)
+	}
+	if len(urls) != 1 || urls[0].URL != "service:clock://10.0.0.2:4005" {
+		t.Errorf("urls = %+v", urls)
+	}
+}
+
+func TestDAShutdownAdvertised(t *testing.T) {
+	n := simnet.New(simnet.Config{})
+	t.Cleanup(n.Close)
+	serviceHost := n.MustAddHost("service", "10.0.0.2")
+	daHost := n.MustAddHost("da", "10.0.0.5")
+
+	da, err := NewDirectoryAgent(daHost, AgentConfig{}, WithHeartbeat(10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := NewServiceAgent(serviceHost, AgentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+
+	deadline := time.Now().Add(time.Second)
+	for {
+		if _, ok := sa.DA(); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("SA never adopted DA")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	da.Close() // multicasts boot timestamp 0
+	deadline = time.Now().Add(time.Second)
+	for {
+		if _, ok := sa.DA(); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("SA kept DA after shutdown advert")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPassiveDiscoveryViaSAAdvert(t *testing.T) {
+	// Paper §2: "a passive discovery model means that the client is
+	// listening on a multicast group address ... services periodically
+	// send out multicast announcement of their existence."
+	n := simnet.New(simnet.Config{})
+	t.Cleanup(n.Close)
+	clientHost := n.MustAddHost("client", "10.0.0.1")
+	serviceHost := n.MustAddHost("service", "10.0.0.2")
+
+	sa, err := NewServiceAgent(serviceHost, AgentConfig{AnnounceInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+	if err := sa.Register("service:clock", "service:clock://10.0.0.2:4005", time.Hour, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Passive client: joins the group and just listens.
+	conn, err := clientHost.ListenUDP(Port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.JoinGroup(MulticastGroup); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for {
+		dg, err := conn.Recv(time.Until(deadline))
+		if err != nil {
+			t.Fatalf("no SAAdvert heard: %v", err)
+		}
+		msg, err := Parse(dg.Payload)
+		if err != nil {
+			continue
+		}
+		adv, ok := msg.(*SAAdvert)
+		if !ok {
+			continue
+		}
+		if !strings.Contains(adv.Attrs, "service:clock") {
+			t.Errorf("advert attrs = %q", adv.Attrs)
+		}
+		return
+	}
+}
+
+func TestAttrRqstAgainstSA(t *testing.T) {
+	_, clientHost, serviceHost := testbed(t, simnet.Config{})
+	sa, err := NewServiceAgent(serviceHost, AgentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+	attrs := AttrList{
+		{Name: "location", Values: []string{"hall"}},
+		{Name: "model", Values: []string{"X"}},
+	}
+	if err := sa.Register("service:clock", "service:clock://10.0.0.2:4005", time.Hour, attrs); err != nil {
+		t.Fatal(err)
+	}
+
+	ua := NewUserAgent(clientHost, AgentConfig{})
+	got, err := ua.FindAttrs("service:clock://10.0.0.2:4005", time.Second)
+	if err != nil {
+		t.Fatalf("FindAttrs: %v", err)
+	}
+	if got.First("location") != "hall" || got.First("model") != "X" {
+		t.Errorf("attrs = %+v", got)
+	}
+
+	// By type rather than URL.
+	got, err = ua.FindAttrs("service:clock", time.Second)
+	if err != nil {
+		t.Fatalf("FindAttrs by type: %v", err)
+	}
+	if got.First("location") != "hall" {
+		t.Errorf("attrs by type = %+v", got)
+	}
+}
+
+func TestSrvTypeRqstAgainstSA(t *testing.T) {
+	_, clientHost, serviceHost := testbed(t, simnet.Config{})
+	sa, err := NewServiceAgent(serviceHost, AgentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+	if err := sa.Register("service:clock", "service:clock://10.0.0.2:4005", time.Hour, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.Register("service:printer:lpr", "service:printer:lpr://10.0.0.2:515", time.Hour, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	ua := NewUserAgent(clientHost, AgentConfig{})
+	types, err := ua.FindTypes(200 * time.Millisecond)
+	if err != nil {
+		t.Fatalf("FindTypes: %v", err)
+	}
+	if len(types) != 2 {
+		t.Errorf("types = %v", types)
+	}
+}
+
+func TestScopeMismatchIgnoredOnMulticast(t *testing.T) {
+	_, clientHost, serviceHost := testbed(t, simnet.Config{})
+	sa, err := NewServiceAgent(serviceHost, AgentConfig{Scopes: []string{"LAB"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+	if err := sa.Register("service:clock", "service:clock://10.0.0.2:4005", time.Hour, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	ua := NewUserAgent(clientHost, AgentConfig{Scopes: []string{"HOME"}})
+	if _, err := ua.FindFirst("service:clock", "", 50*time.Millisecond); !errors.Is(err, simnet.ErrTimeout) {
+		t.Errorf("err = %v, want silence on scope mismatch", err)
+	}
+}
+
+func TestServiceAgentAnswersSAAdvertRequest(t *testing.T) {
+	_, clientHost, serviceHost := testbed(t, simnet.Config{})
+	sa, err := NewServiceAgent(serviceHost, AgentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+
+	conn, err := clientHost.ListenUDP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	req := &SrvRqst{
+		Hdr:         Header{XID: 77, Flags: FlagRequestMcast},
+		ServiceType: "service:service-agent",
+	}
+	data, err := req.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.WriteTo(data, groupAddr()); err != nil {
+		t.Fatal(err)
+	}
+	dg, err := conn.Recv(time.Second)
+	if err != nil {
+		t.Fatalf("no SAAdvert reply: %v", err)
+	}
+	msg, err := Parse(dg.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, ok := msg.(*SAAdvert)
+	if !ok {
+		t.Fatalf("got %T", msg)
+	}
+	if adv.URL != "service:service-agent://10.0.0.2" || adv.Hdr.XID != 77 {
+		t.Errorf("advert = %+v", adv)
+	}
+}
+
+func TestDeregisterStopsAnswers(t *testing.T) {
+	_, clientHost, serviceHost := testbed(t, simnet.Config{})
+	sa, err := NewServiceAgent(serviceHost, AgentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+	if err := sa.Register("service:clock", "service:clock://10.0.0.2:4005", time.Hour, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.Deregister("service:clock://10.0.0.2:4005"); err != nil {
+		t.Fatal(err)
+	}
+
+	ua := NewUserAgent(clientHost, AgentConfig{})
+	if _, err := ua.FindFirst("service:clock", "", 50*time.Millisecond); !errors.Is(err, simnet.ErrTimeout) {
+		t.Errorf("err = %v, want timeout after deregister", err)
+	}
+}
+
+func TestProcessingDelaySlowsExchange(t *testing.T) {
+	const delay = 10 * time.Millisecond
+	_, clientHost, serviceHost := testbed(t, simnet.Config{})
+	sa, err := NewServiceAgent(serviceHost, AgentConfig{ProcessingDelay: delay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+	if err := sa.Register("service:clock", "service:clock://10.0.0.2:4005", time.Hour, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	ua := NewUserAgent(clientHost, AgentConfig{ProcessingDelay: delay})
+	start := time.Now()
+	if _, err := ua.FindFirst("service:clock", "", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// UA delays on send + on reply, SA on request: >= 3 delays total.
+	if elapsed := time.Since(start); elapsed < 3*delay {
+		t.Errorf("exchange took %v, want >= %v", elapsed, 3*delay)
+	}
+}

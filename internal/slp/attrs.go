@@ -1,0 +1,194 @@
+package slp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Attr is one service attribute: a name with zero or more values. An
+// attribute without values is a keyword (RFC 2608 §5).
+type Attr struct {
+	Name   string
+	Values []string
+}
+
+// AttrList is an ordered service attribute list.
+type AttrList []Attr
+
+// ErrBadAttrList reports a malformed attribute list.
+var ErrBadAttrList = errors.New("slp: malformed attribute list")
+
+// reservedAttrChars must be escaped inside attribute tags and values
+// (RFC 2608 §5).
+const reservedAttrChars = "(),\\!<=>~;*+"
+
+// EscapeAttr escapes reserved and control characters as \XX hex pairs.
+func EscapeAttr(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || strings.IndexByte(reservedAttrChars, c) >= 0 {
+			fmt.Fprintf(&b, `\%02X`, c)
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// UnescapeAttr decodes \XX escapes.
+func UnescapeAttr(s string) (string, error) {
+	if !strings.Contains(s, `\`) {
+		return s, nil
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		if i+2 >= len(s) {
+			return "", fmt.Errorf("%w: dangling escape", ErrBadAttrList)
+		}
+		hi, okHi := hexVal(s[i+1])
+		lo, okLo := hexVal(s[i+2])
+		if !okHi || !okLo {
+			return "", fmt.Errorf("%w: bad escape \\%c%c", ErrBadAttrList, s[i+1], s[i+2])
+		}
+		b.WriteByte(hi<<4 | lo)
+		i += 2
+	}
+	return b.String(), nil
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	default:
+		return 0, false
+	}
+}
+
+// String renders the list in wire form:
+// "(a=1,2),(b=x),keyword".
+func (l AttrList) String() string {
+	parts := make([]string, 0, len(l))
+	for _, a := range l {
+		if len(a.Values) == 0 {
+			parts = append(parts, EscapeAttr(a.Name))
+			continue
+		}
+		vals := make([]string, len(a.Values))
+		for i, v := range a.Values {
+			vals[i] = EscapeAttr(v)
+		}
+		parts = append(parts, "("+EscapeAttr(a.Name)+"="+strings.Join(vals, ",")+")")
+	}
+	return strings.Join(parts, ",")
+}
+
+// Get returns the values of the named attribute (case-insensitive per
+// RFC 2608 §6.4) and whether it exists.
+func (l AttrList) Get(name string) ([]string, bool) {
+	for _, a := range l {
+		if strings.EqualFold(a.Name, name) {
+			return a.Values, true
+		}
+	}
+	return nil, false
+}
+
+// First returns the first value of the named attribute, or "".
+func (l AttrList) First(name string) string {
+	vals, ok := l.Get(name)
+	if !ok || len(vals) == 0 {
+		return ""
+	}
+	return vals[0]
+}
+
+// ParseAttrList decodes a wire-form attribute list.
+func ParseAttrList(s string) (AttrList, error) {
+	var list AttrList
+	i := 0
+	for i < len(s) {
+		switch s[i] {
+		case ',':
+			i++
+		case '(':
+			end := findAttrClose(s, i)
+			if end < 0 {
+				return nil, fmt.Errorf("%w: unclosed parenthesis", ErrBadAttrList)
+			}
+			attr, err := parseAttr(s[i+1 : end])
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, attr)
+			i = end + 1
+		default:
+			// Keyword attribute: runs to the next comma.
+			end := strings.IndexByte(s[i:], ',')
+			var raw string
+			if end < 0 {
+				raw = s[i:]
+				i = len(s)
+			} else {
+				raw = s[i : i+end]
+				i += end
+			}
+			name, err := UnescapeAttr(strings.TrimSpace(raw))
+			if err != nil {
+				return nil, err
+			}
+			if name == "" {
+				return nil, fmt.Errorf("%w: empty keyword", ErrBadAttrList)
+			}
+			list = append(list, Attr{Name: name})
+		}
+	}
+	return list, nil
+}
+
+// findAttrClose locates the ')' matching the '(' at s[open]. Attribute
+// values escape parentheses, so no nesting occurs.
+func findAttrClose(s string, open int) int {
+	for i := open + 1; i < len(s); i++ {
+		if s[i] == ')' {
+			return i
+		}
+	}
+	return -1
+}
+
+func parseAttr(body string) (Attr, error) {
+	nameRaw, valsRaw, ok := strings.Cut(body, "=")
+	if !ok {
+		return Attr{}, fmt.Errorf("%w: %q has no '='", ErrBadAttrList, body)
+	}
+	name, err := UnescapeAttr(strings.TrimSpace(nameRaw))
+	if err != nil {
+		return Attr{}, err
+	}
+	if name == "" {
+		return Attr{}, fmt.Errorf("%w: empty attribute tag", ErrBadAttrList)
+	}
+	var values []string
+	for _, raw := range strings.Split(valsRaw, ",") {
+		v, err := UnescapeAttr(strings.TrimSpace(raw))
+		if err != nil {
+			return Attr{}, err
+		}
+		values = append(values, v)
+	}
+	return Attr{Name: name, Values: values}, nil
+}

@@ -1,0 +1,249 @@
+package slp
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAttrListRoundTrip(t *testing.T) {
+	list := AttrList{
+		{Name: "location", Values: []string{"hall"}},
+		{Name: "ppm", Values: []string{"12", "24"}},
+		{Name: "color"}, // keyword
+		{Name: "weird(name)", Values: []string{"a,b", `c\d`}},
+	}
+	wire := list.String()
+	back, err := ParseAttrList(wire)
+	if err != nil {
+		t.Fatalf("ParseAttrList(%q): %v", wire, err)
+	}
+	if !reflect.DeepEqual(list, back) {
+		t.Errorf("round trip:\n got %+v\nwant %+v\nwire %q", back, list, wire)
+	}
+}
+
+func TestAttrListGet(t *testing.T) {
+	list := AttrList{
+		{Name: "Location", Values: []string{"hall"}},
+		{Name: "kw"},
+	}
+	vals, ok := list.Get("location") // case-insensitive
+	if !ok || len(vals) != 1 || vals[0] != "hall" {
+		t.Errorf("Get = %v %v", vals, ok)
+	}
+	if got := list.First("location"); got != "hall" {
+		t.Errorf("First = %q", got)
+	}
+	if got := list.First("kw"); got != "" {
+		t.Errorf("keyword First = %q", got)
+	}
+	if _, ok := list.Get("missing"); ok {
+		t.Error("Get(missing) ok")
+	}
+}
+
+func TestParseAttrListErrors(t *testing.T) {
+	tests := []string{
+		"(unclosed=1",
+		"(noequals)",
+		"(=value)",
+		`(a=\G1)`,
+		`(a=\1)`,
+		"(a=1),,(", // unclosed after empty segment
+	}
+	for _, src := range tests {
+		if _, err := ParseAttrList(src); !errors.Is(err, ErrBadAttrList) {
+			t.Errorf("ParseAttrList(%q) err = %v, want ErrBadAttrList", src, err)
+		}
+	}
+}
+
+func TestParseAttrListEmpty(t *testing.T) {
+	list, err := ParseAttrList("")
+	if err != nil || len(list) != 0 {
+		t.Errorf("empty list: %v %v", list, err)
+	}
+}
+
+func TestEscapeAttrReservedChars(t *testing.T) {
+	in := `a(b)c,d\e!f<g=h>i~j;k*l+m`
+	escaped := EscapeAttr(in)
+	for _, c := range reservedAttrChars {
+		if c == '\\' {
+			continue // the escape prefix itself legitimately remains
+		}
+		for _, e := range escaped {
+			if e == c {
+				t.Fatalf("reserved char %q survived escaping: %q", string(c), escaped)
+			}
+		}
+	}
+	back, err := UnescapeAttr(escaped)
+	if err != nil || back != in {
+		t.Errorf("unescape = %q, %v", back, err)
+	}
+}
+
+func TestEscapeRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		back, err := UnescapeAttr(EscapeAttr(s))
+		return err == nil && back == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAttrListRoundTripProperty(t *testing.T) {
+	// Names and values survive a String/Parse cycle thanks to escaping.
+	// RFC 2608 ignores white space around tags and values, so
+	// surrounding whitespace (which Go's TrimSpace extends to Unicode
+	// spaces) is not wire-representable: the expectation is built from
+	// trimmed strings.
+	f := func(names, values []string) bool {
+		var list AttrList
+		for i, n := range names {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			a := Attr{Name: n}
+			if i < len(values) {
+				if v := strings.TrimSpace(values[i]); v != "" {
+					a.Values = []string{v}
+				}
+			}
+			list = append(list, a)
+		}
+		back, err := ParseAttrList(list.String())
+		if err != nil {
+			return false
+		}
+		if len(list) == 0 {
+			return len(back) == 0
+		}
+		return reflect.DeepEqual(list, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredicateBasics(t *testing.T) {
+	attrs := AttrList{
+		{Name: "location", Values: []string{"hall"}},
+		{Name: "ppm", Values: []string{"12"}},
+		{Name: "color"},
+	}
+	tests := []struct {
+		filter string
+		want   bool
+	}{
+		{"", true},
+		{"(location=hall)", true},
+		{"(location=kitchen)", false},
+		{"(LOCATION=HALL)", true}, // case-insensitive
+		{"(location=h*)", true},
+		{"(location=*all)", true},
+		{"(location=h*l*)", true},
+		{"(location=k*)", false},
+		{"(location=*)", true}, // presence
+		{"(missing=*)", false},
+		{"(ppm>=10)", true},
+		{"(ppm>=13)", false},
+		{"(ppm<=12)", true},
+		{"(ppm<=11)", false},
+		{"(&(location=hall)(ppm>=10))", true},
+		{"(&(location=hall)(ppm>=13))", false},
+		{"(|(location=kitchen)(ppm>=10))", true},
+		{"(|(location=kitchen)(ppm>=13))", false},
+		{"(!(location=kitchen))", true},
+		{"(!(location=hall))", false},
+		{"(&(|(location=hall)(location=kitchen))(!(ppm<=5)))", true},
+		{"(color=*)", true},
+	}
+	for _, tt := range tests {
+		p, err := ParsePredicate(tt.filter)
+		if err != nil {
+			t.Errorf("ParsePredicate(%q): %v", tt.filter, err)
+			continue
+		}
+		if got := p.Eval(attrs); got != tt.want {
+			t.Errorf("Eval(%q) = %v, want %v", tt.filter, got, tt.want)
+		}
+	}
+}
+
+func TestPredicateStringOrdering(t *testing.T) {
+	attrs := AttrList{{Name: "name", Values: []string{"beta"}}}
+	for filter, want := range map[string]bool{
+		"(name>=alpha)": true,
+		"(name<=alpha)": false,
+		"(name>=gamma)": false,
+		"(name<=gamma)": true,
+	} {
+		p, err := ParsePredicate(filter)
+		if err != nil {
+			t.Fatalf("%q: %v", filter, err)
+		}
+		if got := p.Eval(attrs); got != want {
+			t.Errorf("Eval(%q) = %v, want %v", filter, got, want)
+		}
+	}
+}
+
+func TestPredicateErrors(t *testing.T) {
+	bad := []string{
+		"(",
+		"()",
+		"(a=1",
+		"(&)",
+		"(&a=1)",
+		"(!)",
+		"(a~1)",
+		"(a=1)trailing",
+		"((a=1))",
+		"(=x)",
+	}
+	for _, filter := range bad {
+		if _, err := ParsePredicate(filter); !errors.Is(err, ErrBadPredicate) {
+			t.Errorf("ParsePredicate(%q) err = %v, want ErrBadPredicate", filter, err)
+		}
+	}
+}
+
+func TestMustParsePredicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	MustParsePredicate("(((")
+}
+
+func TestWildcardMatch(t *testing.T) {
+	tests := []struct {
+		pattern, value string
+		want           bool
+	}{
+		{"*", "", true},
+		{"*", "anything", true},
+		{"a*", "abc", true},
+		{"*c", "abc", true},
+		{"a*c", "abc", true},
+		{"a*c", "ac", true},
+		{"a*b*c", "aXbYc", true},
+		{"a*b*c", "acb", false},
+		{"abc", "abc", true},
+		{"abc", "abd", false},
+		{"a**b", "ab", true},
+	}
+	for _, tt := range tests {
+		if got := wildcardMatch(tt.pattern, tt.value); got != tt.want {
+			t.Errorf("wildcardMatch(%q, %q) = %v, want %v", tt.pattern, tt.value, got, tt.want)
+		}
+	}
+}

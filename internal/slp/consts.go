@@ -1,0 +1,157 @@
+package slp
+
+import "time"
+
+// IANA-registered identification tag of SLP (paper §2.1: address and port
+// "form a unique pair and may be interpreted as a permanent SDP
+// identification tag").
+const (
+	// Port is the registered SLP UDP/TCP port.
+	Port = 427
+	// MulticastGroup is SVRLOC, the administratively scoped SLP group.
+	MulticastGroup = "239.255.255.253"
+	// Version is the SLP protocol version implemented.
+	Version = 2
+)
+
+// FunctionID discriminates SLP message types (RFC 2608 §8).
+type FunctionID uint8
+
+// SLPv2 function IDs.
+const (
+	FnSrvRqst     FunctionID = 1
+	FnSrvRply     FunctionID = 2
+	FnSrvReg      FunctionID = 3
+	FnSrvDeReg    FunctionID = 4
+	FnSrvAck      FunctionID = 5
+	FnAttrRqst    FunctionID = 6
+	FnAttrRply    FunctionID = 7
+	FnDAAdvert    FunctionID = 8
+	FnSrvTypeRqst FunctionID = 9
+	FnSrvTypeRply FunctionID = 10
+	FnSAAdvert    FunctionID = 11
+)
+
+// String names the function for traces.
+func (f FunctionID) String() string {
+	switch f {
+	case FnSrvRqst:
+		return "SrvRqst"
+	case FnSrvRply:
+		return "SrvRply"
+	case FnSrvReg:
+		return "SrvReg"
+	case FnSrvDeReg:
+		return "SrvDeReg"
+	case FnSrvAck:
+		return "SrvAck"
+	case FnAttrRqst:
+		return "AttrRqst"
+	case FnAttrRply:
+		return "AttrRply"
+	case FnDAAdvert:
+		return "DAAdvert"
+	case FnSrvTypeRqst:
+		return "SrvTypeRqst"
+	case FnSrvTypeRply:
+		return "SrvTypeRply"
+	case FnSAAdvert:
+		return "SAAdvert"
+	default:
+		return "Unknown"
+	}
+}
+
+// ErrorCode is an SLP result code (RFC 2608 §7).
+type ErrorCode uint16
+
+// SLPv2 error codes.
+const (
+	ErrNone                ErrorCode = 0
+	ErrLangNotSupported    ErrorCode = 1
+	ErrParse               ErrorCode = 2
+	ErrInvalidRegistration ErrorCode = 3
+	ErrScopeNotSupported   ErrorCode = 4
+	ErrAuthUnknown         ErrorCode = 5
+	ErrAuthAbsent          ErrorCode = 6
+	ErrAuthFailed          ErrorCode = 7
+	ErrVerNotSupported     ErrorCode = 9
+	ErrInternal            ErrorCode = 10
+	ErrDABusy              ErrorCode = 11
+	ErrOptionNotUnderstood ErrorCode = 12
+	ErrInvalidUpdate       ErrorCode = 13
+	ErrMsgNotSupported     ErrorCode = 14
+	ErrRefreshRejected     ErrorCode = 15
+)
+
+// String names the error code.
+func (e ErrorCode) String() string {
+	switch e {
+	case ErrNone:
+		return "OK"
+	case ErrLangNotSupported:
+		return "LANGUAGE_NOT_SUPPORTED"
+	case ErrParse:
+		return "PARSE_ERROR"
+	case ErrInvalidRegistration:
+		return "INVALID_REGISTRATION"
+	case ErrScopeNotSupported:
+		return "SCOPE_NOT_SUPPORTED"
+	case ErrAuthUnknown:
+		return "AUTHENTICATION_UNKNOWN"
+	case ErrAuthAbsent:
+		return "AUTHENTICATION_ABSENT"
+	case ErrAuthFailed:
+		return "AUTHENTICATION_FAILED"
+	case ErrVerNotSupported:
+		return "VER_NOT_SUPPORTED"
+	case ErrInternal:
+		return "INTERNAL_ERROR"
+	case ErrDABusy:
+		return "DA_BUSY_NOW"
+	case ErrOptionNotUnderstood:
+		return "OPTION_NOT_UNDERSTOOD"
+	case ErrInvalidUpdate:
+		return "INVALID_UPDATE"
+	case ErrMsgNotSupported:
+		return "MSG_NOT_SUPPORTED"
+	case ErrRefreshRejected:
+		return "REFRESH_REJECTED"
+	default:
+		return "UNKNOWN_ERROR"
+	}
+}
+
+// Header flags (RFC 2608 §8: top three bits of the flags field).
+const (
+	// FlagOverflow marks a reply that did not fit the datagram.
+	FlagOverflow uint16 = 0x8000
+	// FlagFresh marks a SrvReg establishing (not refreshing) a
+	// registration.
+	FlagFresh uint16 = 0x4000
+	// FlagRequestMcast marks multicast (vs unicast) requests.
+	FlagRequestMcast uint16 = 0x2000
+)
+
+// Protocol timing defaults (RFC 2608 §6.3, scaled down ~100x: on the
+// simulated LAN every exchange completes in microseconds, so full
+// RFC wait intervals would only slow the experiment harness).
+const (
+	// DefaultLifetime is the registration lifetime URL entries carry by
+	// default, in seconds.
+	DefaultLifetime = 10800 // LIFETIME_DEFAULT fits the RFC maximum advisory
+
+	// ConvergenceWait is CONFIG_MC_MAX: the maximum time a UA keeps a
+	// multicast convergence round open.
+	ConvergenceWait = 150 * time.Millisecond
+
+	// RetryInterval separates multicast retransmissions within one
+	// convergence round.
+	RetryInterval = 50 * time.Millisecond
+
+	// DefaultScope is the scope used when none is configured.
+	DefaultScope = "DEFAULT"
+
+	// DefaultLang is the RFC 1766 language tag requests carry.
+	DefaultLang = "en"
+)

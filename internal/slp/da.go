@@ -1,0 +1,257 @@
+package slp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"indiss/internal/simnet"
+)
+
+// DirectoryAgent is the SLP repository: "a centralized lookup service
+// which aggregates services information from service advertisements"
+// (paper §2). It answers unicast requests from UAs, accepts SrvReg /
+// SrvDeReg from SAs, and announces itself with unsolicited multicast
+// DAAdverts — the repository-discovery mechanisms of both the active and
+// passive models.
+type DirectoryAgent struct {
+	host *simnet.Host
+	conn *simnet.UDPConn
+	cfg  AgentConfig
+
+	store  *Store
+	bootTS uint32
+	xid    atomic.Uint32
+
+	// HeartbeatInterval spaces unsolicited DAAdverts. Zero announces
+	// only once at boot.
+	heartbeat time.Duration
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// DAOption configures a DirectoryAgent.
+type DAOption func(*DirectoryAgent)
+
+// WithHeartbeat makes the DA re-announce itself periodically.
+func WithHeartbeat(interval time.Duration) DAOption {
+	return func(da *DirectoryAgent) { da.heartbeat = interval }
+}
+
+// NewDirectoryAgent binds the SLP port on host, announces the DA, and
+// starts serving.
+func NewDirectoryAgent(host *simnet.Host, cfg AgentConfig, opts ...DAOption) (*DirectoryAgent, error) {
+	conn, err := host.ListenUDP(Port)
+	if err != nil {
+		return nil, fmt.Errorf("slp da: %w", err)
+	}
+	if err := conn.JoinGroup(MulticastGroup); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("slp da: %w", err)
+	}
+	da := &DirectoryAgent{
+		host:   host,
+		conn:   conn,
+		cfg:    cfg,
+		store:  NewStore(),
+		bootTS: uint32(time.Now().Unix()),
+		stop:   make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(da)
+	}
+	da.wg.Add(1)
+	go func() {
+		defer da.wg.Done()
+		da.serve()
+	}()
+	// Boot announcement (RFC 2608 §12.2): how passive listeners learn
+	// the repository's location without transmitting.
+	da.sendAdvert(groupAddr(), Header{XID: da.nextXID(), Lang: cfg.lang()}, da.bootTS)
+	if da.heartbeat > 0 {
+		da.wg.Add(1)
+		go func() {
+			defer da.wg.Done()
+			da.announce()
+		}()
+	}
+	return da, nil
+}
+
+// Close announces shutdown (boot timestamp 0) and stops the agent.
+func (da *DirectoryAgent) Close() {
+	select {
+	case <-da.stop:
+		return
+	default:
+	}
+	da.sendAdvert(groupAddr(), Header{XID: da.nextXID(), Lang: da.cfg.lang()}, 0)
+	close(da.stop)
+	da.conn.Close()
+	da.wg.Wait()
+}
+
+// Host returns the DA's host.
+func (da *DirectoryAgent) Host() *simnet.Host { return da.host }
+
+// URL returns the DA's service URL.
+func (da *DirectoryAgent) URL() string {
+	return "service:directory-agent://" + da.host.IP()
+}
+
+// Registrations returns the number of live registrations in the store.
+func (da *DirectoryAgent) Registrations() int {
+	da.store.Expire(time.Now())
+	return da.store.Len()
+}
+
+func (da *DirectoryAgent) nextXID() uint16 { return uint16(da.xid.Add(1)) }
+
+func (da *DirectoryAgent) delay() {
+	if da.cfg.ProcessingDelay > 0 {
+		simnet.SleepPrecise(da.cfg.ProcessingDelay)
+	}
+}
+
+func (da *DirectoryAgent) serve() {
+	for {
+		dg, err := da.conn.Recv(0)
+		if err != nil {
+			return
+		}
+		msg, err := Parse(dg.Payload)
+		if err != nil {
+			continue
+		}
+		da.delay()
+		switch m := msg.(type) {
+		case *SrvRqst:
+			da.handleSrvRqst(m, dg)
+		case *SrvReg:
+			da.handleSrvReg(m, dg)
+		case *SrvDeReg:
+			da.handleSrvDeReg(m, dg)
+		case *AttrRqst:
+			da.handleAttrRqst(m, dg)
+		case *SrvTypeRqst:
+			da.handleSrvTypeRqst(m, dg)
+		}
+	}
+}
+
+func (da *DirectoryAgent) handleSrvRqst(m *SrvRqst, dg simnet.Datagram) {
+	for _, p := range m.PrevResponders {
+		if p == da.host.IP() {
+			return
+		}
+	}
+	if m.ServiceType == "service:directory-agent" {
+		da.sendAdvert(dg.Src, replyHdr(m.Hdr, da.cfg.lang()), da.bootTS)
+		return
+	}
+	if !ScopesIntersect(m.Scopes, da.cfg.scopes()) {
+		if !m.Hdr.Multicast() {
+			da.send(&SrvRply{Hdr: replyHdr(m.Hdr, da.cfg.lang()), Error: ErrScopeNotSupported}, dg.Src)
+		}
+		return
+	}
+	pred, err := ParsePredicate(m.Predicate)
+	if err != nil {
+		if !m.Hdr.Multicast() {
+			da.send(&SrvRply{Hdr: replyHdr(m.Hdr, da.cfg.lang()), Error: ErrParse}, dg.Src)
+		}
+		return
+	}
+	now := time.Now()
+	regs := da.store.Lookup(m.ServiceType, m.Scopes, pred, now)
+	if len(regs) == 0 && m.Hdr.Multicast() {
+		return
+	}
+	rply := &SrvRply{Hdr: replyHdr(m.Hdr, da.cfg.lang())}
+	for _, reg := range regs {
+		rply.URLs = append(rply.URLs, URLEntry{Lifetime: reg.Lifetime(now), URL: reg.URL})
+	}
+	da.send(rply, dg.Src)
+}
+
+func (da *DirectoryAgent) handleSrvReg(m *SrvReg, dg simnet.Datagram) {
+	attrs, err := ParseAttrList(m.Attrs)
+	code := ErrNone
+	if err != nil {
+		code = ErrParse
+	} else if !ScopesIntersect(m.Scopes, da.cfg.scopes()) {
+		code = ErrScopeNotSupported
+	} else {
+		code = da.store.Register(Registration{
+			ServiceType: m.ServiceType,
+			URL:         m.Entry.URL,
+			Scopes:      m.Scopes,
+			Attrs:       attrs,
+			Expires:     time.Now().Add(time.Duration(m.Entry.Lifetime) * time.Second),
+		})
+	}
+	da.send(&SrvAck{Hdr: replyHdr(m.Hdr, da.cfg.lang()), Error: code}, dg.Src)
+}
+
+func (da *DirectoryAgent) handleSrvDeReg(m *SrvDeReg, dg simnet.Datagram) {
+	code := da.store.Deregister(m.Entry.URL)
+	da.send(&SrvAck{Hdr: replyHdr(m.Hdr, da.cfg.lang()), Error: code}, dg.Src)
+}
+
+func (da *DirectoryAgent) handleAttrRqst(m *AttrRqst, dg simnet.Datagram) {
+	now := time.Now()
+	var attrs AttrList
+	if reg, ok := da.store.Get(m.URL, now); ok {
+		attrs = reg.Attrs
+	} else {
+		seen := make(map[string]struct{})
+		for _, reg := range da.store.Lookup(m.URL, m.Scopes, nil, now) {
+			for _, a := range reg.Attrs {
+				if _, dup := seen[a.Name]; dup {
+					continue
+				}
+				seen[a.Name] = struct{}{}
+				attrs = append(attrs, a)
+			}
+		}
+	}
+	da.send(&AttrRply{Hdr: replyHdr(m.Hdr, da.cfg.lang()), Attrs: attrs.String()}, dg.Src)
+}
+
+func (da *DirectoryAgent) handleSrvTypeRqst(m *SrvTypeRqst, dg simnet.Datagram) {
+	types := da.store.Types(m.Scopes, time.Now())
+	da.send(&SrvTypeRply{Hdr: replyHdr(m.Hdr, da.cfg.lang()), Types: types}, dg.Src)
+}
+
+func (da *DirectoryAgent) announce() {
+	ticker := time.NewTicker(da.heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-da.stop:
+			return
+		case <-ticker.C:
+			da.sendAdvert(groupAddr(), Header{XID: da.nextXID(), Lang: da.cfg.lang()}, da.bootTS)
+		}
+	}
+}
+
+func (da *DirectoryAgent) sendAdvert(dst simnet.Addr, hdr Header, bootTS uint32) {
+	adv := &DAAdvert{
+		Hdr:           hdr,
+		BootTimestamp: bootTS,
+		URL:           da.URL(),
+		Scopes:        da.cfg.scopes(),
+	}
+	da.send(adv, dst)
+}
+
+func (da *DirectoryAgent) send(m Message, dst simnet.Addr) {
+	data, err := m.Marshal()
+	if err != nil {
+		return
+	}
+	_ = da.conn.WriteTo(data, dst)
+}

@@ -1,0 +1,516 @@
+package slp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Message is any SLPv2 message. Marshal produces the complete datagram
+// including the common header.
+type Message interface {
+	// Function returns the message's function ID.
+	Function() FunctionID
+	// Header returns the message's common header values.
+	Header() Header
+	// Marshal serializes the message to wire format.
+	Marshal() ([]byte, error)
+}
+
+// Parse decodes any SLPv2 datagram into its typed message.
+func Parse(data []byte) (Message, error) {
+	h, r, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	var m Message
+	switch h.Function {
+	case FnSrvRqst:
+		m = parseSrvRqst(h, r)
+	case FnSrvRply:
+		m = parseSrvRply(h, r)
+	case FnSrvReg:
+		m = parseSrvReg(h, r)
+	case FnSrvDeReg:
+		m = parseSrvDeReg(h, r)
+	case FnSrvAck:
+		m = parseSrvAck(h, r)
+	case FnAttrRqst:
+		m = parseAttrRqst(h, r)
+	case FnAttrRply:
+		m = parseAttrRply(h, r)
+	case FnDAAdvert:
+		m = parseDAAdvert(h, r)
+	case FnSrvTypeRqst:
+		m = parseSrvTypeRqst(h, r)
+	case FnSrvTypeRply:
+		m = parseSrvTypeRply(h, r)
+	case FnSAAdvert:
+		m = parseSAAdvert(h, r)
+	default:
+		return nil, fmt.Errorf("slp: unknown function id %d", h.Function)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return m, nil
+}
+
+// scopeList joins scopes in wire form.
+func scopeList(scopes []string) string { return strings.Join(scopes, ",") }
+
+// splitList splits a comma-separated wire list, dropping empty items.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SrvRqst is a service request (RFC 2608 §8.1): "who offers this service
+// type (matching this predicate)?"
+type SrvRqst struct {
+	Hdr Header
+	// PrevResponders lists addresses that already answered during
+	// multicast convergence; they stay silent on retransmissions.
+	PrevResponders []string
+	// ServiceType is the requested type, e.g. "service:clock".
+	ServiceType string
+	// Scopes restricts the request to matching scopes.
+	Scopes []string
+	// Predicate is an LDAPv3 filter over service attributes; empty
+	// matches everything.
+	Predicate string
+	// SPI is the security parameter index (unused, carried verbatim).
+	SPI string
+}
+
+// Function implements Message.
+func (m *SrvRqst) Function() FunctionID { return FnSrvRqst }
+
+// Header implements Message.
+func (m *SrvRqst) Header() Header { return m.Hdr }
+
+// Marshal implements Message.
+func (m *SrvRqst) Marshal() ([]byte, error) {
+	h := m.Hdr
+	h.Function = FnSrvRqst
+	return marshalMessage(h, func(w *writer) {
+		w.str(strings.Join(m.PrevResponders, ","))
+		w.str(m.ServiceType)
+		w.str(scopeList(m.Scopes))
+		w.str(m.Predicate)
+		w.str(m.SPI)
+	})
+}
+
+func parseSrvRqst(h Header, r *reader) *SrvRqst {
+	return &SrvRqst{
+		Hdr:            h,
+		PrevResponders: splitList(r.str()),
+		ServiceType:    r.str(),
+		Scopes:         splitList(r.str()),
+		Predicate:      r.str(),
+		SPI:            r.str(),
+	}
+}
+
+// SrvRply answers a SrvRqst with matching service URLs (RFC 2608 §8.2).
+type SrvRply struct {
+	Hdr   Header
+	Error ErrorCode
+	URLs  []URLEntry
+}
+
+// Function implements Message.
+func (m *SrvRply) Function() FunctionID { return FnSrvRply }
+
+// Header implements Message.
+func (m *SrvRply) Header() Header { return m.Hdr }
+
+// Marshal implements Message.
+func (m *SrvRply) Marshal() ([]byte, error) {
+	h := m.Hdr
+	h.Function = FnSrvRply
+	return marshalMessage(h, func(w *writer) {
+		w.u16(uint16(m.Error))
+		if len(m.URLs) > 0xFFFF {
+			w.fail(fmt.Errorf("%w: %d url entries", ErrFieldTooLong, len(m.URLs)))
+			return
+		}
+		w.u16(uint16(len(m.URLs)))
+		for _, e := range m.URLs {
+			w.urlEntry(e)
+		}
+	})
+}
+
+func parseSrvRply(h Header, r *reader) *SrvRply {
+	m := &SrvRply{Hdr: h, Error: ErrorCode(r.u16())}
+	n := int(r.u16())
+	for i := 0; i < n && r.err == nil; i++ {
+		m.URLs = append(m.URLs, r.urlEntry())
+	}
+	return m
+}
+
+// SrvReg registers a service with a DA (RFC 2608 §8.3).
+type SrvReg struct {
+	Hdr Header
+	// Entry carries the service URL and its lifetime.
+	Entry URLEntry
+	// ServiceType is the registered type.
+	ServiceType string
+	// Scopes the registration applies to.
+	Scopes []string
+	// Attrs is the service's attribute list in wire form (see attrs.go).
+	Attrs string
+}
+
+// Function implements Message.
+func (m *SrvReg) Function() FunctionID { return FnSrvReg }
+
+// Header implements Message.
+func (m *SrvReg) Header() Header { return m.Hdr }
+
+// Marshal implements Message.
+func (m *SrvReg) Marshal() ([]byte, error) {
+	h := m.Hdr
+	h.Function = FnSrvReg
+	return marshalMessage(h, func(w *writer) {
+		w.urlEntry(m.Entry)
+		w.str(m.ServiceType)
+		w.str(scopeList(m.Scopes))
+		w.str(m.Attrs)
+		w.u8(0) // attr auth blocks
+	})
+}
+
+func parseSrvReg(h Header, r *reader) *SrvReg {
+	m := &SrvReg{
+		Hdr:         h,
+		Entry:       r.urlEntry(),
+		ServiceType: r.str(),
+		Scopes:      splitList(r.str()),
+		Attrs:       r.str(),
+	}
+	nAuth := r.u8()
+	for i := 0; i < int(nAuth); i++ {
+		r.skipAuthBlock()
+	}
+	return m
+}
+
+// SrvDeReg withdraws a registration (RFC 2608 §10.6).
+type SrvDeReg struct {
+	Hdr    Header
+	Scopes []string
+	Entry  URLEntry
+	// Tags optionally restricts deregistration to attributes; empty
+	// deregisters the whole service.
+	Tags string
+}
+
+// Function implements Message.
+func (m *SrvDeReg) Function() FunctionID { return FnSrvDeReg }
+
+// Header implements Message.
+func (m *SrvDeReg) Header() Header { return m.Hdr }
+
+// Marshal implements Message.
+func (m *SrvDeReg) Marshal() ([]byte, error) {
+	h := m.Hdr
+	h.Function = FnSrvDeReg
+	return marshalMessage(h, func(w *writer) {
+		w.str(scopeList(m.Scopes))
+		w.urlEntry(m.Entry)
+		w.str(m.Tags)
+	})
+}
+
+func parseSrvDeReg(h Header, r *reader) *SrvDeReg {
+	return &SrvDeReg{
+		Hdr:    h,
+		Scopes: splitList(r.str()),
+		Entry:  r.urlEntry(),
+		Tags:   r.str(),
+	}
+}
+
+// SrvAck acknowledges a SrvReg or SrvDeReg (RFC 2608 §8.4).
+type SrvAck struct {
+	Hdr   Header
+	Error ErrorCode
+}
+
+// Function implements Message.
+func (m *SrvAck) Function() FunctionID { return FnSrvAck }
+
+// Header implements Message.
+func (m *SrvAck) Header() Header { return m.Hdr }
+
+// Marshal implements Message.
+func (m *SrvAck) Marshal() ([]byte, error) {
+	h := m.Hdr
+	h.Function = FnSrvAck
+	return marshalMessage(h, func(w *writer) {
+		w.u16(uint16(m.Error))
+	})
+}
+
+func parseSrvAck(h Header, r *reader) *SrvAck {
+	return &SrvAck{Hdr: h, Error: ErrorCode(r.u16())}
+}
+
+// AttrRqst asks for the attributes of a URL or service type (RFC 2608
+// §10.3).
+type AttrRqst struct {
+	Hdr            Header
+	PrevResponders []string
+	// URL is either a full service URL or a service type.
+	URL    string
+	Scopes []string
+	// Tags restricts which attributes to return; empty returns all.
+	Tags string
+	SPI  string
+}
+
+// Function implements Message.
+func (m *AttrRqst) Function() FunctionID { return FnAttrRqst }
+
+// Header implements Message.
+func (m *AttrRqst) Header() Header { return m.Hdr }
+
+// Marshal implements Message.
+func (m *AttrRqst) Marshal() ([]byte, error) {
+	h := m.Hdr
+	h.Function = FnAttrRqst
+	return marshalMessage(h, func(w *writer) {
+		w.str(strings.Join(m.PrevResponders, ","))
+		w.str(m.URL)
+		w.str(scopeList(m.Scopes))
+		w.str(m.Tags)
+		w.str(m.SPI)
+	})
+}
+
+func parseAttrRqst(h Header, r *reader) *AttrRqst {
+	return &AttrRqst{
+		Hdr:            h,
+		PrevResponders: splitList(r.str()),
+		URL:            r.str(),
+		Scopes:         splitList(r.str()),
+		Tags:           r.str(),
+		SPI:            r.str(),
+	}
+}
+
+// AttrRply returns an attribute list (RFC 2608 §10.4).
+type AttrRply struct {
+	Hdr   Header
+	Error ErrorCode
+	Attrs string
+}
+
+// Function implements Message.
+func (m *AttrRply) Function() FunctionID { return FnAttrRply }
+
+// Header implements Message.
+func (m *AttrRply) Header() Header { return m.Hdr }
+
+// Marshal implements Message.
+func (m *AttrRply) Marshal() ([]byte, error) {
+	h := m.Hdr
+	h.Function = FnAttrRply
+	return marshalMessage(h, func(w *writer) {
+		w.u16(uint16(m.Error))
+		w.str(m.Attrs)
+		w.u8(0) // attr auth blocks
+	})
+}
+
+func parseAttrRply(h Header, r *reader) *AttrRply {
+	m := &AttrRply{Hdr: h, Error: ErrorCode(r.u16()), Attrs: r.str()}
+	nAuth := r.u8()
+	for i := 0; i < int(nAuth); i++ {
+		r.skipAuthBlock()
+	}
+	return m
+}
+
+// DAAdvert announces a directory agent (RFC 2608 §8.5) — the repository
+// of the paper's §2 discovery models.
+type DAAdvert struct {
+	Hdr   Header
+	Error ErrorCode
+	// BootTimestamp is the DA's stateless reboot time; 0 means the DA
+	// is going down.
+	BootTimestamp uint32
+	// URL locates the DA, "service:directory-agent://ip".
+	URL    string
+	Scopes []string
+	Attrs  string
+	SPI    string
+}
+
+// Function implements Message.
+func (m *DAAdvert) Function() FunctionID { return FnDAAdvert }
+
+// Header implements Message.
+func (m *DAAdvert) Header() Header { return m.Hdr }
+
+// Marshal implements Message.
+func (m *DAAdvert) Marshal() ([]byte, error) {
+	h := m.Hdr
+	h.Function = FnDAAdvert
+	return marshalMessage(h, func(w *writer) {
+		w.u16(uint16(m.Error))
+		w.u32(m.BootTimestamp)
+		w.str(m.URL)
+		w.str(scopeList(m.Scopes))
+		w.str(m.Attrs)
+		w.str(m.SPI)
+		w.u8(0) // auth blocks
+	})
+}
+
+func parseDAAdvert(h Header, r *reader) *DAAdvert {
+	m := &DAAdvert{
+		Hdr:           h,
+		Error:         ErrorCode(r.u16()),
+		BootTimestamp: r.u32(),
+		URL:           r.str(),
+		Scopes:        splitList(r.str()),
+		Attrs:         r.str(),
+		SPI:           r.str(),
+	}
+	nAuth := r.u8()
+	for i := 0; i < int(nAuth); i++ {
+		r.skipAuthBlock()
+	}
+	return m
+}
+
+// SrvTypeRqst asks which service types exist (RFC 2608 §10.1).
+type SrvTypeRqst struct {
+	Hdr            Header
+	PrevResponders []string
+	// NamingAuthority restricts types; AllAuthorities means no
+	// restriction.
+	NamingAuthority string
+	AllAuthorities  bool
+	Scopes          []string
+}
+
+// Function implements Message.
+func (m *SrvTypeRqst) Function() FunctionID { return FnSrvTypeRqst }
+
+// Header implements Message.
+func (m *SrvTypeRqst) Header() Header { return m.Hdr }
+
+// Marshal implements Message.
+func (m *SrvTypeRqst) Marshal() ([]byte, error) {
+	h := m.Hdr
+	h.Function = FnSrvTypeRqst
+	return marshalMessage(h, func(w *writer) {
+		w.str(strings.Join(m.PrevResponders, ","))
+		if m.AllAuthorities {
+			w.u16(0xFFFF)
+		} else {
+			w.str(m.NamingAuthority)
+		}
+		w.str(scopeList(m.Scopes))
+	})
+}
+
+func parseSrvTypeRqst(h Header, r *reader) *SrvTypeRqst {
+	m := &SrvTypeRqst{Hdr: h, PrevResponders: splitList(r.str())}
+	n := r.u16()
+	if n == 0xFFFF {
+		m.AllAuthorities = true
+	} else if r.need(int(n)) {
+		m.NamingAuthority = string(r.buf[r.pos : r.pos+int(n)])
+		r.pos += int(n)
+	}
+	m.Scopes = splitList(r.str())
+	return m
+}
+
+// SrvTypeRply lists known service types (RFC 2608 §10.2).
+type SrvTypeRply struct {
+	Hdr   Header
+	Error ErrorCode
+	Types []string
+}
+
+// Function implements Message.
+func (m *SrvTypeRply) Function() FunctionID { return FnSrvTypeRply }
+
+// Header implements Message.
+func (m *SrvTypeRply) Header() Header { return m.Hdr }
+
+// Marshal implements Message.
+func (m *SrvTypeRply) Marshal() ([]byte, error) {
+	h := m.Hdr
+	h.Function = FnSrvTypeRply
+	return marshalMessage(h, func(w *writer) {
+		w.u16(uint16(m.Error))
+		w.str(strings.Join(m.Types, ","))
+	})
+}
+
+func parseSrvTypeRply(h Header, r *reader) *SrvTypeRply {
+	return &SrvTypeRply{
+		Hdr:   h,
+		Error: ErrorCode(r.u16()),
+		Types: splitList(r.str()),
+	}
+}
+
+// SAAdvert announces a service agent (RFC 2608 §8.6) — SLP's passive
+// discovery message in repository-less mode.
+type SAAdvert struct {
+	Hdr Header
+	// URL locates the SA, "service:service-agent://ip".
+	URL    string
+	Scopes []string
+	Attrs  string
+}
+
+// Function implements Message.
+func (m *SAAdvert) Function() FunctionID { return FnSAAdvert }
+
+// Header implements Message.
+func (m *SAAdvert) Header() Header { return m.Hdr }
+
+// Marshal implements Message.
+func (m *SAAdvert) Marshal() ([]byte, error) {
+	h := m.Hdr
+	h.Function = FnSAAdvert
+	return marshalMessage(h, func(w *writer) {
+		w.str(m.URL)
+		w.str(scopeList(m.Scopes))
+		w.str(m.Attrs)
+		w.u8(0) // auth blocks
+	})
+}
+
+func parseSAAdvert(h Header, r *reader) *SAAdvert {
+	m := &SAAdvert{
+		Hdr:    h,
+		URL:    r.str(),
+		Scopes: splitList(r.str()),
+		Attrs:  r.str(),
+	}
+	nAuth := r.u8()
+	for i := 0; i < int(nAuth); i++ {
+		r.skipAuthBlock()
+	}
+	return m
+}

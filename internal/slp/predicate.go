@@ -1,0 +1,293 @@
+package slp
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SrvRqst predicates are LDAPv3 search filters (RFC 2608 §8.1, RFC 2254).
+// This implements the subset SLP requires: and, or, not, equality with
+// wildcards, presence, and <=/>= ordering comparisons.
+
+// ErrBadPredicate reports a malformed filter.
+var ErrBadPredicate = errors.New("slp: malformed predicate")
+
+// Predicate is a compiled search filter.
+type Predicate struct {
+	root filterNode
+}
+
+type filterNode interface {
+	eval(attrs AttrList) bool
+}
+
+// ParsePredicate compiles a filter. The empty string compiles to a
+// predicate matching everything (RFC 2608: an omitted predicate matches
+// all registrations in scope).
+func ParsePredicate(s string) (*Predicate, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return &Predicate{root: matchAll{}}, nil
+	}
+	p := &predParser{src: s}
+	node, err := p.parseFilter()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("%w: trailing data %q", ErrBadPredicate, p.src[p.pos:])
+	}
+	return &Predicate{root: node}, nil
+}
+
+// MustParsePredicate panics on error; for statically-known filters.
+func MustParsePredicate(s string) *Predicate {
+	p, err := ParsePredicate(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Eval reports whether the attribute list satisfies the filter.
+func (p *Predicate) Eval(attrs AttrList) bool {
+	return p.root.eval(attrs)
+}
+
+type matchAll struct{}
+
+func (matchAll) eval(AttrList) bool { return true }
+
+type andNode struct{ kids []filterNode }
+
+func (n andNode) eval(a AttrList) bool {
+	for _, k := range n.kids {
+		if !k.eval(a) {
+			return false
+		}
+	}
+	return true
+}
+
+type orNode struct{ kids []filterNode }
+
+func (n orNode) eval(a AttrList) bool {
+	for _, k := range n.kids {
+		if k.eval(a) {
+			return true
+		}
+	}
+	return false
+}
+
+type notNode struct{ kid filterNode }
+
+func (n notNode) eval(a AttrList) bool { return !n.kid.eval(a) }
+
+type cmpOp uint8
+
+const (
+	opEq cmpOp = iota + 1
+	opLe
+	opGe
+	opPresent
+)
+
+type itemNode struct {
+	attr    string
+	op      cmpOp
+	pattern string // for opEq, may contain '*'
+}
+
+func (n itemNode) eval(attrs AttrList) bool {
+	values, ok := attrs.Get(n.attr)
+	if !ok {
+		return false
+	}
+	if n.op == opPresent {
+		return true
+	}
+	for _, v := range values {
+		if n.match(v) {
+			return true
+		}
+	}
+	return false
+}
+
+func (n itemNode) match(value string) bool {
+	switch n.op {
+	case opEq:
+		return wildcardMatch(strings.ToLower(n.pattern), strings.ToLower(value))
+	case opLe:
+		return compareValues(value, n.pattern) <= 0
+	case opGe:
+		return compareValues(value, n.pattern) >= 0
+	default:
+		return false
+	}
+}
+
+// compareValues orders two attribute values numerically when both parse as
+// integers, lexicographically (case-insensitive) otherwise — the RFC 2608
+// §6.4 comparison rules.
+func compareValues(a, b string) int {
+	ai, errA := strconv.Atoi(strings.TrimSpace(a))
+	bi, errB := strconv.Atoi(strings.TrimSpace(b))
+	if errA == nil && errB == nil {
+		switch {
+		case ai < bi:
+			return -1
+		case ai > bi:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(strings.ToLower(a), strings.ToLower(b))
+}
+
+// wildcardMatch reports whether value matches pattern, where '*' matches
+// any run of characters.
+func wildcardMatch(pattern, value string) bool {
+	if !strings.Contains(pattern, "*") {
+		return pattern == value
+	}
+	parts := strings.Split(pattern, "*")
+	// First fragment anchors at the start, last at the end.
+	if !strings.HasPrefix(value, parts[0]) {
+		return false
+	}
+	value = value[len(parts[0]):]
+	last := parts[len(parts)-1]
+	for _, frag := range parts[1 : len(parts)-1] {
+		if frag == "" {
+			continue
+		}
+		idx := strings.Index(value, frag)
+		if idx < 0 {
+			return false
+		}
+		value = value[idx+len(frag):]
+	}
+	return strings.HasSuffix(value, last)
+}
+
+type predParser struct {
+	src string
+	pos int
+}
+
+func (p *predParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *predParser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != c {
+		return fmt.Errorf("%w: expected %q at offset %d", ErrBadPredicate, string(c), p.pos)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *predParser) parseFilter() (filterNode, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("%w: unterminated filter", ErrBadPredicate)
+	}
+	var node filterNode
+	var err error
+	switch p.src[p.pos] {
+	case '&':
+		p.pos++
+		kids, kidErr := p.parseFilterList()
+		node, err = andNode{kids: kids}, kidErr
+	case '|':
+		p.pos++
+		kids, kidErr := p.parseFilterList()
+		node, err = orNode{kids: kids}, kidErr
+	case '!':
+		p.pos++
+		kid, kidErr := p.parseFilter()
+		node, err = notNode{kid: kid}, kidErr
+	default:
+		node, err = p.parseItem()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+func (p *predParser) parseFilterList() ([]filterNode, error) {
+	var kids []filterNode
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != '(' {
+			break
+		}
+		kid, err := p.parseFilter()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, kid)
+	}
+	if len(kids) == 0 {
+		return nil, fmt.Errorf("%w: empty filter list", ErrBadPredicate)
+	}
+	return kids, nil
+}
+
+func (p *predParser) parseItem() (filterNode, error) {
+	end := strings.IndexByte(p.src[p.pos:], ')')
+	if end < 0 {
+		return nil, fmt.Errorf("%w: unterminated item", ErrBadPredicate)
+	}
+	body := p.src[p.pos : p.pos+end]
+	p.pos += end
+
+	var op cmpOp
+	var attr, value string
+	switch {
+	case strings.Contains(body, "<="):
+		op = opLe
+		attr, value, _ = cut3(body, "<=")
+	case strings.Contains(body, ">="):
+		op = opGe
+		attr, value, _ = cut3(body, ">=")
+	case strings.Contains(body, "="):
+		attr, value, _ = cut3(body, "=")
+		if value == "*" {
+			op = opPresent
+		} else {
+			op = opEq
+		}
+	default:
+		return nil, fmt.Errorf("%w: item %q has no operator", ErrBadPredicate, body)
+	}
+	attr = strings.TrimSpace(attr)
+	if attr == "" {
+		return nil, fmt.Errorf("%w: item %q has empty attribute", ErrBadPredicate, body)
+	}
+	unescaped, err := UnescapeAttr(strings.TrimSpace(value))
+	if err != nil {
+		return nil, err
+	}
+	return itemNode{attr: attr, op: op, pattern: unescaped}, nil
+}
+
+func cut3(s, sep string) (before, after string, ok bool) {
+	return strings.Cut(s, sep)
+}

@@ -1,0 +1,362 @@
+package slp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"indiss/internal/simnet"
+)
+
+// UserAgent issues SLP requests on behalf of a client application — the
+// "client" role of the paper's discovery models. It supports:
+//
+//   - Active discovery: multicast convergence with previous-responder
+//     accumulation and retransmission (RFC 2608 §6.3), or unicast to a
+//     known directory agent.
+//   - Passive discovery: listening for DAAdverts to learn the repository
+//     without any transmission.
+type UserAgent struct {
+	host *simnet.Host
+	cfg  AgentConfig
+	xid  atomic.Uint32
+
+	mu sync.Mutex
+	da simnet.Addr
+}
+
+// NewUserAgent creates a user agent on host. It binds no permanent port;
+// each request uses an ephemeral socket, like a real UA.
+func NewUserAgent(host *simnet.Host, cfg AgentConfig) *UserAgent {
+	return &UserAgent{host: host, cfg: cfg}
+}
+
+// Host returns the agent's host.
+func (ua *UserAgent) Host() *simnet.Host { return ua.host }
+
+// SetDA pins a directory agent; subsequent requests go unicast to it.
+func (ua *UserAgent) SetDA(addr simnet.Addr) {
+	ua.mu.Lock()
+	defer ua.mu.Unlock()
+	ua.da = addr
+}
+
+// DA returns the pinned directory agent, if any.
+func (ua *UserAgent) DA() (simnet.Addr, bool) {
+	ua.mu.Lock()
+	defer ua.mu.Unlock()
+	return ua.da, !ua.da.IsZero()
+}
+
+func (ua *UserAgent) nextXID() uint16 { return uint16(ua.xid.Add(1)) }
+
+func (ua *UserAgent) delay() {
+	if ua.cfg.ProcessingDelay > 0 {
+		simnet.SleepPrecise(ua.cfg.ProcessingDelay)
+	}
+}
+
+// FindFirst issues a service request and returns as soon as the first
+// matching reply arrives — the paper's measured quantity ("the native
+// client waiting time to get an answer", §4.3). timeout bounds the wait.
+func (ua *UserAgent) FindFirst(serviceType, predicate string, timeout time.Duration) ([]URLEntry, error) {
+	conn, err := ua.host.ListenUDP(0)
+	if err != nil {
+		return nil, fmt.Errorf("slp ua: %w", err)
+	}
+	defer conn.Close()
+
+	dst, flags := ua.requestTarget()
+	req := &SrvRqst{
+		Hdr:         Header{XID: ua.nextXID(), Lang: ua.cfg.lang(), Flags: flags},
+		ServiceType: serviceType,
+		Scopes:      ua.cfg.scopes(),
+		Predicate:   predicate,
+	}
+	ua.delay()
+	if err := ua.send(conn, req, dst); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, simnet.ErrTimeout
+		}
+		dg, err := conn.Recv(remaining)
+		if err != nil {
+			return nil, err
+		}
+		msg, err := Parse(dg.Payload)
+		if err != nil {
+			continue
+		}
+		rply, ok := msg.(*SrvRply)
+		if !ok || rply.Hdr.XID != req.Hdr.XID {
+			continue
+		}
+		ua.delay()
+		if rply.Error != ErrNone {
+			return nil, fmt.Errorf("slp ua: %s", rply.Error)
+		}
+		if len(rply.URLs) == 0 {
+			continue
+		}
+		return rply.URLs, nil
+	}
+}
+
+// FindServices runs a full multicast convergence round (RFC 2608 §6.3):
+// the request is retransmitted with the accumulated previous-responder
+// list until the convergence window closes or retransmissions stop
+// producing new answers, and all distinct URLs are returned. With a
+// directory agent pinned, a single unicast round trip replaces the
+// convergence.
+func (ua *UserAgent) FindServices(serviceType, predicate string) ([]URLEntry, error) {
+	ua.mu.Lock()
+	da := ua.da
+	ua.mu.Unlock()
+	if !da.IsZero() {
+		return ua.FindFirst(serviceType, predicate, ConvergenceWait)
+	}
+
+	conn, err := ua.host.ListenUDP(0)
+	if err != nil {
+		return nil, fmt.Errorf("slp ua: %w", err)
+	}
+	defer conn.Close()
+
+	xid := ua.nextXID()
+	var responders []string
+	seen := make(map[string]URLEntry)
+	deadline := time.Now().Add(ConvergenceWait)
+	ua.delay()
+
+	for time.Now().Before(deadline) {
+		req := &SrvRqst{
+			Hdr:            Header{XID: xid, Lang: ua.cfg.lang(), Flags: FlagRequestMcast},
+			PrevResponders: responders,
+			ServiceType:    serviceType,
+			Scopes:         ua.cfg.scopes(),
+			Predicate:      predicate,
+		}
+		if err := ua.send(conn, req, groupAddr()); err != nil {
+			return nil, err
+		}
+		newAnswers := ua.collectRound(conn, xid, &responders, seen, deadline)
+		if !newAnswers && len(seen) > 0 {
+			break // converged: a full round brought nothing new
+		}
+	}
+	urls := make([]URLEntry, 0, len(seen))
+	for _, e := range seen {
+		urls = append(urls, e)
+	}
+	sort.Slice(urls, func(i, j int) bool { return urls[i].URL < urls[j].URL })
+	return urls, nil
+}
+
+// collectRound gathers replies for one retransmission interval, recording
+// responders and URLs. It reports whether any new URL arrived.
+func (ua *UserAgent) collectRound(conn *simnet.UDPConn, xid uint16, responders *[]string, seen map[string]URLEntry, deadline time.Time) bool {
+	roundEnd := time.Now().Add(RetryInterval)
+	if roundEnd.After(deadline) {
+		roundEnd = deadline
+	}
+	gotNew := false
+	for {
+		remaining := time.Until(roundEnd)
+		if remaining <= 0 {
+			return gotNew
+		}
+		dg, err := conn.Recv(remaining)
+		if err != nil {
+			return gotNew
+		}
+		msg, err := Parse(dg.Payload)
+		if err != nil {
+			continue
+		}
+		rply, ok := msg.(*SrvRply)
+		if !ok || rply.Hdr.XID != xid || rply.Error != ErrNone {
+			continue
+		}
+		*responders = appendUnique(*responders, dg.Src.IP)
+		for _, e := range rply.URLs {
+			if _, dup := seen[e.URL]; !dup {
+				seen[e.URL] = e
+				gotNew = true
+			}
+		}
+	}
+}
+
+// FindAttrs fetches the attributes of a service URL (or merged attributes
+// of a service type).
+func (ua *UserAgent) FindAttrs(url string, timeout time.Duration) (AttrList, error) {
+	conn, err := ua.host.ListenUDP(0)
+	if err != nil {
+		return nil, fmt.Errorf("slp ua: %w", err)
+	}
+	defer conn.Close()
+
+	dst, flags := ua.requestTarget()
+	req := &AttrRqst{
+		Hdr:    Header{XID: ua.nextXID(), Lang: ua.cfg.lang(), Flags: flags},
+		URL:    url,
+		Scopes: ua.cfg.scopes(),
+	}
+	ua.delay()
+	if err := ua.send(conn, req, dst); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, simnet.ErrTimeout
+		}
+		dg, err := conn.Recv(remaining)
+		if err != nil {
+			return nil, err
+		}
+		msg, err := Parse(dg.Payload)
+		if err != nil {
+			continue
+		}
+		rply, ok := msg.(*AttrRply)
+		if !ok || rply.Hdr.XID != req.Hdr.XID {
+			continue
+		}
+		ua.delay()
+		if rply.Error != ErrNone {
+			return nil, fmt.Errorf("slp ua: %s", rply.Error)
+		}
+		return ParseAttrList(rply.Attrs)
+	}
+}
+
+// FindTypes lists the service types visible in the agent's scopes.
+func (ua *UserAgent) FindTypes(timeout time.Duration) ([]string, error) {
+	conn, err := ua.host.ListenUDP(0)
+	if err != nil {
+		return nil, fmt.Errorf("slp ua: %w", err)
+	}
+	defer conn.Close()
+
+	dst, flags := ua.requestTarget()
+	req := &SrvTypeRqst{
+		Hdr:            Header{XID: ua.nextXID(), Lang: ua.cfg.lang(), Flags: flags},
+		AllAuthorities: true,
+		Scopes:         ua.cfg.scopes(),
+	}
+	ua.delay()
+	if err := ua.send(conn, req, dst); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(timeout)
+	seen := make(map[string]struct{})
+	var types []string
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			break
+		}
+		dg, err := conn.Recv(remaining)
+		if err != nil {
+			break
+		}
+		msg, err := Parse(dg.Payload)
+		if err != nil {
+			continue
+		}
+		rply, ok := msg.(*SrvTypeRply)
+		if !ok || rply.Hdr.XID != req.Hdr.XID || rply.Error != ErrNone {
+			continue
+		}
+		for _, t := range rply.Types {
+			if _, dup := seen[t]; !dup {
+				seen[t] = struct{}{}
+				types = append(types, t)
+			}
+		}
+		if !dst.IsMulticast() {
+			break // unicast: one reply is all there is
+		}
+	}
+	sort.Strings(types)
+	if len(types) == 0 {
+		return nil, simnet.ErrTimeout
+	}
+	return types, nil
+}
+
+// DiscoverDA actively locates a directory agent (RFC 2608 §12.1) and pins
+// it for subsequent requests.
+func (ua *UserAgent) DiscoverDA(timeout time.Duration) (simnet.Addr, error) {
+	conn, err := ua.host.ListenUDP(0)
+	if err != nil {
+		return simnet.Addr{}, fmt.Errorf("slp ua: %w", err)
+	}
+	defer conn.Close()
+
+	req := &SrvRqst{
+		Hdr:         Header{XID: ua.nextXID(), Lang: ua.cfg.lang(), Flags: FlagRequestMcast},
+		ServiceType: "service:directory-agent",
+		Scopes:      ua.cfg.scopes(),
+	}
+	ua.delay()
+	if err := ua.send(conn, req, groupAddr()); err != nil {
+		return simnet.Addr{}, err
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return simnet.Addr{}, simnet.ErrTimeout
+		}
+		dg, err := conn.Recv(remaining)
+		if err != nil {
+			return simnet.Addr{}, err
+		}
+		msg, err := Parse(dg.Payload)
+		if err != nil {
+			continue
+		}
+		adv, ok := msg.(*DAAdvert)
+		if !ok || adv.BootTimestamp == 0 {
+			continue
+		}
+		ua.SetDA(dg.Src)
+		return dg.Src, nil
+	}
+}
+
+// requestTarget picks unicast-to-DA or multicast-to-group addressing.
+func (ua *UserAgent) requestTarget() (simnet.Addr, uint16) {
+	ua.mu.Lock()
+	defer ua.mu.Unlock()
+	if !ua.da.IsZero() {
+		return ua.da, 0
+	}
+	return groupAddr(), FlagRequestMcast
+}
+
+func (ua *UserAgent) send(conn *simnet.UDPConn, m Message, dst simnet.Addr) error {
+	data, err := m.Marshal()
+	if err != nil {
+		return err
+	}
+	return conn.WriteTo(data, dst)
+}
+
+func appendUnique(list []string, item string) []string {
+	for _, x := range list {
+		if x == item {
+			return list
+		}
+	}
+	return append(list, item)
+}

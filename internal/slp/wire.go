@@ -1,0 +1,250 @@
+package slp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire format errors.
+var (
+	ErrShortMessage = errors.New("slp: short message")
+	ErrBadVersion   = errors.New("slp: unsupported version")
+	ErrBadLength    = errors.New("slp: length field mismatch")
+	ErrFieldTooLong = errors.New("slp: field exceeds 16-bit length")
+)
+
+// headerLen is the fixed part of the SLPv2 header before the language tag.
+const headerLen = 14
+
+// Header is the SLPv2 common message header (RFC 2608 §8).
+type Header struct {
+	Function FunctionID
+	Flags    uint16
+	XID      uint16
+	Lang     string
+}
+
+// Multicast reports whether the request-multicast flag is set.
+func (h Header) Multicast() bool { return h.Flags&FlagRequestMcast != 0 }
+
+// Overflow reports whether the overflow flag is set.
+func (h Header) Overflow() bool { return h.Flags&FlagOverflow != 0 }
+
+// Fresh reports whether the fresh flag is set.
+func (h Header) Fresh() bool { return h.Flags&FlagFresh != 0 }
+
+// writer serializes SLP wire data. Errors are sticky and surfaced by
+// finish, keeping call sites linear.
+type writer struct {
+	buf []byte
+	err error
+}
+
+func (w *writer) u8(v uint8) { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16) {
+	w.buf = binary.BigEndian.AppendUint16(w.buf, v)
+}
+func (w *writer) u24(v uint32) {
+	w.buf = append(w.buf, byte(v>>16), byte(v>>8), byte(v))
+}
+func (w *writer) u32(v uint32) {
+	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
+}
+
+// str writes a 16-bit length-prefixed string.
+func (w *writer) str(s string) {
+	if len(s) > 0xFFFF {
+		w.fail(fmt.Errorf("%w: %d bytes", ErrFieldTooLong, len(s)))
+		return
+	}
+	w.u16(uint16(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *writer) fail(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+// reader deserializes SLP wire data with bounds checking.
+type reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.pos+n > len(r.buf) {
+		r.fail(fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrShortMessage, n, r.pos, len(r.buf)))
+		return false
+	}
+	return true
+}
+
+func (r *reader) u8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.buf[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.pos:])
+	r.pos += 2
+	return v
+}
+
+func (r *reader) u24() uint32 {
+	if !r.need(3) {
+		return 0
+	}
+	v := uint32(r.buf[r.pos])<<16 | uint32(r.buf[r.pos+1])<<8 | uint32(r.buf[r.pos+2])
+	r.pos += 3
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *reader) str() string {
+	n := int(r.u16())
+	if !r.need(n) {
+		return ""
+	}
+	s := string(r.buf[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+// marshalMessage frames a message body with the common header, filling in
+// the total length field.
+func marshalMessage(h Header, body func(*writer)) ([]byte, error) {
+	w := &writer{}
+	w.u8(Version)
+	w.u8(uint8(h.Function))
+	w.u24(0) // length, patched below
+	w.u16(h.Flags)
+	w.u24(0) // next extension offset: none
+	w.u16(h.XID)
+	lang := h.Lang
+	if lang == "" {
+		lang = DefaultLang
+	}
+	w.str(lang)
+	body(w)
+	if w.err != nil {
+		return nil, w.err
+	}
+	total := len(w.buf)
+	if total > 0xFFFFFF {
+		return nil, fmt.Errorf("%w: message %d bytes", ErrFieldTooLong, total)
+	}
+	w.buf[2] = byte(total >> 16)
+	w.buf[3] = byte(total >> 8)
+	w.buf[4] = byte(total)
+	return w.buf, nil
+}
+
+// parseHeader decodes the common header and returns a reader positioned at
+// the message body.
+func parseHeader(data []byte) (Header, *reader, error) {
+	if len(data) < headerLen {
+		return Header{}, nil, fmt.Errorf("%w: %d bytes", ErrShortMessage, len(data))
+	}
+	if data[0] != Version {
+		return Header{}, nil, fmt.Errorf("%w: %d", ErrBadVersion, data[0])
+	}
+	r := &reader{buf: data}
+	r.pos = 1
+	fn := FunctionID(r.u8())
+	length := r.u24()
+	if int(length) != len(data) {
+		return Header{}, nil, fmt.Errorf("%w: header says %d, datagram has %d", ErrBadLength, length, len(data))
+	}
+	flags := r.u16()
+	r.u24() // next extension offset, ignored (no extensions implemented)
+	xid := r.u16()
+	lang := r.str()
+	if r.err != nil {
+		return Header{}, nil, r.err
+	}
+	return Header{Function: fn, Flags: flags, XID: xid, Lang: lang}, r, nil
+}
+
+// PeekFunction cheaply extracts the function ID of a raw SLP datagram
+// without full parsing — what a monitor or dispatcher needs.
+func PeekFunction(data []byte) (FunctionID, bool) {
+	if len(data) < 2 || data[0] != Version {
+		return 0, false
+	}
+	fn := FunctionID(data[1])
+	if fn < FnSrvRqst || fn > FnSAAdvert {
+		return 0, false
+	}
+	return fn, true
+}
+
+// URLEntry is an SLP URL entry (RFC 2608 §4.3): a service URL with a
+// lifetime.
+type URLEntry struct {
+	// Lifetime is the number of seconds the URL is valid.
+	Lifetime uint16
+	// URL is the service URL, e.g. "service:clock://10.0.0.2:4005".
+	URL string
+}
+
+func (w *writer) urlEntry(e URLEntry) {
+	w.u8(0) // reserved
+	w.u16(e.Lifetime)
+	w.str(e.URL)
+	w.u8(0) // number of URL auth blocks: authentication not implemented
+}
+
+func (r *reader) urlEntry() URLEntry {
+	r.u8() // reserved
+	e := URLEntry{Lifetime: r.u16(), URL: r.str()}
+	nAuth := r.u8()
+	for i := 0; i < int(nAuth); i++ {
+		r.skipAuthBlock()
+	}
+	return e
+}
+
+// skipAuthBlock consumes an authentication block (RFC 2608 §9.2). Auth is
+// parsed past, not verified: the paper's prototype does not use SLP
+// security either.
+func (r *reader) skipAuthBlock() {
+	r.u16() // block structure descriptor
+	length := r.u16()
+	if length < 4 {
+		r.fail(fmt.Errorf("%w: auth block length %d", ErrShortMessage, length))
+		return
+	}
+	rest := int(length) - 4
+	if !r.need(rest) {
+		return
+	}
+	r.pos += rest
+}

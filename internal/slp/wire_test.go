@@ -1,0 +1,389 @@
+package slp
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// roundTrip marshals then parses a message, failing the test on error.
+// Parse fills Header.Function from the wire, so tests comparing whole
+// structs should set it in their expectation (Marshal forces it anyway).
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return back
+}
+
+func TestSrvRqstRoundTrip(t *testing.T) {
+	m := &SrvRqst{
+		Hdr:            Header{Function: FnSrvRqst, XID: 42, Lang: "en", Flags: FlagRequestMcast},
+		PrevResponders: []string{"10.0.0.1", "10.0.0.2"},
+		ServiceType:    "service:clock",
+		Scopes:         []string{"DEFAULT", "HOME"},
+		Predicate:      "(location=hall)",
+		SPI:            "",
+	}
+	back, ok := roundTrip(t, m).(*SrvRqst)
+	if !ok {
+		t.Fatal("wrong type")
+	}
+	if !reflect.DeepEqual(m, back) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", back, m)
+	}
+	if !back.Hdr.Multicast() {
+		t.Error("multicast flag lost")
+	}
+}
+
+func TestSrvRplyRoundTrip(t *testing.T) {
+	m := &SrvRply{
+		Hdr:   Header{Function: FnSrvRply, XID: 7, Lang: "en"},
+		Error: ErrNone,
+		URLs: []URLEntry{
+			{Lifetime: 120, URL: "service:clock://10.0.0.2:4005"},
+			{Lifetime: 65535, URL: "service:clock://10.0.0.3:4005"},
+		},
+	}
+	back, ok := roundTrip(t, m).(*SrvRply)
+	if !ok {
+		t.Fatal("wrong type")
+	}
+	if !reflect.DeepEqual(m, back) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", back, m)
+	}
+}
+
+func TestSrvRegRoundTrip(t *testing.T) {
+	m := &SrvReg{
+		Hdr:         Header{Function: FnSrvReg, XID: 3, Lang: "en", Flags: FlagFresh},
+		Entry:       URLEntry{Lifetime: 300, URL: "service:printer:lpr://10.0.0.9"},
+		ServiceType: "service:printer:lpr",
+		Scopes:      []string{"DEFAULT"},
+		Attrs:       "(color=true),(ppm=12)",
+	}
+	back, ok := roundTrip(t, m).(*SrvReg)
+	if !ok {
+		t.Fatal("wrong type")
+	}
+	if !reflect.DeepEqual(m, back) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", back, m)
+	}
+	if !back.Hdr.Fresh() {
+		t.Error("fresh flag lost")
+	}
+}
+
+func TestSrvDeRegAndAckRoundTrip(t *testing.T) {
+	d := &SrvDeReg{
+		Hdr:    Header{XID: 9},
+		Scopes: []string{"DEFAULT"},
+		Entry:  URLEntry{Lifetime: 0, URL: "service:printer:lpr://10.0.0.9"},
+		Tags:   "",
+	}
+	backD, ok := roundTrip(t, d).(*SrvDeReg)
+	if !ok {
+		t.Fatal("wrong type")
+	}
+	if backD.Entry.URL != d.Entry.URL || len(backD.Scopes) != 1 {
+		t.Errorf("round trip: %+v", backD)
+	}
+
+	a := &SrvAck{Hdr: Header{XID: 9}, Error: ErrInvalidRegistration}
+	backA, ok := roundTrip(t, a).(*SrvAck)
+	if !ok {
+		t.Fatal("wrong type")
+	}
+	if backA.Error != ErrInvalidRegistration {
+		t.Errorf("error = %v", backA.Error)
+	}
+}
+
+func TestAttrMessagesRoundTrip(t *testing.T) {
+	rq := &AttrRqst{
+		Hdr:    Header{XID: 11},
+		URL:    "service:clock://10.0.0.2:4005",
+		Scopes: []string{"DEFAULT"},
+		Tags:   "location",
+	}
+	backRq, ok := roundTrip(t, rq).(*AttrRqst)
+	if !ok {
+		t.Fatal("wrong type")
+	}
+	if backRq.URL != rq.URL || backRq.Tags != rq.Tags {
+		t.Errorf("round trip: %+v", backRq)
+	}
+
+	rp := &AttrRply{Hdr: Header{XID: 11}, Attrs: "(location=hall),(model=x)"}
+	backRp, ok := roundTrip(t, rp).(*AttrRply)
+	if !ok {
+		t.Fatal("wrong type")
+	}
+	if backRp.Attrs != rp.Attrs {
+		t.Errorf("attrs = %q", backRp.Attrs)
+	}
+}
+
+func TestDAAdvertRoundTrip(t *testing.T) {
+	m := &DAAdvert{
+		Hdr:           Header{XID: 1},
+		BootTimestamp: 1234567,
+		URL:           "service:directory-agent://10.0.0.5",
+		Scopes:        []string{"DEFAULT"},
+		Attrs:         "",
+	}
+	back, ok := roundTrip(t, m).(*DAAdvert)
+	if !ok {
+		t.Fatal("wrong type")
+	}
+	if back.URL != m.URL || back.BootTimestamp != m.BootTimestamp {
+		t.Errorf("round trip: %+v", back)
+	}
+}
+
+func TestSrvTypeMessagesRoundTrip(t *testing.T) {
+	rq := &SrvTypeRqst{
+		Hdr:            Header{XID: 2},
+		AllAuthorities: true,
+		Scopes:         []string{"DEFAULT"},
+	}
+	backRq, ok := roundTrip(t, rq).(*SrvTypeRqst)
+	if !ok {
+		t.Fatal("wrong type")
+	}
+	if !backRq.AllAuthorities {
+		t.Error("AllAuthorities lost")
+	}
+
+	rq2 := &SrvTypeRqst{Hdr: Header{XID: 3}, NamingAuthority: "iana"}
+	backRq2, ok := roundTrip(t, rq2).(*SrvTypeRqst)
+	if !ok {
+		t.Fatal("wrong type")
+	}
+	if backRq2.AllAuthorities || backRq2.NamingAuthority != "iana" {
+		t.Errorf("naming authority: %+v", backRq2)
+	}
+
+	rp := &SrvTypeRply{Hdr: Header{XID: 2}, Types: []string{"service:clock", "service:printer:lpr"}}
+	backRp, ok := roundTrip(t, rp).(*SrvTypeRply)
+	if !ok {
+		t.Fatal("wrong type")
+	}
+	if !reflect.DeepEqual(backRp.Types, rp.Types) {
+		t.Errorf("types = %v", backRp.Types)
+	}
+}
+
+func TestSAAdvertRoundTrip(t *testing.T) {
+	m := &SAAdvert{
+		Hdr:    Header{XID: 4},
+		URL:    "service:service-agent://10.0.0.2",
+		Scopes: []string{"DEFAULT"},
+		Attrs:  "(service-url=service:clock://10.0.0.2:4005)",
+	}
+	back, ok := roundTrip(t, m).(*SAAdvert)
+	if !ok {
+		t.Fatal("wrong type")
+	}
+	if back.URL != m.URL || back.Attrs != m.Attrs {
+		t.Errorf("round trip: %+v", back)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	good, err := (&SrvAck{Hdr: Header{XID: 1}}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrShortMessage},
+		{"tiny", []byte{2, 1}, ErrShortMessage},
+		{"bad version", append([]byte{9}, good[1:]...), ErrBadVersion},
+		{"bad length", append(append([]byte{}, good...), 0xFF), ErrBadLength},
+		{"truncated", good[:len(good)-1], ErrBadLength},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(tt.data); !errors.Is(err, tt.want) {
+				t.Errorf("err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+
+	// Unknown function id.
+	bad := append([]byte{}, good...)
+	bad[1] = 200
+	if _, err := Parse(bad); err == nil {
+		t.Error("unknown function accepted")
+	}
+}
+
+func TestParseTruncatedBody(t *testing.T) {
+	m := &SrvRqst{Hdr: Header{XID: 5}, ServiceType: "service:clock"}
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the body but fix the length field so the header check
+	// passes; the string reads must then fail.
+	cut := data[:len(data)-6]
+	cut[2] = byte(len(cut) >> 16)
+	cut[3] = byte(len(cut) >> 8)
+	cut[4] = byte(len(cut))
+	if _, err := Parse(cut); !errors.Is(err, ErrShortMessage) {
+		t.Errorf("err = %v, want ErrShortMessage", err)
+	}
+}
+
+func TestPeekFunction(t *testing.T) {
+	data, err := (&SrvRqst{Hdr: Header{XID: 1}, ServiceType: "service:x"}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, ok := PeekFunction(data)
+	if !ok || fn != FnSrvRqst {
+		t.Errorf("PeekFunction = %v %v", fn, ok)
+	}
+	if _, ok := PeekFunction([]byte{2, 99, 0}); ok {
+		t.Error("bad function accepted")
+	}
+	if _, ok := PeekFunction([]byte{1, 1, 0}); ok {
+		t.Error("SLPv1 accepted")
+	}
+	if _, ok := PeekFunction(nil); ok {
+		t.Error("empty accepted")
+	}
+}
+
+func TestFieldTooLongRejected(t *testing.T) {
+	long := make([]byte, 0x10000)
+	for i := range long {
+		long[i] = 'a'
+	}
+	m := &SrvRqst{Hdr: Header{XID: 1}, ServiceType: string(long)}
+	if _, err := m.Marshal(); !errors.Is(err, ErrFieldTooLong) {
+		t.Errorf("err = %v, want ErrFieldTooLong", err)
+	}
+}
+
+func TestHeaderFlagRoundTripProperty(t *testing.T) {
+	f := func(xid uint16, mcast, fresh, overflow bool) bool {
+		var flags uint16
+		if mcast {
+			flags |= FlagRequestMcast
+		}
+		if fresh {
+			flags |= FlagFresh
+		}
+		if overflow {
+			flags |= FlagOverflow
+		}
+		m := &SrvAck{Hdr: Header{XID: xid, Flags: flags}}
+		data, err := m.Marshal()
+		if err != nil {
+			return false
+		}
+		back, err := Parse(data)
+		if err != nil {
+			return false
+		}
+		h := back.Header()
+		return h.XID == xid && h.Multicast() == mcast && h.Fresh() == fresh && h.Overflow() == overflow
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSrvRqstRoundTripProperty(t *testing.T) {
+	// Strings free of commas survive; commas are list separators.
+	clean := func(s string) string {
+		out := make([]rune, 0, len(s))
+		for _, r := range s {
+			if r != ',' && r != 0 {
+				out = append(out, r)
+			}
+		}
+		return string(out)
+	}
+	f := func(xid uint16, st, scope, pred string) bool {
+		st, scope = clean(st), clean(scope)
+		if len(st) > 1000 || len(scope) > 1000 || len(pred) > 1000 {
+			return true
+		}
+		m := &SrvRqst{
+			Hdr:         Header{XID: xid},
+			ServiceType: st,
+			Predicate:   pred,
+		}
+		if s := trimmedNonEmpty(scope); s != "" {
+			m.Scopes = []string{s}
+		}
+		data, err := m.Marshal()
+		if err != nil {
+			return false
+		}
+		back, err := Parse(data)
+		if err != nil {
+			return false
+		}
+		rq, ok := back.(*SrvRqst)
+		if !ok {
+			return false
+		}
+		return rq.ServiceType == st && rq.Predicate == pred && rq.Hdr.XID == xid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func trimmedNonEmpty(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+func TestFunctionIDStrings(t *testing.T) {
+	for fn := FnSrvRqst; fn <= FnSAAdvert; fn++ {
+		if fn.String() == "Unknown" {
+			t.Errorf("function %d has no name", fn)
+		}
+	}
+	if FunctionID(99).String() != "Unknown" {
+		t.Error("unknown function named")
+	}
+}
+
+func TestErrorCodeStrings(t *testing.T) {
+	named := []ErrorCode{
+		ErrNone, ErrLangNotSupported, ErrParse, ErrInvalidRegistration,
+		ErrScopeNotSupported, ErrAuthUnknown, ErrAuthAbsent, ErrAuthFailed,
+		ErrVerNotSupported, ErrInternal, ErrDABusy, ErrOptionNotUnderstood,
+		ErrInvalidUpdate, ErrMsgNotSupported, ErrRefreshRejected,
+	}
+	for _, code := range named {
+		if code.String() == "UNKNOWN_ERROR" {
+			t.Errorf("code %d has no name", code)
+		}
+	}
+	if ErrorCode(999).String() != "UNKNOWN_ERROR" {
+		t.Error("unknown code named")
+	}
+}

@@ -1,0 +1,257 @@
+// Package ssdp implements the Simple Service Discovery Protocol, the
+// discovery layer of UPnP (UPnP Device Architecture 1.0, section 1).
+//
+// SSDP messages are HTTP-formatted and carried over UDP: multicast
+// (HTTPMU) for searches and announcements on 239.255.255.250:1900, unicast
+// (HTTPU) for search responses. The paper's §2.4 example is an SSDP
+// exchange: the M-SEARCH composed by the UPnP unit and the 200 OK carrying
+// the LOCATION of the description document.
+//
+// The package reuses the httpx codec — the parser-reuse point of paper §3.
+package ssdp
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"indiss/internal/httpx"
+)
+
+// IANA identification tag of SSDP/UPnP (paper Figure 2:
+// "239.255.255.250:1900 : UPnP").
+const (
+	// Port is the registered SSDP port.
+	Port = 1900
+	// MulticastGroup is the SSDP multicast address.
+	MulticastGroup = "239.255.255.250"
+)
+
+// Well-known search targets and notification types.
+const (
+	// TargetAll matches every advertisement ("ssdp:all").
+	TargetAll = "ssdp:all"
+	// TargetRootDevice matches root devices only.
+	TargetRootDevice = "upnp:rootdevice"
+	// ManDiscover is the mandatory MAN header value of M-SEARCH.
+	ManDiscover = `"ssdp:discover"`
+	// NTSAlive marks an arrival announcement.
+	NTSAlive = "ssdp:alive"
+	// NTSByeBye marks a departure announcement.
+	NTSByeBye = "ssdp:byebye"
+)
+
+// ErrNotSSDP reports a datagram that is not a valid SSDP message.
+var ErrNotSSDP = errors.New("ssdp: not an ssdp message")
+
+// SearchRequest is an M-SEARCH multicast query (UDA 1.0 §1.2.2).
+type SearchRequest struct {
+	// Host is the "group:port" the search is addressed to.
+	Host string
+	// ST is the search target.
+	ST string
+	// MX bounds the random response delay in seconds.
+	MX int
+}
+
+// Marshal renders the M-SEARCH datagram.
+func (m *SearchRequest) Marshal() []byte {
+	host := m.Host
+	if host == "" {
+		host = fmt.Sprintf("%s:%d", MulticastGroup, Port)
+	}
+	req := &httpx.Request{
+		Method: "M-SEARCH",
+		Target: "*",
+		Header: httpx.NewHeader(
+			"HOST", host,
+			"MAN", ManDiscover,
+			"MX", strconv.Itoa(m.MX),
+			"ST", m.ST,
+		),
+	}
+	return req.Marshal()
+}
+
+// SearchResponse is the unicast 200 OK answering an M-SEARCH (UDA 1.0
+// §1.2.3).
+type SearchResponse struct {
+	// ST echoes the search target that matched.
+	ST string
+	// USN is the unique service name, e.g.
+	// "uuid:ClockDevice::upnp:clock".
+	USN string
+	// Location is the URL of the device description document — the
+	// indirection that makes UPnP discovery multi-step (paper §4.3).
+	Location string
+	// Server identifies the responding stack.
+	Server string
+	// MaxAge is the advertisement validity in seconds.
+	MaxAge int
+}
+
+// Marshal renders the response datagram.
+func (m *SearchResponse) Marshal() []byte {
+	resp := &httpx.Response{
+		StatusCode: 200,
+		Header: httpx.NewHeader(
+			"CACHE-CONTROL", fmt.Sprintf("max-age=%d", m.MaxAge),
+			"EXT", "",
+			"LOCATION", m.Location,
+			"SERVER", m.Server,
+			"ST", m.ST,
+			"USN", m.USN,
+		),
+	}
+	return resp.Marshal()
+}
+
+// Notify is a NOTIFY announcement (UDA 1.0 §1.1.2): ssdp:alive on arrival
+// and refresh, ssdp:byebye on departure.
+type Notify struct {
+	// Host is the "group:port" the announcement is addressed to.
+	Host string
+	// NT is the notification type (device or service type, or
+	// upnp:rootdevice).
+	NT string
+	// NTS is NTSAlive or NTSByeBye.
+	NTS string
+	// USN is the unique service name.
+	USN string
+	// Location is the description URL (alive only).
+	Location string
+	// Server identifies the stack (alive only).
+	Server string
+	// MaxAge is the advertisement validity in seconds (alive only).
+	MaxAge int
+}
+
+// Marshal renders the NOTIFY datagram.
+func (m *Notify) Marshal() []byte {
+	host := m.Host
+	if host == "" {
+		host = fmt.Sprintf("%s:%d", MulticastGroup, Port)
+	}
+	h := httpx.NewHeader("HOST", host, "NT", m.NT, "NTS", m.NTS, "USN", m.USN)
+	if m.NTS == NTSAlive {
+		h.Add("CACHE-CONTROL", fmt.Sprintf("max-age=%d", m.MaxAge))
+		h.Add("LOCATION", m.Location)
+		h.Add("SERVER", m.Server)
+	}
+	req := &httpx.Request{Method: "NOTIFY", Target: "*", Header: h}
+	return req.Marshal()
+}
+
+// Message is any parsed SSDP message: *SearchRequest, *SearchResponse or
+// *Notify.
+type Message interface{ ssdpMessage() }
+
+func (*SearchRequest) ssdpMessage()  {}
+func (*SearchResponse) ssdpMessage() {}
+func (*Notify) ssdpMessage()         {}
+
+// Parse decodes an SSDP datagram.
+func Parse(data []byte) (Message, error) {
+	if httpx.IsResponse(data) {
+		resp, err := httpx.ParseResponse(data)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrNotSSDP, err)
+		}
+		return parseSearchResponse(resp)
+	}
+	req, err := httpx.ParseRequest(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotSSDP, err)
+	}
+	switch req.Method {
+	case "M-SEARCH":
+		return parseSearchRequest(req)
+	case "NOTIFY":
+		return parseNotify(req)
+	default:
+		return nil, fmt.Errorf("%w: method %q", ErrNotSSDP, req.Method)
+	}
+}
+
+func parseSearchRequest(req *httpx.Request) (*SearchRequest, error) {
+	if req.Target != "*" {
+		return nil, fmt.Errorf("%w: M-SEARCH target %q", ErrNotSSDP, req.Target)
+	}
+	man := req.Header.Get("MAN")
+	if !strings.EqualFold(strings.Trim(man, `"`), "ssdp:discover") {
+		return nil, fmt.Errorf("%w: MAN %q", ErrNotSSDP, man)
+	}
+	st := req.Header.Get("ST")
+	if st == "" {
+		return nil, fmt.Errorf("%w: missing ST", ErrNotSSDP)
+	}
+	mx, err := strconv.Atoi(strings.TrimSpace(req.Header.Get("MX")))
+	if err != nil || mx < 0 {
+		mx = 0
+	}
+	return &SearchRequest{Host: req.Header.Get("HOST"), ST: st, MX: mx}, nil
+}
+
+func parseSearchResponse(resp *httpx.Response) (*SearchResponse, error) {
+	if resp.StatusCode != 200 {
+		return nil, fmt.Errorf("%w: status %d", ErrNotSSDP, resp.StatusCode)
+	}
+	st := resp.Header.Get("ST")
+	usn := resp.Header.Get("USN")
+	if st == "" || usn == "" {
+		return nil, fmt.Errorf("%w: response missing ST/USN", ErrNotSSDP)
+	}
+	return &SearchResponse{
+		ST:       st,
+		USN:      usn,
+		Location: resp.Header.Get("LOCATION"),
+		Server:   resp.Header.Get("SERVER"),
+		MaxAge:   parseMaxAge(resp.Header.Get("CACHE-CONTROL")),
+	}, nil
+}
+
+func parseNotify(req *httpx.Request) (*Notify, error) {
+	nt := req.Header.Get("NT")
+	nts := req.Header.Get("NTS")
+	usn := req.Header.Get("USN")
+	if nt == "" || usn == "" {
+		return nil, fmt.Errorf("%w: NOTIFY missing NT/USN", ErrNotSSDP)
+	}
+	if nts != NTSAlive && nts != NTSByeBye {
+		return nil, fmt.Errorf("%w: NTS %q", ErrNotSSDP, nts)
+	}
+	return &Notify{
+		Host:     req.Header.Get("HOST"),
+		NT:       nt,
+		NTS:      nts,
+		USN:      usn,
+		Location: req.Header.Get("LOCATION"),
+		Server:   req.Header.Get("SERVER"),
+		MaxAge:   parseMaxAge(req.Header.Get("CACHE-CONTROL")),
+	}, nil
+}
+
+// parseMaxAge extracts max-age from a Cache-Control value, 0 if absent.
+func parseMaxAge(cc string) int {
+	for _, part := range strings.Split(cc, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if ok && strings.EqualFold(strings.TrimSpace(k), "max-age") {
+			n, err := strconv.Atoi(strings.TrimSpace(v))
+			if err == nil && n >= 0 {
+				return n
+			}
+		}
+	}
+	return 0
+}
+
+// TargetMatches implements UDA 1.0 search target matching: ssdp:all
+// matches everything; upnp:rootdevice, uuid: and urn: targets match
+// exactly against the advertisement's NT.
+func TargetMatches(searchTarget, nt string) bool {
+	if searchTarget == TargetAll {
+		return true
+	}
+	return strings.EqualFold(searchTarget, nt)
+}

@@ -1,0 +1,308 @@
+package units
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"indiss/internal/core"
+	"indiss/internal/events"
+	"indiss/internal/simnet"
+)
+
+// defaultQueryTimeout bounds a unit's native follow-up exchange when
+// translating a foreign request.
+const defaultQueryTimeout = 2 * time.Second
+
+// pendingTTL is how long a pending foreign request stays answerable.
+const pendingTTL = 10 * time.Second
+
+// pending tracks one foreign request this unit received natively and
+// published on the bus; the first matching response stream composes the
+// native reply. It holds the "state variables" of the per-request
+// coordination process (paper §2.3: "events data from previous states are
+// recorded using state variables").
+type pending struct {
+	// reqID is the stream correlation id (SDP_REQ_ID).
+	reqID string
+	// src is the native requester to answer (SDP_NET_SOURCE_ADDR).
+	src simnet.Addr
+	// kind is the canonical service type searched.
+	kind string
+	// native carries protocol-specific reply context (SLP XID, SSDP
+	// search target, …).
+	native map[string]string
+	// expires bounds the pending entry's life.
+	expires time.Time
+}
+
+// base carries the plumbing every unit shares: context, pending-request
+// table, re-advertisement flag and lifecycle.
+type base struct {
+	name string
+	sdp  core.SDP
+
+	mu       sync.Mutex
+	ctx      *core.UnitContext
+	pendings map[string]*pending
+	answered map[string]time.Time // reqIDs already replied (first wins)
+	readv    bool
+	stopped  bool
+
+	wg sync.WaitGroup
+}
+
+func newBase(name string, sdp core.SDP) *base {
+	return &base{
+		name:     name,
+		sdp:      sdp,
+		pendings: make(map[string]*pending),
+		answered: make(map[string]time.Time),
+	}
+}
+
+// SDP implements core.Unit.
+func (b *base) SDP() core.SDP { return b.sdp }
+
+// SetReadvertise implements core.Unit.
+func (b *base) SetReadvertise(enabled bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.readv = enabled
+}
+
+func (b *base) readvertising() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.readv
+}
+
+func (b *base) attach(ctx *core.UnitContext) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ctx = ctx
+}
+
+func (b *base) context() *core.UnitContext {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ctx
+}
+
+func (b *base) markStopped() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.stopped {
+		return false
+	}
+	b.stopped = true
+	return true
+}
+
+func (b *base) isStopped() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stopped
+}
+
+// addPending records a foreign request awaiting translation.
+func (b *base) addPending(p *pending) {
+	now := time.Now()
+	p.expires = now.Add(pendingTTL)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for id, old := range b.pendings {
+		if !old.expires.After(now) {
+			delete(b.pendings, id)
+		}
+	}
+	for id, at := range b.answered {
+		if now.Sub(at) > pendingTTL {
+			delete(b.answered, id)
+		}
+	}
+	b.pendings[p.reqID] = p
+}
+
+// takePending claims the pending entry for a response stream. Only the
+// first response for a request wins; later ones report false.
+func (b *base) takePending(reqID string) (*pending, bool) {
+	now := time.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p, ok := b.pendings[reqID]
+	if !ok || !p.expires.After(now) {
+		return nil, false
+	}
+	delete(b.pendings, reqID)
+	b.answered[reqID] = now
+	return p, true
+}
+
+// publish frames and publishes a stream under the unit's name.
+func (b *base) publish(s events.Stream) {
+	ctx := b.context()
+	if ctx == nil {
+		return
+	}
+	ctx.Profile.Delay()
+	_ = ctx.Publish(b.name, s)
+}
+
+// spawn runs fn on a tracked goroutine unless the unit has stopped.
+func (b *base) spawn(fn func()) {
+	if b.isStopped() {
+		return
+	}
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		fn()
+	}()
+}
+
+// wait blocks until all spawned work drains.
+func (b *base) wait() { b.wg.Wait() }
+
+// --- stream construction helpers shared by the units ---
+
+// requestStream builds the canonical foreign-request stream of paper
+// §2.4 step ①.
+func requestStream(sdp core.SDP, reqID string, src simnet.Addr, multicast bool, kind string, extra ...events.Event) events.Stream {
+	castEv := events.E(events.NetUnicast, "")
+	if multicast {
+		castEv = events.E(events.NetMulticast, "")
+	}
+	body := events.Stream{
+		events.E(events.NetType, string(sdp)),
+		castEv,
+		events.E(events.NetSourceAddr, src.String()),
+		events.E(events.ReqID, reqID),
+		events.E(events.ServiceRequest, ""),
+		events.E(events.ServiceType, kind),
+	}
+	body = append(body, extra...)
+	return events.NewStream(body...)
+}
+
+// responseStream builds the canonical response stream answering reqID.
+func responseStream(sdp core.SDP, reqID string, rec core.ServiceRecord, extra ...events.Event) events.Stream {
+	body := events.Stream{
+		events.E(events.NetType, string(sdp)),
+		events.E(events.ReqID, reqID),
+		events.E(events.ServiceResponse, ""),
+		events.E(events.ServiceType, rec.Kind),
+		events.E(events.ResServURL, rec.URL),
+	}
+	if ttl := ttlSeconds(rec.Expires); ttl > 0 {
+		body = append(body, events.E(events.ResTTL, strconv.Itoa(ttl)))
+	}
+	if rec.Location != "" {
+		body = append(body, events.E(events.DeviceURLDesc, rec.Location))
+	}
+	body = append(body, attrEvents(rec.Attrs)...)
+	body = append(body, extra...)
+	return events.NewStream(body...)
+}
+
+// aliveStream builds a service-advertisement stream (paper's
+// "Advertisement Events" extension set enriches responses only).
+func aliveStream(sdp core.SDP, rec core.ServiceRecord, extra ...events.Event) events.Stream {
+	body := events.Stream{
+		events.E(events.NetType, string(sdp)),
+		events.E(events.NetMulticast, ""),
+		events.E(events.ServiceAlive, ""),
+		events.E(events.ServiceType, rec.Kind),
+		events.E(events.ResServURL, rec.URL),
+		events.E(events.AdvLocation, rec.URL),
+	}
+	if ttl := ttlSeconds(rec.Expires); ttl > 0 {
+		body = append(body, events.E(events.AdvMaxAge, strconv.Itoa(ttl)))
+	}
+	if rec.Location != "" {
+		body = append(body, events.E(events.DeviceURLDesc, rec.Location))
+	}
+	body = append(body, attrEvents(rec.Attrs)...)
+	body = append(body, extra...)
+	return events.NewStream(body...)
+}
+
+// byeStream builds a departure stream.
+func byeStream(sdp core.SDP, kind, url string) events.Stream {
+	return events.NewStream(
+		events.E(events.NetType, string(sdp)),
+		events.E(events.NetMulticast, ""),
+		events.E(events.ServiceByeBye, ""),
+		events.E(events.ServiceType, kind),
+		events.E(events.ResServURL, url),
+	)
+}
+
+func attrEvents(attrs map[string]string) []events.Event {
+	if len(attrs) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	// Deterministic order keeps traces and tests stable.
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	out := make([]events.Event, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, events.E(events.ResAttr, k+"="+attrs[k]))
+	}
+	return out
+}
+
+// attrsFromStream collects ResAttr events into a map.
+func attrsFromStream(s events.Stream) map[string]string {
+	attrs := make(map[string]string)
+	for _, ev := range s.All(events.ResAttr) {
+		if name, value, ok := ev.Attr(); ok {
+			attrs[name] = value
+		}
+	}
+	return attrs
+}
+
+// recordFromStream reconstructs a service record from a response or alive
+// stream published by the origin unit.
+func recordFromStream(origin core.SDP, s events.Stream) core.ServiceRecord {
+	rec := core.ServiceRecord{
+		Origin:   origin,
+		Kind:     s.FirstData(events.ServiceType),
+		URL:      s.FirstData(events.ResServURL),
+		Location: s.FirstData(events.DeviceURLDesc),
+		Attrs:    attrsFromStream(s),
+	}
+	ttl := s.FirstData(events.ResTTL)
+	if ttl == "" {
+		ttl = s.FirstData(events.AdvMaxAge)
+	}
+	secs, err := strconv.Atoi(ttl)
+	if err != nil || secs <= 0 {
+		secs = 1800
+	}
+	rec.Expires = time.Now().Add(time.Duration(secs) * time.Second)
+	return rec
+}
+
+func ttlSeconds(expires time.Time) int {
+	secs := int(time.Until(expires) / time.Second)
+	if secs < 0 {
+		return 0
+	}
+	return secs
+}
+
+// originOf extracts the stream's origin SDP.
+func originOf(s events.Stream) core.SDP {
+	return core.SDP(s.FirstData(events.NetType))
+}

@@ -1,0 +1,156 @@
+package units
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"indiss/internal/core"
+	"indiss/internal/simnet"
+	"indiss/internal/slp"
+	"indiss/internal/ssdp"
+)
+
+// Figure 6 of the paper enumerates the placement × discovery-model cases.
+// These tests pin the two the prose singles out.
+
+// TestFigure6BlockedCaseServiceSidePassive: INDISS on the service host
+// with a passive client and no threshold policy — "we get a blocked
+// situation" (Figure 6 top right): the passive client hears nothing
+// because nobody translates toward it.
+func TestFigure6BlockedCaseServiceSidePassive(t *testing.T) {
+	n := newNet(t)
+	clientHost := n.MustAddHost("client", "10.0.0.1")
+	serviceHost := n.MustAddHost("service", "10.0.0.2")
+
+	// INDISS service-side with NO adaptation policy: stays passive.
+	sys, err := core.NewSystem(serviceHost, registry(), core.Config{
+		Role:  core.RoleServiceSide,
+		Units: []core.SDP{core.SDPSLP, core.SDPUPnP},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	clockDevice(t, serviceHost)
+
+	// The passive SLP client listens and never transmits.
+	listener, err := clientHost.ListenUDP(slp.Port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer listener.Close()
+	if err := listener.JoinGroup(slp.MulticastGroup); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for {
+		dg, err := listener.Recv(time.Until(deadline))
+		if err != nil {
+			return // blocked, as the paper predicts
+		}
+		if _, perr := slp.Parse(dg.Payload); perr == nil {
+			t.Fatalf("passive client heard SLP traffic without the threshold policy: %x", dg.Payload)
+		}
+	}
+}
+
+// TestFigure6UnsolvableCase: client passive, service active (listening),
+// nobody initiates — "there is no way to resolve this issue, considering
+// our constraint to not alter the behaviour of SDPs, clients and
+// services." INDISS anywhere changes nothing; assert the network stays
+// silent even with the threshold policy on.
+func TestFigure6UnsolvableCase(t *testing.T) {
+	n := newNet(t)
+	clientHost := n.MustAddHost("client", "10.0.0.1")
+	serviceHost := n.MustAddHost("service", "10.0.0.2")
+	gatewayHost := n.MustAddHost("gateway", "10.0.0.9")
+
+	// Service on the active model: an SLP SA that never announces
+	// (listens for requests only).
+	sa, err := slp.NewServiceAgent(serviceHost, slp.AgentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sa.Close)
+	if err := sa.Register("service:clock", "service:clock://10.0.0.2:4005", time.Hour, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Client on the passive model: a UPnP NOTIFY listener only.
+	heard := make(chan struct{}, 1)
+	l, err := ssdp.Listen(clientHost, func(*ssdp.Notify) {
+		select {
+		case heard <- struct{}{}:
+		default:
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// INDISS on a gateway with the adaptation policy enabled: its view
+	// stays empty (no advert, no request ever reaches it), so even
+	// active re-advertisement has nothing to say.
+	sys, err := core.NewSystem(gatewayHost, registry(), core.Config{
+		Role:           core.RoleServiceSide, // policy armed
+		Units:          []core.SDP{core.SDPSLP, core.SDPUPnP},
+		ThresholdBps:   1 << 20,
+		PolicyInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+
+	select {
+	case <-heard:
+		t.Fatal("the unsolvable case produced an advertisement out of nothing")
+	case <-time.After(500 * time.Millisecond):
+	}
+	if got := len(sys.View().Find("", time.Now())); got != 0 {
+		t.Errorf("view = %d records; should be empty with no SDP-initiated communication", got)
+	}
+}
+
+// TestFigure6MixedActiveClientPassiveService: "if the clients are based on
+// the active model and services are based on the passive model ...
+// interoperability is guaranteed without additional resources cost."
+func TestFigure6MixedActiveClientPassiveService(t *testing.T) {
+	n := newNet(t)
+	clientHost := n.MustAddHost("client", "10.0.0.1")
+	serviceHost := n.MustAddHost("service", "10.0.0.2")
+	gatewayHost := n.MustAddHost("gateway", "10.0.0.9")
+
+	// Passive-model SLP service: announces periodically.
+	sa, err := slp.NewServiceAgent(serviceHost, slp.AgentConfig{AnnounceInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sa.Close)
+	if err := sa.Register("service:clock", "service:clock://10.0.0.2:4005", time.Hour, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	indissOn(t, gatewayHost, core.RoleGateway, core.SDPSLP, core.SDPUPnP)
+
+	// Active-model UPnP client: searches.
+	cp := ssdp.NewClient(clientHost, ssdp.ClientConfig{})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := cp.SearchFirst("urn:schemas-upnp-org:device:clock:1", 0, time.Second)
+		if err == nil {
+			if resp.Location == "" {
+				t.Error("bridged response lacks a LOCATION")
+			}
+			return
+		}
+		if !errors.Is(err, simnet.ErrTimeout) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("active client never found the passive service through INDISS")
+		}
+	}
+}

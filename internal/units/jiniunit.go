@@ -1,0 +1,306 @@
+package units
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"indiss/internal/core"
+	"indiss/internal/events"
+	"indiss/internal/jini"
+	"indiss/internal/simnet"
+)
+
+// JiniUnitConfig tunes the Jini unit.
+type JiniUnitConfig struct {
+	// QueryTimeout bounds native Jini follow-up exchanges.
+	QueryTimeout time.Duration
+	// RegistrarPort is the TCP port of the bridge registrar's unicast
+	// discovery (default 4161, clear of a native lookup service's
+	// 4160).
+	RegistrarPort int
+	// AnnounceInterval spaces the bridge registrar's announcements.
+	AnnounceInterval time.Duration
+	// Groups the unit serves.
+	Groups []string
+}
+
+// JiniUnit is the INDISS unit for Jini. Jini's service lookups are
+// unicast exchanges with a lookup service, so the bridge cannot intercept
+// them the way it intercepts multicast searches; instead the unit *is* a
+// lookup service: it answers multicast discovery requests like any
+// registrar, and serves foreign services (synced from the view and from
+// response streams) to Jini clients that look them up.
+type JiniUnit struct {
+	*base
+	cfg JiniUnitConfig
+
+	registrar *jini.LookupService
+	client    *jini.Client
+
+	idMu sync.Mutex
+	ids  map[string]jini.ServiceID // origin|url → registered bridge item
+
+	nativeMu      sync.Mutex
+	nativeLocator jini.Locator // last non-self lookup service heard
+}
+
+// interface compliance
+var _ core.Unit = (*JiniUnit)(nil)
+
+// NewJiniUnit builds an unstarted Jini unit.
+func NewJiniUnit(cfg JiniUnitConfig) *JiniUnit {
+	if cfg.QueryTimeout <= 0 {
+		cfg.QueryTimeout = defaultQueryTimeout
+	}
+	if cfg.RegistrarPort == 0 {
+		cfg.RegistrarPort = 4161
+	}
+	if cfg.AnnounceInterval <= 0 {
+		cfg.AnnounceInterval = 500 * time.Millisecond
+	}
+	return &JiniUnit{
+		base: newBase("jini-unit", core.SDPJini),
+		cfg:  cfg,
+		ids:  make(map[string]jini.ServiceID),
+	}
+}
+
+// Start implements core.Unit.
+func (u *JiniUnit) Start(ctx *core.UnitContext) error {
+	registrar, err := jini.NewLookupService(ctx.Host, jini.LookupConfig{
+		Groups:           u.cfg.Groups,
+		UnicastPort:      u.cfg.RegistrarPort,
+		AnnounceInterval: u.cfg.AnnounceInterval,
+	})
+	if err != nil {
+		return fmt.Errorf("jini unit: %w", err)
+	}
+	// The registrar emits announcements and answers from UDP 4160 on
+	// this host; mark it so the monitor ignores the bridge's own
+	// traffic.
+	ctx.Self.Mark(simnet.Addr{IP: ctx.Host.IP(), Port: jini.Port})
+	u.registrar = registrar
+	u.client = jini.NewClient(ctx.Host, jini.ClientConfig{Groups: u.cfg.Groups})
+	u.attach(ctx)
+	ctx.Bus.Subscribe(u.name, events.ListenerFunc(u.OnEvents))
+	return nil
+}
+
+// Stop implements core.Unit.
+func (u *JiniUnit) Stop() {
+	if !u.markStopped() {
+		return
+	}
+	ctx := u.context()
+	if ctx != nil {
+		ctx.Bus.Unsubscribe(u.name)
+	}
+	if u.registrar != nil {
+		u.registrar.Close()
+	}
+	u.wait()
+}
+
+// Registrar exposes the bridge registrar's locator, mainly for tests and
+// diagnostics.
+func (u *JiniUnit) Registrar() jini.Locator {
+	return u.registrar.Locator()
+}
+
+// HandleNative implements core.Unit: raw Jini discovery packets from the
+// monitor.
+func (u *JiniUnit) HandleNative(det core.Detection) {
+	ctx := u.context()
+	if ctx == nil {
+		return
+	}
+	kind, r, err := jini.OpenPacket(det.Data)
+	if err != nil {
+		return
+	}
+	ctx.Profile.Delay()
+	switch kind {
+	case jini.KindRequestPacket:
+		u.parseDiscoveryRequest(det)
+		_ = r
+	case jini.KindAnnouncePacket:
+		u.parseAnnouncement(r, det)
+	}
+}
+
+// parseDiscoveryRequest reacts to a Jini client searching for lookup
+// services: the bridge registrar answers natively on its own; here the
+// unit additionally publishes a browse request so peer units pre-populate
+// the registrar with their services before the client's lookup lands.
+func (u *JiniUnit) parseDiscoveryRequest(det core.Detection) {
+	reqID := "jini-" + det.Src.String()
+	u.addPending(&pending{
+		reqID:  reqID,
+		src:    det.Src,
+		kind:   "",
+		native: map[string]string{},
+	})
+	u.publish(requestStream(core.SDPJini, reqID, det.Src, true, "",
+		events.E(events.JiniGroups, joinComma(u.cfg.Groups)),
+	))
+}
+
+// parseAnnouncement records native lookup services for later queries.
+func (u *JiniUnit) parseAnnouncement(r *jini.PacketReader, det core.Detection) {
+	ann, err := jini.ParseAnnouncementPacket(r)
+	if err != nil {
+		return
+	}
+	own := u.registrar.Locator()
+	if ann.Host == own.Host && ann.Port == own.Port {
+		return
+	}
+	u.nativeMu.Lock()
+	u.nativeLocator = ann
+	u.nativeMu.Unlock()
+	_ = det
+}
+
+// OnEvents implements core.Unit.
+func (u *JiniUnit) OnEvents(env events.Envelope) {
+	if u.isStopped() || originOf(env.Stream) == core.SDPJini {
+		return
+	}
+	s := env.Stream
+	switch {
+	case s.Has(events.ServiceRequest):
+		u.spawn(func() { u.queryNative(s) })
+	case s.Has(events.ServiceResponse), s.Has(events.ServiceAlive):
+		// Any foreign service knowledge becomes a bridge registrar
+		// entry, so Jini clients can look it up natively.
+		u.registerForeign(recordFromStream(originOf(s), s))
+	case s.Has(events.ServiceByeBye):
+		u.unregisterForeign(originOf(s), s.FirstData(events.ResServURL))
+	}
+}
+
+// queryNative looks up matching services in the native Jini world (a
+// non-bridge lookup service) and answers with response streams.
+func (u *JiniUnit) queryNative(s events.Stream) {
+	ctx := u.context()
+	reqID := s.FirstData(events.ReqID)
+	kind := s.FirstData(events.ServiceType)
+
+	loc, ok := u.findNativeLookup()
+	if !ok {
+		return // no native Jini infrastructure present
+	}
+	ctx.Profile.Delay()
+	items, err := u.client.Lookup(loc, jini.ServiceTemplate{}, u.cfg.QueryTimeout)
+	if err != nil {
+		return
+	}
+	for _, item := range items {
+		itemKind := kindFromJiniType(item.Type)
+		if kind != "" && itemKind != baseKind(kind) {
+			continue
+		}
+		rec := core.ServiceRecord{
+			Origin:  core.SDPJini,
+			Kind:    itemKind,
+			URL:     item.Endpoint,
+			Attrs:   entryAttrs(item.Attrs),
+			Expires: time.Now().Add(30 * time.Minute),
+		}
+		ctx.View.Put(rec)
+		u.publish(responseStream(core.SDPJini, reqID, rec,
+			events.E(events.JiniServiceID, item.ID.String()),
+		))
+	}
+}
+
+// findNativeLookup returns a known native lookup locator, discovering one
+// if necessary (excluding the bridge's own registrar).
+func (u *JiniUnit) findNativeLookup() (jini.Locator, bool) {
+	u.nativeMu.Lock()
+	loc := u.nativeLocator
+	u.nativeMu.Unlock()
+	if loc.Host != "" {
+		return loc, true
+	}
+	own := u.registrar.Locator()
+	deadline := time.Now().Add(u.cfg.QueryTimeout)
+	for time.Now().Before(deadline) {
+		found, err := u.client.DiscoverLookup(time.Until(deadline))
+		if err != nil {
+			return jini.Locator{}, false
+		}
+		if found.Host == own.Host && found.Port == own.Port {
+			continue // our own registrar answered; keep listening
+		}
+		u.nativeMu.Lock()
+		u.nativeLocator = found
+		u.nativeMu.Unlock()
+		return found, true
+	}
+	return jini.Locator{}, false
+}
+
+func baseKind(kind string) string {
+	for i := 0; i < len(kind); i++ {
+		if kind[i] == ':' {
+			return kind[:i]
+		}
+	}
+	return kind
+}
+
+// registerForeign mirrors a foreign service into the bridge registrar.
+func (u *JiniUnit) registerForeign(rec core.ServiceRecord) {
+	if rec.Origin == core.SDPJini || rec.URL == "" {
+		return
+	}
+	attrs := []jini.Entry{
+		{Name: "kind", Value: rec.Kind},
+		{Name: "origin", Value: string(rec.Origin)},
+	}
+	for name, value := range rec.Attrs {
+		attrs = append(attrs, jini.Entry{Name: name, Value: value})
+	}
+	item := jini.ServiceItem{
+		Type:     jiniTypeFromKind(rec.Kind),
+		Endpoint: rec.URL,
+		Attrs:    attrs,
+	}
+	key := string(rec.Origin) + "|" + rec.URL
+	u.idMu.Lock()
+	if id, known := u.ids[key]; known {
+		item.ID = id
+	}
+	u.idMu.Unlock()
+
+	id, err := u.registrar.RegisterLocal(item)
+	if err != nil {
+		return
+	}
+	u.idMu.Lock()
+	u.ids[key] = id
+	u.idMu.Unlock()
+}
+
+func (u *JiniUnit) unregisterForeign(origin core.SDP, url string) {
+	key := string(origin) + "|" + url
+	u.idMu.Lock()
+	id, ok := u.ids[key]
+	if ok {
+		delete(u.ids, key)
+	}
+	u.idMu.Unlock()
+	if ok {
+		u.registrar.Unregister(id)
+	}
+}
+
+func entryAttrs(entries []jini.Entry) map[string]string {
+	out := make(map[string]string, len(entries))
+	for _, e := range entries {
+		out[e.Name] = e.Value
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+// Package units implements the three concrete INDISS protocol units of
+// the paper's prototype and Figure 5 configuration: SLP, UPnP and Jini.
+//
+// Each unit couples a parser (native messages → semantic event streams)
+// and a composer (event streams → native messages) under a deterministic
+// finite automaton, exactly the architecture of paper §2.2–2.3. Units
+// talk to each other only through events on the system bus; native
+// protocol syntax never crosses a unit boundary.
+package units
+
+import (
+	"strings"
+
+	"indiss/internal/upnp"
+)
+
+// Canonical service kinds are the SDP-neutral names events carry in
+// SDP_SERVICE_TYPE ("clock", "printer", …). Each unit maps between its
+// native naming scheme and the canonical kind:
+//
+//	SLP:  service:clock                         ↔ clock
+//	UPnP: urn:schemas-upnp-org:device:clock:1   ↔ clock
+//	Jini: org.indiss.clock.Service              ↔ clock (bridge-composed)
+//	      net.jini.clock.Clock                  → clock (native, derived)
+
+// kindFromSLPType maps an SLP service type to a canonical kind.
+// "service:printer:lpr" keeps its concrete subtype: "printer:lpr".
+func kindFromSLPType(serviceType string) string {
+	rest, ok := strings.CutPrefix(strings.ToLower(strings.TrimSpace(serviceType)), "service:")
+	if !ok {
+		return strings.ToLower(strings.TrimSpace(serviceType))
+	}
+	return rest
+}
+
+// slpTypeFromKind maps a canonical kind back to an SLP service type.
+func slpTypeFromKind(kind string) string {
+	if kind == "" {
+		return ""
+	}
+	return "service:" + kind
+}
+
+// kindFromUPnPTarget maps a UPnP search target or notification type to a
+// canonical kind. Root-device and uuid targets have no kind ("" = browse).
+func kindFromUPnPTarget(target string) string {
+	switch {
+	case target == "", target == "ssdp:all", target == "upnp:rootdevice":
+		return ""
+	case strings.HasPrefix(target, "uuid:"):
+		return ""
+	case strings.HasPrefix(strings.ToLower(target), "urn:"):
+		short := upnp.ShortType(target)
+		if short == target {
+			return strings.ToLower(target)
+		}
+		return strings.ToLower(short)
+	case strings.HasPrefix(target, "upnp:"):
+		// The paper's trace uses the CyberLink-style short form
+		// "upnp:clock".
+		return strings.ToLower(strings.TrimPrefix(target, "upnp:"))
+	default:
+		return strings.ToLower(target)
+	}
+}
+
+// upnpTargetFromKind maps a canonical kind to the device type URN to
+// search for. The empty kind browses root devices.
+func upnpTargetFromKind(kind string) string {
+	if kind == "" {
+		return "upnp:rootdevice"
+	}
+	// Concrete SLP subtypes ("printer:lpr") have no URN equivalent;
+	// use the abstract part.
+	base, _, _ := strings.Cut(kind, ":")
+	return upnp.TypeURN(base, 1)
+}
+
+// kindFromJiniType derives a canonical kind from a Jini service type
+// name: the second-to-last dot segment, lowercased. Both native names
+// ("net.jini.clock.Clock") and bridge-composed names
+// ("org.indiss.clock.Service") resolve to "clock".
+func kindFromJiniType(typeName string) string {
+	parts := strings.Split(typeName, ".")
+	if len(parts) < 2 {
+		return strings.ToLower(typeName)
+	}
+	return strings.ToLower(parts[len(parts)-2])
+}
+
+// jiniTypeFromKind builds the bridge's Java-ish type name for a canonical
+// kind.
+func jiniTypeFromKind(kind string) string {
+	if kind == "" {
+		return ""
+	}
+	base, _, _ := strings.Cut(kind, ":")
+	return "org.indiss." + base + ".Service"
+}

@@ -1,0 +1,144 @@
+package upnp
+
+import (
+	"errors"
+	"fmt"
+
+	"indiss/internal/xmlx"
+)
+
+// SOAP control (UDA 1.0 §3): actions are POSTed to a service's controlURL
+// inside a SOAP envelope; responses echo the action name with "Response"
+// appended.
+
+// SOAPNS is the SOAP envelope namespace.
+const SOAPNS = "http://schemas.xmlsoap.org/soap/envelope/"
+
+// ErrBadSOAP reports a malformed SOAP envelope.
+var ErrBadSOAP = errors.New("upnp: bad soap envelope")
+
+// Action is one control invocation or its response.
+type Action struct {
+	// ServiceType is the service's URN (the SOAP body element's
+	// namespace).
+	ServiceType string
+	// Name is the action name, e.g. "GetTime".
+	Name string
+	// Args are the in or out arguments in document order.
+	Args []Arg
+}
+
+// Arg is one named action argument.
+type Arg struct {
+	Name  string
+	Value string
+}
+
+// Get returns the named argument value, or "".
+func (a *Action) Get(name string) string {
+	for _, arg := range a.Args {
+		if arg.Name == name {
+			return arg.Value
+		}
+	}
+	return ""
+}
+
+// MarshalSOAP renders the action as a SOAP envelope.
+func (a *Action) MarshalSOAP() []byte {
+	body := &xmlx.Node{
+		Name: "u:" + a.Name,
+		Attrs: []xmlx.Attr{
+			{Name: "xmlns:u", Value: a.ServiceType},
+		},
+	}
+	for _, arg := range a.Args {
+		body.Children = append(body.Children, &xmlx.Node{Name: arg.Name, Text: arg.Value})
+	}
+	env := &xmlx.Node{
+		Name: "s:Envelope",
+		Attrs: []xmlx.Attr{
+			{Name: "xmlns:s", Value: SOAPNS},
+			{Name: "s:encodingStyle", Value: "http://schemas.xmlsoap.org/soap/encoding/"},
+		},
+		Children: []*xmlx.Node{
+			{Name: "s:Body", Children: []*xmlx.Node{body}},
+		},
+	}
+	return append([]byte(`<?xml version="1.0"?>`), env.Marshal()...)
+}
+
+// ParseSOAP decodes a SOAP envelope into the action it carries.
+func ParseSOAP(data []byte) (*Action, error) {
+	root, err := xmlx.Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSOAP, err)
+	}
+	body := root.Find("Body")
+	if body == nil || len(body.Children) == 0 {
+		return nil, fmt.Errorf("%w: no body element", ErrBadSOAP)
+	}
+	actionNode := body.Children[0]
+	a := &Action{Name: localPart(actionNode.Name)}
+	for _, attr := range actionNode.Attrs {
+		if attr.Name == "xmlns:u" || attr.Name == "xmlns" {
+			a.ServiceType = attr.Value
+		}
+	}
+	for _, c := range actionNode.Children {
+		a.Args = append(a.Args, Arg{Name: localPart(c.Name), Value: c.Text})
+	}
+	return a, nil
+}
+
+// SOAPFault renders a UPnP error response (UDA 1.0 §3.2.2).
+func SOAPFault(code int, description string) []byte {
+	env := &xmlx.Node{
+		Name:  "s:Envelope",
+		Attrs: []xmlx.Attr{{Name: "xmlns:s", Value: SOAPNS}},
+		Children: []*xmlx.Node{{
+			Name: "s:Body",
+			Children: []*xmlx.Node{{
+				Name: "s:Fault",
+				Children: []*xmlx.Node{
+					{Name: "faultcode", Text: "s:Client"},
+					{Name: "faultstring", Text: "UPnPError"},
+					{Name: "detail", Children: []*xmlx.Node{{
+						Name: "UPnPError",
+						Children: []*xmlx.Node{
+							{Name: "errorCode", Text: fmt.Sprintf("%d", code)},
+							{Name: "errorDescription", Text: description},
+						},
+					}}},
+				},
+			}},
+		}},
+	}
+	return append([]byte(`<?xml version="1.0"?>`), env.Marshal()...)
+}
+
+// ParseSOAPFault extracts the error code and description of a fault
+// envelope; ok reports whether the envelope is a fault at all.
+func ParseSOAPFault(data []byte) (code string, description string, ok bool) {
+	root, err := xmlx.Parse(data)
+	if err != nil {
+		return "", "", false
+	}
+	fault := root.Find("Fault")
+	if fault == nil {
+		return "", "", false
+	}
+	if upnpErr := fault.Find("UPnPError"); upnpErr != nil {
+		return upnpErr.ChildText("errorCode"), upnpErr.ChildText("errorDescription"), true
+	}
+	return "", fault.ChildText("faultstring"), true
+}
+
+func localPart(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == ':' {
+			return name[i+1:]
+		}
+	}
+	return name
+}

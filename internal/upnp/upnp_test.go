@@ -1,0 +1,386 @@
+package upnp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"indiss/internal/httpx"
+	"indiss/internal/simnet"
+	"indiss/internal/ssdp"
+)
+
+func TestDescriptionRoundTrip(t *testing.T) {
+	d := &DeviceDesc{
+		DeviceType:   TypeURN("clock", 1),
+		FriendlyName: "CyberGarage Clock & Co",
+		Manufacturer: "indiss",
+		ModelName:    "Clock",
+		UDN:          "uuid:clock-1",
+		Services: []ServiceDesc{{
+			ServiceType: ServiceURN("timer", 1),
+			ServiceID:   "urn:upnp-org:serviceId:timer",
+			SCPDURL:     "/service/timer/scpd.xml",
+			ControlURL:  "/service/timer/control",
+			EventSubURL: "/service/timer/event",
+		}},
+		Embedded: []DeviceDesc{{
+			DeviceType: TypeURN("display", 1),
+			UDN:        "uuid:display-1",
+		}},
+	}
+	back, err := ParseDescription(MarshalDescription(d))
+	if err != nil {
+		t.Fatalf("ParseDescription: %v", err)
+	}
+	if back.FriendlyName != d.FriendlyName {
+		t.Errorf("friendlyName = %q (escaping broken?)", back.FriendlyName)
+	}
+	if len(back.Services) != 1 || back.Services[0].ControlURL != "/service/timer/control" {
+		t.Errorf("services = %+v", back.Services)
+	}
+	if len(back.Embedded) != 1 || back.Embedded[0].UDN != "uuid:display-1" {
+		t.Errorf("embedded = %+v", back.Embedded)
+	}
+}
+
+func TestParseDescriptionErrors(t *testing.T) {
+	bad := [][]byte{
+		[]byte("not xml"),
+		[]byte("<wrong/>"),
+		[]byte("<root></root>"),
+		[]byte("<root><device><deviceType>x</deviceType></device></root>"), // no UDN
+	}
+	for _, data := range bad {
+		if _, err := ParseDescription(data); !errors.Is(err, ErrBadDescription) {
+			t.Errorf("ParseDescription(%q) err = %v, want ErrBadDescription", data, err)
+		}
+	}
+}
+
+func TestURNHelpers(t *testing.T) {
+	if got := TypeURN("clock", 1); got != "urn:schemas-upnp-org:device:clock:1" {
+		t.Errorf("TypeURN = %q", got)
+	}
+	if got := ServiceURN("timer", 2); got != "urn:schemas-upnp-org:service:timer:2" {
+		t.Errorf("ServiceURN = %q", got)
+	}
+	if got := ShortType("urn:schemas-upnp-org:device:clock:1"); got != "clock" {
+		t.Errorf("ShortType = %q", got)
+	}
+	if got := ShortType("upnp:clock"); got != "upnp:clock" {
+		t.Errorf("ShortType passthrough = %q", got)
+	}
+}
+
+func TestSOAPRoundTrip(t *testing.T) {
+	a := &Action{
+		ServiceType: ServiceURN("timer", 1),
+		Name:        "GetTime",
+		Args:        []Arg{{Name: "Format", Value: "iso<8601>"}},
+	}
+	back, err := ParseSOAP(a.MarshalSOAP())
+	if err != nil {
+		t.Fatalf("ParseSOAP: %v", err)
+	}
+	if back.Name != "GetTime" || back.ServiceType != a.ServiceType {
+		t.Errorf("round trip: %+v", back)
+	}
+	if back.Get("Format") != "iso<8601>" {
+		t.Errorf("arg = %q (escaping broken?)", back.Get("Format"))
+	}
+	if back.Get("Missing") != "" {
+		t.Error("missing arg should be empty")
+	}
+}
+
+func TestSOAPFaultRoundTrip(t *testing.T) {
+	data := SOAPFault(401, "Invalid Action")
+	code, desc, ok := ParseSOAPFault(data)
+	if !ok || code != "401" || desc != "Invalid Action" {
+		t.Errorf("fault = %q %q %v", code, desc, ok)
+	}
+	a := &Action{ServiceType: "urn:x", Name: "Ok"}
+	if _, _, ok := ParseSOAPFault(a.MarshalSOAP()); ok {
+		t.Error("non-fault recognized as fault")
+	}
+}
+
+func TestParseHTTPURL(t *testing.T) {
+	addr, path, err := ParseHTTPURL("http://10.0.0.2:4004/description.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr.IP != "10.0.0.2" || addr.Port != 4004 || path != "/description.xml" {
+		t.Errorf("parsed %v %q", addr, path)
+	}
+	if _, _, err := ParseHTTPURL("ftp://x/y"); !errors.Is(err, ErrBadURL) {
+		t.Errorf("bad scheme: %v", err)
+	}
+	if _, _, err := ParseHTTPURL("http://noport/x"); !errors.Is(err, ErrBadURL) {
+		t.Errorf("no port: %v", err)
+	}
+	if got := HTTPURL(simnet.Addr{IP: "10.0.0.2", Port: 4004}, "d.xml"); got != "http://10.0.0.2:4004/d.xml" {
+		t.Errorf("HTTPURL = %q", got)
+	}
+}
+
+// clockDevice builds the paper's clock device on the given host.
+func clockDevice(t *testing.T, host *simnet.Host) *RootDevice {
+	t.Helper()
+	dev, err := NewRootDevice(host, DeviceConfig{
+		Kind:         "clock",
+		FriendlyName: "CyberGarage Clock Device",
+		Manufacturer: "CyberGarage",
+		ModelName:    "Clock",
+		Services: []ServiceConfig{{
+			Kind: "timer",
+			Actions: map[string]ActionHandler{
+				"GetTime": func(a *Action) ([]Arg, error) {
+					return []Arg{{Name: "CurrentTime", Value: "12:00:00"}}, nil
+				},
+				"Fail": func(a *Action) ([]Arg, error) {
+					return nil, fmt.Errorf("deliberate failure")
+				},
+			},
+		}},
+	})
+	if err != nil {
+		t.Fatalf("NewRootDevice: %v", err)
+	}
+	t.Cleanup(dev.Close)
+	return dev
+}
+
+func newNet(t *testing.T) (*simnet.Host, *simnet.Host) {
+	t.Helper()
+	n := simnet.New(simnet.Config{})
+	t.Cleanup(n.Close)
+	return n.MustAddHost("client", "10.0.0.1"), n.MustAddHost("device", "10.0.0.2")
+}
+
+func TestDiscoverDescribeChain(t *testing.T) {
+	clientHost, deviceHost := newNet(t)
+	clockDevice(t, deviceHost)
+
+	cp := NewControlPoint(clientHost, ControlPointConfig{})
+	dev, err := cp.Discover(TypeURN("clock", 1), 0)
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	if dev.Desc.FriendlyName != "CyberGarage Clock Device" {
+		t.Errorf("friendlyName = %q", dev.Desc.FriendlyName)
+	}
+	if dev.DescAddr.Port != DefaultDescriptionPort {
+		t.Errorf("description addr = %v", dev.DescAddr)
+	}
+	sd, ok := dev.ServiceByKind("timer")
+	if !ok {
+		t.Fatalf("timer service missing: %+v", dev.Desc.Services)
+	}
+	if got := dev.ControlURL(sd); got != "http://10.0.0.2:4004/service/timer/control" {
+		t.Errorf("control url = %q", got)
+	}
+}
+
+func TestDiscoverNoDevice(t *testing.T) {
+	clientHost, _ := newNet(t)
+	cp := NewControlPoint(clientHost, ControlPointConfig{Timeout: 50 * time.Millisecond})
+	if _, err := cp.Discover(TypeURN("toaster", 1), 0); !errors.Is(err, ErrNoDevice) {
+		t.Errorf("err = %v, want ErrNoDevice", err)
+	}
+}
+
+func TestInvokeAction(t *testing.T) {
+	clientHost, deviceHost := newNet(t)
+	clockDevice(t, deviceHost)
+
+	cp := NewControlPoint(clientHost, ControlPointConfig{})
+	dev, err := cp.Discover(TypeURN("clock", 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, _ := dev.ServiceByKind("timer")
+
+	resp, err := cp.Invoke(dev, sd, &Action{Name: "GetTime"})
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if resp.Name != "GetTimeResponse" || resp.Get("CurrentTime") != "12:00:00" {
+		t.Errorf("response = %+v", resp)
+	}
+
+	if _, err := cp.Invoke(dev, sd, &Action{Name: "NoSuchAction"}); err == nil {
+		t.Error("unknown action should fail")
+	}
+	if _, err := cp.Invoke(dev, sd, &Action{Name: "Fail"}); err == nil || !strings.Contains(err.Error(), "deliberate") {
+		t.Errorf("failing action err = %v", err)
+	}
+}
+
+func TestSCPDServed(t *testing.T) {
+	clientHost, deviceHost := newNet(t)
+	clockDevice(t, deviceHost)
+
+	cp := NewControlPoint(clientHost, ControlPointConfig{})
+	dev, err := cp.Discover(TypeURN("clock", 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, _ := dev.ServiceByKind("timer")
+	resp, err := httpx.Get(cp.Host(), dev.DescAddr, sd.SCPDURL, time.Second)
+	if err != nil {
+		t.Fatalf("SCPD fetch: %v", err)
+	}
+	if resp.StatusCode != 200 || !strings.Contains(string(resp.Body), "GetTime") {
+		t.Errorf("SCPD = %d %s", resp.StatusCode, resp.Body)
+	}
+	// Unknown paths 404.
+	resp, err = httpx.Get(cp.Host(), dev.DescAddr, "/nosuch", time.Second)
+	if err != nil {
+		t.Fatalf("404 fetch: %v", err)
+	}
+	if resp.StatusCode != 404 {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestEventingSubscribeNotifyUnsubscribe(t *testing.T) {
+	clientHost, deviceHost := newNet(t)
+	dev := clockDevice(t, deviceHost)
+
+	cp := NewControlPoint(clientHost, ControlPointConfig{})
+	found, err := cp.Discover(TypeURN("clock", 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, _ := found.ServiceByKind("timer")
+
+	type event struct {
+		sid  string
+		seq  int
+		vars map[string]string
+	}
+	eventCh := make(chan event, 4)
+	sub, err := cp.Subscribe(found, sd, func(sid string, seq int, vars map[string]string) {
+		eventCh <- event{sid, seq, vars}
+	})
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	if dev.Subscribers() != 1 {
+		t.Errorf("subscribers = %d", dev.Subscribers())
+	}
+
+	sent := dev.NotifyStateChange("timer", map[string]string{"Time": "12:00:01"})
+	if sent != 1 {
+		t.Errorf("NotifyStateChange sent = %d", sent)
+	}
+	select {
+	case ev := <-eventCh:
+		if ev.sid != sub.SID || ev.vars["Time"] != "12:00:01" || ev.seq != 1 {
+			t.Errorf("event = %+v", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no event delivered")
+	}
+
+	if err := sub.Renew(); err != nil {
+		t.Errorf("Renew: %v", err)
+	}
+
+	sub.Close()
+	if dev.Subscribers() != 0 {
+		t.Errorf("subscribers after close = %d", dev.Subscribers())
+	}
+	if sent := dev.NotifyStateChange("timer", map[string]string{"Time": "x"}); sent != 0 {
+		t.Errorf("notify after unsubscribe sent = %d", sent)
+	}
+}
+
+func TestDeviceByeByeOnClose(t *testing.T) {
+	clientHost, deviceHost := newNet(t)
+
+	var mu sync.Mutex
+	byes := 0
+	l, err := ssdp.Listen(clientHost, func(n *ssdp.Notify) {
+		if n.NTS == ssdp.NTSByeBye {
+			mu.Lock()
+			byes++
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	dev, err := NewRootDevice(deviceHost, DeviceConfig{Kind: "clock", Services: []ServiceConfig{{Kind: "timer"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := byes
+		mu.Unlock()
+		// rootdevice + uuid + devicetype + 1 service = 4 advertisements.
+		if n >= 4 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("byebyes = %d, want 4", n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestHTTPDelaySlowsDescribe(t *testing.T) {
+	const delay = 20 * time.Millisecond
+	clientHost, deviceHost := newNet(t)
+	dev, err := NewRootDevice(deviceHost, DeviceConfig{
+		Kind:      "clock",
+		HTTPDelay: delay,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+
+	cp := NewControlPoint(clientHost, ControlPointConfig{})
+	start := time.Now()
+	if _, err := cp.Discover(TypeURN("clock", 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Errorf("discover took %v, want >= %v (HTTP delay)", elapsed, delay)
+	}
+}
+
+func TestDuplicateDescriptionPortFails(t *testing.T) {
+	_, deviceHost := newNet(t)
+	dev, err := NewRootDevice(deviceHost, DeviceConfig{Kind: "clock"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	if _, err := NewRootDevice(deviceHost, DeviceConfig{Kind: "light"}); err == nil {
+		t.Error("second device on same ports should fail")
+	}
+}
+
+func TestPropertySetRoundTrip(t *testing.T) {
+	vars := map[string]string{"Time": "12:00", "Alarm": "on&off"}
+	back, err := ParsePropertySet(marshalPropertySet(vars))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back["Time"] != "12:00" || back["Alarm"] != "on&off" {
+		t.Errorf("round trip = %+v", back)
+	}
+}

@@ -1,0 +1,39 @@
+package upnp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"indiss/internal/simnet"
+)
+
+// ErrBadURL reports an unusable http URL.
+var ErrBadURL = errors.New("upnp: bad url")
+
+// ParseHTTPURL splits "http://ip:port/path" into a dialable address and a
+// path. UPnP LOCATION headers and control URLs are always of this shape on
+// the simulated network.
+func ParseHTTPURL(raw string) (simnet.Addr, string, error) {
+	rest, ok := strings.CutPrefix(raw, "http://")
+	if !ok {
+		return simnet.Addr{}, "", fmt.Errorf("%w: %q", ErrBadURL, raw)
+	}
+	hostport, path, found := strings.Cut(rest, "/")
+	if !found {
+		path = ""
+	}
+	addr, err := simnet.ParseAddr(hostport)
+	if err != nil {
+		return simnet.Addr{}, "", fmt.Errorf("%w: %q: %v", ErrBadURL, raw, err)
+	}
+	return addr, "/" + path, nil
+}
+
+// HTTPURL builds "http://ip:port/path".
+func HTTPURL(addr simnet.Addr, path string) string {
+	if !strings.HasPrefix(path, "/") {
+		path = "/" + path
+	}
+	return "http://" + addr.String() + path
+}
