@@ -7,6 +7,7 @@
 package indiss_test
 
 import (
+	"strconv"
 	"testing"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"indiss/internal/core"
 	"indiss/internal/events"
 	"indiss/internal/fsm"
+	"indiss/internal/httpx"
 	"indiss/internal/simnet"
 	"indiss/internal/sizereport"
 	"indiss/internal/slp"
@@ -447,4 +449,174 @@ func BenchmarkAblationEventBus(b *testing.B) {
 		bus.Publish("source", stream)
 		<-sink
 	}
+}
+
+// --- Translation hot path: allocation/throughput benchmarks ---
+//
+// These three benchmarks (plus their Parallel variants) guard the
+// per-message cost of the parser→bus→composer pipeline. PERF.md records
+// the pre-refactor baseline; the alloc-budget assertions in perf_test.go
+// turn regressions into tier-1 failures.
+
+// benchStream is a representative request stream (the Figure 4 step ①
+// shape).
+func benchStream() events.Stream {
+	return events.NewStream(
+		events.E(events.NetType, "SLP"),
+		events.E(events.NetMulticast, ""),
+		events.E(events.NetSourceAddr, "10.0.0.1:427"),
+		events.E(events.ReqID, "slp-10.0.0.1:427-42"),
+		events.E(events.ServiceRequest, ""),
+		events.E(events.ServiceType, "clock"),
+	)
+}
+
+// BenchmarkBusPublishFanout measures one Publish delivered to four
+// subscribed units (none of them the source).
+func BenchmarkBusPublishFanout(b *testing.B) {
+	bus := events.NewBus()
+	defer bus.Close()
+	for _, name := range []string{"slp-unit", "upnp-unit", "jini-unit", "bt-unit"} {
+		bus.Subscribe(name, events.ListenerFunc(func(events.Envelope) {}))
+	}
+	stream := benchStream()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish("monitor", stream)
+	}
+}
+
+// BenchmarkBusPublishFanoutParallel is the same fan-out under concurrent
+// publishers — the thousands-of-exchanges gateway scenario.
+func BenchmarkBusPublishFanoutParallel(b *testing.B) {
+	bus := events.NewBus()
+	defer bus.Close()
+	for _, name := range []string{"slp-unit", "upnp-unit", "jini-unit", "bt-unit"} {
+		bus.Subscribe(name, events.ListenerFunc(func(events.Envelope) {}))
+	}
+	stream := benchStream()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			bus.Publish("monitor", stream)
+		}
+	})
+}
+
+// benchView builds a view with many kinds so Find cost is dominated by
+// lookup strategy, not record volume of the asked kind.
+func benchView(kinds, perKind int) (*core.ServiceView, time.Time) {
+	view := core.NewServiceView()
+	now := time.Now()
+	exp := now.Add(time.Hour)
+	for k := 0; k < kinds; k++ {
+		for i := 0; i < perKind; i++ {
+			view.Put(core.ServiceRecord{
+				Origin:  core.SDPUPnP,
+				Kind:    "kind-" + strconv.Itoa(k),
+				URL:     "soap://10.0.0.2:" + strconv.Itoa(4000+k) + "/" + strconv.Itoa(i),
+				Attrs:   map[string]string{"friendlyName": "Svc"},
+				Expires: exp,
+			})
+		}
+	}
+	return view, now
+}
+
+// BenchmarkViewFindHot measures the cached-answer lookup of Figure 9b: one
+// live record of the asked kind among 1024 records of other kinds.
+func BenchmarkViewFindHot(b *testing.B) {
+	view, now := benchView(1024, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(view.Find("kind-512", now)) != 1 {
+			b.Fatal("lookup missed")
+		}
+	}
+}
+
+// BenchmarkViewFindHotParallel runs the hot lookup from concurrent
+// requesters asking for different kinds.
+func BenchmarkViewFindHotParallel(b *testing.B) {
+	view, now := benchView(1024, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			kind := "kind-" + strconv.Itoa(i%1024)
+			i++
+			if len(view.Find(kind, now)) != 1 {
+				// Fatal must not run off the benchmark goroutine.
+				b.Error("lookup missed")
+				return
+			}
+		}
+	})
+}
+
+// benchHTTPXMessages returns the M-SEARCH request / 200 OK response pair
+// of an SSDP exchange, the dominant httpx workload.
+func benchHTTPXMessages() (*httpx.Request, *httpx.Response) {
+	req := &httpx.Request{
+		Method: "M-SEARCH",
+		Target: "*",
+		Header: httpx.NewHeader(
+			"HOST", "239.255.255.250:1900",
+			"MAN", `"ssdp:discover"`,
+			"MX", "0",
+			"ST", "urn:schemas-upnp-org:device:clock:1",
+		),
+	}
+	resp := &httpx.Response{
+		StatusCode: 200,
+		Header: httpx.NewHeader(
+			"CACHE-CONTROL", "max-age=1800",
+			"ST", "urn:schemas-upnp-org:device:clock:1",
+			"USN", "uuid:clock::urn:schemas-upnp-org:device:clock:1",
+			"LOCATION", "http://10.0.0.2:4004/description.xml",
+			"SERVER", "simnet/1.0 UPnP/1.0 indiss/1.0",
+		),
+	}
+	return req, resp
+}
+
+// BenchmarkHTTPXRoundTrip measures marshal+parse of the request/response
+// pair — the wire cost of one bridged SSDP exchange.
+func BenchmarkHTTPXRoundTrip(b *testing.B) {
+	req, resp := benchHTTPXMessages()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := httpx.ParseRequest(req.Marshal()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := httpx.ParseResponse(resp.Marshal()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHTTPXRoundTripParallel is the same codec work under concurrent
+// exchanges.
+func BenchmarkHTTPXRoundTripParallel(b *testing.B) {
+	req, resp := benchHTTPXMessages()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := httpx.ParseRequest(req.Marshal()); err != nil {
+				// Fatal must not run off the benchmark goroutine.
+				b.Error(err)
+				return
+			}
+			if _, err := httpx.ParseResponse(resp.Marshal()); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 }

@@ -1,0 +1,3 @@
+module indiss
+
+go 1.24

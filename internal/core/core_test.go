@@ -234,11 +234,26 @@ func TestServiceView(t *testing.T) {
 	if v.Remove(SDPSLP, "nosuch") {
 		t.Error("Remove of unknown succeeded")
 	}
-	// Mutating a returned record must not affect the view.
-	got := v.Find("clock", now)
-	got[0].Attrs["friendlyName"] = "mutated"
-	if v.Find("clock", now)[0].Attrs["friendlyName"] != "Clock" {
-		t.Error("view shares attr maps with callers")
+	// The view must not alias the producer's map: mutating the record a
+	// caller Put must not leak into stored records, and an explicit
+	// Clone of a returned record must be independent. (Returned records
+	// share their Attrs map with the view read-only — the Figure 9b hot
+	// path contract — so callers clone before mutating.)
+	src := ServiceRecord{
+		Origin: SDPUPnP, Kind: "camera",
+		URL:     "http://10.0.0.5:4004/description.xml",
+		Attrs:   map[string]string{"friendlyName": "Cam"},
+		Expires: now.Add(time.Minute),
+	}
+	v.Put(src)
+	src.Attrs["friendlyName"] = "mutated-by-producer"
+	if v.Find("camera", now)[0].Attrs["friendlyName"] != "Cam" {
+		t.Error("view aliases the producer's attr map")
+	}
+	clone := v.Find("camera", now)[0].Clone()
+	clone.Attrs["friendlyName"] = "mutated-clone"
+	if v.Find("camera", now)[0].Attrs["friendlyName"] != "Cam" {
+		t.Error("Clone is not independent of the view")
 	}
 }
 

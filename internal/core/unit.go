@@ -169,6 +169,22 @@ func (ctx *UnitContext) Publish(source string, s events.Stream) error {
 	return nil
 }
 
+// PublishPooled is Publish for pool-backed streams: ownership of ps
+// transfers to the bus (or back to the pool on validation failure), and
+// each receiving unit releases its share when its composer is done — see
+// PERF.md for the ownership rules.
+func (ctx *UnitContext) PublishPooled(source string, ps *events.PooledStream) error {
+	if err := ps.S.Validate(); err != nil {
+		ps.Free()
+		return fmt.Errorf("core: unit %s published invalid stream: %w", source, err)
+	}
+	if ctx.BeforePublish != nil {
+		ctx.BeforePublish(ps.S)
+	}
+	ctx.Bus.PublishPooled(source, ps)
+	return nil
+}
+
 // UnitFactory builds a fresh, unstarted unit.
 type UnitFactory func() Unit
 

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 	"time"
@@ -37,23 +37,110 @@ func (r ServiceRecord) Clone() ServiceRecord {
 	return out
 }
 
+// viewShardCount is the number of kind-hashed shards. Discovery traffic
+// concentrates on few kinds at a time, so a small power of two keeps the
+// footprint negligible while letting unrelated kinds proceed in parallel.
+const viewShardCount = 16
+
+// expiryEntry is one pending expiration in a shard's min-heap. Entries
+// are never updated in place: each record has one *live* entry (matching
+// seq in the shard's armed index); anything else popped is a discarded
+// orphan from an earlier arm.
+type expiryEntry struct {
+	at   time.Time
+	kind string // lowercased kind, the record's bucket
+	key  string
+	seq  uint64
+}
+
+// armedState tracks a record's live heap entry: its identity (seq) and
+// deadline (at). Pops compare seq so orphaned entries can never re-arm,
+// and Put compares at so a shortened deadline re-arms early.
+type armedState struct {
+	seq uint64
+	at  time.Time
+}
+
+// viewShard holds the records of the kinds hashing to it, bucketed by
+// lowercased kind so a Find touches exactly the records it returns.
+type viewShard struct {
+	mu     sync.RWMutex
+	kinds  map[string]map[string]ServiceRecord // lowered kind → key → record
+	expiry []expiryEntry                       // min-heap by at
+	// armed maps each (kind,key) to its single live heap entry. Put
+	// pushes only when unarmed or when the new deadline is earlier than
+	// the armed one (the superseded entry becomes an orphan its seq
+	// mismatch discards at pop), and the sweep either re-arms (record
+	// refreshed) or disarms (record gone/expired) the live entry it
+	// pops. Neither refresh storms nor Remove→re-Put churn can grow the
+	// heap beyond transient orphans.
+	armed map[string]armedState
+	seq   uint64
+}
+
+// armedKey identifies a heap entry's record within its shard.
+func armedKey(kind, key string) string {
+	return kind + "\x00" + key
+}
+
 // ServiceView is the shared, expiring cache of discovered services. It is
 // what makes the paper's Figure 9b the "best case": when a request
 // arrives for a service the view already knows, the unit composes the
 // native answer directly — "the necessary information to generate a
 // search response … is tiny".
+//
+// The view is sharded by (lowercased) service kind with a read/write lock
+// per shard: the hot lookup — Find of one kind — takes one shard's read
+// lock and touches only that kind's bucket, so concurrent lookups for
+// unrelated kinds never contend and no lookup pays for the size of the
+// whole cache. Expiry is a lazy min-heap sweep per shard instead of a
+// full-map scan per lookup.
 type ServiceView struct {
-	mu      sync.Mutex
-	records map[string]ServiceRecord // keyed by origin|url
+	// keysMu guards keys, the global origin|url → lowered-kind index
+	// that routes Remove (which does not know the kind) and keeps a key
+	// unique when a re-Put changes its kind. Mutating operations take
+	// keysMu before a shard lock; read paths never touch it.
+	//
+	// Holding keysMu across a whole Put serializes writers globally —
+	// a deliberate trade-off: writes arrive at advertisement rate
+	// (~per-second per service) while lookups arrive at request rate,
+	// and spanning the key check-and-update is what makes the
+	// cross-shard uniqueness invariant trivially correct. The sharding
+	// exists to parallelize the hot read path, which stays lock-free of
+	// any global state.
+	keysMu sync.Mutex
+	keys   map[string]string
+
+	// sweepCursor rotates a maintenance sweep across shards on Put (see
+	// there), so expired records in shards that are never re-written or
+	// queried still get collected. Guarded by keysMu.
+	sweepCursor uint32
+
+	shards [viewShardCount]viewShard
 }
 
 // NewServiceView returns an empty view.
 func NewServiceView() *ServiceView {
-	return &ServiceView{records: make(map[string]ServiceRecord)}
+	v := &ServiceView{keys: make(map[string]string)}
+	for i := range v.shards {
+		v.shards[i].kinds = make(map[string]map[string]ServiceRecord)
+		v.shards[i].armed = make(map[string]armedState)
+	}
+	return v
 }
 
 func viewKey(origin SDP, url string) string {
 	return string(origin) + "|" + url
+}
+
+// shardFor picks the shard for a lowercased kind (FNV-1a).
+func (v *ServiceView) shardFor(loweredKind string) *viewShard {
+	var h uint32 = 2166136261
+	for i := 0; i < len(loweredKind); i++ {
+		h ^= uint32(loweredKind[i])
+		h *= 16777619
+	}
+	return &v.shards[h%viewShardCount]
 }
 
 // Put inserts or refreshes a record.
@@ -61,61 +148,266 @@ func (v *ServiceView) Put(rec ServiceRecord) {
 	if rec.URL == "" {
 		return
 	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	v.records[viewKey(rec.Origin, rec.URL)] = rec.Clone()
+	key := viewKey(rec.Origin, rec.URL)
+	lk := strings.ToLower(rec.Kind)
+	now := time.Now()
+
+	v.keysMu.Lock()
+	defer v.keysMu.Unlock()
+	if old, ok := v.keys[key]; ok && old != lk {
+		// The record changed kind: evict it from its old bucket so the
+		// key stays unique across shards.
+		sh := v.shardFor(old)
+		sh.mu.Lock()
+		deleteFromBucket(sh, old, key)
+		sh.mu.Unlock()
+	}
+	v.keys[key] = lk
+
+	sh := v.shardFor(lk)
+	sh.mu.Lock()
+	bucket := sh.kinds[lk]
+	if bucket == nil {
+		bucket = make(map[string]ServiceRecord)
+		sh.kinds[lk] = bucket
+	}
+	bucket[key] = rec.Clone()
+	ak := armedKey(lk, key)
+	if a, ok := sh.armed[ak]; !ok || rec.Expires.Before(a.at) {
+		// Arm (or re-arm earlier). An armed entry with an equal-or-
+		// earlier deadline is reused — the sweep re-arms it with the
+		// then-current Expires — so a service re-advertised every few
+		// hundred ms keeps exactly one live entry instead of one per
+		// refresh.
+		sh.seq++
+		pushExpiry(sh, expiryEntry{at: rec.Expires, kind: lk, key: key, seq: sh.seq})
+		sh.armed[ak] = armedState{seq: sh.seq, at: rec.Expires}
+	}
+	v.sweepShardLocked(sh, now)
+	sh.mu.Unlock()
+
+	// Rotate a maintenance sweep over one other shard per Put, so kinds
+	// that stop being written or asked about still age out (a Find only
+	// sweeps the shard it queried, and only on an expired hit). Reads
+	// stay untouched: the hot lookup path never pays for this.
+	v.sweepCursor++
+	other := &v.shards[v.sweepCursor%viewShardCount]
+	if other != sh {
+		other.mu.Lock()
+		v.sweepShardLocked(other, now)
+		other.mu.Unlock()
+	}
 }
 
 // Remove withdraws a record (service byebye / deregistration).
 func (v *ServiceView) Remove(origin SDP, url string) bool {
-	v.mu.Lock()
-	defer v.mu.Unlock()
 	key := viewKey(origin, url)
-	if _, ok := v.records[key]; !ok {
+	v.keysMu.Lock()
+	defer v.keysMu.Unlock()
+	lk, ok := v.keys[key]
+	if !ok {
 		return false
 	}
-	delete(v.records, key)
+	delete(v.keys, key)
+	sh := v.shardFor(lk)
+	sh.mu.Lock()
+	deleteFromBucket(sh, lk, key)
+	sh.mu.Unlock()
 	return true
 }
 
 // Find returns live records of the given kind (case-insensitive); an
 // empty kind matches everything. Results are URL-ordered.
+//
+// Returned records are value copies, but their Attrs maps are shared with
+// the view and MUST be treated as read-only — this is what keeps the
+// cached-answer hot path (paper Figure 9b) allocation-free per record.
+// The view itself never mutates a stored record's Attrs (Put replaces the
+// whole record), so a returned map is immutable in practice. Callers that
+// need a mutable copy take one explicitly with ServiceRecord.Clone.
 func (v *ServiceView) Find(kind string, now time.Time) []ServiceRecord {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	var out []ServiceRecord
-	for key, rec := range v.records {
-		if !rec.Expires.After(now) {
-			delete(v.records, key)
-			continue
-		}
-		if kind != "" && !strings.EqualFold(kind, rec.Kind) {
-			continue
-		}
-		out = append(out, rec.Clone())
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
-	return out
+	return v.find(kind, now, "", false)
 }
 
 // FindForeign returns live records of the given kind that did NOT
 // originate from the asking SDP — the set a bridge should re-advertise or
 // answer with (a unit never answers its own protocol's services; the
-// native stack already does that).
+// native stack already does that). Same-origin records are filtered
+// inside the shard scan, so the caller never pays — in copies or in
+// result-slice growth — for records it would discard. The Attrs sharing
+// contract of Find applies.
 func (v *ServiceView) FindForeign(asking SDP, kind string, now time.Time) []ServiceRecord {
-	all := v.Find(kind, now)
-	out := all[:0]
-	for _, rec := range all {
-		if rec.Origin != asking {
-			out = append(out, rec)
+	return v.find(kind, now, asking, true)
+}
+
+func (v *ServiceView) find(kind string, now time.Time, skip SDP, filterOrigin bool) []ServiceRecord {
+	if kind != "" {
+		lk := strings.ToLower(kind)
+		sh := v.shardFor(lk)
+		sh.mu.RLock()
+		out := collectLocked(sh, lk, now, skip, filterOrigin, nil, true)
+		due := sweepDueLocked(sh, now)
+		sh.mu.RUnlock()
+		if due {
+			v.sweepShard(sh, now)
 		}
+		sortByURL(out)
+		return out
+	}
+
+	// Match-all: walk every shard and bucket (diagnostics path, not the
+	// per-message lookup).
+	var out []ServiceRecord
+	for i := range v.shards {
+		sh := &v.shards[i]
+		sh.mu.RLock()
+		for lk := range sh.kinds {
+			out = collectLocked(sh, lk, now, skip, filterOrigin, out, false)
+		}
+		due := sweepDueLocked(sh, now)
+		sh.mu.RUnlock()
+		if due {
+			v.sweepShard(sh, now)
+		}
+	}
+	sortByURL(out)
+	return out
+}
+
+// sweepDueLocked reports whether the shard's earliest expiry deadline has
+// passed — the only situation where escalating to a write-locked sweep
+// can free anything. Gating on the heap top (one comparison under the
+// read lock) keeps the hot lookup path from hammering the global keysMu
+// with no-op sweeps while an expired-but-later-armed record lingers.
+func sweepDueLocked(sh *viewShard, now time.Time) bool {
+	return len(sh.expiry) > 0 && !sh.expiry[0].at.After(now)
+}
+
+func collectLocked(sh *viewShard, lk string, now time.Time, skip SDP, filterOrigin bool, out []ServiceRecord, presize bool) []ServiceRecord {
+	bucket := sh.kinds[lk]
+	if len(bucket) == 0 {
+		return out
+	}
+	if presize && out == nil {
+		out = make([]ServiceRecord, 0, len(bucket))
+	}
+	for _, rec := range bucket {
+		if !rec.Expires.After(now) {
+			continue // lazily skipped; the heap sweep reclaims it
+		}
+		if filterOrigin && rec.Origin == skip {
+			continue
+		}
+		out = append(out, rec) // value copy; Attrs shared read-only
 	}
 	return out
 }
 
+func sortByURL(recs []ServiceRecord) {
+	slices.SortFunc(recs, func(a, b ServiceRecord) int {
+		return strings.Compare(a.URL, b.URL)
+	})
+}
+
 // Len returns the number of records, live or not.
 func (v *ServiceView) Len() int {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return len(v.records)
+	v.keysMu.Lock()
+	defer v.keysMu.Unlock()
+	return len(v.keys)
+}
+
+// sweepShard expires due records of one shard: pop heap entries whose
+// deadline passed and delete the records that are genuinely stale
+// (a refreshed record has a later Expires and a newer heap entry, so the
+// old entry is discarded harmlessly).
+func (v *ServiceView) sweepShard(sh *viewShard, now time.Time) {
+	v.keysMu.Lock()
+	sh.mu.Lock()
+	v.sweepShardLocked(sh, now)
+	sh.mu.Unlock()
+	v.keysMu.Unlock()
+}
+
+// sweepShardLocked requires keysMu and sh.mu held.
+func (v *ServiceView) sweepShardLocked(sh *viewShard, now time.Time) {
+	for len(sh.expiry) > 0 && !sh.expiry[0].at.After(now) {
+		entry := popExpiry(sh)
+		ak := armedKey(entry.kind, entry.key)
+		if a, ok := sh.armed[ak]; !ok || a.seq != entry.seq {
+			continue // orphan superseded by an earlier re-arm: discard
+		}
+		bucket := sh.kinds[entry.kind]
+		rec, ok := bucket[entry.key]
+		if !ok {
+			// Removed or re-put under another kind: the live entry is
+			// consumed, so the pair is no longer armed.
+			delete(sh.armed, ak)
+			continue
+		}
+		if rec.Expires.After(now) {
+			// Refreshed since the entry was armed: re-arm at the
+			// current deadline. A pop re-pushes at most once, so the
+			// heap never grows here.
+			pushExpiry(sh, expiryEntry{at: rec.Expires, kind: entry.kind, key: entry.key, seq: entry.seq})
+			sh.armed[ak] = armedState{seq: entry.seq, at: rec.Expires}
+			continue
+		}
+		deleteFromBucket(sh, entry.kind, entry.key)
+		delete(sh.armed, ak)
+		// Only unindex the key if it still routes to this bucket (it may
+		// have been re-put under another kind).
+		if v.keys[entry.key] == entry.kind {
+			delete(v.keys, entry.key)
+		}
+	}
+}
+
+func deleteFromBucket(sh *viewShard, lk, key string) {
+	bucket := sh.kinds[lk]
+	if bucket == nil {
+		return
+	}
+	delete(bucket, key)
+	if len(bucket) == 0 {
+		delete(sh.kinds, lk)
+	}
+}
+
+// --- expiry min-heap (manual: container/heap would box every entry) ---
+
+func pushExpiry(sh *viewShard, e expiryEntry) {
+	sh.expiry = append(sh.expiry, e)
+	i := len(sh.expiry) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !sh.expiry[i].at.Before(sh.expiry[parent].at) {
+			break
+		}
+		sh.expiry[i], sh.expiry[parent] = sh.expiry[parent], sh.expiry[i]
+		i = parent
+	}
+}
+
+func popExpiry(sh *viewShard) expiryEntry {
+	top := sh.expiry[0]
+	last := len(sh.expiry) - 1
+	sh.expiry[0] = sh.expiry[last]
+	sh.expiry[last] = expiryEntry{} // release strings to the GC
+	sh.expiry = sh.expiry[:last]
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < len(sh.expiry) && sh.expiry[left].at.Before(sh.expiry[smallest].at) {
+			smallest = left
+		}
+		if right < len(sh.expiry) && sh.expiry[right].at.Before(sh.expiry[smallest].at) {
+			smallest = right
+		}
+		if smallest == i {
+			return top
+		}
+		sh.expiry[i], sh.expiry[smallest] = sh.expiry[smallest], sh.expiry[i]
+		i = smallest
+	}
 }

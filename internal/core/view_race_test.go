@@ -1,0 +1,235 @@
+package core
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServiceViewConcurrent exercises the sharded view under concurrent
+// Put/Find/FindForeign/Remove with aggressive expiry, the interleavings
+// `go test -race` must prove safe across the per-shard RWMutexes, the
+// global key index and the lazy expiry sweep.
+func TestServiceViewConcurrent(t *testing.T) {
+	v := NewServiceView()
+	kinds := []string{"clock", "printer", "Camera", "light", ""}
+	origins := []SDP{SDPSLP, SDPUPnP, SDPJini}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				kind := kinds[j%(len(kinds)-1)] // writers skip the match-all ""
+				url := "svc://" + strconv.Itoa(w) + "/" + strconv.Itoa(j%16)
+				ttl := time.Duration(j%3) * time.Millisecond // many expire immediately
+				v.Put(ServiceRecord{
+					Origin:  origins[j%len(origins)],
+					Kind:    kind,
+					URL:     url,
+					Attrs:   map[string]string{"n": strconv.Itoa(j)},
+					Expires: time.Now().Add(ttl),
+				})
+				if j%7 == 0 {
+					v.Remove(origins[j%len(origins)], url)
+				}
+				if j%11 == 0 {
+					// Same URL re-put under a different kind: the key must
+					// migrate buckets without duplicating.
+					v.Put(ServiceRecord{
+						Origin:  origins[j%len(origins)],
+						Kind:    kinds[(j+1)%(len(kinds)-1)],
+						URL:     url,
+						Expires: time.Now().Add(time.Minute),
+					})
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				now := time.Now()
+				for _, rec := range v.Find(kinds[j%len(kinds)], now) {
+					if rec.URL == "" {
+						t.Error("empty URL escaped the view")
+						return
+					}
+				}
+				v.FindForeign(origins[j%len(origins)], kinds[j%len(kinds)], now)
+				v.Len()
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	// The view must still function after the storm.
+	v.Put(ServiceRecord{
+		Origin: SDPSLP, Kind: "final", URL: "svc://final",
+		Expires: time.Now().Add(time.Minute),
+	})
+	if got := v.Find("final", time.Now()); len(got) != 1 {
+		t.Errorf("Find(final) = %+v", got)
+	}
+}
+
+// TestServiceViewKindMigration pins the single-threaded semantics the
+// concurrent test relies on: re-putting a URL under a new kind moves it —
+// the old kind must not keep answering for it.
+func TestServiceViewKindMigration(t *testing.T) {
+	v := NewServiceView()
+	now := time.Now()
+	v.Put(ServiceRecord{Origin: SDPSLP, Kind: "clock", URL: "svc://x", Expires: now.Add(time.Minute)})
+	v.Put(ServiceRecord{Origin: SDPSLP, Kind: "watch", URL: "svc://x", Expires: now.Add(time.Minute)})
+	if got := v.Find("clock", now); len(got) != 0 {
+		t.Errorf("old kind still answers: %+v", got)
+	}
+	if got := v.Find("watch", now); len(got) != 1 {
+		t.Errorf("new kind missing: %+v", got)
+	}
+	if v.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (key must not duplicate across kinds)", v.Len())
+	}
+}
+
+// TestServiceViewExpirySweep checks the lazy min-heap sweep: expired
+// records stop being returned immediately and are physically dropped once
+// a mutating operation sweeps the shard.
+func TestServiceViewExpirySweep(t *testing.T) {
+	v := NewServiceView()
+	start := time.Now()
+	for i := 0; i < 32; i++ {
+		v.Put(ServiceRecord{
+			Origin:  SDPSLP,
+			Kind:    "ephemeral",
+			URL:     "svc://e/" + strconv.Itoa(i),
+			Expires: start.Add(10 * time.Millisecond),
+		})
+	}
+	if got := v.Find("ephemeral", start); len(got) != 32 {
+		t.Fatalf("live records = %d, want 32", len(got))
+	}
+	later := start.Add(time.Hour)
+	if got := v.Find("ephemeral", later); len(got) != 0 {
+		t.Errorf("expired records still returned: %d", len(got))
+	}
+	// A Put (the refresher) sweeps due heap entries; wall clock is past
+	// the 10ms deadlines by construction of the sleep below.
+	time.Sleep(20 * time.Millisecond)
+	v.Put(ServiceRecord{Origin: SDPSLP, Kind: "ephemeral", URL: "svc://keep", Expires: time.Now().Add(time.Hour)})
+	if n := v.Len(); n != 1 {
+		t.Errorf("Len after sweep = %d, want 1", n)
+	}
+}
+
+// TestServiceViewRefreshKeepsOneHeapEntry pins the refresh behaviour: a
+// service re-advertised many times (the units re-Put on every NOTIFY /
+// SAAdvert) must not accumulate expiry-heap entries — refreshes re-arm
+// the record's single outstanding entry instead of pushing new ones.
+func TestServiceViewRefreshKeepsOneHeapEntry(t *testing.T) {
+	v := NewServiceView()
+	for i := 0; i < 1000; i++ {
+		v.Put(ServiceRecord{
+			Origin:  SDPUPnP,
+			Kind:    "clock",
+			URL:     "svc://x",
+			Expires: time.Now().Add(time.Hour),
+		})
+	}
+	sh := v.shardFor("clock")
+	sh.mu.RLock()
+	n := len(sh.expiry)
+	sh.mu.RUnlock()
+	if n != 1 {
+		t.Errorf("expiry heap holds %d entries after 1000 refreshes, want 1", n)
+	}
+	// The single re-armed entry must still expire the record.
+	later := time.Now().Add(2 * time.Hour)
+	if got := v.Find("clock", later); len(got) != 0 {
+		t.Errorf("expired record still returned: %+v", got)
+	}
+	if n := v.Len(); n != 0 {
+		t.Errorf("Len after expiry sweep = %d, want 0", n)
+	}
+}
+
+// TestServiceViewChurnKeepsHeapBounded pins the byebye/alive churn case:
+// Remove→re-Put cycles of the same service must reuse the outstanding
+// heap entry, not stack a new self-re-arming entry per cycle.
+func TestServiceViewChurnKeepsHeapBounded(t *testing.T) {
+	v := NewServiceView()
+	rec := ServiceRecord{
+		Origin:  SDPUPnP,
+		Kind:    "clock",
+		URL:     "svc://x",
+		Expires: time.Now().Add(time.Hour),
+	}
+	for i := 0; i < 500; i++ {
+		v.Put(rec)
+		v.Remove(SDPUPnP, "svc://x")
+	}
+	v.Put(rec)
+	sh := v.shardFor("clock")
+	sh.mu.RLock()
+	n := len(sh.expiry)
+	sh.mu.RUnlock()
+	if n != 1 {
+		t.Errorf("expiry heap holds %d entries after 500 churn cycles, want 1", n)
+	}
+	if got := v.Find("clock", time.Now()); len(got) != 1 {
+		t.Errorf("Find after churn = %+v", got)
+	}
+}
+
+// TestServiceViewShortenedTTLReArms pins the Remove→re-Put-with-shorter-
+// TTL case: the new, earlier deadline must get its own live heap entry
+// (the old one becomes a discarded orphan), so the record is reclaimed at
+// the short deadline instead of lingering until the old one.
+func TestServiceViewShortenedTTLReArms(t *testing.T) {
+	v := NewServiceView()
+	now := time.Now()
+	v.Put(ServiceRecord{Origin: SDPSLP, Kind: "clock", URL: "svc://x", Expires: now.Add(time.Hour)})
+	v.Remove(SDPSLP, "svc://x")
+	v.Put(ServiceRecord{Origin: SDPSLP, Kind: "clock", URL: "svc://x", Expires: now.Add(10 * time.Millisecond)})
+	time.Sleep(20 * time.Millisecond)
+	if got := v.Find("clock", time.Now()); len(got) != 0 {
+		t.Fatalf("expired record returned: %+v", got)
+	}
+	if n := v.Len(); n != 0 {
+		t.Errorf("Len = %d, want 0 (shortened deadline must re-arm the heap early)", n)
+	}
+}
+
+// TestServiceViewCrossShardSweep checks the rotating maintenance sweep:
+// expired records of a kind that is never written or queried again are
+// still collected by Puts of unrelated kinds (which land in other
+// shards), so a long-running gateway's view cannot grow without bound.
+func TestServiceViewCrossShardSweep(t *testing.T) {
+	v := NewServiceView()
+	for i := 0; i < 8; i++ {
+		v.Put(ServiceRecord{
+			Origin:  SDPSLP,
+			Kind:    "abandoned",
+			URL:     "svc://a/" + strconv.Itoa(i),
+			Expires: time.Now().Add(5 * time.Millisecond),
+		})
+	}
+	time.Sleep(10 * time.Millisecond)
+	// One rotation of unrelated Puts visits every shard at least once.
+	exp := time.Now().Add(time.Hour)
+	for i := 0; i < 2*viewShardCount; i++ {
+		v.Put(ServiceRecord{
+			Origin:  SDPUPnP,
+			Kind:    "busy-" + strconv.Itoa(i),
+			URL:     "svc://b/" + strconv.Itoa(i),
+			Expires: exp,
+		})
+	}
+	if n := v.Len(); n != 2*viewShardCount {
+		t.Errorf("Len = %d, want %d (abandoned kind not collected)", n, 2*viewShardCount)
+	}
+}

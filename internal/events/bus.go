@@ -1,7 +1,9 @@
 package events
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Envelope is a stream in transit on a Bus, tagged with its origin so
@@ -11,6 +13,24 @@ type Envelope struct {
 	Source string
 	// Stream is the framed event sequence of one native message.
 	Stream Stream
+
+	// ps is the pooled backing of Stream when the publisher handed
+	// ownership to the bus via PublishPooled; nil for plain publishes.
+	ps *PooledStream
+}
+
+// Release hands the envelope's share of a pooled stream back to the pool.
+// Every subscriber of a PublishPooled stream must call Release exactly
+// once when done with the stream (see PERF.md for the ownership rules);
+// for plain Publish envelopes Release is a no-op, so listeners may call it
+// unconditionally. After Release the stream and any sub-slices of it must
+// not be touched.
+func (env *Envelope) Release() {
+	ps := env.ps
+	env.ps = nil
+	if ps != nil {
+		ps.release()
+	}
 }
 
 // Listener consumes envelopes published on a Bus.
@@ -31,13 +51,25 @@ func (f ListenerFunc) OnEvents(env Envelope) { f(env) }
 // silently losing half a message would corrupt the translation process.
 const busQueueCap = 64
 
+// subList is the immutable subscriber snapshot Publish iterates. Mutations
+// (Subscribe/Unsubscribe/Close) build a fresh list and swap it in
+// atomically, so the publish fast path is lock-free and allocation-free.
+type subList struct {
+	subs []*subscriber
+}
+
 // Bus routes event streams between INDISS components. Each subscriber is
 // served by its own goroutine in publication order, mirroring the
 // decoupled event-based architectural style of paper §3: "components
 // operate without being aware of the existence of other components".
+//
+// The subscriber list is copy-on-write: Publish loads it with one atomic
+// pointer read and never takes a lock, so concurrent publishers scale with
+// cores instead of serializing on a bus mutex.
 type Bus struct {
-	mu     sync.Mutex
-	subs   []*subscriber
+	list atomic.Pointer[subList]
+
+	mu     sync.Mutex // serializes Subscribe/Unsubscribe/Close
 	closed bool
 	wg     sync.WaitGroup
 }
@@ -46,39 +78,99 @@ type subscriber struct {
 	name     string
 	listener Listener
 
-	// mu serializes senders against close: a sender holds mu while
-	// enqueueing, so stop never closes the queue under a blocked send.
-	mu     sync.Mutex
-	closed bool
-	queue  chan Envelope
+	// queue carries envelopes to the worker; done signals shutdown.
+	// Blocked senders select on both, so a subscriber can stop while a
+	// publisher waits on a full queue without closing the channel under
+	// the send (the race the old per-subscriber send mutex existed for).
+	// stopped mirrors done as a cheap load for the send fast path;
+	// inflight counts senders inside send so the worker's shutdown drain
+	// can wait out stragglers instead of stranding an accepted envelope.
+	queue    chan Envelope
+	done     chan struct{}
+	stopped  atomic.Bool
+	inflight atomic.Int32
 }
 
-// send enqueues env unless the subscriber has stopped. It may block for
-// backpressure; the worker goroutine keeps draining, so the block is
-// bounded by listener progress, not by other locks.
-func (sub *subscriber) send(env Envelope) {
-	sub.mu.Lock()
-	defer sub.mu.Unlock()
-	if sub.closed {
-		return
-	}
-	sub.queue <- env
-}
+// stopMark is the in-band shutdown sentinel. Delivering shutdown through
+// the queue itself keeps the worker's receive a plain channel operation —
+// the cheapest send/wake path — instead of a select over queue+done.
+var stopMark = &PooledStream{}
 
-// stop closes the queue exactly once, after which send is a no-op.
+// stop signals shutdown. Callers (Unsubscribe, Close) serialize on the
+// bus mutex, so stop runs at most once per subscriber. The sentinel is
+// sent from a goroutine because the queue may be full; the worker is
+// guaranteed to drain it since it only exits on the sentinel.
 func (sub *subscriber) stop() {
-	sub.mu.Lock()
-	defer sub.mu.Unlock()
-	if sub.closed {
-		return
+	sub.stopped.Store(true)
+	close(sub.done) // aborts senders blocked on a full queue
+	go func() { sub.queue <- Envelope{ps: stopMark} }()
+}
+
+// send enqueues env unless the subscriber has stopped, reporting whether
+// the envelope was handed over — and an accepted (true) envelope is
+// guaranteed to reach the listener: the worker's shutdown drain waits for
+// in-flight senders. send may block for backpressure; the worker keeps
+// draining, so the block is bounded by listener progress.
+func (sub *subscriber) send(env Envelope) bool {
+	// The increment must precede the stopped check: the worker's drain
+	// only exits when inflight is zero, so any sender it missed will
+	// observe stopped (both are sequentially consistent atomics) and
+	// drop instead of enqueueing into a dead queue.
+	sub.inflight.Add(1)
+	defer sub.inflight.Add(-1)
+	// Drop-after-stop must win over a free queue slot, so a Publish
+	// sequenced after Unsubscribe/Close is deterministically a no-op.
+	if sub.stopped.Load() {
+		return false
 	}
-	sub.closed = true
-	close(sub.queue)
+	// Fast path: non-blocking enqueue into the preallocated ring.
+	select {
+	case sub.queue <- env:
+		return true
+	default:
+	}
+	// Queue full: block for backpressure, but abort on shutdown.
+	select {
+	case sub.queue <- env:
+		return true
+	case <-sub.done:
+		return false
+	}
+}
+
+// run delivers queued envelopes in order until the stop sentinel arrives.
+// Queue FIFO order means every envelope accepted before stop is delivered
+// first; the final drain then waits out senders that raced the stop, so
+// every send that reported acceptance is delivered (no stranded envelopes,
+// no leaked pooled-stream shares).
+func (sub *subscriber) run() {
+	for {
+		env := <-sub.queue
+		if env.ps == stopMark {
+			for {
+				select {
+				case env := <-sub.queue:
+					sub.listener.OnEvents(env)
+				default:
+					if sub.inflight.Load() == 0 && len(sub.queue) == 0 {
+						return
+					}
+					// A straggler is mid-send (shutdown only, and its
+					// send is non-blocking or done-aborted, so this
+					// spin is brief).
+					runtime.Gosched()
+				}
+			}
+		}
+		sub.listener.OnEvents(env)
+	}
 }
 
 // NewBus creates an empty bus.
 func NewBus() *Bus {
-	return &Bus{}
+	b := &Bus{}
+	b.list.Store(&subList{})
+	return b
 }
 
 // Subscribe registers a listener under a diagnostic name. Envelopes whose
@@ -93,26 +185,36 @@ func (b *Bus) Subscribe(name string, l Listener) {
 		name:     name,
 		listener: l,
 		queue:    make(chan Envelope, busQueueCap),
+		done:     make(chan struct{}),
 	}
-	b.subs = append(b.subs, sub)
+	old := b.list.Load().subs
+	next := make([]*subscriber, len(old)+1)
+	copy(next, old)
+	next[len(old)] = sub
+	b.list.Store(&subList{subs: next})
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
-		for env := range sub.queue {
-			sub.listener.OnEvents(env)
-		}
+		sub.run()
 	}()
 }
 
-// Unsubscribe removes the named listener. Its queue is drained by the
-// worker before the worker exits.
+// Unsubscribe removes the named listener. Envelopes already queued are
+// drained by the worker before it exits.
 func (b *Bus) Unsubscribe(name string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for i, sub := range b.subs {
+	if b.closed {
+		return
+	}
+	old := b.list.Load().subs
+	for i, sub := range old {
 		if sub.name == name {
+			next := make([]*subscriber, 0, len(old)-1)
+			next = append(next, old[:i]...)
+			next = append(next, old[i+1:]...)
+			b.list.Store(&subList{subs: next})
 			sub.stop()
-			b.subs = append(b.subs[:i], b.subs[i+1:]...)
 			return
 		}
 	}
@@ -120,17 +222,16 @@ func (b *Bus) Unsubscribe(name string) {
 
 // Publish delivers the stream to every subscriber except the source
 // itself. Publish blocks if a subscriber's queue is full, providing
-// backpressure instead of loss.
+// backpressure instead of loss. The fast path performs no locking and no
+// allocation: the subscriber list is an atomic snapshot and the envelope
+// is passed by value into each subscriber's preallocated queue.
 func (b *Bus) Publish(source string, s Stream) {
-	b.mu.Lock()
-	subs := make([]*subscriber, 0, len(b.subs))
-	if !b.closed {
-		subs = append(subs, b.subs...)
+	list := b.list.Load()
+	if list == nil {
+		return // closed
 	}
-	b.mu.Unlock()
-
 	env := Envelope{Source: source, Stream: s}
-	for _, sub := range subs {
+	for _, sub := range list.subs {
 		if sub.name == source {
 			continue
 		}
@@ -138,7 +239,41 @@ func (b *Bus) Publish(source string, s Stream) {
 	}
 }
 
-// Close stops the bus: all subscriber queues are closed and their workers
+// PublishPooled is Publish for a stream acquired from the stream pool: the
+// bus takes ownership, reference-counts the fan-out, and the stream's
+// storage returns to the pool once every receiver has called
+// Envelope.Release. The publisher must not touch ps after the call.
+func (b *Bus) PublishPooled(source string, ps *PooledStream) {
+	list := b.list.Load()
+	if list == nil {
+		ps.Free()
+		return // closed
+	}
+	receivers := 0
+	for _, sub := range list.subs {
+		if sub.name != source {
+			receivers++
+		}
+	}
+	if receivers == 0 {
+		ps.Free()
+		return
+	}
+	ps.refs.Store(int32(receivers))
+	env := Envelope{Source: source, Stream: ps.S, ps: ps}
+	for _, sub := range list.subs {
+		if sub.name == source {
+			continue
+		}
+		if !sub.send(env) {
+			// The receiver is shutting down and will never see the
+			// envelope; drop its share of the refcount on its behalf.
+			ps.release()
+		}
+	}
+}
+
+// Close stops the bus: all subscriber queues are drained and their workers
 // awaited. Publishing after Close is a no-op.
 func (b *Bus) Close() {
 	b.mu.Lock()
@@ -148,22 +283,25 @@ func (b *Bus) Close() {
 		return
 	}
 	b.closed = true
-	subs := b.subs
-	b.subs = nil
+	list := b.list.Swap(nil)
 	b.mu.Unlock()
 
-	for _, sub := range subs {
-		sub.stop()
+	if list != nil {
+		for _, sub := range list.subs {
+			sub.stop()
+		}
 	}
 	b.wg.Wait()
 }
 
 // Names returns the current subscriber names, for diagnostics.
 func (b *Bus) Names() []string {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	out := make([]string, len(b.subs))
-	for i, sub := range b.subs {
+	list := b.list.Load()
+	if list == nil {
+		return nil
+	}
+	out := make([]string, len(list.subs))
+	for i, sub := range list.subs {
 		out[i] = sub.name
 	}
 	return out

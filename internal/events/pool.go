@@ -1,0 +1,75 @@
+package events
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// pooledStreamCap is the initial event capacity of pooled streams. A
+// translated discovery message is typically 8–15 events (framing + network
+// + service + a handful of attributes), so 32 absorbs attribute-rich
+// streams without regrowth.
+const pooledStreamCap = 32
+
+// PooledStream is a stream whose backing storage is recycled through a
+// sync.Pool, making the per-message build→publish→compose cycle
+// allocation-free in steady state.
+//
+// Ownership protocol (see PERF.md):
+//
+//  1. AcquireStream hands the caller an empty stream; the caller appends
+//     events to S (reassigning S is fine — growth is retained on release).
+//  2. Bus.PublishPooled transfers ownership to the bus, which
+//     reference-counts the fan-out.
+//  3. Every receiver calls Envelope.Release exactly once when done; the
+//     last release returns the storage to the pool.
+//  4. A stream that was acquired but never published is returned with
+//     Free.
+//
+// After release, neither S nor any sub-slice of it may be used: the
+// backing array will be handed to a future AcquireStream caller. Event
+// data strings remain valid — only the []Event storage is recycled.
+type PooledStream struct {
+	// S is the stream under construction / in transit.
+	S Stream
+
+	refs atomic.Int32
+}
+
+var streamPool = sync.Pool{
+	New: func() any {
+		return &PooledStream{S: make(Stream, 0, pooledStreamCap)}
+	},
+}
+
+// AcquireStream returns an empty pooled stream ready to append events to.
+func AcquireStream() *PooledStream {
+	return streamPool.Get().(*PooledStream)
+}
+
+// Free returns a never-published stream's storage to the pool. It must not
+// be called after Bus.PublishPooled — the bus owns the stream from then
+// on.
+func (ps *PooledStream) Free() {
+	ps.S = ps.S[:0]
+	streamPool.Put(ps)
+}
+
+// release drops one receiver's share; the last share frees the storage.
+// The strict == 0 means a miscounted extra release leaks the stream to the
+// GC instead of double-inserting it into the pool.
+func (ps *PooledStream) release() {
+	if ps.refs.Add(-1) == 0 {
+		ps.Free()
+	}
+}
+
+// NewPooledStream frames body events into a pooled message stream, adding
+// SDP_C_START and SDP_C_STOP — the pooled counterpart of NewStream.
+func NewPooledStream(body ...Event) *PooledStream {
+	ps := AcquireStream()
+	ps.S = append(ps.S, E(CStart, ""))
+	ps.S = append(ps.S, body...)
+	ps.S = append(ps.S, E(CStop, ""))
+	return ps
+}

@@ -276,7 +276,7 @@ func TestServerMalformedRequest(t *testing.T) {
 		t.Fatalf("Write: %v", err)
 	}
 	s.SetReadTimeout(time.Second)
-	raw, err := readMessage(s)
+	raw, err := readMessage(s, nil)
 	if err != nil {
 		t.Fatalf("readMessage: %v", err)
 	}

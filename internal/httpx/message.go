@@ -34,27 +34,54 @@ type Response struct {
 	Body       []byte
 }
 
-const crlf = "\r\n"
+const (
+	crlf         = "\r\n"
+	contentLenHd = "Content-Length"
+)
 
-// Marshal serializes the request. If a body is present and no
-// Content-Length field exists, one is added.
+// Marshal serializes the request into a freshly allocated, exactly-sized
+// buffer. If a body is present and no Content-Length field exists, one is
+// added. For the hot path, AppendTo with a pooled buffer avoids the
+// allocation entirely.
 func (r *Request) Marshal() []byte {
-	var b bytes.Buffer
+	return r.AppendTo(make([]byte, 0, r.marshalSize()))
+}
+
+// AppendTo serializes the request onto b and returns the extended slice.
+func (r *Request) AppendTo(b []byte) []byte {
 	proto := r.Proto
 	if proto == "" {
 		proto = "HTTP/1.1"
 	}
-	fmt.Fprintf(&b, "%s %s %s%s", r.Method, r.Target, proto, crlf)
-	writeFields(&b, r.Header, len(r.Body))
-	b.WriteString(crlf)
-	b.Write(r.Body)
-	return b.Bytes()
+	b = append(b, r.Method...)
+	b = append(b, ' ')
+	b = append(b, r.Target...)
+	b = append(b, ' ')
+	b = append(b, proto...)
+	b = append(b, crlf...)
+	b = appendFields(b, r.Header, len(r.Body))
+	b = append(b, crlf...)
+	return append(b, r.Body...)
 }
 
-// Marshal serializes the response, adding Content-Length when a body is
-// present and the field is missing.
+func (r *Request) marshalSize() int {
+	proto := r.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
+	}
+	return len(r.Method) + 1 + len(r.Target) + 1 + len(proto) + 2 +
+		fieldsSize(r.Header, len(r.Body)) + 2 + len(r.Body)
+}
+
+// Marshal serializes the response into a freshly allocated, exactly-sized
+// buffer, adding Content-Length when a body is present and the field is
+// missing.
 func (r *Response) Marshal() []byte {
-	var b bytes.Buffer
+	return r.AppendTo(make([]byte, 0, r.marshalSize()))
+}
+
+// AppendTo serializes the response onto b and returns the extended slice.
+func (r *Response) AppendTo(b []byte) []byte {
 	proto := r.Proto
 	if proto == "" {
 		proto = "HTTP/1.1"
@@ -63,25 +90,68 @@ func (r *Response) Marshal() []byte {
 	if status == "" {
 		status = defaultStatusText(r.StatusCode)
 	}
-	fmt.Fprintf(&b, "%s %d %s%s", proto, r.StatusCode, status, crlf)
-	writeFields(&b, r.Header, len(r.Body))
-	b.WriteString(crlf)
-	b.Write(r.Body)
-	return b.Bytes()
+	b = append(b, proto...)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(r.StatusCode), 10)
+	b = append(b, ' ')
+	b = append(b, status...)
+	b = append(b, crlf...)
+	b = appendFields(b, r.Header, len(r.Body))
+	b = append(b, crlf...)
+	return append(b, r.Body...)
 }
 
-func writeFields(b *bytes.Buffer, h Header, bodyLen int) {
-	for _, f := range h.Fields() {
-		b.WriteString(f.Name)
-		b.WriteString(": ")
-		b.WriteString(f.Value)
-		b.WriteString(crlf)
+func (r *Response) marshalSize() int {
+	proto := r.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
 	}
-	if bodyLen > 0 && !h.Has("Content-Length") {
-		b.WriteString("Content-Length: ")
-		b.WriteString(strconv.Itoa(bodyLen))
-		b.WriteString(crlf)
+	status := r.Status
+	if status == "" {
+		status = defaultStatusText(r.StatusCode)
 	}
+	return len(proto) + 1 + decimalLen(r.StatusCode) + 1 + len(status) + 2 +
+		fieldsSize(r.Header, len(r.Body)) + 2 + len(r.Body)
+}
+
+func appendFields(b []byte, h Header, bodyLen int) []byte {
+	for _, f := range h.fields {
+		b = append(b, f.Name...)
+		b = append(b, ": "...)
+		b = append(b, f.Value...)
+		b = append(b, crlf...)
+	}
+	if bodyLen > 0 && !h.Has(contentLenHd) {
+		b = append(b, contentLenHd...)
+		b = append(b, ": "...)
+		b = strconv.AppendInt(b, int64(bodyLen), 10)
+		b = append(b, crlf...)
+	}
+	return b
+}
+
+func fieldsSize(h Header, bodyLen int) int {
+	n := 0
+	for _, f := range h.fields {
+		n += len(f.Name) + 2 + len(f.Value) + 2
+	}
+	if bodyLen > 0 && !h.Has(contentLenHd) {
+		n += len(contentLenHd) + 2 + decimalLen(bodyLen) + 2
+	}
+	return n
+}
+
+// decimalLen returns len(strconv.Itoa(n)) without allocating.
+func decimalLen(n int) int {
+	if n < 0 {
+		return 1 + decimalLen(-n)
+	}
+	digits := 1
+	for n >= 10 {
+		n /= 10
+		digits++
+	}
+	return digits
 }
 
 func defaultStatusText(code int) string {
@@ -104,18 +174,20 @@ func defaultStatusText(code int) string {
 }
 
 // ParseRequest decodes a complete request held in data, as arrives in an
-// HTTPU/HTTPMU datagram.
+// HTTPU/HTTPMU datagram. The head is copied into a single string shared
+// by every parsed field, so the datagram buffer may be reused afterwards;
+// Body aliases data.
 func ParseRequest(data []byte) (*Request, error) {
 	head, body, err := splitHead(data)
 	if err != nil {
 		return nil, err
 	}
-	lines := strings.Split(head, crlf)
-	method, target, proto, err := parseRequestLine(lines[0])
+	line, rest := cutLine(head)
+	method, target, proto, err := parseRequestLine(line)
 	if err != nil {
 		return nil, err
 	}
-	h, err := parseFields(lines[1:])
+	h, err := parseFields(rest)
 	if err != nil {
 		return nil, err
 	}
@@ -126,18 +198,19 @@ func ParseRequest(data []byte) (*Request, error) {
 	return &Request{Method: method, Target: target, Proto: proto, Header: h, Body: body}, nil
 }
 
-// ParseResponse decodes a complete response held in data.
+// ParseResponse decodes a complete response held in data, with the same
+// aliasing behaviour as ParseRequest.
 func ParseResponse(data []byte) (*Response, error) {
 	head, body, err := splitHead(data)
 	if err != nil {
 		return nil, err
 	}
-	lines := strings.Split(head, crlf)
-	proto, code, status, err := parseStatusLine(lines[0])
+	line, rest := cutLine(head)
+	proto, code, status, err := parseStatusLine(line)
 	if err != nil {
 		return nil, err
 	}
-	h, err := parseFields(lines[1:])
+	h, err := parseFields(rest)
 	if err != nil {
 		return nil, err
 	}
@@ -163,35 +236,62 @@ func splitHead(data []byte) (head string, body []byte, err error) {
 	return string(data[:idx]), data[idx+4:], nil
 }
 
+// cutLine splits the first CRLF-terminated line off head. Both halves are
+// substrings of head — no copies.
+func cutLine(head string) (line, rest string) {
+	if i := strings.Index(head, crlf); i >= 0 {
+		return head[:i], head[i+2:]
+	}
+	return head, ""
+}
+
 func parseRequestLine(line string) (method, target, proto string, err error) {
-	parts := strings.SplitN(line, " ", 3)
-	if len(parts) != 3 || parts[0] == "" || parts[1] == "" {
+	sp1 := strings.IndexByte(line, ' ')
+	if sp1 <= 0 {
 		return "", "", "", fmt.Errorf("%w: request line %q", ErrMalformed, line)
 	}
-	if !strings.HasPrefix(parts[2], "HTTP/") {
-		return "", "", "", fmt.Errorf("%w: bad protocol %q", ErrMalformed, parts[2])
+	sp2 := strings.IndexByte(line[sp1+1:], ' ')
+	if sp2 < 0 || sp2 == 0 {
+		return "", "", "", fmt.Errorf("%w: request line %q", ErrMalformed, line)
 	}
-	return parts[0], parts[1], parts[2], nil
+	sp2 += sp1 + 1
+	method, target, proto = line[:sp1], line[sp1+1:sp2], line[sp2+1:]
+	if !strings.HasPrefix(proto, "HTTP/") {
+		return "", "", "", fmt.Errorf("%w: bad protocol %q", ErrMalformed, proto)
+	}
+	return method, target, proto, nil
 }
 
 func parseStatusLine(line string) (proto string, code int, status string, err error) {
-	parts := strings.SplitN(line, " ", 3)
-	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+	sp1 := strings.IndexByte(line, ' ')
+	if sp1 < 0 || !strings.HasPrefix(line, "HTTP/") {
 		return "", 0, "", fmt.Errorf("%w: status line %q", ErrMalformed, line)
 	}
-	code, convErr := strconv.Atoi(parts[1])
+	proto = line[:sp1]
+	codeStr := line[sp1+1:]
+	if sp2 := strings.IndexByte(codeStr, ' '); sp2 >= 0 {
+		status = codeStr[sp2+1:]
+		codeStr = codeStr[:sp2]
+	}
+	code, convErr := strconv.Atoi(codeStr)
 	if convErr != nil {
-		return "", 0, "", fmt.Errorf("%w: status code %q", ErrMalformed, parts[1])
+		return "", 0, "", fmt.Errorf("%w: status code %q", ErrMalformed, codeStr)
 	}
-	if len(parts) == 3 {
-		status = parts[2]
-	}
-	return parts[0], code, status, nil
+	return proto, code, status, nil
 }
 
-func parseFields(lines []string) (Header, error) {
-	var h Header
-	for _, line := range lines {
+// parseFields decodes the header block (everything after the first line of
+// the head). The fields slice is presized from a CRLF count and every
+// name/value is a substring of the already-copied head — the per-message
+// cost is exactly one slice allocation.
+func parseFields(block string) (Header, error) {
+	if block == "" {
+		return Header{}, nil
+	}
+	fields := make([]Field, 0, strings.Count(block, crlf)+1)
+	for block != "" {
+		var line string
+		line, block = cutLine(block)
 		if line == "" {
 			continue
 		}
@@ -199,15 +299,18 @@ func parseFields(lines []string) (Header, error) {
 		if !ok || name == "" {
 			return Header{}, fmt.Errorf("%w: header line %q", ErrMalformed, line)
 		}
-		h.Add(strings.TrimSpace(name), strings.TrimSpace(value))
+		fields = append(fields, Field{
+			Name:  strings.TrimSpace(name),
+			Value: strings.TrimSpace(value),
+		})
 	}
-	return h, nil
+	return Header{fields: fields}, nil
 }
 
 // clipBody applies Content-Length if present: datagrams may carry trailing
 // padding, and a declared length beyond the data is a truncation error.
 func clipBody(h Header, body []byte) ([]byte, error) {
-	cl := h.Get("Content-Length")
+	cl := h.Get(contentLenHd)
 	if cl == "" {
 		return body, nil
 	}

@@ -1,0 +1,30 @@
+package httpx
+
+import "sync"
+
+// bufCap is the initial capacity of pooled wire buffers: large enough for
+// every SSDP message and most description documents, so steady-state
+// traffic never grows a buffer.
+const bufCap = 2048
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, bufCap)
+		return &b
+	},
+}
+
+// AcquireBuf returns an empty pooled byte buffer for AppendTo-style
+// marshalling or message reads. Release it with ReleaseBuf once the bytes
+// have been handed to the transport (simnet copies payloads at the write
+// boundary, so release-after-Write is safe).
+func AcquireBuf() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+// ReleaseBuf returns a buffer to the pool. The caller must not use b — or
+// any slice of its contents — afterwards.
+func ReleaseBuf(b *[]byte) {
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}

@@ -13,50 +13,68 @@ import (
 )
 
 // readMessage pulls one complete HTTP message (head + declared body) off a
-// stream. It reads no further than the message end, so back-to-back
+// stream into buf, growing it as needed, and returns the message (aliasing
+// buf's array). It reads no further than the message end, so back-to-back
 // messages on one connection stay intact.
-func readMessage(s *simnet.Stream) ([]byte, error) {
-	var buf bytes.Buffer
-	tmp := make([]byte, 1024)
+func readMessage(s *simnet.Stream, buf []byte) ([]byte, error) {
 	headEnd := -1
 	for headEnd < 0 {
-		n, err := s.Read(tmp)
-		if n > 0 {
-			buf.Write(tmp[:n])
-			headEnd = bytes.Index(buf.Bytes(), []byte(crlf+crlf))
-		}
+		var err error
+		buf, err = readChunk(s, buf)
 		if err != nil {
-			if errors.Is(err, io.EOF) && buf.Len() == 0 {
+			if errors.Is(err, io.EOF) && len(buf) == 0 {
 				return nil, io.EOF
 			}
-			if headEnd < 0 {
-				return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
-			}
+			return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
 		}
+		// The terminator may straddle the previous read's tail.
+		headEnd = bytes.Index(buf, []byte(crlf+crlf))
 	}
 
 	// Head complete; honour Content-Length for the remainder.
-	head := buf.Bytes()[:headEnd]
-	want := contentLength(head)
-	for buf.Len() < headEnd+4+want {
-		n, err := s.Read(tmp)
-		if n > 0 {
-			buf.Write(tmp[:n])
-		}
+	want := contentLength(buf[:headEnd])
+	for len(buf) < headEnd+4+want {
+		var err error
+		buf, err = readChunk(s, buf)
 		if err != nil {
 			return nil, fmt.Errorf("%w: body short: %v", ErrTruncated, err)
 		}
 	}
-	return buf.Bytes()[:headEnd+4+want], nil
+	return buf[:headEnd+4+want], nil
 }
 
+// readChunk reads once into buf's spare capacity, growing it first when
+// full.
+func readChunk(s *simnet.Stream, buf []byte) ([]byte, error) {
+	if len(buf) == cap(buf) {
+		grown := make([]byte, len(buf), 2*cap(buf)+1024)
+		copy(grown, buf)
+		buf = grown
+	}
+	n, err := s.Read(buf[len(buf):cap(buf)])
+	buf = buf[:len(buf)+n]
+	if n > 0 {
+		return buf, nil
+	}
+	return buf, err
+}
+
+// contentLength scans the head for Content-Length without splitting it
+// into per-line slices.
 func contentLength(head []byte) int {
-	for _, line := range bytes.Split(head, []byte(crlf)) {
+	for len(head) > 0 {
+		line := head
+		if i := bytes.Index(head, []byte(crlf)); i >= 0 {
+			line = head[:i]
+			head = head[i+2:]
+		} else {
+			head = nil
+		}
 		name, value, ok := bytes.Cut(line, []byte(":"))
 		if !ok {
 			continue
 		}
-		if !bytes.EqualFold(bytes.TrimSpace(name), []byte("Content-Length")) {
+		if !bytes.EqualFold(bytes.TrimSpace(name), []byte(contentLenHd)) {
 			continue
 		}
 		n, err := strconv.Atoi(string(bytes.TrimSpace(value)))
@@ -67,7 +85,10 @@ func contentLength(head []byte) int {
 	return 0
 }
 
-// Handler responds to one HTTP request. Returning nil produces a 500.
+// Handler responds to one HTTP request. Returning nil produces a 500. The
+// request — including its Body and parsed header strings — is only valid
+// for the duration of the call: the server recycles the underlying read
+// buffer afterwards.
 type Handler func(*Request) *Response
 
 // Server serves HTTP over simnet TCP, one request per connection
@@ -147,13 +168,20 @@ func (srv *Server) Close() {
 	srv.wg.Wait()
 }
 
+// handle serves one exchange with pooled read and write buffers: the only
+// steady-state allocations are the parsed request's strings.
 func (srv *Server) handle(s *simnet.Stream) {
 	defer s.Close()
 	s.SetReadTimeout(5 * time.Second)
-	raw, err := readMessage(s)
+
+	rb := AcquireBuf()
+	defer ReleaseBuf(rb)
+	raw, err := readMessage(s, (*rb)[:0])
 	if err != nil {
 		return
 	}
+	*rb = raw[:0] // keep any growth for the next exchange
+
 	req, err := ParseRequest(raw)
 	var resp *Response
 	if err != nil {
@@ -167,11 +195,17 @@ func (srv *Server) handle(s *simnet.Stream) {
 			resp = &Response{StatusCode: 500}
 		}
 	}
-	_, _ = s.Write(resp.Marshal())
+
+	wb := AcquireBuf()
+	out := resp.AppendTo((*wb)[:0])
+	_, _ = s.Write(out) // simnet copies at the write boundary
+	*wb = out[:0]
+	ReleaseBuf(wb)
 }
 
 // Do sends one request from host to addr and waits for the response.
-// timeout bounds the whole exchange.
+// timeout bounds the whole exchange. The marshal uses a pooled buffer;
+// the response is freshly allocated because it escapes to the caller.
 func Do(host *simnet.Host, addr simnet.Addr, req *Request, timeout time.Duration) (*Response, error) {
 	s, err := host.DialTCP(addr)
 	if err != nil {
@@ -181,10 +215,17 @@ func Do(host *simnet.Host, addr simnet.Addr, req *Request, timeout time.Duration
 	if timeout > 0 {
 		s.SetReadTimeout(timeout)
 	}
-	if _, err := s.Write(req.Marshal()); err != nil {
+
+	wb := AcquireBuf()
+	out := req.AppendTo((*wb)[:0])
+	_, err = s.Write(out)
+	*wb = out[:0]
+	ReleaseBuf(wb)
+	if err != nil {
 		return nil, err
 	}
-	raw, err := readMessage(s)
+
+	raw, err := readMessage(s, make([]byte, 0, 1024))
 	if err != nil {
 		return nil, err
 	}

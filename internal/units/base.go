@@ -1,7 +1,9 @@
 package units
 
 import (
+	"slices"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -37,10 +39,19 @@ type pending struct {
 }
 
 // base carries the plumbing every unit shares: context, pending-request
-// table, re-advertisement flag and lifecycle.
+// table, re-advertisement flag, lifecycle, and the composer dispatch that
+// enforces the pooled-envelope release protocol in one place.
 type base struct {
 	name string
 	sdp  core.SDP
+
+	// onRequest and onOther are the unit's composer halves, bound once
+	// at construction (immutable afterwards, so dispatch reads them
+	// without locking or per-message closure allocation): onRequest
+	// translates a foreign request on a spawned goroutine; onOther
+	// handles response/advertisement streams synchronously.
+	onRequest func(events.Stream)
+	onOther   func(events.Stream)
 
 	mu       sync.Mutex
 	ctx      *core.UnitContext
@@ -139,126 +150,183 @@ func (b *base) takePending(reqID string) (*pending, bool) {
 	return p, true
 }
 
-// publish frames and publishes a stream under the unit's name.
-func (b *base) publish(s events.Stream) {
+// publish hands a pooled stream to the bus under the unit's name. The
+// stream must come from the builders below (or events.AcquireStream);
+// ownership transfers to the bus, which recycles the storage after every
+// receiving composer has released its envelope.
+func (b *base) publish(ps *events.PooledStream) {
 	ctx := b.context()
 	if ctx == nil {
+		ps.Free()
 		return
 	}
 	ctx.Profile.Delay()
-	_ = ctx.Publish(b.name, s)
+	_ = ctx.PublishPooled(b.name, ps)
 }
 
-// spawn runs fn on a tracked goroutine unless the unit has stopped.
-func (b *base) spawn(fn func()) {
+// spawn runs fn on a tracked goroutine, reporting false — without running
+// fn — when the unit has stopped. Callers owning a pooled envelope must
+// release it themselves on a false return, since fn's deferred release
+// never runs.
+func (b *base) spawn(fn func()) bool {
 	if b.isStopped() {
-		return
+		return false
 	}
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
 		fn()
 	}()
+	return true
 }
 
 // wait blocks until all spawned work drains.
 func (b *base) wait() { b.wg.Wait() }
 
+// OnEvents implements core.Unit for every unit: streams from peer units
+// arrive here (paper Figure 3, right to left) and are routed to the
+// composer halves bound at construction. The pooled-envelope ownership
+// rules live here and nowhere else: every path — self-echo drop, stopped
+// unit, refused spawn, synchronous composition — releases the envelope
+// exactly once; the request path releases at the end of the spawned
+// goroutine because the stream outlives the callback.
+func (b *base) OnEvents(env events.Envelope) {
+	s := env.Stream
+	if b.isStopped() || originOf(s) == b.sdp {
+		env.Release()
+		return
+	}
+	if s.Has(events.ServiceRequest) {
+		if !b.spawn(func() {
+			defer env.Release()
+			b.onRequest(s)
+		}) {
+			env.Release() // unit stopped: the closure never runs
+		}
+		return
+	}
+	defer env.Release()
+	b.onOther(s)
+}
+
 // --- stream construction helpers shared by the units ---
+
+// The stream builders below construct directly into pool-backed storage
+// (events.AcquireStream), so steady-state translation recycles the same
+// few []Event arrays instead of allocating one per message.
 
 // requestStream builds the canonical foreign-request stream of paper
 // §2.4 step ①.
-func requestStream(sdp core.SDP, reqID string, src simnet.Addr, multicast bool, kind string, extra ...events.Event) events.Stream {
+func requestStream(sdp core.SDP, reqID string, src simnet.Addr, multicast bool, kind string, extra ...events.Event) *events.PooledStream {
 	castEv := events.E(events.NetUnicast, "")
 	if multicast {
 		castEv = events.E(events.NetMulticast, "")
 	}
-	body := events.Stream{
+	ps := events.AcquireStream()
+	ps.S = append(ps.S,
+		events.E(events.CStart, ""),
 		events.E(events.NetType, string(sdp)),
 		castEv,
 		events.E(events.NetSourceAddr, src.String()),
 		events.E(events.ReqID, reqID),
 		events.E(events.ServiceRequest, ""),
 		events.E(events.ServiceType, kind),
-	}
-	body = append(body, extra...)
-	return events.NewStream(body...)
+	)
+	ps.S = append(ps.S, extra...)
+	ps.S = append(ps.S, events.E(events.CStop, ""))
+	return ps
 }
 
 // responseStream builds the canonical response stream answering reqID.
-func responseStream(sdp core.SDP, reqID string, rec core.ServiceRecord, extra ...events.Event) events.Stream {
-	body := events.Stream{
+func responseStream(sdp core.SDP, reqID string, rec core.ServiceRecord, extra ...events.Event) *events.PooledStream {
+	ps := events.AcquireStream()
+	ps.S = append(ps.S,
+		events.E(events.CStart, ""),
 		events.E(events.NetType, string(sdp)),
 		events.E(events.ReqID, reqID),
 		events.E(events.ServiceResponse, ""),
 		events.E(events.ServiceType, rec.Kind),
 		events.E(events.ResServURL, rec.URL),
-	}
+	)
 	if ttl := ttlSeconds(rec.Expires); ttl > 0 {
-		body = append(body, events.E(events.ResTTL, strconv.Itoa(ttl)))
+		ps.S = append(ps.S, events.E(events.ResTTL, strconv.Itoa(ttl)))
 	}
 	if rec.Location != "" {
-		body = append(body, events.E(events.DeviceURLDesc, rec.Location))
+		ps.S = append(ps.S, events.E(events.DeviceURLDesc, rec.Location))
 	}
-	body = append(body, attrEvents(rec.Attrs)...)
-	body = append(body, extra...)
-	return events.NewStream(body...)
+	ps.S = appendAttrEvents(ps.S, rec.Attrs)
+	ps.S = append(ps.S, extra...)
+	ps.S = append(ps.S, events.E(events.CStop, ""))
+	return ps
 }
 
 // aliveStream builds a service-advertisement stream (paper's
 // "Advertisement Events" extension set enriches responses only).
-func aliveStream(sdp core.SDP, rec core.ServiceRecord, extra ...events.Event) events.Stream {
-	body := events.Stream{
+func aliveStream(sdp core.SDP, rec core.ServiceRecord, extra ...events.Event) *events.PooledStream {
+	ps := events.AcquireStream()
+	ps.S = append(ps.S,
+		events.E(events.CStart, ""),
 		events.E(events.NetType, string(sdp)),
 		events.E(events.NetMulticast, ""),
 		events.E(events.ServiceAlive, ""),
 		events.E(events.ServiceType, rec.Kind),
 		events.E(events.ResServURL, rec.URL),
 		events.E(events.AdvLocation, rec.URL),
-	}
+	)
 	if ttl := ttlSeconds(rec.Expires); ttl > 0 {
-		body = append(body, events.E(events.AdvMaxAge, strconv.Itoa(ttl)))
+		ps.S = append(ps.S, events.E(events.AdvMaxAge, strconv.Itoa(ttl)))
 	}
 	if rec.Location != "" {
-		body = append(body, events.E(events.DeviceURLDesc, rec.Location))
+		ps.S = append(ps.S, events.E(events.DeviceURLDesc, rec.Location))
 	}
-	body = append(body, attrEvents(rec.Attrs)...)
-	body = append(body, extra...)
-	return events.NewStream(body...)
+	ps.S = appendAttrEvents(ps.S, rec.Attrs)
+	ps.S = append(ps.S, extra...)
+	ps.S = append(ps.S, events.E(events.CStop, ""))
+	return ps
 }
 
 // byeStream builds a departure stream.
-func byeStream(sdp core.SDP, kind, url string) events.Stream {
-	return events.NewStream(
+func byeStream(sdp core.SDP, kind, url string) *events.PooledStream {
+	ps := events.AcquireStream()
+	ps.S = append(ps.S,
+		events.E(events.CStart, ""),
 		events.E(events.NetType, string(sdp)),
 		events.E(events.NetMulticast, ""),
 		events.E(events.ServiceByeBye, ""),
 		events.E(events.ServiceType, kind),
 		events.E(events.ResServURL, url),
+		events.E(events.CStop, ""),
 	)
+	return ps
 }
 
+// appendAttrEvents appends one ResAttr event per attribute onto s and
+// sorts the appended run in place by attribute name, so every path
+// serializes a record's attributes in the same deterministic order with
+// no intermediate slices. Sorting must compare the name, not the whole
+// "name=value" payload: names may contain bytes ordering below '='
+// ('-', '.', digits).
+func appendAttrEvents(s events.Stream, attrs map[string]string) events.Stream {
+	start := len(s)
+	for k, v := range attrs {
+		s = append(s, events.E(events.ResAttr, k+"="+v))
+	}
+	slices.SortFunc(s[start:], func(a, b events.Event) int {
+		ka, _, _ := strings.Cut(a.Data, "=")
+		kb, _, _ := strings.Cut(b.Data, "=")
+		return strings.Compare(ka, kb)
+	})
+	return s
+}
+
+// attrEvents is the slice-returning form for callers outside the pooled
+// builders; it delegates to appendAttrEvents so exactly one ordering
+// implementation exists.
 func attrEvents(attrs map[string]string) []events.Event {
 	if len(attrs) == 0 {
 		return nil
 	}
-	keys := make([]string, 0, len(attrs))
-	for k := range attrs {
-		keys = append(keys, k)
-	}
-	// Deterministic order keeps traces and tests stable.
-	for i := 0; i < len(keys); i++ {
-		for j := i + 1; j < len(keys); j++ {
-			if keys[j] < keys[i] {
-				keys[i], keys[j] = keys[j], keys[i]
-			}
-		}
-	}
-	out := make([]events.Event, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, events.E(events.ResAttr, k+"="+attrs[k]))
-	}
-	return out
+	return []events.Event(appendAttrEvents(make(events.Stream, 0, len(attrs)), attrs))
 }
 
 // attrsFromStream collects ResAttr events into a map.

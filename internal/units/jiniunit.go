@@ -59,11 +59,14 @@ func NewJiniUnit(cfg JiniUnitConfig) *JiniUnit {
 	if cfg.AnnounceInterval <= 0 {
 		cfg.AnnounceInterval = 500 * time.Millisecond
 	}
-	return &JiniUnit{
+	u := &JiniUnit{
 		base: newBase("jini-unit", core.SDPJini),
 		cfg:  cfg,
 		ids:  make(map[string]jini.ServiceID),
 	}
+	u.onRequest = u.queryNative
+	u.onOther = u.composeOther
+	return u
 }
 
 // Start implements core.Unit.
@@ -162,15 +165,10 @@ func (u *JiniUnit) parseAnnouncement(r *jini.PacketReader, det core.Detection) {
 	_ = det
 }
 
-// OnEvents implements core.Unit.
-func (u *JiniUnit) OnEvents(env events.Envelope) {
-	if u.isStopped() || originOf(env.Stream) == core.SDPJini {
-		return
-	}
-	s := env.Stream
+// composeOther is the non-request composer half, dispatched by
+// base.OnEvents (which owns the envelope release protocol).
+func (u *JiniUnit) composeOther(s events.Stream) {
 	switch {
-	case s.Has(events.ServiceRequest):
-		u.spawn(func() { u.queryNative(s) })
 	case s.Has(events.ServiceResponse), s.Has(events.ServiceAlive):
 		// Any foreign service knowledge becomes a bridge registrar
 		// entry, so Jini clients can look it up natively.

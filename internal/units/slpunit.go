@@ -45,11 +45,14 @@ func NewSLPUnit(cfg SLPUnitConfig) *SLPUnit {
 	if cfg.AnnounceInterval <= 0 {
 		cfg.AnnounceInterval = 500 * time.Millisecond
 	}
-	return &SLPUnit{
+	u := &SLPUnit{
 		base: newBase("slp-unit", core.SDPSLP),
 		cfg:  cfg,
 		stop: make(chan struct{}),
 	}
+	u.onRequest = u.queryNative
+	u.onOther = u.composeOther
+	return u
 }
 
 // Start implements core.Unit.
@@ -230,16 +233,10 @@ func firstValue(a slp.Attr) string {
 	return a.Values[0]
 }
 
-// OnEvents implements core.Unit: the composer half. Streams from peer
-// units arrive here (paper Figure 3, right to left).
-func (u *SLPUnit) OnEvents(env events.Envelope) {
-	if u.isStopped() || originOf(env.Stream) == core.SDPSLP {
-		return
-	}
-	s := env.Stream
+// composeOther is the non-request composer half, dispatched by
+// base.OnEvents (which owns the envelope release protocol).
+func (u *SLPUnit) composeOther(s events.Stream) {
 	switch {
-	case s.Has(events.ServiceRequest):
-		u.spawn(func() { u.queryNative(s) })
 	case s.Has(events.ServiceResponse):
 		u.composeFromResponse(s)
 	case s.Has(events.ServiceAlive):

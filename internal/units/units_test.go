@@ -294,8 +294,8 @@ func TestDiscardSemantics(t *testing.T) {
 		return dg.Payload
 	}
 
-	first := capture(plain)
-	second := capture(enriched)
+	first := capture(plain.S)
+	second := capture(enriched.S)
 	if string(first) != string(second) {
 		t.Errorf("SLP-specific events changed the composed message:\n%q\nvs\n%q", first, second)
 	}
@@ -544,7 +544,7 @@ func TestUPnPQueryFSMStructure(t *testing.T) {
 
 func TestStreamHelpers(t *testing.T) {
 	src := simnet.Addr{IP: "10.0.0.1", Port: 40000}
-	req := requestStream(core.SDPSLP, "id-1", src, true, "clock")
+	req := requestStream(core.SDPSLP, "id-1", src, true, "clock").S
 	if err := req.Validate(); err != nil {
 		t.Fatalf("request stream invalid: %v", err)
 	}
@@ -560,7 +560,7 @@ func TestStreamHelpers(t *testing.T) {
 		Attrs:    map[string]string{"b": "2", "a": "1"},
 		Expires:  time.Now().Add(time.Minute),
 	}
-	resp := responseStream(core.SDPUPnP, "id-1", rec)
+	resp := responseStream(core.SDPUPnP, "id-1", rec).S
 	if err := resp.Validate(); err != nil {
 		t.Fatalf("response stream invalid: %v", err)
 	}
@@ -577,7 +577,7 @@ func TestStreamHelpers(t *testing.T) {
 		t.Errorf("attrs = %+v", back.Attrs)
 	}
 
-	alive := aliveStream(core.SDPSLP, rec)
+	alive := aliveStream(core.SDPSLP, rec).S
 	if err := alive.Validate(); err != nil {
 		t.Fatalf("alive stream invalid: %v", err)
 	}
@@ -585,7 +585,7 @@ func TestStreamHelpers(t *testing.T) {
 		t.Errorf("alive stream = %s", alive)
 	}
 
-	bye := byeStream(core.SDPSLP, "clock", "u")
+	bye := byeStream(core.SDPSLP, "clock", "u").S
 	if err := bye.Validate(); err != nil || !bye.Has(events.ServiceByeBye) {
 		t.Errorf("bye stream = %s err=%v", bye, err)
 	}

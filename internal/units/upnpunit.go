@@ -68,7 +68,7 @@ func NewUPnPUnit(cfg UPnPUnitConfig) *UPnPUnit {
 	if cfg.AnnounceInterval <= 0 {
 		cfg.AnnounceInterval = 500 * time.Millisecond
 	}
-	return &UPnPUnit{
+	u := &UPnPUnit{
 		base:      newBase("upnp-unit", core.SDPUPnP),
 		cfg:       cfg,
 		queryFSM:  buildUPnPQueryFSM(),
@@ -76,6 +76,9 @@ func NewUPnPUnit(cfg UPnPUnitConfig) *UPnPUnit {
 		descPaths: make(map[string]string),
 		stop:      make(chan struct{}),
 	}
+	u.onRequest = u.queryNative
+	u.onOther = u.composeOther
+	return u
 }
 
 // buildUPnPQueryFSM encodes the §2.4 choreography: a search answer
@@ -265,15 +268,10 @@ func maxAgeOrDefault(maxAge int) int {
 	return maxAge
 }
 
-// OnEvents implements core.Unit: the composer half.
-func (u *UPnPUnit) OnEvents(env events.Envelope) {
-	if u.isStopped() || originOf(env.Stream) == core.SDPUPnP {
-		return
-	}
-	s := env.Stream
+// composeOther is the non-request composer half, dispatched by
+// base.OnEvents (which owns the envelope release protocol).
+func (u *UPnPUnit) composeOther(s events.Stream) {
 	switch {
-	case s.Has(events.ServiceRequest):
-		u.spawn(func() { u.queryNative(s) })
 	case s.Has(events.ServiceResponse):
 		u.composeFromResponse(s)
 	case s.Has(events.ServiceAlive):
