@@ -13,6 +13,7 @@ import (
 
 	"indiss"
 	"indiss/internal/core"
+	"indiss/internal/dnssd"
 	"indiss/internal/events"
 	"indiss/internal/fsm"
 	"indiss/internal/httpx"
@@ -221,6 +222,96 @@ func BenchmarkFig9bClientSideUPnPToSLP(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cp.SearchFirst(upnp.TypeURN("clock", 1), 0, 2*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- DNS-SD: the post-paper fourth unit's workload ---
+
+// BenchmarkNativeDNSSD: native mDNS browse, wire path every iteration
+// (cache flushed), the DNS-SD analogue of BenchmarkFig7NativeSLP.
+func BenchmarkNativeDNSSD(b *testing.B) {
+	net := indiss.NewLAN()
+	defer net.Close()
+	clientHost := net.MustAddHost("client", "10.0.0.1")
+	serviceHost := net.MustAddHost("service", "10.0.0.2")
+	r, err := dnssd.NewResponder(serviceHost, dnssd.ResponderConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Register(dnssd.Registration{
+		Instance: "Clock", Service: dnssd.ServiceType("clock"), Port: 9000,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	q := dnssd.NewQuerier(clientHost, dnssd.QuerierConfig{})
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Flush()
+		if _, err := q.Browse(dnssd.ServiceType("clock"), 2*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBridgedSLPToDNSSD: an SLP client discovering a DNS-SD-only
+// service through a gateway — one of the 12 matrix pairings, timed.
+func BenchmarkBridgedSLPToDNSSD(b *testing.B) {
+	net := indiss.NewLAN()
+	defer net.Close()
+	clientHost := net.MustAddHost("client", "10.0.0.1")
+	serviceHost := net.MustAddHost("service", "10.0.0.2")
+	gatewayHost := net.MustAddHost("gateway", "10.0.0.9")
+
+	r, err := dnssd.NewResponder(serviceHost, dnssd.ResponderConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Register(dnssd.Registration{
+		Instance: "Clock", Service: dnssd.ServiceType("clock"), Port: 9000,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	sys, err := indiss.Deploy(gatewayHost, indiss.Config{
+		Role:    indiss.RoleGateway,
+		SDPs:    []indiss.SDP{indiss.SLP, indiss.DNSSD},
+		Profile: indiss.CalibratedProfile(),
+		NoCache: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+
+	ua := slp.NewUserAgent(clientHost, indiss.OpenSLPProfile())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ua.FindFirst("service:clock", "", 3*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDNSSDWireRoundTrip measures marshal+parse of the browse
+// query/answer pair — the wire cost of one bridged mDNS exchange,
+// guarded by the alloc budget in perf_test.go over the same fixture.
+func BenchmarkDNSSDWireRoundTrip(b *testing.B) {
+	query, resp := benchDNSSDMessages()
+	qbuf := make([]byte, 0, 512)
+	rbuf := make([]byte, 0, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qbuf = query.AppendTo(qbuf[:0])
+		if _, err := dnssd.Parse(qbuf); err != nil {
+			b.Fatal(err)
+		}
+		rbuf = resp.AppendTo(rbuf[:0])
+		if _, err := dnssd.Parse(rbuf); err != nil {
 			b.Fatal(err)
 		}
 	}

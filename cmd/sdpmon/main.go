@@ -9,11 +9,13 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"indiss"
 	"indiss/internal/core"
+	"indiss/internal/dnssd"
 	"indiss/internal/jini"
 	"indiss/internal/slp"
 	"indiss/internal/upnp"
@@ -46,7 +48,12 @@ func run(duration time.Duration) error {
 		return err
 	}
 	defer mon.Close()
-	fmt.Println("sdpmon: passively scanning ports", "427, 1846, 1848, 1900, 4160")
+	ports := core.DefaultTable().Ports()
+	portList := make([]string, len(ports))
+	for i, p := range ports {
+		portList[i] = fmt.Sprint(p)
+	}
+	fmt.Println("sdpmon: passively scanning ports", strings.Join(portList, ", "))
 
 	// Scripted environment: protocols appear one after the other.
 	slpHost := net.MustAddHost("slp-service", "10.0.0.2")
@@ -72,6 +79,36 @@ func run(duration time.Duration) error {
 		return err
 	}
 	defer ls.Close()
+
+	dnssdHost := net.MustAddHost("dnssd-service", "10.0.0.5")
+	responder, err := dnssd.NewResponder(dnssdHost, dnssd.ResponderConfig{})
+	if err != nil {
+		return err
+	}
+	defer responder.Close()
+	if err := responder.Register(dnssd.Registration{
+		Instance: "Scanner", Service: dnssd.ServiceType("scanner"), Port: 6363,
+	}); err != nil {
+		return err
+	}
+	// mDNS announces on registration; re-register periodically so the
+	// rate meter sees ongoing traffic like the other protocols.
+	stopAnnounce := make(chan struct{})
+	defer close(stopAnnounce)
+	go func() {
+		ticker := time.NewTicker(300 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopAnnounce:
+				return
+			case <-ticker.C:
+				_ = responder.Register(dnssd.Registration{
+					Instance: "Scanner", Service: dnssd.ServiceType("scanner"), Port: 6363,
+				})
+			}
+		}
+	}()
 
 	time.Sleep(duration)
 

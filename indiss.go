@@ -3,7 +3,7 @@
 // Issarny, Middleware 2005.
 //
 // INDISS lets clients and services that speak different service discovery
-// protocols (SLP, UPnP, Jini) find each other without any change to the
+// protocols (SLP, UPnP, Jini, DNS-SD) find each other without any change to the
 // applications. Deploy an instance on a client, a service host or a
 // gateway node:
 //
@@ -43,11 +43,13 @@ const (
 // SDP names a service discovery protocol.
 type SDP = core.SDP
 
-// The supported protocols.
+// The supported protocols: the paper's three plus DNS-SD/mDNS
+// (Zeroconf/Bonjour).
 const (
-	SLP  = core.SDPSLP
-	UPnP = core.SDPUPnP
-	Jini = core.SDPJini
+	SLP   = core.SDPSLP
+	UPnP  = core.SDPUPnP
+	Jini  = core.SDPJini
+	DNSSD = core.SDPDNSSD
 )
 
 // System is a running INDISS instance.
@@ -79,6 +81,8 @@ type UnitOptions struct {
 	UPnP units.UPnPUnitConfig
 	// Jini tunes the Jini unit.
 	Jini units.JiniUnitConfig
+	// DNSSD tunes the DNS-SD unit.
+	DNSSD units.DNSSDUnitConfig
 }
 
 // Config defines an INDISS deployment.
@@ -86,7 +90,8 @@ type Config struct {
 	// Role is where the instance is deployed. Required.
 	Role Role
 	// SDPs restricts which protocol units the instance may
-	// instantiate. Empty means all three.
+	// instantiate. Empty means every registered unit. Entries are
+	// validated against the registry at Deploy time.
 	SDPs []SDP
 	// Dynamic defers unit instantiation until the monitor detects the
 	// protocol in the environment (paper §3). When false, all units
@@ -119,6 +124,7 @@ func Registry(opts UnitOptions) *core.Registry {
 	r.Register(core.SDPSLP, func() core.Unit { return units.NewSLPUnit(opts.SLP) })
 	r.Register(core.SDPUPnP, func() core.Unit { return units.NewUPnPUnit(opts.UPnP) })
 	r.Register(core.SDPJini, func() core.Unit { return units.NewJiniUnit(opts.Jini) })
+	r.Register(core.SDPDNSSD, func() core.Unit { return units.NewDNSSDUnit(opts.DNSSD) })
 	return r
 }
 
@@ -148,11 +154,25 @@ func Deploy(host *simnet.Host, cfg Config) (*System, error) {
 			coreCfg.Table = table
 		}
 		if len(spec.Units) > 0 {
-			coreCfg.Units = coreCfg.Units[:0]
+			// A fresh slice, not coreCfg.Units[:0]: coreCfg.Units still
+			// aliases the caller's cfg.SDPs array here, and appending
+			// through the alias would overwrite it in place.
+			coreCfg.Units = make([]SDP, 0, len(spec.Units))
 			for _, u := range spec.Units {
 				coreCfg.Units = append(coreCfg.Units, u.SDP)
 			}
 		}
 	}
-	return core.NewSystem(host, Registry(cfg.Units), coreCfg)
+	registry := Registry(cfg.Units)
+	// Validate the effective unit list against the registry now: under
+	// Dynamic, an unknown SDP would otherwise fail silently forever (the
+	// monitor's detection handler has nobody to report to).
+	for _, sdp := range coreCfg.Units {
+		if !registry.Has(sdp) {
+			return nil, fmt.Errorf(
+				"indiss: config names unit %q but no such unit is registered (have %v)",
+				sdp, registry.SDPs())
+		}
+	}
+	return core.NewSystem(host, registry, coreCfg)
 }

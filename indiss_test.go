@@ -60,6 +60,74 @@ func TestDeployWithBadSpec(t *testing.T) {
 	}
 }
 
+// TestDeploySpecDoesNotCorruptCallerSDPs is the regression test for a
+// config-aliasing bug: Deploy reset its working unit list with
+// coreCfg.Units[:0] while it still aliased the caller's cfg.SDPs array,
+// so appending the Spec's units overwrote the caller's slice in place.
+func TestDeploySpecDoesNotCorruptCallerSDPs(t *testing.T) {
+	net := indiss.NewLAN()
+	defer net.Close()
+	host := net.MustAddHost("h", "10.0.0.1")
+	sdps := []indiss.SDP{indiss.Jini, indiss.UPnP, indiss.SLP}
+	want := append([]indiss.SDP(nil), sdps...)
+	sys, err := indiss.Deploy(host, indiss.Config{
+		Role: indiss.RoleGateway,
+		SDPs: sdps,
+		Spec: `
+System SDP = {
+	Component Monitor = { ScanPort = { 1900; 427 } }
+	Component Unit SLP(port=427);
+	Component Unit UPnP(port=1900);
+}`,
+	})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	defer sys.Close()
+	for i := range want {
+		if sdps[i] != want[i] {
+			t.Fatalf("Deploy mutated caller's SDPs: %v, want %v", sdps, want)
+		}
+	}
+	if units := sys.Units(); len(units) != 2 || units[0] != indiss.SLP || units[1] != indiss.UPnP {
+		t.Errorf("units = %v, want the spec's [SLP UPnP]", units)
+	}
+}
+
+// TestDeployRejectsUnknownUnit is the regression test for silent
+// misconfiguration: a Spec (or SDPs list) naming a unit absent from the
+// registry used to deploy fine and then fail forever under Dynamic
+// (onDetection swallowed the registry error on every packet).
+func TestDeployRejectsUnknownUnit(t *testing.T) {
+	net := indiss.NewLAN()
+	defer net.Close()
+	host := net.MustAddHost("h", "10.0.0.1")
+
+	_, err := indiss.Deploy(host, indiss.Config{
+		Role:    indiss.RoleGateway,
+		Dynamic: true,
+		Spec:    "System X = { Component Unit BLUETOOTH(port=427); }",
+	})
+	if err == nil {
+		t.Fatal("spec naming an unregistered unit accepted")
+	}
+	if !strings.Contains(err.Error(), "BLUETOOTH") {
+		t.Errorf("error should name the offending unit: %v", err)
+	}
+
+	_, err = indiss.Deploy(host, indiss.Config{
+		Role:    indiss.RoleGateway,
+		Dynamic: true,
+		SDPs:    []indiss.SDP{indiss.SLP, "BOGUS"},
+	})
+	if err == nil {
+		t.Fatal("SDPs naming an unregistered unit accepted")
+	}
+	if !strings.Contains(err.Error(), "BOGUS") {
+		t.Errorf("error should name the offending unit: %v", err)
+	}
+}
+
 func TestParseSpecReExport(t *testing.T) {
 	spec, err := indiss.ParseSpec("System X = { Component Unit SLP(port=427); }")
 	if err != nil || spec.Name != "X" {
@@ -181,7 +249,7 @@ func TestCalibratedProfilesNonZero(t *testing.T) {
 func TestRegistryCoversAllSDPs(t *testing.T) {
 	r := indiss.Registry(indiss.UnitOptions{})
 	sdps := r.SDPs()
-	if len(sdps) != 3 {
+	if len(sdps) != 4 {
 		t.Fatalf("registry SDPs = %v", sdps)
 	}
 	for _, sdp := range sdps {

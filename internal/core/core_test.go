@@ -24,6 +24,7 @@ func TestCorrespondenceTableDefaults(t *testing.T) {
 		{1848, SDPSLP},
 		{1900, SDPUPnP},
 		{4160, SDPJini},
+		{5353, SDPDNSSD},
 	}
 	for _, tt := range tests {
 		entry, ok := table.Lookup(tt.port)
@@ -34,7 +35,7 @@ func TestCorrespondenceTableDefaults(t *testing.T) {
 	if _, ok := table.Lookup(9999); ok {
 		t.Error("unregistered port resolved")
 	}
-	if ports := table.Ports(); len(ports) != 5 || ports[0] != 427 {
+	if ports := table.Ports(); len(ports) != 6 || ports[0] != 427 {
 		t.Errorf("Ports = %v", ports)
 	}
 }

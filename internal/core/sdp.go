@@ -16,11 +16,14 @@ import (
 // SDP identifies a service discovery protocol.
 type SDP string
 
-// The SDPs of the paper's prototype and Figure 5 configuration.
+// The SDPs of the paper's prototype and Figure 5 configuration, plus
+// DNS-SD/mDNS (Zeroconf/Bonjour) — the post-paper protocol whose unit
+// exercises the §2.2 claim that a new SDP costs exactly one new unit.
 const (
-	SDPSLP  SDP = "SLP"
-	SDPUPnP SDP = "UPnP"
-	SDPJini SDP = "JINI"
+	SDPSLP   SDP = "SLP"
+	SDPUPnP  SDP = "UPnP"
+	SDPJini  SDP = "JINI"
+	SDPDNSSD SDP = "DNSSD"
 )
 
 // ScanPort is one entry of the monitor's static correspondence table:
@@ -42,9 +45,10 @@ type CorrespondenceTable struct {
 	byPort map[int]ScanPort
 }
 
-// DefaultTable returns the correspondence table of the paper's prototype:
-// SLP on 427 (plus the legacy 1846/1848 ports the paper's figures list),
-// UPnP/SSDP on 1900, Jini on 4160.
+// DefaultTable returns the correspondence table of the paper's prototype
+// — SLP on 427 (plus the legacy 1846/1848 ports the paper's figures
+// list), UPnP/SSDP on 1900, Jini on 4160 — extended with mDNS on 5353
+// for the DNS-SD unit.
 func DefaultTable() *CorrespondenceTable {
 	t := NewTable()
 	t.Add(ScanPort{Port: 427, Groups: []string{"239.255.255.253"}, SDP: SDPSLP})
@@ -52,6 +56,7 @@ func DefaultTable() *CorrespondenceTable {
 	t.Add(ScanPort{Port: 1848, Groups: []string{"239.255.255.253"}, SDP: SDPSLP})
 	t.Add(ScanPort{Port: 1900, Groups: []string{"239.255.255.250"}, SDP: SDPUPnP})
 	t.Add(ScanPort{Port: 4160, Groups: []string{"224.0.1.84", "224.0.1.85"}, SDP: SDPJini})
+	t.Add(ScanPort{Port: 5353, Groups: []string{"224.0.0.251"}, SDP: SDPDNSSD})
 	return t
 }
 

@@ -219,6 +219,14 @@ func (r *Registry) New(sdp SDP) (Unit, error) {
 	return f(), nil
 }
 
+// Has reports whether a factory is registered for the SDP.
+func (r *Registry) Has(sdp SDP) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.factories[sdp]
+	return ok
+}
+
 // SDPs lists the registered protocols, sorted.
 func (r *Registry) SDPs() []SDP {
 	r.mu.Lock()

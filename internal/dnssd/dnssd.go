@@ -1,0 +1,99 @@
+// Package dnssd implements DNS-Based Service Discovery over Multicast
+// DNS (RFC 6763 over RFC 6762) — the discovery layer of Zeroconf/Bonjour
+// and today's most widely deployed SDP.
+//
+// The package is the DNS-SD counterpart of internal/slp and
+// internal/ssdp: a wire codec for the DNS record types service discovery
+// uses (A, PTR, SRV, TXT), a Responder that registers
+// "Instance._kind._tcp.local." services and answers queries, and a
+// Querier that browses service types with the standard known-answer
+// cache. All traffic runs over simnet multicast UDP on port 5353, group
+// 224.0.0.251, which is also the (group, port) tag the INDISS monitor
+// uses to detect the protocol.
+//
+// Browsing follows RFC 6763 §4: a PTR query for "_kind._tcp.local."
+// returns one PTR record per service instance; SRV and TXT records on
+// the instance name, plus an A record on the SRV target, complete the
+// picture (responders attach them as additionals so one round trip
+// resolves everything). Queriers sent from an ephemeral port are
+// RFC 6762 §6.7 legacy one-shot queries and get unicast answers.
+package dnssd
+
+import "strings"
+
+// IANA identification tag of mDNS (the monitor's correspondence table
+// entry for DNS-SD).
+const (
+	// Port is the registered mDNS port.
+	Port = 5353
+	// MulticastGroup is the mDNS IPv4 multicast address.
+	MulticastGroup = "224.0.0.251"
+)
+
+// Domain conventions of DNS-SD service enumeration.
+const (
+	// LocalDomain is the link-local domain every mDNS name ends in.
+	LocalDomain = "local."
+	// MetaQuery enumerates the service types present on the link
+	// (RFC 6763 §9).
+	MetaQuery = "_services._dns-sd._udp.local."
+)
+
+// DefaultTTL is the advertisement lifetime responders use when a
+// registration does not set one (RFC 6762 §10 recommends 120s for
+// host-name-dependent records).
+const DefaultTTL = 120
+
+// ServiceType renders the DNS-SD service type name for a bare service
+// kind: "clock" → "_clock._tcp.local.".
+func ServiceType(kind string) string {
+	return ServiceTypeFor(kind, "tcp")
+}
+
+// ServiceTypeFor renders the service type name for an explicit
+// transport label ("tcp" or "udp") — the one place the naming rule
+// lives.
+func ServiceTypeFor(kind, transport string) string {
+	return "_" + strings.ToLower(kind) + "._" + transport + "." + LocalDomain
+}
+
+// KindFromServiceType is the inverse of ServiceType; it reports ok=false
+// for names that are not "_kind._tcp.local." / "_kind._udp.local."
+// service types (including the meta-query).
+func KindFromServiceType(name string) (string, bool) {
+	n := strings.ToLower(CanonicalName(name))
+	rest, found := strings.CutSuffix(n, "._tcp."+LocalDomain)
+	if !found {
+		rest, found = strings.CutSuffix(n, "._udp."+LocalDomain)
+	}
+	if !found || !strings.HasPrefix(rest, "_") || strings.Contains(rest, ".") {
+		return "", false
+	}
+	kind := strings.TrimPrefix(rest, "_")
+	if kind == "" {
+		return "", false
+	}
+	return kind, true
+}
+
+// InstanceName renders the full service instance name:
+// ("Clock", "_clock._tcp.local.") → "Clock._clock._tcp.local.".
+func InstanceName(instance, service string) string {
+	return instance + "." + CanonicalName(service)
+}
+
+// CanonicalName normalizes a DNS name to its trailing-dot form — the
+// one name-canonicalization rule shared by this package and the INDISS
+// unit.
+func CanonicalName(name string) string {
+	if name == "" || strings.HasSuffix(name, ".") {
+		return name
+	}
+	return name + "."
+}
+
+// nameEqual compares DNS names case-insensitively, ignoring the trailing
+// dot (RFC 6762 §16: name comparison is case-insensitive).
+func nameEqual(a, b string) bool {
+	return strings.EqualFold(CanonicalName(a), CanonicalName(b))
+}

@@ -1,0 +1,56 @@
+package dnssd
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseMessage hardens the wire decoder against raw network input:
+// malformed headers, truncated records, compression-pointer loops and
+// oversized names must error, never panic or hang. Messages that do
+// parse must survive a marshal→parse round trip (the composer reuses
+// parsed records).
+func FuzzParseMessage(f *testing.F) {
+	f.Add((&Message{Questions: []Question{{Name: "_clock._tcp.local.", Type: TypePTR}}}).Marshal())
+	f.Add((&Message{
+		Response:      true,
+		Authoritative: true,
+		Answers: []Record{{
+			Name: "_clock._tcp.local.", Type: TypePTR, TTL: 120,
+			Target: "Clock._clock._tcp.local.",
+		}},
+		Additional: []Record{
+			{Name: "Clock._clock._tcp.local.", Type: TypeSRV, TTL: 120, Port: 9000, Target: "h.local."},
+			{Name: "Clock._clock._tcp.local.", Type: TypeTXT, TTL: 120, Text: []string{"url=dnssd://10.0.0.2:9000"}},
+			{Name: "h.local.", Type: TypeA, TTL: 120, IP: "10.0.0.2"},
+		},
+	}).Marshal())
+	// A compressed message (pointer into the question name).
+	f.Add([]byte{
+		0, 0, 0x84, 0, 0, 1, 0, 1, 0, 0, 0, 0,
+		6, '_', 'c', 'l', 'o', 'c', 'k', 4, '_', 't', 'c', 'p', 5, 'l', 'o', 'c', 'a', 'l', 0,
+		0, 12, 0, 1,
+		0xC0, 12, 0, 12, 0, 1, 0, 0, 0, 120, 0, 2, 0xC0, 12,
+	})
+	f.Add([]byte{0xC0, 0x0C})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Whatever parsed must re-encode and re-parse: the unit composes
+		// responses from parsed records.
+		again, err := Parse(msg.Marshal())
+		if err != nil {
+			t.Fatalf("re-parse of marshalled message failed: %v", err)
+		}
+		if len(again.Questions) != len(msg.Questions) ||
+			len(again.Answers) != len(msg.Answers) {
+			t.Fatalf("round trip changed section sizes: %+v vs %+v", msg, again)
+		}
+		// Instance assembly over arbitrary parsed records must not panic.
+		_ = InstancesFromMessage(msg)
+		_ = bytes.Equal(data, nil)
+	})
+}

@@ -1,0 +1,503 @@
+package dnssd
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// DNS record types service discovery uses (RFC 1035 §3.2.2, RFC 2782).
+const (
+	// TypeA is an IPv4 host address record.
+	TypeA uint16 = 1
+	// TypePTR is a pointer record: service type → instance name.
+	TypePTR uint16 = 12
+	// TypeTXT carries the instance's "key=value" metadata strings.
+	TypeTXT uint16 = 16
+	// TypeSRV locates the instance's host and port.
+	TypeSRV uint16 = 33
+	// TypeANY matches every record type in a question.
+	TypeANY uint16 = 255
+)
+
+// ClassIN is the Internet class; the only one mDNS uses.
+const ClassIN uint16 = 1
+
+// mDNS steals the class field's top bit: on questions it requests a
+// unicast response (RFC 6762 §5.4), on records it signals cache-flush
+// (§10.2). classMask recovers the real class.
+const (
+	classUnicastResponse = 0x8000
+	classCacheFlush      = 0x8000
+	classMask            = 0x7FFF
+)
+
+// Wire limits (RFC 1035 §2.3.4) — the decoder enforces them so malformed
+// or hostile datagrams cannot drive unbounded work.
+const (
+	maxLabelLen   = 63
+	maxNameLen    = 255
+	maxPtrJumps   = 32  // far above any legal compression chain
+	maxRecords    = 256 // per section; a 9000-byte datagram fits fewer
+	headerLen     = 12
+	minQuestion   = 5  // 1-byte root name + type + class
+	minRecordLen  = 11 // 1-byte root name + type + class + ttl + rdlength
+	flagsResponse = 0x8000
+	flagsAA       = 0x0400
+	opcodeMask    = 0x7800
+	rcodeMask     = 0x000F
+)
+
+// ErrNotDNS reports a datagram that is not a well-formed DNS message.
+var ErrNotDNS = errors.New("dnssd: not a dns message")
+
+// MaxAnswerInstances bounds how many instances one composed response may
+// carry: each instance adds 1 answer and 3 additionals, so 60 keeps
+// every section below the decoder's per-section record cap — a message
+// a Responder or the INDISS unit composes must never be one its peers
+// reject whole.
+const MaxAnswerInstances = 60
+
+// Question is one entry of the question section.
+type Question struct {
+	// Name is the queried name, trailing-dot form.
+	Name string
+	// Type is the queried record type.
+	Type uint16
+	// UnicastResponse is the mDNS QU bit: the querier asks for a
+	// unicast answer.
+	UnicastResponse bool
+}
+
+// Record is one resource record. Typed fields are decoded per Type; Data
+// keeps the raw RDATA for types the codec does not model.
+type Record struct {
+	// Name the record is about.
+	Name string
+	// Type is the record type (TypeA, TypePTR, TypeTXT, TypeSRV, …).
+	Type uint16
+	// TTL is the record lifetime in seconds; 0 is an mDNS goodbye.
+	TTL uint32
+	// CacheFlush is the mDNS unique-record bit.
+	CacheFlush bool
+
+	// Target is the PTR target or SRV target host, trailing-dot form.
+	Target string
+	// Priority, Weight and Port are the SRV fields.
+	Priority, Weight, Port uint16
+	// Text holds the TXT record's strings.
+	Text []string
+	// IP is the A record's dotted-quad address.
+	IP string
+	// Data is the raw RDATA of unmodeled record types.
+	Data []byte
+}
+
+// Message is one DNS message: header plus the four sections.
+type Message struct {
+	// ID is the transaction id; mDNS multicast messages use 0.
+	ID uint16
+	// Response distinguishes answers (QR=1) from queries.
+	Response bool
+	// Authoritative is the AA bit; mDNS responses always set it.
+	Authoritative bool
+
+	Questions  []Question
+	Answers    []Record
+	Authority  []Record
+	Additional []Record
+}
+
+// --- marshalling (AppendTo style; see PERF.md for the discipline) ---
+
+// Marshal renders the message into a fresh buffer.
+func (m *Message) Marshal() []byte {
+	return m.AppendTo(make([]byte, 0, m.marshalSize()))
+}
+
+// AppendTo serializes the message onto b and returns the extended slice;
+// with a pooled or preallocated buffer the hot path does not allocate.
+func (m *Message) AppendTo(b []byte) []byte {
+	var flags uint16
+	if m.Response {
+		flags |= flagsResponse
+	}
+	if m.Authoritative {
+		flags |= flagsAA
+	}
+	b = be16(b, m.ID)
+	b = be16(b, flags)
+	b = be16(b, uint16(len(m.Questions)))
+	b = be16(b, uint16(len(m.Answers)))
+	b = be16(b, uint16(len(m.Authority)))
+	b = be16(b, uint16(len(m.Additional)))
+	for i := range m.Questions {
+		q := &m.Questions[i]
+		b = appendName(b, q.Name)
+		b = be16(b, q.Type)
+		cls := ClassIN
+		if q.UnicastResponse {
+			cls |= classUnicastResponse
+		}
+		b = be16(b, cls)
+	}
+	for _, sec := range [][]Record{m.Answers, m.Authority, m.Additional} {
+		for i := range sec {
+			b = appendRecord(b, &sec[i])
+		}
+	}
+	return b
+}
+
+// marshalSize is a close upper bound on the encoded size, so Marshal
+// allocates exactly once.
+func (m *Message) marshalSize() int {
+	n := headerLen
+	for i := range m.Questions {
+		n += len(m.Questions[i].Name) + 6
+	}
+	for _, sec := range [][]Record{m.Answers, m.Authority, m.Additional} {
+		for i := range sec {
+			r := &sec[i]
+			n += len(r.Name) + 12 + len(r.Target) + 2 + len(r.Data) + 6
+			for _, s := range r.Text {
+				n += len(s) + 1
+			}
+		}
+	}
+	return n
+}
+
+func appendRecord(b []byte, r *Record) []byte {
+	b = appendName(b, r.Name)
+	b = be16(b, r.Type)
+	cls := ClassIN
+	if r.CacheFlush {
+		cls |= classCacheFlush
+	}
+	b = be16(b, cls)
+	b = append(b, byte(r.TTL>>24), byte(r.TTL>>16), byte(r.TTL>>8), byte(r.TTL))
+
+	// Reserve RDLENGTH, append RDATA, backfill.
+	lenAt := len(b)
+	b = append(b, 0, 0)
+	switch r.Type {
+	case TypeA:
+		b = appendIPv4(b, r.IP)
+	case TypePTR:
+		b = appendName(b, r.Target)
+	case TypeSRV:
+		b = be16(b, r.Priority)
+		b = be16(b, r.Weight)
+		b = be16(b, r.Port)
+		b = appendName(b, r.Target)
+	case TypeTXT:
+		for _, s := range r.Text {
+			if len(s) > 255 {
+				// A TXT string cannot exceed its length octet; dropping
+				// the pair degrades (metadata absent), truncating would
+				// corrupt it (e.g. a bridged url= endpoint cut short).
+				continue
+			}
+			b = append(b, byte(len(s)))
+			b = append(b, s...)
+		}
+	default:
+		b = append(b, r.Data...)
+	}
+	rdlen := len(b) - lenAt - 2
+	b[lenAt] = byte(rdlen >> 8)
+	b[lenAt+1] = byte(rdlen)
+	return b
+}
+
+// appendName encodes a dotted name as DNS labels (no compression:
+// composed messages are small and compression would cost the hot path a
+// name-offset table). Oversized labels are clamped so the encoder cannot
+// emit a pointer byte by accident.
+func appendName(b []byte, name string) []byte {
+	start := len(b)
+	for len(name) > 0 {
+		label, rest, _ := strings.Cut(name, ".")
+		name = rest
+		if label == "" {
+			continue
+		}
+		if len(label) > maxLabelLen {
+			label = label[:maxLabelLen]
+		}
+		if len(b)-start+len(label)+2 > maxNameLen {
+			break
+		}
+		b = append(b, byte(len(label)))
+		b = append(b, label...)
+	}
+	return append(b, 0)
+}
+
+func be16(b []byte, v uint16) []byte {
+	return append(b, byte(v>>8), byte(v))
+}
+
+// appendIPv4 encodes a dotted-quad string as 4 RDATA bytes; malformed
+// addresses encode as 0.0.0.0.
+func appendIPv4(b []byte, ip string) []byte {
+	var quad [4]byte
+	rest := ip
+	for i := 0; i < 4; i++ {
+		part, r, _ := strings.Cut(rest, ".")
+		rest = r
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 0 || n > 255 {
+			return append(b, 0, 0, 0, 0)
+		}
+		quad[i] = byte(n)
+	}
+	return append(b, quad[:]...)
+}
+
+func ipv4String(b []byte) string {
+	var buf [15]byte
+	out := buf[:0]
+	for i := 0; i < 4; i++ {
+		if i > 0 {
+			out = append(out, '.')
+		}
+		out = strconv.AppendUint(out, uint64(b[i]), 10)
+	}
+	return string(out)
+}
+
+// --- parsing ---
+
+// Parse decodes a DNS datagram. It is hardened against malformed input:
+// truncated sections, compression-pointer loops and oversized names
+// return ErrNotDNS-wrapped errors, never panic — the monitor feeds this
+// raw network data.
+func Parse(data []byte) (*Message, error) {
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("%w: %d-byte message", ErrNotDNS, len(data))
+	}
+	flags := u16(data, 2)
+	if flags&opcodeMask != 0 || flags&rcodeMask != 0 {
+		return nil, fmt.Errorf("%w: opcode/rcode %#x", ErrNotDNS, flags)
+	}
+	qd, an := int(u16(data, 4)), int(u16(data, 6))
+	ns, ar := int(u16(data, 8)), int(u16(data, 10))
+	if qd > maxRecords || an > maxRecords || ns > maxRecords || ar > maxRecords {
+		return nil, fmt.Errorf("%w: section counts %d/%d/%d/%d", ErrNotDNS, qd, an, ns, ar)
+	}
+	// Every entry has a minimum wire size; reject counts the datagram
+	// cannot possibly hold before allocating section slices for them.
+	if qd*minQuestion+(an+ns+ar)*minRecordLen > len(data)-headerLen {
+		return nil, fmt.Errorf("%w: counts exceed message size", ErrNotDNS)
+	}
+
+	m := &Message{
+		ID:            u16(data, 0),
+		Response:      flags&flagsResponse != 0,
+		Authoritative: flags&flagsAA != 0,
+	}
+	off := headerLen
+	var err error
+	if qd > 0 {
+		m.Questions = make([]Question, 0, qd)
+		for i := 0; i < qd; i++ {
+			var q Question
+			q, off, err = parseQuestion(data, off)
+			if err != nil {
+				return nil, err
+			}
+			m.Questions = append(m.Questions, q)
+		}
+	}
+	if m.Answers, off, err = parseSection(data, off, an); err != nil {
+		return nil, err
+	}
+	if m.Authority, off, err = parseSection(data, off, ns); err != nil {
+		return nil, err
+	}
+	if m.Additional, _, err = parseSection(data, off, ar); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func parseSection(data []byte, off, count int) ([]Record, int, error) {
+	if count == 0 {
+		return nil, off, nil
+	}
+	out := make([]Record, 0, count)
+	var err error
+	for i := 0; i < count; i++ {
+		var r Record
+		r, off, err = parseRecord(data, off)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, r)
+	}
+	return out, off, nil
+}
+
+func parseQuestion(data []byte, off int) (Question, int, error) {
+	name, off, err := parseNameAt(data, off)
+	if err != nil {
+		return Question{}, 0, err
+	}
+	if off+4 > len(data) {
+		return Question{}, 0, fmt.Errorf("%w: truncated question", ErrNotDNS)
+	}
+	typ, cls := u16(data, off), u16(data, off+2)
+	if cls&classMask != ClassIN {
+		return Question{}, 0, fmt.Errorf("%w: question class %d", ErrNotDNS, cls&classMask)
+	}
+	return Question{
+		Name:            name,
+		Type:            typ,
+		UnicastResponse: cls&classUnicastResponse != 0,
+	}, off + 4, nil
+}
+
+func parseRecord(data []byte, off int) (Record, int, error) {
+	name, off, err := parseNameAt(data, off)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	if off+10 > len(data) {
+		return Record{}, 0, fmt.Errorf("%w: truncated record header", ErrNotDNS)
+	}
+	r := Record{
+		Name:       name,
+		Type:       u16(data, off),
+		CacheFlush: u16(data, off+2)&classCacheFlush != 0,
+		TTL: uint32(data[off+4])<<24 | uint32(data[off+5])<<16 |
+			uint32(data[off+6])<<8 | uint32(data[off+7]),
+	}
+	if cls := u16(data, off+2) & classMask; cls != ClassIN {
+		return Record{}, 0, fmt.Errorf("%w: record class %d", ErrNotDNS, cls)
+	}
+	rdlen := int(u16(data, off+8))
+	rdStart := off + 10
+	rdEnd := rdStart + rdlen
+	if rdEnd > len(data) {
+		return Record{}, 0, fmt.Errorf("%w: truncated rdata (%d bytes past end)", ErrNotDNS, rdEnd-len(data))
+	}
+	switch r.Type {
+	case TypeA:
+		if rdlen != 4 {
+			return Record{}, 0, fmt.Errorf("%w: A rdata length %d", ErrNotDNS, rdlen)
+		}
+		r.IP = ipv4String(data[rdStart:rdEnd])
+	case TypePTR:
+		// Compression pointers may reference earlier message bytes, so
+		// names inside RDATA parse against the whole message — but must
+		// consume exactly the RDATA.
+		target, end, err := parseNameAt(data, rdStart)
+		if err != nil {
+			return Record{}, 0, err
+		}
+		if end != rdEnd {
+			return Record{}, 0, fmt.Errorf("%w: PTR rdata length mismatch", ErrNotDNS)
+		}
+		r.Target = target
+	case TypeSRV:
+		if rdlen < 7 {
+			return Record{}, 0, fmt.Errorf("%w: SRV rdata length %d", ErrNotDNS, rdlen)
+		}
+		r.Priority = u16(data, rdStart)
+		r.Weight = u16(data, rdStart+2)
+		r.Port = u16(data, rdStart+4)
+		target, end, err := parseNameAt(data, rdStart+6)
+		if err != nil {
+			return Record{}, 0, err
+		}
+		if end != rdEnd {
+			return Record{}, 0, fmt.Errorf("%w: SRV rdata length mismatch", ErrNotDNS)
+		}
+		r.Target = target
+	case TypeTXT:
+		for p := rdStart; p < rdEnd; {
+			n := int(data[p])
+			p++
+			if p+n > rdEnd {
+				return Record{}, 0, fmt.Errorf("%w: truncated TXT string", ErrNotDNS)
+			}
+			r.Text = append(r.Text, string(data[p:p+n]))
+			p += n
+		}
+	default:
+		r.Data = append([]byte(nil), data[rdStart:rdEnd]...)
+	}
+	return r, rdEnd, nil
+}
+
+// parseNameAt decodes a possibly-compressed name starting at off and
+// returns it in trailing-dot form plus the offset just past the name at
+// its original location. Compression pointers must point strictly
+// backwards (they reference a prior occurrence by construction), which
+// bounds the walk and defeats pointer loops.
+func parseNameAt(data []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	sb.Grow(64) // one allocation covers typical service names
+	pos := off
+	end := -1 // offset after the name at its original location
+	jumps := 0
+	for {
+		if pos >= len(data) {
+			return "", 0, fmt.Errorf("%w: name runs past message end", ErrNotDNS)
+		}
+		b := data[pos]
+		switch {
+		case b == 0:
+			if end < 0 {
+				end = pos + 1
+			}
+			if sb.Len() == 0 {
+				return ".", end, nil // root name
+			}
+			return sb.String(), end, nil
+		case b&0xC0 == 0xC0:
+			if pos+1 >= len(data) {
+				return "", 0, fmt.Errorf("%w: truncated compression pointer", ErrNotDNS)
+			}
+			target := int(b&0x3F)<<8 | int(data[pos+1])
+			if target >= pos {
+				return "", 0, fmt.Errorf("%w: forward compression pointer", ErrNotDNS)
+			}
+			if jumps++; jumps > maxPtrJumps {
+				return "", 0, fmt.Errorf("%w: compression chain too long", ErrNotDNS)
+			}
+			if end < 0 {
+				end = pos + 2
+			}
+			pos = target
+		case b&0xC0 != 0:
+			return "", 0, fmt.Errorf("%w: reserved label type %#x", ErrNotDNS, b&0xC0)
+		default:
+			n := int(b)
+			if pos+1+n > len(data) {
+				return "", 0, fmt.Errorf("%w: truncated label", ErrNotDNS)
+			}
+			if sb.Len()+n+1 > maxNameLen {
+				return "", 0, fmt.Errorf("%w: name exceeds %d bytes", ErrNotDNS, maxNameLen)
+			}
+			label := data[pos+1 : pos+1+n]
+			for _, c := range label {
+				if c == '.' {
+					// Dots inside labels would re-encode as label
+					// separators; reject rather than alias names.
+					return "", 0, fmt.Errorf("%w: dot inside label", ErrNotDNS)
+				}
+			}
+			sb.Write(label)
+			sb.WriteByte('.')
+			pos += 1 + n
+		}
+	}
+}
+
+func u16(b []byte, off int) uint16 {
+	return uint16(b[off])<<8 | uint16(b[off+1])
+}

@@ -10,7 +10,7 @@
 //
 //   - The mandatory set Σm — the greatest common denominator of all SDPs.
 //     Every parser must emit them, every composer must understand them.
-//   - SDP-specific events (SLP, UPnP, Jini) — "events added to the
+//   - SDP-specific events (SLP, UPnP, Jini, DNS-SD) — "events added to the
 //     mandatory ones enable the richest SDPs to interact using their
 //     advanced features without being misunderstood by the poorest",
 //     because unknown events are simply discarded.
@@ -118,6 +118,12 @@ const (
 	JiniServiceID // SDP_JINI_SERVICE_ID: 128-bit Jini service id
 	JiniLocator   // SDP_JINI_LOCATOR: unicast lookup locator "host:port"
 
+	// DNS-SD-specific — added with the DNS-SD unit exactly as §2.3
+	// prescribes: a richer SDP enriches the vocabulary without being
+	// misunderstood by the poorer ones, which discard unknown events.
+	DNSSDInstance // SDP_DNSSD_INSTANCE: service instance name
+	DNSSDHost     // SDP_DNSSD_HOST: mDNS target host name
+
 	// --- Open extension sets (paper §2.3) ---
 
 	// Registration events enrich both requests and responses.
@@ -188,6 +194,9 @@ var typeTable = map[Type]typeInfo{
 	JiniGroups:    {"SDP_JINI_GROUPS", CatRequest, false},
 	JiniServiceID: {"SDP_JINI_SERVICE_ID", CatResponse, false},
 	JiniLocator:   {"SDP_JINI_LOCATOR", CatResponse, false},
+
+	DNSSDInstance: {"SDP_DNSSD_INSTANCE", CatResponse, false},
+	DNSSDHost:     {"SDP_DNSSD_HOST", CatResponse, false},
 
 	RegURL:      {"SDP_REG_URL", CatRegistration, false},
 	RegLifetime: {"SDP_REG_LIFETIME", CatRegistration, false},

@@ -1,0 +1,56 @@
+package httpx
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseRequest hardens the request parser against raw HTTPU/HTTPMU
+// datagrams: malformed heads, truncated bodies and oversized fields must
+// error, never panic. Whatever parses must survive a marshal→parse round
+// trip, since the transport re-serializes parsed messages.
+func FuzzParseRequest(f *testing.F) {
+	f.Add([]byte("M-SEARCH * HTTP/1.1\r\nHOST: 239.255.255.250:1900\r\nMAN: \"ssdp:discover\"\r\nMX: 0\r\nST: ssdp:all\r\n\r\n"))
+	f.Add([]byte("NOTIFY * HTTP/1.1\r\nNT: upnp:rootdevice\r\nNTS: ssdp:alive\r\nUSN: uuid:x\r\n\r\n"))
+	f.Add([]byte("GET /description.xml HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc"))
+	f.Add([]byte("GET / HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort"))
+	f.Add([]byte("X\r\n\r\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseRequest(data)
+		if err != nil {
+			return
+		}
+		again, err := ParseRequest(req.Marshal())
+		if err != nil {
+			t.Fatalf("re-parse of marshalled request failed: %v\noriginal: %q", err, data)
+		}
+		if again.Method != req.Method || again.Target != req.Target {
+			t.Fatalf("round trip changed request line: %q %q vs %q %q",
+				req.Method, req.Target, again.Method, again.Target)
+		}
+	})
+}
+
+// FuzzParseResponse is the response-side twin of FuzzParseRequest.
+func FuzzParseResponse(f *testing.F) {
+	f.Add([]byte("HTTP/1.1 200 OK\r\nST: ssdp:all\r\nUSN: uuid:x\r\nLOCATION: http://10.0.0.2:4004/d.xml\r\n\r\n"))
+	f.Add([]byte("HTTP/1.1 404 Not Found\r\n\r\n"))
+	f.Add([]byte("HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello"))
+	f.Add([]byte("HTTP/1.1 99999999999999999999 X\r\n\r\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := ParseResponse(data)
+		if err != nil {
+			return
+		}
+		again, err := ParseResponse(resp.Marshal())
+		if err != nil {
+			t.Fatalf("re-parse of marshalled response failed: %v\noriginal: %q", err, data)
+		}
+		if again.StatusCode != resp.StatusCode {
+			t.Fatalf("round trip changed status: %d vs %d", resp.StatusCode, again.StatusCode)
+		}
+		_ = strings.TrimSpace(again.Status)
+	})
+}

@@ -296,11 +296,12 @@ func parseFields(block string) (Header, error) {
 			continue
 		}
 		name, value, ok := strings.Cut(line, ":")
+		name = strings.TrimSpace(name)
 		if !ok || name == "" {
 			return Header{}, fmt.Errorf("%w: header line %q", ErrMalformed, line)
 		}
 		fields = append(fields, Field{
-			Name:  strings.TrimSpace(name),
+			Name:  name,
 			Value: strings.TrimSpace(value),
 		})
 	}

@@ -74,11 +74,13 @@ func DefaultGroups() []Group {
 		{Name: "SLP Unit", Paths: []string{"internal/units/slpunit.go"}},
 		{Name: "UPnP Unit", Paths: []string{"internal/units/upnpunit.go"}},
 		{Name: "Jini Unit", Paths: []string{"internal/units/jiniunit.go"}},
+		{Name: "DNS-SD Unit", Paths: []string{"internal/units/dnssdunit.go"}},
 		{Name: "SLP stack (OpenSLP equivalent)", Paths: []string{"internal/slp"}},
 		{Name: "UPnP stack (CyberLink equivalent)", Paths: []string{
 			"internal/upnp", "internal/ssdp", "internal/httpx", "internal/xmlx",
 		}},
 		{Name: "Jini stack (simulated)", Paths: []string{"internal/jini"}},
+		{Name: "DNS-SD stack (mDNS responder/querier)", Paths: []string{"internal/dnssd"}},
 		{Name: "Testbed (simnet, not shipped)", Paths: []string{"internal/simnet"}},
 	}
 }

@@ -150,6 +150,21 @@ func (b *base) takePending(reqID string) (*pending, bool) {
 	return p, true
 }
 
+// peekPending reads the pending entry without consuming it — for
+// protocols like mDNS where every response stream composes its own
+// native answer message instead of first-wins. The entry stays
+// answerable until it expires.
+func (b *base) peekPending(reqID string) (*pending, bool) {
+	now := time.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p, ok := b.pendings[reqID]
+	if !ok || !p.expires.After(now) {
+		return nil, false
+	}
+	return p, true
+}
+
 // publish hands a pooled stream to the bus under the unit's name. The
 // stream must come from the builders below (or events.AcquireStream);
 // ownership transfers to the bus, which recycles the storage after every
@@ -373,4 +388,15 @@ func ttlSeconds(expires time.Time) int {
 // originOf extracts the stream's origin SDP.
 func originOf(s events.Stream) core.SDP {
 	return core.SDP(s.FirstData(events.NetType))
+}
+
+// fnv32a is the 32-bit FNV-1a hash the units derive stable ids from
+// (SLP XIDs, DNS-SD bridge labels).
+func fnv32a(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
 }

@@ -1,5 +1,7 @@
-// Package units implements the three concrete INDISS protocol units of
-// the paper's prototype and Figure 5 configuration: SLP, UPnP and Jini.
+// Package units implements the concrete INDISS protocol units: the
+// paper's prototype trio (SLP, UPnP, Jini — Figure 5's configuration)
+// plus DNS-SD/mDNS, the fourth unit that exercises the paper's claim
+// that a new SDP costs exactly one parser/composer pair.
 //
 // Each unit couples a parser (native messages → semantic event streams)
 // and a composer (event streams → native messages) under a deterministic
@@ -11,6 +13,7 @@ package units
 import (
 	"strings"
 
+	"indiss/internal/dnssd"
 	"indiss/internal/upnp"
 )
 
@@ -18,10 +21,11 @@ import (
 // SDP_SERVICE_TYPE ("clock", "printer", …). Each unit maps between its
 // native naming scheme and the canonical kind:
 //
-//	SLP:  service:clock                         ↔ clock
-//	UPnP: urn:schemas-upnp-org:device:clock:1   ↔ clock
-//	Jini: org.indiss.clock.Service              ↔ clock (bridge-composed)
-//	      net.jini.clock.Clock                  → clock (native, derived)
+//	SLP:    service:clock                         ↔ clock
+//	UPnP:   urn:schemas-upnp-org:device:clock:1   ↔ clock
+//	Jini:   org.indiss.clock.Service              ↔ clock (bridge-composed)
+//	        net.jini.clock.Clock                  → clock (native, derived)
+//	DNS-SD: _clock._tcp.local.                    ↔ clock
 
 // kindFromSLPType maps an SLP service type to a canonical kind.
 // "service:printer:lpr" keeps its concrete subtype: "printer:lpr".
@@ -96,4 +100,38 @@ func jiniTypeFromKind(kind string) string {
 	}
 	base, _, _ := strings.Cut(kind, ":")
 	return "org.indiss." + base + ".Service"
+}
+
+// kindFromDNSSDType maps a DNS-SD service type name to a canonical kind.
+// Non-service names (instance names, the meta-query, host names) have no
+// kind.
+func kindFromDNSSDType(name string) string {
+	kind, ok := dnssd.KindFromServiceType(name)
+	if !ok {
+		return ""
+	}
+	return kind
+}
+
+// dnssdTypeFromKind maps a canonical kind to the DNS-SD service type to
+// browse. Concrete SLP subtypes ("printer:lpr") use the abstract part,
+// as with UPnP URNs. The empty kind has no single type — callers browse
+// via the meta-query instead.
+func dnssdTypeFromKind(kind string) string {
+	if kind == "" {
+		return ""
+	}
+	base, _, _ := strings.Cut(kind, ":")
+	return dnssd.ServiceType(base)
+}
+
+// dnssdUDPTypeFromKind is the "_kind._udp.local." sibling of
+// dnssdTypeFromKind, for services registered under the UDP transport
+// label.
+func dnssdUDPTypeFromKind(kind string) string {
+	if kind == "" {
+		return ""
+	}
+	base, _, _ := strings.Cut(kind, ":")
+	return dnssd.ServiceTypeFor(base, "udp")
 }

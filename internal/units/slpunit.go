@@ -455,12 +455,7 @@ func joinComma(list []string) string {
 
 // xidFrom derives a stable SLP XID from a request id string.
 func xidFrom(reqID string) uint16 {
-	var h uint32 = 2166136261
-	for i := 0; i < len(reqID); i++ {
-		h ^= uint32(reqID[i])
-		h *= 16777619
-	}
-	x := uint16(h)
+	x := uint16(fnv32a(reqID))
 	if x == 0 {
 		x = 1
 	}

@@ -21,6 +21,7 @@ func registry() *core.Registry {
 	r.Register(core.SDPSLP, func() core.Unit { return NewSLPUnit(SLPUnitConfig{}) })
 	r.Register(core.SDPUPnP, func() core.Unit { return NewUPnPUnit(UPnPUnitConfig{}) })
 	r.Register(core.SDPJini, func() core.Unit { return NewJiniUnit(JiniUnitConfig{}) })
+	r.Register(core.SDPDNSSD, func() core.Unit { return NewDNSSDUnit(DNSSDUnitConfig{}) })
 	return r
 }
 
@@ -488,6 +489,12 @@ func TestNamingMappings(t *testing.T) {
 		{jiniTypeFromKind, "clock", "org.indiss.clock.Service"},
 		{jiniTypeFromKind, "printer:lpr", "org.indiss.printer.Service"},
 		{jiniTypeFromKind, "", ""},
+		{kindFromDNSSDType, "_clock._tcp.local.", "clock"},
+		{kindFromDNSSDType, "Clock._clock._tcp.local.", ""},
+		{kindFromDNSSDType, "_services._dns-sd._udp.local.", ""},
+		{dnssdTypeFromKind, "clock", "_clock._tcp.local."},
+		{dnssdTypeFromKind, "printer:lpr", "_printer._tcp.local."},
+		{dnssdTypeFromKind, "", ""},
 	}
 	for _, tt := range tests {
 		if got := tt.fn(tt.in); got != tt.want {
@@ -506,6 +513,9 @@ func TestKindRoundTrips(t *testing.T) {
 		}
 		if got := kindFromJiniType(jiniTypeFromKind(kind)); got != kind {
 			t.Errorf("Jini round trip %q → %q", kind, got)
+		}
+		if got := kindFromDNSSDType(dnssdTypeFromKind(kind)); got != kind {
+			t.Errorf("DNS-SD round trip %q → %q", kind, got)
 		}
 	}
 }
