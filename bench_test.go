@@ -15,6 +15,7 @@ import (
 	"indiss/internal/core"
 	"indiss/internal/dnssd"
 	"indiss/internal/events"
+	"indiss/internal/federation"
 	"indiss/internal/fsm"
 	"indiss/internal/httpx"
 	"indiss/internal/simnet"
@@ -710,4 +711,159 @@ func BenchmarkHTTPXRoundTripParallel(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- Federation: the multi-segment scale-out ---
+
+// benchCampusChain builds an n-segment campus with one federation
+// endpoint (view only, no full INDISS stack) per segment, chain-peered,
+// and returns the views origin-first.
+func benchCampusChain(b *testing.B, n int) []*core.ServiceView {
+	b.Helper()
+	net := indiss.NewCampus(n)
+	b.Cleanup(net.Close)
+	views := make([]*core.ServiceView, n)
+	endpoints := make([]*federation.Endpoint, n)
+	for i := 0; i < n; i++ {
+		views[i] = core.NewServiceView()
+		cfg := federation.Config{
+			GatewayID:           "gw" + strconv.Itoa(i+1),
+			AntiEntropyInterval: time.Second,
+		}
+		if i > 0 {
+			cfg.Peers = []simnet.Addr{{IP: benchGWIP(i), Port: federation.DefaultPort}}
+		}
+		ep, err := federation.New(
+			net.MustAddHostOn("gw"+strconv.Itoa(i+1), benchGWIP(i+1), indiss.CampusSegment(i+1)),
+			views[i], cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		endpoints[i] = ep
+	}
+	b.Cleanup(func() {
+		for _, ep := range endpoints {
+			ep.Close()
+		}
+	})
+	return views
+}
+
+func benchGWIP(i int) string { return "10.0." + strconv.Itoa(i) + ".9" }
+
+// BenchmarkFederationConvergence measures how long one new record takes
+// to cross a chain of federated gateways — per-record propagation
+// latency vs. gateway count (ns/op ≈ end-to-end convergence time).
+func BenchmarkFederationConvergence(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run("gateways="+strconv.Itoa(n), func(b *testing.B) {
+			views := benchCampusChain(b, n)
+			last := views[n-1]
+			deltas, cancel := last.SubscribeDeltas(4096)
+			b.Cleanup(cancel)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				url := "bench://rec-" + strconv.Itoa(i)
+				views[0].Put(core.ServiceRecord{
+					Origin:  core.SDPUPnP,
+					Kind:    "bench",
+					URL:     url,
+					Attrs:   map[string]string{},
+					Expires: time.Now().Add(time.Hour),
+				})
+				for d := range deltas {
+					if d.Op == core.DeltaPut && d.Record.URL == url {
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFederationDeltaThroughput pushes b.N records through the
+// federation as fast as the origin can produce them and waits for the
+// far gateway to hold them all — pipeline throughput vs. gateway count.
+func BenchmarkFederationDeltaThroughput(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run("gateways="+strconv.Itoa(n), func(b *testing.B) {
+			views := benchCampusChain(b, n)
+			last := views[n-1]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				views[0].Put(core.ServiceRecord{
+					Origin:  core.SDPUPnP,
+					Kind:    "bench",
+					URL:     "bench://rec-" + strconv.Itoa(i),
+					Attrs:   map[string]string{},
+					Expires: time.Now().Add(time.Hour),
+				})
+			}
+			deadline := time.Now().Add(time.Minute)
+			for last.Len() < b.N {
+				if time.Now().After(deadline) {
+					b.Fatalf("far gateway converged to %d/%d records", last.Len(), b.N)
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		})
+	}
+}
+
+// BenchmarkFederationCrossSegmentDiscovery is the headline number: an
+// unmodified SLP client on segment 1 discovering a UPnP clock device on
+// segment 3 through the full federated stack (three gateways, chain
+// peering, warm views — the Figure 9b best case, now across two routed
+// hops).
+func BenchmarkFederationCrossSegmentDiscovery(b *testing.B) {
+	net := indiss.NewCampus(3)
+	defer net.Close()
+	clientHost := net.MustAddHostOn("client", "10.0.1.1", indiss.CampusSegment(1))
+	clockHost := net.MustAddHostOn("clock", "10.0.3.2", indiss.CampusSegment(3))
+	var systems []*indiss.System
+	defer func() {
+		for _, s := range systems {
+			s.Close()
+		}
+	}()
+	for i := 1; i <= 3; i++ {
+		cfg := indiss.Config{
+			Role:           indiss.RoleGateway,
+			GatewayID:      "gw" + strconv.Itoa(i),
+			SDPs:           []indiss.SDP{indiss.SLP, indiss.UPnP},
+			FederationPort: indiss.FederationDefaultPort,
+		}
+		if i < 3 {
+			cfg.Peers = []string{benchGWIP(i+1) + ":" + strconv.Itoa(indiss.FederationDefaultPort)}
+		}
+		sys, err := indiss.Deploy(
+			net.MustAddHostOn("gw"+strconv.Itoa(i), benchGWIP(i), indiss.CampusSegment(i)), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		systems = append(systems, sys)
+	}
+	dev, err := upnp.NewRootDevice(clockHost, upnp.DeviceConfig{
+		Kind:     "clock",
+		Services: []upnp.ServiceConfig{{Kind: "timer"}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dev.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for len(systems[0].View().Find("clock", time.Now())) == 0 {
+		if time.Now().After(deadline) {
+			b.Fatal("federation never converged")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	ua := slp.NewUserAgent(clientHost, slp.AgentConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ua.FindFirst("service:clock", "", 2*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -3,15 +3,23 @@
 // on a simulated LAN, and clients of each protocol discover services of
 // the other protocols through the gateway.
 //
+// With -segments N (N ≥ 2) the scenario becomes a routed campus: the
+// client keeps its protocols on segment 1, the services move to segment
+// N, and one federated INDISS gateway per segment syncs discovery
+// knowledge across the segment boundaries multicast cannot cross. The
+// gateways peer in a chain by default; -peer overrides the first
+// gateway's dial list ("ip:port", repeatable).
+//
 // An optional Figure 5a specification file configures the gateway:
 //
-//	indiss-gw [-spec FILE] [-duration 3s]
+//	indiss-gw [-spec FILE] [-duration 3s] [-segments N] [-peer ip:port]...
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"indiss"
@@ -20,17 +28,30 @@ import (
 	"indiss/internal/upnp"
 )
 
+// peerList is a repeatable -peer flag.
+type peerList []string
+
+func (p *peerList) String() string { return strings.Join(*p, ",") }
+
+func (p *peerList) Set(v string) error {
+	*p = append(*p, v)
+	return nil
+}
+
 func main() {
 	specFile := flag.String("spec", "", "Figure 5a system specification file")
 	duration := flag.Duration("duration", 3*time.Second, "how long to run the scenario")
+	segments := flag.Int("segments", 1, "number of routed segments (1 = the classic single LAN)")
+	var peers peerList
+	flag.Var(&peers, "peer", "federation peer for the first gateway (ip:port, repeatable)")
 	flag.Parse()
-	if err := run(*specFile, *duration); err != nil {
+	if err := run(*specFile, *duration, *segments, peers); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(specFile string, duration time.Duration) error {
+func run(specFile string, duration time.Duration, segments int, peers []string) error {
 	spec := ""
 	if specFile != "" {
 		data, err := os.ReadFile(specFile)
@@ -39,7 +60,93 @@ func run(specFile string, duration time.Duration) error {
 		}
 		spec = string(data)
 	}
+	if segments < 1 {
+		return fmt.Errorf("indiss-gw: -segments must be >= 1")
+	}
+	if segments == 1 {
+		return runSingleLAN(spec, duration)
+	}
+	return runCampus(spec, duration, segments, peers)
+}
 
+// gwIP returns the i-th (1-based) gateway's address.
+func gwIP(i int) string { return fmt.Sprintf("10.0.%d.9", i) }
+
+// runCampus is the multi-segment scenario: services on the last segment,
+// clients on the first, a federated gateway on every segment.
+func runCampus(spec string, duration time.Duration, segments int, peers []string) error {
+	net := indiss.NewCampus(segments)
+	defer net.Close()
+
+	clientHost := net.MustAddHostOn("client", "10.0.1.1", indiss.CampusSegment(1))
+	last := indiss.CampusSegment(segments)
+	clockHost := net.MustAddHostOn("clock", fmt.Sprintf("10.0.%d.2", segments), last)
+	printerHost := net.MustAddHostOn("printer", fmt.Sprintf("10.0.%d.3", segments), last)
+
+	var systems []*indiss.System
+	defer func() {
+		for _, s := range systems {
+			s.Close()
+		}
+	}()
+	for i := 1; i <= segments; i++ {
+		cfg := indiss.Config{
+			Role:      indiss.RoleGateway,
+			GatewayID: fmt.Sprintf("gw%d", i),
+			// Chain peering: every gateway dials its successor.
+			FederationPort: indiss.FederationDefaultPort,
+		}
+		if i == 1 {
+			cfg.Spec = spec
+			cfg.Peers = peers
+		}
+		if i < segments && len(cfg.Peers) == 0 {
+			cfg.Peers = []string{fmt.Sprintf("%s:%d", gwIP(i+1), indiss.FederationDefaultPort)}
+		}
+		host := net.MustAddHostOn(fmt.Sprintf("gw%d", i), gwIP(i), indiss.CampusSegment(i))
+		fmt.Printf("indiss-gw: deploying federated gateway %s on segment %s (peers: %v)\n",
+			host.IP(), indiss.CampusSegment(i), cfg.Peers)
+		sys, err := indiss.Deploy(host, cfg)
+		if err != nil {
+			return err
+		}
+		systems = append(systems, sys)
+	}
+
+	if err := startServices(clockHost, printerHost); err != nil {
+		return err
+	}
+
+	// Wait for the service knowledge to ripple down the gateway chain.
+	fmt.Printf("indiss-gw: waiting for federation convergence across %d segments ...\n", segments)
+	deadline := time.Now().Add(duration)
+	for {
+		recs := systems[0].View().Find("", time.Now())
+		if len(recs) >= 2 || time.Now().After(deadline) {
+			for _, rec := range recs {
+				fmt.Printf("indiss-gw:   gw1 knows %s %q via %s (%d hops)\n",
+					rec.Origin, rec.URL, orLocal(rec.OriginGW), rec.Hops)
+			}
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	runClients(clientHost, duration)
+	fmt.Printf("indiss-gw: gw1 units: %v, records: %d\n",
+		systems[0].Units(), len(systems[0].View().Find("", time.Now())))
+	return nil
+}
+
+func orLocal(gw string) string {
+	if gw == "" {
+		return "local traffic"
+	}
+	return "gateway " + gw
+}
+
+// runSingleLAN is the classic one-segment scenario.
+func runSingleLAN(spec string, duration time.Duration) error {
 	net := indiss.NewLAN()
 	defer net.Close()
 	gw := net.MustAddHost("gateway", "10.0.0.9")
@@ -58,7 +165,18 @@ func run(specFile string, duration time.Duration) error {
 	}
 	defer sys.Close()
 
-	// A UPnP clock (the paper's §2.4 device).
+	if err := startServices(clockHost, printerHost); err != nil {
+		return err
+	}
+	runClients(clientHost, duration)
+	fmt.Printf("indiss-gw: units instantiated at run time: %v\n", sys.Units())
+	fmt.Printf("indiss-gw: services in the gateway's view: %d\n", len(sys.View().Find("", time.Now())))
+	return nil
+}
+
+// startServices places the scenario's native services: a UPnP clock and
+// an SLP printer (announcing, so gateways learn passively).
+func startServices(clockHost, printerHost *indiss.Host) error {
 	clock, err := upnp.NewRootDevice(clockHost, upnp.DeviceConfig{
 		Kind:         "clock",
 		FriendlyName: "CyberGarage Clock Device",
@@ -67,19 +185,21 @@ func run(specFile string, duration time.Duration) error {
 	if err != nil {
 		return err
 	}
-	defer clock.Close()
+	_ = clock // lives until process exit; the simulation owns it
 
-	// An SLP printer.
-	printerSA, err := slp.NewServiceAgent(printerHost, slp.AgentConfig{})
+	printerSA, err := slp.NewServiceAgent(printerHost, slp.AgentConfig{
+		AnnounceInterval: 200 * time.Millisecond,
+	})
 	if err != nil {
 		return err
 	}
-	defer printerSA.Close()
-	if err := printerSA.Register("service:printer", "service:printer://10.0.0.3:515",
-		time.Hour, slp.AttrList{{Name: "location", Values: []string{"hall"}}}); err != nil {
-		return err
-	}
+	return printerSA.Register("service:printer",
+		"service:printer://"+printerHost.IP()+":515",
+		time.Hour, slp.AttrList{{Name: "location", Values: []string{"hall"}}})
+}
 
+// runClients performs one discovery per protocol from the client host.
+func runClients(clientHost *indiss.Host, duration time.Duration) {
 	fmt.Println("indiss-gw: SLP client searching for the UPnP clock ...")
 	ua := slp.NewUserAgent(clientHost, slp.AgentConfig{})
 	if urls, err := ua.FindFirst("service:clock", "", duration); err == nil {
@@ -117,8 +237,4 @@ func run(specFile string, duration time.Duration) error {
 	} else {
 		fmt.Printf("indiss-gw:   no lookup service: %v\n", err)
 	}
-
-	fmt.Printf("indiss-gw: units instantiated at run time: %v\n", sys.Units())
-	fmt.Printf("indiss-gw: services in the gateway's view: %d\n", len(sys.View().Find("", time.Now())))
-	return nil
 }

@@ -1,0 +1,119 @@
+// Federation: the paper's gateway placement, scaled out to a routed
+// campus.
+//
+// Three segments — the client's, a transit segment, and the services' —
+// are bridged by one INDISS gateway each. Multicast discovery never
+// leaves a segment; the gateways peer over unicast TCP (a cyclic ring,
+// to exercise the loop safety) and exchange ServiceView deltas. An SLP
+// client on segment 1 then discovers a UPnP clock that lives two routed
+// hops away on segment 3, and a UPnP control point finds the SLP printer
+// beside it — no application changed, exactly the paper's claim, now
+// across segment boundaries.
+//
+//	go run ./examples/federation
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"indiss"
+	"indiss/internal/slp"
+	"indiss/internal/upnp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "federation:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// The campus: three paper-grade LANs chained by 2ms routed links.
+	net := indiss.NewCampus(3)
+	defer net.Close()
+
+	clientHost := net.MustAddHostOn("client", "10.0.1.1", indiss.CampusSegment(1))
+	clockHost := net.MustAddHostOn("clock", "10.0.3.2", indiss.CampusSegment(3))
+	printerHost := net.MustAddHostOn("printer", "10.0.3.3", indiss.CampusSegment(3))
+
+	// One gateway per segment, peered in a ring: gw1→gw2, gw2→gw3,
+	// gw3→gw1. Sessions are bidirectional, so the ring is a cyclic
+	// mesh — the federation's loop-safety guards keep it duplicate-free.
+	gwIPs := []string{"10.0.1.9", "10.0.2.9", "10.0.3.9"}
+	var gws []*indiss.System
+	defer func() {
+		for _, gw := range gws {
+			gw.Close()
+		}
+	}()
+	for i, ip := range gwIPs {
+		host := net.MustAddHostOn(fmt.Sprintf("gw%d", i+1), ip, indiss.CampusSegment(i+1))
+		next := gwIPs[(i+1)%len(gwIPs)]
+		sys, err := indiss.Deploy(host, indiss.Config{
+			Role:      indiss.RoleGateway,
+			GatewayID: host.Name(),
+			Peers:     []string{fmt.Sprintf("%s:%d", next, indiss.FederationDefaultPort)},
+		})
+		if err != nil {
+			return err
+		}
+		gws = append(gws, sys)
+		fmt.Printf("federation: gateway %s up on %s, dialing %s\n",
+			host.Name(), indiss.CampusSegment(i+1), next)
+	}
+
+	// Native services on segment 3, unaware of everything above.
+	clock, err := upnp.NewRootDevice(clockHost, upnp.DeviceConfig{
+		Kind:         "clock",
+		FriendlyName: "CyberGarage Clock Device",
+		Services:     []upnp.ServiceConfig{{Kind: "timer"}},
+	})
+	if err != nil {
+		return err
+	}
+	defer clock.Close()
+	printerSA, err := slp.NewServiceAgent(printerHost, slp.AgentConfig{
+		AnnounceInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer printerSA.Close()
+	if err := printerSA.Register("service:printer", "service:printer://10.0.3.3:515",
+		time.Hour, nil); err != nil {
+		return err
+	}
+
+	// Wait until gw1 (the client's gateway) knows both remote services.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(gws[0].View().Find("", time.Now())) < 2 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("federation never converged")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, rec := range gws[0].View().Find("", time.Now()) {
+		fmt.Printf("federation: gw1 learned %s %q from gateway %s, %d hops away\n",
+			rec.Origin, rec.URL, rec.OriginGW, rec.Hops)
+	}
+
+	// The cross-segment discoveries, through unmodified native clients.
+	ua := slp.NewUserAgent(clientHost, slp.AgentConfig{})
+	urls, err := ua.FindFirst("service:clock", "", 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("SLP client: %w", err)
+	}
+	fmt.Printf("federation: SLP client on seg1 found the seg3 UPnP clock: %s\n", urls[0].URL)
+
+	cp := upnp.NewControlPoint(clientHost, upnp.ControlPointConfig{Timeout: 5 * time.Second})
+	dev, err := cp.Discover(upnp.TypeURN("printer", 1), 0)
+	if err != nil {
+		return fmt.Errorf("UPnP control point: %w", err)
+	}
+	fmt.Printf("federation: UPnP control point on seg1 found the seg3 SLP printer: %s\n",
+		dev.Desc.ModelURL)
+	return nil
+}

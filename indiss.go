@@ -23,8 +23,10 @@ package indiss
 
 import (
 	"fmt"
+	"io"
 
 	"indiss/internal/core"
+	"indiss/internal/federation"
 	"indiss/internal/simnet"
 	"indiss/internal/units"
 )
@@ -116,7 +118,24 @@ type Config struct {
 	// ScanPort and Unit declarations override SDPs and the monitor's
 	// port table.
 	Spec string
+
+	// Peers lists the "ip:port" federation endpoints of peer gateways.
+	// A non-empty list (or a non-zero FederationPort) enables the
+	// view-sync peering plane: the instance listens for peers, dials
+	// the listed ones, and exchanges ServiceView deltas so discovery
+	// knowledge crosses segment boundaries multicast cannot.
+	Peers []string
+	// GatewayID names this instance in the federation; it must be
+	// unique across peered gateways. Empty defaults to the host name.
+	GatewayID string
+	// FederationPort is the TCP port the federation endpoint listens
+	// on. Zero uses federation.DefaultPort (7741) when federation is
+	// enabled; a negative value listens on an ephemeral port.
+	FederationPort int
 }
+
+// FederationDefaultPort is the default federation listening port.
+const FederationDefaultPort = federation.DefaultPort
 
 // Registry builds the production unit registry for the given options.
 func Registry(opts UnitOptions) *core.Registry {
@@ -134,12 +153,32 @@ func Deploy(host *simnet.Host, cfg Config) (*System, error) {
 		return nil, fmt.Errorf("indiss: Config.Role is required")
 	}
 	coreCfg := core.Config{
-		Role:         cfg.Role,
-		Units:        cfg.SDPs,
-		Dynamic:      cfg.Dynamic,
-		ThresholdBps: cfg.ThresholdBps,
-		Profile:      cfg.Profile,
-		NoCache:      cfg.NoCache,
+		Role:           cfg.Role,
+		Units:          cfg.SDPs,
+		Dynamic:        cfg.Dynamic,
+		ThresholdBps:   cfg.ThresholdBps,
+		Profile:        cfg.Profile,
+		NoCache:        cfg.NoCache,
+		GatewayID:      cfg.GatewayID,
+		Peers:          cfg.Peers,
+		FederationPort: cfg.FederationPort,
+	}
+	if len(cfg.Peers) > 0 || cfg.FederationPort != 0 {
+		peers := make([]simnet.Addr, 0, len(cfg.Peers))
+		for _, p := range cfg.Peers {
+			addr, err := simnet.ParseAddr(p)
+			if err != nil {
+				return nil, fmt.Errorf("indiss: peer %q: %w", p, err)
+			}
+			peers = append(peers, addr)
+		}
+		coreCfg.Federation = func(s *core.System) (io.Closer, error) {
+			return federation.New(host, s.View(), federation.Config{
+				GatewayID:  s.GatewayID(),
+				ListenPort: cfg.FederationPort,
+				Peers:      peers,
+			})
+		}
 	}
 	if cfg.Spec != "" {
 		spec, err := core.ParseSpec(cfg.Spec)

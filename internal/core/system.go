@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"time"
@@ -40,7 +41,29 @@ type Config struct {
 	Profile TranslationProfile
 	// NoCache disables view-cache answers (see UnitContext.NoCache).
 	NoCache bool
+
+	// GatewayID names this instance in a gateway federation. Empty
+	// defaults to the host name. Only meaningful with federation
+	// enabled.
+	GatewayID string
+	// Peers lists the "ip:port" federation endpoints of peer gateways
+	// this instance dials and keeps synced with.
+	Peers []string
+	// FederationPort is the TCP port the federation endpoint listens
+	// on. Zero uses the federation package's default.
+	FederationPort int
+	// Federation builds the peering endpoint once the system is up. The
+	// hook indirection (set by the public indiss package) keeps core
+	// free of a dependency on internal/federation, which itself imports
+	// core for the view and records. Nil disables federation.
+	Federation FederationHook
 }
+
+// FederationHook constructs the view-sync peering endpoint for a running
+// system. The returned closer is shut down first on System.Close, before
+// the monitor and units, so no remote knowledge flows into a closing
+// instance.
+type FederationHook func(*System) (io.Closer, error)
 
 // ErrSystemClosed reports use of a closed system.
 var ErrSystemClosed = errors.New("core: system closed")
@@ -60,11 +83,12 @@ type System struct {
 	self    *SelfFilter
 	monitor *Monitor
 
-	mu      sync.Mutex
-	units   map[SDP]Unit
-	allowed map[SDP]struct{}
-	closed  bool
-	reAdv   bool
+	mu         sync.Mutex
+	units      map[SDP]Unit
+	allowed    map[SDP]struct{}
+	closed     bool
+	reAdv      bool
+	federation io.Closer
 
 	sem  chan struct{}
 	stop chan struct{}
@@ -122,8 +146,30 @@ func NewSystem(host *simnet.Host, registry *Registry, cfg Config) (*System, erro
 			s.policyLoop()
 		}()
 	}
+	if cfg.Federation != nil {
+		fed, err := cfg.Federation(s)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("core: federation: %w", err)
+		}
+		s.mu.Lock()
+		s.federation = fed
+		s.mu.Unlock()
+	}
 	return s, nil
 }
+
+// GatewayID returns this instance's federation identity: the configured
+// GatewayID, defaulting to the host name.
+func (s *System) GatewayID() string {
+	if s.cfg.GatewayID != "" {
+		return s.cfg.GatewayID
+	}
+	return s.host.Name()
+}
+
+// Peers returns the configured federation peer endpoints.
+func (s *System) Peers() []string { return s.cfg.Peers }
 
 // Close stops the monitor, every unit and the bus.
 func (s *System) Close() {
@@ -138,9 +184,16 @@ func (s *System) Close() {
 		units = append(units, u)
 	}
 	s.units = make(map[SDP]Unit)
+	fed := s.federation
+	s.federation = nil
 	s.mu.Unlock()
 
 	close(s.stop)
+	if fed != nil {
+		// The peering plane goes first: no remote knowledge should flow
+		// into (or out of) an instance whose units are stopping.
+		fed.Close()
+	}
 	s.monitor.Close()
 	for _, u := range units {
 		u.Stop()

@@ -4,6 +4,7 @@ import (
 	"slices"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -24,6 +25,21 @@ type ServiceRecord struct {
 	Attrs map[string]string
 	// Expires is when the knowledge lapses (from lifetimes/max-age).
 	Expires time.Time
+
+	// Federation provenance. Records learned from local native traffic
+	// leave all three fields zero; records synced from a peer gateway
+	// carry where the knowledge entered the federation and how far it
+	// traveled.
+
+	// OriginGW is the ID of the gateway that first bridged the record
+	// into the federation. Empty for locally learned records.
+	OriginGW string
+	// Hops is the number of federation links the record crossed to get
+	// here (0 for local records).
+	Hops int
+	// Remote marks records learned from peer gateways rather than from
+	// this segment's native traffic.
+	Remote bool
 }
 
 // Clone deep-copies the record.
@@ -83,6 +99,30 @@ func armedKey(kind, key string) string {
 	return kind + "\x00" + key
 }
 
+// DeltaOp names what happened to a record in the view.
+type DeltaOp uint8
+
+// Delta operations.
+const (
+	// DeltaPut reports an inserted or refreshed record.
+	DeltaPut DeltaOp = iota + 1
+	// DeltaRemove reports an explicit withdrawal (byebye/deregistration).
+	DeltaRemove
+	// DeltaExpire reports a record that aged out. Expiry is local to
+	// every cache (the TTL travels with the record), so consumers that
+	// replicate the view — the federation plane — propagate Remove but
+	// not Expire.
+	DeltaExpire
+)
+
+// Delta is one change to the view, as delivered to delta subscribers.
+// Record is a value copy whose Attrs map is shared with the view and
+// must be treated as read-only (the Find contract).
+type Delta struct {
+	Op     DeltaOp
+	Record ServiceRecord
+}
+
 // ServiceView is the shared, expiring cache of discovered services. It is
 // what makes the paper's Figure 9b the "best case": when a request
 // arrives for a service the view already knows, the unit composes the
@@ -117,16 +157,77 @@ type ServiceView struct {
 	sweepCursor uint32
 
 	shards [viewShardCount]viewShard
+
+	// Delta feed. numSubs mirrors len(deltaSubs) so the mutating paths
+	// can skip all delta work with one atomic load when nobody listens —
+	// the common case, which stays allocation-free.
+	numSubs  atomic.Int32
+	deltaMu  sync.Mutex
+	deltaSeq int
+	subs     map[int]chan Delta
 }
 
 // NewServiceView returns an empty view.
 func NewServiceView() *ServiceView {
-	v := &ServiceView{keys: make(map[string]string)}
+	v := &ServiceView{
+		keys: make(map[string]string),
+		subs: make(map[int]chan Delta),
+	}
 	for i := range v.shards {
 		v.shards[i].kinds = make(map[string]map[string]ServiceRecord)
 		v.shards[i].armed = make(map[string]armedState)
 	}
 	return v
+}
+
+// SubscribeDeltas returns a channel delivering every subsequent change to
+// the view, plus a cancel function releasing the subscription. Delivery
+// is best-effort: a subscriber that falls more than buf deltas behind
+// loses the overflow (the federation plane's periodic anti-entropy
+// repairs exactly this). Deltas are emitted after the view's locks are
+// released, so ordering between concurrent mutations is approximate.
+func (v *ServiceView) SubscribeDeltas(buf int) (<-chan Delta, func()) {
+	if buf <= 0 {
+		buf = 64
+	}
+	ch := make(chan Delta, buf)
+	v.deltaMu.Lock()
+	v.deltaSeq++
+	id := v.deltaSeq
+	v.subs[id] = ch
+	v.numSubs.Store(int32(len(v.subs)))
+	v.deltaMu.Unlock()
+	cancel := func() {
+		v.deltaMu.Lock()
+		if _, ok := v.subs[id]; ok {
+			delete(v.subs, id)
+			v.numSubs.Store(int32(len(v.subs)))
+			close(ch)
+		}
+		v.deltaMu.Unlock()
+	}
+	return ch, cancel
+}
+
+// wantDeltas gates delta collection on the mutating paths.
+func (v *ServiceView) wantDeltas() bool { return v.numSubs.Load() > 0 }
+
+// emitDeltas fans collected deltas out to every subscriber,
+// non-blocking. Must be called with no view locks held.
+func (v *ServiceView) emitDeltas(deltas []Delta) {
+	if len(deltas) == 0 {
+		return
+	}
+	v.deltaMu.Lock()
+	defer v.deltaMu.Unlock()
+	for _, ch := range v.subs {
+		for _, d := range deltas {
+			select {
+			case ch <- d:
+			default: // slow subscriber: drop, anti-entropy repairs
+			}
+		}
+	}
 }
 
 func viewKey(origin SDP, url string) string {
@@ -151,9 +252,9 @@ func (v *ServiceView) Put(rec ServiceRecord) {
 	key := viewKey(rec.Origin, rec.URL)
 	lk := strings.ToLower(rec.Kind)
 	now := time.Now()
+	var deltas []Delta
 
 	v.keysMu.Lock()
-	defer v.keysMu.Unlock()
 	if old, ok := v.keys[key]; ok && old != lk {
 		// The record changed kind: evict it from its old bucket so the
 		// key stays unique across shards.
@@ -171,7 +272,8 @@ func (v *ServiceView) Put(rec ServiceRecord) {
 		bucket = make(map[string]ServiceRecord)
 		sh.kinds[lk] = bucket
 	}
-	bucket[key] = rec.Clone()
+	stored := rec.Clone()
+	bucket[key] = stored
 	ak := armedKey(lk, key)
 	if a, ok := sh.armed[ak]; !ok || rec.Expires.Before(a.at) {
 		// Arm (or re-arm earlier). An armed entry with an equal-or-
@@ -183,7 +285,10 @@ func (v *ServiceView) Put(rec ServiceRecord) {
 		pushExpiry(sh, expiryEntry{at: rec.Expires, kind: lk, key: key, seq: sh.seq})
 		sh.armed[ak] = armedState{seq: sh.seq, at: rec.Expires}
 	}
-	v.sweepShardLocked(sh, now)
+	if v.wantDeltas() {
+		deltas = append(deltas, Delta{Op: DeltaPut, Record: stored})
+	}
+	deltas = v.sweepShardLocked(sh, now, deltas)
 	sh.mu.Unlock()
 
 	// Rotate a maintenance sweep over one other shard per Put, so kinds
@@ -194,26 +299,58 @@ func (v *ServiceView) Put(rec ServiceRecord) {
 	other := &v.shards[v.sweepCursor%viewShardCount]
 	if other != sh {
 		other.mu.Lock()
-		v.sweepShardLocked(other, now)
+		deltas = v.sweepShardLocked(other, now, deltas)
 		other.mu.Unlock()
 	}
+	v.keysMu.Unlock()
+	v.emitDeltas(deltas)
 }
 
 // Remove withdraws a record (service byebye / deregistration).
 func (v *ServiceView) Remove(origin SDP, url string) bool {
 	key := viewKey(origin, url)
+	var deltas []Delta
 	v.keysMu.Lock()
-	defer v.keysMu.Unlock()
 	lk, ok := v.keys[key]
 	if !ok {
+		v.keysMu.Unlock()
 		return false
 	}
 	delete(v.keys, key)
 	sh := v.shardFor(lk)
 	sh.mu.Lock()
+	if v.wantDeltas() {
+		if rec, live := sh.kinds[lk][key]; live {
+			deltas = append(deltas, Delta{Op: DeltaRemove, Record: rec})
+		}
+	}
 	deleteFromBucket(sh, lk, key)
 	sh.mu.Unlock()
+	v.keysMu.Unlock()
+	v.emitDeltas(deltas)
 	return true
+}
+
+// Get returns the live record stored under (origin, url). The returned
+// record's Attrs map is shared with the view and must be treated as
+// read-only, as with Find.
+func (v *ServiceView) Get(origin SDP, url string) (ServiceRecord, bool) {
+	key := viewKey(origin, url)
+	now := time.Now()
+	v.keysMu.Lock()
+	lk, ok := v.keys[key]
+	v.keysMu.Unlock()
+	if !ok {
+		return ServiceRecord{}, false
+	}
+	sh := v.shardFor(lk)
+	sh.mu.RLock()
+	rec, ok := sh.kinds[lk][key]
+	sh.mu.RUnlock()
+	if !ok || !rec.Expires.After(now) {
+		return ServiceRecord{}, false
+	}
+	return rec, true
 }
 
 // Find returns live records of the given kind (case-insensitive); an
@@ -236,6 +373,11 @@ func (v *ServiceView) Find(kind string, now time.Time) []ServiceRecord {
 // inside the shard scan, so the caller never pays — in copies or in
 // result-slice growth — for records it would discard. The Attrs sharing
 // contract of Find applies.
+//
+// Locally learned records order before federated (Remote) ones: when a
+// unit answers first-wins or a client takes the head of the list, it
+// prefers the service on its own segment over an equivalent one that is
+// several routed hops away. Within each class, order is by URL.
 func (v *ServiceView) FindForeign(asking SDP, kind string, now time.Time) []ServiceRecord {
 	return v.find(kind, now, asking, true)
 }
@@ -251,7 +393,7 @@ func (v *ServiceView) find(kind string, now time.Time, skip SDP, filterOrigin bo
 		if due {
 			v.sweepShard(sh, now)
 		}
-		sortByURL(out)
+		sortRecords(out, filterOrigin)
 		return out
 	}
 
@@ -270,7 +412,7 @@ func (v *ServiceView) find(kind string, now time.Time, skip SDP, filterOrigin bo
 			v.sweepShard(sh, now)
 		}
 	}
-	sortByURL(out)
+	sortRecords(out, filterOrigin)
 	return out
 }
 
@@ -303,8 +445,17 @@ func collectLocked(sh *viewShard, lk string, now time.Time, skip SDP, filterOrig
 	return out
 }
 
-func sortByURL(recs []ServiceRecord) {
+// sortRecords orders results: Find keeps the historical pure-URL order;
+// FindForeign (preferLocal) sorts locally learned records before remote
+// ones so first-wins consumers answer with the same-segment service.
+func sortRecords(recs []ServiceRecord, preferLocal bool) {
 	slices.SortFunc(recs, func(a, b ServiceRecord) int {
+		if preferLocal && a.Remote != b.Remote {
+			if a.Remote {
+				return 1
+			}
+			return -1
+		}
 		return strings.Compare(a.URL, b.URL)
 	})
 }
@@ -323,13 +474,16 @@ func (v *ServiceView) Len() int {
 func (v *ServiceView) sweepShard(sh *viewShard, now time.Time) {
 	v.keysMu.Lock()
 	sh.mu.Lock()
-	v.sweepShardLocked(sh, now)
+	deltas := v.sweepShardLocked(sh, now, nil)
 	sh.mu.Unlock()
 	v.keysMu.Unlock()
+	v.emitDeltas(deltas)
 }
 
-// sweepShardLocked requires keysMu and sh.mu held.
-func (v *ServiceView) sweepShardLocked(sh *viewShard, now time.Time) {
+// sweepShardLocked requires keysMu and sh.mu held. Expired records are
+// appended to deltas (when anyone subscribes) for the caller to emit
+// once the locks are released.
+func (v *ServiceView) sweepShardLocked(sh *viewShard, now time.Time, deltas []Delta) []Delta {
 	for len(sh.expiry) > 0 && !sh.expiry[0].at.After(now) {
 		entry := popExpiry(sh)
 		ak := armedKey(entry.kind, entry.key)
@@ -352,6 +506,9 @@ func (v *ServiceView) sweepShardLocked(sh *viewShard, now time.Time) {
 			sh.armed[ak] = armedState{seq: entry.seq, at: rec.Expires}
 			continue
 		}
+		if v.wantDeltas() {
+			deltas = append(deltas, Delta{Op: DeltaExpire, Record: rec})
+		}
 		deleteFromBucket(sh, entry.kind, entry.key)
 		delete(sh.armed, ak)
 		// Only unindex the key if it still routes to this bucket (it may
@@ -360,6 +517,7 @@ func (v *ServiceView) sweepShardLocked(sh *viewShard, now time.Time) {
 			delete(v.keys, entry.key)
 		}
 	}
+	return deltas
 }
 
 func deleteFromBucket(sh *viewShard, lk, key string) {

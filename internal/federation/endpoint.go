@@ -1,0 +1,625 @@
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"indiss/internal/core"
+	"indiss/internal/simnet"
+)
+
+// Config tunes a federation endpoint.
+type Config struct {
+	// GatewayID is this gateway's federation identity. Required, and
+	// must be unique across the federation.
+	GatewayID string
+	// ListenPort is the TCP port to accept peers on (default
+	// DefaultPort).
+	ListenPort int
+	// Peers are the endpoints this gateway dials and keeps dialing;
+	// a lost connection is re-established automatically.
+	Peers []simnet.Addr
+	// AntiEntropyInterval spaces the periodic full re-sync to every
+	// connected peer (default 1s). Incremental deltas make the common
+	// case fast; anti-entropy repairs whatever they missed.
+	AntiEntropyInterval time.Duration
+	// DialRetryInterval spaces reconnection attempts (default 200ms).
+	DialRetryInterval time.Duration
+	// MaxHops caps how many federation links a record may travel
+	// (default 8). Records arriving at the cap are absorbed but not
+	// re-flooded.
+	MaxHops int
+	// ReadTimeout bounds each blocking read so sessions notice shutdown
+	// (default 100ms). Tests lower it; production leaves the default.
+	ReadTimeout time.Duration
+}
+
+func (c Config) antiEntropy() time.Duration {
+	if c.AntiEntropyInterval <= 0 {
+		return time.Second
+	}
+	return c.AntiEntropyInterval
+}
+
+func (c Config) dialRetry() time.Duration {
+	if c.DialRetryInterval <= 0 {
+		return 200 * time.Millisecond
+	}
+	return c.DialRetryInterval
+}
+
+func (c Config) maxHops() int {
+	if c.MaxHops <= 0 {
+		return 8
+	}
+	return c.MaxHops
+}
+
+func (c Config) readTimeout() time.Duration {
+	if c.ReadTimeout <= 0 {
+		return 100 * time.Millisecond
+	}
+	return c.ReadTimeout
+}
+
+// refreshSlack is how much an announced expiry must extend the stored
+// one to count as new knowledge. Anything smaller is an anti-entropy
+// echo and is absorbed silently instead of re-flooded, which is what
+// terminates flooding in meshed (cyclic) peerings.
+const refreshSlack = 100 * time.Millisecond
+
+// Endpoint is one gateway's attachment to the federation: a TCP listener
+// for inbound peers, dial loops for configured ones, and a distributor
+// that turns local ServiceView deltas into ANNOUNCE/WITHDRAW floods.
+type Endpoint struct {
+	host *simnet.Host
+	view *core.ServiceView
+	cfg  Config
+
+	listener    *simnet.Listener
+	deltaCancel func()
+
+	mu          sync.Mutex
+	sessions    map[*session]struct{}
+	learnedFrom map[string]*session // view key → session that taught us
+	closed      bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New starts a federation endpoint for the given view on host. The
+// endpoint immediately listens, dials its configured peers, and begins
+// mirroring view deltas.
+func New(host *simnet.Host, view *core.ServiceView, cfg Config) (*Endpoint, error) {
+	if cfg.GatewayID == "" {
+		return nil, fmt.Errorf("federation: GatewayID required")
+	}
+	port := cfg.ListenPort
+	if port == 0 {
+		port = DefaultPort
+	} else if port < 0 {
+		port = 0 // ephemeral: multiple endpoints on one host (tests)
+	}
+	l, err := host.ListenTCP(port)
+	if err != nil {
+		return nil, fmt.Errorf("federation: listen: %w", err)
+	}
+	e := &Endpoint{
+		host:        host,
+		view:        view,
+		cfg:         cfg,
+		listener:    l,
+		sessions:    make(map[*session]struct{}),
+		learnedFrom: make(map[string]*session),
+		stop:        make(chan struct{}),
+	}
+	deltas, cancel := view.SubscribeDeltas(1024)
+	e.deltaCancel = cancel
+
+	e.wg.Add(1)
+	go func() { defer e.wg.Done(); e.acceptLoop() }()
+	e.wg.Add(1)
+	go func() { defer e.wg.Done(); e.distribute(deltas) }()
+	e.wg.Add(1)
+	go func() { defer e.wg.Done(); e.antiEntropyLoop() }()
+	for _, peer := range cfg.Peers {
+		peer := peer
+		e.wg.Add(1)
+		go func() { defer e.wg.Done(); e.dialLoop(peer) }()
+	}
+	return e, nil
+}
+
+// Close stops the endpoint: listener, dial loops and every session.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	sessions := make([]*session, 0, len(e.sessions))
+	for s := range e.sessions {
+		sessions = append(sessions, s)
+	}
+	e.mu.Unlock()
+
+	close(e.stop)
+	e.deltaCancel()
+	e.listener.Close()
+	for _, s := range sessions {
+		s.close()
+	}
+	e.wg.Wait()
+	return nil
+}
+
+// Addr returns the endpoint's listening address.
+func (e *Endpoint) Addr() simnet.Addr { return e.listener.Addr() }
+
+// GatewayID returns the endpoint's federation identity.
+func (e *Endpoint) GatewayID() string { return e.cfg.GatewayID }
+
+// PeerIDs returns the gateway IDs of the currently connected peers,
+// mainly for tests and diagnostics.
+func (e *Endpoint) PeerIDs() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.sessions))
+	for s := range e.sessions {
+		out = append(out, s.peerID)
+	}
+	return out
+}
+
+func (e *Endpoint) stopped() bool {
+	select {
+	case <-e.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// --- session plumbing ---
+
+// session is one established peering connection, either accepted or
+// dialed. Its read loop runs on a tracked goroutine; writes are
+// frame-atomic under writeMu.
+type session struct {
+	ep     *Endpoint
+	stream *simnet.Stream
+	peerID string
+
+	writeMu sync.Mutex
+	wbuf    []byte
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+func (s *session) close() {
+	s.closeOnce.Do(func() {
+		close(s.done)
+		s.stream.Close()
+	})
+}
+
+func (s *session) isClosed() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// writeFrame sends one pre-marshalled frame. simnet stream writes never
+// block on the network, so holding writeMu is cheap.
+func (s *session) writeFrame(frame []byte) error {
+	_, err := s.stream.Write(frame)
+	return err
+}
+
+// readFull fills p, tolerating read timeouts (which exist only so
+// shutdown is noticed) without desyncing mid-frame.
+func (s *session) readFull(p []byte) error {
+	got := 0
+	for got < len(p) {
+		n, err := s.stream.Read(p[got:])
+		got += n
+		if err != nil {
+			if errors.Is(err, simnet.ErrTimeout) {
+				if s.isClosed() || s.ep.stopped() {
+					return simnet.ErrClosed
+				}
+				continue
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame, reusing buf.
+func (s *session) readFrame(buf []byte) (FrameType, []byte, error) {
+	var hdr [frameHeaderLen]byte
+	if err := s.readFull(hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	t, n, err := ParseFrameHeader(hdr[:])
+	if err != nil {
+		return 0, nil, err
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if err := s.readFull(buf); err != nil {
+		return 0, nil, err
+	}
+	return t, buf, nil
+}
+
+// acceptLoop serves inbound peers.
+func (e *Endpoint) acceptLoop() {
+	for {
+		stream, err := e.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.wg.Add(1)
+		go func() { defer e.wg.Done(); e.runSession(stream, false) }()
+	}
+}
+
+// dialLoop keeps one configured peer dialed for the endpoint's lifetime.
+func (e *Endpoint) dialLoop(peer simnet.Addr) {
+	for {
+		if e.stopped() {
+			return
+		}
+		stream, err := e.host.DialTCP(peer)
+		if err == nil {
+			e.runSession(stream, true)
+		}
+		select {
+		case <-e.stop:
+			return
+		case <-time.After(e.cfg.dialRetry()):
+		}
+	}
+}
+
+// runSession performs the HELLO handshake, registers the session, sends
+// the full snapshot (sync on connect) and then consumes frames until the
+// connection or the endpoint dies.
+func (e *Endpoint) runSession(stream *simnet.Stream, dialer bool) {
+	stream.SetReadTimeout(e.cfg.readTimeout())
+	s := &session{ep: e, stream: stream, done: make(chan struct{})}
+	defer s.close()
+
+	hello := AppendHello(nil, Hello{Version: Version, GatewayID: e.cfg.GatewayID})
+	if err := s.writeFrame(hello); err != nil {
+		return
+	}
+	t, payload, err := s.readFrame(nil)
+	if err != nil || t != FrameHello {
+		return
+	}
+	h, err := ParseHello(payload)
+	if err != nil || h.Version != Version || h.GatewayID == e.cfg.GatewayID {
+		return // incompatible peer, or we dialed ourselves
+	}
+	s.peerID = h.GatewayID
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.sessions[s] = struct{}{}
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.sessions, s)
+		for key, from := range e.learnedFrom {
+			if from == s {
+				delete(e.learnedFrom, key)
+			}
+		}
+		e.mu.Unlock()
+	}()
+
+	// Full sync on connect: everything we know, local and transit.
+	e.sendSnapshot(s)
+
+	buf := payload
+	for {
+		t, p, err := s.readFrame(buf)
+		if err != nil {
+			return
+		}
+		buf = p
+		switch t {
+		case FrameAnnounce:
+			a, err := ParseAnnounce(p)
+			if err != nil {
+				return // poisoned stream: drop the session, redial
+			}
+			e.handleAnnounce(s, a)
+		case FrameWithdraw:
+			w, err := ParseWithdraw(p)
+			if err != nil {
+				return
+			}
+			e.handleWithdraw(s, w)
+		case FrameHello:
+			// A second HELLO is a protocol error.
+			return
+		}
+	}
+}
+
+// --- knowledge exchange ---
+
+// viewKey mirrors the ServiceView's record identity.
+func viewKey(origin core.SDP, url string) string {
+	return string(origin) + "|" + url
+}
+
+// announceFor renders a record as the ANNOUNCE a peer should receive.
+// Local records enter the federation here: they get this gateway's
+// identity and hop count 0.
+func (e *Endpoint) announceFor(rec core.ServiceRecord) (Announce, bool) {
+	ttl := time.Until(rec.Expires)
+	if ttl <= 0 {
+		return Announce{}, false
+	}
+	a := Announce{
+		OriginGW: e.cfg.GatewayID,
+		Hops:     0,
+		Origin:   string(rec.Origin),
+		Kind:     rec.Kind,
+		URL:      rec.URL,
+		Location: rec.Location,
+		TTL:      uint32(min64(int64(ttl/time.Millisecond)+1, 1<<32-1)),
+		Attrs:    rec.Attrs,
+	}
+	if rec.Remote {
+		a.OriginGW = rec.OriginGW
+		a.Hops = uint8(min64(int64(rec.Hops), 255))
+	}
+	return a, true
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// sendSnapshot announces every live record to one peer.
+func (e *Endpoint) sendSnapshot(s *session) {
+	now := time.Now()
+	recs := e.view.Find("", now)
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	for _, rec := range recs {
+		if e.skipForPeer(rec, s) {
+			continue
+		}
+		a, ok := e.announceFor(rec)
+		if !ok {
+			continue
+		}
+		s.wbuf = AppendAnnounce(s.wbuf[:0], a)
+		if err := s.writeFrame(s.wbuf); err != nil {
+			return
+		}
+	}
+}
+
+// skipForPeer applies split horizon: a record is never announced back to
+// the session that taught it to us, nor to the gateway it originated at.
+func (e *Endpoint) skipForPeer(rec core.ServiceRecord, s *session) bool {
+	if !rec.Remote {
+		return false
+	}
+	if rec.OriginGW == s.peerID {
+		return true
+	}
+	e.mu.Lock()
+	from := e.learnedFrom[viewKey(rec.Origin, rec.URL)]
+	e.mu.Unlock()
+	return from == s
+}
+
+// handleAnnounce is the accept filter — the loop breaker. A record is
+// absorbed (and, via its view delta, re-flooded) only when it adds
+// knowledge: unknown, a strictly shorter path, or a lifetime extended by
+// more than refreshSlack. Everything else is an echo and dies here.
+func (e *Endpoint) handleAnnounce(s *session, a Announce) {
+	if a.OriginGW == e.cfg.GatewayID {
+		return // our own record walked a cycle back to us
+	}
+	hops := int(a.Hops) + 1
+	if hops > e.cfg.maxHops() {
+		return
+	}
+	origin := core.SDP(a.Origin)
+	existing, known := e.view.Get(origin, a.URL)
+	if known && !existing.Remote {
+		return // locally observed knowledge always wins
+	}
+	expires := time.Now().Add(time.Duration(a.TTL) * time.Millisecond)
+	if known {
+		shorter := hops < existing.Hops
+		fresher := expires.After(existing.Expires.Add(refreshSlack))
+		if !shorter && !fresher {
+			return
+		}
+	}
+	attrs := a.Attrs
+	if attrs == nil {
+		attrs = map[string]string{}
+	}
+	rec := core.ServiceRecord{
+		Origin:   origin,
+		Kind:     a.Kind,
+		URL:      a.URL,
+		Location: a.Location,
+		Attrs:    attrs,
+		Expires:  expires,
+		OriginGW: a.OriginGW,
+		Hops:     hops,
+		Remote:   true,
+	}
+	e.mu.Lock()
+	e.learnedFrom[viewKey(origin, a.URL)] = s
+	e.mu.Unlock()
+	e.view.Put(rec)
+}
+
+// handleWithdraw retracts a remote record. Local records are immune: the
+// segment's own native traffic, not a peer, governs them.
+func (e *Endpoint) handleWithdraw(s *session, w Withdraw) {
+	if w.OriginGW == e.cfg.GatewayID {
+		return
+	}
+	if int(w.Hops)+1 > e.cfg.maxHops() {
+		return
+	}
+	origin := core.SDP(w.Origin)
+	existing, known := e.view.Get(origin, w.URL)
+	if !known || !existing.Remote {
+		return
+	}
+	// Keep the learnedFrom entry pointing at the withdrawing session so
+	// the re-flood (triggered by the Remove delta) split-horizons it.
+	e.mu.Lock()
+	e.learnedFrom[viewKey(origin, w.URL)] = s
+	e.mu.Unlock()
+	e.view.Remove(origin, w.URL)
+}
+
+// distribute turns local view deltas into floods. Records the federation
+// itself just put carry Remote provenance and are re-flooded with it
+// (transit); everything else is local knowledge entering the federation.
+func (e *Endpoint) distribute(deltas <-chan core.Delta) {
+	for d := range deltas {
+		switch d.Op {
+		case core.DeltaPut:
+			if d.Record.Remote && d.Record.Hops >= e.cfg.maxHops() {
+				continue // absorbed at the cap, not re-flooded
+			}
+			a, ok := e.announceFor(d.Record)
+			if !ok {
+				continue
+			}
+			e.flood(d.Record, func(s *session) []byte {
+				s.wbuf = AppendAnnounce(s.wbuf[:0], a)
+				return s.wbuf
+			})
+		case core.DeltaRemove:
+			w := Withdraw{
+				OriginGW: e.cfg.GatewayID,
+				Origin:   string(d.Record.Origin),
+				Kind:     d.Record.Kind,
+				URL:      d.Record.URL,
+			}
+			if d.Record.Remote {
+				w.OriginGW = d.Record.OriginGW
+				w.Hops = uint8(min64(int64(d.Record.Hops), 255))
+			}
+			e.flood(d.Record, func(s *session) []byte {
+				s.wbuf = AppendWithdraw(s.wbuf[:0], w)
+				return s.wbuf
+			})
+		case core.DeltaExpire:
+			// TTLs travel with records; every cache expires on its own.
+		}
+	}
+}
+
+// flood sends a frame to every connected peer except, per split horizon,
+// the one the record was learned from and its origin gateway.
+func (e *Endpoint) flood(rec core.ServiceRecord, frame func(*session) []byte) {
+	e.mu.Lock()
+	targets := make([]*session, 0, len(e.sessions))
+	for s := range e.sessions {
+		targets = append(targets, s)
+	}
+	e.mu.Unlock()
+	for _, s := range targets {
+		if e.skipForPeer(rec, s) {
+			continue
+		}
+		s.writeMu.Lock()
+		_ = s.writeFrame(frame(s))
+		s.writeMu.Unlock()
+	}
+}
+
+// antiEntropyLoop periodically re-sends the full snapshot to every peer.
+// The accept filter on the receiving side absorbs echoes silently, so
+// steady state costs bandwidth proportional to view size — and repairs
+// any delta lost to a slow subscriber, an overflow, or a reconnect race.
+func (e *Endpoint) antiEntropyLoop() {
+	ticker := time.NewTicker(e.cfg.antiEntropy())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-ticker.C:
+			e.mu.Lock()
+			targets := make([]*session, 0, len(e.sessions))
+			for s := range e.sessions {
+				targets = append(targets, s)
+			}
+			e.mu.Unlock()
+			for _, s := range targets {
+				e.sendSnapshot(s)
+			}
+			e.pruneLearned()
+		}
+	}
+}
+
+// pruneLearned drops split-horizon entries whose records are no longer
+// in the view (expired or withdrawn). Without it, learnedFrom grows
+// with every key ever taught over a long-lived session, not with the
+// live view.
+func (e *Endpoint) pruneLearned() {
+	e.mu.Lock()
+	keys := make([]string, 0, len(e.learnedFrom))
+	for key := range e.learnedFrom {
+		keys = append(keys, key)
+	}
+	e.mu.Unlock()
+	stale := keys[:0]
+	for _, key := range keys {
+		origin, url, ok := strings.Cut(key, "|")
+		if !ok {
+			stale = append(stale, key)
+			continue
+		}
+		if _, live := e.view.Get(core.SDP(origin), url); !live {
+			stale = append(stale, key)
+		}
+	}
+	if len(stale) == 0 {
+		return
+	}
+	e.mu.Lock()
+	for _, key := range stale {
+		delete(e.learnedFrom, key)
+	}
+	e.mu.Unlock()
+}

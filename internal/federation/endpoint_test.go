@@ -1,0 +1,338 @@
+package federation
+
+import (
+	"testing"
+	"time"
+
+	"indiss/internal/core"
+	"indiss/internal/simnet"
+)
+
+// fedNet builds a segmented network with one gateway host per segment,
+// linked in a chain. Hosts are "gw1".."gwN" at 10.0.<i>.9.
+func fedNet(t *testing.T, segments int) (*simnet.Network, []*simnet.Host) {
+	t.Helper()
+	topo := simnet.NewTopology(simnet.Config{})
+	names := make([]string, segments)
+	for i := range names {
+		names[i] = string(rune('A' + i))
+		topo.Segment(names[i])
+	}
+	topo.Chain(simnet.Link{Latency: 200 * time.Microsecond})
+	n, err := topo.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	hosts := make([]*simnet.Host, segments)
+	for i, seg := range names {
+		hosts[i] = n.MustAddHostOn("gw"+seg, "10.0."+itoa(i+1)+".9", seg)
+	}
+	return n, hosts
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// fastCfg returns test-friendly timings.
+func fastCfg(id string, peers ...simnet.Addr) Config {
+	return Config{
+		GatewayID:           id,
+		Peers:               peers,
+		AntiEntropyInterval: 100 * time.Millisecond,
+		DialRetryInterval:   20 * time.Millisecond,
+		ReadTimeout:         20 * time.Millisecond,
+	}
+}
+
+func endpoint(t *testing.T, host *simnet.Host, view *core.ServiceView, cfg Config) *Endpoint {
+	t.Helper()
+	e, err := New(host, view, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func localRec(kind, url string, ttl time.Duration) core.ServiceRecord {
+	return core.ServiceRecord{
+		Origin:  core.SDPUPnP,
+		Kind:    kind,
+		URL:     url,
+		Attrs:   map[string]string{"friendlyName": kind},
+		Expires: time.Now().Add(ttl),
+	}
+}
+
+// waitFor polls until cond returns true or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestFullSyncOnConnect(t *testing.T) {
+	_, hosts := fedNet(t, 2)
+	viewA, viewB := core.NewServiceView(), core.NewServiceView()
+	// A has knowledge before B ever connects.
+	viewA.Put(localRec("clock", "soap://10.0.1.2:4004", time.Hour))
+	viewA.Put(localRec("printer", "soap://10.0.1.3:4004", time.Hour))
+
+	endpoint(t, hosts[0], viewA, fastCfg("gw-a"))
+	endpoint(t, hosts[1], viewB, fastCfg("gw-b", simnet.Addr{IP: hosts[0].IP(), Port: DefaultPort}))
+
+	waitFor(t, 5*time.Second, "full sync", func() bool {
+		return len(viewB.Find("", time.Now())) == 2
+	})
+	rec, ok := viewB.Get(core.SDPUPnP, "soap://10.0.1.2:4004")
+	if !ok {
+		t.Fatal("record missing after sync")
+	}
+	if !rec.Remote || rec.OriginGW != "gw-a" || rec.Hops != 1 {
+		t.Fatalf("provenance = %+v", rec)
+	}
+	if rec.Attrs["friendlyName"] != "clock" {
+		t.Fatalf("attrs lost: %+v", rec.Attrs)
+	}
+}
+
+func TestIncrementalAnnounceAndWithdraw(t *testing.T) {
+	_, hosts := fedNet(t, 2)
+	viewA, viewB := core.NewServiceView(), core.NewServiceView()
+	ea := endpoint(t, hosts[0], viewA, fastCfg("gw-a"))
+	endpoint(t, hosts[1], viewB, fastCfg("gw-b", simnet.Addr{IP: hosts[0].IP(), Port: DefaultPort}))
+	waitFor(t, 5*time.Second, "peering", func() bool { return len(ea.PeerIDs()) == 1 })
+
+	viewA.Put(localRec("clock", "soap://10.0.1.2:4004", time.Hour))
+	waitFor(t, 5*time.Second, "incremental announce", func() bool {
+		_, ok := viewB.Get(core.SDPUPnP, "soap://10.0.1.2:4004")
+		return ok
+	})
+
+	viewA.Remove(core.SDPUPnP, "soap://10.0.1.2:4004")
+	waitFor(t, 5*time.Second, "withdraw", func() bool {
+		_, ok := viewB.Get(core.SDPUPnP, "soap://10.0.1.2:4004")
+		return !ok
+	})
+}
+
+func TestTransitFloodAcrossChain(t *testing.T) {
+	_, hosts := fedNet(t, 3)
+	views := []*core.ServiceView{core.NewServiceView(), core.NewServiceView(), core.NewServiceView()}
+	// Chain peering: B dials A and C; A and C only listen.
+	endpoint(t, hosts[0], views[0], fastCfg("gw-a"))
+	endpoint(t, hosts[1], views[1], fastCfg("gw-b",
+		simnet.Addr{IP: hosts[0].IP(), Port: DefaultPort},
+		simnet.Addr{IP: hosts[2].IP(), Port: DefaultPort}))
+	endpoint(t, hosts[2], views[2], fastCfg("gw-c"))
+
+	views[2].Put(localRec("clock", "soap://10.0.3.2:4004", time.Hour))
+	waitFor(t, 5*time.Second, "two-hop transit", func() bool {
+		_, ok := views[0].Get(core.SDPUPnP, "soap://10.0.3.2:4004")
+		return ok
+	})
+	rec, _ := views[0].Get(core.SDPUPnP, "soap://10.0.3.2:4004")
+	if rec.OriginGW != "gw-c" || rec.Hops != 2 {
+		t.Fatalf("transit provenance = %+v", rec)
+	}
+}
+
+// TestMeshedCycleStaysDuplicateFree is the loop-safety acceptance: a
+// fully meshed (cyclic) triangle of gateways converges to exactly one
+// record everywhere and stays there across several anti-entropy rounds.
+func TestMeshedCycleStaysDuplicateFree(t *testing.T) {
+	topo := simnet.NewTopology(simnet.Config{}).
+		Segment("A").Segment("B").Segment("C").
+		Mesh(simnet.Link{Latency: 200 * time.Microsecond})
+	n, err := topo.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	ha := n.MustAddHostOn("gwA", "10.0.1.9", "A")
+	hb := n.MustAddHostOn("gwB", "10.0.2.9", "B")
+	hc := n.MustAddHostOn("gwC", "10.0.3.9", "C")
+	va, vb, vc := core.NewServiceView(), core.NewServiceView(), core.NewServiceView()
+
+	// Cyclic peering graph: A→B, B→C, C→A (sessions are bidirectional,
+	// so knowledge can run the ring in both directions).
+	endpoint(t, ha, va, fastCfg("gw-a", simnet.Addr{IP: hb.IP(), Port: DefaultPort}))
+	endpoint(t, hb, vb, fastCfg("gw-b", simnet.Addr{IP: hc.IP(), Port: DefaultPort}))
+	endpoint(t, hc, vc, fastCfg("gw-c", simnet.Addr{IP: ha.IP(), Port: DefaultPort}))
+
+	vc.Put(localRec("clock", "soap://10.0.3.2:4004", time.Hour))
+	for _, v := range []*core.ServiceView{va, vb} {
+		v := v
+		waitFor(t, 5*time.Second, "mesh convergence", func() bool {
+			_, ok := v.Get(core.SDPUPnP, "soap://10.0.3.2:4004")
+			return ok
+		})
+	}
+	// Let several anti-entropy rounds run; the accept filter must hold
+	// the line at exactly one record per view, no resurrection loops.
+	time.Sleep(400 * time.Millisecond)
+	for i, v := range []*core.ServiceView{va, vb, vc} {
+		recs := v.Find("clock", time.Now())
+		if len(recs) != 1 {
+			t.Fatalf("view %d holds %d clock records, want exactly 1: %+v", i, len(recs), recs)
+		}
+		if recs[0].Hops > 2 {
+			t.Errorf("view %d record traveled %d hops in a triangle", i, recs[0].Hops)
+		}
+	}
+
+	// A withdraw must sweep the ring without ping-ponging back.
+	vc.Remove(core.SDPUPnP, "soap://10.0.3.2:4004")
+	for i, v := range []*core.ServiceView{va, vb, vc} {
+		v := v
+		i := i
+		waitFor(t, 5*time.Second, "mesh withdraw "+itoa(i), func() bool {
+			_, ok := v.Get(core.SDPUPnP, "soap://10.0.3.2:4004")
+			return !ok
+		})
+	}
+	// Anti-entropy must not resurrect the withdrawn record.
+	time.Sleep(300 * time.Millisecond)
+	for i, v := range []*core.ServiceView{va, vb, vc} {
+		if _, ok := v.Get(core.SDPUPnP, "soap://10.0.3.2:4004"); ok {
+			t.Fatalf("view %d resurrected a withdrawn record", i)
+		}
+	}
+}
+
+func TestHopCountCapsPropagation(t *testing.T) {
+	_, hosts := fedNet(t, 4)
+	views := make([]*core.ServiceView, 4)
+	for i := range views {
+		views[i] = core.NewServiceView()
+	}
+	// Chain peering A→B→C→D with a 2-hop cap.
+	for i := range hosts {
+		cfg := fastCfg("gw-" + itoa(i))
+		cfg.MaxHops = 2
+		if i+1 < len(hosts) {
+			cfg.Peers = []simnet.Addr{{IP: hosts[i+1].IP(), Port: DefaultPort}}
+		}
+		endpoint(t, hosts[i], views[i], cfg)
+	}
+	views[0].Put(localRec("clock", "soap://10.0.1.2:4004", time.Hour))
+	waitFor(t, 5*time.Second, "in-cap propagation", func() bool {
+		_, ok := views[2].Get(core.SDPUPnP, "soap://10.0.1.2:4004")
+		return ok
+	})
+	time.Sleep(300 * time.Millisecond) // several anti-entropy rounds
+	if _, ok := views[3].Get(core.SDPUPnP, "soap://10.0.1.2:4004"); ok {
+		t.Fatal("record crossed more links than MaxHops allows")
+	}
+}
+
+func TestLocalRecordImmuneToRemote(t *testing.T) {
+	_, hosts := fedNet(t, 2)
+	viewA, viewB := core.NewServiceView(), core.NewServiceView()
+	ea := endpoint(t, hosts[0], viewA, fastCfg("gw-a"))
+	endpoint(t, hosts[1], viewB, fastCfg("gw-b", simnet.Addr{IP: hosts[0].IP(), Port: DefaultPort}))
+	waitFor(t, 5*time.Second, "peering", func() bool { return len(ea.PeerIDs()) == 1 })
+
+	// Both segments know the same (origin, URL) — B natively, A via its
+	// own native traffic. Neither sync nor withdraw may clobber B's
+	// local knowledge.
+	url := "soap://10.0.9.9:4004"
+	local := localRec("clock", url, time.Hour)
+	local.Attrs = map[string]string{"friendlyName": "B local"}
+	viewB.Put(local)
+	viewA.Put(localRec("clock", url, 2*time.Hour))
+
+	time.Sleep(300 * time.Millisecond)
+	rec, ok := viewB.Get(core.SDPUPnP, url)
+	if !ok || rec.Remote || rec.Attrs["friendlyName"] != "B local" {
+		t.Fatalf("local record clobbered: %+v (ok=%v)", rec, ok)
+	}
+	viewA.Remove(core.SDPUPnP, url)
+	time.Sleep(200 * time.Millisecond)
+	if _, ok := viewB.Get(core.SDPUPnP, url); !ok {
+		t.Fatal("peer withdraw removed a locally learned record")
+	}
+}
+
+func TestAntiEntropyRepairsLostKnowledge(t *testing.T) {
+	_, hosts := fedNet(t, 2)
+	viewA, viewB := core.NewServiceView(), core.NewServiceView()
+	viewA.Put(localRec("clock", "soap://10.0.1.2:4004", time.Hour))
+	endpoint(t, hosts[0], viewA, fastCfg("gw-a"))
+	endpoint(t, hosts[1], viewB, fastCfg("gw-b", simnet.Addr{IP: hosts[0].IP(), Port: DefaultPort}))
+
+	waitFor(t, 5*time.Second, "initial sync", func() bool {
+		_, ok := viewB.Get(core.SDPUPnP, "soap://10.0.1.2:4004")
+		return ok
+	})
+	// Simulate lost state at B: drop the record locally. A's record is
+	// local there, so B's reflooded withdraw must not delete it, and the
+	// next anti-entropy round must restore B.
+	viewB.Remove(core.SDPUPnP, "soap://10.0.1.2:4004")
+	waitFor(t, 5*time.Second, "anti-entropy repair", func() bool {
+		_, ok := viewB.Get(core.SDPUPnP, "soap://10.0.1.2:4004")
+		return ok
+	})
+	if _, ok := viewA.Get(core.SDPUPnP, "soap://10.0.1.2:4004"); !ok {
+		t.Fatal("origin lost its local record to a peer withdraw")
+	}
+}
+
+func TestEndpointRejectsSelfDial(t *testing.T) {
+	_, hosts := fedNet(t, 1)
+	view := core.NewServiceView()
+	e := endpoint(t, hosts[0], view, fastCfg("gw-a", simnet.Addr{IP: hosts[0].IP(), Port: DefaultPort}))
+	time.Sleep(150 * time.Millisecond)
+	if ids := e.PeerIDs(); len(ids) != 0 {
+		t.Fatalf("self-dial produced sessions: %v", ids)
+	}
+}
+
+func TestReconnectAfterPeerRestart(t *testing.T) {
+	_, hosts := fedNet(t, 2)
+	viewA, viewB := core.NewServiceView(), core.NewServiceView()
+	ea, err := New(hosts[0], viewA, fastCfg("gw-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	endpoint(t, hosts[1], viewB, fastCfg("gw-b", simnet.Addr{IP: hosts[0].IP(), Port: DefaultPort}))
+
+	viewA.Put(localRec("clock", "soap://10.0.1.2:4004", time.Hour))
+	waitFor(t, 5*time.Second, "first sync", func() bool {
+		_, ok := viewB.Get(core.SDPUPnP, "soap://10.0.1.2:4004")
+		return ok
+	})
+
+	// Restart A's endpoint; B's dial loop must re-establish and re-sync.
+	ea.Close()
+	viewB.Remove(core.SDPUPnP, "soap://10.0.1.2:4004")
+	ea2, err := New(hosts[0], viewA, fastCfg("gw-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ea2.Close() })
+	waitFor(t, 5*time.Second, "re-sync after restart", func() bool {
+		_, ok := viewB.Get(core.SDPUPnP, "soap://10.0.1.2:4004")
+		return ok
+	})
+}

@@ -1,0 +1,344 @@
+// Package federation implements the gateway peering plane: INDISS
+// gateways on different multicast segments exchange ServiceView deltas
+// over unicast TCP, so a client on one segment discovers services bridged
+// by a gateway several routed hops away — the scale-out the paper's §3
+// gateway placement implies but never builds.
+//
+// The protocol is deliberately small: a version handshake (HELLO), then
+// a stream of ANNOUNCE/WITHDRAW frames. A peer receives a full snapshot
+// on connect, incremental deltas afterwards, and a periodic anti-entropy
+// re-sync that repairs anything lost to slow consumers or reconnects.
+// Loop safety in meshed peerings rests on three guards applied at every
+// hop: the originating gateway drops its own records coming back, a hop
+// counter caps propagation radius, and a record is only accepted (and
+// hence re-flooded) when it adds knowledge — a shorter path or a
+// meaningfully extended lifetime. See DESIGN.md §7.
+package federation
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol constants.
+const (
+	// Version is the peering protocol version exchanged in HELLO.
+	Version = 1
+
+	// DefaultPort is the IANA-style default TCP port of the federation
+	// endpoint.
+	DefaultPort = 7741
+
+	// frameHeaderLen is magic(2) + type(1) + payload length(4).
+	frameHeaderLen = 7
+
+	// MaxFramePayload bounds a frame's payload; larger frames poison
+	// the connection and are refused at both ends.
+	MaxFramePayload = 1 << 20
+
+	// maxWireString bounds any single string field.
+	maxWireString = 4096
+
+	// maxWireAttrs bounds a record's attribute count.
+	maxWireAttrs = 256
+)
+
+// Frame magic bytes ("IF": INDISS Federation).
+const (
+	magic0 = 'I'
+	magic1 = 'F'
+)
+
+// FrameType tags a frame.
+type FrameType uint8
+
+// Frame types.
+const (
+	// FrameHello opens a session: version + gateway identity.
+	FrameHello FrameType = iota + 1
+	// FrameAnnounce carries one record (insert or refresh).
+	FrameAnnounce
+	// FrameWithdraw retracts one record.
+	FrameWithdraw
+)
+
+// ErrWire reports a malformed frame.
+var ErrWire = errors.New("federation: malformed frame")
+
+// Hello is the session-opening handshake.
+type Hello struct {
+	// Version is the sender's protocol version.
+	Version uint8
+	// GatewayID is the sender's federation identity.
+	GatewayID string
+}
+
+// Announce advertises one service record to a peer.
+type Announce struct {
+	// OriginGW is the gateway that first bridged the record into the
+	// federation.
+	OriginGW string
+	// Hops is how many federation links the record crossed before this
+	// send (0 when the sender is the origin gateway).
+	Hops uint8
+	// Origin is the SDP the service natively speaks.
+	Origin string
+	// Kind is the canonical service type.
+	Kind string
+	// URL is the service's native endpoint.
+	URL string
+	// Location is the description-document URL, when the SDP has one.
+	Location string
+	// TTL is the remaining record lifetime in milliseconds. Millisecond
+	// granularity matters: the anti-entropy accept filter compares
+	// re-derived expiry instants, and a coarser unit would make every
+	// re-sync look like fresher knowledge and re-flood forever.
+	TTL uint32
+	// Attrs are the record's attributes.
+	Attrs map[string]string
+}
+
+// Withdraw retracts one record.
+type Withdraw struct {
+	OriginGW string
+	Hops     uint8
+	Origin   string
+	Kind     string
+	URL      string
+}
+
+// --- marshalling (AppendTo style: whole frames appended to dst) ---
+
+// appendHeader reserves a frame header, returning dst and the offset of
+// the 4-byte length slot to be patched by finishFrame.
+func appendHeader(dst []byte, t FrameType) ([]byte, int) {
+	dst = append(dst, magic0, magic1, byte(t), 0, 0, 0, 0)
+	return dst, len(dst) - 4
+}
+
+func finishFrame(dst []byte, lenAt int) []byte {
+	binary.BigEndian.PutUint32(dst[lenAt:lenAt+4], uint32(len(dst)-lenAt-4))
+	return dst
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendHello appends a HELLO frame to dst.
+func AppendHello(dst []byte, h Hello) []byte {
+	dst, at := appendHeader(dst, FrameHello)
+	dst = append(dst, h.Version)
+	dst = appendString(dst, h.GatewayID)
+	return finishFrame(dst, at)
+}
+
+// AppendAnnounce appends an ANNOUNCE frame to dst. Attribute order on
+// the wire follows map iteration; receivers rebuild a map, so the
+// encoding stays deterministic in meaning if not in bytes.
+func AppendAnnounce(dst []byte, a Announce) []byte {
+	dst, at := appendHeader(dst, FrameAnnounce)
+	dst = appendString(dst, a.OriginGW)
+	dst = append(dst, a.Hops)
+	dst = appendString(dst, a.Origin)
+	dst = appendString(dst, a.Kind)
+	dst = appendString(dst, a.URL)
+	dst = appendString(dst, a.Location)
+	dst = binary.BigEndian.AppendUint32(dst, a.TTL)
+	dst = binary.AppendUvarint(dst, uint64(len(a.Attrs)))
+	for k, v := range a.Attrs {
+		dst = appendString(dst, k)
+		dst = appendString(dst, v)
+	}
+	return finishFrame(dst, at)
+}
+
+// AppendWithdraw appends a WITHDRAW frame to dst.
+func AppendWithdraw(dst []byte, w Withdraw) []byte {
+	dst, at := appendHeader(dst, FrameWithdraw)
+	dst = appendString(dst, w.OriginGW)
+	dst = append(dst, w.Hops)
+	dst = appendString(dst, w.Origin)
+	dst = appendString(dst, w.Kind)
+	dst = appendString(dst, w.URL)
+	return finishFrame(dst, at)
+}
+
+// --- parsing ---
+
+// reader walks a payload with bounds checking.
+type reader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = ErrWire
+	}
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil || r.pos >= len(r.b) {
+		r.fail()
+		return 0
+	}
+	c := r.b[r.pos]
+	r.pos++
+	return c
+}
+
+func (r *reader) uint32() uint32 {
+	if r.err != nil || r.pos+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) string() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > maxWireString || r.pos+int(n) > len(r.b) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.pos != len(r.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrWire, len(r.b)-r.pos)
+	}
+	return nil
+}
+
+// ParseHello decodes a HELLO payload.
+func ParseHello(payload []byte) (Hello, error) {
+	r := &reader{b: payload}
+	h := Hello{Version: r.byte(), GatewayID: r.string()}
+	if err := r.done(); err != nil {
+		return Hello{}, err
+	}
+	if h.GatewayID == "" {
+		return Hello{}, fmt.Errorf("%w: empty gateway id", ErrWire)
+	}
+	return h, nil
+}
+
+// ParseAnnounce decodes an ANNOUNCE payload.
+func ParseAnnounce(payload []byte) (Announce, error) {
+	r := &reader{b: payload}
+	a := Announce{OriginGW: r.string()}
+	a.Hops = r.byte()
+	a.Origin = r.string()
+	a.Kind = r.string()
+	a.URL = r.string()
+	a.Location = r.string()
+	a.TTL = r.uint32()
+	n := r.uvarint()
+	if r.err == nil && n > maxWireAttrs {
+		return Announce{}, fmt.Errorf("%w: %d attributes", ErrWire, n)
+	}
+	if r.err == nil && n > 0 {
+		a.Attrs = make(map[string]string, n)
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			k := r.string()
+			v := r.string()
+			if r.err == nil {
+				a.Attrs[k] = v
+			}
+		}
+	}
+	if err := r.done(); err != nil {
+		return Announce{}, err
+	}
+	if a.URL == "" {
+		return Announce{}, fmt.Errorf("%w: announce without URL", ErrWire)
+	}
+	return a, nil
+}
+
+// ParseWithdraw decodes a WITHDRAW payload.
+func ParseWithdraw(payload []byte) (Withdraw, error) {
+	r := &reader{b: payload}
+	w := Withdraw{OriginGW: r.string()}
+	w.Hops = r.byte()
+	w.Origin = r.string()
+	w.Kind = r.string()
+	w.URL = r.string()
+	if err := r.done(); err != nil {
+		return Withdraw{}, err
+	}
+	if w.URL == "" {
+		return Withdraw{}, fmt.Errorf("%w: withdraw without URL", ErrWire)
+	}
+	return w, nil
+}
+
+// ParseFrameHeader validates a frame header and returns its type and
+// payload length.
+func ParseFrameHeader(hdr []byte) (FrameType, int, error) {
+	if len(hdr) < frameHeaderLen {
+		return 0, 0, fmt.Errorf("%w: short header", ErrWire)
+	}
+	if hdr[0] != magic0 || hdr[1] != magic1 {
+		return 0, 0, fmt.Errorf("%w: bad magic %x%x", ErrWire, hdr[0], hdr[1])
+	}
+	t := FrameType(hdr[2])
+	if t < FrameHello || t > FrameWithdraw {
+		return 0, 0, fmt.Errorf("%w: unknown frame type %d", ErrWire, hdr[2])
+	}
+	n := binary.BigEndian.Uint32(hdr[3:7])
+	if n > MaxFramePayload {
+		return 0, 0, fmt.Errorf("%w: payload %d exceeds cap", ErrWire, n)
+	}
+	return t, int(n), nil
+}
+
+// ReadFrame reads one frame from r, appending the payload into buf
+// (reused across calls) and returning the frame type and payload slice.
+func ReadFrame(r io.Reader, buf []byte) (FrameType, []byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	t, n, err := ParseFrameHeader(hdr[:])
+	if err != nil {
+		return 0, nil, err
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return t, buf, nil
+}

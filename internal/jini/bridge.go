@@ -41,13 +41,14 @@ func ParseRequestPacket(pr *PacketReader) (groups []string, responsePort int, er
 	return m.Groups, m.ResponsePort, nil
 }
 
-// ParseAnnouncementPacket decodes an announcement body into its locator.
-func ParseAnnouncementPacket(pr *PacketReader) (Locator, error) {
+// ParseAnnouncementPacket decodes an announcement body into its locator
+// and the groups the lookup service serves.
+func ParseAnnouncementPacket(pr *PacketReader) (Locator, []string, error) {
 	m, err := parseAnnouncement(pr.r)
 	if err != nil {
-		return Locator{}, err
+		return Locator{}, nil, err
 	}
-	return m.Locator, nil
+	return m.Locator, m.Groups, nil
 }
 
 // RegisterLocal inserts or refreshes a service item directly in the

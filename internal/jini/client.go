@@ -37,30 +37,38 @@ func (c *Client) delay() {
 // DiscoverLookup runs the multicast request protocol and returns the first
 // lookup service heard.
 func (c *Client) DiscoverLookup(timeout time.Duration) (Locator, error) {
+	loc, _, err := c.DiscoverLookupGroups(timeout)
+	return loc, err
+}
+
+// DiscoverLookupGroups is DiscoverLookup returning also the groups the
+// answering lookup service announced — callers that must distinguish
+// kinds of registrars (the INDISS bridge tags its own) need them.
+func (c *Client) DiscoverLookupGroups(timeout time.Duration) (Locator, []string, error) {
 	conn, err := c.host.ListenUDP(0)
 	if err != nil {
-		return Locator{}, fmt.Errorf("jini client: %w", err)
+		return Locator{}, nil, fmt.Errorf("jini client: %w", err)
 	}
 	defer conn.Close()
 
 	req := request{Groups: c.cfg.Groups, ResponsePort: conn.LocalAddr().Port}
 	data, err := marshalRequest(req)
 	if err != nil {
-		return Locator{}, err
+		return Locator{}, nil, err
 	}
 	c.delay()
 	if err := conn.WriteTo(data, simnet.Addr{IP: RequestGroup, Port: Port}); err != nil {
-		return Locator{}, err
+		return Locator{}, nil, err
 	}
 	deadline := time.Now().Add(timeout)
 	for {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
-			return Locator{}, simnet.ErrTimeout
+			return Locator{}, nil, simnet.ErrTimeout
 		}
 		dg, err := conn.Recv(remaining)
 		if err != nil {
-			return Locator{}, err
+			return Locator{}, nil, err
 		}
 		kind, r, err := openPacket(dg.Payload)
 		if err != nil || kind != kindAnnounce {
@@ -71,7 +79,7 @@ func (c *Client) DiscoverLookup(timeout time.Duration) (Locator, error) {
 			continue
 		}
 		c.delay()
-		return ann.Locator, nil
+		return ann.Locator, ann.Groups, nil
 	}
 }
 

@@ -1,0 +1,265 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// The paper deploys INDISS on a single multicast segment; production
+// topologies have many. This file adds the network's notion of segments:
+// every host lives on exactly one, multicast is scoped to the host's own
+// segment (IP multicast does not cross routers without explicit relay),
+// and unicast routes between segments over explicit links that model the
+// routed path's latency, bandwidth and loss.
+
+// DefaultSegment is the segment hosts join when none is named — the
+// implicit single LAN every pre-segment caller gets.
+const DefaultSegment = "lan0"
+
+// Link fixes the physical characteristics of one inter-segment link.
+// The zero value is an instantaneous, lossless, infinitely fast link.
+type Link struct {
+	// Latency is the one-way propagation delay across the link.
+	Latency time.Duration
+	// BandwidthBps, when non-zero, adds a serialization cost of
+	// len(payload)*8/BandwidthBps seconds per traversal.
+	BandwidthBps int64
+	// LossRate is the probability in [0,1) that the link drops a UDP
+	// datagram crossing it. TCP traffic is never dropped (it models a
+	// reliable transport end to end).
+	LossRate float64
+}
+
+// WAN2ms is a convenient inter-segment link profile: a routed 100 Mb/s
+// path with 2ms one-way latency — the "between buildings" counterpart of
+// the paper's 10 Mb/s LAN.
+func WAN2ms() Link {
+	return Link{Latency: 2 * time.Millisecond, BandwidthBps: 100_000_000}
+}
+
+// segment is one multicast domain of the network.
+type segment struct {
+	name string
+}
+
+// AddSegment registers a new, initially unlinked segment.
+func (n *Network) AddSegment(name string) error {
+	if name == "" {
+		return fmt.Errorf("simnet: empty segment name")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return ErrClosed
+	}
+	if _, dup := n.segments[name]; dup {
+		return fmt.Errorf("simnet: duplicate segment %q", name)
+	}
+	n.segments[name] = &segment{name: name}
+	n.routes = nil
+	return nil
+}
+
+// AddLink connects two segments with a bidirectional link. Linking a
+// pair twice replaces the previous link.
+func (n *Network) AddLink(a, b string, l Link) error {
+	if a == b {
+		return fmt.Errorf("simnet: cannot link segment %q to itself", a)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return ErrClosed
+	}
+	for _, name := range []string{a, b} {
+		if _, ok := n.segments[name]; !ok {
+			return fmt.Errorf("simnet: unknown segment %q", name)
+		}
+	}
+	if n.links[a] == nil {
+		n.links[a] = make(map[string]Link)
+	}
+	if n.links[b] == nil {
+		n.links[b] = make(map[string]Link)
+	}
+	n.links[a][b] = l
+	n.links[b][a] = l
+	n.routes = nil // paths may have changed
+	return nil
+}
+
+// Segments returns the registered segment names, in no particular order.
+func (n *Network) Segments() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.segments))
+	for name := range n.segments {
+		out = append(out, name)
+	}
+	return out
+}
+
+// AddHostOn registers a host on the named segment. The segment must
+// already exist (AddSegment or a Topology builder), except DefaultSegment
+// which is created on demand.
+func (n *Network) AddHostOn(name, ip, seg string) (*Host, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.addHostLocked(name, ip, seg)
+}
+
+// MustAddHostOn is AddHostOn for tests and examples.
+func (n *Network) MustAddHostOn(name, ip, seg string) *Host {
+	h, err := n.AddHostOn(name, ip, seg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// route returns the link path between two segments, shortest first by
+// hop count. ok is false when the segments are not connected. Same
+// segment returns an empty path. Paths are cached; AddLink/AddSegment
+// invalidate the cache.
+func (n *Network) route(from, to string) ([]Link, bool) {
+	if from == to {
+		return nil, true
+	}
+	key := from + "\x00" + to
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if path, ok := n.routes[key]; ok {
+		return path, path != nil
+	}
+	path := n.bfsLocked(from, to)
+	if n.routes == nil {
+		n.routes = make(map[string][]Link)
+	}
+	n.routes[key] = path // nil caches "no route" too
+	return path, path != nil
+}
+
+// bfsLocked finds the hop-minimal link path from → to. Requires n.mu.
+func (n *Network) bfsLocked(from, to string) []Link {
+	if _, ok := n.segments[from]; !ok {
+		return nil
+	}
+	type hop struct {
+		seg  string
+		prev *hop
+		link Link
+	}
+	visited := map[string]bool{from: true}
+	queue := []*hop{{seg: from}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.seg == to {
+			// Reconstruct, reversing from destination to source.
+			var rev []Link
+			for h := cur; h.prev != nil; h = h.prev {
+				rev = append(rev, h.link)
+			}
+			path := make([]Link, len(rev))
+			for i, l := range rev {
+				path[len(rev)-1-i] = l
+			}
+			return path
+		}
+		for next, l := range n.links[cur.seg] {
+			if visited[next] {
+				continue
+			}
+			visited[next] = true
+			queue = append(queue, &hop{seg: next, prev: cur, link: l})
+		}
+	}
+	return nil
+}
+
+// Topology declaratively builds a segmented network:
+//
+//	net, err := simnet.NewTopology(simnet.LAN10Mbps()).
+//		Segment("A").Segment("B").Segment("C").
+//		Link("A", "B", simnet.WAN2ms()).
+//		Link("B", "C", simnet.WAN2ms()).
+//		Build()
+//
+// Each segment is a LAN with the Config's intra-segment characteristics;
+// links model the routed paths between them. A topology with no segments
+// builds the implicit single-LAN network New returns.
+type Topology struct {
+	cfg      Config
+	segments []string
+	links    []topoLink
+}
+
+type topoLink struct {
+	a, b string
+	link Link
+}
+
+// NewTopology starts a topology whose segments share the given
+// intra-segment configuration.
+func NewTopology(cfg Config) *Topology {
+	return &Topology{cfg: cfg}
+}
+
+// Segment declares a segment.
+func (t *Topology) Segment(name string) *Topology {
+	t.segments = append(t.segments, name)
+	return t
+}
+
+// Link declares a bidirectional link between two declared segments.
+func (t *Topology) Link(a, b string, l Link) *Topology {
+	t.links = append(t.links, topoLink{a: a, b: b, link: l})
+	return t
+}
+
+// Chain links the declared segments in declaration order with the same
+// link profile — the "line of buildings" topology.
+func (t *Topology) Chain(l Link) *Topology {
+	for i := 1; i < len(t.segments); i++ {
+		t.Link(t.segments[i-1], t.segments[i], l)
+	}
+	return t
+}
+
+// Mesh links every declared segment pair with the same link profile.
+func (t *Topology) Mesh(l Link) *Topology {
+	for i := 0; i < len(t.segments); i++ {
+		for j := i + 1; j < len(t.segments); j++ {
+			t.Link(t.segments[i], t.segments[j], l)
+		}
+	}
+	return t
+}
+
+// Build materializes the network. It fails on duplicate segments or
+// links naming undeclared segments.
+func (t *Topology) Build() (*Network, error) {
+	n := New(t.cfg)
+	for _, s := range t.segments {
+		if err := n.AddSegment(s); err != nil {
+			n.Close()
+			return nil, err
+		}
+	}
+	for _, l := range t.links {
+		if err := n.AddLink(l.a, l.b, l.link); err != nil {
+			n.Close()
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// MustBuild is Build for tests and examples.
+func (t *Topology) MustBuild() *Network {
+	n, err := t.Build()
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

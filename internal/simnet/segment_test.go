@@ -1,0 +1,252 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func buildABC(t *testing.T, link Link) *Network {
+	t.Helper()
+	n, err := NewTopology(Config{}).
+		Segment("A").Segment("B").Segment("C").
+		Chain(link).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return n
+}
+
+func TestMulticastScopedToSegment(t *testing.T) {
+	n := buildABC(t, Link{})
+	a := n.MustAddHostOn("a", "10.0.1.1", "A")
+	a2 := n.MustAddHostOn("a2", "10.0.1.2", "A")
+	b := n.MustAddHostOn("b", "10.0.2.1", "B")
+
+	sender, err := a.ListenUDP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvSame, err := a2.ListenUDP(9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recvSame.JoinGroup("239.1.2.3"); err != nil {
+		t.Fatal(err)
+	}
+	recvOther, err := b.ListenUDP(9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recvOther.JoinGroup("239.1.2.3"); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := sender.WriteTo([]byte("hello"), Addr{IP: "239.1.2.3", Port: 9000}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recvSame.Recv(time.Second); err != nil {
+		t.Fatalf("same-segment receiver missed the multicast: %v", err)
+	}
+	if dg, err := recvOther.Recv(50 * time.Millisecond); err == nil {
+		t.Fatalf("multicast crossed the segment boundary: %q", dg.Payload)
+	}
+}
+
+func TestUnicastRoutesAcrossLinkedSegments(t *testing.T) {
+	n := buildABC(t, Link{Latency: time.Millisecond})
+	a := n.MustAddHostOn("a", "10.0.1.1", "A")
+	c := n.MustAddHostOn("c", "10.0.3.1", "C")
+
+	sender, err := a.ListenUDP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err := c.ListenUDP(9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := sender.WriteTo([]byte("x"), Addr{IP: "10.0.3.1", Port: 9000}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recv.Recv(time.Second); err != nil {
+		t.Fatalf("routed unicast never arrived: %v", err)
+	}
+	// A→C traverses two 1ms links; the datagram cannot arrive sooner.
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("two-hop delivery took %v, want >= 2ms of link latency", elapsed)
+	}
+}
+
+func TestUnicastRefusedBetweenUnlinkedSegments(t *testing.T) {
+	n, err := NewTopology(Config{}).Segment("A").Segment("B").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	a := n.MustAddHostOn("a", "10.0.1.1", "A")
+	b := n.MustAddHostOn("b", "10.0.2.1", "B")
+
+	sender, err := a.ListenUDP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.WriteTo([]byte("x"), Addr{IP: "10.0.2.1", Port: 9000}); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("UDP to unlinked segment: err = %v, want ErrNoRoute", err)
+	}
+	if _, err := a.DialTCP(Addr{IP: "10.0.2.1", Port: 80}); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("TCP to unlinked segment: err = %v, want ErrNoRoute", err)
+	}
+	_ = b
+}
+
+func TestTCPAcrossSegments(t *testing.T) {
+	n := buildABC(t, Link{Latency: 500 * time.Microsecond})
+	a := n.MustAddHostOn("a", "10.0.1.1", "A")
+	c := n.MustAddHostOn("c", "10.0.3.1", "C")
+
+	l, err := c.ListenTCP(7000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan []byte, 1)
+	go func() {
+		s, err := l.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		buf := make([]byte, 16)
+		nr, err := s.Read(buf)
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- buf[:nr]
+	}()
+	s, err := a.DialTCP(Addr{IP: "10.0.3.1", Port: 7000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-done:
+		if string(got) != "ping" {
+			t.Fatalf("cross-segment stream carried %q", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cross-segment TCP never delivered")
+	}
+}
+
+func TestLinkLossAppliedPerLink(t *testing.T) {
+	n, err := NewTopology(Config{}).
+		Segment("A").Segment("B").
+		Link("A", "B", Link{LossRate: 1.0}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	a := n.MustAddHostOn("a", "10.0.1.1", "A")
+	a2 := n.MustAddHostOn("a2", "10.0.1.2", "A")
+	b := n.MustAddHostOn("b", "10.0.2.1", "B")
+
+	sender, err := a.ListenUDP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := b.ListenUDP(9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := a2.ListenUDP(9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.WriteTo([]byte("x"), Addr{IP: "10.0.2.1", Port: 9000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.WriteTo([]byte("x"), Addr{IP: "10.0.1.2", Port: 9000}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := local.Recv(time.Second); err != nil {
+		t.Fatalf("lossless intra-segment datagram dropped: %v", err)
+	}
+	if _, err := cross.Recv(50 * time.Millisecond); err == nil {
+		t.Fatal("datagram survived a LossRate=1.0 link")
+	}
+}
+
+func TestDefaultSegmentBackwardCompatible(t *testing.T) {
+	n := New(Config{})
+	t.Cleanup(n.Close)
+	a := n.MustAddHost("a", "10.0.0.1")
+	b := n.MustAddHost("b", "10.0.0.2")
+	if a.Segment() != DefaultSegment || b.Segment() != DefaultSegment {
+		t.Fatalf("default hosts on segments %q/%q", a.Segment(), b.Segment())
+	}
+	sender, err := a.ListenUDP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err := b.ListenUDP(9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.JoinGroup("239.1.2.3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.WriteTo([]byte("x"), Addr{IP: "239.1.2.3", Port: 9000}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recv.Recv(time.Second); err != nil {
+		t.Fatalf("single-LAN multicast broken: %v", err)
+	}
+}
+
+func TestTopologyBuilderErrors(t *testing.T) {
+	if _, err := NewTopology(Config{}).Segment("A").Segment("A").Build(); err == nil {
+		t.Error("duplicate segment accepted")
+	}
+	if _, err := NewTopology(Config{}).Segment("A").Link("A", "Z", Link{}).Build(); err == nil {
+		t.Error("link to undeclared segment accepted")
+	}
+	if _, err := NewTopology(Config{}).Segment("A").Link("A", "A", Link{}).Build(); err == nil {
+		t.Error("self-link accepted")
+	}
+	n := New(Config{})
+	t.Cleanup(n.Close)
+	if _, err := n.AddHostOn("x", "10.0.0.1", "nope"); err == nil {
+		t.Error("host on undeclared segment accepted")
+	}
+}
+
+func TestRouteCacheInvalidatedByNewLink(t *testing.T) {
+	n, err := NewTopology(Config{}).Segment("A").Segment("B").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	a := n.MustAddHostOn("a", "10.0.1.1", "A")
+	n.MustAddHostOn("b", "10.0.2.1", "B")
+	sender, err := a.ListenUDP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := Addr{IP: "10.0.2.1", Port: 9000}
+	if err := sender.WriteTo([]byte("x"), dst); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("pre-link send: err = %v, want ErrNoRoute", err)
+	}
+	if err := n.AddLink("A", "B", Link{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.WriteTo([]byte("x"), dst); err != nil {
+		t.Errorf("post-link send still refused: %v", err)
+	}
+}

@@ -59,12 +59,15 @@ func LAN10Mbps() Config {
 type Network struct {
 	cfg Config
 
-	mu      sync.Mutex
-	hosts   map[string]*Host // keyed by IP
-	names   map[string]*Host // keyed by name
-	closed  bool
-	rng     *rand.Rand
-	metrics *Metrics
+	mu       sync.Mutex
+	hosts    map[string]*Host // keyed by IP
+	names    map[string]*Host // keyed by name
+	segments map[string]*segment
+	links    map[string]map[string]Link // segment → segment → link
+	routes   map[string][]Link          // "from\x00to" → path cache (nil = no route)
+	closed   bool
+	rng      *rand.Rand
+	metrics  *Metrics
 
 	sched *scheduler
 }
@@ -76,12 +79,14 @@ func New(cfg Config) *Network {
 		seed = 1
 	}
 	return &Network{
-		cfg:     cfg,
-		hosts:   make(map[string]*Host),
-		names:   make(map[string]*Host),
-		rng:     rand.New(rand.NewSource(seed)),
-		metrics: newMetrics(),
-		sched:   newScheduler(),
+		cfg:      cfg,
+		hosts:    make(map[string]*Host),
+		names:    make(map[string]*Host),
+		segments: make(map[string]*segment),
+		links:    make(map[string]map[string]Link),
+		rng:      rand.New(rand.NewSource(seed)),
+		metrics:  newMetrics(),
+		sched:    newScheduler(),
 	}
 }
 
@@ -112,12 +117,24 @@ func (n *Network) Metrics() *Metrics { return n.metrics }
 // Config returns the network's physical configuration.
 func (n *Network) Config() Config { return n.cfg }
 
-// AddHost registers a host with a unique name and IP.
+// AddHost registers a host with a unique name and IP on the default
+// segment — the implicit single LAN of pre-segment callers.
 func (n *Network) AddHost(name, ip string) (*Host, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	return n.AddHostOn(name, ip, DefaultSegment)
+}
+
+// addHostLocked registers a host on the named segment. Requires n.mu.
+// The default segment is created on demand; any other segment must have
+// been declared first, so a topology typo fails loudly.
+func (n *Network) addHostLocked(name, ip, seg string) (*Host, error) {
 	if n.closed {
 		return nil, ErrClosed
+	}
+	if _, ok := n.segments[seg]; !ok {
+		if seg != DefaultSegment {
+			return nil, fmt.Errorf("simnet: unknown segment %q", seg)
+		}
+		n.segments[seg] = &segment{name: seg}
 	}
 	if _, dup := n.hosts[ip]; dup {
 		return nil, fmt.Errorf("%w: ip %s", ErrDuplicateHost, ip)
@@ -129,6 +146,7 @@ func (n *Network) AddHost(name, ip string) (*Host, error) {
 		net:       n,
 		name:      name,
 		ip:        ip,
+		seg:       seg,
 		udp:       make(map[int]*UDPConn),
 		mcast:     make(map[int][]*UDPConn),
 		listeners: make(map[int]*Listener),
@@ -173,9 +191,23 @@ func (n *Network) Hosts() []*Host {
 	return out
 }
 
-// linkDelay computes the one-way delay for a payload of size bytes between
-// two hosts, applying propagation latency plus serialization cost.
-func (n *Network) linkDelay(from, to *Host, size int) time.Duration {
+// resolvePath returns the inter-segment link path between two hosts
+// (nil within one segment) and whether unicast traffic can flow at all.
+// Senders resolve once per datagram and feed the path to the
+// delay/loss helpers below, so one send takes the network mutex at most
+// twice (route-cache hit + loss rng) instead of once per helper.
+func (n *Network) resolvePath(from, to *Host) ([]Link, bool) {
+	if from.seg == to.seg {
+		return nil, true
+	}
+	return n.route(from.seg, to.seg)
+}
+
+// linkDelayPath computes the one-way delay for a payload of size bytes:
+// propagation latency plus serialization cost on the local LAN leg, and
+// the latency and serialization cost of every link on a resolved
+// cross-segment path.
+func (n *Network) linkDelayPath(from, to *Host, size int, path []Link) time.Duration {
 	if from == to {
 		return n.cfg.LoopbackLatency
 	}
@@ -183,17 +215,60 @@ func (n *Network) linkDelay(from, to *Host, size int) time.Duration {
 	if n.cfg.BandwidthBps > 0 {
 		d += time.Duration(int64(size) * 8 * int64(time.Second) / n.cfg.BandwidthBps)
 	}
+	for _, l := range path {
+		d += l.Latency
+		if l.BandwidthBps > 0 {
+			d += time.Duration(int64(size) * 8 * int64(time.Second) / l.BandwidthBps)
+		}
+	}
 	return d
 }
 
-// dropPacket applies loss injection to an inter-host datagram.
-func (n *Network) dropPacket(from, to *Host) bool {
-	if n.cfg.LossRate <= 0 || from == to {
+// linkDelay is linkDelayPath with the path resolved on the spot — for
+// callers without one at hand (TCP stream writes). An unconnected pair
+// degenerates to the plain LAN delay; reachability was checked at dial
+// time.
+func (n *Network) linkDelay(from, to *Host, size int) time.Duration {
+	path, _ := n.resolvePath(from, to)
+	return n.linkDelayPath(from, to, size, path)
+}
+
+// dropPacketPath applies loss injection to an inter-host datagram: the
+// segment's own LossRate for the LAN leg, plus one independent draw per
+// link of the resolved cross-segment path.
+func (n *Network) dropPacketPath(from, to *Host, path []Link) bool {
+	if from == to {
 		return false
+	}
+	if n.cfg.LossRate <= 0 {
+		lossy := false
+		for _, l := range path {
+			if l.LossRate > 0 {
+				lossy = true
+				break
+			}
+		}
+		if !lossy {
+			return false
+		}
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.rng.Float64() < n.cfg.LossRate
+	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		return true
+	}
+	for _, l := range path {
+		if l.LossRate > 0 && n.rng.Float64() < l.LossRate {
+			return true
+		}
+	}
+	return false
+}
+
+// dropPacket is dropPacketPath for same-segment traffic (multicast, which
+// never crosses a boundary).
+func (n *Network) dropPacket(from, to *Host) bool {
+	return n.dropPacketPath(from, to, nil)
 }
 
 // Host is a network node: one IP, a set of bound UDP ports and TCP
@@ -202,6 +277,7 @@ type Host struct {
 	net  *Network
 	name string
 	ip   string
+	seg  string
 
 	mu        sync.Mutex
 	udp       map[int]*UDPConn
@@ -216,6 +292,9 @@ func (h *Host) Name() string { return h.name }
 
 // IP returns the host's address.
 func (h *Host) IP() string { return h.ip }
+
+// Segment returns the name of the multicast segment the host lives on.
+func (h *Host) Segment() string { return h.seg }
 
 // Network returns the network the host belongs to.
 func (h *Host) Network() *Network { return h.net }

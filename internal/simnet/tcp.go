@@ -102,6 +102,9 @@ func (h *Host) DialTCP(addr Addr) (*Stream, error) {
 	if to == nil {
 		return nil, fmt.Errorf("%w: %s", ErrNoRoute, addr.IP)
 	}
+	if _, routed := n.resolvePath(h, to); !routed {
+		return nil, fmt.Errorf("%w: %s", ErrNoRoute, addr.IP)
+	}
 	to.mu.Lock()
 	l := to.listeners[addr.Port]
 	to.mu.Unlock()

@@ -214,12 +214,16 @@ func (c *UDPConn) sendUnicast(dg Datagram) error {
 	if to == nil {
 		return fmt.Errorf("%w: %s", ErrNoRoute, dg.Dst.IP)
 	}
-	if n.dropPacket(c.host, to) {
+	path, routed := n.resolvePath(c.host, to)
+	if !routed {
+		return fmt.Errorf("%w: %s", ErrNoRoute, dg.Dst.IP)
+	}
+	if n.dropPacketPath(c.host, to, path) {
 		n.metrics.addDrop(dg.Dst.Port, len(dg.Payload))
 		return nil
 	}
 	n.metrics.addUDP(dg.Dst.Port, len(dg.Payload), false)
-	delay := n.linkDelay(c.host, to, len(dg.Payload))
+	delay := n.linkDelayPath(c.host, to, len(dg.Payload), path)
 	n.sched.schedule(time.Now().Add(delay), func() {
 		to.mu.Lock()
 		rc := to.udp[dg.Dst.Port]
@@ -235,6 +239,9 @@ func (c *UDPConn) sendMulticast(dg Datagram) error {
 	n := c.host.net
 	n.metrics.addUDP(dg.Dst.Port, len(dg.Payload), true)
 	for _, to := range n.Hosts() {
+		if to.seg != c.host.seg {
+			continue // multicast never crosses a segment boundary
+		}
 		to.mu.Lock()
 		receivers := make([]*UDPConn, 0, 1+len(to.mcast[dg.Dst.Port]))
 		if rc := to.udp[dg.Dst.Port]; rc != nil {

@@ -75,6 +75,7 @@ func DefaultGroups() []Group {
 		{Name: "UPnP Unit", Paths: []string{"internal/units/upnpunit.go"}},
 		{Name: "Jini Unit", Paths: []string{"internal/units/jiniunit.go"}},
 		{Name: "DNS-SD Unit", Paths: []string{"internal/units/dnssdunit.go"}},
+		{Name: "Federation plane", Paths: []string{"internal/federation"}},
 		{Name: "SLP stack (OpenSLP equivalent)", Paths: []string{"internal/slp"}},
 		{Name: "UPnP stack (CyberLink equivalent)", Paths: []string{
 			"internal/upnp", "internal/ssdp", "internal/httpx", "internal/xmlx",
@@ -194,7 +195,7 @@ func (r Report) Table2() string {
 
 	b.WriteString("INDISS size requirements\n")
 	b.WriteString(line)
-	for _, name := range []string{"Core framework", "SLP Unit", "UPnP Unit", "Jini Unit"} {
+	for _, name := range []string{"Core framework", "SLP Unit", "UPnP Unit", "Jini Unit", "DNS-SD Unit", "Federation plane"} {
 		writeRow(&b, r, name)
 	}
 	indiss := r.Sum("Core framework", "SLP Unit", "UPnP Unit")
@@ -223,6 +224,7 @@ func (r Report) Table2() string {
 	b.WriteString("\nMemo\n")
 	b.WriteString(line)
 	writeRow(&b, r, "Jini stack (simulated)")
+	writeRow(&b, r, "DNS-SD stack (mDNS responder/querier)")
 	writeRow(&b, r, "Testbed (simnet, not shipped)")
 	return b.String()
 }

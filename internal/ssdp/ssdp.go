@@ -53,6 +53,10 @@ type SearchRequest struct {
 	ST string
 	// MX bounds the random response delay in seconds.
 	MX int
+	// UserAgent identifies the searching stack (UDA 1.1 §1.3.2). INDISS
+	// bridges tag their composed searches here so a peer bridge on the
+	// same segment does not translate a translation.
+	UserAgent string
 }
 
 // Marshal renders the M-SEARCH datagram.
@@ -61,15 +65,19 @@ func (m *SearchRequest) Marshal() []byte {
 	if host == "" {
 		host = fmt.Sprintf("%s:%d", MulticastGroup, Port)
 	}
+	hdr := httpx.NewHeader(
+		"HOST", host,
+		"MAN", ManDiscover,
+		"MX", strconv.Itoa(m.MX),
+		"ST", m.ST,
+	)
+	if m.UserAgent != "" {
+		hdr.Add("USER-AGENT", m.UserAgent)
+	}
 	req := &httpx.Request{
 		Method: "M-SEARCH",
 		Target: "*",
-		Header: httpx.NewHeader(
-			"HOST", host,
-			"MAN", ManDiscover,
-			"MX", strconv.Itoa(m.MX),
-			"ST", m.ST,
-		),
+		Header: hdr,
 	}
 	return req.Marshal()
 }
@@ -190,7 +198,12 @@ func parseSearchRequest(req *httpx.Request) (*SearchRequest, error) {
 	if err != nil || mx < 0 {
 		mx = 0
 	}
-	return &SearchRequest{Host: req.Header.Get("HOST"), ST: st, MX: mx}, nil
+	return &SearchRequest{
+		Host:      req.Header.Get("HOST"),
+		ST:        st,
+		MX:        mx,
+		UserAgent: req.Header.Get("USER-AGENT"),
+	}, nil
 }
 
 func parseSearchResponse(resp *httpx.Response) (*SearchResponse, error) {

@@ -16,6 +16,39 @@ import (
 // translating a foreign request.
 const defaultQueryTimeout = 2 * time.Second
 
+// Bridge origin markers. Two INDISS gateways sharing a segment (or a
+// federation making one gateway's knowledge another's) must never
+// re-absorb each other's composed native traffic: a translation of a
+// translation yields a duplicate record under the wrong origin. Every
+// unit therefore tags what it emits and skips what peers tagged — the
+// DNS-SD unit's origin= TXT pattern, generalized to all four protocols.
+const (
+	// bridgeMarker appears in UPnP SERVER/USER-AGENT product tokens.
+	// It must be more specific than "indiss": the simulated native
+	// stacks brand themselves "… indiss/1.0" too.
+	bridgeMarker = "indiss-bridge"
+	// bridgeUSNPrefix starts every synthesized bridge device UUID, and
+	// is the only marker a SERVER-less message (SSDP byebye) carries.
+	bridgeUSNPrefix = "uuid:" + bridgeMarker
+	// slpBridgeAttr tags INDISS-composed SAAdverts.
+	slpBridgeAttr = "x-indiss-bridge"
+	// slpBridgeScope rides in INDISS-composed SrvRqsts' scope lists,
+	// invisible to native SAs (scope matching is by intersection).
+	slpBridgeScope = "x-indiss-bridge"
+	// jiniBridgeGroup is announced by the bridge registrar alongside
+	// its real groups, invisible to native clients (group matching is
+	// by intersection, empty-means-any).
+	jiniBridgeGroup = "x-indiss-bridge"
+	// jiniOriginAttr tags bridge registrar items (pre-existing).
+	jiniOriginAttr = "origin"
+)
+
+// isBridgeProduct reports whether a UPnP SERVER/USER-AGENT value names
+// an INDISS bridge.
+func isBridgeProduct(s string) bool {
+	return strings.Contains(strings.ToLower(s), bridgeMarker)
+}
+
 // pendingTTL is how long a pending foreign request stays answerable.
 const pendingTTL = 10 * time.Second
 

@@ -1,0 +1,130 @@
+package units
+
+import (
+	"testing"
+	"time"
+
+	"indiss/internal/core"
+	"indiss/internal/dnssd"
+	"indiss/internal/jini"
+	"indiss/internal/slp"
+)
+
+// This file is the regression for the latent same-LAN double-bridge bug:
+// before the origin tags were generalized, only the DNS-SD unit marked
+// its emissions, so two gateways sharing one segment re-absorbed each
+// other's SLP/UPnP/Jini re-advertisements — a translation of a
+// translation, yielding duplicate records under the wrong origin (and,
+// with active re-advertisement, a mutual amplification loop).
+
+// TestTwoGatewaysOneSegmentNoReabsorption runs two full INDISS gateways
+// beside native services of every protocol and asserts every record in
+// both gateways' views still carries the service's true native origin.
+func TestTwoGatewaysOneSegmentNoReabsorption(t *testing.T) {
+	n := newNet(t)
+	gw1Host := n.MustAddHost("gw1", "10.0.0.8")
+	gw2Host := n.MustAddHost("gw2", "10.0.0.9")
+	svcHost := n.MustAddHost("svc", "10.0.0.2")
+	lookupHost := n.MustAddHost("lookup", "10.0.0.5")
+
+	// Active re-advertisement maximizes the bait: both gateways
+	// re-announce everything they know in every protocol.
+	gw1, err := core.NewSystem(gw1Host, registry(), core.Config{
+		Role:           core.RoleServiceSide, // service side: readvertises under threshold
+		ThresholdBps:   1 << 20,
+		PolicyInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw1.Close)
+	gw2, err := core.NewSystem(gw2Host, registry(), core.Config{
+		Role:           core.RoleServiceSide,
+		ThresholdBps:   1 << 20,
+		PolicyInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw2.Close)
+
+	// One native service per protocol.
+	sa, err := slp.NewServiceAgent(svcHost, slp.AgentConfig{AnnounceInterval: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sa.Close)
+	if err := sa.Register("service:printer", "service:printer://10.0.0.2:515",
+		time.Hour, slp.AttrList{{Name: "location", Values: []string{"hall"}}}); err != nil {
+		t.Fatal(err)
+	}
+	clockDevice(t, svcHost)
+	responder, err := dnssd.NewResponder(svcHost, dnssd.ResponderConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(responder.Close)
+	if err := responder.Register(dnssd.Registration{
+		Instance: "Sensor", Service: dnssd.ServiceType("sensor"), Port: 7070,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ls, err := jini.NewLookupService(lookupHost, jini.LookupConfig{
+		AnnounceInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ls.Close)
+	jc := jini.NewClient(svcHost, jini.ClientConfig{})
+	if _, err := jc.Register(ls.Locator(), jini.ServiceItem{
+		Type: "net.jini.meter.Meter", Endpoint: "10.0.0.2:9100",
+	}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// The native origin each kind must keep, in every view, always.
+	wantOrigin := map[string]core.SDP{
+		"printer": core.SDPSLP,
+		"clock":   core.SDPUPnP,
+		"sensor":  core.SDPDNSSD,
+		"meter":   core.SDPJini,
+	}
+
+	// Let announcements, re-advertisements and both gateways' loops run
+	// long enough for any cross-absorption to happen several times over.
+	deadline := time.Now().Add(4 * time.Second)
+	populated := false
+	for time.Now().Before(deadline) {
+		time.Sleep(100 * time.Millisecond)
+		for i, sys := range []*core.System{gw1, gw2} {
+			seen := 0
+			for kind, origin := range wantOrigin {
+				for _, rec := range sys.View().Find(kind, time.Now()) {
+					if rec.Origin != origin {
+						t.Fatalf("gw%d re-absorbed a bridged advert: kind %q has origin %s (want %s), url %q",
+							i+1, kind, rec.Origin, origin, rec.URL)
+					}
+					seen++
+				}
+			}
+			if i == 0 && seen >= 3 {
+				populated = true
+			}
+		}
+	}
+	if !populated {
+		t.Fatal("gateway views never populated; the scenario lost its teeth")
+	}
+
+	// And no kind may hold duplicate records for the one real service.
+	for i, sys := range []*core.System{gw1, gw2} {
+		for kind := range wantOrigin {
+			recs := sys.View().Find(kind, time.Now())
+			if len(recs) > 1 {
+				t.Errorf("gw%d holds %d records for kind %q, want at most 1: %+v",
+					i+1, len(recs), kind, recs)
+			}
+		}
+	}
+}

@@ -23,6 +23,14 @@ type JiniUnitConfig struct {
 	AnnounceInterval time.Duration
 	// Groups the unit serves.
 	Groups []string
+	// SyncInterval spaces the unit's view↔registrar reconciliation: the
+	// registrar absorbs foreign records from the view (including ones a
+	// federation peer delivered, which never ride the local bus), and
+	// any known native lookup service is polled so its items reach the
+	// view passively — Jini items are never multicast, so without the
+	// pull a Jini service is invisible until someone asks. Zero uses
+	// 500ms; negative disables the loop.
+	SyncInterval time.Duration
 }
 
 // JiniUnit is the INDISS unit for Jini. Jini's service lookups are
@@ -43,6 +51,8 @@ type JiniUnit struct {
 
 	nativeMu      sync.Mutex
 	nativeLocator jini.Locator // last non-self lookup service heard
+
+	stop chan struct{}
 }
 
 // interface compliance
@@ -59,10 +69,14 @@ func NewJiniUnit(cfg JiniUnitConfig) *JiniUnit {
 	if cfg.AnnounceInterval <= 0 {
 		cfg.AnnounceInterval = 500 * time.Millisecond
 	}
+	if cfg.SyncInterval == 0 {
+		cfg.SyncInterval = 500 * time.Millisecond
+	}
 	u := &JiniUnit{
 		base: newBase("jini-unit", core.SDPJini),
 		cfg:  cfg,
 		ids:  make(map[string]jini.ServiceID),
+		stop: make(chan struct{}),
 	}
 	u.onRequest = u.queryNative
 	u.onOther = u.composeOther
@@ -71,8 +85,17 @@ func NewJiniUnit(cfg JiniUnitConfig) *JiniUnit {
 
 // Start implements core.Unit.
 func (u *JiniUnit) Start(ctx *core.UnitContext) error {
+	// The registrar announces the bridge marker group alongside its
+	// real groups: invisible to native clients (group matching is by
+	// intersection, empty-means-any), but enough for a peer gateway's
+	// unit to know this is not native Jini infrastructure.
+	real := u.cfg.Groups
+	if len(real) == 0 {
+		real = []string{"public"} // preserve the registrar's default group
+	}
+	groups := append(append([]string(nil), real...), jiniBridgeGroup)
 	registrar, err := jini.NewLookupService(ctx.Host, jini.LookupConfig{
-		Groups:           u.cfg.Groups,
+		Groups:           groups,
 		UnicastPort:      u.cfg.RegistrarPort,
 		AnnounceInterval: u.cfg.AnnounceInterval,
 	})
@@ -87,6 +110,9 @@ func (u *JiniUnit) Start(ctx *core.UnitContext) error {
 	u.client = jini.NewClient(ctx.Host, jini.ClientConfig{Groups: u.cfg.Groups})
 	u.attach(ctx)
 	ctx.Bus.Subscribe(u.name, events.ListenerFunc(u.OnEvents))
+	if u.cfg.SyncInterval > 0 {
+		u.spawn(u.syncLoop)
+	}
 	return nil
 }
 
@@ -95,6 +121,7 @@ func (u *JiniUnit) Stop() {
 	if !u.markStopped() {
 		return
 	}
+	close(u.stop)
 	ctx := u.context()
 	if ctx != nil {
 		ctx.Bus.Unsubscribe(u.name)
@@ -150,9 +177,14 @@ func (u *JiniUnit) parseDiscoveryRequest(det core.Detection) {
 }
 
 // parseAnnouncement records native lookup services for later queries.
+// Bridge registrars — ours or a peer gateway's — announce the marker
+// group and are never adopted as native infrastructure.
 func (u *JiniUnit) parseAnnouncement(r *jini.PacketReader, det core.Detection) {
-	ann, err := jini.ParseAnnouncementPacket(r)
+	ann, groups, err := jini.ParseAnnouncementPacket(r)
 	if err != nil {
+		return
+	}
+	if isBridgeRegistrar(groups) {
 		return
 	}
 	own := u.registrar.Locator()
@@ -195,6 +227,9 @@ func (u *JiniUnit) queryNative(s events.Stream) {
 		return
 	}
 	for _, item := range items {
+		if isBridgeItem(item) {
+			continue // a bridge-created mirror, not native knowledge
+		}
 		itemKind := kindFromJiniType(item.Type)
 		if kind != "" && itemKind != baseKind(kind) {
 			continue
@@ -213,6 +248,17 @@ func (u *JiniUnit) queryNative(s events.Stream) {
 	}
 }
 
+// isBridgeItem reports whether a looked-up item was created by an INDISS
+// bridge registrar (they carry the origin attribute).
+func isBridgeItem(item jini.ServiceItem) bool {
+	for _, e := range item.Attrs {
+		if e.Name == jiniOriginAttr && e.Value != "" {
+			return true
+		}
+	}
+	return false
+}
+
 // findNativeLookup returns a known native lookup locator, discovering one
 // if necessary (excluding the bridge's own registrar).
 func (u *JiniUnit) findNativeLookup() (jini.Locator, bool) {
@@ -225,12 +271,15 @@ func (u *JiniUnit) findNativeLookup() (jini.Locator, bool) {
 	own := u.registrar.Locator()
 	deadline := time.Now().Add(u.cfg.QueryTimeout)
 	for time.Now().Before(deadline) {
-		found, err := u.client.DiscoverLookup(time.Until(deadline))
+		found, groups, err := u.client.DiscoverLookupGroups(time.Until(deadline))
 		if err != nil {
 			return jini.Locator{}, false
 		}
 		if found.Host == own.Host && found.Port == own.Port {
 			continue // our own registrar answered; keep listening
+		}
+		if isBridgeRegistrar(groups) {
+			continue // a peer gateway's bridge registrar, not native infra
 		}
 		u.nativeMu.Lock()
 		u.nativeLocator = found
@@ -238,6 +287,17 @@ func (u *JiniUnit) findNativeLookup() (jini.Locator, bool) {
 		return found, true
 	}
 	return jini.Locator{}, false
+}
+
+// isBridgeRegistrar reports whether announced groups mark an INDISS
+// bridge registrar.
+func isBridgeRegistrar(groups []string) bool {
+	for _, g := range groups {
+		if g == jiniBridgeGroup {
+			return true
+		}
+	}
+	return false
 }
 
 func baseKind(kind string) string {
@@ -250,8 +310,11 @@ func baseKind(kind string) string {
 }
 
 // registerForeign mirrors a foreign service into the bridge registrar.
+// Locally heard Jini services are excluded — their own lookup service
+// serves them — but a *remote* Jini record is as foreign as any other:
+// no native infrastructure on this segment knows it.
 func (u *JiniUnit) registerForeign(rec core.ServiceRecord) {
-	if rec.Origin == core.SDPJini || rec.URL == "" {
+	if (rec.Origin == core.SDPJini && !rec.Remote) || rec.URL == "" {
 		return
 	}
 	attrs := []jini.Entry{
@@ -292,6 +355,74 @@ func (u *JiniUnit) unregisterForeign(origin core.SDP, url string) {
 	u.idMu.Unlock()
 	if ok {
 		u.registrar.Unregister(id)
+	}
+}
+
+// syncLoop reconciles the registrar with the shared view both ways.
+//
+// Push: every foreign record in the view becomes a registrar item, so a
+// Jini client can look up a service that arrived over the federation —
+// remote records never ride the local bus, so the stream-driven
+// registerForeign alone would miss them.
+//
+// Pull: a known native lookup service is polled and its items fed into
+// the view as Jini records. Jini has no multicast item advertisement, so
+// without the pull a native Jini service stays invisible to peers (and
+// to federation peers on other segments) until a request happens to ask.
+func (u *JiniUnit) syncLoop() {
+	ticker := time.NewTicker(u.cfg.SyncInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-u.stop:
+			return
+		case <-ticker.C:
+			ctx := u.context()
+			if ctx == nil {
+				continue
+			}
+			now := time.Now()
+			for _, rec := range ctx.View.Find("", now) {
+				// registerForeign filters out what must not be
+				// mirrored (local Jini records: the native lookup
+				// service already serves them).
+				u.registerForeign(rec)
+			}
+			u.pullNativeItems(ctx)
+		}
+	}
+}
+
+// pullNativeItems mirrors a native lookup service's registrations into
+// the view. Only already-known locators are polled — discovery stays
+// passive (announcement-driven), as the monitor architecture prescribes.
+func (u *JiniUnit) pullNativeItems(ctx *core.UnitContext) {
+	u.nativeMu.Lock()
+	loc := u.nativeLocator
+	u.nativeMu.Unlock()
+	if loc.Host == "" {
+		return
+	}
+	items, err := u.client.Lookup(loc, jini.ServiceTemplate{}, u.cfg.QueryTimeout)
+	if err != nil {
+		return
+	}
+	for _, item := range items {
+		if isBridgeItem(item) || item.Endpoint == "" {
+			continue
+		}
+		rec := core.ServiceRecord{
+			Origin:  core.SDPJini,
+			Kind:    kindFromJiniType(item.Type),
+			URL:     item.Endpoint,
+			Attrs:   entryAttrs(item.Attrs),
+			Expires: time.Now().Add(30 * time.Minute),
+		}
+		if existing, ok := ctx.View.Get(core.SDPJini, rec.URL); ok && existing.Expires.After(time.Now().Add(25*time.Minute)) {
+			continue // freshly synced; skip the Put/delta churn
+		}
+		ctx.View.Put(rec)
+		u.publish(aliveStream(core.SDPJini, rec))
 	}
 }
 

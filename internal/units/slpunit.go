@@ -158,6 +158,13 @@ func (u *SLPUnit) parseSrvRqst(m *slp.SrvRqst, det core.Detection) {
 	case "service:directory-agent", "service:service-agent":
 		return // infrastructure requests are not bridgeable services
 	}
+	for _, s := range m.Scopes {
+		if s == slpBridgeScope {
+			// A peer bridge's translated query: answering it would
+			// translate a translation (same-LAN double-bridge loop).
+			return
+		}
+	}
 	ctx := u.context()
 	kind := kindFromSLPType(m.ServiceType)
 	reqID := "slp-" + det.Src.String() + "-" + strconv.Itoa(int(m.Hdr.XID))
@@ -199,6 +206,11 @@ func (u *SLPUnit) parseSAAdvert(m *slp.SAAdvert) {
 	attrs, err := slp.ParseAttrList(m.Attrs)
 	if err != nil {
 		return
+	}
+	for _, a := range attrs {
+		if a.Name == slpBridgeAttr {
+			return // a peer bridge's re-advertisement, not native knowledge
+		}
 	}
 	ctx := u.context()
 	// The SA summarizes its registrations as (service-url, service-type)
@@ -265,10 +277,13 @@ func (u *SLPUnit) queryNative(s events.Stream) {
 		ctx.Self.Unmark(conn.LocalAddr())
 	}()
 
+	// The extra scope marks the query as bridge-composed; native SAs
+	// match scopes by intersection and never see it, while a peer
+	// bridge's unit recognizes it and stays silent.
 	req := &slp.SrvRqst{
 		Hdr:         slp.Header{XID: xidFrom(reqID), Flags: slp.FlagRequestMcast, Lang: slp.DefaultLang},
 		ServiceType: slpTypeFromKind(kind),
-		Scopes:      u.scopes(),
+		Scopes:      append(append([]string(nil), u.scopes()...), slpBridgeScope),
 	}
 	data, err := req.Marshal()
 	if err != nil {
@@ -394,7 +409,9 @@ func (u *SLPUnit) announceLoop() {
 // shape native SAs announce with.
 func (u *SLPUnit) sendSAAdvert(recs []core.ServiceRecord) {
 	ctx := u.context()
-	var attrs slp.AttrList
+	// The leading marker attribute keeps peer bridges from re-absorbing
+	// this advert as native SLP knowledge.
+	attrs := slp.AttrList{{Name: slpBridgeAttr, Values: []string{"1"}}}
 	for _, rec := range recs {
 		attrs = append(attrs,
 			slp.Attr{Name: "service-url", Values: []string{slpURLFor(rec)}},

@@ -187,6 +187,9 @@ func (u *UPnPUnit) HandleNative(det core.Detection) {
 // parseSearch translates an M-SEARCH into a request stream, answering
 // from the view when possible (Figure 9b's best case).
 func (u *UPnPUnit) parseSearch(m *ssdp.SearchRequest, det core.Detection) {
+	if isBridgeProduct(m.UserAgent) {
+		return // a peer bridge's translated search: never answer it
+	}
 	ctx := u.context()
 	kind := kindFromUPnPTarget(m.ST)
 	reqID := "ssdp-" + det.Src.String() + "-" + m.ST
@@ -216,6 +219,12 @@ func (u *UPnPUnit) parseSearch(m *ssdp.SearchRequest, det core.Detection) {
 // the description is fetched so the record carries a usable service
 // endpoint, not just a description URL.
 func (u *UPnPUnit) parseNotify(m *ssdp.Notify) {
+	if isBridgeProduct(m.Server) || strings.Contains(m.USN, bridgeUSNPrefix) {
+		// A peer bridge's re-advertisement (byebyes carry no SERVER, so
+		// the synthesized USN is checked too): absorbing it would echo
+		// foreign knowledge back as UPnP knowledge.
+		return
+	}
 	if strings.Contains(m.NT, ":service:") {
 		// A device advertises each service type alongside its device
 		// type; the device is the bridgeable unit (the paper maps
@@ -300,8 +309,13 @@ func (u *UPnPUnit) queryNative(s events.Stream) {
 		ctx.Self.Unmark(conn.LocalAddr())
 	}()
 
-	// Compose the M-SEARCH of Figure 4 step ①.
-	search := &ssdp.SearchRequest{ST: upnpTargetFromKind(kind), MX: u.cfg.MX}
+	// Compose the M-SEARCH of Figure 4 step ① — tagged as
+	// bridge-composed so a peer gateway's unit does not translate it.
+	search := &ssdp.SearchRequest{
+		ST:        upnpTargetFromKind(kind),
+		MX:        u.cfg.MX,
+		UserAgent: "indiss-bridge/1.0",
+	}
 	ctx.Profile.Delay()
 	if err := conn.WriteTo(search.Marshal(), simnet.Addr{IP: ssdp.MulticastGroup, Port: ssdp.Port}); err != nil {
 		return
@@ -390,6 +404,9 @@ func (u *UPnPUnit) awaitSearchResponse(conn *simnet.UDPConn, deadline time.Time)
 			continue
 		}
 		if resp, ok := msg.(*ssdp.SearchResponse); ok {
+			if isBridgeProduct(resp.Server) {
+				continue // a peer bridge answered: not native knowledge
+			}
 			return resp
 		}
 	}
@@ -491,7 +508,7 @@ func (u *UPnPUnit) composeSearchResponse(p *pending, rec core.ServiceRecord) {
 		ST:       st,
 		USN:      usn,
 		Location: location,
-		Server:   "indiss/1.0 UPnP/1.0 bridge",
+		Server:   "indiss-bridge/1.0 UPnP/1.0",
 		MaxAge:   ttlOrDefault(rec.Expires),
 	}
 	ctx.Profile.Delay()
@@ -523,7 +540,7 @@ func (u *UPnPUnit) ensureDescription(rec core.ServiceRecord) (location, usn stri
 		path = fmt.Sprintf("/bridge/%s-%d/description.xml", kindBase, u.descSeq)
 		u.descPaths[key] = path
 	}
-	uuid := "uuid:indiss-bridge-" + kindBase + "-" + strconv.Itoa(len(u.descPaths))
+	uuid := bridgeUSNPrefix + "-" + kindBase + "-" + strconv.Itoa(len(u.descPaths))
 	friendly := rec.Attrs["friendlyName"]
 	if friendly == "" {
 		friendly = strings.Title(kindBase) + " (via " + string(rec.Origin) + ")"
@@ -561,7 +578,7 @@ func (u *UPnPUnit) serveDescription(req *httpx.Request) *httpx.Response {
 	}
 	return &httpx.Response{
 		StatusCode: 200,
-		Header:     httpx.NewHeader("CONTENT-TYPE", "text/xml", "SERVER", "indiss/1.0 UPnP/1.0 bridge"),
+		Header:     httpx.NewHeader("CONTENT-TYPE", "text/xml", "SERVER", "indiss-bridge/1.0 UPnP/1.0"),
 		Body:       doc,
 	}
 }
@@ -593,7 +610,7 @@ func (u *UPnPUnit) sendNotify(rec core.ServiceRecord, nts string) {
 		NTS:      nts,
 		USN:      usn,
 		Location: location,
-		Server:   "indiss/1.0 UPnP/1.0 bridge",
+		Server:   "indiss-bridge/1.0 UPnP/1.0",
 		MaxAge:   ttlOrDefault(rec.Expires),
 	}
 	ctx.Profile.Delay()

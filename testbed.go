@@ -1,6 +1,7 @@
 package indiss
 
 import (
+	"strconv"
 	"strings"
 	"time"
 
@@ -17,14 +18,20 @@ import (
 // published medians keep their ordering and rough ratios. EXPERIMENTS.md
 // details the fit.
 
-// NewLAN builds the experiment network: a 10 Mb/s LAN with 100µs one-way
-// latency, the paper's testbed fabric.
-func NewLAN() *simnet.Network {
-	return simnet.New(simnet.Config{
+// lanConfig is the paper's testbed fabric, shared by every calibrated
+// network builder so a re-tuning cannot diverge them.
+func lanConfig() simnet.Config {
+	return simnet.Config{
 		LANLatency:      100 * time.Microsecond,
 		LoopbackLatency: 10 * time.Microsecond,
 		BandwidthBps:    10_000_000,
-	})
+	}
+}
+
+// NewLAN builds the experiment network: a 10 Mb/s LAN with 100µs one-way
+// latency, the paper's testbed fabric.
+func NewLAN() *simnet.Network {
+	return simnet.New(lanConfig())
 }
 
 // Network re-exports the simulated network type for API completeness.
@@ -32,6 +39,39 @@ type Network = simnet.Network
 
 // Host re-exports the simulated host type.
 type Host = simnet.Host
+
+// Topology re-exports the segmented-network builder: declare segments,
+// link them, Build. See NewCampus for the canonical multi-segment
+// testbed.
+type Topology = simnet.Topology
+
+// Link re-exports an inter-segment link profile.
+type Link = simnet.Link
+
+// NewTopology starts a topology whose segments share the given
+// intra-segment configuration (see NewLAN for the paper's).
+func NewTopology(cfg simnet.Config) *Topology { return simnet.NewTopology(cfg) }
+
+// CampusSegment names the i-th (1-based) segment of a NewCampus network.
+func CampusSegment(i int) string { return "seg" + strconv.Itoa(i) }
+
+// CampusLink is the inter-segment link profile of the campus testbed: a
+// routed 100 Mb/s path with 2 ms one-way latency between buildings.
+func CampusLink() Link { return simnet.WAN2ms() }
+
+// NewCampus builds the multi-segment testbed the federation experiments
+// run on: n paper-grade LANs ("seg1".."segN", each the NewLAN fabric)
+// chained with CampusLink routed paths. Place one federated gateway per
+// segment and peer them to taste; multicast stays inside each segment,
+// exactly as on a routed campus network.
+func NewCampus(n int) *simnet.Network {
+	topo := simnet.NewTopology(lanConfig())
+	for i := 1; i <= n; i++ {
+		topo.Segment(CampusSegment(i))
+	}
+	topo.Chain(CampusLink())
+	return topo.MustBuild()
+}
 
 // OpenSLPProfile models the OpenSLP library's per-message processing
 // cost: with it, a native SLP search completes in ~0.7ms (paper Figure
