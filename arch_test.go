@@ -1,0 +1,64 @@
+package indiss_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// simnetFreePackages must never depend on the simulated network, even
+// transitively: they speak netapi, so the same build runs on real
+// sockets. This is the guard that keeps the PR-4 transport abstraction
+// from silently eroding (a stray simnet import would drag the simulator
+// into production binaries and re-couple the stacks to one fabric).
+var simnetFreePackages = []string{
+	"indiss/internal/core",
+	"indiss/internal/units",
+	"indiss/internal/slp",
+	"indiss/internal/ssdp",
+	"indiss/internal/dnssd",
+	"indiss/internal/jini",
+	"indiss/internal/upnp",
+	"indiss/internal/httpx",
+	"indiss/internal/federation",
+	"indiss/internal/netapi",
+	"indiss/internal/realnet",
+	"indiss/internal/events",
+}
+
+func TestNoSimnetDependency(t *testing.T) {
+	args := append([]string{"list", "-deps"}, simnetFreePackages...)
+	out, err := exec.Command("go", args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("go list -deps: %v\n%s", err, out)
+	}
+	for _, dep := range strings.Fields(string(out)) {
+		if dep == "indiss/internal/simnet" {
+			// Re-run per package so the failure names the offender.
+			for _, pkg := range simnetFreePackages {
+				po, err := exec.Command("go", "list", "-deps", pkg).CombinedOutput()
+				if err != nil {
+					t.Fatalf("go list -deps %s: %v\n%s", pkg, err, po)
+				}
+				if strings.Contains(string(po), "indiss/internal/simnet") {
+					t.Errorf("%s depends on internal/simnet; it must speak internal/netapi only", pkg)
+				}
+			}
+			return
+		}
+	}
+}
+
+// The transport contract is direction-sensitive the other way too: the
+// leaf netapi package must not know any implementation.
+func TestNetapiIsALeaf(t *testing.T) {
+	out, err := exec.Command("go", "list", "-deps", "indiss/internal/netapi").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go list -deps: %v\n%s", err, out)
+	}
+	for _, dep := range strings.Fields(string(out)) {
+		if strings.HasPrefix(dep, "indiss/") && dep != "indiss/internal/netapi" {
+			t.Errorf("netapi depends on %s; it must stay a leaf", dep)
+		}
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"indiss/internal/federation"
 	"indiss/internal/fsm"
 	"indiss/internal/httpx"
+	"indiss/internal/netapi"
+	"indiss/internal/realnet"
 	"indiss/internal/simnet"
 	"indiss/internal/sizereport"
 	"indiss/internal/slp"
@@ -866,4 +868,124 @@ func BenchmarkFederationCrossSegmentDiscovery(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- transport backends: simulated vs real loopback ---
+
+// benchUDPEcho measures one request/response round trip between two UDP
+// conns of the given stack — the raw transport floor under every
+// discovery exchange. The same body runs on both fabrics, so the pair of
+// benchmarks is a direct simnet-vs-realnet comparison (PERF.md records
+// the medians as the live-deployment baseline).
+func benchUDPEcho(b *testing.B, stack netapi.Stack) {
+	a, err := stack.ListenUDP(0)
+	if err != nil {
+		b.Skipf("bind: %v", err)
+	}
+	defer a.Close()
+	c, err := stack.ListenUDP(0)
+	if err != nil {
+		b.Skipf("bind: %v", err)
+	}
+	defer c.Close()
+	go func() {
+		for {
+			dg, err := c.Recv(0)
+			if err != nil {
+				return
+			}
+			if err := c.WriteTo(dg.Payload, dg.Src); err != nil {
+				return
+			}
+		}
+	}()
+	payload := []byte("indiss-loopback-rtt-probe")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.WriteTo(payload, c.LocalAddr()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.Recv(5 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimnetLoopbackUDPRoundTrip is the echo floor on the simulated
+// fabric with the paper-testbed loopback latency model.
+func BenchmarkSimnetLoopbackUDPRoundTrip(b *testing.B) {
+	net := indiss.NewLAN()
+	defer net.Close()
+	benchUDPEcho(b, net.MustAddHost("bench", "10.0.0.1"))
+}
+
+// BenchmarkRealnetLoopbackUDPRoundTrip is the echo floor on real kernel
+// sockets over 127.0.0.1.
+func BenchmarkRealnetLoopbackUDPRoundTrip(b *testing.B) {
+	stack, err := realnet.Loopback("bench")
+	if err != nil {
+		b.Skipf("no loopback interface: %v", err)
+	}
+	benchUDPEcho(b, stack)
+}
+
+// benchTCPEcho measures one request/response round trip over an
+// established stream of the given stack.
+func benchTCPEcho(b *testing.B, stack netapi.Stack) {
+	l, err := stack.ListenTCP(0)
+	if err != nil {
+		b.Skipf("listen: %v", err)
+	}
+	defer l.Close()
+	go func() {
+		s, err := l.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 256)
+		for {
+			n, err := s.Read(buf)
+			if err != nil {
+				return
+			}
+			if _, err := s.Write(buf[:n]); err != nil {
+				return
+			}
+		}
+	}()
+	s, err := stack.DialTCP(l.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	s.SetReadTimeout(5 * time.Second)
+	payload := []byte("indiss-loopback-rtt-probe")
+	buf := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Write(payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Read(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimnetLoopbackTCPRoundTrip is the stream echo floor on the
+// simulated fabric.
+func BenchmarkSimnetLoopbackTCPRoundTrip(b *testing.B) {
+	net := indiss.NewLAN()
+	defer net.Close()
+	benchTCPEcho(b, net.MustAddHost("bench", "10.0.0.1"))
+}
+
+// BenchmarkRealnetLoopbackTCPRoundTrip is the stream echo floor on real
+// kernel sockets over 127.0.0.1.
+func BenchmarkRealnetLoopbackTCPRoundTrip(b *testing.B) {
+	stack, err := realnet.Loopback("bench")
+	if err != nil {
+		b.Skipf("no loopback interface: %v", err)
+	}
+	benchTCPEcho(b, stack)
 }

@@ -10,20 +10,31 @@
 // gateways peer in a chain by default; -peer overrides the first
 // gateway's dial list ("ip:port", repeatable).
 //
+// With -real the gateway leaves the simulation entirely and binds real
+// sockets on an actual interface: the monitor joins the SDP multicast
+// groups with shared SO_REUSEADDR binders, units answer live discovery
+// traffic, and the process runs until SIGINT/SIGTERM, then shuts down
+// cleanly. -iface pins the interface (e.g. "eth0", "lo"), -ip the
+// source address; both default to auto-detection.
+//
 // An optional Figure 5a specification file configures the gateway:
 //
 //	indiss-gw [-spec FILE] [-duration 3s] [-segments N] [-peer ip:port]...
+//	indiss-gw -real [-iface lo] [-ip 127.0.0.1] [-spec FILE] [-peer ip:port]...
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"indiss"
 	"indiss/internal/jini"
+	"indiss/internal/realnet"
 	"indiss/internal/slp"
 	"indiss/internal/upnp"
 )
@@ -40,15 +51,105 @@ func (p *peerList) Set(v string) error {
 
 func main() {
 	specFile := flag.String("spec", "", "Figure 5a system specification file")
-	duration := flag.Duration("duration", 3*time.Second, "how long to run the scenario")
+	duration := flag.Duration("duration", 3*time.Second, "how long to run the scenario (-real: 0 = until SIGINT)")
 	segments := flag.Int("segments", 1, "number of routed segments (1 = the classic single LAN)")
+	real := flag.Bool("real", false, "run on real sockets instead of the simulated LAN")
+	iface := flag.String("iface", "", "real mode: network interface to bind (default auto-detect)")
+	ip := flag.String("ip", "", "real mode: IPv4 source address (default: the interface's first)")
+	fedPort := flag.Int("federation-port", 0, "real mode: listen for federation peers on this TCP port (0 = only when -peer is set)")
 	var peers peerList
 	flag.Var(&peers, "peer", "federation peer for the first gateway (ip:port, repeatable)")
 	flag.Parse()
-	if err := run(*specFile, *duration, *segments, peers); err != nil {
+
+	var err error
+	if *real {
+		// In real mode the default is to serve until a signal arrives;
+		// an explicitly set -duration bounds the run instead.
+		d := time.Duration(0)
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "duration" {
+				d = *duration
+			}
+		})
+		err = runReal(*specFile, *iface, *ip, d, *fedPort, peers)
+	} else {
+		err = run(*specFile, *duration, *segments, peers)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// runReal deploys the gateway on live sockets and serves until a
+// SIGINT/SIGTERM (or the optional duration) stops it.
+func runReal(specFile, iface, ip string, duration time.Duration, fedPort int, peers []string) error {
+	spec := ""
+	if specFile != "" {
+		data, err := os.ReadFile(specFile)
+		if err != nil {
+			return err
+		}
+		spec = string(data)
+	}
+	stack, err := realnet.NewStack(realnet.Options{Name: "indiss-gw", Interface: iface, IP: ip})
+	if err != nil {
+		return err
+	}
+	if err := stack.ProbeMulticast(2 * time.Second); err != nil {
+		// Fail fast with the probe's reason: the monitor's first
+		// multicast join would fail Deploy anyway, just less legibly. A
+		// gateway that cannot join the SDP groups hears nothing and
+		// bridges nothing.
+		return fmt.Errorf("indiss-gw: %w\n(this environment forbids joining multicast groups; pick another -iface or loosen the sandbox)", err)
+	}
+
+	cfg := indiss.Config{
+		Role:    indiss.RoleGateway,
+		Dynamic: true,
+		Spec:    spec,
+	}
+	// Federation: -peer dials out; -federation-port (or -peer without an
+	// explicit port) opens the listener, so a gateway that is only the
+	// *target* of someone else's -peer still accepts the connection.
+	if fedPort != 0 {
+		cfg.FederationPort = fedPort
+	}
+	if len(peers) > 0 {
+		cfg.Peers = peers
+		if cfg.FederationPort == 0 {
+			cfg.FederationPort = indiss.FederationDefaultPort
+		}
+	}
+	sys, err := indiss.Deploy(stack, cfg)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	fmt.Printf("indiss-gw: real mode: gateway up on %s (interface %s)\n", stack.IP(), stack.Segment())
+	fmt.Println("indiss-gw: monitoring the IANA SDP multicast groups; Ctrl-C to stop")
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	var expiry <-chan time.Time
+	if duration > 0 {
+		timer := time.NewTimer(duration)
+		defer timer.Stop()
+		expiry = timer.C
+	}
+	select {
+	case sig := <-sigs:
+		fmt.Printf("indiss-gw: %v received, shutting down\n", sig)
+	case <-expiry:
+		fmt.Println("indiss-gw: duration elapsed, shutting down")
+	}
+	fmt.Printf("indiss-gw: units instantiated at run time: %v\n", sys.Units())
+	fmt.Printf("indiss-gw: services in the gateway's view: %d\n", len(sys.View().Find("", time.Now())))
+	sys.Close()
+	fmt.Println("indiss-gw: shutdown complete")
+	return nil
 }
 
 func run(specFile string, duration time.Duration, segments int, peers []string) error {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"indiss"
+	"indiss/internal/netapi"
 	"indiss/internal/simnet"
 	"indiss/internal/slp"
 	"indiss/internal/ssdp"
@@ -117,7 +118,7 @@ func run() error {
 }
 
 // awaitClockAdvert waits for a translated SAAdvert mentioning the clock.
-func awaitClockAdvert(listener *simnet.UDPConn, timeout time.Duration) bool {
+func awaitClockAdvert(listener netapi.PacketConn, timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for {
 		dg, err := listener.Recv(time.Until(deadline))

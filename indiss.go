@@ -4,8 +4,8 @@
 //
 // INDISS lets clients and services that speak different service discovery
 // protocols (SLP, UPnP, Jini, DNS-SD) find each other without any change to the
-// applications. Deploy an instance on a client, a service host or a
-// gateway node:
+// applications. Deploy an instance on any network stack — a simulated
+// host for tests and experiments:
 //
 //	net := indiss.NewLAN()
 //	defer net.Close()
@@ -14,11 +14,17 @@
 //	if err != nil { ... }
 //	defer sys.Close()
 //
+// or a live one, binding real sockets on a real interface:
+//
+//	stack, err := indiss.RealStack()
+//	if err != nil { ... }
+//	sys, err := indiss.Deploy(stack, indiss.Config{Role: indiss.RoleGateway})
+//
 // The instance passively detects which discovery protocols are in use
 // (monitor component), instantiates protocol units on demand, and
 // translates discovery traffic between them through a semantic event
-// vocabulary. See DESIGN.md for the architecture and EXPERIMENTS.md for
-// the reproduced evaluation.
+// vocabulary. See DESIGN.md for the architecture (§8 covers the
+// transport contract) and EXPERIMENTS.md for the reproduced evaluation.
 package indiss
 
 import (
@@ -27,9 +33,35 @@ import (
 
 	"indiss/internal/core"
 	"indiss/internal/federation"
-	"indiss/internal/simnet"
+	"indiss/internal/netapi"
+	"indiss/internal/realnet"
 	"indiss/internal/units"
 )
+
+// Stack is the transport an INDISS instance runs on: one named node with
+// one IPv4 address on one multicast segment, plus the socket operations
+// the system performs. Both fabrics satisfy it — *simnet.Host (via
+// NewLAN/NewTopology, for tests and experiments) and the live-socket
+// stack RealStack returns.
+type Stack = netapi.Stack
+
+// Addr identifies a UDP or TCP endpoint ("ip:port" form via String).
+type Addr = netapi.Addr
+
+// RealStack opens a live network stack on this machine, auto-detecting
+// the first up, multicast-capable, non-loopback IPv4 interface (loopback
+// as a last resort). Deploying on it binds real sockets: the monitor
+// joins the SDP multicast groups with shared SO_REUSEADDR binders, so
+// native stacks already running on the host are unaffected.
+func RealStack() (Stack, error) {
+	return realnet.NewStack(realnet.Options{})
+}
+
+// RealStackOn is RealStack pinned to a named interface (e.g. "eth0",
+// "lo"). An empty ip uses the interface's first IPv4 address.
+func RealStackOn(iface, ip string) (Stack, error) {
+	return realnet.NewStack(realnet.Options{Interface: iface, IP: ip})
+}
 
 // Role places an INDISS instance (paper §4.2): on the client host, the
 // service host, or a dedicated gateway node.
@@ -147,8 +179,10 @@ func Registry(opts UnitOptions) *core.Registry {
 	return r
 }
 
-// Deploy starts an INDISS instance on the host.
-func Deploy(host *simnet.Host, cfg Config) (*System, error) {
+// Deploy starts an INDISS instance on the given network stack — a
+// *simnet.Host from the simulated testbed, or a live stack from
+// RealStack; the system behaves identically on either.
+func Deploy(stack Stack, cfg Config) (*System, error) {
 	if cfg.Role == 0 {
 		return nil, fmt.Errorf("indiss: Config.Role is required")
 	}
@@ -164,16 +198,16 @@ func Deploy(host *simnet.Host, cfg Config) (*System, error) {
 		FederationPort: cfg.FederationPort,
 	}
 	if len(cfg.Peers) > 0 || cfg.FederationPort != 0 {
-		peers := make([]simnet.Addr, 0, len(cfg.Peers))
+		peers := make([]Addr, 0, len(cfg.Peers))
 		for _, p := range cfg.Peers {
-			addr, err := simnet.ParseAddr(p)
+			addr, err := netapi.ParseAddr(p)
 			if err != nil {
 				return nil, fmt.Errorf("indiss: peer %q: %w", p, err)
 			}
 			peers = append(peers, addr)
 		}
 		coreCfg.Federation = func(s *core.System) (io.Closer, error) {
-			return federation.New(host, s.View(), federation.Config{
+			return federation.New(stack, s.View(), federation.Config{
 				GatewayID:  s.GatewayID(),
 				ListenPort: cfg.FederationPort,
 				Peers:      peers,
@@ -213,5 +247,5 @@ func Deploy(host *simnet.Host, cfg Config) (*System, error) {
 				sdp, registry.SDPs())
 		}
 	}
-	return core.NewSystem(host, registry, coreCfg)
+	return core.NewSystem(stack, registry, coreCfg)
 }

@@ -5,7 +5,7 @@ import (
 	"sync"
 	"time"
 
-	"indiss/internal/simnet"
+	"indiss/internal/netapi"
 )
 
 // Detection is one raw message the monitor attributed to an SDP. The
@@ -18,9 +18,9 @@ type Detection struct {
 	// Port the data arrived on.
 	Port int
 	// Src is the sender.
-	Src simnet.Addr
+	Src netapi.Addr
 	// Dst is the address the data was sent to (a multicast group).
-	Dst simnet.Addr
+	Dst netapi.Addr
 	// Data is the raw message, untouched.
 	Data []byte
 	// At is the arrival time.
@@ -35,12 +35,12 @@ type DetectionHandler func(Detection)
 // multicast groups (paper §2.1, Figure 1). It binds shared multicast-only
 // sockets, so native stacks on the same host are unaffected.
 type Monitor struct {
-	host    *simnet.Host
+	stack   netapi.Stack
 	table   *CorrespondenceTable
 	handler DetectionHandler
 
 	mu       sync.Mutex
-	conns    []*simnet.UDPConn
+	conns    []netapi.PacketConn
 	detected map[SDP]time.Time
 	meters   map[SDP]*RateMeter
 	window   time.Duration
@@ -60,14 +60,14 @@ type MonitorConfig struct {
 	Handler DetectionHandler
 }
 
-// NewMonitor starts scanning the table's ports on host.
-func NewMonitor(host *simnet.Host, cfg MonitorConfig) (*Monitor, error) {
+// NewMonitor starts scanning the table's ports on the given stack.
+func NewMonitor(stack netapi.Stack, cfg MonitorConfig) (*Monitor, error) {
 	table := cfg.Table
 	if table == nil {
 		table = DefaultTable()
 	}
 	m := &Monitor{
-		host:     host,
+		stack:    stack,
 		table:    table,
 		handler:  cfg.Handler,
 		detected: make(map[SDP]time.Time),
@@ -77,7 +77,7 @@ func NewMonitor(host *simnet.Host, cfg MonitorConfig) (*Monitor, error) {
 	}
 	for _, port := range table.Ports() {
 		entry, _ := table.Lookup(port)
-		conn, err := host.ListenMulticastUDP(port)
+		conn, err := stack.ListenMulticastUDP(port)
 		if err != nil {
 			m.Close()
 			return nil, fmt.Errorf("core monitor: port %d: %w", port, err)
@@ -91,7 +91,7 @@ func NewMonitor(host *simnet.Host, cfg MonitorConfig) (*Monitor, error) {
 		}
 		m.conns = append(m.conns, conn)
 		m.wg.Add(1)
-		go func(c *simnet.UDPConn, entry ScanPort) {
+		go func(c netapi.PacketConn, entry ScanPort) {
 			defer m.wg.Done()
 			m.scan(c, entry)
 		}(conn, entry)
@@ -118,7 +118,7 @@ func (m *Monitor) Close() {
 }
 
 // scan is the per-port loop: data arrival alone identifies the SDP.
-func (m *Monitor) scan(conn *simnet.UDPConn, entry ScanPort) {
+func (m *Monitor) scan(conn netapi.PacketConn, entry ScanPort) {
 	for {
 		dg, err := conn.Recv(0)
 		if err != nil {

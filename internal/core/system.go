@@ -9,7 +9,7 @@ import (
 	"time"
 
 	"indiss/internal/events"
-	"indiss/internal/simnet"
+	"indiss/internal/netapi"
 )
 
 // Config defines one INDISS instance: "configuration of a INDISS instance
@@ -74,7 +74,7 @@ const detectionWorkers = 64
 // System is a running INDISS instance: monitor + dynamically composed
 // units around an event bus (paper Figure 5).
 type System struct {
-	host     *simnet.Host
+	stack    netapi.Stack
 	registry *Registry
 	cfg      Config
 
@@ -95,9 +95,11 @@ type System struct {
 	wg   sync.WaitGroup
 }
 
-// NewSystem starts an INDISS instance on host using units from the
-// registry.
-func NewSystem(host *simnet.Host, registry *Registry, cfg Config) (*System, error) {
+// NewSystem starts an INDISS instance on the given network stack using
+// units from the registry. The stack may be a *simnet.Host (simulated
+// fabric) or a realnet stack (live sockets) — the system never knows the
+// difference.
+func NewSystem(stack netapi.Stack, registry *Registry, cfg Config) (*System, error) {
 	if cfg.PolicyInterval <= 0 {
 		cfg.PolicyInterval = 100 * time.Millisecond
 	}
@@ -106,7 +108,7 @@ func NewSystem(host *simnet.Host, registry *Registry, cfg Config) (*System, erro
 		allowed = registry.SDPs()
 	}
 	s := &System{
-		host:     host,
+		stack:    stack,
 		registry: registry,
 		cfg:      cfg,
 		bus:      events.NewBus(),
@@ -121,7 +123,7 @@ func NewSystem(host *simnet.Host, registry *Registry, cfg Config) (*System, erro
 		s.allowed[sdp] = struct{}{}
 	}
 
-	monitor, err := NewMonitor(host, MonitorConfig{
+	monitor, err := NewMonitor(stack, MonitorConfig{
 		Table:   cfg.Table,
 		Handler: s.onDetection,
 	})
@@ -165,7 +167,7 @@ func (s *System) GatewayID() string {
 	if s.cfg.GatewayID != "" {
 		return s.cfg.GatewayID
 	}
-	return s.host.Name()
+	return s.stack.Name()
 }
 
 // Peers returns the configured federation peer endpoints.
@@ -202,8 +204,10 @@ func (s *System) Close() {
 	s.bus.Close()
 }
 
-// Host returns the system's host.
-func (s *System) Host() *simnet.Host { return s.host }
+// Stack returns the network stack the instance runs on — the
+// transport-neutral successor of the former Host accessor, which leaked
+// the simulated-network type through the public API.
+func (s *System) Stack() netapi.Stack { return s.stack }
 
 // Monitor returns the system's monitor component.
 func (s *System) Monitor() *Monitor { return s.monitor }
@@ -268,7 +272,7 @@ func (s *System) ensureUnit(sdp SDP) (Unit, error) {
 		return nil, err
 	}
 	ctx := &UnitContext{
-		Host:          s.host,
+		Stack:         s.stack,
 		Bus:           s.bus,
 		Role:          s.cfg.Role,
 		View:          s.view,

@@ -7,7 +7,7 @@ import (
 	"time"
 
 	"indiss/internal/events"
-	"indiss/internal/simnet"
+	"indiss/internal/netapi"
 )
 
 // Role is where INDISS is deployed (paper §4.2): "INDISS may be deployed
@@ -51,14 +51,14 @@ type TranslationProfile struct {
 // Delay sleeps the per-message cost.
 func (p TranslationProfile) Delay() {
 	if p.PerMessage > 0 {
-		simnet.SleepPrecise(p.PerMessage)
+		netapi.SleepPrecise(p.PerMessage)
 	}
 }
 
 // DelayXML sleeps the XML-parse cost.
 func (p TranslationProfile) DelayXML() {
 	if p.XMLParse > 0 {
-		simnet.SleepPrecise(p.XMLParse)
+		netapi.SleepPrecise(p.XMLParse)
 	}
 }
 
@@ -103,7 +103,7 @@ func NewSelfFilter() *SelfFilter {
 }
 
 // Mark records an endpoint as INDISS-owned.
-func (f *SelfFilter) Mark(addr simnet.Addr) {
+func (f *SelfFilter) Mark(addr netapi.Addr) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.addrs[addr.String()] = struct{}{}
@@ -111,14 +111,14 @@ func (f *SelfFilter) Mark(addr simnet.Addr) {
 
 // Unmark forgets an endpoint, e.g. when a per-query socket closes and its
 // ephemeral port may be reused by a native stack on the same host.
-func (f *SelfFilter) Unmark(addr simnet.Addr) {
+func (f *SelfFilter) Unmark(addr netapi.Addr) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	delete(f.addrs, addr.String())
 }
 
 // Has reports whether the endpoint is INDISS-owned.
-func (f *SelfFilter) Has(addr simnet.Addr) bool {
+func (f *SelfFilter) Has(addr netapi.Addr) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	_, ok := f.addrs[addr.String()]
@@ -127,8 +127,8 @@ func (f *SelfFilter) Has(addr simnet.Addr) bool {
 
 // UnitContext is the runtime a unit operates in.
 type UnitContext struct {
-	// Host the unit emits native traffic from.
-	Host *simnet.Host
+	// Stack the unit emits native traffic from.
+	Stack netapi.Stack
 	// Bus carries event streams between units.
 	Bus *events.Bus
 	// Role is the deployment placement.

@@ -7,7 +7,7 @@ import (
 	"sync"
 	"time"
 
-	"indiss/internal/simnet"
+	"indiss/internal/netapi"
 )
 
 // QuerierConfig tunes a Querier.
@@ -19,8 +19,8 @@ type QuerierConfig struct {
 	// MarkSelf/UnmarkSelf, when set, are told about every ephemeral
 	// query socket the querier opens and closes — how the INDISS unit
 	// keeps the monitor from re-detecting its own queries.
-	MarkSelf   func(simnet.Addr)
-	UnmarkSelf func(simnet.Addr)
+	MarkSelf   func(netapi.Addr)
+	UnmarkSelf func(netapi.Addr)
 	// Ignore, when set, keeps matching instances out of the cache
 	// entirely — how the INDISS unit refuses to cache bridge-composed
 	// instances, whose presence would otherwise satisfy a Browse that
@@ -64,10 +64,10 @@ type cacheEntry struct {
 // them, so a departed service is not served from cache for its full
 // TTL.
 type Querier struct {
-	host *simnet.Host
+	host netapi.Stack
 	cfg  QuerierConfig
 
-	listener *simnet.UDPConn
+	listener netapi.PacketConn
 	wg       sync.WaitGroup
 
 	mu        sync.Mutex
@@ -76,7 +76,7 @@ type Querier struct {
 }
 
 // NewQuerier builds a querier on host.
-func NewQuerier(host *simnet.Host, cfg QuerierConfig) *Querier {
+func NewQuerier(host netapi.Stack, cfg QuerierConfig) *Querier {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 2 * time.Second
 	}
@@ -110,7 +110,7 @@ func (q *Querier) Close() {
 
 // listen absorbs multicast announcements into the cache: alives refresh,
 // TTL-0 goodbyes evict.
-func (q *Querier) listen(conn *simnet.UDPConn) {
+func (q *Querier) listen(conn netapi.PacketConn) {
 	for {
 		dg, err := conn.Recv(0)
 		if err != nil {
@@ -166,9 +166,9 @@ func (q *Querier) BrowseEach(services []string, timeout time.Duration) ([]Instan
 
 	query := &Message{Questions: questions, Answers: known}
 	if q.cfg.ProcessingDelay > 0 {
-		simnet.SleepPrecise(q.cfg.ProcessingDelay)
+		netapi.SleepPrecise(q.cfg.ProcessingDelay)
 	}
-	if err := conn.WriteTo(query.Marshal(), simnet.Addr{IP: MulticastGroup, Port: Port}); err != nil {
+	if err := conn.WriteTo(query.Marshal(), netapi.Addr{IP: MulticastGroup, Port: Port}); err != nil {
 		return nil, fmt.Errorf("dnssd querier: %w", err)
 	}
 
@@ -186,10 +186,10 @@ func (q *Querier) BrowseEach(services []string, timeout time.Duration) ([]Instan
 	for len(known) == 0 && len(live()) == 0 {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
-			return nil, simnet.ErrTimeout
+			return nil, netapi.ErrTimeout
 		}
 		if !q.awaitOne(conn, canon, remaining) {
-			return nil, simnet.ErrTimeout
+			return nil, netapi.ErrTimeout
 		}
 	}
 	// Drain the response burst so same-link responders all land.
@@ -197,7 +197,7 @@ func (q *Querier) BrowseEach(services []string, timeout time.Duration) ([]Instan
 	}
 	insts := live()
 	if len(insts) == 0 {
-		return nil, simnet.ErrTimeout
+		return nil, netapi.ErrTimeout
 	}
 	return insts, nil
 }
@@ -222,7 +222,7 @@ func (q *Querier) BrowseTypes(timeout time.Duration) ([]string, error) {
 		}
 	}()
 	query := &Message{Questions: []Question{{Name: MetaQuery, Type: TypePTR}}}
-	if err := conn.WriteTo(query.Marshal(), simnet.Addr{IP: MulticastGroup, Port: Port}); err != nil {
+	if err := conn.WriteTo(query.Marshal(), netapi.Addr{IP: MulticastGroup, Port: Port}); err != nil {
 		return nil, fmt.Errorf("dnssd querier: %w", err)
 	}
 	types := map[string]string{}
@@ -254,7 +254,7 @@ func (q *Querier) BrowseTypes(timeout time.Duration) ([]string, error) {
 		}
 	}
 	if len(types) == 0 {
-		return nil, simnet.ErrTimeout
+		return nil, netapi.ErrTimeout
 	}
 	out := make([]string, 0, len(types))
 	for _, t := range types {
@@ -264,7 +264,7 @@ func (q *Querier) BrowseTypes(timeout time.Duration) ([]string, error) {
 	return out, nil
 }
 
-func (q *Querier) drainTypes(conn *simnet.UDPConn, types map[string]string) bool {
+func (q *Querier) drainTypes(conn netapi.PacketConn, types map[string]string) bool {
 	dg, err := conn.Recv(10 * time.Millisecond)
 	if err != nil {
 		return false
@@ -285,7 +285,7 @@ func (q *Querier) drainTypes(conn *simnet.UDPConn, types map[string]string) bool
 // awaitOne receives one datagram and absorbs any instances matching the
 // browsed services into the cache; it reports false on timeout or
 // socket close.
-func (q *Querier) awaitOne(conn *simnet.UDPConn, services []string, timeout time.Duration) bool {
+func (q *Querier) awaitOne(conn netapi.PacketConn, services []string, timeout time.Duration) bool {
 	if timeout <= 0 {
 		timeout = time.Millisecond
 	}
@@ -298,7 +298,7 @@ func (q *Querier) awaitOne(conn *simnet.UDPConn, services []string, timeout time
 		return true
 	}
 	if q.cfg.ProcessingDelay > 0 {
-		simnet.SleepPrecise(q.cfg.ProcessingDelay)
+		netapi.SleepPrecise(q.cfg.ProcessingDelay)
 	}
 	for _, inst := range InstancesFromMessage(msg) {
 		for _, service := range services {

@@ -7,7 +7,7 @@ import (
 	"sync"
 	"time"
 
-	"indiss/internal/simnet"
+	"indiss/internal/netapi"
 )
 
 // ResponderConfig tunes a Responder.
@@ -40,9 +40,9 @@ type Registration struct {
 // (RFC 6762 §7.1). It binds the shared multicast socket every mDNS stack
 // on a host shares, so it coexists with the INDISS monitor.
 type Responder struct {
-	host *simnet.Host
+	host netapi.Stack
 	cfg  ResponderConfig
-	conn *simnet.UDPConn
+	conn netapi.PacketConn
 
 	mu     sync.Mutex
 	regs   []Registration
@@ -52,7 +52,7 @@ type Responder struct {
 }
 
 // NewResponder starts a responder on host.
-func NewResponder(host *simnet.Host, cfg ResponderConfig) (*Responder, error) {
+func NewResponder(host netapi.Stack, cfg ResponderConfig) (*Responder, error) {
 	if cfg.Hostname == "" {
 		cfg.Hostname = "host-" + strings.ReplaceAll(host.IP(), ".", "-") + "." + LocalDomain
 	}
@@ -165,7 +165,7 @@ func (r *Responder) serve() {
 // Responses go unicast to legacy one-shot queriers (source port not
 // 5353, RFC 6762 §6.7) or when the QU bit asks for it; otherwise they
 // are multicast to the group.
-func (r *Responder) handleQuery(msg *Message, src simnet.Addr) {
+func (r *Responder) handleQuery(msg *Message, src netapi.Addr) {
 	resp := &Message{Response: true, Authoritative: true}
 	unicast := src.Port != Port
 	for _, q := range msg.Questions {
@@ -181,9 +181,9 @@ func (r *Responder) handleQuery(msg *Message, src simnet.Addr) {
 		resp.ID = msg.ID // legacy queriers match answers by id
 	}
 	if r.cfg.ProcessingDelay > 0 {
-		simnet.SleepPrecise(r.cfg.ProcessingDelay)
+		netapi.SleepPrecise(r.cfg.ProcessingDelay)
 	}
-	dst := simnet.Addr{IP: MulticastGroup, Port: Port}
+	dst := netapi.Addr{IP: MulticastGroup, Port: Port}
 	if unicast {
 		dst = src
 	}
@@ -335,9 +335,9 @@ func (r *Responder) announce(reg *Registration, goodbye bool) {
 	msg := &Message{Response: true, Authoritative: true}
 	r.appendRegistration(msg, reg, ttl)
 	if r.cfg.ProcessingDelay > 0 {
-		simnet.SleepPrecise(r.cfg.ProcessingDelay)
+		netapi.SleepPrecise(r.cfg.ProcessingDelay)
 	}
-	_ = r.conn.WriteTo(msg.Marshal(), simnet.Addr{IP: MulticastGroup, Port: Port})
+	_ = r.conn.WriteTo(msg.Marshal(), netapi.Addr{IP: MulticastGroup, Port: Port})
 }
 
 // txtStrings renders a text map as sorted "name=value" TXT strings, so

@@ -8,7 +8,7 @@ import (
 	"time"
 
 	"indiss/internal/core"
-	"indiss/internal/simnet"
+	"indiss/internal/netapi"
 )
 
 // Config tunes a federation endpoint.
@@ -21,7 +21,7 @@ type Config struct {
 	ListenPort int
 	// Peers are the endpoints this gateway dials and keeps dialing;
 	// a lost connection is re-established automatically.
-	Peers []simnet.Addr
+	Peers []netapi.Addr
 	// AntiEntropyInterval spaces the periodic full re-sync to every
 	// connected peer (default 1s). Incremental deltas make the common
 	// case fast; anti-entropy repairs whatever they missed.
@@ -75,11 +75,11 @@ const refreshSlack = 100 * time.Millisecond
 // for inbound peers, dial loops for configured ones, and a distributor
 // that turns local ServiceView deltas into ANNOUNCE/WITHDRAW floods.
 type Endpoint struct {
-	host *simnet.Host
+	host netapi.Stack
 	view *core.ServiceView
 	cfg  Config
 
-	listener    *simnet.Listener
+	listener    netapi.Listener
 	deltaCancel func()
 
 	mu          sync.Mutex
@@ -94,7 +94,7 @@ type Endpoint struct {
 // New starts a federation endpoint for the given view on host. The
 // endpoint immediately listens, dials its configured peers, and begins
 // mirroring view deltas.
-func New(host *simnet.Host, view *core.ServiceView, cfg Config) (*Endpoint, error) {
+func New(host netapi.Stack, view *core.ServiceView, cfg Config) (*Endpoint, error) {
 	if cfg.GatewayID == "" {
 		return nil, fmt.Errorf("federation: GatewayID required")
 	}
@@ -159,7 +159,7 @@ func (e *Endpoint) Close() error {
 }
 
 // Addr returns the endpoint's listening address.
-func (e *Endpoint) Addr() simnet.Addr { return e.listener.Addr() }
+func (e *Endpoint) Addr() netapi.Addr { return e.listener.Addr() }
 
 // GatewayID returns the endpoint's federation identity.
 func (e *Endpoint) GatewayID() string { return e.cfg.GatewayID }
@@ -192,7 +192,7 @@ func (e *Endpoint) stopped() bool {
 // frame-atomic under writeMu.
 type session struct {
 	ep     *Endpoint
-	stream *simnet.Stream
+	stream netapi.Stream
 	peerID string
 
 	writeMu sync.Mutex
@@ -233,9 +233,9 @@ func (s *session) readFull(p []byte) error {
 		n, err := s.stream.Read(p[got:])
 		got += n
 		if err != nil {
-			if errors.Is(err, simnet.ErrTimeout) {
+			if errors.Is(err, netapi.ErrTimeout) {
 				if s.isClosed() || s.ep.stopped() {
-					return simnet.ErrClosed
+					return netapi.ErrClosed
 				}
 				continue
 			}
@@ -278,7 +278,7 @@ func (e *Endpoint) acceptLoop() {
 }
 
 // dialLoop keeps one configured peer dialed for the endpoint's lifetime.
-func (e *Endpoint) dialLoop(peer simnet.Addr) {
+func (e *Endpoint) dialLoop(peer netapi.Addr) {
 	for {
 		if e.stopped() {
 			return
@@ -298,7 +298,7 @@ func (e *Endpoint) dialLoop(peer simnet.Addr) {
 // runSession performs the HELLO handshake, registers the session, sends
 // the full snapshot (sync on connect) and then consumes frames until the
 // connection or the endpoint dies.
-func (e *Endpoint) runSession(stream *simnet.Stream, dialer bool) {
+func (e *Endpoint) runSession(stream netapi.Stream, dialer bool) {
 	stream.SetReadTimeout(e.cfg.readTimeout())
 	s := &session{ep: e, stream: stream, done: make(chan struct{})}
 	defer s.close()

@@ -296,13 +296,16 @@ func parseFields(block string) (Header, error) {
 			continue
 		}
 		name, value, ok := strings.Cut(line, ":")
-		name = strings.TrimSpace(name)
+		// Trim OWS only (RFC 7230: SP / HTAB). strings.TrimSpace would
+		// also eat Unicode whitespace such as U+2000, corrupting values
+		// that legitimately start or end with it.
+		name = strings.Trim(name, " \t")
 		if !ok || name == "" {
 			return Header{}, fmt.Errorf("%w: header line %q", ErrMalformed, line)
 		}
 		fields = append(fields, Field{
 			Name:  name,
-			Value: strings.TrimSpace(value),
+			Value: strings.Trim(value, " \t"),
 		})
 	}
 	return Header{fields: fields}, nil

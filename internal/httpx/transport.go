@@ -9,14 +9,14 @@ import (
 	"sync"
 	"time"
 
-	"indiss/internal/simnet"
+	"indiss/internal/netapi"
 )
 
 // readMessage pulls one complete HTTP message (head + declared body) off a
 // stream into buf, growing it as needed, and returns the message (aliasing
 // buf's array). It reads no further than the message end, so back-to-back
 // messages on one connection stay intact.
-func readMessage(s *simnet.Stream, buf []byte) ([]byte, error) {
+func readMessage(s netapi.Stream, buf []byte) ([]byte, error) {
 	headEnd := -1
 	for headEnd < 0 {
 		var err error
@@ -45,7 +45,7 @@ func readMessage(s *simnet.Stream, buf []byte) ([]byte, error) {
 
 // readChunk reads once into buf's spare capacity, growing it first when
 // full.
-func readChunk(s *simnet.Stream, buf []byte) ([]byte, error) {
+func readChunk(s netapi.Stream, buf []byte) ([]byte, error) {
 	if len(buf) == cap(buf) {
 		grown := make([]byte, len(buf), 2*cap(buf)+1024)
 		copy(grown, buf)
@@ -100,14 +100,14 @@ type Server struct {
 	Delay   time.Duration
 
 	mu       sync.Mutex
-	listener *simnet.Listener
+	listener netapi.Listener
 	closed   bool
 	wg       sync.WaitGroup
 }
 
 // Serve accepts connections until the listener closes. It is typically run
 // via Start; exported for callers that manage their own goroutines.
-func (srv *Server) Serve(l *simnet.Listener) {
+func (srv *Server) Serve(l netapi.Listener) {
 	if !srv.adopt(l) {
 		return
 	}
@@ -117,7 +117,7 @@ func (srv *Server) Serve(l *simnet.Listener) {
 // adopt records the listener so Close can reach it. It reports false —
 // closing the listener on the caller's behalf — when the server has
 // already closed or already serves a listener.
-func (srv *Server) adopt(l *simnet.Listener) bool {
+func (srv *Server) adopt(l netapi.Listener) bool {
 	srv.mu.Lock()
 	defer srv.mu.Unlock()
 	if srv.closed || srv.listener != nil {
@@ -128,7 +128,7 @@ func (srv *Server) adopt(l *simnet.Listener) bool {
 	return true
 }
 
-func (srv *Server) acceptLoop(l *simnet.Listener) {
+func (srv *Server) acceptLoop(l netapi.Listener) {
 	for {
 		s, err := l.Accept()
 		if err != nil {
@@ -145,7 +145,7 @@ func (srv *Server) acceptLoop(l *simnet.Listener) {
 // Start launches the accept loop in a managed goroutine. The listener is
 // adopted synchronously, so a Close racing with Start still shuts it
 // down.
-func (srv *Server) Start(l *simnet.Listener) {
+func (srv *Server) Start(l netapi.Listener) {
 	if !srv.adopt(l) {
 		return
 	}
@@ -170,7 +170,7 @@ func (srv *Server) Close() {
 
 // handle serves one exchange with pooled read and write buffers: the only
 // steady-state allocations are the parsed request's strings.
-func (srv *Server) handle(s *simnet.Stream) {
+func (srv *Server) handle(s netapi.Stream) {
 	defer s.Close()
 	s.SetReadTimeout(5 * time.Second)
 
@@ -188,7 +188,7 @@ func (srv *Server) handle(s *simnet.Stream) {
 		resp = &Response{StatusCode: 400}
 	} else {
 		if srv.Delay > 0 {
-			simnet.SleepPrecise(srv.Delay)
+			netapi.SleepPrecise(srv.Delay)
 		}
 		resp = srv.Handler(req)
 		if resp == nil {
@@ -206,7 +206,7 @@ func (srv *Server) handle(s *simnet.Stream) {
 // Do sends one request from host to addr and waits for the response.
 // timeout bounds the whole exchange. The marshal uses a pooled buffer;
 // the response is freshly allocated because it escapes to the caller.
-func Do(host *simnet.Host, addr simnet.Addr, req *Request, timeout time.Duration) (*Response, error) {
+func Do(host netapi.Stack, addr netapi.Addr, req *Request, timeout time.Duration) (*Response, error) {
 	s, err := host.DialTCP(addr)
 	if err != nil {
 		return nil, err
@@ -233,7 +233,7 @@ func Do(host *simnet.Host, addr simnet.Addr, req *Request, timeout time.Duration
 }
 
 // Get is a convenience GET for description documents.
-func Get(host *simnet.Host, addr simnet.Addr, path string, timeout time.Duration) (*Response, error) {
+func Get(host netapi.Stack, addr netapi.Addr, path string, timeout time.Duration) (*Response, error) {
 	req := &Request{
 		Method: "GET",
 		Target: path,

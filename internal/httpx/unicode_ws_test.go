@@ -1,0 +1,19 @@
+package httpx
+
+import "testing"
+
+// Header values may legitimately begin or end with non-ASCII whitespace
+// (e.g. U+2000 EN QUAD); only SP and HTAB are HTTP OWS and may be
+// trimmed. Regression: parseFields used strings.TrimSpace, which eats
+// Unicode whitespace and broke the marshal/parse round trip.
+func TestHeaderUnicodeWhitespaceValue(t *testing.T) {
+	v := " edge "
+	req := &Request{Method: "GET", Target: "/", Header: NewHeader("X-Test", v)}
+	back, err := ParseRequest(req.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Header.Get("X-Test"); got != v {
+		t.Fatalf("round trip trimmed non-OWS whitespace: got %q want %q", got, v)
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"time"
 
-	"indiss/internal/simnet"
+	"indiss/internal/netapi"
 )
 
 // ClientConfig tunes a discovery client.
@@ -19,18 +19,18 @@ type ClientConfig struct {
 // the equivalent of net.jini.discovery.LookupDiscovery plus the
 // ServiceRegistrar stubs.
 type Client struct {
-	host *simnet.Host
+	host netapi.Stack
 	cfg  ClientConfig
 }
 
 // NewClient creates a discovery client on host.
-func NewClient(host *simnet.Host, cfg ClientConfig) *Client {
+func NewClient(host netapi.Stack, cfg ClientConfig) *Client {
 	return &Client{host: host, cfg: cfg}
 }
 
 func (c *Client) delay() {
 	if c.cfg.ProcessingDelay > 0 {
-		simnet.SleepPrecise(c.cfg.ProcessingDelay)
+		netapi.SleepPrecise(c.cfg.ProcessingDelay)
 	}
 }
 
@@ -57,14 +57,14 @@ func (c *Client) DiscoverLookupGroups(timeout time.Duration) (Locator, []string,
 		return Locator{}, nil, err
 	}
 	c.delay()
-	if err := conn.WriteTo(data, simnet.Addr{IP: RequestGroup, Port: Port}); err != nil {
+	if err := conn.WriteTo(data, netapi.Addr{IP: RequestGroup, Port: Port}); err != nil {
 		return Locator{}, nil, err
 	}
 	deadline := time.Now().Add(timeout)
 	for {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
-			return Locator{}, nil, simnet.ErrTimeout
+			return Locator{}, nil, netapi.ErrTimeout
 		}
 		dg, err := conn.Recv(remaining)
 		if err != nil {
@@ -193,14 +193,14 @@ func (c *Client) Find(tmpl ServiceTemplate, timeout time.Duration) ([]ServiceIte
 	}
 	remaining := time.Until(deadline)
 	if remaining <= 0 {
-		return nil, simnet.ErrTimeout
+		return nil, netapi.ErrTimeout
 	}
 	return c.Lookup(loc, tmpl, remaining)
 }
 
 // exchange performs one framed TCP round trip.
 func (c *Client) exchange(loc Locator, packet []byte, timeout time.Duration) ([]byte, error) {
-	s, err := c.host.DialTCP(simnet.Addr{IP: loc.Host, Port: loc.Port})
+	s, err := c.host.DialTCP(netapi.Addr{IP: loc.Host, Port: loc.Port})
 	if err != nil {
 		return nil, fmt.Errorf("jini client: %w", err)
 	}

@@ -6,7 +6,7 @@ import (
 	"sync"
 	"time"
 
-	"indiss/internal/simnet"
+	"indiss/internal/netapi"
 )
 
 // LookupConfig tunes a lookup service.
@@ -32,9 +32,9 @@ func (c LookupConfig) groups() []string {
 // LookupService is the Jini repository ("reggie"): it hears multicast
 // requests, announces itself, and serves register/lookup over unicast TCP.
 type LookupService struct {
-	host *simnet.Host
-	udp  *simnet.UDPConn
-	tcp  *simnet.Listener
+	host netapi.Stack
+	udp  netapi.PacketConn
+	tcp  netapi.Listener
 	cfg  LookupConfig
 
 	mu    sync.Mutex
@@ -46,7 +46,7 @@ type LookupService struct {
 }
 
 // NewLookupService starts a lookup service on host.
-func NewLookupService(host *simnet.Host, cfg LookupConfig) (*LookupService, error) {
+func NewLookupService(host netapi.Stack, cfg LookupConfig) (*LookupService, error) {
 	if cfg.UnicastPort == 0 {
 		cfg.UnicastPort = Port
 	}
@@ -118,7 +118,7 @@ func (ls *LookupService) Count() int {
 
 func (ls *LookupService) delay() {
 	if ls.cfg.ProcessingDelay > 0 {
-		simnet.SleepPrecise(ls.cfg.ProcessingDelay)
+		netapi.SleepPrecise(ls.cfg.ProcessingDelay)
 	}
 }
 
@@ -164,7 +164,7 @@ func (ls *LookupService) serveUDP() {
 		if err != nil {
 			continue
 		}
-		dst := simnet.Addr{IP: dg.Src.IP, Port: req.ResponsePort}
+		dst := netapi.Addr{IP: dg.Src.IP, Port: req.ResponsePort}
 		_ = ls.udp.WriteTo(data, dst)
 	}
 }
@@ -186,7 +186,7 @@ func (ls *LookupService) serveTCP() {
 
 // handleConn serves one unicast discovery exchange: a length-prefixed
 // packet in, a length-prefixed packet out.
-func (ls *LookupService) handleConn(s *simnet.Stream) {
+func (ls *LookupService) handleConn(s netapi.Stream) {
 	s.SetReadTimeout(5 * time.Second)
 	data, err := readFrame(s)
 	if err != nil {
@@ -336,14 +336,14 @@ func (ls *LookupService) announceOnce() {
 	if err != nil {
 		return
 	}
-	dst := simnet.Addr{IP: AnnounceGroup, Port: Port}
+	dst := netapi.Addr{IP: AnnounceGroup, Port: Port}
 	_ = ls.udp.WriteTo(data, dst)
 }
 
 // Frame helpers: unicast discovery packets are 16-bit length prefixed on
 // the stream.
 
-func writeFrame(s *simnet.Stream, data []byte) error {
+func writeFrame(s netapi.Stream, data []byte) error {
 	if len(data) > 0xFFFF {
 		return fmt.Errorf("%w: frame %d bytes", ErrBadPacket, len(data))
 	}
@@ -355,7 +355,7 @@ func writeFrame(s *simnet.Stream, data []byte) error {
 	return err
 }
 
-func readFrame(s *simnet.Stream) ([]byte, error) {
+func readFrame(s netapi.Stream) ([]byte, error) {
 	header := make([]byte, 2)
 	if err := readFull(s, header); err != nil {
 		return nil, err
@@ -368,7 +368,7 @@ func readFrame(s *simnet.Stream) ([]byte, error) {
 	return data, nil
 }
 
-func readFull(s *simnet.Stream, buf []byte) error {
+func readFull(s netapi.Stream, buf []byte) error {
 	read := 0
 	for read < len(buf) {
 		n, err := s.Read(buf[read:])

@@ -1,0 +1,130 @@
+// Package netapi defines the transport contract every INDISS component
+// speaks: a small set of interfaces — Stack, PacketConn, Listener,
+// Stream — abstracting exactly the network surface the system uses
+// (named host with one IP on one multicast segment; unicast and
+// shared-multicast UDP; TCP listen/dial). Two implementations exist:
+//
+//   - internal/simnet: the in-process simulated internetwork the tests
+//     and paper-shape experiments run on. *simnet.Host satisfies Stack.
+//   - internal/realnet: the standard-library socket backend for live
+//     deployment (multicast joins, SO_REUSEADDR port sharing, real
+//     interfaces).
+//
+// Everything above the transport — core, the protocol units, the native
+// protocol stacks, federation — imports only this package, so the same
+// binary runs unchanged on either fabric. DESIGN.md §8 documents the
+// contract in detail.
+package netapi
+
+import (
+	"errors"
+	"io"
+	"time"
+)
+
+// Sentinel errors shared by every Stack implementation. Callers match
+// with errors.Is; implementations may wrap them with context.
+var (
+	// ErrClosed reports use of a closed conn, listener, stream or stack.
+	ErrClosed = errors.New("netapi: closed")
+	// ErrPortInUse reports an exclusive bind on an occupied port.
+	ErrPortInUse = errors.New("netapi: port already in use")
+	// ErrNoRoute reports an unreachable destination.
+	ErrNoRoute = errors.New("netapi: no route to host")
+	// ErrConnRefused reports a TCP dial to a port nobody listens on.
+	ErrConnRefused = errors.New("netapi: connection refused")
+	// ErrTimeout reports an expired read, accept or discovery deadline.
+	ErrTimeout = errors.New("netapi: i/o timeout")
+)
+
+// Datagram is a received UDP packet.
+type Datagram struct {
+	// Payload is the packet body. Receivers own the slice.
+	Payload []byte
+	// Src is the sender's unicast address.
+	Src Addr
+	// Dst is the address the packet was sent to. For multicast traffic
+	// this is the group address, which lets receivers distinguish
+	// unicast from multicast arrivals (the SDP_NET_* events of the
+	// paper's Table 1 need exactly this).
+	Dst Addr
+}
+
+// PacketConn is a UDP socket bound to one port of one stack. It may join
+// any number of multicast groups; a joined conn receives every datagram
+// sent to (group, port) on its segment, including its own emissions
+// (multicast loopback stays on — the monitor relies on hearing same-host
+// traffic).
+type PacketConn interface {
+	// LocalAddr returns the conn's bound unicast address.
+	LocalAddr() Addr
+	// JoinGroup subscribes the conn to a multicast group. Joining twice
+	// is a no-op, as with IP_ADD_MEMBERSHIP.
+	JoinGroup(group string) error
+	// LeaveGroup unsubscribes the conn from a multicast group.
+	LeaveGroup(group string)
+	// WriteTo sends payload to dst, which may be unicast or multicast.
+	// The caller keeps ownership of payload and may reuse it.
+	WriteTo(payload []byte, dst Addr) error
+	// Recv waits for one datagram. A non-positive timeout blocks until
+	// data arrives or the conn closes. It returns ErrTimeout on expiry
+	// and ErrClosed after Close.
+	Recv(timeout time.Duration) (Datagram, error)
+	// C exposes the receive queue for select-based consumers that listen
+	// on many conns at once.
+	C() <-chan Datagram
+	// Close unbinds the port. Blocked and future reads fail.
+	Close()
+}
+
+// Stream is one endpoint of an established TCP connection.
+type Stream interface {
+	io.ReadWriteCloser
+	// LocalAddr returns this endpoint's address.
+	LocalAddr() Addr
+	// RemoteAddr returns the peer's address.
+	RemoteAddr() Addr
+	// SetReadTimeout bounds every subsequent Read. Zero means block
+	// forever. Expired reads return ErrTimeout.
+	SetReadTimeout(d time.Duration)
+}
+
+// Listener accepts incoming TCP streams on one port of one stack.
+type Listener interface {
+	// Addr returns the listener's bound address.
+	Addr() Addr
+	// Accept waits for the next inbound stream; ErrClosed after Close.
+	Accept() (Stream, error)
+	// AcceptTimeout is Accept with a deadline; ErrTimeout on expiry.
+	AcceptTimeout(timeout time.Duration) (Stream, error)
+	// Close stops the listener. Already-accepted streams are unaffected.
+	Close()
+}
+
+// Stack is one network identity — a named node with one IPv4 address on
+// one multicast segment — and the socket operations INDISS performs on
+// it. It is the only handle the system needs to run anywhere.
+type Stack interface {
+	// Name returns the node's symbolic name.
+	Name() string
+	// IP returns the node's dotted-quad IPv4 address.
+	IP() string
+	// Segment names the multicast scope the node lives in: multicast
+	// reaches exactly the stacks sharing a segment. Real backends
+	// return the underlying interface name.
+	Segment() string
+	// ListenUDP binds an exclusive UDP port. Port 0 picks a free
+	// ephemeral port.
+	ListenUDP(port int) (PacketConn, error)
+	// ListenMulticastUDP binds a shared, multicast-only socket on the
+	// port — the SO_REUSEADDR pattern SDP monitors use: any number may
+	// coexist with each other and with an exclusive binder of the same
+	// port, and each receives only multicast datagrams for groups it
+	// joined.
+	ListenMulticastUDP(port int) (PacketConn, error)
+	// ListenTCP binds a TCP listener. Port 0 picks a free ephemeral
+	// port.
+	ListenTCP(port int) (Listener, error)
+	// DialTCP opens a stream to addr.
+	DialTCP(addr Addr) (Stream, error)
+}

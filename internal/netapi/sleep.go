@@ -1,0 +1,32 @@
+package netapi
+
+import (
+	"runtime"
+	"time"
+)
+
+// The experiments measure sub-millisecond protocol exchanges (native SLP
+// answers in ~0.7ms), but kernel timer granularity makes time.Sleep and
+// timer-channel waits overshoot by a millisecond or more. SleepPrecise
+// trades CPU for accuracy: long waits sleep, the final stretch spins. It
+// lives here — not in a transport implementation — because translation
+// cost modelling (core.TranslationProfile) and the native stack profiles
+// need it regardless of which fabric carries the packets.
+
+// spinThreshold is the window within which waits spin instead of
+// sleeping.
+const spinThreshold = 2 * time.Millisecond
+
+// SleepPrecise sleeps d with sub-millisecond accuracy.
+func SleepPrecise(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	if d > spinThreshold {
+		time.Sleep(d - spinThreshold)
+	}
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,45 @@
+//go:build linux
+
+package realnet
+
+import (
+	"net"
+	"syscall"
+)
+
+// hasPktInfo selects the single-socket receive design: the conn binds
+// the wildcard address and attributes every datagram from its
+// IP_PKTINFO control message.
+const hasPktInfo = true
+
+// oobSize is the control-message buffer passed to ReadMsgUDP; one
+// in_pktinfo cmsg needs 32 bytes, leave headroom.
+const oobSize = 64
+
+// enablePktInfo asks the kernel to attach an IP_PKTINFO control message
+// to every received datagram, carrying the packet's true destination
+// address — how a wildcard-bound socket tells a multicast group arrival
+// apart from unicast (netapi.Datagram.Dst, which the monitor's SDP_NET_*
+// event derivation depends on).
+func enablePktInfo(c *net.UDPConn) error {
+	return controlFd(c, func(fd int) error {
+		return syscall.SetsockoptInt(fd, syscall.IPPROTO_IP, syscall.IP_PKTINFO, 1)
+	})
+}
+
+// dstFromOOB extracts the destination IPv4 address from the IP_PKTINFO
+// control message, if present. The in_pktinfo layout is
+// {ifindex int32; spec_dst [4]byte; addr [4]byte}; addr is the address
+// the packet was sent to.
+func dstFromOOB(oob []byte) (net.IP, bool) {
+	msgs, err := syscall.ParseSocketControlMessage(oob)
+	if err != nil {
+		return nil, false
+	}
+	for _, m := range msgs {
+		if m.Header.Level == syscall.IPPROTO_IP && m.Header.Type == syscall.IP_PKTINFO && len(m.Data) >= 12 {
+			return net.IPv4(m.Data[8], m.Data[9], m.Data[10], m.Data[11]).To4(), true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,23 @@
+//go:build !linux
+
+package realnet
+
+import (
+	"errors"
+	"net"
+)
+
+var errNoPktInfo = errors.New("realnet: IP_PKTINFO unsupported on this platform")
+
+// Platforms without IP_PKTINFO use the two-socket receive design: the
+// conn's main socket binds the stack's unicast address (so it never
+// matches a multicast destination) and each joined group gets its own
+// group-bound companion socket whose arrivals are attributed exactly.
+
+const hasPktInfo = false
+
+const oobSize = 64
+
+func enablePktInfo(c *net.UDPConn) error { return errNoPktInfo }
+
+func dstFromOOB(oob []byte) (net.IP, bool) { return nil, false }

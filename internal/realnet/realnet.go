@@ -1,0 +1,273 @@
+// Package realnet is the live-socket netapi backend: the same Stack
+// contract internal/simnet satisfies in simulation, implemented over the
+// standard library's net package so an INDISS instance can bind actual
+// interfaces — multicast UDP with SO_REUSEADDR port sharing and
+// IP_ADD_MEMBERSHIP joins, exclusive unicast UDP, TCP listen/dial.
+//
+// One Stack is one network identity: a named node with one IPv4 address
+// on one interface. Segment() returns the interface name — the real
+// multicast scope boundary, just as simnet segments bound simulated
+// multicast.
+//
+// Known divergences from the simulated fabric, inherent to real
+// sockets, are documented in DESIGN.md §8: unicast to a port shared by
+// several SO_REUSEADDR binders reaches only one of them (simnet's
+// exclusive binder always wins), and on platforms without IP_PKTINFO
+// the destination address of a datagram is reconstructed heuristically.
+package realnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"syscall"
+	"time"
+
+	"indiss/internal/netapi"
+)
+
+// Options configures a Stack. The zero value auto-detects: the first
+// up, multicast-capable, non-loopback interface with an IPv4 address
+// (loopback as a last resort), named after the OS hostname.
+type Options struct {
+	// Name is the stack's symbolic node name. Empty uses os.Hostname.
+	Name string
+	// Interface pins the network interface by name (e.g. "eth0", "lo").
+	// Empty auto-detects.
+	Interface string
+	// IP pins the stack's dotted-quad IPv4 source address. Empty uses
+	// the interface's first IPv4 address.
+	IP string
+}
+
+// Stack is a live-socket netapi.Stack bound to one interface and IPv4
+// address.
+type Stack struct {
+	name  string
+	ip    net.IP // 4-byte form
+	iface *net.Interface
+}
+
+var _ netapi.Stack = (*Stack)(nil)
+
+// NewStack opens a stack on a real interface.
+func NewStack(opts Options) (*Stack, error) {
+	iface, err := pickInterface(opts.Interface)
+	if err != nil {
+		return nil, err
+	}
+	ip, err := pickIP(iface, opts.IP)
+	if err != nil {
+		return nil, err
+	}
+	name := opts.Name
+	if name == "" {
+		if hn, err := os.Hostname(); err == nil && hn != "" {
+			name = hn
+		} else {
+			name = "realnet"
+		}
+	}
+	return &Stack{name: name, ip: ip, iface: iface}, nil
+}
+
+// Loopback returns a stack on the loopback interface (127.0.0.1) — the
+// fabric of the package's round-trip tests and of single-machine interop
+// smoke runs.
+func Loopback(name string) (*Stack, error) {
+	ifaces, err := net.Interfaces()
+	if err != nil {
+		return nil, fmt.Errorf("realnet: list interfaces: %w", err)
+	}
+	for _, ifc := range ifaces {
+		if ifc.Flags&net.FlagLoopback != 0 && ifc.Flags&net.FlagUp != 0 {
+			return NewStack(Options{Name: name, Interface: ifc.Name, IP: "127.0.0.1"})
+		}
+	}
+	return nil, errors.New("realnet: no loopback interface")
+}
+
+// pickInterface resolves the named interface, or auto-detects: first
+// up+multicast+non-loopback interface carrying IPv4, loopback otherwise.
+func pickInterface(name string) (*net.Interface, error) {
+	if name != "" {
+		ifc, err := net.InterfaceByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("realnet: interface %q: %w", name, err)
+		}
+		return ifc, nil
+	}
+	ifaces, err := net.Interfaces()
+	if err != nil {
+		return nil, fmt.Errorf("realnet: list interfaces: %w", err)
+	}
+	var loopback *net.Interface
+	for i := range ifaces {
+		ifc := &ifaces[i]
+		if ifc.Flags&net.FlagUp == 0 {
+			continue
+		}
+		if _, err := firstIPv4(ifc); err != nil {
+			continue
+		}
+		if ifc.Flags&net.FlagLoopback != 0 {
+			if loopback == nil {
+				loopback = ifc
+			}
+			continue
+		}
+		if ifc.Flags&net.FlagMulticast != 0 {
+			return ifc, nil
+		}
+	}
+	if loopback != nil {
+		return loopback, nil
+	}
+	return nil, errors.New("realnet: no usable IPv4 interface")
+}
+
+func pickIP(iface *net.Interface, want string) (net.IP, error) {
+	if want != "" {
+		ip := net.ParseIP(want)
+		if ip == nil || ip.To4() == nil {
+			return nil, fmt.Errorf("realnet: %q is not an IPv4 address", want)
+		}
+		return ip.To4(), nil
+	}
+	return firstIPv4(iface)
+}
+
+func firstIPv4(iface *net.Interface) (net.IP, error) {
+	addrs, err := iface.Addrs()
+	if err != nil {
+		return nil, fmt.Errorf("realnet: addrs of %s: %w", iface.Name, err)
+	}
+	for _, a := range addrs {
+		var ip net.IP
+		switch v := a.(type) {
+		case *net.IPNet:
+			ip = v.IP
+		case *net.IPAddr:
+			ip = v.IP
+		}
+		if ip4 := ip.To4(); ip4 != nil {
+			return ip4, nil
+		}
+	}
+	return nil, fmt.Errorf("realnet: interface %s has no IPv4 address", iface.Name)
+}
+
+// Name returns the stack's symbolic node name.
+func (s *Stack) Name() string { return s.name }
+
+// IP returns the stack's dotted-quad IPv4 address.
+func (s *Stack) IP() string { return s.ip.String() }
+
+// Segment returns the interface name — the real multicast scope.
+func (s *Stack) Segment() string {
+	if s.iface == nil {
+		return "real"
+	}
+	return s.iface.Name
+}
+
+// Interface returns the underlying network interface.
+func (s *Stack) Interface() *net.Interface { return s.iface }
+
+// mapErr folds stdlib network errors onto the netapi sentinels so
+// transport-neutral callers match the same errors on either fabric.
+func mapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	switch {
+	case errors.Is(err, net.ErrClosed):
+		return netapi.ErrClosed
+	case errors.Is(err, os.ErrDeadlineExceeded):
+		return netapi.ErrTimeout
+	case errors.Is(err, syscall.ECONNREFUSED):
+		return fmt.Errorf("%w: %v", netapi.ErrConnRefused, err)
+	case errors.Is(err, syscall.EHOSTUNREACH), errors.Is(err, syscall.ENETUNREACH):
+		return fmt.Errorf("%w: %v", netapi.ErrNoRoute, err)
+	case errors.Is(err, syscall.EADDRINUSE):
+		return fmt.Errorf("%w: %v", netapi.ErrPortInUse, err)
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return netapi.ErrTimeout
+	}
+	return err
+}
+
+// udpAddr converts a netapi address to the stdlib form.
+func udpAddr(a netapi.Addr) (*net.UDPAddr, error) {
+	ip := net.ParseIP(a.IP)
+	if ip == nil {
+		return nil, fmt.Errorf("%w: %q", netapi.ErrBadAddr, a.IP)
+	}
+	return &net.UDPAddr{IP: ip, Port: a.Port}, nil
+}
+
+// fromUDPAddr converts a stdlib UDP address to the netapi form.
+func fromUDPAddr(a *net.UDPAddr) netapi.Addr {
+	if a == nil {
+		return netapi.Addr{}
+	}
+	ip := a.IP
+	if ip4 := ip.To4(); ip4 != nil {
+		ip = ip4
+	}
+	return netapi.Addr{IP: ip.String(), Port: a.Port}
+}
+
+// probeGroup is the scratch group ProbeMulticast exercises; an
+// administratively-scoped address no SDP uses.
+const probeGroup = "239.255.77.99"
+
+// ProbeMulticast verifies the stack can join a multicast group and hear
+// its own emission — the capability the monitor needs. Environments that
+// forbid IP_ADD_MEMBERSHIP (some containers, locked-down hosts) fail
+// here, and callers should degrade or skip with the returned reason.
+func (s *Stack) ProbeMulticast(timeout time.Duration) error {
+	conn, err := s.ListenUDP(0)
+	if err != nil {
+		return fmt.Errorf("realnet: multicast probe bind: %w", err)
+	}
+	defer conn.Close()
+	if err := conn.JoinGroup(probeGroup); err != nil {
+		return fmt.Errorf("realnet: multicast probe: %w", err)
+	}
+	dst := netapi.Addr{IP: probeGroup, Port: conn.LocalAddr().Port}
+	if err := conn.WriteTo([]byte("indiss-mc-probe"), dst); err != nil {
+		return fmt.Errorf("realnet: multicast probe send: %w", err)
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			// Recv treats a non-positive timeout as "block forever";
+			// an expired deadline must not turn into an infinite wait.
+			return fmt.Errorf("realnet: multicast probe: no loopback within %v: %w", timeout, netapi.ErrTimeout)
+		}
+		dg, err := conn.Recv(remaining)
+		if err != nil {
+			return fmt.Errorf("realnet: multicast probe: no loopback within %v: %w", timeout, err)
+		}
+		if string(dg.Payload) == "indiss-mc-probe" {
+			return nil
+		}
+	}
+}
+
+// dialTimeout bounds DialTCP's connection establishment.
+const dialTimeout = 10 * time.Second
+
+// DialTCP opens a stream to addr.
+func (s *Stack) DialTCP(addr netapi.Addr) (netapi.Stream, error) {
+	c, err := net.DialTimeout("tcp4", addr.String(), dialTimeout)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	return newTCPStream(c.(*net.TCPConn)), nil
+}

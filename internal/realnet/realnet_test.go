@@ -1,0 +1,269 @@
+package realnet
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"indiss/internal/netapi"
+)
+
+func loopbackStack(t *testing.T, name string) *Stack {
+	t.Helper()
+	s, err := Loopback(name)
+	if err != nil {
+		t.Skipf("no loopback interface: %v", err)
+	}
+	return s
+}
+
+// requireMulticast probes group membership once per process and skips
+// multicast-dependent tests with the probe's reason when the environment
+// forbids joining.
+func requireMulticast(t *testing.T, s *Stack) {
+	t.Helper()
+	if err := s.ProbeMulticast(2 * time.Second); err != nil {
+		t.Skipf("environment forbids multicast: %v", err)
+	}
+}
+
+func TestStackIdentity(t *testing.T) {
+	s := loopbackStack(t, "node-a")
+	if s.Name() != "node-a" {
+		t.Errorf("Name = %q, want node-a", s.Name())
+	}
+	if s.IP() != "127.0.0.1" {
+		t.Errorf("IP = %q, want 127.0.0.1", s.IP())
+	}
+	if s.Segment() == "" {
+		t.Error("Segment is empty, want the interface name")
+	}
+}
+
+func TestAutoDetectStack(t *testing.T) {
+	s, err := NewStack(Options{})
+	if err != nil {
+		t.Skipf("no usable interface: %v", err)
+	}
+	if s.IP() == "" || s.Segment() == "" {
+		t.Errorf("auto-detected stack incomplete: ip=%q segment=%q", s.IP(), s.Segment())
+	}
+}
+
+func TestUDPUnicastLoopbackRoundTrip(t *testing.T) {
+	s := loopbackStack(t, "udp-rt")
+	a, err := s.ListenUDP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := s.ListenUDP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.WriteTo([]byte("ping"), b.LocalAddr()); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	dg, err := b.Recv(2 * time.Second)
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if string(dg.Payload) != "ping" {
+		t.Errorf("payload = %q, want ping", dg.Payload)
+	}
+	if dg.Src.Port != a.LocalAddr().Port {
+		t.Errorf("Src = %v, want port %d", dg.Src, a.LocalAddr().Port)
+	}
+	if dg.Dst.IsMulticast() {
+		t.Errorf("Dst = %v classified multicast for a unicast arrival", dg.Dst)
+	}
+
+	// And back.
+	if err := b.WriteTo([]byte("pong"), dg.Src); err != nil {
+		t.Fatalf("reply WriteTo: %v", err)
+	}
+	back, err := a.Recv(2 * time.Second)
+	if err != nil {
+		t.Fatalf("reply Recv: %v", err)
+	}
+	if string(back.Payload) != "pong" {
+		t.Errorf("reply payload = %q, want pong", back.Payload)
+	}
+}
+
+func TestUDPRecvTimeoutAndClose(t *testing.T) {
+	s := loopbackStack(t, "udp-timeout")
+	c, err := s.ListenUDP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recv(30 * time.Millisecond); !errors.Is(err, netapi.ErrTimeout) {
+		t.Errorf("Recv timeout error = %v, want ErrTimeout", err)
+	}
+	c.Close()
+	if _, err := c.Recv(30 * time.Millisecond); !errors.Is(err, netapi.ErrClosed) {
+		t.Errorf("Recv after Close = %v, want ErrClosed", err)
+	}
+	c.Close() // idempotent
+}
+
+func TestMulticastLoopbackDelivery(t *testing.T) {
+	s := loopbackStack(t, "mc")
+	requireMulticast(t, s)
+	const group, port = "239.255.77.78", 47491
+
+	member, err := s.ListenMulticastUDP(port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer member.Close()
+	if err := member.JoinGroup(group); err != nil {
+		t.Skipf("environment forbids joining %s: %v", group, err)
+	}
+	bystander, err := s.ListenMulticastUDP(port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bystander.Close()
+
+	sender, err := s.ListenUDP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	if err := sender.WriteTo([]byte("group-hello"), netapi.Addr{IP: group, Port: port}); err != nil {
+		t.Fatalf("multicast WriteTo: %v", err)
+	}
+
+	dg, err := member.Recv(2 * time.Second)
+	if err != nil {
+		t.Fatalf("member Recv: %v", err)
+	}
+	if string(dg.Payload) != "group-hello" {
+		t.Errorf("payload = %q", dg.Payload)
+	}
+	if dg.Dst.IP != group || dg.Dst.Port != port {
+		t.Errorf("Dst = %v, want %s:%d (the group address)", dg.Dst, group, port)
+	}
+	if !dg.Dst.IsMulticast() {
+		t.Error("Dst not classified multicast")
+	}
+
+	// The non-member shared binder must not see the group's traffic.
+	if dg, err := bystander.Recv(150 * time.Millisecond); err == nil {
+		t.Errorf("non-member received %q (dst %v); want membership-filtered", dg.Payload, dg.Dst)
+	}
+}
+
+func TestSharedBinderIgnoresUnicast(t *testing.T) {
+	s := loopbackStack(t, "mc-uni")
+	requireMulticast(t, s)
+	const group, port = "239.255.77.79", 47492
+
+	shared, err := s.ListenMulticastUDP(port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shared.Close()
+	if err := shared.JoinGroup(group); err != nil {
+		t.Skipf("environment forbids joining %s: %v", group, err)
+	}
+	sender, err := s.ListenUDP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+
+	if err := sender.WriteTo([]byte("direct"), netapi.Addr{IP: s.IP(), Port: port}); err != nil {
+		t.Fatalf("unicast WriteTo: %v", err)
+	}
+	if dg, err := shared.Recv(150 * time.Millisecond); err == nil {
+		t.Errorf("shared binder received unicast %q; want multicast-only", dg.Payload)
+	}
+}
+
+func TestTCPLoopbackRoundTrip(t *testing.T) {
+	s := loopbackStack(t, "tcp-rt")
+	l, err := s.ListenTCP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	type acceptResult struct {
+		st  netapi.Stream
+		err error
+	}
+	accepted := make(chan acceptResult, 1)
+	go func() {
+		st, err := l.Accept()
+		accepted <- acceptResult{st, err}
+	}()
+
+	client, err := s.DialTCP(l.Addr())
+	if err != nil {
+		t.Fatalf("DialTCP: %v", err)
+	}
+	defer client.Close()
+	res := <-accepted
+	if res.err != nil {
+		t.Fatalf("Accept: %v", res.err)
+	}
+	server := res.st
+	defer server.Close()
+
+	if _, err := client.Write([]byte("hello")); err != nil {
+		t.Fatalf("client Write: %v", err)
+	}
+	buf := make([]byte, 16)
+	server.SetReadTimeout(2 * time.Second)
+	n, err := server.Read(buf)
+	if err != nil || string(buf[:n]) != "hello" {
+		t.Fatalf("server Read = %q, %v", buf[:n], err)
+	}
+	if _, err := server.Write([]byte("world")); err != nil {
+		t.Fatalf("server Write: %v", err)
+	}
+	client.SetReadTimeout(2 * time.Second)
+	n, err = client.Read(buf)
+	if err != nil || string(buf[:n]) != "world" {
+		t.Fatalf("client Read = %q, %v", buf[:n], err)
+	}
+
+	// Read timeout maps to the netapi sentinel.
+	client.SetReadTimeout(30 * time.Millisecond)
+	if _, err := client.Read(buf); !errors.Is(err, netapi.ErrTimeout) {
+		t.Errorf("Read timeout error = %v, want ErrTimeout", err)
+	}
+
+	// Peer close delivers EOF after the data drains.
+	if err := server.Close(); err != nil {
+		t.Fatalf("server Close: %v", err)
+	}
+	client.SetReadTimeout(2 * time.Second)
+	if _, err := client.Read(buf); err != io.EOF {
+		t.Errorf("Read after peer close = %v, want io.EOF", err)
+	}
+}
+
+func TestTCPAcceptTimeoutAndRefused(t *testing.T) {
+	s := loopbackStack(t, "tcp-timeouts")
+	l, err := s.ListenTCP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AcceptTimeout(30 * time.Millisecond); !errors.Is(err, netapi.ErrTimeout) {
+		t.Errorf("AcceptTimeout error = %v, want ErrTimeout", err)
+	}
+	port := l.Addr().Port
+	l.Close()
+	if _, err := l.Accept(); !errors.Is(err, netapi.ErrClosed) {
+		t.Errorf("Accept after Close = %v, want ErrClosed", err)
+	}
+	if _, err := s.DialTCP(netapi.Addr{IP: "127.0.0.1", Port: port}); !errors.Is(err, netapi.ErrConnRefused) {
+		t.Errorf("DialTCP to closed port = %v, want ErrConnRefused", err)
+	}
+}

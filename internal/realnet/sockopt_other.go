@@ -1,0 +1,29 @@
+//go:build !unix
+
+package realnet
+
+import (
+	"errors"
+	"net"
+	"strconv"
+)
+
+// Non-unix fallbacks: plain binds without port sharing, and no raw
+// membership management. Good enough to compile and run the unicast
+// paths; multicast-dependent features report their absence loudly.
+
+var errNoMulticast = errors.New("realnet: multicast socket options unsupported on this platform")
+
+func listenUDPReuse(host string, port int) (*net.UDPConn, error) {
+	ua, err := net.ResolveUDPAddr("udp4", host+":"+strconv.Itoa(port))
+	if err != nil {
+		return nil, err
+	}
+	return net.ListenUDP("udp4", ua)
+}
+
+func setMulticastInterface(c *net.UDPConn, local net.IP) error { return errNoMulticast }
+
+func joinGroup(c *net.UDPConn, group, local net.IP) error { return errNoMulticast }
+
+func leaveGroup(c *net.UDPConn, group, local net.IP) error { return errNoMulticast }

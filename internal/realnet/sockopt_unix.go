@@ -1,0 +1,78 @@
+//go:build unix
+
+package realnet
+
+import (
+	"context"
+	"net"
+	"strconv"
+	"syscall"
+)
+
+// controlFd runs fn against the conn's raw file descriptor.
+func controlFd(c syscall.Conn, fn func(fd int) error) error {
+	rc, err := c.SyscallConn()
+	if err != nil {
+		return err
+	}
+	var serr error
+	if err := rc.Control(func(fd uintptr) { serr = fn(int(fd)) }); err != nil {
+		return err
+	}
+	return serr
+}
+
+// listenUDPReuse binds an IPv4 UDP socket with SO_REUSEADDR, so any
+// number of monitor-style binders coexist with each other and with a
+// native stack's binder of the same port — the sharing model simnet's
+// ListenMulticastUDP simulates. host may be empty (wildcard), a unicast
+// address, or — on platforms that deliver by bound address — a
+// multicast group.
+func listenUDPReuse(host string, port int) (*net.UDPConn, error) {
+	lc := net.ListenConfig{Control: func(network, address string, rc syscall.RawConn) error {
+		var serr error
+		if err := rc.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_REUSEADDR, 1)
+		}); err != nil {
+			return err
+		}
+		return serr
+	}}
+	pc, err := lc.ListenPacket(context.Background(), "udp4", host+":"+strconv.Itoa(port))
+	if err != nil {
+		return nil, err
+	}
+	return pc.(*net.UDPConn), nil
+}
+
+// setMulticastInterface routes the socket's multicast emissions out of
+// the interface owning local (IP_MULTICAST_IF). Multicast loopback stays
+// at its default (on): the monitor must hear same-host traffic.
+func setMulticastInterface(c *net.UDPConn, local net.IP) error {
+	var b [4]byte
+	copy(b[:], local.To4())
+	return controlFd(c, func(fd int) error {
+		return syscall.SetsockoptInet4Addr(fd, syscall.IPPROTO_IP, syscall.IP_MULTICAST_IF, b)
+	})
+}
+
+// joinGroup subscribes the socket to group on the interface owning local
+// (IP_ADD_MEMBERSHIP).
+func joinGroup(c *net.UDPConn, group, local net.IP) error {
+	mreq := &syscall.IPMreq{}
+	copy(mreq.Multiaddr[:], group.To4())
+	copy(mreq.Interface[:], local.To4())
+	return controlFd(c, func(fd int) error {
+		return syscall.SetsockoptIPMreq(fd, syscall.IPPROTO_IP, syscall.IP_ADD_MEMBERSHIP, mreq)
+	})
+}
+
+// leaveGroup drops the membership joinGroup added (IP_DROP_MEMBERSHIP).
+func leaveGroup(c *net.UDPConn, group, local net.IP) error {
+	mreq := &syscall.IPMreq{}
+	copy(mreq.Multiaddr[:], group.To4())
+	copy(mreq.Interface[:], local.To4())
+	return controlFd(c, func(fd int) error {
+		return syscall.SetsockoptIPMreq(fd, syscall.IPPROTO_IP, syscall.IP_DROP_MEMBERSHIP, mreq)
+	})
+}

@@ -1,0 +1,158 @@
+package realnet
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"indiss/internal/netapi"
+)
+
+// ListenTCP binds a TCP listener on the stack's address (port 0 picks
+// ephemeral). Unlike UDP — where multicast delivery forces a wildcard
+// bind on pktinfo platforms — TCP has no reason to listen beyond the
+// one interface that is this stack's identity.
+func (s *Stack) ListenTCP(port int) (netapi.Listener, error) {
+	l, err := net.ListenTCP("tcp4", &net.TCPAddr{IP: s.ip, Port: port})
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	return &tcpListener{l: l, stack: s}, nil
+}
+
+// tcpListener wraps a stdlib TCP listener in the netapi contract.
+type tcpListener struct {
+	l     *net.TCPListener
+	stack *Stack
+}
+
+// Addr returns the listener's bound address, reported under the stack's
+// IP (the socket is wildcard-bound).
+func (l *tcpListener) Addr() netapi.Addr {
+	port := 0
+	if ta, ok := l.l.Addr().(*net.TCPAddr); ok {
+		port = ta.Port
+	}
+	return netapi.Addr{IP: l.stack.IP(), Port: port}
+}
+
+// transientAcceptError reports accept failures that do not doom the
+// listener: descriptor exhaustion, aborted handshakes, interrupted
+// syscalls. Every accept loop in the tree treats an Accept error as
+// "listener closed" (correct against simnet, where that is the only
+// failure), so surfacing one of these would permanently stop a live
+// gateway's federation or description server over a momentary condition.
+func transientAcceptError(err error) bool {
+	for _, e := range []error{
+		syscall.EMFILE, syscall.ENFILE, syscall.ENOBUFS, syscall.ENOMEM,
+		syscall.ECONNABORTED, syscall.ECONNRESET, syscall.EINTR,
+	} {
+		if errors.Is(err, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// acceptRetry runs AcceptTCP, retrying transient failures with capped
+// exponential backoff. A socket deadline (AcceptTimeout) still bounds
+// the overall wait: the deadline error is not transient.
+func (l *tcpListener) acceptRetry() (netapi.Stream, error) {
+	delay := 5 * time.Millisecond
+	for {
+		c, err := l.l.AcceptTCP()
+		if err == nil {
+			return newTCPStream(c), nil
+		}
+		if !transientAcceptError(err) {
+			return nil, mapErr(err)
+		}
+		time.Sleep(delay)
+		if delay < time.Second {
+			delay *= 2
+		}
+	}
+}
+
+// Accept waits for the next inbound stream.
+func (l *tcpListener) Accept() (netapi.Stream, error) {
+	_ = l.l.SetDeadline(time.Time{})
+	return l.acceptRetry()
+}
+
+// AcceptTimeout is Accept with a deadline.
+func (l *tcpListener) AcceptTimeout(timeout time.Duration) (netapi.Stream, error) {
+	_ = l.l.SetDeadline(time.Now().Add(timeout))
+	return l.acceptRetry()
+}
+
+// Close stops the listener; accepted streams are unaffected.
+func (l *tcpListener) Close() { _ = l.l.Close() }
+
+// tcpStream wraps a stdlib TCP conn in the netapi contract.
+type tcpStream struct {
+	c *net.TCPConn
+
+	mu          sync.Mutex
+	readTimeout time.Duration
+}
+
+func newTCPStream(c *net.TCPConn) *tcpStream {
+	return &tcpStream{c: c}
+}
+
+// SetReadTimeout bounds every subsequent Read; zero blocks forever.
+func (s *tcpStream) SetReadTimeout(d time.Duration) {
+	s.mu.Lock()
+	s.readTimeout = d
+	s.mu.Unlock()
+}
+
+// Read fills p with received bytes, honouring the read timeout.
+func (s *tcpStream) Read(p []byte) (int, error) {
+	s.mu.Lock()
+	timeout := s.readTimeout
+	s.mu.Unlock()
+	if timeout > 0 {
+		_ = s.c.SetReadDeadline(time.Now().Add(timeout))
+	} else {
+		_ = s.c.SetReadDeadline(time.Time{})
+	}
+	n, err := s.c.Read(p)
+	return n, mapErr(err)
+}
+
+// Write sends p to the peer.
+func (s *tcpStream) Write(p []byte) (int, error) {
+	n, err := s.c.Write(p)
+	return n, mapErr(err)
+}
+
+// Close shuts the stream down. Idempotent at the netapi layer: a second
+// Close returns the stdlib's ErrClosed mapped onto the netapi sentinel.
+func (s *tcpStream) Close() error {
+	if err := s.c.Close(); err != nil {
+		return netapi.ErrClosed
+	}
+	return nil
+}
+
+// LocalAddr returns this endpoint's address.
+func (s *tcpStream) LocalAddr() netapi.Addr { return fromTCPAddr(s.c.LocalAddr()) }
+
+// RemoteAddr returns the peer's address.
+func (s *tcpStream) RemoteAddr() netapi.Addr { return fromTCPAddr(s.c.RemoteAddr()) }
+
+func fromTCPAddr(a net.Addr) netapi.Addr {
+	ta, ok := a.(*net.TCPAddr)
+	if !ok {
+		return netapi.Addr{}
+	}
+	ip := ta.IP
+	if ip4 := ip.To4(); ip4 != nil {
+		ip = ip4
+	}
+	return netapi.Addr{IP: ip.String(), Port: ta.Port}
+}

@@ -1,0 +1,316 @@
+package realnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"indiss/internal/netapi"
+)
+
+// udpQueueCap bounds a conn's receive queue, mirroring simnet (and the
+// kernel's own socket buffer): overflowing datagrams are dropped.
+const udpQueueCap = 256
+
+// maxDatagram is the receive buffer size; comfortably above any SDP
+// message this system composes.
+const maxDatagram = 64 << 10
+
+// udpConn is a live UDP socket bound to one port. Shared (monitor-style)
+// conns are SO_REUSEADDR binders that deliver only multicast datagrams
+// for joined groups, mirroring simnet's ListenMulticastUDP semantics.
+//
+// Group reception is platform-dependent. Where IP_PKTINFO exists
+// (Linux), the conn is one wildcard-bound socket and every datagram's
+// destination is recovered from the control message. Elsewhere the conn
+// binds its main socket to the stack's unicast address (which never
+// matches a multicast destination) and JoinGroup opens one extra
+// group-bound SO_REUSEADDR socket per group — the classic BSD pattern —
+// so group traffic is still attributed to exactly the right group and
+// never duplicated onto the unicast path.
+type udpConn struct {
+	stack  *Stack
+	c      *net.UDPConn
+	port   int
+	shared bool
+
+	// joinMu serializes whole JoinGroup/LeaveGroup operations (the
+	// membership syscall or companion-socket setup plus the state
+	// update), so concurrent joins of one group cannot double-join or
+	// leak a companion socket. mu guards only the state maps and may be
+	// taken while joinMu is held, never the reverse.
+	joinMu sync.Mutex
+
+	mu     sync.Mutex
+	groups map[string]struct{}
+	subs   map[string]*net.UDPConn // per-group sockets (no-pktinfo platforms)
+	closed bool
+
+	queue chan netapi.Datagram
+	done  chan struct{}
+}
+
+// ListenUDP binds an exclusive-use UDP port (port 0 picks ephemeral).
+// The socket still sets SO_REUSEADDR so it can coexist with shared
+// monitor binders on the same port, exactly as on the simulated fabric.
+func (s *Stack) ListenUDP(port int) (netapi.PacketConn, error) {
+	return s.listenUDP(port, false)
+}
+
+// ListenMulticastUDP binds a shared, multicast-only socket on the port —
+// the SO_REUSEADDR pattern SDP monitors use.
+func (s *Stack) ListenMulticastUDP(port int) (netapi.PacketConn, error) {
+	if port == 0 {
+		return nil, fmt.Errorf("%w: shared binding needs an explicit port", netapi.ErrBadAddr)
+	}
+	return s.listenUDP(port, true)
+}
+
+func (s *Stack) listenUDP(port int, shared bool) (netapi.PacketConn, error) {
+	// With pktinfo, bind the wildcard address: multicast delivery
+	// requires it (a socket bound to a unicast address never matches a
+	// group destination) and the control message tells arrivals apart.
+	// Without pktinfo, bind the stack's unicast address so the main
+	// socket carries unicast only; groups get their own sockets.
+	bindHost := ""
+	if !hasPktInfo {
+		bindHost = s.ip.String()
+	}
+	pc, err := listenUDPReuse(bindHost, port)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	if la, ok := pc.LocalAddr().(*net.UDPAddr); ok {
+		port = la.Port
+	}
+	// Route multicast emissions out of the stack's interface; enable
+	// destination-address recovery where the platform supports it. A
+	// platform that claims pktinfo but cannot enable it would leave the
+	// conn silently misclassifying arrivals — fail loudly instead.
+	_ = setMulticastInterface(pc, s.ip)
+	if hasPktInfo {
+		if err := enablePktInfo(pc); err != nil {
+			_ = pc.Close()
+			return nil, fmt.Errorf("realnet: enable IP_PKTINFO: %w", err)
+		}
+	}
+	conn := &udpConn{
+		stack:  s,
+		c:      pc,
+		port:   port,
+		shared: shared,
+		groups: make(map[string]struct{}),
+		subs:   make(map[string]*net.UDPConn),
+		queue:  make(chan netapi.Datagram, udpQueueCap),
+		done:   make(chan struct{}),
+	}
+	go conn.readLoop()
+	return conn, nil
+}
+
+// LocalAddr returns the conn's bound unicast address: the stack's IP and
+// the bound port (the socket itself is wildcard-bound; the stack's IP is
+// the identity everything above the transport keys on).
+func (c *udpConn) LocalAddr() netapi.Addr {
+	return netapi.Addr{IP: c.stack.IP(), Port: c.port}
+}
+
+// JoinGroup subscribes the conn to a multicast group on the stack's
+// interface.
+func (c *udpConn) JoinGroup(group string) error {
+	if !netapi.IsMulticastIP(group) {
+		return fmt.Errorf("%w: %q is not multicast", netapi.ErrBadAddr, group)
+	}
+	c.joinMu.Lock()
+	defer c.joinMu.Unlock()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return netapi.ErrClosed
+	}
+	if _, ok := c.groups[group]; ok {
+		c.mu.Unlock()
+		return nil // idempotent, as with IP_ADD_MEMBERSHIP
+	}
+	c.mu.Unlock()
+
+	var sub *net.UDPConn
+	if hasPktInfo {
+		if err := joinGroup(c.c, net.ParseIP(group), c.stack.ip); err != nil {
+			return fmt.Errorf("realnet: join %s: %w", group, err)
+		}
+	} else {
+		// Group-bound companion socket: it receives exactly this
+		// group's traffic for the port, so no control message is needed
+		// to attribute arrivals.
+		var err error
+		sub, err = listenUDPReuse(group, c.port)
+		if err != nil {
+			return fmt.Errorf("realnet: join %s: %w", group, err)
+		}
+		if err := joinGroup(sub, net.ParseIP(group), c.stack.ip); err != nil {
+			_ = sub.Close()
+			return fmt.Errorf("realnet: join %s: %w", group, err)
+		}
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		if sub != nil {
+			_ = sub.Close()
+		}
+		return netapi.ErrClosed
+	}
+	c.groups[group] = struct{}{}
+	if sub != nil {
+		c.subs[group] = sub
+		go c.readSub(sub, group)
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// LeaveGroup unsubscribes the conn from a multicast group.
+func (c *udpConn) LeaveGroup(group string) {
+	c.joinMu.Lock()
+	defer c.joinMu.Unlock()
+	c.mu.Lock()
+	_, ok := c.groups[group]
+	delete(c.groups, group)
+	sub := c.subs[group]
+	delete(c.subs, group)
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	if sub != nil {
+		_ = sub.Close() // the membership dies with the socket
+		return
+	}
+	_ = leaveGroup(c.c, net.ParseIP(group), c.stack.ip)
+}
+
+func (c *udpConn) memberOf(group string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.groups[group]
+	return ok
+}
+
+// WriteTo sends payload to dst, unicast or multicast. The caller keeps
+// ownership of payload.
+func (c *udpConn) WriteTo(payload []byte, dst netapi.Addr) error {
+	ua, err := udpAddr(dst)
+	if err != nil {
+		return err
+	}
+	_, err = c.c.WriteToUDP(payload, ua)
+	return mapErr(err)
+}
+
+// readLoop pumps datagrams from the main socket into the receive queue,
+// reconstructing each packet's destination address and applying the
+// shared-binder multicast filter. On no-pktinfo platforms the main
+// socket is unicast-bound, so every arrival here is unicast by
+// construction (group traffic flows through readSub).
+func (c *udpConn) readLoop() {
+	buf := make([]byte, maxDatagram)
+	oob := make([]byte, oobSize)
+	for {
+		n, oobn, _, src, err := c.c.ReadMsgUDP(buf, oob)
+		if err != nil {
+			return // Close unblocked us (or the socket died): stop pumping
+		}
+		dst := netapi.Addr{Port: c.port}
+		if ip, ok := dstFromOOB(oob[:oobn]); ok {
+			dst.IP = ip.String()
+		} else {
+			dst.IP = c.stack.IP()
+		}
+		if dst.IsMulticast() && !c.memberOf(dst.IP) {
+			// The kernel delivers a group's traffic to every wildcard
+			// binder of the port once any socket on the host joined;
+			// simnet delivers only to members. Enforce membership here.
+			continue
+		}
+		if c.shared && !dst.IsMulticast() {
+			continue // shared binders are multicast-only, as in simnet
+		}
+		c.push(buf[:n], fromUDPAddr(src), dst)
+	}
+}
+
+// readSub pumps one group-bound companion socket (no-pktinfo platforms):
+// everything it receives is, by construction, the group's traffic.
+func (c *udpConn) readSub(sub *net.UDPConn, group string) {
+	buf := make([]byte, maxDatagram)
+	dst := netapi.Addr{IP: group, Port: c.port}
+	for {
+		n, src, err := sub.ReadFromUDP(buf)
+		if err != nil {
+			return // LeaveGroup/Close closed the socket
+		}
+		c.push(buf[:n], fromUDPAddr(src), dst)
+	}
+}
+
+// push copies one datagram into the receive queue, dropping on overflow
+// as a kernel socket buffer would.
+func (c *udpConn) push(payload []byte, src, dst netapi.Addr) {
+	body := make([]byte, len(payload))
+	copy(body, payload)
+	dg := netapi.Datagram{Payload: body, Src: src, Dst: dst}
+	select {
+	case <-c.done:
+	case c.queue <- dg:
+	default:
+	}
+}
+
+// C exposes the receive queue for select-based consumers.
+func (c *udpConn) C() <-chan netapi.Datagram { return c.queue }
+
+// Recv waits for one datagram, honouring the netapi timeout contract.
+func (c *udpConn) Recv(timeout time.Duration) (netapi.Datagram, error) {
+	if timeout <= 0 {
+		select {
+		case dg := <-c.queue:
+			return dg, nil
+		case <-c.done:
+			return netapi.Datagram{}, netapi.ErrClosed
+		}
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case dg := <-c.queue:
+		return dg, nil
+	case <-c.done:
+		return netapi.Datagram{}, netapi.ErrClosed
+	case <-timer.C:
+		return netapi.Datagram{}, netapi.ErrTimeout
+	}
+}
+
+// Close unbinds the port (and any group companion sockets). Idempotent.
+func (c *udpConn) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	subs := make([]*net.UDPConn, 0, len(c.subs))
+	for _, sub := range c.subs {
+		subs = append(subs, sub)
+	}
+	c.subs = make(map[string]*net.UDPConn)
+	c.mu.Unlock()
+	close(c.done)
+	_ = c.c.Close()
+	for _, sub := range subs {
+		_ = sub.Close()
+	}
+}

@@ -1,29 +1,18 @@
 package simnet
 
 import (
-	"runtime"
 	"time"
+
+	"indiss/internal/netapi"
 )
 
-// The experiments measure sub-millisecond protocol exchanges (native SLP
-// answers in ~0.7ms), but kernel timer granularity makes time.Sleep and
-// timer-channel waits overshoot by a millisecond or more. SleepPrecise
-// trades CPU for accuracy: long waits sleep, the final stretch spins.
-
-// spinThreshold is the window within which waits spin instead of
-// sleeping.
+// spinThreshold is the window within which the scheduler (and
+// SleepPrecise) spin instead of sleeping, trading CPU for the
+// sub-millisecond accuracy the experiments need.
 const spinThreshold = 2 * time.Millisecond
 
-// SleepPrecise sleeps d with sub-millisecond accuracy.
-func SleepPrecise(d time.Duration) {
-	if d <= 0 {
-		return
-	}
-	deadline := time.Now().Add(d)
-	if d > spinThreshold {
-		time.Sleep(d - spinThreshold)
-	}
-	for time.Now().Before(deadline) {
-		runtime.Gosched()
-	}
-}
+// SleepPrecise sleeps d with sub-millisecond accuracy. It delegates to
+// netapi.SleepPrecise, where the implementation lives so that packages
+// free of simnet (core's translation profile, the native stack cost
+// models) can use the same precise clock.
+func SleepPrecise(d time.Duration) { netapi.SleepPrecise(d) }

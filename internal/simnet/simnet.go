@@ -6,15 +6,19 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"indiss/internal/netapi"
 )
 
-// Sentinel errors returned by network operations.
+// Sentinel errors returned by network operations. The transport-level
+// ones are netapi's, shared with every other Stack implementation so
+// callers match the same sentinel regardless of fabric.
 var (
-	ErrClosed        = errors.New("simnet: closed")
-	ErrPortInUse     = errors.New("simnet: port already in use")
-	ErrNoRoute       = errors.New("simnet: no route to host")
-	ErrConnRefused   = errors.New("simnet: connection refused")
-	ErrTimeout       = errors.New("simnet: i/o timeout")
+	ErrClosed        = netapi.ErrClosed
+	ErrPortInUse     = netapi.ErrPortInUse
+	ErrNoRoute       = netapi.ErrNoRoute
+	ErrConnRefused   = netapi.ErrConnRefused
+	ErrTimeout       = netapi.ErrTimeout
 	ErrDuplicateHost = errors.New("simnet: duplicate host")
 )
 

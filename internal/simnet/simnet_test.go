@@ -6,6 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"indiss/internal/netapi"
 )
 
 func newTestNet(t *testing.T, cfg Config) *Network {
@@ -669,7 +671,7 @@ func TestSharedMulticastManyBinders(t *testing.T) {
 	a := n.MustAddHost("a", "10.0.0.1")
 	const group, port = "239.0.0.9", 1900
 
-	var conns []*UDPConn
+	var conns []netapi.PacketConn
 	for i := 0; i < 3; i++ {
 		c, err := a.ListenMulticastUDP(port)
 		if err != nil {

@@ -1,0 +1,13 @@
+package simnet
+
+import "indiss/internal/netapi"
+
+// simnet is the simulated netapi backend: *Host is a netapi.Stack, and
+// the concrete conn types satisfy the corresponding netapi interfaces.
+// The assertions below keep the contract from silently eroding.
+var (
+	_ netapi.Stack      = (*Host)(nil)
+	_ netapi.PacketConn = (*UDPConn)(nil)
+	_ netapi.Listener   = (*Listener)(nil)
+	_ netapi.Stream     = (*Stream)(nil)
+)

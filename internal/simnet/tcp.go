@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"indiss/internal/netapi"
 )
 
 // listenBacklog bounds pending, unaccepted connections.
@@ -24,7 +26,7 @@ type Listener struct {
 
 // ListenTCP binds a TCP listener on the host. Port 0 picks a free
 // ephemeral port.
-func (h *Host) ListenTCP(port int) (*Listener, error) {
+func (h *Host) ListenTCP(port int) (netapi.Listener, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
@@ -50,7 +52,7 @@ func (l *Listener) Addr() Addr { return Addr{IP: l.host.ip, Port: l.port} }
 
 // Accept waits for the next inbound stream. It returns ErrClosed after
 // Close.
-func (l *Listener) Accept() (*Stream, error) {
+func (l *Listener) Accept() (netapi.Stream, error) {
 	select {
 	case s := <-l.backlog:
 		return s, nil
@@ -60,7 +62,7 @@ func (l *Listener) Accept() (*Stream, error) {
 }
 
 // AcceptTimeout is Accept with a deadline.
-func (l *Listener) AcceptTimeout(timeout time.Duration) (*Stream, error) {
+func (l *Listener) AcceptTimeout(timeout time.Duration) (netapi.Stream, error) {
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
@@ -96,7 +98,7 @@ func (l *Listener) Close() {
 // DialTCP opens a stream to addr, paying one connect round-trip of link
 // latency (SYN + SYN-ACK). It returns ErrNoRoute if no host owns the IP
 // and ErrConnRefused if nothing listens on the port.
-func (h *Host) DialTCP(addr Addr) (*Stream, error) {
+func (h *Host) DialTCP(addr Addr) (netapi.Stream, error) {
 	n := h.net
 	to := n.HostByIP(addr.IP)
 	if to == nil {

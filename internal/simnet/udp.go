@@ -4,20 +4,9 @@ import (
 	"fmt"
 	"sync"
 	"time"
-)
 
-// Datagram is a received UDP packet.
-type Datagram struct {
-	// Payload is the packet body. Receivers own the slice.
-	Payload []byte
-	// Src is the sender's unicast address.
-	Src Addr
-	// Dst is the address the packet was sent to. For multicast traffic
-	// this is the group address, which lets receivers distinguish
-	// unicast from multicast arrivals (the SDP_NET_* events of the
-	// paper's Table 1 need exactly this).
-	Dst Addr
-}
+	"indiss/internal/netapi"
+)
 
 // udpQueueCap bounds a conn's receive queue. Overflowing packets are
 // dropped, matching kernel UDP socket behaviour.
@@ -43,7 +32,7 @@ type UDPConn struct {
 
 // ListenUDP binds a UDP port on the host. Port 0 picks a free ephemeral
 // port.
-func (h *Host) ListenUDP(port int) (*UDPConn, error) {
+func (h *Host) ListenUDP(port int) (netapi.PacketConn, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
@@ -72,7 +61,7 @@ func (h *Host) ListenUDP(port int) (*UDPConn, error) {
 // traffic goes to the exclusive binder alone. This is how the paper's
 // monitor component observes SDP traffic "without altering the behaviour
 // of SDPs, clients and services" already running on the host.
-func (h *Host) ListenMulticastUDP(port int) (*UDPConn, error) {
+func (h *Host) ListenMulticastUDP(port int) (netapi.PacketConn, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {

@@ -68,9 +68,11 @@ func DefaultGroups() []Group {
 	return []Group{
 		{Name: "Core framework", Paths: []string{
 			"internal/core", "internal/events", "internal/fsm",
+			"internal/netapi",
 			"internal/units/base.go", "internal/units/naming.go",
 			"indiss.go", "testbed.go",
 		}},
+		{Name: "Real-socket transport (realnet)", Paths: []string{"internal/realnet"}},
 		{Name: "SLP Unit", Paths: []string{"internal/units/slpunit.go"}},
 		{Name: "UPnP Unit", Paths: []string{"internal/units/upnpunit.go"}},
 		{Name: "Jini Unit", Paths: []string{"internal/units/jiniunit.go"}},

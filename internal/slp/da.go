@@ -6,7 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"indiss/internal/simnet"
+	"indiss/internal/netapi"
 )
 
 // DirectoryAgent is the SLP repository: "a centralized lookup service
@@ -16,8 +16,8 @@ import (
 // DAAdverts — the repository-discovery mechanisms of both the active and
 // passive models.
 type DirectoryAgent struct {
-	host *simnet.Host
-	conn *simnet.UDPConn
+	host netapi.Stack
+	conn netapi.PacketConn
 	cfg  AgentConfig
 
 	store  *Store
@@ -42,7 +42,7 @@ func WithHeartbeat(interval time.Duration) DAOption {
 
 // NewDirectoryAgent binds the SLP port on host, announces the DA, and
 // starts serving.
-func NewDirectoryAgent(host *simnet.Host, cfg AgentConfig, opts ...DAOption) (*DirectoryAgent, error) {
+func NewDirectoryAgent(host netapi.Stack, cfg AgentConfig, opts ...DAOption) (*DirectoryAgent, error) {
 	conn, err := host.ListenUDP(Port)
 	if err != nil {
 		return nil, fmt.Errorf("slp da: %w", err)
@@ -94,7 +94,7 @@ func (da *DirectoryAgent) Close() {
 }
 
 // Host returns the DA's host.
-func (da *DirectoryAgent) Host() *simnet.Host { return da.host }
+func (da *DirectoryAgent) Host() netapi.Stack { return da.host }
 
 // URL returns the DA's service URL.
 func (da *DirectoryAgent) URL() string {
@@ -111,7 +111,7 @@ func (da *DirectoryAgent) nextXID() uint16 { return uint16(da.xid.Add(1)) }
 
 func (da *DirectoryAgent) delay() {
 	if da.cfg.ProcessingDelay > 0 {
-		simnet.SleepPrecise(da.cfg.ProcessingDelay)
+		netapi.SleepPrecise(da.cfg.ProcessingDelay)
 	}
 }
 
@@ -141,7 +141,7 @@ func (da *DirectoryAgent) serve() {
 	}
 }
 
-func (da *DirectoryAgent) handleSrvRqst(m *SrvRqst, dg simnet.Datagram) {
+func (da *DirectoryAgent) handleSrvRqst(m *SrvRqst, dg netapi.Datagram) {
 	for _, p := range m.PrevResponders {
 		if p == da.host.IP() {
 			return
@@ -176,7 +176,7 @@ func (da *DirectoryAgent) handleSrvRqst(m *SrvRqst, dg simnet.Datagram) {
 	da.send(rply, dg.Src)
 }
 
-func (da *DirectoryAgent) handleSrvReg(m *SrvReg, dg simnet.Datagram) {
+func (da *DirectoryAgent) handleSrvReg(m *SrvReg, dg netapi.Datagram) {
 	attrs, err := ParseAttrList(m.Attrs)
 	code := ErrNone
 	if err != nil {
@@ -195,12 +195,12 @@ func (da *DirectoryAgent) handleSrvReg(m *SrvReg, dg simnet.Datagram) {
 	da.send(&SrvAck{Hdr: replyHdr(m.Hdr, da.cfg.lang()), Error: code}, dg.Src)
 }
 
-func (da *DirectoryAgent) handleSrvDeReg(m *SrvDeReg, dg simnet.Datagram) {
+func (da *DirectoryAgent) handleSrvDeReg(m *SrvDeReg, dg netapi.Datagram) {
 	code := da.store.Deregister(m.Entry.URL)
 	da.send(&SrvAck{Hdr: replyHdr(m.Hdr, da.cfg.lang()), Error: code}, dg.Src)
 }
 
-func (da *DirectoryAgent) handleAttrRqst(m *AttrRqst, dg simnet.Datagram) {
+func (da *DirectoryAgent) handleAttrRqst(m *AttrRqst, dg netapi.Datagram) {
 	now := time.Now()
 	var attrs AttrList
 	if reg, ok := da.store.Get(m.URL, now); ok {
@@ -220,7 +220,7 @@ func (da *DirectoryAgent) handleAttrRqst(m *AttrRqst, dg simnet.Datagram) {
 	da.send(&AttrRply{Hdr: replyHdr(m.Hdr, da.cfg.lang()), Attrs: attrs.String()}, dg.Src)
 }
 
-func (da *DirectoryAgent) handleSrvTypeRqst(m *SrvTypeRqst, dg simnet.Datagram) {
+func (da *DirectoryAgent) handleSrvTypeRqst(m *SrvTypeRqst, dg netapi.Datagram) {
 	types := da.store.Types(m.Scopes, time.Now())
 	da.send(&SrvTypeRply{Hdr: replyHdr(m.Hdr, da.cfg.lang()), Types: types}, dg.Src)
 }
@@ -238,7 +238,7 @@ func (da *DirectoryAgent) announce() {
 	}
 }
 
-func (da *DirectoryAgent) sendAdvert(dst simnet.Addr, hdr Header, bootTS uint32) {
+func (da *DirectoryAgent) sendAdvert(dst netapi.Addr, hdr Header, bootTS uint32) {
 	adv := &DAAdvert{
 		Hdr:           hdr,
 		BootTimestamp: bootTS,
@@ -248,7 +248,7 @@ func (da *DirectoryAgent) sendAdvert(dst simnet.Addr, hdr Header, bootTS uint32)
 	da.send(adv, dst)
 }
 
-func (da *DirectoryAgent) send(m Message, dst simnet.Addr) {
+func (da *DirectoryAgent) send(m Message, dst netapi.Addr) {
 	data, err := m.Marshal()
 	if err != nil {
 		return

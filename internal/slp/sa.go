@@ -6,7 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"indiss/internal/simnet"
+	"indiss/internal/netapi"
 )
 
 // AgentConfig carries settings shared by the SLP entities.
@@ -39,29 +39,29 @@ func (c AgentConfig) lang() string {
 }
 
 // groupAddr is the SLP multicast destination.
-func groupAddr() simnet.Addr { return simnet.Addr{IP: MulticastGroup, Port: Port} }
+func groupAddr() netapi.Addr { return netapi.Addr{IP: MulticastGroup, Port: Port} }
 
 // ServiceAgent advertises services and answers requests for them — the
 // "service" role of the paper's discovery models. It supports both the
 // active model (answering multicast SrvRqsts with unicast SrvRplys) and
 // the passive model (periodic multicast SAAdverts).
 type ServiceAgent struct {
-	host *simnet.Host
-	conn *simnet.UDPConn
+	host netapi.Stack
+	conn netapi.PacketConn
 	cfg  AgentConfig
 
 	store *Store
 	xid   atomic.Uint32
 
 	mu sync.Mutex
-	da simnet.Addr // discovered directory agent, zero if none
+	da netapi.Addr // discovered directory agent, zero if none
 
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
 
 // NewServiceAgent binds the SLP port on host and starts serving.
-func NewServiceAgent(host *simnet.Host, cfg AgentConfig) (*ServiceAgent, error) {
+func NewServiceAgent(host netapi.Stack, cfg AgentConfig) (*ServiceAgent, error) {
 	conn, err := host.ListenUDP(Port)
 	if err != nil {
 		return nil, fmt.Errorf("slp sa: %w", err)
@@ -105,7 +105,7 @@ func (sa *ServiceAgent) Close() {
 }
 
 // Host returns the agent's host.
-func (sa *ServiceAgent) Host() *simnet.Host { return sa.host }
+func (sa *ServiceAgent) Host() netapi.Stack { return sa.host }
 
 // Register adds a local service. If a directory agent is known, the
 // registration is forwarded there as well.
@@ -138,7 +138,7 @@ func (sa *ServiceAgent) Deregister(url string) error {
 }
 
 // DA returns the directory agent the SA currently registers with, if any.
-func (sa *ServiceAgent) DA() (simnet.Addr, bool) {
+func (sa *ServiceAgent) DA() (netapi.Addr, bool) {
 	sa.mu.Lock()
 	defer sa.mu.Unlock()
 	return sa.da, !sa.da.IsZero()
@@ -150,7 +150,7 @@ func (sa *ServiceAgent) nextXID() uint16 {
 
 func (sa *ServiceAgent) delay() {
 	if sa.cfg.ProcessingDelay > 0 {
-		simnet.SleepPrecise(sa.cfg.ProcessingDelay)
+		netapi.SleepPrecise(sa.cfg.ProcessingDelay)
 	}
 }
 
@@ -189,7 +189,7 @@ func (sa *ServiceAgent) answeredBefore(prev []string) bool {
 	return false
 }
 
-func (sa *ServiceAgent) handleSrvRqst(m *SrvRqst, dg simnet.Datagram) {
+func (sa *ServiceAgent) handleSrvRqst(m *SrvRqst, dg netapi.Datagram) {
 	if sa.answeredBefore(m.PrevResponders) {
 		return
 	}
@@ -233,7 +233,7 @@ func (sa *ServiceAgent) handleSrvRqst(m *SrvRqst, dg simnet.Datagram) {
 	sa.send(rply, dg.Src)
 }
 
-func (sa *ServiceAgent) handleAttrRqst(m *AttrRqst, dg simnet.Datagram) {
+func (sa *ServiceAgent) handleAttrRqst(m *AttrRqst, dg netapi.Datagram) {
 	if sa.answeredBefore(m.PrevResponders) {
 		return
 	}
@@ -267,7 +267,7 @@ func (sa *ServiceAgent) handleAttrRqst(m *AttrRqst, dg simnet.Datagram) {
 	sa.send(&AttrRply{Hdr: replyHdr(m.Hdr, sa.cfg.lang()), Attrs: attrs.String()}, dg.Src)
 }
 
-func (sa *ServiceAgent) handleSrvTypeRqst(m *SrvTypeRqst, dg simnet.Datagram) {
+func (sa *ServiceAgent) handleSrvTypeRqst(m *SrvTypeRqst, dg netapi.Datagram) {
 	if sa.answeredBefore(m.PrevResponders) {
 		return
 	}
@@ -283,12 +283,12 @@ func (sa *ServiceAgent) handleSrvTypeRqst(m *SrvTypeRqst, dg simnet.Datagram) {
 
 // handleDAAdvert adopts a newly announced DA and registers every local
 // service with it (RFC 2608 §12.2.2).
-func (sa *ServiceAgent) handleDAAdvert(m *DAAdvert, dg simnet.Datagram) {
+func (sa *ServiceAgent) handleDAAdvert(m *DAAdvert, dg netapi.Datagram) {
 	if m.BootTimestamp == 0 {
 		// DA shutting down.
 		sa.mu.Lock()
 		if sa.da == dg.Src {
-			sa.da = simnet.Addr{}
+			sa.da = netapi.Addr{}
 		}
 		sa.mu.Unlock()
 		return
@@ -305,7 +305,7 @@ func (sa *ServiceAgent) handleDAAdvert(m *DAAdvert, dg simnet.Datagram) {
 	}
 }
 
-func (sa *ServiceAgent) registerWithDA(da simnet.Addr, reg Registration) {
+func (sa *ServiceAgent) registerWithDA(da netapi.Addr, reg Registration) {
 	msg := &SrvReg{
 		Hdr:         Header{XID: sa.nextXID(), Lang: sa.cfg.lang(), Flags: FlagFresh},
 		Entry:       URLEntry{Lifetime: reg.Lifetime(time.Now()), URL: reg.URL},
@@ -316,7 +316,7 @@ func (sa *ServiceAgent) registerWithDA(da simnet.Addr, reg Registration) {
 	sa.send(msg, da)
 }
 
-func (sa *ServiceAgent) sendSAAdvert(m *SrvRqst, dst simnet.Addr) {
+func (sa *ServiceAgent) sendSAAdvert(m *SrvRqst, dst netapi.Addr) {
 	adv := &SAAdvert{
 		Hdr:    replyHdr(m.Hdr, sa.cfg.lang()),
 		URL:    "service:service-agent://" + sa.host.IP(),
@@ -361,7 +361,7 @@ func (sa *ServiceAgent) announcedAttrs() string {
 	return list.String()
 }
 
-func (sa *ServiceAgent) send(m Message, dst simnet.Addr) {
+func (sa *ServiceAgent) send(m Message, dst netapi.Addr) {
 	data, err := m.Marshal()
 	if err != nil {
 		return

@@ -7,7 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"indiss/internal/simnet"
+	"indiss/internal/netapi"
 )
 
 // UserAgent issues SLP requests on behalf of a client application — the
@@ -19,32 +19,32 @@ import (
 //   - Passive discovery: listening for DAAdverts to learn the repository
 //     without any transmission.
 type UserAgent struct {
-	host *simnet.Host
+	host netapi.Stack
 	cfg  AgentConfig
 	xid  atomic.Uint32
 
 	mu sync.Mutex
-	da simnet.Addr
+	da netapi.Addr
 }
 
 // NewUserAgent creates a user agent on host. It binds no permanent port;
 // each request uses an ephemeral socket, like a real UA.
-func NewUserAgent(host *simnet.Host, cfg AgentConfig) *UserAgent {
+func NewUserAgent(host netapi.Stack, cfg AgentConfig) *UserAgent {
 	return &UserAgent{host: host, cfg: cfg}
 }
 
 // Host returns the agent's host.
-func (ua *UserAgent) Host() *simnet.Host { return ua.host }
+func (ua *UserAgent) Host() netapi.Stack { return ua.host }
 
 // SetDA pins a directory agent; subsequent requests go unicast to it.
-func (ua *UserAgent) SetDA(addr simnet.Addr) {
+func (ua *UserAgent) SetDA(addr netapi.Addr) {
 	ua.mu.Lock()
 	defer ua.mu.Unlock()
 	ua.da = addr
 }
 
 // DA returns the pinned directory agent, if any.
-func (ua *UserAgent) DA() (simnet.Addr, bool) {
+func (ua *UserAgent) DA() (netapi.Addr, bool) {
 	ua.mu.Lock()
 	defer ua.mu.Unlock()
 	return ua.da, !ua.da.IsZero()
@@ -54,7 +54,7 @@ func (ua *UserAgent) nextXID() uint16 { return uint16(ua.xid.Add(1)) }
 
 func (ua *UserAgent) delay() {
 	if ua.cfg.ProcessingDelay > 0 {
-		simnet.SleepPrecise(ua.cfg.ProcessingDelay)
+		netapi.SleepPrecise(ua.cfg.ProcessingDelay)
 	}
 }
 
@@ -83,7 +83,7 @@ func (ua *UserAgent) FindFirst(serviceType, predicate string, timeout time.Durat
 	for {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
-			return nil, simnet.ErrTimeout
+			return nil, netapi.ErrTimeout
 		}
 		dg, err := conn.Recv(remaining)
 		if err != nil {
@@ -160,7 +160,7 @@ func (ua *UserAgent) FindServices(serviceType, predicate string) ([]URLEntry, er
 
 // collectRound gathers replies for one retransmission interval, recording
 // responders and URLs. It reports whether any new URL arrived.
-func (ua *UserAgent) collectRound(conn *simnet.UDPConn, xid uint16, responders *[]string, seen map[string]URLEntry, deadline time.Time) bool {
+func (ua *UserAgent) collectRound(conn netapi.PacketConn, xid uint16, responders *[]string, seen map[string]URLEntry, deadline time.Time) bool {
 	roundEnd := time.Now().Add(RetryInterval)
 	if roundEnd.After(deadline) {
 		roundEnd = deadline
@@ -216,7 +216,7 @@ func (ua *UserAgent) FindAttrs(url string, timeout time.Duration) (AttrList, err
 	for {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
-			return nil, simnet.ErrTimeout
+			return nil, netapi.ErrTimeout
 		}
 		dg, err := conn.Recv(remaining)
 		if err != nil {
@@ -288,17 +288,17 @@ func (ua *UserAgent) FindTypes(timeout time.Duration) ([]string, error) {
 	}
 	sort.Strings(types)
 	if len(types) == 0 {
-		return nil, simnet.ErrTimeout
+		return nil, netapi.ErrTimeout
 	}
 	return types, nil
 }
 
 // DiscoverDA actively locates a directory agent (RFC 2608 §12.1) and pins
 // it for subsequent requests.
-func (ua *UserAgent) DiscoverDA(timeout time.Duration) (simnet.Addr, error) {
+func (ua *UserAgent) DiscoverDA(timeout time.Duration) (netapi.Addr, error) {
 	conn, err := ua.host.ListenUDP(0)
 	if err != nil {
-		return simnet.Addr{}, fmt.Errorf("slp ua: %w", err)
+		return netapi.Addr{}, fmt.Errorf("slp ua: %w", err)
 	}
 	defer conn.Close()
 
@@ -309,17 +309,17 @@ func (ua *UserAgent) DiscoverDA(timeout time.Duration) (simnet.Addr, error) {
 	}
 	ua.delay()
 	if err := ua.send(conn, req, groupAddr()); err != nil {
-		return simnet.Addr{}, err
+		return netapi.Addr{}, err
 	}
 	deadline := time.Now().Add(timeout)
 	for {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
-			return simnet.Addr{}, simnet.ErrTimeout
+			return netapi.Addr{}, netapi.ErrTimeout
 		}
 		dg, err := conn.Recv(remaining)
 		if err != nil {
-			return simnet.Addr{}, err
+			return netapi.Addr{}, err
 		}
 		msg, err := Parse(dg.Payload)
 		if err != nil {
@@ -335,7 +335,7 @@ func (ua *UserAgent) DiscoverDA(timeout time.Duration) (simnet.Addr, error) {
 }
 
 // requestTarget picks unicast-to-DA or multicast-to-group addressing.
-func (ua *UserAgent) requestTarget() (simnet.Addr, uint16) {
+func (ua *UserAgent) requestTarget() (netapi.Addr, uint16) {
 	ua.mu.Lock()
 	defer ua.mu.Unlock()
 	if !ua.da.IsZero() {
@@ -344,7 +344,7 @@ func (ua *UserAgent) requestTarget() (simnet.Addr, uint16) {
 	return groupAddr(), FlagRequestMcast
 }
 
-func (ua *UserAgent) send(conn *simnet.UDPConn, m Message, dst simnet.Addr) error {
+func (ua *UserAgent) send(conn netapi.PacketConn, m Message, dst netapi.Addr) error {
 	data, err := m.Marshal()
 	if err != nil {
 		return err

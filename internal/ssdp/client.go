@@ -5,7 +5,7 @@ import (
 	"sync"
 	"time"
 
-	"indiss/internal/simnet"
+	"indiss/internal/netapi"
 )
 
 // ClientConfig tunes an SSDP client (the discovery half of a UPnP control
@@ -17,18 +17,18 @@ type ClientConfig struct {
 
 // Client issues M-SEARCHes and listens for notifications.
 type Client struct {
-	host *simnet.Host
+	host netapi.Stack
 	cfg  ClientConfig
 }
 
 // NewClient creates an SSDP client on host.
-func NewClient(host *simnet.Host, cfg ClientConfig) *Client {
+func NewClient(host netapi.Stack, cfg ClientConfig) *Client {
 	return &Client{host: host, cfg: cfg}
 }
 
 func (c *Client) delay() {
 	if c.cfg.ProcessingDelay > 0 {
-		simnet.SleepPrecise(c.cfg.ProcessingDelay)
+		netapi.SleepPrecise(c.cfg.ProcessingDelay)
 	}
 }
 
@@ -43,14 +43,14 @@ func (c *Client) SearchFirst(target string, mx int, timeout time.Duration) (*Sea
 
 	req := &SearchRequest{ST: target, MX: mx}
 	c.delay()
-	if err := conn.WriteTo(req.Marshal(), simnet.Addr{IP: MulticastGroup, Port: Port}); err != nil {
+	if err := conn.WriteTo(req.Marshal(), netapi.Addr{IP: MulticastGroup, Port: Port}); err != nil {
 		return nil, err
 	}
 	deadline := time.Now().Add(timeout)
 	for {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
-			return nil, simnet.ErrTimeout
+			return nil, netapi.ErrTimeout
 		}
 		dg, err := conn.Recv(remaining)
 		if err != nil {
@@ -81,7 +81,7 @@ func (c *Client) Search(target string, mx int, window time.Duration) ([]*SearchR
 
 	req := &SearchRequest{ST: target, MX: mx}
 	c.delay()
-	if err := conn.WriteTo(req.Marshal(), simnet.Addr{IP: MulticastGroup, Port: Port}); err != nil {
+	if err := conn.WriteTo(req.Marshal(), netapi.Addr{IP: MulticastGroup, Port: Port}); err != nil {
 		return nil, err
 	}
 	deadline := time.Now().Add(window)
@@ -119,13 +119,13 @@ type NotifyHandler func(*Notify)
 // Listener passively listens for NOTIFY announcements on the SSDP group —
 // the passive discovery model on the UPnP side.
 type Listener struct {
-	conn *simnet.UDPConn
+	conn netapi.PacketConn
 	wg   sync.WaitGroup
 }
 
 // Listen binds the SSDP port (it must be free on this host) and invokes
 // handler for each announcement heard.
-func Listen(host *simnet.Host, handler NotifyHandler) (*Listener, error) {
+func Listen(host netapi.Stack, handler NotifyHandler) (*Listener, error) {
 	conn, err := host.ListenUDP(Port)
 	if err != nil {
 		return nil, fmt.Errorf("ssdp listen: %w", err)

@@ -6,7 +6,7 @@ import (
 	"sync"
 	"time"
 
-	"indiss/internal/simnet"
+	"indiss/internal/netapi"
 )
 
 // Advertisement is one (NT, USN) pair a server announces and answers
@@ -37,8 +37,8 @@ type ServerConfig struct {
 // Server is the device-side SSDP engine: it answers M-SEARCHes for its
 // advertisements and multicasts alive/byebye notifications.
 type Server struct {
-	host *simnet.Host
-	conn *simnet.UDPConn
+	host netapi.Stack
+	conn netapi.PacketConn
 	cfg  ServerConfig
 
 	mu  sync.Mutex
@@ -51,7 +51,7 @@ type Server struct {
 
 // NewServer binds the SSDP port on host, announces the advertisements,
 // and starts serving searches.
-func NewServer(host *simnet.Host, cfg ServerConfig, ads []Advertisement) (*Server, error) {
+func NewServer(host netapi.Stack, cfg ServerConfig, ads []Advertisement) (*Server, error) {
 	conn, err := host.ListenUDP(Port)
 	if err != nil {
 		return nil, fmt.Errorf("ssdp server: %w", err)
@@ -156,7 +156,7 @@ func (s *Server) serve() {
 			continue
 		}
 		if s.cfg.ProcessingDelay > 0 {
-			simnet.SleepPrecise(s.cfg.ProcessingDelay)
+			netapi.SleepPrecise(s.cfg.ProcessingDelay)
 		}
 		s.answer(search, dg.Src)
 	}
@@ -164,7 +164,7 @@ func (s *Server) serve() {
 
 // answer sends one unicast response per matching advertisement, after a
 // random delay within MX seconds (UDA 1.0 §1.2.3).
-func (s *Server) answer(search *SearchRequest, dst simnet.Addr) {
+func (s *Server) answer(search *SearchRequest, dst netapi.Addr) {
 	for _, ad := range s.snapshot() {
 		if !TargetMatches(search.ST, ad.NT) {
 			continue
@@ -194,7 +194,7 @@ func (s *Server) jitter(mx int) {
 	s.mu.Lock()
 	d := time.Duration(s.rng.Int63n(int64(mx) * int64(time.Second)))
 	s.mu.Unlock()
-	simnet.SleepPrecise(d)
+	netapi.SleepPrecise(d)
 }
 
 func (s *Server) announce() {
@@ -225,6 +225,6 @@ func (s *Server) sendNotify(ad Advertisement, nts string) {
 		Server:   s.cfg.Server,
 		MaxAge:   s.cfg.MaxAge,
 	}
-	dst := simnet.Addr{IP: MulticastGroup, Port: Port}
+	dst := netapi.Addr{IP: MulticastGroup, Port: Port}
 	_ = s.conn.WriteTo(n.Marshal(), dst)
 }

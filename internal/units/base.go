@@ -9,7 +9,7 @@ import (
 
 	"indiss/internal/core"
 	"indiss/internal/events"
-	"indiss/internal/simnet"
+	"indiss/internal/netapi"
 )
 
 // defaultQueryTimeout bounds a unit's native follow-up exchange when
@@ -61,7 +61,7 @@ type pending struct {
 	// reqID is the stream correlation id (SDP_REQ_ID).
 	reqID string
 	// src is the native requester to answer (SDP_NET_SOURCE_ADDR).
-	src simnet.Addr
+	src netapi.Addr
 	// kind is the canonical service type searched.
 	kind string
 	// native carries protocol-specific reply context (SLP XID, SSDP
@@ -265,7 +265,7 @@ func (b *base) OnEvents(env events.Envelope) {
 
 // requestStream builds the canonical foreign-request stream of paper
 // §2.4 step ①.
-func requestStream(sdp core.SDP, reqID string, src simnet.Addr, multicast bool, kind string, extra ...events.Event) *events.PooledStream {
+func requestStream(sdp core.SDP, reqID string, src netapi.Addr, multicast bool, kind string, extra ...events.Event) *events.PooledStream {
 	castEv := events.E(events.NetUnicast, "")
 	if multicast {
 		castEv = events.E(events.NetMulticast, "")

@@ -10,7 +10,7 @@ import (
 	"indiss/internal/core"
 	"indiss/internal/dnssd"
 	"indiss/internal/events"
-	"indiss/internal/simnet"
+	"indiss/internal/netapi"
 )
 
 // DNSSDUnitConfig tunes the DNS-SD unit.
@@ -33,7 +33,7 @@ type DNSSDUnit struct {
 	*base
 	cfg DNSSDUnitConfig
 
-	conn    *simnet.UDPConn // composing socket, marked self
+	conn    netapi.PacketConn // composing socket, marked self
 	querier *dnssd.Querier
 	stop    chan struct{}
 }
@@ -61,7 +61,7 @@ func NewDNSSDUnit(cfg DNSSDUnitConfig) *DNSSDUnit {
 
 // Start implements core.Unit.
 func (u *DNSSDUnit) Start(ctx *core.UnitContext) error {
-	conn, err := ctx.Host.ListenUDP(0)
+	conn, err := ctx.Stack.ListenUDP(0)
 	if err != nil {
 		return fmt.Errorf("dnssd unit: %w", err)
 	}
@@ -72,7 +72,7 @@ func (u *DNSSDUnit) Start(ctx *core.UnitContext) error {
 	// cache must hold native knowledge only: a bridge-composed instance
 	// (ours or a peer gateway's) in the cache would satisfy a Browse
 	// that exists to find native responders.
-	u.querier = dnssd.NewQuerier(ctx.Host, dnssd.QuerierConfig{
+	u.querier = dnssd.NewQuerier(ctx.Stack, dnssd.QuerierConfig{
 		Timeout:    u.cfg.QueryTimeout,
 		MarkSelf:   ctx.Self.Mark,
 		UnmarkSelf: ctx.Self.Unmark,
@@ -341,7 +341,7 @@ func (u *DNSSDUnit) composeAnswer(p *pending, recs []core.ServiceRecord) {
 	}
 	dst := p.src
 	if dst.Port == dnssd.Port {
-		dst = simnet.Addr{IP: dnssd.MulticastGroup, Port: dnssd.Port}
+		dst = netapi.Addr{IP: dnssd.MulticastGroup, Port: dnssd.Port}
 	}
 	ctx.Profile.Delay()
 	_ = u.conn.WriteTo(msg.Marshal(), dst)
@@ -422,7 +422,7 @@ func (u *DNSSDUnit) sendAnnouncement(rec core.ServiceRecord, goodbye bool) {
 		}
 	}
 	ctx.Profile.Delay()
-	_ = u.conn.WriteTo(msg.Marshal(), simnet.Addr{IP: dnssd.MulticastGroup, Port: dnssd.Port})
+	_ = u.conn.WriteTo(msg.Marshal(), netapi.Addr{IP: dnssd.MulticastGroup, Port: dnssd.Port})
 }
 
 // announceLoop periodically re-advertises every known foreign service
@@ -549,7 +549,7 @@ func endpointFromURL(url string) (string, int) {
 	if i := strings.IndexByte(rest, '/'); i >= 0 {
 		rest = rest[:i]
 	}
-	addr, err := simnet.ParseAddr(rest)
+	addr, err := netapi.ParseAddr(rest)
 	if err != nil {
 		return "", 0
 	}

@@ -8,7 +8,7 @@ import (
 	"indiss/internal/core"
 	"indiss/internal/events"
 	"indiss/internal/jini"
-	"indiss/internal/simnet"
+	"indiss/internal/netapi"
 )
 
 // JiniUnitConfig tunes the Jini unit.
@@ -94,7 +94,7 @@ func (u *JiniUnit) Start(ctx *core.UnitContext) error {
 		real = []string{"public"} // preserve the registrar's default group
 	}
 	groups := append(append([]string(nil), real...), jiniBridgeGroup)
-	registrar, err := jini.NewLookupService(ctx.Host, jini.LookupConfig{
+	registrar, err := jini.NewLookupService(ctx.Stack, jini.LookupConfig{
 		Groups:           groups,
 		UnicastPort:      u.cfg.RegistrarPort,
 		AnnounceInterval: u.cfg.AnnounceInterval,
@@ -105,9 +105,9 @@ func (u *JiniUnit) Start(ctx *core.UnitContext) error {
 	// The registrar emits announcements and answers from UDP 4160 on
 	// this host; mark it so the monitor ignores the bridge's own
 	// traffic.
-	ctx.Self.Mark(simnet.Addr{IP: ctx.Host.IP(), Port: jini.Port})
+	ctx.Self.Mark(netapi.Addr{IP: ctx.Stack.IP(), Port: jini.Port})
 	u.registrar = registrar
-	u.client = jini.NewClient(ctx.Host, jini.ClientConfig{Groups: u.cfg.Groups})
+	u.client = jini.NewClient(ctx.Stack, jini.ClientConfig{Groups: u.cfg.Groups})
 	u.attach(ctx)
 	ctx.Bus.Subscribe(u.name, events.ListenerFunc(u.OnEvents))
 	if u.cfg.SyncInterval > 0 {

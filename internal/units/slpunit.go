@@ -7,7 +7,7 @@ import (
 
 	"indiss/internal/core"
 	"indiss/internal/events"
-	"indiss/internal/simnet"
+	"indiss/internal/netapi"
 	"indiss/internal/slp"
 )
 
@@ -30,7 +30,7 @@ type SLPUnit struct {
 	*base
 	cfg SLPUnitConfig
 
-	conn *simnet.UDPConn // emitting socket, marked self
+	conn netapi.PacketConn // emitting socket, marked self
 	stop chan struct{}
 }
 
@@ -57,7 +57,7 @@ func NewSLPUnit(cfg SLPUnitConfig) *SLPUnit {
 
 // Start implements core.Unit.
 func (u *SLPUnit) Start(ctx *core.UnitContext) error {
-	conn, err := ctx.Host.ListenUDP(0)
+	conn, err := ctx.Stack.ListenUDP(0)
 	if err != nil {
 		return fmt.Errorf("slp unit: %w", err)
 	}
@@ -267,7 +267,7 @@ func (u *SLPUnit) queryNative(s events.Stream) {
 	reqID := s.FirstData(events.ReqID)
 	kind := s.FirstData(events.ServiceType)
 
-	conn, err := ctx.Host.ListenUDP(0)
+	conn, err := ctx.Stack.ListenUDP(0)
 	if err != nil {
 		return
 	}
@@ -290,7 +290,7 @@ func (u *SLPUnit) queryNative(s events.Stream) {
 		return
 	}
 	ctx.Profile.Delay()
-	if err := conn.WriteTo(data, simnet.Addr{IP: slp.MulticastGroup, Port: slp.Port}); err != nil {
+	if err := conn.WriteTo(data, netapi.Addr{IP: slp.MulticastGroup, Port: slp.Port}); err != nil {
 		return
 	}
 	deadline := time.Now().Add(u.cfg.QueryTimeout)
@@ -420,7 +420,7 @@ func (u *SLPUnit) sendSAAdvert(recs []core.ServiceRecord) {
 	}
 	adv := &slp.SAAdvert{
 		Hdr:    slp.Header{XID: 0, Lang: slp.DefaultLang},
-		URL:    "service:service-agent://" + ctx.Host.IP(),
+		URL:    "service:service-agent://" + ctx.Stack.IP(),
 		Scopes: u.scopes(),
 		Attrs:  attrs.String(),
 	}
@@ -429,7 +429,7 @@ func (u *SLPUnit) sendSAAdvert(recs []core.ServiceRecord) {
 		return
 	}
 	ctx.Profile.Delay()
-	_ = u.conn.WriteTo(data, simnet.Addr{IP: slp.MulticastGroup, Port: slp.Port})
+	_ = u.conn.WriteTo(data, netapi.Addr{IP: slp.MulticastGroup, Port: slp.Port})
 }
 
 func (u *SLPUnit) scopes() []string {

@@ -11,7 +11,7 @@ import (
 	"indiss/internal/events"
 	"indiss/internal/fsm"
 	"indiss/internal/httpx"
-	"indiss/internal/simnet"
+	"indiss/internal/netapi"
 	"indiss/internal/ssdp"
 	"indiss/internal/upnp"
 	"indiss/internal/xmlx"
@@ -41,9 +41,9 @@ type UPnPUnit struct {
 	*base
 	cfg UPnPUnitConfig
 
-	conn     *simnet.UDPConn
+	conn     netapi.PacketConn
 	descSrv  *httpx.Server
-	descAddr simnet.Addr
+	descAddr netapi.Addr
 	queryFSM *fsm.Machine
 
 	descMu    sync.Mutex
@@ -120,17 +120,17 @@ func buildUPnPQueryFSM() *fsm.Machine {
 
 // Start implements core.Unit.
 func (u *UPnPUnit) Start(ctx *core.UnitContext) error {
-	conn, err := ctx.Host.ListenUDP(0)
+	conn, err := ctx.Stack.ListenUDP(0)
 	if err != nil {
 		return fmt.Errorf("upnp unit: %w", err)
 	}
 	ctx.Self.Mark(conn.LocalAddr())
 	u.conn = conn
 
-	l, err := ctx.Host.ListenTCP(u.cfg.DescriptionPort)
+	l, err := ctx.Stack.ListenTCP(u.cfg.DescriptionPort)
 	if err != nil {
 		// Port taken (e.g. another INDISS instance): fall back.
-		l, err = ctx.Host.ListenTCP(0)
+		l, err = ctx.Stack.ListenTCP(0)
 		if err != nil {
 			conn.Close()
 			return fmt.Errorf("upnp unit: %w", err)
@@ -299,7 +299,7 @@ func (u *UPnPUnit) queryNative(s events.Stream) {
 	reqID := s.FirstData(events.ReqID)
 	kind := s.FirstData(events.ServiceType)
 
-	conn, err := ctx.Host.ListenUDP(0)
+	conn, err := ctx.Stack.ListenUDP(0)
 	if err != nil {
 		return
 	}
@@ -317,7 +317,7 @@ func (u *UPnPUnit) queryNative(s events.Stream) {
 		UserAgent: "indiss-bridge/1.0",
 	}
 	ctx.Profile.Delay()
-	if err := conn.WriteTo(search.Marshal(), simnet.Addr{IP: ssdp.MulticastGroup, Port: ssdp.Port}); err != nil {
+	if err := conn.WriteTo(search.Marshal(), netapi.Addr{IP: ssdp.MulticastGroup, Port: ssdp.Port}); err != nil {
 		return
 	}
 
@@ -389,7 +389,7 @@ func orDefault(s, def string) string {
 
 // awaitSearchResponse waits for the first SSDP 200 OK on the query
 // socket.
-func (u *UPnPUnit) awaitSearchResponse(conn *simnet.UDPConn, deadline time.Time) *ssdp.SearchResponse {
+func (u *UPnPUnit) awaitSearchResponse(conn netapi.PacketConn, deadline time.Time) *ssdp.SearchResponse {
 	for {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
@@ -422,7 +422,7 @@ func (u *UPnPUnit) fetchAndParseDescription(location string) (events.Stream, map
 	if err != nil {
 		return nil, nil, err
 	}
-	resp, err := httpx.Get(ctx.Host, addr, path, u.cfg.QueryTimeout)
+	resp, err := httpx.Get(ctx.Stack, addr, path, u.cfg.QueryTimeout)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -476,7 +476,7 @@ func (u *UPnPUnit) fetchAndParseDescription(location string) (events.Stream, map
 
 // soapURL renders the service endpoint the way the paper's example reply
 // does.
-func soapURL(descAddr simnet.Addr, controlURL string) string {
+func soapURL(descAddr netapi.Addr, controlURL string) string {
 	if !strings.HasPrefix(controlURL, "/") {
 		controlURL = "/" + controlURL
 	}
@@ -614,7 +614,7 @@ func (u *UPnPUnit) sendNotify(rec core.ServiceRecord, nts string) {
 		MaxAge:   ttlOrDefault(rec.Expires),
 	}
 	ctx.Profile.Delay()
-	_ = u.conn.WriteTo(n.Marshal(), simnet.Addr{IP: ssdp.MulticastGroup, Port: ssdp.Port})
+	_ = u.conn.WriteTo(n.Marshal(), netapi.Addr{IP: ssdp.MulticastGroup, Port: ssdp.Port})
 }
 
 func (u *UPnPUnit) announceLoop() {

@@ -9,7 +9,7 @@ import (
 	"time"
 
 	"indiss/internal/httpx"
-	"indiss/internal/simnet"
+	"indiss/internal/netapi"
 	"indiss/internal/ssdp"
 )
 
@@ -31,7 +31,7 @@ type Device struct {
 	// Desc is the parsed description document.
 	Desc DeviceDesc
 	// DescAddr is where the description (and control) server lives.
-	DescAddr simnet.Addr
+	DescAddr netapi.Addr
 }
 
 // ServiceByKind finds the device's service with the given short kind.
@@ -55,13 +55,13 @@ var ErrNoDevice = errors.New("upnp: no device found")
 // ControlPoint drives discovery, description, control and eventing from
 // the client side (UDA 1.0 "control point").
 type ControlPoint struct {
-	host *simnet.Host
+	host netapi.Stack
 	cfg  ControlPointConfig
 	ssdp *ssdp.Client
 }
 
 // NewControlPoint creates a control point on host.
-func NewControlPoint(host *simnet.Host, cfg ControlPointConfig) *ControlPoint {
+func NewControlPoint(host netapi.Stack, cfg ControlPointConfig) *ControlPoint {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 2 * time.Second
 	}
@@ -69,11 +69,11 @@ func NewControlPoint(host *simnet.Host, cfg ControlPointConfig) *ControlPoint {
 }
 
 // Host returns the control point's host.
-func (cp *ControlPoint) Host() *simnet.Host { return cp.host }
+func (cp *ControlPoint) Host() netapi.Stack { return cp.host }
 
 func (cp *ControlPoint) delay() {
 	if cp.cfg.HTTPDelay > 0 {
-		simnet.SleepPrecise(cp.cfg.HTTPDelay)
+		netapi.SleepPrecise(cp.cfg.HTTPDelay)
 	}
 }
 

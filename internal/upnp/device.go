@@ -8,7 +8,7 @@ import (
 	"time"
 
 	"indiss/internal/httpx"
-	"indiss/internal/simnet"
+	"indiss/internal/netapi"
 	"indiss/internal/ssdp"
 	"indiss/internal/xmlx"
 )
@@ -60,13 +60,13 @@ type DeviceConfig struct {
 // RootDevice is a running UPnP device: an SSDP responder plus an HTTP
 // server for description, control and eventing.
 type RootDevice struct {
-	host *simnet.Host
+	host netapi.Stack
 	desc DeviceDesc
 	cfg  DeviceConfig
 
 	httpSrv  *httpx.Server
 	ssdpSrv  *ssdp.Server
-	descAddr simnet.Addr
+	descAddr netapi.Addr
 
 	actions map[string]map[string]ActionHandler // controlURL → action → handler
 
@@ -85,7 +85,7 @@ type subscription struct {
 
 // NewRootDevice builds the description document, starts the HTTP and SSDP
 // servers and announces the device.
-func NewRootDevice(host *simnet.Host, cfg DeviceConfig) (*RootDevice, error) {
+func NewRootDevice(host netapi.Stack, cfg DeviceConfig) (*RootDevice, error) {
 	if cfg.Kind == "" {
 		return nil, fmt.Errorf("upnp: device kind required")
 	}
@@ -181,7 +181,7 @@ func (d *RootDevice) UDN() string { return d.desc.UDN }
 func (d *RootDevice) Description() DeviceDesc { return d.desc }
 
 // Host returns the device's host.
-func (d *RootDevice) Host() *simnet.Host { return d.host }
+func (d *RootDevice) Host() netapi.Stack { return d.host }
 
 func (d *RootDevice) handleHTTP(req *httpx.Request) *httpx.Response {
 	switch req.Method {

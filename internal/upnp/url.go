@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"strings"
 
-	"indiss/internal/simnet"
+	"indiss/internal/netapi"
 )
 
 // ErrBadURL reports an unusable http URL.
@@ -14,24 +14,24 @@ var ErrBadURL = errors.New("upnp: bad url")
 // ParseHTTPURL splits "http://ip:port/path" into a dialable address and a
 // path. UPnP LOCATION headers and control URLs are always of this shape on
 // the simulated network.
-func ParseHTTPURL(raw string) (simnet.Addr, string, error) {
+func ParseHTTPURL(raw string) (netapi.Addr, string, error) {
 	rest, ok := strings.CutPrefix(raw, "http://")
 	if !ok {
-		return simnet.Addr{}, "", fmt.Errorf("%w: %q", ErrBadURL, raw)
+		return netapi.Addr{}, "", fmt.Errorf("%w: %q", ErrBadURL, raw)
 	}
 	hostport, path, found := strings.Cut(rest, "/")
 	if !found {
 		path = ""
 	}
-	addr, err := simnet.ParseAddr(hostport)
+	addr, err := netapi.ParseAddr(hostport)
 	if err != nil {
-		return simnet.Addr{}, "", fmt.Errorf("%w: %q: %v", ErrBadURL, raw, err)
+		return netapi.Addr{}, "", fmt.Errorf("%w: %q: %v", ErrBadURL, raw, err)
 	}
 	return addr, "/" + path, nil
 }
 
 // HTTPURL builds "http://ip:port/path".
-func HTTPURL(addr simnet.Addr, path string) string {
+func HTTPURL(addr netapi.Addr, path string) string {
 	if !strings.HasPrefix(path, "/") {
 		path = "/" + path
 	}

@@ -1,0 +1,124 @@
+package indiss_test
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"indiss/internal/slp"
+	"indiss/internal/upnp"
+)
+
+// TestRealGatewayBinary exercises the acceptance path of the -real mode:
+// the indiss-gw binary starts on the loopback interface, binds real
+// sockets, bridges a live SLP→UPnP discovery exchange between two native
+// endpoints in this process, and shuts down cleanly on SIGINT.
+func TestRealGatewayBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the gateway binary")
+	}
+	stack := realLoopbackStack(t, "real-gw-test")
+	requireRealMulticast(t, stack)
+
+	bin := filepath.Join(t.TempDir(), "indiss-gw")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/indiss-gw")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build cmd/indiss-gw: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-real", "-iface", stack.Segment(), "-ip", "127.0.0.1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start indiss-gw: %v", err)
+	}
+	defer func() { _ = cmd.Process.Kill() }()
+
+	// Collect output while watching for the ready marker.
+	var mu sync.Mutex
+	var output bytes.Buffer
+	ready := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			mu.Lock()
+			output.WriteString(sc.Text())
+			output.WriteByte('\n')
+			sawReady := strings.Contains(output.String(), "gateway up on")
+			mu.Unlock()
+			if sawReady {
+				select {
+				case <-ready:
+				default:
+					close(ready)
+				}
+			}
+		}
+	}()
+	select {
+	case <-ready:
+	case <-time.After(15 * time.Second):
+		t.Fatal("gateway never reported ready")
+	}
+
+	// A native UPnP clock on one side, a native SLP client on the other;
+	// only the external gateway process can connect them.
+	dev, err := upnp.NewRootDevice(stack, upnp.DeviceConfig{
+		Kind:         "clock",
+		FriendlyName: "Gateway Acceptance Clock",
+		Services:     []upnp.ServiceConfig{{Kind: "timer"}},
+	})
+	if err != nil {
+		t.Fatalf("NewRootDevice: %v", err)
+	}
+	defer dev.Close()
+
+	ua := slp.NewUserAgent(stack, slp.AgentConfig{})
+	urls, err := ua.FindFirst("service:clock", "", 10*time.Second)
+	if err != nil {
+		t.Fatalf("no discovery answer through the live gateway: %v", err)
+	}
+	t.Logf("live gateway bridged the exchange: %s", urls[0].URL)
+
+	// Clean SIGINT shutdown.
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatalf("signal: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("gateway exited uncleanly after SIGINT: %v\n%s", err, readOutput(&mu, &output))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("gateway did not exit within 10s of SIGINT\n%s", readOutput(&mu, &output))
+	}
+	// Give the scanner goroutine a beat to drain the pipe.
+	deadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(readOutput(&mu, &output), "shutdown complete") {
+		if time.Now().After(deadline) {
+			t.Fatalf("no clean-shutdown marker in output:\n%s", readOutput(&mu, &output))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	out := readOutput(&mu, &output)
+	if !strings.Contains(out, "units instantiated at run time") {
+		t.Errorf("shutdown summary missing from output:\n%s", out)
+	}
+}
+
+func readOutput(mu *sync.Mutex, b *bytes.Buffer) string {
+	mu.Lock()
+	defer mu.Unlock()
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package indiss_test
+
+import (
+	"testing"
+	"time"
+
+	"indiss"
+	"indiss/internal/realnet"
+	"indiss/internal/slp"
+	"indiss/internal/upnp"
+)
+
+// realLoopbackStack opens a loopback realnet stack or skips the test
+// when the environment has no usable loopback interface.
+func realLoopbackStack(t *testing.T, name string) *realnet.Stack {
+	t.Helper()
+	s, err := realnet.Loopback(name)
+	if err != nil {
+		t.Skipf("no loopback interface: %v", err)
+	}
+	return s
+}
+
+// requireRealMulticast skips multicast-dependent tests with the probe's
+// reason when the environment forbids joining groups (some containers
+// and locked-down hosts reject IP_ADD_MEMBERSHIP).
+func requireRealMulticast(t *testing.T, s *realnet.Stack) {
+	t.Helper()
+	if err := s.ProbeMulticast(2 * time.Second); err != nil {
+		t.Skipf("environment forbids multicast: %v", err)
+	}
+}
+
+// TestRealLoopbackInterop is the live-socket analogue of the simulated
+// interop tests: a client-side and a service-side INDISS instance deploy
+// over realnet loopback (both on 127.0.0.1, sharing the SDP ports via
+// SO_REUSEADDR), a native UPnP clock device answers on real sockets, and
+// a native SLP user agent discovers it across the protocol boundary.
+func TestRealLoopbackInterop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binds real sockets")
+	}
+	clientStack := realLoopbackStack(t, "real-client")
+	serviceStack := realLoopbackStack(t, "real-service")
+	requireRealMulticast(t, clientStack)
+
+	serviceSide, err := indiss.Deploy(serviceStack, indiss.Config{
+		Role: indiss.RoleServiceSide,
+		SDPs: []indiss.SDP{indiss.SLP, indiss.UPnP},
+	})
+	if err != nil {
+		t.Fatalf("Deploy service-side: %v", err)
+	}
+	defer serviceSide.Close()
+	clientSide, err := indiss.Deploy(clientStack, indiss.Config{
+		Role: indiss.RoleClientSide,
+		SDPs: []indiss.SDP{indiss.SLP, indiss.UPnP},
+	})
+	if err != nil {
+		t.Fatalf("Deploy client-side: %v", err)
+	}
+	defer clientSide.Close()
+
+	dev, err := upnp.NewRootDevice(serviceStack, upnp.DeviceConfig{
+		Kind:         "clock",
+		FriendlyName: "Real Loopback Clock",
+		Services:     []upnp.ServiceConfig{{Kind: "timer"}},
+	})
+	if err != nil {
+		t.Fatalf("NewRootDevice: %v", err)
+	}
+	defer dev.Close()
+
+	ua := slp.NewUserAgent(clientStack, slp.AgentConfig{})
+	urls, err := ua.FindFirst("service:clock", "", 8*time.Second)
+	if err != nil {
+		t.Fatalf("SLP client found no clock through the live bridge: %v", err)
+	}
+	if len(urls) == 0 {
+		t.Fatal("FindFirst returned no URLs")
+	}
+	t.Logf("SLP client discovered the UPnP clock at %s over real sockets", urls[0].URL)
+}

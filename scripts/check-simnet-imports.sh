@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Guard the PR-4 transport abstraction: the transport-neutral packages
+# must stay free of internal/simnet, even transitively — they speak
+# internal/netapi, so the same build runs on the simulator and on real
+# sockets. The authoritative package list lives in arch_test.go
+# (simnetFreePackages); this script extracts it from there so the two
+# guards — `go test` and standalone CI/pre-push — can never drift apart.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mapfile -t packages < <(
+  sed -n '/^var simnetFreePackages/,/^}/p' arch_test.go |
+    grep -o '"indiss/[^"]*"' | tr -d '"'
+)
+if [ "${#packages[@]}" -lt 5 ]; then
+  echo "FAIL: could not extract the package list from arch_test.go (got ${#packages[@]} entries)" >&2
+  exit 1
+fi
+
+fail=0
+for pkg in "${packages[@]}"; do
+  if go list -deps "$pkg" | grep -qx 'indiss/internal/simnet'; then
+    echo "FAIL: $pkg depends on internal/simnet (must speak internal/netapi only)" >&2
+    fail=1
+  fi
+done
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "ok: ${#packages[@]} packages are simnet-free"

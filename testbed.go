@@ -17,6 +17,11 @@ import (
 // prototype on a 1.8GHz PIV); the profiles below are fitted so the six
 // published medians keep their ordering and rough ratios. EXPERIMENTS.md
 // details the fit.
+//
+// The simnet re-exports below (Network, Host, Topology, Link) are the
+// *deliberate* simulated-testbed surface of the public API — hosts built
+// here satisfy indiss.Stack, so they deploy exactly like the live stacks
+// RealStack returns. Nothing else in the public API names a simnet type.
 
 // lanConfig is the paper's testbed fabric, shared by every calibrated
 // network builder so a re-tuning cannot diverge them.
