@@ -26,6 +26,7 @@ func exampleSmokes() []exampleSmoke {
 		{dir: "adaptation", want: "passive model under load"},
 		{dir: "placements", want: "succeeds in every placement"},
 		{dir: "federation", want: "found the seg3 UPnP clock"},
+		{dir: "chaos", want: "records healed after partition"},
 	}
 }
 

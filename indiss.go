@@ -30,6 +30,7 @@ package indiss
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"indiss/internal/core"
 	"indiss/internal/federation"
@@ -164,6 +165,11 @@ type Config struct {
 	// on. Zero uses federation.DefaultPort (7741) when federation is
 	// enabled; a negative value listens on an ephemeral port.
 	FederationPort int
+	// FederationSyncInterval spaces the peering plane's anti-entropy
+	// re-syncs. Zero keeps the federation default (1s); tests and
+	// latency-sensitive deployments lower it for faster repair after
+	// partitions and crashes.
+	FederationSyncInterval time.Duration
 }
 
 // FederationDefaultPort is the default federation listening port.
@@ -208,9 +214,10 @@ func Deploy(stack Stack, cfg Config) (*System, error) {
 		}
 		coreCfg.Federation = func(s *core.System) (io.Closer, error) {
 			return federation.New(stack, s.View(), federation.Config{
-				GatewayID:  s.GatewayID(),
-				ListenPort: cfg.FederationPort,
-				Peers:      peers,
+				GatewayID:           s.GatewayID(),
+				ListenPort:          cfg.FederationPort,
+				Peers:               peers,
+				AntiEntropyInterval: cfg.FederationSyncInterval,
 			})
 		}
 	}

@@ -1,0 +1,598 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"time"
+
+	"indiss/internal/core"
+	"indiss/internal/dnssd"
+	"indiss/internal/jini"
+	"indiss/internal/simnet"
+	"indiss/internal/slp"
+	"indiss/internal/ssdp"
+	"indiss/internal/upnp"
+)
+
+// Mix weights the churn workload across the four SDPs. Zero values
+// exclude the protocol.
+type Mix struct {
+	SLP, DNSSD, UPnP, Jini int
+}
+
+// DefaultMix spreads services across all four protocols, biased toward
+// the two cheap multicast-announcing stacks so large soaks stay fast.
+func DefaultMix() Mix { return Mix{SLP: 35, DNSSD: 45, UPnP: 10, Jini: 10} }
+
+func (m Mix) total() int { return m.SLP + m.DNSSD + m.UPnP + m.Jini }
+
+// WorkloadConfig tunes a churn workload.
+type WorkloadConfig struct {
+	// Mix weights service creation across SDPs (default DefaultMix).
+	Mix Mix
+	// TTL is the advertised lifetime of every churned service: the SLP
+	// registration lifetime, DNS-SD record TTL and SSDP max-age all
+	// derive from it (min 1s granularity — native lifetimes are whole
+	// seconds). Default 3s.
+	TTL time.Duration
+	// AnnounceInterval spaces the native announcement loops (SLP
+	// SAAdvert, Jini lookup announcements, SSDP notify). Default 300ms.
+	AnnounceInterval time.Duration
+	// RefreshInterval spaces the workload's own re-registration of live
+	// services, keeping them inside their TTL like any real service
+	// renewing its lease. Default TTL/3.
+	RefreshInterval time.Duration
+	// BasePort is the first port assigned to per-service endpoints
+	// (default 21000). Each service gets BasePort+seq.
+	BasePort int
+	// JiniCacheTTL mirrors the gateways' JiniUnitConfig.CacheTTL — Jini
+	// has no advertised lifetime, so the staleness bound of a silently
+	// dead Jini service is whatever the gateways cache items for.
+	// Default 30 minutes (the unit's default).
+	JiniCacheTTL time.Duration
+	// Seed makes op selection reproducible. Zero picks a fixed default.
+	Seed int64
+}
+
+func (c *WorkloadConfig) fill() {
+	if c.Mix.total() <= 0 {
+		c.Mix = DefaultMix()
+	}
+	if c.TTL <= 0 {
+		c.TTL = 3 * time.Second
+	}
+	if c.TTL < time.Second {
+		c.TTL = time.Second
+	}
+	if c.AnnounceInterval <= 0 {
+		c.AnnounceInterval = 300 * time.Millisecond
+	}
+	if c.RefreshInterval <= 0 {
+		c.RefreshInterval = c.TTL / 3
+	}
+	if c.BasePort == 0 {
+		c.BasePort = 21000
+	}
+	if c.JiniCacheTTL <= 0 {
+		c.JiniCacheTTL = 30 * time.Minute
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// hostAgents is one churn host's set of native protocol endpoints.
+// Agents are created lazily per protocol; one host can carry hundreds of
+// services per SDP (the SLP SA and DNS-SD responder multiplex
+// registrations; UPnP devices are one process each, like real stacks).
+type hostAgents struct {
+	host    *simnet.Host
+	sa      *slp.ServiceAgent
+	resp    *dnssd.Responder
+	ls      *jini.LookupService
+	jc      *jini.Client
+	devices map[string]*upnp.RootDevice // kind → device
+}
+
+// Expected is one service the views must have converged on.
+type Expected struct {
+	Kind   string
+	Origin core.SDP
+}
+
+// Withdrawn is one service the workload has taken away.
+type Withdrawn struct {
+	Kind   string
+	Origin core.SDP
+	// Clean marks withdrawals the origin protocol advertises (DNS-SD
+	// goodbye, SSDP byebye, a Jini registrar drop the gateway's pull
+	// notices): the record must vanish from every view. Silent deaths
+	// (SLP deregistration has no multicast farewell) are only bounded
+	// by ExpiresBy.
+	Clean bool
+	// ExpiresBy is the latest instant any cached copy may live to: the
+	// service's last advertisement plus its advertised lifetime.
+	ExpiresBy time.Time
+}
+
+// Expectation is a consistent snapshot of what the workload believes the
+// world should converge to — the invariant checker's reference input.
+type Expectation struct {
+	Live      []Expected
+	Withdrawn []Withdrawn
+}
+
+// service is one churned service's live bookkeeping. mu serializes the
+// native operations on the service (advertise vs deregister), so a
+// refresh racing a deregistration can never re-register the service
+// after its farewell went out.
+type service struct {
+	mu      sync.Mutex
+	kind    string
+	sdp     core.SDP
+	agents  *hostAgents
+	port    int
+	url     string // native registration URL (SLP), diagnostics elsewhere
+	jid     jini.ServiceID
+	refresh time.Time // last (re-)advertisement
+}
+
+// Workload drives service churn across a set of hosts: register new
+// services, deregister live ones, re-advertise — at whatever pace and
+// volume the scenario demands — while tracking the expected outcome for
+// the invariant checker. All methods are safe for concurrent use.
+type Workload struct {
+	cfg WorkloadConfig
+
+	mu        sync.Mutex
+	agents    []*hostAgents
+	live      map[string]*service // kind → service
+	withdrawn []Withdrawn
+	seq       int
+	next      int // round-robin host cursor
+	rng       *rand.Rand
+	closed    bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewWorkload builds a workload over the given hosts. Services are
+// assigned round-robin across them; put one or more churn hosts on every
+// segment whose gateway should observe native churn. The workload's
+// refresher keeps live services re-advertised within their TTL until
+// Close (or Deregister) stops it for a given service.
+func NewWorkload(hosts []*simnet.Host, cfg WorkloadConfig) (*Workload, error) {
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("chaos: workload needs at least one host")
+	}
+	cfg.fill()
+	w := &Workload{
+		cfg:  cfg,
+		live: make(map[string]*service),
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		stop: make(chan struct{}),
+	}
+	for _, h := range hosts {
+		w.agents = append(w.agents, &hostAgents{host: h, devices: make(map[string]*upnp.RootDevice)})
+	}
+	w.wg.Add(1)
+	go func() { defer w.wg.Done(); w.refreshLoop() }()
+	return w, nil
+}
+
+// Close shuts every agent down. Still-live services die silently with
+// their last advertised TTL (a mass crash, not a mass goodbye).
+func (w *Workload) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	agents := w.agents
+	w.mu.Unlock()
+	close(w.stop)
+	w.wg.Wait()
+	for _, a := range agents {
+		if a.sa != nil {
+			a.sa.Close()
+		}
+		if a.resp != nil {
+			a.resp.Close()
+		}
+		if a.ls != nil {
+			a.ls.Close()
+		}
+		for _, dev := range a.devices {
+			dev.Close()
+		}
+	}
+}
+
+// ttlSeconds is the advertised lifetime in whole seconds (≥1).
+func (w *Workload) ttlSeconds() int {
+	s := int(w.cfg.TTL / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Register creates n new services, mix-weighted and spread round-robin
+// across the workload's hosts.
+func (w *Workload) Register(n int) error {
+	for i := 0; i < n; i++ {
+		if err := w.registerOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *Workload) registerOne() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return fmt.Errorf("chaos: workload closed")
+	}
+	sdp := w.pickSDPLocked()
+	agents := w.agents[w.next%len(w.agents)]
+	w.next++
+	w.seq++
+	seq := w.seq
+	w.mu.Unlock()
+
+	kind := "churn-" + pad4(seq)
+	port := w.cfg.BasePort + seq
+	svc := &service{kind: kind, sdp: sdp, agents: agents, port: port, refresh: time.Now()}
+	if err := w.advertise(svc, true); err != nil {
+		return fmt.Errorf("chaos: register %s over %s: %w", kind, sdp, err)
+	}
+	w.mu.Lock()
+	w.live[kind] = svc
+	w.mu.Unlock()
+	return nil
+}
+
+// advertise performs the native registration (first=true) or a renewal.
+func (w *Workload) advertise(svc *service, first bool) error {
+	a := svc.agents
+	ip := a.host.IP()
+	switch svc.sdp {
+	case core.SDPSLP:
+		sa, err := w.slpAgent(a)
+		if err != nil {
+			return err
+		}
+		svc.url = "service:" + svc.kind + "://" + ip + ":" + strconv.Itoa(svc.port)
+		return sa.Register("service:"+svc.kind, svc.url, w.cfg.TTL, nil)
+	case core.SDPDNSSD:
+		resp, err := w.dnssdResponder(a)
+		if err != nil {
+			return err
+		}
+		svc.url = "dnssd://" + ip + ":" + strconv.Itoa(svc.port)
+		return resp.Register(dnssd.Registration{
+			Instance: svc.kind,
+			Service:  dnssd.ServiceType(svc.kind),
+			Port:     svc.port,
+			TTL:      w.ttlSeconds(),
+			Text:     map[string]string{"friendlyName": svc.kind},
+		})
+	case core.SDPUPnP:
+		if !first {
+			return nil // the device's own notify loop renews
+		}
+		dev, err := upnp.NewRootDevice(a.host, upnp.DeviceConfig{
+			Kind:            svc.kind,
+			FriendlyName:    svc.kind,
+			DescriptionPort: svc.port,
+			SSDP: ssdp.ServerConfig{
+				MaxAge:         w.ttlSeconds(),
+				NotifyInterval: w.cfg.RefreshInterval,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		svc.url = "soap://" + ip + ":" + strconv.Itoa(svc.port)
+		w.mu.Lock()
+		a.devices[svc.kind] = dev
+		w.mu.Unlock()
+		return nil
+	case core.SDPJini:
+		if !first {
+			return nil // registrar items carry no lease to renew here
+		}
+		ls, jc, err := w.jiniInfra(a)
+		if err != nil {
+			return err
+		}
+		svc.url = ip + ":" + strconv.Itoa(svc.port)
+		id, err := jc.Register(ls.Locator(), jini.ServiceItem{
+			Type:     "net.jini." + svc.kind + ".Service",
+			Endpoint: svc.url,
+			Attrs:    []jini.Entry{{Name: "friendlyName", Value: svc.kind}},
+		}, 10*time.Second) // generous: at 5k-service scale the registrar competes for CPU
+		if err != nil {
+			return err
+		}
+		svc.jid = id
+		return nil
+	}
+	return fmt.Errorf("unknown SDP %s", svc.sdp)
+}
+
+// Deregister withdraws n random live services, each by its protocol's
+// native means: DNS-SD goodbye and SSDP byebye are advertised farewells,
+// a Jini registrar drop is noticed by the gateway's pull, and an SLP
+// deregistration is silent — the service just stops being announced.
+// It returns the withdrawn states (also available via Expectation).
+func (w *Workload) Deregister(n int) ([]Withdrawn, error) {
+	var out []Withdrawn
+	for i := 0; i < n; i++ {
+		w.mu.Lock()
+		svc := w.pickLiveLocked()
+		if svc == nil {
+			w.mu.Unlock()
+			break
+		}
+		delete(w.live, svc.kind)
+		w.mu.Unlock()
+		wd, err := w.deregister(svc)
+		if err != nil {
+			return out, err
+		}
+		w.mu.Lock()
+		w.withdrawn = append(w.withdrawn, wd)
+		w.mu.Unlock()
+		out = append(out, wd)
+	}
+	return out, nil
+}
+
+func (w *Workload) deregister(svc *service) (Withdrawn, error) {
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	wd := Withdrawn{
+		Kind:      svc.kind,
+		Origin:    svc.sdp,
+		ExpiresBy: svc.refresh.Add(w.cfg.TTL),
+	}
+	a := svc.agents
+	switch svc.sdp {
+	case core.SDPSLP:
+		// Silent death: no multicast farewell exists.
+		if err := a.sa.Deregister(svc.url); err != nil {
+			return wd, err
+		}
+	case core.SDPDNSSD:
+		wd.Clean = true
+		a.resp.Unregister(svc.kind, dnssd.ServiceType(svc.kind))
+	case core.SDPUPnP:
+		wd.Clean = true
+		wd.ExpiresBy = svc.refresh.Add(time.Duration(w.ttlSeconds()) * time.Second)
+		w.mu.Lock()
+		dev := a.devices[svc.kind]
+		delete(a.devices, svc.kind)
+		w.mu.Unlock()
+		if dev != nil {
+			dev.Close() // announces byebye
+		}
+	case core.SDPJini:
+		wd.Clean = true
+		wd.ExpiresBy = svc.refresh.Add(w.cfg.JiniCacheTTL)
+		a.ls.Unregister(svc.jid)
+	}
+	return wd, nil
+}
+
+// Readvertise renews n random live services immediately (on top of the
+// background refresher) — the re-advertisement half of churn.
+func (w *Workload) Readvertise(n int) error {
+	for i := 0; i < n; i++ {
+		w.mu.Lock()
+		svc := w.pickLiveLocked()
+		w.mu.Unlock()
+		if svc == nil {
+			return nil
+		}
+		if err := w.refreshOne(svc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Churn performs n random operations — register, deregister,
+// re-advertise — roughly evenly split, the steady-state volatility of a
+// production fleet.
+func (w *Workload) Churn(n int) error {
+	for i := 0; i < n; i++ {
+		w.mu.Lock()
+		op := w.rng.Intn(3)
+		w.mu.Unlock()
+		var err error
+		switch op {
+		case 0:
+			err = w.registerOne()
+		case 1:
+			_, err = w.Deregister(1)
+		default:
+			err = w.Readvertise(1)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LiveCount returns the number of currently registered services.
+func (w *Workload) LiveCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.live)
+}
+
+// Expectation snapshots what the views should converge to.
+func (w *Workload) Expectation() Expectation {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	exp := Expectation{
+		Live:      make([]Expected, 0, len(w.live)),
+		Withdrawn: make([]Withdrawn, len(w.withdrawn)),
+	}
+	for _, svc := range w.live {
+		exp.Live = append(exp.Live, Expected{Kind: svc.kind, Origin: svc.sdp})
+	}
+	copy(exp.Withdrawn, w.withdrawn)
+	return exp
+}
+
+// MaxStaleness returns the latest ExpiresBy of all withdrawn services —
+// how long a final checkpoint must wait before demanding every grave be
+// empty. Clean withdrawals vanish long before their bound; the result is
+// driven by the silent ones.
+func (w *Workload) MaxStaleness() time.Time {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var latest time.Time
+	for _, wd := range w.withdrawn {
+		if wd.Clean {
+			continue
+		}
+		if wd.ExpiresBy.After(latest) {
+			latest = wd.ExpiresBy
+		}
+	}
+	return latest
+}
+
+// refreshLoop renews every live service each RefreshInterval, keeping
+// the fleet inside its advertised TTL.
+func (w *Workload) refreshLoop() {
+	ticker := time.NewTicker(w.cfg.RefreshInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-ticker.C:
+			w.mu.Lock()
+			snapshot := make([]*service, 0, len(w.live))
+			for _, svc := range w.live {
+				snapshot = append(snapshot, svc)
+			}
+			w.mu.Unlock()
+			for _, svc := range snapshot {
+				_ = w.refreshOne(svc)
+			}
+		}
+	}
+}
+
+func (w *Workload) refreshOne(svc *service) error {
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	w.mu.Lock()
+	_, stillLive := w.live[svc.kind]
+	if stillLive {
+		svc.refresh = time.Now()
+	}
+	w.mu.Unlock()
+	if !stillLive {
+		return nil // raced a deregistration; do not resurrect
+	}
+	return w.advertise(svc, false)
+}
+
+// pickSDPLocked draws an SDP per the mix weights. Requires w.mu.
+func (w *Workload) pickSDPLocked() core.SDP {
+	m := w.cfg.Mix
+	n := w.rng.Intn(m.total())
+	switch {
+	case n < m.SLP:
+		return core.SDPSLP
+	case n < m.SLP+m.DNSSD:
+		return core.SDPDNSSD
+	case n < m.SLP+m.DNSSD+m.UPnP:
+		return core.SDPUPnP
+	default:
+		return core.SDPJini
+	}
+}
+
+// pickLiveLocked draws a random live service. Requires w.mu.
+func (w *Workload) pickLiveLocked() *service {
+	if len(w.live) == 0 {
+		return nil
+	}
+	n := w.rng.Intn(len(w.live))
+	for _, svc := range w.live {
+		if n == 0 {
+			return svc
+		}
+		n--
+	}
+	return nil
+}
+
+// Lazy per-host agent construction.
+
+func (w *Workload) slpAgent(a *hostAgents) (*slp.ServiceAgent, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if a.sa == nil {
+		sa, err := slp.NewServiceAgent(a.host, slp.AgentConfig{
+			AnnounceInterval: w.cfg.AnnounceInterval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		a.sa = sa
+	}
+	return a.sa, nil
+}
+
+func (w *Workload) dnssdResponder(a *hostAgents) (*dnssd.Responder, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if a.resp == nil {
+		resp, err := dnssd.NewResponder(a.host, dnssd.ResponderConfig{})
+		if err != nil {
+			return nil, err
+		}
+		a.resp = resp
+	}
+	return a.resp, nil
+}
+
+func (w *Workload) jiniInfra(a *hostAgents) (*jini.LookupService, *jini.Client, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if a.ls == nil {
+		ls, err := jini.NewLookupService(a.host, jini.LookupConfig{
+			AnnounceInterval: w.cfg.AnnounceInterval,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		a.ls = ls
+		a.jc = jini.NewClient(a.host, jini.ClientConfig{})
+	}
+	return a.ls, a.jc, nil
+}
+
+// pad4 renders a sequence number as a fixed-width decimal so kinds sort
+// and read uniformly ("churn-0042").
+func pad4(n int) string {
+	s := strconv.Itoa(n)
+	for len(s) < 4 {
+		s = "0" + s
+	}
+	return s
+}

@@ -1,0 +1,163 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"indiss/internal/core"
+	"indiss/internal/simnet"
+)
+
+// The workload's bookkeeping is testable without gateways: agents bind
+// and announce on a bare host, and the expectation must mirror every
+// register/deregister faithfully.
+
+func newChurnNet(t *testing.T) *simnet.Network {
+	t.Helper()
+	n := simnet.New(simnet.Config{})
+	t.Cleanup(n.Close)
+	return n
+}
+
+func TestWorkloadBookkeeping(t *testing.T) {
+	n := newChurnNet(t)
+	h := n.MustAddHost("svc", "10.0.0.2")
+	w, err := NewWorkload([]*simnet.Host{h}, WorkloadConfig{
+		TTL:              time.Second,
+		AnnounceInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+
+	if err := w.Register(20); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.LiveCount(); got != 20 {
+		t.Fatalf("LiveCount = %d, want 20", got)
+	}
+	exp := w.Expectation()
+	if len(exp.Live) != 20 || len(exp.Withdrawn) != 0 {
+		t.Fatalf("expectation %d live / %d withdrawn, want 20/0", len(exp.Live), len(exp.Withdrawn))
+	}
+	// All four SDPs must appear at the default mix over 20 draws… not
+	// guaranteed for the small ones; assert the two heavyweights at
+	// least, and kind uniqueness for all.
+	kinds := make(map[string]bool)
+	bySDP := make(map[core.SDP]int)
+	for _, svc := range exp.Live {
+		if kinds[svc.Kind] {
+			t.Fatalf("duplicate kind %s", svc.Kind)
+		}
+		kinds[svc.Kind] = true
+		bySDP[svc.Origin]++
+	}
+	if bySDP[core.SDPSLP] == 0 || bySDP[core.SDPDNSSD] == 0 {
+		t.Fatalf("mix skipped a major SDP: %v", bySDP)
+	}
+
+	wds, err := w.Deregister(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wds) != 5 || w.LiveCount() != 15 {
+		t.Fatalf("after Deregister(5): %d withdrawn, %d live", len(wds), w.LiveCount())
+	}
+	for _, wd := range wds {
+		if wd.ExpiresBy.IsZero() {
+			t.Errorf("withdrawn %s has no staleness bound", wd.Kind)
+		}
+		switch wd.Origin {
+		case core.SDPSLP:
+			if wd.Clean {
+				t.Errorf("SLP withdrawal marked clean; SLP has no multicast farewell")
+			}
+		case core.SDPDNSSD, core.SDPUPnP, core.SDPJini:
+			if !wd.Clean {
+				t.Errorf("%s withdrawal not marked clean", wd.Origin)
+			}
+		}
+	}
+
+	if err := w.Readvertise(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Churn(10); err != nil {
+		t.Fatal(err)
+	}
+	exp = w.Expectation()
+	if len(exp.Live) != w.LiveCount() {
+		t.Fatalf("expectation live %d != LiveCount %d", len(exp.Live), w.LiveCount())
+	}
+}
+
+func TestCheckerFlagsViolations(t *testing.T) {
+	viewA, viewB := core.NewServiceView(), core.NewServiceView()
+	c := NewChecker(CheckerConfig{MaxHops: 2, Slack: 50 * time.Millisecond},
+		Gateway{ID: "gwA", View: viewA}, Gateway{ID: "gwB", View: viewB})
+
+	now := time.Now()
+	put := func(v *core.ServiceView, kind, url string, origin core.SDP, hops int, expires time.Time) {
+		v.Put(core.ServiceRecord{
+			Origin: origin, Kind: kind, URL: url,
+			Attrs: map[string]string{}, Expires: expires,
+			Remote: hops > 0, Hops: hops, OriginGW: "gwX",
+		})
+	}
+
+	// Live service present in A, missing in B → convergence violation.
+	put(viewA, "churn-0001", "u1", core.SDPSLP, 0, now.Add(time.Hour))
+	exp := Expectation{Live: []Expected{{Kind: "churn-0001", Origin: core.SDPSLP}}}
+	vs := c.Check(exp)
+	if !hasViolation(vs, "convergence", "gwB") {
+		t.Fatalf("missing convergence violation: %v", vs)
+	}
+
+	// Duplicate: two records of one kind in one view.
+	put(viewB, "churn-0001", "u1", core.SDPSLP, 0, now.Add(time.Hour))
+	put(viewB, "churn-0001", "u2", core.SDPUPnP, 1, now.Add(time.Hour))
+	vs = c.Check(exp)
+	if !hasViolation(vs, "duplicate", "gwB") {
+		t.Fatalf("missing duplicate violation: %v", vs)
+	}
+	viewB.Remove(core.SDPUPnP, "u2")
+
+	// Hops beyond the diameter.
+	put(viewA, "churn-0002", "u3", core.SDPJini, 7, now.Add(time.Hour))
+	vs = c.Check(exp)
+	if !hasViolation(vs, "hops", "gwA") {
+		t.Fatalf("missing hops violation: %v", vs)
+	}
+	viewA.Remove(core.SDPJini, "u3")
+
+	// Silent withdrawal whose record outlives its bound → staleness.
+	put(viewA, "churn-0003", "u4", core.SDPSLP, 0, now.Add(time.Hour))
+	exp2 := Expectation{Withdrawn: []Withdrawn{{
+		Kind: "churn-0003", Origin: core.SDPSLP, ExpiresBy: now.Add(time.Second),
+	}}}
+	vs = c.Check(exp2)
+	if !hasViolation(vs, "staleness", "gwA") {
+		t.Fatalf("missing staleness violation: %v", vs)
+	}
+
+	// Resurrection: buried kind reappears.
+	viewA.Remove(core.SDPSLP, "u4")
+	if vs := c.Check(exp2); len(vs) != 0 {
+		t.Fatalf("clean state still violates: %v", vs)
+	}
+	put(viewA, "churn-0003", "u4", core.SDPSLP, 0, now.Add(time.Hour))
+	vs = c.Check(exp2)
+	if !hasViolation(vs, "resurrection", "gwA") {
+		t.Fatalf("missing resurrection violation: %v", vs)
+	}
+}
+
+func hasViolation(vs []Violation, invariant, gw string) bool {
+	for _, v := range vs {
+		if v.Invariant == invariant && v.Gateway == gw {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,291 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"indiss/internal/core"
+)
+
+// Gateway is one federated gateway's view under invariant checking.
+type Gateway struct {
+	ID   string
+	View *core.ServiceView
+}
+
+// CheckerConfig tunes the invariant checker.
+type CheckerConfig struct {
+	// KindPrefix scopes the checks to the workload's services (default
+	// "churn-"): gateways may legitimately hold other records.
+	KindPrefix string
+	// MaxHops is the topology's federation diameter; any record claiming
+	// more hops is a stale-path ghost (default 8, the federation cap).
+	MaxHops int
+	// Slack absorbs clock skew and propagation delay in staleness bounds
+	// (default 2s).
+	Slack time.Duration
+}
+
+func (c *CheckerConfig) fill() {
+	if c.KindPrefix == "" {
+		c.KindPrefix = "churn-"
+	}
+	if c.MaxHops <= 0 {
+		c.MaxHops = 8
+	}
+	if c.Slack <= 0 {
+		c.Slack = 2 * time.Second
+	}
+}
+
+// Violation is one broken invariant at one gateway.
+type Violation struct {
+	Gateway   string
+	Kind      string
+	Invariant string // "convergence" | "origin" | "duplicate" | "withdrawal" | "resurrection" | "staleness" | "hops"
+	Detail    string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s kind=%s: %s", v.Gateway, v.Invariant, v.Kind, v.Detail)
+}
+
+// Checker asserts the soak invariants over a set of gateway views at
+// quiescent checkpoints:
+//
+//   - convergence: every live service is known — exactly once, under its
+//     true native origin — in every gateway's view;
+//   - zero duplicates: no kind ever has two records in one view (a
+//     duplicate means a double bridge or a federation loop);
+//   - no resurrection: once a withdrawn service has been observed gone
+//     from every view, it must never reappear;
+//   - TTL-bounded staleness: a record of a dead service may linger only
+//     until the service's last advertised lifetime runs out.
+//
+// The checker is stateful across checkpoints (it remembers graves), so
+// use one checker per scenario.
+type Checker struct {
+	cfg CheckerConfig
+	gws []Gateway
+
+	buried map[string]bool // kinds observed fully withdrawn everywhere
+}
+
+// NewChecker builds a checker over the given gateways.
+func NewChecker(cfg CheckerConfig, gws ...Gateway) *Checker {
+	cfg.fill()
+	return &Checker{cfg: cfg, gws: gws, buried: make(map[string]bool)}
+}
+
+// UpdateView repoints a gateway at a new view — a restarted gateway is
+// the same identity with a fresh (empty) view, and the checker's burial
+// state must survive the restart to catch resurrections across it.
+func (c *Checker) UpdateView(id string, v *core.ServiceView) {
+	for i := range c.gws {
+		if c.gws[i].ID == id {
+			c.gws[i].View = v
+		}
+	}
+}
+
+// Check evaluates every invariant against the expectation and returns
+// the violations (nil when the system is converged and clean).
+func (c *Checker) Check(exp Expectation) []Violation {
+	now := time.Now()
+	var out []Violation
+
+	perGW := make([]map[string][]core.ServiceRecord, len(c.gws))
+	for i, gw := range c.gws {
+		byKind := make(map[string][]core.ServiceRecord)
+		for _, rec := range gw.View.Find("", now) {
+			lk := strings.ToLower(rec.Kind)
+			if !strings.HasPrefix(lk, c.cfg.KindPrefix) {
+				continue
+			}
+			byKind[lk] = append(byKind[lk], rec)
+		}
+		perGW[i] = byKind
+
+		// Zero duplicates + sane hop counts, over everything present.
+		for kind, recs := range byKind {
+			if len(recs) > 1 {
+				out = append(out, Violation{
+					Gateway: gw.ID, Kind: kind, Invariant: "duplicate",
+					Detail: fmt.Sprintf("%d records: %s", len(recs), describe(recs)),
+				})
+			}
+			for _, rec := range recs {
+				if rec.Hops > c.cfg.MaxHops {
+					out = append(out, Violation{
+						Gateway: gw.ID, Kind: kind, Invariant: "hops",
+						Detail: fmt.Sprintf("hops=%d exceeds topology diameter %d (stale-path ghost)", rec.Hops, c.cfg.MaxHops),
+					})
+				}
+			}
+		}
+	}
+
+	// Convergence: every live service, in every view, with its origin.
+	for _, svc := range exp.Live {
+		kind := strings.ToLower(svc.Kind)
+		for i, gw := range c.gws {
+			recs := perGW[i][kind]
+			if len(recs) == 0 {
+				out = append(out, Violation{
+					Gateway: gw.ID, Kind: kind, Invariant: "convergence",
+					Detail: "live service missing from view",
+				})
+				continue
+			}
+			if recs[0].Origin != svc.Origin {
+				out = append(out, Violation{
+					Gateway: gw.ID, Kind: kind, Invariant: "origin",
+					Detail: fmt.Sprintf("origin %s, want %s (double bridge?)", recs[0].Origin, svc.Origin),
+				})
+			}
+		}
+	}
+
+	// Withdrawals: clean ones must vanish; silent ones may linger only
+	// inside their TTL bound. Fully vanished kinds are buried — and must
+	// stay so.
+	for _, wd := range exp.Withdrawn {
+		kind := strings.ToLower(wd.Kind)
+		present := false
+		for i, gw := range c.gws {
+			recs := perGW[i][kind]
+			if len(recs) == 0 {
+				continue
+			}
+			present = true
+			if c.buried[kind] {
+				out = append(out, Violation{
+					Gateway: gw.ID, Kind: kind, Invariant: "resurrection",
+					Detail: fmt.Sprintf("withdrawn record reappeared after burial: %s", describe(recs)),
+				})
+				continue
+			}
+			for _, rec := range recs {
+				if rec.Expires.After(wd.ExpiresBy.Add(c.cfg.Slack)) {
+					out = append(out, Violation{
+						Gateway: gw.ID, Kind: kind, Invariant: "staleness",
+						Detail: fmt.Sprintf("expires %v past the dead service's bound %v",
+							rec.Expires.Format(time.RFC3339Nano), wd.ExpiresBy.Format(time.RFC3339Nano)),
+					})
+				}
+			}
+			if wd.Clean {
+				// Transiently tolerable — propagation takes a moment, so
+				// WaitQuiescent polls until clean withdrawals clear; one
+				// surviving to the deadline fails the checkpoint.
+				out = append(out, Violation{
+					Gateway: gw.ID, Kind: kind, Invariant: "withdrawal",
+					Detail: "cleanly withdrawn record still present",
+				})
+			}
+		}
+		if !present {
+			c.buried[kind] = true
+		}
+	}
+	return out
+}
+
+// WaitQuiescent polls Check until it is clean or the deadline passes;
+// the error lists the surviving violations (capped for readability).
+func (c *Checker) WaitQuiescent(exp Expectation, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last []Violation
+	for {
+		last = c.Check(exp)
+		if len(last) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return violationsError("quiescence", last)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// WaitBuried polls until every withdrawn service is gone from every view
+// — the grave-is-empty checkpoint that proves TTL-bounded staleness
+// actually evicts.
+func (c *Checker) WaitBuried(exp Expectation, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.Check(exp) // updates burial state
+		missing := 0
+		for _, wd := range exp.Withdrawn {
+			if !c.buried[strings.ToLower(wd.Kind)] {
+				missing++
+			}
+		}
+		if missing == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: %d withdrawn services still present somewhere after %v", missing, timeout)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// CheckOrphans asserts TTL-bounded staleness after a gateway crash:
+// every record that entered the federation through the dead gateway must
+// expire by crashedAt+maxTTL — its origin segment has no bridge left to
+// renew it.
+func (c *Checker) CheckOrphans(originGW string, crashedAt time.Time, maxTTL time.Duration) []Violation {
+	bound := crashedAt.Add(maxTTL + c.cfg.Slack)
+	now := time.Now()
+	var out []Violation
+	for _, gw := range c.gws {
+		for _, rec := range gw.View.Find("", now) {
+			if !rec.Remote || rec.OriginGW != originGW {
+				continue
+			}
+			if !strings.HasPrefix(strings.ToLower(rec.Kind), c.cfg.KindPrefix) {
+				continue
+			}
+			if rec.Expires.After(bound) {
+				out = append(out, Violation{
+					Gateway: gw.ID, Kind: strings.ToLower(rec.Kind), Invariant: "staleness",
+					Detail: fmt.Sprintf("orphan of crashed %s expires %v past bound %v",
+						originGW, rec.Expires.Format(time.RFC3339Nano), bound.Format(time.RFC3339Nano)),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func violationsError(phase string, vs []Violation) error {
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].Invariant != vs[j].Invariant {
+			return vs[i].Invariant < vs[j].Invariant
+		}
+		return vs[i].Kind < vs[j].Kind
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos: %d invariant violations at %s checkpoint", len(vs), phase)
+	for i, v := range vs {
+		if i == 20 {
+			fmt.Fprintf(&b, "\n  … and %d more", len(vs)-i)
+			break
+		}
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+func describe(recs []core.ServiceRecord) string {
+	parts := make([]string, 0, len(recs))
+	for _, r := range recs {
+		parts = append(parts, fmt.Sprintf("{%s %s gw=%s hops=%d remote=%t}",
+			r.Origin, r.URL, r.OriginGW, r.Hops, r.Remote))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,106 @@
+// Package chaos is the chaos-and-scale testbed driver: timed fault
+// schedules against a live simnet fabric, churn workloads that
+// register/deregister/re-advertise services across all four SDPs, and an
+// invariant checker that asserts — at every quiescent checkpoint — view
+// convergence across gateways, zero duplicates, no resurrection of
+// withdrawn records, and TTL-bounded staleness for everything that died
+// without a goodbye. DESIGN.md §9 describes the model and how to write
+// a new scenario.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"indiss/internal/simnet"
+)
+
+// Step is one timed fault of a scenario, executed At after Run starts.
+type Step struct {
+	At   time.Duration
+	Name string
+	Do   func() error
+}
+
+// Scenario is a composed, timed fault schedule. Build one with the
+// fluent methods (or parse a text schedule, see ParseSchedule), then Run
+// it — typically concurrently with a workload — and join the error.
+type Scenario struct {
+	steps []Step
+}
+
+// NewScenario returns an empty scenario.
+func NewScenario() *Scenario { return &Scenario{} }
+
+// At appends an arbitrary fault action.
+func (sc *Scenario) At(at time.Duration, name string, do func() error) *Scenario {
+	sc.steps = append(sc.steps, Step{At: at, Name: name, Do: do})
+	return sc
+}
+
+// Partition cuts the link between two segments at the given offset.
+func (sc *Scenario) Partition(at time.Duration, n *simnet.Network, a, b string) *Scenario {
+	return sc.At(at, fmt.Sprintf("partition %s %s", a, b), func() error { return n.Partition(a, b) })
+}
+
+// Heal restores a partitioned link at the given offset.
+func (sc *Scenario) Heal(at time.Duration, n *simnet.Network, a, b string) *Scenario {
+	return sc.At(at, fmt.Sprintf("heal %s %s", a, b), func() error { return n.Heal(a, b) })
+}
+
+// HostDown crashes a host at the given offset.
+func (sc *Scenario) HostDown(at time.Duration, n *simnet.Network, host string) *Scenario {
+	return sc.At(at, "down "+host, func() error { return n.SetHostDown(host, true) })
+}
+
+// HostUp revives a host at the given offset.
+func (sc *Scenario) HostUp(at time.Duration, n *simnet.Network, host string) *Scenario {
+	return sc.At(at, "up "+host, func() error { return n.SetHostDown(host, false) })
+}
+
+// SetLink mutates a live link's profile at the given offset.
+func (sc *Scenario) SetLink(at time.Duration, n *simnet.Network, a, b string, l simnet.Link) *Scenario {
+	return sc.At(at, fmt.Sprintf("link %s %s", a, b), func() error { return n.SetLink(a, b, l) })
+}
+
+// Run executes the schedule: each step fires at its offset from the call
+// (steps sharing an offset fire in insertion order). A closed stop
+// channel aborts between steps. The first failing step aborts the run
+// and is returned, wrapped with the step's name and offset.
+func (sc *Scenario) Run(stop <-chan struct{}) error {
+	steps := make([]Step, len(sc.steps))
+	copy(steps, sc.steps)
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].At < steps[j].At })
+	t0 := time.Now()
+	for _, st := range steps {
+		wait := time.Until(t0.Add(st.At))
+		if wait > 0 {
+			timer := time.NewTimer(wait)
+			select {
+			case <-stop:
+				timer.Stop()
+				return nil
+			case <-timer.C:
+			}
+		} else {
+			select {
+			case <-stop:
+				return nil
+			default:
+			}
+		}
+		if err := st.Do(); err != nil {
+			return fmt.Errorf("chaos: step %q at %v: %w", st.Name, st.At, err)
+		}
+	}
+	return nil
+}
+
+// Start runs the scenario on its own goroutine and delivers Run's result
+// on the returned channel.
+func (sc *Scenario) Start(stop <-chan struct{}) <-chan error {
+	done := make(chan error, 1)
+	go func() { done <- sc.Run(stop) }()
+	return done
+}

@@ -1,0 +1,181 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"indiss/internal/simnet"
+)
+
+// The text schedule language: one fault per line, executed at its offset
+// from scenario start.
+//
+//	# rolling partition across a campus
+//	at 100ms partition seg1 seg2
+//	at 400ms heal seg1 seg2
+//	at 500ms down gw2
+//	at 900ms up gw2
+//	at 1s link seg2 seg3 latency=5ms bandwidth=1000000 loss=0.25
+//
+// Verbs: partition/heal take two segment names, down/up take a host
+// name, link takes two segment names plus latency=/bandwidth=/loss=
+// options (omitted options are the zero profile). Blank lines and
+// #-comments are ignored. ParseSchedule and FormatSchedule round-trip.
+
+// Op is one parsed schedule line.
+type Op struct {
+	// At is the fault's offset from scenario start.
+	At time.Duration
+	// Verb is one of "partition", "heal", "down", "up", "link".
+	Verb string
+	// A and B name the fault's targets: two segments (partition, heal,
+	// link) or a host in A with B empty (down, up).
+	A, B string
+	// Link is the new link profile (Verb "link" only).
+	Link simnet.Link
+}
+
+// maxScheduleLen bounds a schedule's source text; anything larger is
+// hostile input, not a test scenario.
+const maxScheduleLen = 1 << 20
+
+// ParseSchedule parses the text schedule language.
+func ParseSchedule(src string) ([]Op, error) {
+	if len(src) > maxScheduleLen {
+		return nil, fmt.Errorf("chaos: schedule exceeds %d bytes", maxScheduleLen)
+	}
+	var ops []Op
+	for lineNo, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		op, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: line %d: %w", lineNo+1, err)
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+func parseLine(line string) (Op, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || fields[0] != "at" {
+		return Op{}, fmt.Errorf("want %q, got %q", "at <offset> <verb> ...", line)
+	}
+	at, err := time.ParseDuration(fields[1])
+	if err != nil {
+		return Op{}, fmt.Errorf("offset %q: %v", fields[1], err)
+	}
+	if at < 0 {
+		return Op{}, fmt.Errorf("offset %q is negative", fields[1])
+	}
+	op := Op{At: at, Verb: fields[2]}
+	args := fields[3:]
+	switch op.Verb {
+	case "partition", "heal":
+		if len(args) != 2 {
+			return Op{}, fmt.Errorf("%s wants two segments, got %d args", op.Verb, len(args))
+		}
+		op.A, op.B = args[0], args[1]
+	case "down", "up":
+		if len(args) != 1 {
+			return Op{}, fmt.Errorf("%s wants one host, got %d args", op.Verb, len(args))
+		}
+		op.A = args[0]
+	case "link":
+		if len(args) < 2 {
+			return Op{}, fmt.Errorf("link wants two segments, got %d args", len(args))
+		}
+		op.A, op.B = args[0], args[1]
+		for _, kv := range args[2:] {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return Op{}, fmt.Errorf("link option %q: want key=value", kv)
+			}
+			switch key {
+			case "latency":
+				d, err := time.ParseDuration(val)
+				if err != nil || d < 0 {
+					return Op{}, fmt.Errorf("latency %q: %v", val, err)
+				}
+				op.Link.Latency = d
+			case "bandwidth":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil || n < 0 {
+					return Op{}, fmt.Errorf("bandwidth %q: %v", val, err)
+				}
+				op.Link.BandwidthBps = n
+			case "loss":
+				f, err := strconv.ParseFloat(val, 64)
+				// The inverted bound also rejects NaN, and the sign
+				// check rejects -0 (which would not round-trip). 1 is
+				// legal: a total-blackhole link.
+				if err != nil || !(f >= 0) || f > 1 || strings.HasPrefix(val, "-") {
+					return Op{}, fmt.Errorf("loss %q: want a float in [0,1]", val)
+				}
+				op.Link.LossRate = f
+			default:
+				return Op{}, fmt.Errorf("unknown link option %q", key)
+			}
+		}
+	default:
+		return Op{}, fmt.Errorf("unknown verb %q", op.Verb)
+	}
+	if strings.HasPrefix(op.A, "#") || strings.HasPrefix(op.B, "#") {
+		return Op{}, fmt.Errorf("target may not start with %q", "#")
+	}
+	return op, nil
+}
+
+// FormatSchedule renders ops in the canonical text form; the result
+// parses back to the same ops.
+func FormatSchedule(ops []Op) string {
+	var b strings.Builder
+	for _, op := range ops {
+		fmt.Fprintf(&b, "at %s %s %s", op.At, op.Verb, op.A)
+		if op.B != "" {
+			b.WriteByte(' ')
+			b.WriteString(op.B)
+		}
+		if op.Verb == "link" {
+			if op.Link.Latency != 0 {
+				fmt.Fprintf(&b, " latency=%s", op.Link.Latency)
+			}
+			if op.Link.BandwidthBps != 0 {
+				fmt.Fprintf(&b, " bandwidth=%d", op.Link.BandwidthBps)
+			}
+			if op.Link.LossRate != 0 {
+				fmt.Fprintf(&b, " loss=%s", strconv.FormatFloat(op.Link.LossRate, 'g', -1, 64))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Bind turns parsed ops into a runnable Scenario against a live network.
+// Target names are validated at execution time (a host may legitimately
+// be added after parse), so binding never fails; a bad name surfaces as
+// the step's error from Run.
+func Bind(n *simnet.Network, ops []Op) *Scenario {
+	sc := NewScenario()
+	for _, op := range ops {
+		switch op.Verb {
+		case "partition":
+			sc.Partition(op.At, n, op.A, op.B)
+		case "heal":
+			sc.Heal(op.At, n, op.A, op.B)
+		case "down":
+			sc.HostDown(op.At, n, op.A)
+		case "up":
+			sc.HostUp(op.At, n, op.A)
+		case "link":
+			sc.SetLink(op.At, n, op.A, op.B, op.Link)
+		}
+	}
+	return sc
+}

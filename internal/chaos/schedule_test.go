@@ -1,0 +1,130 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"indiss/internal/simnet"
+)
+
+func TestParseScheduleFull(t *testing.T) {
+	src := `
+# rolling partition
+at 100ms partition seg1 seg2
+at 400ms heal seg1 seg2
+
+at 500ms down gw2
+at 900ms up gw2
+at 1s link seg2 seg3 latency=5ms bandwidth=1000000 loss=0.25
+`
+	ops, err := ParseSchedule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{
+		{At: 100 * time.Millisecond, Verb: "partition", A: "seg1", B: "seg2"},
+		{At: 400 * time.Millisecond, Verb: "heal", A: "seg1", B: "seg2"},
+		{At: 500 * time.Millisecond, Verb: "down", A: "gw2"},
+		{At: 900 * time.Millisecond, Verb: "up", A: "gw2"},
+		{At: time.Second, Verb: "link", A: "seg2", B: "seg3",
+			Link: simnet.Link{Latency: 5 * time.Millisecond, BandwidthBps: 1_000_000, LossRate: 0.25}},
+	}
+	if !reflect.DeepEqual(ops, want) {
+		t.Fatalf("parsed %+v\nwant %+v", ops, want)
+	}
+
+	// Canonical render must parse back to the same ops.
+	again, err := ParseSchedule(FormatSchedule(ops))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, FormatSchedule(ops))
+	}
+	if !reflect.DeepEqual(again, ops) {
+		t.Fatalf("round-trip drifted:\n%+v\n%+v", again, ops)
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	for _, src := range []string{
+		"partition a b",             // missing "at"
+		"at xyz partition a b",      // bad duration
+		"at -5ms partition a b",     // negative offset
+		"at 1s partition a",         // missing segment
+		"at 1s explode a b",         // unknown verb
+		"at 1s down",                // missing host
+		"at 1s link a b loss=1.5",   // loss out of range
+		"at 1s link a b loss=-0",    // negative zero does not round-trip
+		"at 1s link a b speed=fast", // unknown option
+		"at 1s link a b latency",    // not key=value
+	} {
+		if _, err := ParseSchedule(src); err == nil {
+			t.Errorf("ParseSchedule(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestScheduleBindAndRun(t *testing.T) {
+	n, err := simnet.NewTopology(simnet.Config{}).
+		Segment("seg1").Segment("seg2").
+		Chain(simnet.Link{}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	n.MustAddHostOn("gw2", "10.0.2.9", "seg2")
+
+	ops, err := ParseSchedule(`
+at 0ms partition seg1 seg2
+at 20ms down gw2
+at 40ms up gw2
+at 60ms heal seg1 seg2
+at 80ms link seg1 seg2 latency=1ms
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Bind(n, ops).Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if n.Partitioned("seg1", "seg2") {
+		t.Error("link still partitioned after heal")
+	}
+	if h := n.HostByName("gw2"); h.Down() {
+		t.Error("host still down after up")
+	}
+	if l, ok := n.GetLink("seg1", "seg2"); !ok || l.Latency != time.Millisecond {
+		t.Errorf("link = %+v, want latency=1ms", l)
+	}
+
+	// A bad target surfaces as the step's error.
+	bad := Bind(n, []Op{{Verb: "down", A: "nope"}})
+	if err := bad.Run(nil); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("Run with unknown host: err = %v", err)
+	}
+}
+
+// FuzzParseSchedule: the parser never panics, and anything it accepts
+// renders canonically and parses back to the same ops.
+func FuzzParseSchedule(f *testing.F) {
+	f.Add("at 100ms partition seg1 seg2")
+	f.Add("at 1s link a b latency=5ms bandwidth=10 loss=0.5")
+	f.Add("at 0s down gw\nat 1h up gw\n# comment\n")
+	f.Add("at 1ns link x y")
+	f.Add("at 9999h heal é ß")
+	f.Fuzz(func(t *testing.T, src string) {
+		ops, err := ParseSchedule(src)
+		if err != nil {
+			return
+		}
+		text := FormatSchedule(ops)
+		again, err := ParseSchedule(text)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%q", err, text)
+		}
+		if !reflect.DeepEqual(again, ops) {
+			t.Fatalf("round-trip drifted:\nfirst  %+v\nsecond %+v\ntext %q", ops, again, text)
+		}
+	})
+}

@@ -71,6 +71,31 @@ func (c Config) readTimeout() time.Duration {
 // terminates flooding in meshed (cyclic) peerings.
 const refreshSlack = 100 * time.Millisecond
 
+// tombstoneGuard is how long a withdrawal without any lifetime hint
+// still blocks re-announcement of the same key — enough to cover the
+// reconnect storm after a partition heals. Withdrawals normally carry
+// the retracted record's remaining TTL, which is the exact bound.
+const tombstoneGuard = 30 * time.Second
+
+// maxGrave caps how far in the future a peer-supplied withdrawal TTL may
+// push a tombstone, bounding memory against hostile or buggy frames.
+const maxGrave = 24 * time.Hour
+
+// tombstone remembers a withdrawn record so a peer that missed the
+// withdrawal — it was partitioned away, or crashed and kept stale state —
+// cannot resurrect the record by re-announcing its stale copy. The
+// stale copy necessarily expires no later than the withdrawn record did,
+// so any announce whose lifetime meaningfully outlives the tombstone is
+// a genuine re-registration and is let through (and clears the grave).
+type tombstone struct {
+	originGW string
+	origin   string // SDP of the buried record
+	kind     string
+	url      string
+	epoch    uint64 // the buried record instance (0 = unknown)
+	expires  time.Time
+}
+
 // Endpoint is one gateway's attachment to the federation: a TCP listener
 // for inbound peers, dial loops for configured ones, and a distributor
 // that turns local ServiceView deltas into ANNOUNCE/WITHDRAW floods.
@@ -84,8 +109,15 @@ type Endpoint struct {
 
 	mu          sync.Mutex
 	sessions    map[*session]struct{}
-	learnedFrom map[string]*session // view key → session that taught us
-	closed      bool
+	learnedFrom map[string]*session  // view key → session that taught us
+	tombs       map[string]tombstone // view key → withdrawal grave
+	// epochs tracks the current record-instance epoch per view key: for
+	// local records a strictly increasing stamp this gateway mints, for
+	// remote ones the origin gateway's stamp as carried by the wire. A
+	// withdrawal moves the epoch into the grave; a later instance mints
+	// (or arrives with) a greater one and sails past it.
+	epochs map[string]uint64
+	closed bool
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -115,6 +147,8 @@ func New(host netapi.Stack, view *core.ServiceView, cfg Config) (*Endpoint, erro
 		listener:    l,
 		sessions:    make(map[*session]struct{}),
 		learnedFrom: make(map[string]*session),
+		tombs:       make(map[string]tombstone),
+		epochs:      make(map[string]uint64),
 		stop:        make(chan struct{}),
 	}
 	deltas, cancel := view.SubscribeDeltas(1024)
@@ -372,14 +406,42 @@ func viewKey(origin core.SDP, url string) string {
 	return string(origin) + "|" + url
 }
 
+// mintEpochLocked ensures key has a record-instance epoch, minting one
+// for a local record seen for the first time. The mint is strictly
+// greater than any grave the key has, so a service re-registered right
+// after its withdrawal still reads as a *later* instance everywhere.
+// Requires e.mu.
+func (e *Endpoint) mintEpochLocked(key string) uint64 {
+	if ep, ok := e.epochs[key]; ok {
+		return ep
+	}
+	ep := uint64(time.Now().UnixMilli())
+	if t, ok := e.tombs[key]; ok && ep <= t.epoch {
+		ep = t.epoch + 1
+	}
+	e.epochs[key] = ep
+	return ep
+}
+
 // announceFor renders a record as the ANNOUNCE a peer should receive.
 // Local records enter the federation here: they get this gateway's
-// identity and hop count 0.
+// identity, hop count 0, and their instance epoch (minted on first
+// announce); transit records re-flood with the origin's epoch as
+// learned.
 func (e *Endpoint) announceFor(rec core.ServiceRecord) (Announce, bool) {
 	ttl := time.Until(rec.Expires)
 	if ttl <= 0 {
 		return Announce{}, false
 	}
+	key := viewKey(rec.Origin, rec.URL)
+	e.mu.Lock()
+	var epoch uint64
+	if rec.Remote {
+		epoch = e.epochs[key]
+	} else {
+		epoch = e.mintEpochLocked(key)
+	}
+	e.mu.Unlock()
 	a := Announce{
 		OriginGW: e.cfg.GatewayID,
 		Hops:     0,
@@ -387,7 +449,8 @@ func (e *Endpoint) announceFor(rec core.ServiceRecord) (Announce, bool) {
 		Kind:     rec.Kind,
 		URL:      rec.URL,
 		Location: rec.Location,
-		TTL:      uint32(min64(int64(ttl/time.Millisecond)+1, 1<<32-1)),
+		TTL:      ttlMillis(ttl),
+		Epoch:    epoch,
 		Attrs:    rec.Attrs,
 	}
 	if rec.Remote {
@@ -404,10 +467,25 @@ func min64(a, b int64) int64 {
 	return b
 }
 
-// sendSnapshot announces every live record to one peer.
+// sendSnapshot announces every live record to one peer — and re-sends
+// every active withdrawal tombstone as a WITHDRAW frame. The negative
+// half matters as much as the positive one: a peer that missed a
+// withdrawal while partitioned or down may hold a stale copy it will
+// never announce to us (split horizon skips the record's own origin
+// gateway), so waiting to reject its announce is not enough — the
+// snapshot itself must carry the graves.
 func (e *Endpoint) sendSnapshot(s *session) {
 	now := time.Now()
 	recs := e.view.Find("", now)
+	e.mu.Lock()
+	tombs := make([]tombstone, 0, len(e.tombs))
+	for _, t := range e.tombs {
+		if t.expires.After(now) {
+			tombs = append(tombs, t)
+		}
+	}
+	e.mu.Unlock()
+
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
 	for _, rec := range recs {
@@ -419,6 +497,20 @@ func (e *Endpoint) sendSnapshot(s *session) {
 			continue
 		}
 		s.wbuf = AppendAnnounce(s.wbuf[:0], a)
+		if err := s.writeFrame(s.wbuf); err != nil {
+			return
+		}
+	}
+	for _, t := range tombs {
+		w := Withdraw{
+			OriginGW: t.originGW,
+			Origin:   t.origin,
+			Kind:     t.kind,
+			URL:      t.url,
+			TTL:      ttlMillis(time.Until(t.expires)),
+			Epoch:    t.epoch,
+		}
+		s.wbuf = AppendWithdraw(s.wbuf[:0], w)
 		if err := s.writeFrame(s.wbuf); err != nil {
 			return
 		}
@@ -445,19 +537,57 @@ func (e *Endpoint) skipForPeer(rec core.ServiceRecord, s *session) bool {
 // knowledge: unknown, a strictly shorter path, or a lifetime extended by
 // more than refreshSlack. Everything else is an echo and dies here.
 func (e *Endpoint) handleAnnounce(s *session, a Announce) {
+	origin := core.SDP(a.Origin)
 	if a.OriginGW == e.cfg.GatewayID {
-		return // our own record walked a cycle back to us
+		// Our own record walked a cycle back to us. If we no longer hold
+		// it, the announcer's copy is stale — withdrawn or expired while
+		// we were apart — so answer with a withdrawal instead of letting
+		// the ghost circulate until its TTL.
+		if _, live := e.view.Get(origin, a.URL); !live {
+			// The stale copy's own epoch is the instance to bury.
+			e.withdrawBack(s, a, time.Duration(a.TTL)*time.Millisecond, a.Epoch)
+		}
+		return
 	}
 	hops := int(a.Hops) + 1
 	if hops > e.cfg.maxHops() {
 		return
 	}
-	origin := core.SDP(a.Origin)
 	existing, known := e.view.Get(origin, a.URL)
 	if known && !existing.Remote {
 		return // locally observed knowledge always wins
 	}
 	expires := time.Now().Add(time.Duration(a.TTL) * time.Millisecond)
+
+	// Withdrawal tombstone: a peer that missed the withdrawal (healed
+	// partition, restarted with stale state) re-announces the dead
+	// record. When both sides carry instance epochs, the test is exact:
+	// the grave buries one instance, and only a strictly later one
+	// passes — a re-registration flows through whatever its TTL, while
+	// the stale copy (same instance, same epoch) is rejected and its
+	// holder actively repaired. Without epochs (or across a change of
+	// origin gateway) the lifetime comparison is the fallback: a stale
+	// copy cannot outlive the instance it copies.
+	key := viewKey(origin, a.URL)
+	e.mu.Lock()
+	tomb, buried := e.tombs[key]
+	if buried {
+		if a.Epoch != 0 && tomb.epoch != 0 && a.OriginGW == tomb.originGW {
+			if a.Epoch > tomb.epoch {
+				delete(e.tombs, key) // a later instance: the grave is stale
+				buried = false
+			}
+		} else if expires.After(tomb.expires.Add(refreshSlack)) {
+			delete(e.tombs, key)
+			buried = false
+		}
+	}
+	e.mu.Unlock()
+	if buried {
+		e.withdrawBack(s, a, time.Until(tomb.expires), tomb.epoch)
+		return
+	}
+
 	if known {
 		shorter := hops < existing.Hops
 		fresher := expires.After(existing.Expires.Add(refreshSlack))
@@ -481,9 +611,18 @@ func (e *Endpoint) handleAnnounce(s *session, a Announce) {
 		Remote:   true,
 	}
 	e.mu.Lock()
-	e.learnedFrom[viewKey(origin, a.URL)] = s
-	e.mu.Unlock()
+	e.learnedFrom[key] = s
+	if a.Epoch != 0 {
+		e.epochs[key] = a.Epoch // the instance we now hold
+	} else {
+		delete(e.epochs, key) // unknown instance: no stale epoch may linger
+	}
+	// The Put happens under the same e.mu hold that stored the epoch, so
+	// the prune sweep (which checks view liveness under e.mu) can never
+	// observe the epoch without its record. The view's own locks nest
+	// inside e.mu here and never the other way around.
 	e.view.Put(rec)
+	e.mu.Unlock()
 }
 
 // handleWithdraw retracts a remote record. Local records are immune: the
@@ -497,15 +636,104 @@ func (e *Endpoint) handleWithdraw(s *session, w Withdraw) {
 	}
 	origin := core.SDP(w.Origin)
 	existing, known := e.view.Get(origin, w.URL)
-	if !known || !existing.Remote {
+	if known && !existing.Remote {
 		return
 	}
-	// Keep the learnedFrom entry pointing at the withdrawing session so
-	// the re-flood (triggered by the Remove delta) split-horizons it.
+	key := viewKey(origin, w.URL)
+	// Bury the key whether or not we hold the record: a withdrawal we
+	// merely relay must still stop a stale copy from re-entering through
+	// us later. The grave lives until the retracted record's outstanding
+	// lifetime runs out — carried as the frame's TTL, or our own stored
+	// expiry if that is later — after which no cache can hold a copy and
+	// the grave self-prunes. A withdrawal with no lifetime hint gets the
+	// fixed guard window; an existing longer grave is never shortened
+	// (and, because every relay re-sends *remaining* time against a
+	// fixed absolute bound, never grows either — gossip cannot keep
+	// graves alive forever).
+	now := time.Now()
+	graveUntil := now.Add(tombstoneGuard)
+	if w.TTL > 0 {
+		ttl := time.Duration(w.TTL) * time.Millisecond
+		if ttl > maxGrave {
+			ttl = maxGrave
+		}
+		graveUntil = now.Add(ttl)
+	}
+	if known && existing.Expires.After(graveUntil) {
+		graveUntil = existing.Expires
+	}
 	e.mu.Lock()
-	e.learnedFrom[viewKey(origin, w.URL)] = s
+	// The buried instance: the frame's epoch, or the one we stored when
+	// we absorbed the record — whichever is later. The instance is dead,
+	// so its live-epoch entry goes.
+	epoch := e.epochs[key]
+	if w.Epoch > epoch {
+		epoch = w.Epoch
+	}
+	delete(e.epochs, key)
+	e.buryLocked(key, tombstone{
+		originGW: w.OriginGW,
+		origin:   w.Origin,
+		kind:     w.Kind,
+		url:      w.URL,
+		epoch:    epoch,
+		expires:  graveUntil,
+	})
+	if known {
+		// Keep the learnedFrom entry pointing at the withdrawing session
+		// so the re-flood (triggered by the Remove delta) split-horizons
+		// it.
+		e.learnedFrom[key] = s
+	}
 	e.mu.Unlock()
-	e.view.Remove(origin, w.URL)
+	if known {
+		e.view.Remove(origin, w.URL)
+	}
+}
+
+// buryLocked merges a grave into the tombstone map: an existing grave
+// is never shortened and never loses a later buried epoch, whichever
+// path — withdrawal relay or local removal — dug it. Requires e.mu.
+func (e *Endpoint) buryLocked(key string, t tombstone) {
+	if old, ok := e.tombs[key]; ok {
+		if old.expires.After(t.expires) {
+			t.expires = old.expires
+		}
+		if old.epoch > t.epoch {
+			t.epoch = old.epoch
+		}
+	}
+	e.tombs[key] = t
+}
+
+// withdrawBack answers one session's stale ANNOUNCE with a directed
+// WITHDRAW — the active repair for peers that missed a withdrawal while
+// partitioned or down. The repaired peer removes the record and floods
+// the withdrawal onward to anyone else still holding the ghost. ttl
+// bounds the receiver's grave (the ghost's own remaining lifetime);
+// epoch names the buried instance.
+func (e *Endpoint) withdrawBack(s *session, a Announce, ttl time.Duration, epoch uint64) {
+	w := Withdraw{
+		OriginGW: a.OriginGW,
+		Hops:     a.Hops,
+		Origin:   a.Origin,
+		Kind:     a.Kind,
+		URL:      a.URL,
+		TTL:      ttlMillis(ttl),
+		Epoch:    epoch,
+	}
+	s.writeMu.Lock()
+	s.wbuf = AppendWithdraw(s.wbuf[:0], w)
+	_ = s.writeFrame(s.wbuf)
+	s.writeMu.Unlock()
+}
+
+// ttlMillis clamps a duration into the wire's millisecond TTL field.
+func ttlMillis(d time.Duration) uint32 {
+	if d <= 0 {
+		return 0
+	}
+	return uint32(min64(int64(d/time.Millisecond)+1, 1<<32-1))
 }
 
 // distribute turns local view deltas into floods. Records the federation
@@ -515,6 +743,16 @@ func (e *Endpoint) distribute(deltas <-chan core.Delta) {
 	for d := range deltas {
 		switch d.Op {
 		case core.DeltaPut:
+			// A local re-registration mints a fresh instance epoch
+			// (strictly above any grave the key has) and digs the grave
+			// up, so the announce reads as a later instance everywhere.
+			key := viewKey(d.Record.Origin, d.Record.URL)
+			e.mu.Lock()
+			if !d.Record.Remote {
+				e.mintEpochLocked(key)
+			}
+			delete(e.tombs, key)
+			e.mu.Unlock()
 			if d.Record.Remote && d.Record.Hops >= e.cfg.maxHops() {
 				continue // absorbed at the cap, not re-flooded
 			}
@@ -532,11 +770,45 @@ func (e *Endpoint) distribute(deltas <-chan core.Delta) {
 				Origin:   string(d.Record.Origin),
 				Kind:     d.Record.Kind,
 				URL:      d.Record.URL,
+				// The withdrawal's authority lasts exactly as long as a
+				// stale copy of the record could: its remaining TTL.
+				TTL: ttlMillis(time.Until(d.Record.Expires)),
 			}
 			if d.Record.Remote {
 				w.OriginGW = d.Record.OriginGW
 				w.Hops = uint8(min64(int64(d.Record.Hops), 255))
 			}
+			// Bury locally owned withdrawals until the record's natural
+			// expiry: any copy elsewhere dies by then, so an announce
+			// arriving within the window is a ghost (see handleAnnounce).
+			// Remote-record removals are NOT buried here — an
+			// authoritative withdrawal relay was already buried by
+			// handleWithdraw, and anything else is a local cache drop
+			// the next anti-entropy sync may legitimately refill. Either
+			// way the withdrawal names the buried instance's epoch.
+			key := viewKey(d.Record.Origin, d.Record.URL)
+			e.mu.Lock()
+			epoch := e.epochs[key]
+			if t, ok := e.tombs[key]; ok && t.epoch > epoch {
+				epoch = t.epoch
+			}
+			delete(e.epochs, key)
+			if !d.Record.Remote {
+				graveUntil := time.Now().Add(tombstoneGuard)
+				if d.Record.Expires.After(graveUntil) {
+					graveUntil = d.Record.Expires
+				}
+				e.buryLocked(key, tombstone{
+					originGW: w.OriginGW,
+					origin:   string(d.Record.Origin),
+					kind:     d.Record.Kind,
+					url:      d.Record.URL,
+					epoch:    epoch,
+					expires:  graveUntil,
+				})
+			}
+			e.mu.Unlock()
+			w.Epoch = epoch
 			e.flood(d.Record, func(s *session) []byte {
 				s.wbuf = AppendWithdraw(s.wbuf[:0], w)
 				return s.wbuf
@@ -588,7 +860,41 @@ func (e *Endpoint) antiEntropyLoop() {
 				e.sendSnapshot(s)
 			}
 			e.pruneLearned()
+			e.pruneTombs()
 		}
+	}
+}
+
+// pruneTombs clears graves whose window has passed — by then every
+// cache in the federation has expired its copy of the record, so
+// nothing is left to resurrect — and instance epochs whose record is
+// neither live nor buried, so the epoch map tracks the live view plus
+// the open graves instead of every key ever seen.
+func (e *Endpoint) pruneTombs() {
+	now := time.Now()
+	// One continuous e.mu hold: liveness is checked under the same lock
+	// that deletes, so an epoch stored by a concurrent absorb (which
+	// takes e.mu before its view.Put) cannot be judged stale and swept
+	// between an unlocked check and a relocked delete. The view has its
+	// own locks and never takes e.mu, so the nested Get cannot deadlock.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for key, t := range e.tombs {
+		if now.After(t.expires) {
+			delete(e.tombs, key)
+		}
+	}
+	for key := range e.epochs {
+		if _, buried := e.tombs[key]; buried {
+			continue
+		}
+		origin, url, ok := strings.Cut(key, "|")
+		if ok {
+			if _, live := e.view.Get(core.SDP(origin), url); live {
+				continue
+			}
+		}
+		delete(e.epochs, key)
 	}
 }
 

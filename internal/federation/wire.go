@@ -25,7 +25,10 @@ import (
 // Protocol constants.
 const (
 	// Version is the peering protocol version exchanged in HELLO.
-	Version = 1
+	// Version 2 added the Epoch field to ANNOUNCE and the TTL and Epoch
+	// fields to WITHDRAW; frames are not parseable across versions, so
+	// the handshake refuses mixed-version peers.
+	Version = 2
 
 	// DefaultPort is the IANA-style default TCP port of the federation
 	// endpoint.
@@ -96,17 +99,34 @@ type Announce struct {
 	// re-derived expiry instants, and a coarser unit would make every
 	// re-sync look like fresher knowledge and re-flood forever.
 	TTL uint32
+	// Epoch identifies the record *instance*: the origin gateway stamps
+	// a strictly increasing value each time the record (re-)enters its
+	// view after an absence, and every relay passes it through
+	// unchanged. A withdrawal buries an epoch; an announce carrying a
+	// greater one is a genuine re-registration no matter how its TTL
+	// compares to the grave's. Zero means unknown.
+	Epoch uint64
 	// Attrs are the record's attributes.
 	Attrs map[string]string
 }
 
-// Withdraw retracts one record.
+// Withdraw retracts one record. TTL (milliseconds) is the withdrawal's
+// own remaining authority: the retracted record's outstanding lifetime,
+// after which no cache anywhere can still hold a copy. Receivers keep a
+// tombstone for at most that long, and relays re-send the *remaining*
+// time — the absolute bound never grows, so withdrawal gossip cannot
+// keep graves alive forever.
 type Withdraw struct {
 	OriginGW string
 	Hops     uint8
 	Origin   string
 	Kind     string
 	URL      string
+	TTL      uint32
+	// Epoch is the buried record instance (see Announce.Epoch): the
+	// withdrawal retracts exactly this instance, and a later instance
+	// of the same key sails past the grave. Zero means unknown.
+	Epoch uint64
 }
 
 // --- marshalling (AppendTo style: whole frames appended to dst) ---
@@ -148,6 +168,7 @@ func AppendAnnounce(dst []byte, a Announce) []byte {
 	dst = appendString(dst, a.URL)
 	dst = appendString(dst, a.Location)
 	dst = binary.BigEndian.AppendUint32(dst, a.TTL)
+	dst = binary.AppendUvarint(dst, a.Epoch)
 	dst = binary.AppendUvarint(dst, uint64(len(a.Attrs)))
 	for k, v := range a.Attrs {
 		dst = appendString(dst, k)
@@ -164,6 +185,8 @@ func AppendWithdraw(dst []byte, w Withdraw) []byte {
 	dst = appendString(dst, w.Origin)
 	dst = appendString(dst, w.Kind)
 	dst = appendString(dst, w.URL)
+	dst = binary.BigEndian.AppendUint32(dst, w.TTL)
+	dst = binary.AppendUvarint(dst, w.Epoch)
 	return finishFrame(dst, at)
 }
 
@@ -262,6 +285,7 @@ func ParseAnnounce(payload []byte) (Announce, error) {
 	a.URL = r.string()
 	a.Location = r.string()
 	a.TTL = r.uint32()
+	a.Epoch = r.uvarint()
 	n := r.uvarint()
 	if r.err == nil && n > maxWireAttrs {
 		return Announce{}, fmt.Errorf("%w: %d attributes", ErrWire, n)
@@ -293,6 +317,8 @@ func ParseWithdraw(payload []byte) (Withdraw, error) {
 	w.Origin = r.string()
 	w.Kind = r.string()
 	w.URL = r.string()
+	w.TTL = r.uint32()
+	w.Epoch = r.uvarint()
 	if err := r.done(); err != nil {
 		return Withdraw{}, err
 	}

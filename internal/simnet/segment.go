@@ -24,7 +24,7 @@ type Link struct {
 	// BandwidthBps, when non-zero, adds a serialization cost of
 	// len(payload)*8/BandwidthBps seconds per traversal.
 	BandwidthBps int64
-	// LossRate is the probability in [0,1) that the link drops a UDP
+	// LossRate is the probability in [0,1] that the link drops a UDP
 	// datagram crossing it. TCP traffic is never dropped (it models a
 	// reliable transport end to end).
 	LossRate float64
@@ -167,8 +167,8 @@ func (n *Network) bfsLocked(from, to string) []Link {
 			return path
 		}
 		for next, l := range n.links[cur.seg] {
-			if visited[next] {
-				continue
+			if visited[next] || n.cutLocked(cur.seg, next) {
+				continue // partitioned link: route around or not at all
 			}
 			visited[next] = true
 			queue = append(queue, &hop{seg: next, prev: cur, link: l})

@@ -38,7 +38,7 @@ type Config struct {
 	// len(payload)*8/BandwidthBps seconds to every inter-host packet.
 	BandwidthBps int64
 
-	// LossRate is the probability in [0,1) that an inter-host UDP
+	// LossRate is the probability in [0,1] that an inter-host UDP
 	// datagram is silently dropped. Loopback and TCP traffic is never
 	// dropped (TCP models a reliable transport).
 	LossRate float64
@@ -68,6 +68,7 @@ type Network struct {
 	names    map[string]*Host // keyed by name
 	segments map[string]*segment
 	links    map[string]map[string]Link // segment → segment → link
+	cuts     map[string]struct{}        // partitioned segment pairs (faults.go)
 	routes   map[string][]Link          // "from\x00to" → path cache (nil = no route)
 	closed   bool
 	rng      *rand.Rand
@@ -289,6 +290,7 @@ type Host struct {
 	listeners map[int]*Listener
 	streams   []*Stream
 	closed    bool
+	down      bool // crashed (faults.go); bindings survive, traffic drops
 }
 
 // Name returns the host's symbolic name.

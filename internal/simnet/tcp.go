@@ -100,12 +100,19 @@ func (l *Listener) Close() {
 // and ErrConnRefused if nothing listens on the port.
 func (h *Host) DialTCP(addr Addr) (netapi.Stream, error) {
 	n := h.net
+	if h.Down() {
+		return nil, fmt.Errorf("%w: %s is down", ErrNoRoute, h.name)
+	}
 	to := n.HostByIP(addr.IP)
 	if to == nil {
 		return nil, fmt.Errorf("%w: %s", ErrNoRoute, addr.IP)
 	}
 	if _, routed := n.resolvePath(h, to); !routed {
 		return nil, fmt.Errorf("%w: %s", ErrNoRoute, addr.IP)
+	}
+	if to.Down() {
+		// SYN into the void: a crashed host answers nothing.
+		return nil, fmt.Errorf("%w: %s", ErrTimeout, addr)
 	}
 	to.mu.Lock()
 	l := to.listeners[addr.Port]
@@ -118,6 +125,10 @@ func (h *Host) DialTCP(addr Addr) (netapi.Stream, error) {
 	rtt := 2 * n.linkDelay(h, to, 0)
 	if rtt > 0 {
 		SleepPrecise(rtt)
+	}
+	if to.Down() || h.Down() {
+		// Crashed mid-handshake: the SYN-ACK never came.
+		return nil, fmt.Errorf("%w: %s", ErrTimeout, addr)
 	}
 
 	local, remote := newStreamPair(h, to, addr)
@@ -285,16 +296,23 @@ func (s *Stream) Write(p []byte) (int, error) {
 	copy(body, p)
 
 	n := s.local.net
+	path, routed := n.resolvePath(s.local, s.remote)
+	if !routed {
+		// The route died under the connection (partition): the segment
+		// blackholes. The fault injector resets crossing streams, so
+		// this only catches writes racing the cut itself.
+		return len(p), nil
+	}
 	n.metrics.addTCPBytes(s.remoteAddr.Port, len(body))
 	peer := s.out
-	n.sched.schedule(s.arrivalTime(len(body)), func() { peer.deliver(body) })
+	delay := n.linkDelayPath(s.local, s.remote, len(body), path)
+	n.sched.schedule(s.arrivalTime(delay), func() { peer.deliver(body) })
 	return len(p), nil
 }
 
-// arrivalTime computes when a segment of the given size reaches the peer,
+// arrivalTime converts a link delay into the segment's delivery instant,
 // clamped to never precede earlier segments.
-func (s *Stream) arrivalTime(size int) time.Time {
-	delay := s.local.net.linkDelay(s.local, s.remote, size)
+func (s *Stream) arrivalTime(delay time.Duration) time.Time {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	at := time.Now().Add(delay)
@@ -319,6 +337,8 @@ func (s *Stream) Close() error {
 	// EOF must arrive after any in-flight data: the FIN rides the
 	// scheduler like a normal segment and respects the send clock.
 	peer := s.out
-	s.local.net.sched.schedule(s.arrivalTime(0), func() { peer.shutdown() })
+	n := s.local.net
+	delay := n.linkDelay(s.local, s.remote, 0)
+	n.sched.schedule(s.arrivalTime(delay), func() { peer.shutdown() })
 	return nil
 }

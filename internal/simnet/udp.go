@@ -181,6 +181,9 @@ func (c *UDPConn) WriteTo(payload []byte, dst Addr) error {
 	if netClosed {
 		return ErrClosed
 	}
+	if c.host.Down() {
+		return nil // crashed host: the NIC is dead, the send vanishes
+	}
 
 	// Copy once at the boundary so the caller may reuse its buffer.
 	body := make([]byte, len(payload))
@@ -259,9 +262,14 @@ func (c *UDPConn) sendMulticast(dg Datagram) error {
 	return nil
 }
 
-// push enqueues a datagram for the reader, dropping it if the queue is full
-// or the conn has closed meanwhile.
+// push enqueues a datagram for the reader, dropping it if the queue is full,
+// the conn has closed meanwhile, or the host crashed while the packet was
+// in flight (a down host's deliveries drop at arrival time).
 func (c *UDPConn) push(dg Datagram) {
+	if c.host.Down() {
+		c.host.net.metrics.addDrop(c.port, len(dg.Payload))
+		return
+	}
 	select {
 	case <-c.done:
 	case c.queue <- dg:

@@ -2,6 +2,7 @@ package slp
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -350,13 +351,26 @@ func (sa *ServiceAgent) announce() {
 // announcedAttrs summarizes local registrations into the SAAdvert
 // attribute list so passive listeners learn concrete URLs. This follows
 // the spirit of RFC 2608 SAAdverts (which carry the SA's attributes) while
-// giving the paper's passive model something to translate.
+// giving the paper's passive model something to translate. Each
+// registration contributes a (service-url, service-type, service-lifetime)
+// triple; the lifetime is the registration's *remaining* seconds, so a
+// passive listener caches the knowledge exactly as long as the SA itself
+// will hold it — without it, listeners had to assume the RFC default
+// (hours) and a dead service lingered far past its registration.
 func (sa *ServiceAgent) announcedAttrs() string {
 	now := time.Now()
 	var list AttrList
 	for _, reg := range sa.store.Lookup("", nil, nil, now) {
+		lt := int(reg.Lifetime(now))
+		if lt < 1 {
+			// A live registration in its final sub-second still has a
+			// lifetime; announcing 0 would read as "no lifetime" and
+			// fall back to the RFC default's hours.
+			lt = 1
+		}
 		list = append(list, Attr{Name: "service-url", Values: []string{reg.URL}})
 		list = append(list, Attr{Name: "service-type", Values: []string{reg.ServiceType}})
+		list = append(list, Attr{Name: "service-lifetime", Values: []string{strconv.Itoa(lt)}})
 	}
 	return list.String()
 }

@@ -1,6 +1,7 @@
 package slp
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -61,6 +62,9 @@ func (ua *UserAgent) delay() {
 // FindFirst issues a service request and returns as soon as the first
 // matching reply arrives — the paper's measured quantity ("the native
 // client waiting time to get an answer", §4.3). timeout bounds the wait.
+// Unanswered requests are retransmitted with doubling spacing (RFC 2608
+// §6.3 multicast convergence), so a single lost datagram on a lossy
+// fabric costs one retry interval, not the whole timeout.
 func (ua *UserAgent) FindFirst(serviceType, predicate string, timeout time.Duration) ([]URLEntry, error) {
 	conn, err := ua.host.ListenUDP(0)
 	if err != nil {
@@ -80,12 +84,32 @@ func (ua *UserAgent) FindFirst(serviceType, predicate string, timeout time.Durat
 		return nil, err
 	}
 	deadline := time.Now().Add(timeout)
+	retry := RetryInterval
+	nextSend := time.Now().Add(retry)
 	for {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
 			return nil, netapi.ErrTimeout
 		}
-		dg, err := conn.Recv(remaining)
+		wait := time.Until(nextSend)
+		if wait > remaining {
+			wait = remaining
+		}
+		if wait <= 0 {
+			wait = time.Millisecond
+		}
+		dg, err := conn.Recv(wait)
+		if errors.Is(err, netapi.ErrTimeout) {
+			if time.Now().After(deadline) {
+				return nil, netapi.ErrTimeout
+			}
+			if err := ua.send(conn, req, dst); err != nil {
+				return nil, err
+			}
+			retry *= 2
+			nextSend = time.Now().Add(retry)
+			continue
+		}
 		if err != nil {
 			return nil, err
 		}

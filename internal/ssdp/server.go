@@ -1,6 +1,7 @@
 package ssdp
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -50,9 +51,17 @@ type Server struct {
 }
 
 // NewServer binds the SSDP port on host, announces the advertisements,
-// and starts serving searches.
+// and starts serving searches. When another stack on the host already
+// holds 1900 exclusively, the server falls back to a shared
+// multicast-only binder — the SO_REUSEADDR pattern real UPnP stacks use
+// so several devices coexist on one machine. Searches arrive by
+// multicast either way; only unicast M-SEARCH (rare, and unused by the
+// bridge) needs the exclusive socket.
 func NewServer(host netapi.Stack, cfg ServerConfig, ads []Advertisement) (*Server, error) {
 	conn, err := host.ListenUDP(Port)
+	if errors.Is(err, netapi.ErrPortInUse) {
+		conn, err = host.ListenMulticastUDP(Port)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("ssdp server: %w", err)
 	}

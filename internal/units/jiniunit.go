@@ -2,6 +2,7 @@ package units
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -31,6 +32,12 @@ type JiniUnitConfig struct {
 	// pull a Jini service is invisible until someone asks. Zero uses
 	// 500ms; negative disables the loop.
 	SyncInterval time.Duration
+	// CacheTTL bounds how long an absorbed native Jini item stays in
+	// the view without re-confirmation by a pull or a lookup — Jini has
+	// no advertised lifetime of its own, so this is the staleness bound
+	// a dead registrar's items carry. Default 30 minutes; deployments
+	// federating volatile fleets lower it.
+	CacheTTL time.Duration
 }
 
 // JiniUnit is the INDISS unit for Jini. Jini's service lookups are
@@ -49,8 +56,14 @@ type JiniUnit struct {
 	idMu sync.Mutex
 	ids  map[string]jini.ServiceID // origin|url → registered bridge item
 
-	nativeMu      sync.Mutex
-	nativeLocator jini.Locator // last non-self lookup service heard
+	nativeMu sync.Mutex
+	// natives tracks every non-self lookup service heard announcing, by
+	// "host:port" — a production segment runs more than one registrar,
+	// and each must be polled or its services stay invisible.
+	natives map[string]jini.Locator
+	// pulled maps each registrar to the URLs its last successful pull
+	// mirrored, so vanished items retract per registrar.
+	pulled map[string]map[string]struct{}
 
 	stop chan struct{}
 }
@@ -68,6 +81,9 @@ func NewJiniUnit(cfg JiniUnitConfig) *JiniUnit {
 	}
 	if cfg.AnnounceInterval <= 0 {
 		cfg.AnnounceInterval = 500 * time.Millisecond
+	}
+	if cfg.CacheTTL <= 0 {
+		cfg.CacheTTL = 30 * time.Minute
 	}
 	if cfg.SyncInterval == 0 {
 		cfg.SyncInterval = 500 * time.Millisecond
@@ -192,9 +208,39 @@ func (u *JiniUnit) parseAnnouncement(r *jini.PacketReader, det core.Detection) {
 		return
 	}
 	u.nativeMu.Lock()
-	u.nativeLocator = ann
+	u.adoptLocatorLocked(ann)
 	u.nativeMu.Unlock()
 	_ = det
+}
+
+// maxNativeLookups bounds how many distinct registrars the unit tracks —
+// a sanity cap, far above any real segment's registrar count.
+const maxNativeLookups = 64
+
+func locatorKey(loc jini.Locator) string {
+	return loc.Host + ":" + strconv.Itoa(loc.Port)
+}
+
+// adoptLocatorLocked records a native registrar. Requires u.nativeMu.
+func (u *JiniUnit) adoptLocatorLocked(loc jini.Locator) {
+	if u.natives == nil {
+		u.natives = make(map[string]jini.Locator)
+	}
+	if len(u.natives) >= maxNativeLookups {
+		if _, known := u.natives[locatorKey(loc)]; !known {
+			return
+		}
+	}
+	u.natives[locatorKey(loc)] = loc
+}
+
+// dropLocatorLocked forgets a registrar (its pull failed: it is gone or
+// unreachable) and orphans its mirrored URLs — they fade by CacheTTL,
+// the TTL-bounded staleness a dead registrar's services carry. The next
+// announcement re-adopts it. Requires u.nativeMu.
+func (u *JiniUnit) dropLocatorLocked(key string) {
+	delete(u.natives, key)
+	delete(u.pulled, key)
 }
 
 // composeOther is the non-request composer half, dispatched by
@@ -239,7 +285,7 @@ func (u *JiniUnit) queryNative(s events.Stream) {
 			Kind:    itemKind,
 			URL:     item.Endpoint,
 			Attrs:   entryAttrs(item.Attrs),
-			Expires: time.Now().Add(30 * time.Minute),
+			Expires: time.Now().Add(u.cfg.CacheTTL),
 		}
 		ctx.View.Put(rec)
 		u.publish(responseStream(core.SDPJini, reqID, rec,
@@ -263,11 +309,11 @@ func isBridgeItem(item jini.ServiceItem) bool {
 // if necessary (excluding the bridge's own registrar).
 func (u *JiniUnit) findNativeLookup() (jini.Locator, bool) {
 	u.nativeMu.Lock()
-	loc := u.nativeLocator
-	u.nativeMu.Unlock()
-	if loc.Host != "" {
+	for _, loc := range u.natives {
+		u.nativeMu.Unlock()
 		return loc, true
 	}
+	u.nativeMu.Unlock()
 	own := u.registrar.Locator()
 	deadline := time.Now().Add(u.cfg.QueryTimeout)
 	for time.Now().Before(deadline) {
@@ -282,7 +328,7 @@ func (u *JiniUnit) findNativeLookup() (jini.Locator, bool) {
 			continue // a peer gateway's bridge registrar, not native infra
 		}
 		u.nativeMu.Lock()
-		u.nativeLocator = found
+		u.adoptLocatorLocked(found)
 		u.nativeMu.Unlock()
 		return found, true
 	}
@@ -396,16 +442,66 @@ func (u *JiniUnit) syncLoop() {
 // pullNativeItems mirrors a native lookup service's registrations into
 // the view. Only already-known locators are polled — discovery stays
 // passive (announcement-driven), as the monitor architecture prescribes.
+//
+// The pull is also the retraction path: Jini has no multicast byebye, so
+// a service deregistered from (or lease-expired at) the lookup service
+// would otherwise linger in the view for its full cache lifetime. Each
+// successful pull compares against what the previous pull mirrored and
+// removes records that vanished from the registrar — withdrawal within
+// one sync interval instead of a half-hour of staleness. Only records
+// this loop itself created are retracted (u.pulled), so request-driven
+// absorptions from other registrars are untouched, and a failed pull
+// (registrar down or unreachable — indistinguishable from a partition)
+// retracts nothing.
 func (u *JiniUnit) pullNativeItems(ctx *core.UnitContext) {
 	u.nativeMu.Lock()
-	loc := u.nativeLocator
-	u.nativeMu.Unlock()
-	if loc.Host == "" {
-		return
+	locs := make(map[string]jini.Locator, len(u.natives))
+	for key, loc := range u.natives {
+		locs[key] = loc
 	}
+	u.nativeMu.Unlock()
+	for key, loc := range locs {
+		u.pullOneRegistrar(ctx, key, loc)
+	}
+}
+
+// pullOneRegistrar polls one registrar and reconciles the view with it.
+func (u *JiniUnit) pullOneRegistrar(ctx *core.UnitContext, key string, loc jini.Locator) {
 	items, err := u.client.Lookup(loc, jini.ServiceTemplate{}, u.cfg.QueryTimeout)
 	if err != nil {
+		// Gone or unreachable — indistinguishable from a partition, so
+		// retract nothing: its mirrored items fade by CacheTTL, and the
+		// next announcement re-adopts the registrar.
+		u.nativeMu.Lock()
+		u.dropLocatorLocked(key)
+		u.nativeMu.Unlock()
 		return
+	}
+	current := make(map[string]struct{}, len(items))
+	for _, item := range items {
+		if isBridgeItem(item) || item.Endpoint == "" {
+			continue
+		}
+		current[item.Endpoint] = struct{}{}
+	}
+	u.nativeMu.Lock()
+	var gone []string
+	for url := range u.pulled[key] {
+		if _, still := current[url]; !still {
+			gone = append(gone, url)
+		}
+	}
+	if u.pulled == nil {
+		u.pulled = make(map[string]map[string]struct{})
+	}
+	u.pulled[key] = current
+	u.nativeMu.Unlock()
+	for _, url := range gone {
+		if rec, ok := ctx.View.Get(core.SDPJini, url); ok && !rec.Remote {
+			if ctx.View.Remove(core.SDPJini, url) {
+				u.publish(byeStream(core.SDPJini, rec.Kind, url))
+			}
+		}
 	}
 	for _, item := range items {
 		if isBridgeItem(item) || item.Endpoint == "" {
@@ -416,9 +512,10 @@ func (u *JiniUnit) pullNativeItems(ctx *core.UnitContext) {
 			Kind:    kindFromJiniType(item.Type),
 			URL:     item.Endpoint,
 			Attrs:   entryAttrs(item.Attrs),
-			Expires: time.Now().Add(30 * time.Minute),
+			Expires: time.Now().Add(u.cfg.CacheTTL),
 		}
-		if existing, ok := ctx.View.Get(core.SDPJini, rec.URL); ok && existing.Expires.After(time.Now().Add(25*time.Minute)) {
+		if existing, ok := ctx.View.Get(core.SDPJini, rec.URL); ok &&
+			existing.Expires.After(time.Now().Add(u.cfg.CacheTTL*5/6)) {
 			continue // freshly synced; skip the Put/delta churn
 		}
 		ctx.View.Put(rec)

@@ -213,29 +213,54 @@ func (u *SLPUnit) parseSAAdvert(m *slp.SAAdvert) {
 		}
 	}
 	ctx := u.context()
-	// The SA summarizes its registrations as (service-url, service-type)
-	// pairs; walk them pairwise.
+	// The SA summarizes its registrations as (service-url, service-type
+	// [, service-lifetime]) groups. The walk is order-insensitive within
+	// a group: a repeated field marks the next group's start, whatever
+	// order the SA chose. The lifetime — the registration's remaining
+	// seconds — bounds how long the knowledge may be cached; SAs that do
+	// not announce one get the RFC default.
 	var url, stype string
-	for _, a := range attrs {
-		switch a.Name {
-		case "service-url":
-			url = firstValue(a)
-		case "service-type":
-			stype = firstValue(a)
-		}
+	lifetime, lifetimeSet := slp.DefaultLifetime, false
+	flush := func() {
 		if url != "" && stype != "" {
 			rec := core.ServiceRecord{
 				Origin:  core.SDPSLP,
 				Kind:    kindFromSLPType(stype),
 				URL:     url,
 				Attrs:   map[string]string{},
-				Expires: time.Now().Add(time.Duration(slp.DefaultLifetime) * time.Second),
+				Expires: time.Now().Add(time.Duration(lifetime) * time.Second),
 			}
 			ctx.View.Put(rec)
 			u.publish(aliveStream(core.SDPSLP, rec))
-			url, stype = "", ""
+		}
+		// Reset even when the group was incomplete, so a malformed
+		// group cannot leak its fields into the next one.
+		url, stype = "", ""
+		lifetime, lifetimeSet = slp.DefaultLifetime, false
+	}
+	for _, a := range attrs {
+		switch a.Name {
+		case "service-url":
+			if url != "" {
+				flush()
+			}
+			url = firstValue(a)
+		case "service-type":
+			if stype != "" {
+				flush()
+			}
+			stype = firstValue(a)
+		case "service-lifetime":
+			if lifetimeSet {
+				flush()
+			}
+			lifetimeSet = true
+			if n, err := strconv.Atoi(firstValue(a)); err == nil && n > 0 {
+				lifetime = n
+			}
 		}
 	}
+	flush()
 }
 
 func firstValue(a slp.Attr) string {

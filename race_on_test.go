@@ -1,0 +1,9 @@
+//go:build race
+
+package indiss_test
+
+// raceEnabled reports that the race detector instruments this build.
+// The heaviest scale scenarios skip under it: instrumentation slows a
+// five-thousand-service fleet to where tests measure the detector, not
+// the system — the 1k soak is the race-checked configuration.
+const raceEnabled = true
