@@ -721,6 +721,11 @@ func BenchmarkHTTPXRoundTripParallel(b *testing.B) {
 // endpoint (view only, no full INDISS stack) per segment, chain-peered,
 // and returns the views origin-first.
 func benchCampusChain(b *testing.B, n int) []*core.ServiceView {
+	views, _ := benchCampusChainSync(b, n, time.Second)
+	return views
+}
+
+func benchCampusChainSync(b *testing.B, n int, sync time.Duration) ([]*core.ServiceView, []*federation.Endpoint) {
 	b.Helper()
 	net := indiss.NewCampus(n)
 	b.Cleanup(net.Close)
@@ -730,7 +735,10 @@ func benchCampusChain(b *testing.B, n int) []*core.ServiceView {
 		views[i] = core.NewServiceView()
 		cfg := federation.Config{
 			GatewayID:           "gw" + strconv.Itoa(i+1),
-			AntiEntropyInterval: time.Second,
+			AntiEntropyInterval: sync,
+			// A chain of n gateways is n-1 federation hops end to end;
+			// the default cap (8) would truncate the longer fleets.
+			MaxHops: n,
 		}
 		if i > 0 {
 			cfg.Peers = []simnet.Addr{{IP: benchGWIP(i), Port: federation.DefaultPort}}
@@ -748,7 +756,36 @@ func benchCampusChain(b *testing.B, n int) []*core.ServiceView {
 			ep.Close()
 		}
 	})
-	return views
+
+	// Warm the fabric before any timer starts: push one canary through
+	// the whole chain and withdraw it again. This forces every session
+	// to dial, handshake, and finish its sync-on-connect exchange, so
+	// the benchmarks measure steady-state propagation, not the cold
+	// start — at -benchtime=200x an unwarmed chain's setup amortizes
+	// into a visible per-op tax on the µs-scale metrics.
+	canary := core.ServiceRecord{
+		Origin:  core.SDPUPnP,
+		Kind:    "bench-warm",
+		URL:     "bench://warm",
+		Attrs:   map[string]string{},
+		Expires: time.Now().Add(time.Hour),
+	}
+	views[0].Put(canary)
+	warmWait(b, func() bool { return views[n-1].Len() == 1 })
+	views[0].Remove(canary.Origin, canary.URL)
+	warmWait(b, func() bool { return views[n-1].Len() == 0 })
+	return views, endpoints
+}
+
+func warmWait(b *testing.B, done func() bool) {
+	b.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !done() {
+		if time.Now().After(deadline) {
+			b.Fatal("federation chain never warmed up")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
 }
 
 func benchGWIP(i int) string { return "10.0." + strconv.Itoa(i) + ".9" }
@@ -757,7 +794,7 @@ func benchGWIP(i int) string { return "10.0." + strconv.Itoa(i) + ".9" }
 // to cross a chain of federated gateways — per-record propagation
 // latency vs. gateway count (ns/op ≈ end-to-end convergence time).
 func BenchmarkFederationConvergence(b *testing.B) {
-	for _, n := range []int{2, 4, 8} {
+	for _, n := range []int{2, 4, 8, 16, 32, 64} {
 		b.Run("gateways="+strconv.Itoa(n), func(b *testing.B) {
 			views := benchCampusChain(b, n)
 			last := views[n-1]
@@ -787,7 +824,7 @@ func BenchmarkFederationConvergence(b *testing.B) {
 // federation as fast as the origin can produce them and waits for the
 // far gateway to hold them all — pipeline throughput vs. gateway count.
 func BenchmarkFederationDeltaThroughput(b *testing.B) {
-	for _, n := range []int{2, 4, 8} {
+	for _, n := range []int{2, 4, 8, 16, 32, 64} {
 		b.Run("gateways="+strconv.Itoa(n), func(b *testing.B) {
 			views := benchCampusChain(b, n)
 			last := views[n-1]
@@ -808,6 +845,54 @@ func BenchmarkFederationDeltaThroughput(b *testing.B) {
 				}
 				time.Sleep(100 * time.Microsecond)
 			}
+		})
+	}
+}
+
+// BenchmarkFederationBackgroundBytes measures the steady-state cost of
+// keeping a converged federation converged: total wire bytes per
+// anti-entropy round across the whole fleet, with 100 records fully
+// propagated and nothing changing. Under digest anti-entropy this is a
+// per-link constant (one digest each way), independent of view size —
+// the number the v2 full-snapshot re-send scaled linearly in records.
+func BenchmarkFederationBackgroundBytes(b *testing.B) {
+	const records = 100
+	for _, n := range []int{2, 8, 32} {
+		b.Run("gateways="+strconv.Itoa(n), func(b *testing.B) {
+			const sync = 50 * time.Millisecond
+			views, endpoints := benchCampusChainSync(b, n, sync)
+			for i := 0; i < records; i++ {
+				views[0].Put(core.ServiceRecord{
+					Origin:  core.SDPUPnP,
+					Kind:    "bench",
+					URL:     "bench://rec-" + strconv.Itoa(i),
+					Attrs:   map[string]string{},
+					Expires: time.Now().Add(time.Hour),
+				})
+			}
+			deadline := time.Now().Add(30 * time.Second)
+			for views[n-1].Len() < records {
+				if time.Now().After(deadline) {
+					b.Fatalf("fleet converged to %d/%d records", views[n-1].Len(), records)
+				}
+				time.Sleep(time.Millisecond)
+			}
+			// Let the digest memos settle before metering.
+			time.Sleep(4 * sync)
+			total := func() (sum uint64) {
+				for _, ep := range endpoints {
+					sum += ep.Stats().BytesSent
+				}
+				return
+			}
+			start := total()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				time.Sleep(sync) // one anti-entropy round elapses fleet-wide
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(total()-start)/float64(b.N), "bytes/round")
+			b.ReportMetric(float64(total()-start)/float64(b.N)/float64(n), "bytes/round/gw")
 		})
 	}
 }

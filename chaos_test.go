@@ -10,6 +10,7 @@ import (
 	"indiss/internal/chaos"
 	"indiss/internal/core"
 	"indiss/internal/dnssd"
+	"indiss/internal/federation"
 	"indiss/internal/netapi"
 	"indiss/internal/simnet"
 	"indiss/internal/slp"
@@ -534,6 +535,206 @@ func BenchmarkChurnConvergence(b *testing.B) {
 		sortDurations(durations)
 		b.ReportMetric(float64(durations[len(durations)/2].Microseconds())/1000, "ms-median/conv")
 	}
+}
+
+// --- fleet-scale soak ---
+
+// fleetSvc is one record the fleet soak planted, with everything the
+// invariant checker needs to hold the fleet to it.
+type fleetSvc struct {
+	gw      int
+	kind    string
+	url     string
+	expires time.Time
+}
+
+// TestChaosFleet64OverlaySoak is the fleet-scale acceptance gate: 64
+// gateways across a 4-segment campus, seeded with nothing but a
+// successor chain, must self-organize an overlay (fanout 4, far below
+// the fleet size), converge a record from every gateway into every
+// view, and hold the full invariant set through churn and a mid-soak
+// partition/heal that splits the fleet 32/32. It runs even in -short:
+// the digest plane keeps it to seconds of wall clock, so CI's quick
+// lane still exercises the scale path.
+func TestChaosFleet64OverlaySoak(t *testing.T) {
+	if raceEnabled && !testing.Short() {
+		t.Skip("under the race detector the fleet soak runs in CI's dedicated -short lane; " +
+			"the full -race pass already carries the churn soaks, and doubling up " +
+			"spends minutes of detector time on coverage the -short lane provides")
+	}
+	t.Parallel()
+	const (
+		fleet  = 64
+		segs   = 4
+		perSeg = fleet / segs
+		// The overlay must beat this diameter on its own: the seed
+		// chain alone is 63 hops, so convergence everywhere proves the
+		// gossiped shortcuts formed.
+		maxHops = 12
+	)
+	topo := indiss.NewTopology(simnet.Config{
+		LANLatency:      100 * time.Microsecond,
+		LoopbackLatency: 10 * time.Microsecond,
+		BandwidthBps:    10_000_000,
+	})
+	for i := 1; i <= segs; i++ {
+		topo.Segment(indiss.CampusSegment(i))
+	}
+	topo.Chain(indiss.CampusLink())
+	n, err := topo.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+
+	hosts := make([]*simnet.Host, fleet)
+	views := make([]*core.ServiceView, fleet)
+	for i := range hosts {
+		seg := i / perSeg
+		hosts[i] = n.MustAddHostOn(fmt.Sprintf("fgw%d", i),
+			fmt.Sprintf("10.0.%d.%d", seg+1, 30+i%perSeg), indiss.CampusSegment(seg+1))
+		views[i] = core.NewServiceView()
+	}
+
+	// Plant one service per gateway before the fleet even boots, plus a
+	// bookkeeping helper for churn later.
+	var (
+		svcs []fleetSvc
+		next int
+	)
+	plant := func(gw int) fleetSvc {
+		s := fleetSvc{
+			gw:      gw,
+			kind:    fmt.Sprintf("churn-fleet-%d", next),
+			url:     fmt.Sprintf("service:fleet://10.0.0.%d:%d", gw, 7000+next),
+			expires: time.Now().Add(time.Hour),
+		}
+		next++
+		views[gw].Put(core.ServiceRecord{
+			Origin: core.SDPSLP, Kind: s.kind, URL: s.url,
+			Attrs: map[string]string{}, Expires: s.expires,
+		})
+		svcs = append(svcs, s)
+		return s
+	}
+	for i := 0; i < fleet; i++ {
+		plant(i)
+	}
+
+	// The race detector multiplies the cost of every synchronization
+	// op, and 64 gateways' timers (anti-entropy rounds, flush windows,
+	// read-deadline polls) add up to thousands of wakeups per second.
+	// On an instrumented runner the fleet still converges — just not at
+	// the raceless rhythm — so the -short race lane slows the cadence
+	// and stretches the checkpoint deadlines. The invariants asserted
+	// are identical in both lanes.
+	antiEntropy := 250 * time.Millisecond
+	readTimeout := 50 * time.Millisecond
+	flush := 5 * time.Millisecond
+	scale := time.Duration(1)
+	if raceEnabled {
+		antiEntropy = time.Second
+		readTimeout = 500 * time.Millisecond
+		flush = 20 * time.Millisecond
+		scale = 6
+	}
+
+	eps := make([]*federation.Endpoint, fleet)
+	gateways := make([]chaos.Gateway, fleet)
+	for i := range hosts {
+		cfg := federation.Config{
+			GatewayID:           fmt.Sprintf("fgw-%d", i),
+			AntiEntropyInterval: antiEntropy,
+			DialRetryInterval:   50 * time.Millisecond,
+			ReadTimeout:         readTimeout,
+			FlushInterval:       flush,
+			MaxHops:             maxHops,
+			MaxActivePeers:      4,
+		}
+		if i+1 < fleet {
+			cfg.Peers = []simnet.Addr{{IP: hosts[i+1].IP(), Port: federation.DefaultPort}}
+		}
+		ep, err := federation.New(hosts[i], views[i], cfg)
+		if err != nil {
+			t.Fatalf("fgw-%d: %v", i, err)
+		}
+		t.Cleanup(func() { ep.Close() })
+		eps[i] = ep
+		gateways[i] = chaos.Gateway{ID: cfg.GatewayID, View: views[i]}
+	}
+	checker := chaos.NewChecker(chaos.CheckerConfig{MaxHops: maxHops}, gateways...)
+
+	var withdrawn []chaos.Withdrawn
+	expectation := func() chaos.Expectation {
+		exp := chaos.Expectation{Withdrawn: withdrawn}
+		for _, s := range svcs {
+			exp.Live = append(exp.Live, chaos.Expected{Kind: s.kind, Origin: core.SDPSLP})
+		}
+		return exp
+	}
+	remove := func(idx int) {
+		s := svcs[idx]
+		views[s.gw].Remove(core.SDPSLP, s.url)
+		withdrawn = append(withdrawn, chaos.Withdrawn{
+			Kind: s.kind, Origin: core.SDPSLP, Clean: true, ExpiresBy: s.expires,
+		})
+		svcs = append(svcs[:idx], svcs[idx+1:]...)
+	}
+	checkpoint := func(name string, timeout time.Duration) {
+		t.Helper()
+		start := time.Now()
+		if err := checker.WaitQuiescent(expectation(), timeout); err != nil {
+			t.Fatalf("checkpoint %q: %v", name, err)
+		}
+		t.Logf("checkpoint %q converged in %v", name, time.Since(start))
+	}
+
+	checkpoint("overlay-formed", scale*60*time.Second)
+
+	// Overlay evidence: more links than the 63-edge seed chain could
+	// ever provide, and a peer table that learned well past the
+	// hand-wired successor.
+	sessions := 0
+	for i, ep := range eps {
+		st := ep.Stats()
+		sessions += st.Sessions
+		if st.KnownPeers < perSeg/2 {
+			t.Errorf("fgw-%d knows %d peers; gossip is not spreading membership", i, st.KnownPeers)
+		}
+	}
+	if edges := sessions / 2; edges <= fleet-1 {
+		t.Fatalf("fleet holds %d links — no more than the seed chain; overlay never formed", edges)
+	}
+
+	// Steady-state churn: a handful of withdrawals and fresh services.
+	for i := 0; i < 6; i++ {
+		remove(i * 7 % len(svcs))
+		plant((i*11 + 3) % fleet)
+	}
+	checkpoint("churned", scale*60*time.Second)
+
+	// Split the fleet 32/32 mid-churn and keep mutating on both sides.
+	if err := n.Partition(indiss.CampusSegment(2), indiss.CampusSegment(3)); err != nil {
+		t.Fatal(err)
+	}
+	remove(3)        // a withdrawal the far side can only learn after heal
+	plant(5)         // left island
+	plant(fleet - 5) // right island
+	// Long enough that the crossing sessions die and each island
+	// re-stabilizes internally — heal then has to re-merge two
+	// self-satisfied overlays, which only the seed backbone guarantees.
+	time.Sleep(scale * 3 * time.Second)
+	if err := n.Heal(indiss.CampusSegment(2), indiss.CampusSegment(3)); err != nil {
+		t.Fatal(err)
+	}
+	checkpoint("healed", scale*90*time.Second)
+
+	// Every withdrawal — including the mid-partition one — must be gone
+	// from all 64 views, and stay gone.
+	if err := checker.WaitBuried(expectation(), scale*30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	checkpoint("final", scale*30*time.Second)
 }
 
 func sortDurations(d []time.Duration) {

@@ -33,11 +33,24 @@ import (
 	"time"
 
 	"indiss"
+	"indiss/internal/federation"
 	"indiss/internal/jini"
 	"indiss/internal/realnet"
 	"indiss/internal/slp"
 	"indiss/internal/upnp"
 )
+
+// printFedStats dumps the peering plane's traffic counters on shutdown,
+// when the system runs federated.
+func printFedStats(sys *indiss.System) {
+	fed, ok := sys.Federation().(interface{ Stats() federation.Stats })
+	if !ok {
+		return
+	}
+	for _, line := range strings.Split(fed.Stats().String(), "\n") {
+		fmt.Println("indiss-gw: " + line)
+	}
+}
 
 // peerList is a repeatable -peer flag.
 type peerList []string
@@ -147,6 +160,7 @@ func runReal(specFile, iface, ip string, duration time.Duration, fedPort int, pe
 	}
 	fmt.Printf("indiss-gw: units instantiated at run time: %v\n", sys.Units())
 	fmt.Printf("indiss-gw: services in the gateway's view: %d\n", len(sys.View().Find("", time.Now())))
+	printFedStats(sys)
 	sys.Close()
 	fmt.Println("indiss-gw: shutdown complete")
 	return nil
@@ -236,6 +250,7 @@ func runCampus(spec string, duration time.Duration, segments int, peers []string
 	runClients(clientHost, duration)
 	fmt.Printf("indiss-gw: gw1 units: %v, records: %d\n",
 		systems[0].Units(), len(systems[0].View().Find("", time.Now())))
+	printFedStats(systems[0])
 	return nil
 }
 

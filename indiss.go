@@ -166,10 +166,23 @@ type Config struct {
 	// enabled; a negative value listens on an ephemeral port.
 	FederationPort int
 	// FederationSyncInterval spaces the peering plane's anti-entropy
-	// re-syncs. Zero keeps the federation default (1s); tests and
+	// rounds. Zero keeps the federation default (1s); tests and
 	// latency-sensitive deployments lower it for faster repair after
-	// partitions and crashes.
+	// partitions and crashes. Since protocol v3 a round is jittered
+	// ±20% and exchanges per-origin digests, transferring records only
+	// on proven divergence — the interval now prices repair latency,
+	// not a full view re-send.
 	FederationSyncInterval time.Duration
+	// FederationFlushInterval is the delta-batching window: view
+	// changes within one window coalesce into a single BATCH frame per
+	// peer. Zero flushes immediately (batching still emerges under
+	// backlog).
+	FederationFlushInterval time.Duration
+	// FederationFanout, when positive, lets the gateway self-organize
+	// its peering: it learns peers-of-peers from gossip and keeps
+	// dialing the best-scored ones until it holds this many sessions.
+	// Zero peers exactly as configured.
+	FederationFanout int
 }
 
 // FederationDefaultPort is the default federation listening port.
@@ -218,6 +231,8 @@ func Deploy(stack Stack, cfg Config) (*System, error) {
 				ListenPort:          cfg.FederationPort,
 				Peers:               peers,
 				AntiEntropyInterval: cfg.FederationSyncInterval,
+				FlushInterval:       cfg.FederationFlushInterval,
+				MaxActivePeers:      cfg.FederationFanout,
 			})
 		}
 	}

@@ -199,6 +199,7 @@ func (c *Checker) WaitQuiescent(exp Expectation, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	var last []Violation
 	for {
+		start := time.Now()
 		last = c.Check(exp)
 		if len(last) == 0 {
 			return nil
@@ -206,8 +207,22 @@ func (c *Checker) WaitQuiescent(exp Expectation, timeout time.Duration) error {
 		if time.Now().After(deadline) {
 			return violationsError("quiescence", last)
 		}
-		time.Sleep(25 * time.Millisecond)
+		time.Sleep(pollInterval(time.Since(start)))
 	}
+}
+
+// pollInterval sizes the gap between checks so polling never eats more
+// than ~a third of the machine: a full-fleet Check locks every view,
+// and on a starved box (race detector, one core) back-to-back checks
+// at a fixed cadence can steal the very CPU the gateways need to
+// converge — the checker would then time out a system that was only
+// slow because it was being watched.
+func pollInterval(checkCost time.Duration) time.Duration {
+	const floor = 25 * time.Millisecond
+	if d := 2 * checkCost; d > floor {
+		return d
+	}
+	return floor
 }
 
 // WaitBuried polls until every withdrawn service is gone from every view
@@ -216,6 +231,7 @@ func (c *Checker) WaitQuiescent(exp Expectation, timeout time.Duration) error {
 func (c *Checker) WaitBuried(exp Expectation, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
+		start := time.Now()
 		c.Check(exp) // updates burial state
 		missing := 0
 		for _, wd := range exp.Withdrawn {
@@ -229,7 +245,7 @@ func (c *Checker) WaitBuried(exp Expectation, timeout time.Duration) error {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("chaos: %d withdrawn services still present somewhere after %v", missing, timeout)
 		}
-		time.Sleep(25 * time.Millisecond)
+		time.Sleep(pollInterval(time.Since(start)))
 	}
 }
 

@@ -173,6 +173,16 @@ func (s *System) GatewayID() string {
 // Peers returns the configured federation peer endpoints.
 func (s *System) Peers() []string { return s.cfg.Peers }
 
+// Federation returns the running peering endpoint, or nil when
+// federation is disabled. Callers needing more than io.Closer — the
+// federation package's *Endpoint with its Stats() — type-assert the
+// result; core itself stays free of that dependency.
+func (s *System) Federation() io.Closer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.federation
+}
+
 // Close stops the monitor, every unit and the bus.
 func (s *System) Close() {
 	s.mu.Lock()

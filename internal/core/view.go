@@ -158,20 +158,67 @@ type ServiceView struct {
 
 	shards [viewShardCount]viewShard
 
-	// Delta feed. numSubs mirrors len(deltaSubs) so the mutating paths
-	// can skip all delta work with one atomic load when nobody listens —
-	// the common case, which stays allocation-free.
-	numSubs  atomic.Int32
-	deltaMu  sync.Mutex
-	deltaSeq int
-	subs     map[int]chan Delta
+	// Delta feed. numSubs mirrors the total subscriber count so the
+	// mutating paths can skip all delta work with one atomic load when
+	// nobody listens — the common case, which stays allocation-free.
+	numSubs   atomic.Int32
+	deltaMu   sync.Mutex
+	deltaSeq  int
+	subs      map[int]chan Delta
+	batchSubs map[int]*batchSub
+}
+
+// batchSub spools delta batches for one SubscribeDeltaBatches consumer.
+// The spool is unbounded on purpose: the view's mutating paths must
+// never block on a subscriber (a Put inside the federation's locks
+// would deadlock against the distributor) and must never drop either —
+// the distributor has to see every delta, or local changes would reach
+// peers only at anti-entropy pace. Memory is bounded by the consumer,
+// which drains continuously; per-peer backpressure lives downstream in
+// the federation's bounded send queues.
+type batchSub struct {
+	ch   chan []Delta
+	stop chan struct{}
+	wake chan struct{} // cap 1: sticky wakeup for the pump
+
+	mu    sync.Mutex
+	queue [][]Delta
+}
+
+// pump moves spooled batches to the subscriber channel at the
+// consumer's pace.
+func (b *batchSub) pump() {
+	for {
+		b.mu.Lock()
+		queue := b.queue
+		b.queue = nil
+		b.mu.Unlock()
+		if len(queue) == 0 {
+			select {
+			case <-b.wake:
+				continue
+			case <-b.stop:
+				close(b.ch)
+				return
+			}
+		}
+		for _, deltas := range queue {
+			select {
+			case b.ch <- deltas:
+			case <-b.stop:
+				close(b.ch)
+				return
+			}
+		}
+	}
 }
 
 // NewServiceView returns an empty view.
 func NewServiceView() *ServiceView {
 	v := &ServiceView{
-		keys: make(map[string]string),
-		subs: make(map[int]chan Delta),
+		keys:      make(map[string]string),
+		subs:      make(map[int]chan Delta),
+		batchSubs: make(map[int]*batchSub),
 	}
 	for i := range v.shards {
 		v.shards[i].kinds = make(map[string]map[string]ServiceRecord)
@@ -201,12 +248,51 @@ func (v *ServiceView) SubscribeDeltas(buf int) (<-chan Delta, func()) {
 		v.deltaMu.Lock()
 		if _, ok := v.subs[id]; ok {
 			delete(v.subs, id)
-			v.numSubs.Store(int32(len(v.subs)))
+			v.numSubs.Store(int32(len(v.subs) + len(v.batchSubs)))
 			close(ch)
 		}
 		v.deltaMu.Unlock()
 	}
 	return ch, cancel
+}
+
+// SubscribeDeltaBatches is the coalescing variant of SubscribeDeltas:
+// every view mutation delivers its deltas as one []Delta — a Put and the
+// expiry sweep it triggered arrive together — so a consumer that batches
+// work (the federation distributor) receives the view's natural batch
+// boundaries instead of re-discovering them one channel receive at a
+// time. The delivered slice is shared read-only between subscribers and
+// must not be mutated or retained past the consumer's own batching
+// window. Unlike SubscribeDeltas, delivery is lossless: batches a slow
+// consumer has not taken yet spool in memory rather than dropping, so
+// the feed is safe to build live replication on. buf sizes the handoff
+// channel only; it does not bound the spool.
+func (v *ServiceView) SubscribeDeltaBatches(buf int) (<-chan []Delta, func()) {
+	if buf <= 0 {
+		buf = 64
+	}
+	sub := &batchSub{
+		ch:   make(chan []Delta, buf),
+		stop: make(chan struct{}),
+		wake: make(chan struct{}, 1),
+	}
+	go sub.pump()
+	v.deltaMu.Lock()
+	v.deltaSeq++
+	id := v.deltaSeq
+	v.batchSubs[id] = sub
+	v.numSubs.Store(int32(len(v.subs) + len(v.batchSubs)))
+	v.deltaMu.Unlock()
+	cancel := func() {
+		v.deltaMu.Lock()
+		if _, ok := v.batchSubs[id]; ok {
+			delete(v.batchSubs, id)
+			v.numSubs.Store(int32(len(v.subs) + len(v.batchSubs)))
+			close(sub.stop)
+		}
+		v.deltaMu.Unlock()
+	}
+	return sub.ch, cancel
 }
 
 // wantDeltas gates delta collection on the mutating paths.
@@ -226,6 +312,15 @@ func (v *ServiceView) emitDeltas(deltas []Delta) {
 			case ch <- d:
 			default: // slow subscriber: drop, anti-entropy repairs
 			}
+		}
+	}
+	for _, sub := range v.batchSubs {
+		sub.mu.Lock()
+		sub.queue = append(sub.queue, deltas)
+		sub.mu.Unlock()
+		select {
+		case sub.wake <- struct{}{}:
+		default: // pump already signalled
 		}
 	}
 }

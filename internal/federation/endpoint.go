@@ -3,8 +3,10 @@ package federation
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"indiss/internal/core"
@@ -19,12 +21,16 @@ type Config struct {
 	// ListenPort is the TCP port to accept peers on (default
 	// DefaultPort).
 	ListenPort int
-	// Peers are the endpoints this gateway dials and keeps dialing;
-	// a lost connection is re-established automatically.
+	// Peers are the seed endpoints this gateway dials and keeps dialing;
+	// a lost connection is re-established automatically (with capped
+	// backoff when the peer bounces or refuses). With MaxActivePeers
+	// set, seeds stop being redialed while the overlay keeps the
+	// session count at target.
 	Peers []netapi.Addr
-	// AntiEntropyInterval spaces the periodic full re-sync to every
-	// connected peer (default 1s). Incremental deltas make the common
-	// case fast; anti-entropy repairs whatever they missed.
+	// AntiEntropyInterval spaces the periodic re-sync rounds (default
+	// 1s), jittered ±20% per round so a fleet doesn't sync in
+	// lockstep. v3 sessions exchange digests and transfer records only
+	// on proven divergence; v2 sessions still receive full snapshots.
 	AntiEntropyInterval time.Duration
 	// DialRetryInterval spaces reconnection attempts (default 200ms).
 	DialRetryInterval time.Duration
@@ -35,6 +41,33 @@ type Config struct {
 	// ReadTimeout bounds each blocking read so sessions notice shutdown
 	// (default 100ms). Tests lower it; production leaves the default.
 	ReadTimeout time.Duration
+	// FlushInterval is the delta-batching window: view deltas arriving
+	// within one window coalesce (last update per record wins) into a
+	// single BATCH frame per peer. Default 0: flush immediately —
+	// batching still emerges under backlog because the distributor
+	// greedily drains everything already queued.
+	FlushInterval time.Duration
+	// SendQueue bounds each peer session's outgoing frame queue
+	// (default 256 frames). A full queue sheds the frame instead of
+	// blocking the distributor; the next digest round repairs the
+	// peer.
+	SendQueue int
+	// MaxActivePeers, when positive, turns on overlay self-organization:
+	// the endpoint learns peers-of-peers from HELLO and DIGEST gossip
+	// and dials the best-scored ones until it holds this many sessions.
+	// Zero keeps peering exactly as configured (the default).
+	MaxActivePeers int
+	// MaxSessions, when positive, caps concurrent sessions. An inbound
+	// peer over the cap completes the handshake — its HELLO reply
+	// carries a peer sample, so the joiner can redial sideways — and is
+	// then closed. Zero means unlimited.
+	MaxSessions int
+	// MaxWireVersion pins the newest protocol version this endpoint
+	// offers in its HELLO (default: Version). Pinning to 2 makes the
+	// endpoint indistinguishable from a v2 peer on the wire — the
+	// rolling-upgrade bridge, since genuine v2 builds refuse HELLOs
+	// above their own version.
+	MaxWireVersion int
 }
 
 func (c Config) antiEntropy() time.Duration {
@@ -65,6 +98,26 @@ func (c Config) readTimeout() time.Duration {
 	return c.ReadTimeout
 }
 
+func (c Config) sendQueue() int {
+	if c.SendQueue <= 0 {
+		return 256
+	}
+	return c.SendQueue
+}
+
+func (c Config) maxActivePeers() int { return c.MaxActivePeers }
+
+func (c Config) maxWireVersion() int {
+	v := c.MaxWireVersion
+	if v <= 0 || v > Version {
+		return Version
+	}
+	if v < MinVersion {
+		return MinVersion
+	}
+	return v
+}
+
 // refreshSlack is how much an announced expiry must extend the stored
 // one to count as new knowledge. Anything smaller is an anti-entropy
 // echo and is absorbed silently instead of re-flooded, which is what
@@ -80,6 +133,23 @@ const tombstoneGuard = 30 * time.Second
 // maxGrave caps how far in the future a peer-supplied withdrawal TTL may
 // push a tombstone, bounding memory against hostile or buggy frames.
 const maxGrave = 24 * time.Hour
+
+// maxFlushBatch bounds the entries per BATCH frame the flush path
+// emits; larger backlogs split across frames. Deliberately modest —
+// a full frame stays within one Ethernet MTU: every gateway on a
+// multi-hop path stores and forwards whole frames, so oversized
+// batches trade pipelining (records flowing through hop k+1 while
+// more arrive at hop k) for framing amortization they don't need —
+// past ~1KB per frame the header overhead is already noise, and each
+// extra KB adds a serialization delay per hop on constrained links.
+const maxFlushBatch = 12
+
+// writeCoalesceBytes caps the writer's per-flush size: queued frames
+// are concatenated up to this limit and written in one call. Sized
+// like one Ethernet TCP segment, for the same reason as
+// maxFlushBatch: big enough to amortize per-write cost, small enough
+// that a flush doesn't turn the stream into store-and-forward lumps.
+const writeCoalesceBytes = 1448
 
 // tombstone remembers a withdrawn record so a peer that missed the
 // withdrawal — it was partitioned away, or crashed and kept stale state —
@@ -97,8 +167,9 @@ type tombstone struct {
 }
 
 // Endpoint is one gateway's attachment to the federation: a TCP listener
-// for inbound peers, dial loops for configured ones, and a distributor
-// that turns local ServiceView deltas into ANNOUNCE/WITHDRAW floods.
+// for inbound peers, dial loops for seeds, overlay maintenance for
+// learned peers, and a distributor that turns local ServiceView deltas
+// into batched ANNOUNCE/WITHDRAW floods.
 type Endpoint struct {
 	host netapi.Stack
 	view *core.ServiceView
@@ -106,6 +177,26 @@ type Endpoint struct {
 
 	listener    netapi.Listener
 	deltaCancel func()
+
+	stats counters
+
+	// Summary cache (see digest.go): sumGen counts state mutations that
+	// could change the per-origin summaries; the cache is valid while
+	// its generation still matches.
+	sumGen      atomic.Uint64
+	sumMu       sync.Mutex
+	sumCache    map[string]*originAgg
+	sumCacheGen uint64
+	sumCacheOK  bool
+
+	overlayMu  sync.Mutex
+	knownPeers map[string]*knownPeer
+	// seedAddrs marks the configured backbone: shuffle never retires a
+	// session to one of these addresses.
+	seedAddrs map[string]bool
+	// shuffleTick counts full-view maintenance passes; owned by the
+	// anti-entropy goroutine.
+	shuffleTick int
 
 	mu          sync.Mutex
 	sessions    map[*session]struct{}
@@ -145,23 +236,26 @@ func New(host netapi.Stack, view *core.ServiceView, cfg Config) (*Endpoint, erro
 		view:        view,
 		cfg:         cfg,
 		listener:    l,
+		knownPeers:  make(map[string]*knownPeer),
+		seedAddrs:   make(map[string]bool, len(cfg.Peers)),
 		sessions:    make(map[*session]struct{}),
 		learnedFrom: make(map[string]*session),
 		tombs:       make(map[string]tombstone),
 		epochs:      make(map[string]uint64),
 		stop:        make(chan struct{}),
 	}
-	deltas, cancel := view.SubscribeDeltas(1024)
+	batches, cancel := view.SubscribeDeltaBatches(1024)
 	e.deltaCancel = cancel
 
 	e.wg.Add(1)
 	go func() { defer e.wg.Done(); e.acceptLoop() }()
 	e.wg.Add(1)
-	go func() { defer e.wg.Done(); e.distribute(deltas) }()
+	go func() { defer e.wg.Done(); e.distribute(batches) }()
 	e.wg.Add(1)
 	go func() { defer e.wg.Done(); e.antiEntropyLoop() }()
 	for _, peer := range cfg.Peers {
 		peer := peer
+		e.seedAddrs[peer.String()] = true
 		e.wg.Add(1)
 		go func() { defer e.wg.Done(); e.dialLoop(peer) }()
 	}
@@ -210,6 +304,12 @@ func (e *Endpoint) PeerIDs() []string {
 	return out
 }
 
+func (e *Endpoint) sessionCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.sessions)
+}
+
 func (e *Endpoint) stopped() bool {
 	select {
 	case <-e.stop:
@@ -222,15 +322,22 @@ func (e *Endpoint) stopped() bool {
 // --- session plumbing ---
 
 // session is one established peering connection, either accepted or
-// dialed. Its read loop runs on a tracked goroutine; writes are
-// frame-atomic under writeMu.
+// dialed, speaking the negotiated protocol version. Its read loop runs
+// on a tracked goroutine; writes go through a bounded outbox drained by
+// a writer goroutine that coalesces queued frames into large writes.
 type session struct {
-	ep     *Endpoint
-	stream netapi.Stream
-	peerID string
+	ep      *Endpoint
+	stream  netapi.Stream
+	peerID  string
+	version int
 
-	writeMu sync.Mutex
-	wbuf    []byte
+	outbox chan []byte
+	wbuf   []byte // writer-goroutine only
+	shed   atomic.Bool
+
+	// Digest memos, owned by the read-loop goroutine (see digest.go).
+	pushMemo map[string]pushMemo
+	reqMemo  map[string]reqMemo
 
 	closeOnce sync.Once
 	done      chan struct{}
@@ -252,11 +359,86 @@ func (s *session) isClosed() bool {
 	}
 }
 
-// writeFrame sends one pre-marshalled frame. simnet stream writes never
-// block on the network, so holding writeMu is cheap.
-func (s *session) writeFrame(frame []byte) error {
-	_, err := s.stream.Write(frame)
-	return err
+// enqueueWait is how long a producer gives a full send queue to make
+// room before judging the peer slow. A healthy writer drains thousands
+// of frames in this window (a burst merely outpacing the writer's
+// scheduling absorbs harmlessly); a peer that can't take a frame for
+// this long is genuinely stalled and gets shed.
+const enqueueWait = 20 * time.Millisecond
+
+// enqueue hands one pre-marshalled frame to the session's writer,
+// giving a momentarily full queue enqueueWait to drain. A peer that
+// stays full past the wait is shed: the frame is dropped (counted, the
+// next digest round repairs the divergence) and, until the queue
+// frees up again, subsequent frames drop immediately — one slow peer
+// costs the distributor at most one wait per burst, not a stall.
+func (s *session) enqueue(t FrameType, frame []byte) bool {
+	if s.isClosed() {
+		return false
+	}
+	select {
+	case s.outbox <- frame:
+		s.shed.Store(false)
+		s.ep.stats.count(t, len(frame), true)
+		return true
+	default:
+	}
+	if !s.shed.Load() {
+		timer := time.NewTimer(enqueueWait)
+		defer timer.Stop()
+		select {
+		case s.outbox <- frame:
+			s.ep.stats.count(t, len(frame), true)
+			return true
+		case <-s.done:
+		case <-timer.C:
+			if s.shed.CompareAndSwap(false, true) {
+				s.ep.stats.peersShed.Add(1)
+			}
+		}
+	}
+	s.ep.stats.queueDrops.Add(1)
+	return false
+}
+
+// writeLoop drains the outbox, concatenating queued frames into one
+// buffer and writing it in a single call — one syscall per flush, not
+// per frame, when the session is busy.
+func (s *session) writeLoop() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case frame := <-s.outbox:
+			buf := append(s.wbuf[:0], frame...)
+		drain:
+			for {
+				select {
+				case next := <-s.outbox:
+					if len(buf)+len(next) > writeCoalesceBytes {
+						// Flush what fits and start a new lump with
+						// the overflow: the cap is strict, or a burst
+						// would snowball writes past the MTU-ish size
+						// the whole batching design is tuned around.
+						if _, err := s.stream.Write(buf); err != nil {
+							s.close()
+							return
+						}
+						buf = append(buf[:0], next...)
+						continue
+					}
+					buf = append(buf, next...)
+				default:
+					break drain
+				}
+			}
+			s.wbuf = buf
+			if _, err := s.stream.Write(buf); err != nil {
+				s.close()
+				return
+			}
+		}
+	}
 }
 
 // readFull fills p, tolerating read timeouts (which exist only so
@@ -296,6 +478,7 @@ func (s *session) readFrame(buf []byte) (FrameType, []byte, error) {
 	if err := s.readFull(buf); err != nil {
 		return 0, nil, err
 	}
+	s.ep.stats.count(t, frameHeaderLen+n, false)
 	return t, buf, nil
 }
 
@@ -307,52 +490,129 @@ func (e *Endpoint) acceptLoop() {
 			return // listener closed
 		}
 		e.wg.Add(1)
-		go func() { defer e.wg.Done(); e.runSession(stream, false) }()
+		go func() { defer e.wg.Done(); e.runSession(stream, "") }()
 	}
 }
 
-// dialLoop keeps one configured peer dialed for the endpoint's lifetime.
+// dialLoop keeps one seed peer dialed for the endpoint's lifetime.
+// Consecutive failures — refused dials, or sessions that die within a
+// second (a bounced handshake at a full peer) — back the retry off
+// exponentially, capped at 8× the base interval. When the overlay is
+// active and already at target, the seed is left alone until the
+// session count sags.
 func (e *Endpoint) dialLoop(peer netapi.Addr) {
+	fails := 0
 	for {
 		if e.stopped() {
 			return
 		}
+		if e.cfg.maxActivePeers() > 0 && e.sessionCount() >= e.cfg.maxActivePeers() {
+			if e.seedConnected(peer.String()) {
+				// Overlay at target and the configured link is up:
+				// nothing to keep alive.
+				select {
+				case <-e.stop:
+					return
+				case <-time.After(e.cfg.antiEntropy()):
+				}
+				continue
+			}
+			// At target but the configured link is down. A healed
+			// partition can leave two internally-satisfied overlay
+			// islands that never re-merge on their own — only the seed
+			// backbone provably re-spans the cut — so keep probing the
+			// seed, at anti-entropy cadence rather than the
+			// connect-storm retry rate.
+			select {
+			case <-e.stop:
+				return
+			case <-time.After(jitterInterval(e.cfg.antiEntropy())):
+			}
+			if e.stopped() {
+				return
+			}
+		}
+		start := time.Now()
 		stream, err := e.host.DialTCP(peer)
 		if err == nil {
-			e.runSession(stream, true)
+			e.runSession(stream, peer.String())
+			if time.Since(start) >= time.Second {
+				fails = 0
+			} else {
+				fails++
+			}
+		} else {
+			fails++
 		}
+		wait := e.cfg.dialRetry() * (1 << min(fails, 3))
 		select {
 		case <-e.stop:
 			return
-		case <-time.After(e.cfg.dialRetry()):
+		case <-time.After(wait):
 		}
 	}
 }
 
-// runSession performs the HELLO handshake, registers the session, sends
-// the full snapshot (sync on connect) and then consumes frames until the
-// connection or the endpoint dies.
-func (e *Endpoint) runSession(stream netapi.Stream, dialer bool) {
+// runSession performs the HELLO handshake (negotiating the session
+// down to the older of the two versions), registers the session, syncs
+// on connect — a digest for v3 peers, the full snapshot for v2 — and
+// then consumes frames until the connection or the endpoint dies.
+// dialedAddr is the peer's listener address when we initiated; for
+// accepted sessions the peer's HELLO carries its own.
+func (e *Endpoint) runSession(stream netapi.Stream, dialedAddr string) {
 	stream.SetReadTimeout(e.cfg.readTimeout())
-	s := &session{ep: e, stream: stream, done: make(chan struct{})}
+	s := &session{
+		ep:     e,
+		stream: stream,
+		outbox: make(chan []byte, e.cfg.sendQueue()),
+		done:   make(chan struct{}),
+	}
 	defer s.close()
 
-	hello := AppendHello(nil, Hello{Version: Version, GatewayID: e.cfg.GatewayID})
-	if err := s.writeFrame(hello); err != nil {
+	maxV := e.cfg.maxWireVersion()
+	hello := Hello{Version: uint8(maxV), GatewayID: e.cfg.GatewayID}
+	if maxV >= 3 {
+		hello.ListenAddr = e.Addr().String()
+		hello.Peers = e.peerSample("", gossipSampleSize)
+	}
+	hb := AppendHello(nil, hello)
+	if _, err := stream.Write(hb); err != nil {
 		return
 	}
+	e.stats.count(FrameHello, len(hb), true)
+
 	t, payload, err := s.readFrame(nil)
 	if err != nil || t != FrameHello {
 		return
 	}
 	h, err := ParseHello(payload)
-	if err != nil || h.Version != Version || h.GatewayID == e.cfg.GatewayID {
+	if err != nil || int(h.Version) < MinVersion || h.GatewayID == e.cfg.GatewayID {
 		return // incompatible peer, or we dialed ourselves
 	}
 	s.peerID = h.GatewayID
+	s.version = min(maxV, int(h.Version))
+	if s.version >= 3 {
+		s.pushMemo = make(map[string]pushMemo)
+		s.reqMemo = make(map[string]reqMemo)
+	}
+
+	// Overlay learning: the peer itself (at its dialed or self-reported
+	// listener address) and its gossiped sample.
+	addr := dialedAddr
+	if addr == "" {
+		addr = h.ListenAddr
+	}
+	e.learnPeer(h.GatewayID, addr)
+	e.learnPeers(h.Peers)
 
 	e.mu.Lock()
 	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	if cap := e.cfg.MaxSessions; cap > 0 && len(e.sessions) >= cap {
+		// Over the session cap: our HELLO already delivered a peer
+		// sample, so the bounced joiner can redial sideways.
 		e.mu.Unlock()
 		return
 	}
@@ -369,8 +629,16 @@ func (e *Endpoint) runSession(stream netapi.Stream, dialer bool) {
 		e.mu.Unlock()
 	}()
 
-	// Full sync on connect: everything we know, local and transit.
-	e.sendSnapshot(s)
+	e.wg.Add(1)
+	go func() { defer e.wg.Done(); s.writeLoop() }()
+
+	// Sync on connect: v3 peers exchange digests and transfer only the
+	// divergence; v2 peers get everything we know, graves included.
+	if s.version >= 3 {
+		e.enqueueDigest(s)
+	} else {
+		e.sendSnapshot(s)
+	}
 
 	buf := payload
 	for {
@@ -392,6 +660,41 @@ func (e *Endpoint) runSession(stream netapi.Stream, dialer bool) {
 				return
 			}
 			e.handleWithdraw(s, w)
+		case FrameBatch:
+			if s.version < 3 {
+				return
+			}
+			entries, err := ParseBatch(p)
+			if err != nil {
+				return
+			}
+			e.stats.batchEntriesRecv.Add(uint64(len(entries)))
+			for i := range entries {
+				switch en := &entries[i]; {
+				case en.Announce != nil:
+					e.handleAnnounce(s, *en.Announce)
+				case en.Withdraw != nil:
+					e.handleWithdraw(s, *en.Withdraw)
+				}
+			}
+		case FrameDigest:
+			if s.version < 3 {
+				return
+			}
+			d, err := ParseDigest(p)
+			if err != nil {
+				return
+			}
+			e.handleDigest(s, d)
+		case FrameDigestDiff:
+			if s.version < 3 {
+				return
+			}
+			d, err := ParseDigestDiff(p)
+			if err != nil {
+				return
+			}
+			e.handleDigestDiff(s, d)
 		case FrameHello:
 			// A second HELLO is a protocol error.
 			return
@@ -467,13 +770,15 @@ func min64(a, b int64) int64 {
 	return b
 }
 
-// sendSnapshot announces every live record to one peer — and re-sends
-// every active withdrawal tombstone as a WITHDRAW frame. The negative
-// half matters as much as the positive one: a peer that missed a
-// withdrawal while partitioned or down may hold a stale copy it will
+// sendSnapshot announces every live record to one v2 peer — and
+// re-sends every active withdrawal tombstone as a WITHDRAW frame. The
+// negative half matters as much as the positive one: a peer that missed
+// a withdrawal while partitioned or down may hold a stale copy it will
 // never announce to us (split horizon skips the record's own origin
 // gateway), so waiting to reject its announce is not enough — the
-// snapshot itself must carry the graves.
+// snapshot itself must carry the graves. v3 sessions never take this
+// path; their graves ride the digest and cross the wire only on
+// divergence.
 func (e *Endpoint) sendSnapshot(s *session) {
 	now := time.Now()
 	recs := e.view.Find("", now)
@@ -486,8 +791,6 @@ func (e *Endpoint) sendSnapshot(s *session) {
 	}
 	e.mu.Unlock()
 
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
 	for _, rec := range recs {
 		if e.skipForPeer(rec, s) {
 			continue
@@ -496,10 +799,7 @@ func (e *Endpoint) sendSnapshot(s *session) {
 		if !ok {
 			continue
 		}
-		s.wbuf = AppendAnnounce(s.wbuf[:0], a)
-		if err := s.writeFrame(s.wbuf); err != nil {
-			return
-		}
+		s.enqueue(FrameAnnounce, AppendAnnounce(nil, a))
 	}
 	for _, t := range tombs {
 		w := Withdraw{
@@ -510,10 +810,7 @@ func (e *Endpoint) sendSnapshot(s *session) {
 			TTL:      ttlMillis(time.Until(t.expires)),
 			Epoch:    t.epoch,
 		}
-		s.wbuf = AppendWithdraw(s.wbuf[:0], w)
-		if err := s.writeFrame(s.wbuf); err != nil {
-			return
-		}
+		s.enqueue(FrameWithdraw, AppendWithdraw(nil, w))
 	}
 }
 
@@ -623,6 +920,10 @@ func (e *Endpoint) handleAnnounce(s *session, a Announce) {
 	// inside e.mu here and never the other way around.
 	e.view.Put(rec)
 	e.mu.Unlock()
+	e.bumpSummaries()
+	// The session delivered knowledge we accepted: its peer scores as
+	// useful for overlay retention.
+	e.peerUseful(s.peerID)
 }
 
 // handleWithdraw retracts a remote record. Local records are immune: the
@@ -686,6 +987,7 @@ func (e *Endpoint) handleWithdraw(s *session, w Withdraw) {
 		e.learnedFrom[key] = s
 	}
 	e.mu.Unlock()
+	e.bumpSummaries()
 	if known {
 		e.view.Remove(origin, w.URL)
 	}
@@ -722,10 +1024,7 @@ func (e *Endpoint) withdrawBack(s *session, a Announce, ttl time.Duration, epoch
 		TTL:      ttlMillis(ttl),
 		Epoch:    epoch,
 	}
-	s.writeMu.Lock()
-	s.wbuf = AppendWithdraw(s.wbuf[:0], w)
-	_ = s.writeFrame(s.wbuf)
-	s.writeMu.Unlock()
+	s.enqueue(FrameWithdraw, AppendWithdraw(nil, w))
 }
 
 // ttlMillis clamps a duration into the wire's millisecond TTL field.
@@ -736,34 +1035,104 @@ func ttlMillis(d time.Duration) uint32 {
 	return uint32(min64(int64(d/time.Millisecond)+1, 1<<32-1))
 }
 
-// distribute turns local view deltas into floods. Records the federation
-// itself just put carry Remote provenance and are re-flooded with it
-// (transit); everything else is local knowledge entering the federation.
-func (e *Endpoint) distribute(deltas <-chan core.Delta) {
-	for d := range deltas {
+// --- delta distribution ---
+
+// pendingDelta is one record's coalesced state within a flush window:
+// the last Put or Remove wins, and a record absorbed at the hop cap
+// leaves both frames nil (collected for its side effects, not flooded).
+type pendingDelta struct {
+	rec      core.ServiceRecord
+	announce *Announce
+	withdraw *Withdraw
+}
+
+// distribute turns view delta batches into batched floods. Each flush
+// window drains everything queued (and, with FlushInterval set, waits
+// out the window collecting more), coalesces per record, then emits one
+// BATCH frame per v3 peer — per-record frames for v2 peers.
+func (e *Endpoint) distribute(batches <-chan []core.Delta) {
+	for {
+		first, ok := <-batches
+		if !ok {
+			return
+		}
+		order := make([]string, 0, len(first))
+		pending := make(map[string]*pendingDelta, len(first))
+		order = e.collectDeltas(order, pending, first)
+		closed := false
+		if fi := e.cfg.FlushInterval; fi > 0 {
+			timer := time.NewTimer(fi)
+		window:
+			for {
+				select {
+				case more, ok := <-batches:
+					if !ok {
+						closed = true
+						break window
+					}
+					order = e.collectDeltas(order, pending, more)
+				case <-timer.C:
+					break window
+				}
+			}
+			timer.Stop()
+		} else {
+		backlog:
+			for {
+				select {
+				case more, ok := <-batches:
+					if !ok {
+						closed = true
+						break backlog
+					}
+					order = e.collectDeltas(order, pending, more)
+				default:
+					break backlog
+				}
+			}
+		}
+		e.flushDeltas(order, pending)
+		if closed {
+			return
+		}
+	}
+}
+
+// collectDeltas folds one delta batch into the flush window, applying
+// each delta's side effects (epoch minting, grave digging) in arrival
+// order while the wire frames coalesce per record.
+func (e *Endpoint) collectDeltas(order []string, pending map[string]*pendingDelta, deltas []core.Delta) []string {
+	if len(deltas) > 0 {
+		e.bumpSummaries()
+	}
+	for _, d := range deltas {
+		key := viewKey(d.Record.Origin, d.Record.URL)
+		p, seen := pending[key]
+		if !seen {
+			p = &pendingDelta{}
+			pending[key] = p
+			order = append(order, key)
+		}
 		switch d.Op {
 		case core.DeltaPut:
 			// A local re-registration mints a fresh instance epoch
 			// (strictly above any grave the key has) and digs the grave
 			// up, so the announce reads as a later instance everywhere.
-			key := viewKey(d.Record.Origin, d.Record.URL)
 			e.mu.Lock()
 			if !d.Record.Remote {
 				e.mintEpochLocked(key)
 			}
 			delete(e.tombs, key)
 			e.mu.Unlock()
+			p.rec = d.Record
+			p.withdraw = nil
+			p.announce = nil
 			if d.Record.Remote && d.Record.Hops >= e.cfg.maxHops() {
 				continue // absorbed at the cap, not re-flooded
 			}
-			a, ok := e.announceFor(d.Record)
-			if !ok {
-				continue
+			if a, ok := e.announceFor(d.Record); ok {
+				p.announce = &a
 			}
-			e.flood(d.Record, func(s *session) []byte {
-				s.wbuf = AppendAnnounce(s.wbuf[:0], a)
-				return s.wbuf
-			})
 		case core.DeltaRemove:
 			w := Withdraw{
 				OriginGW: e.cfg.GatewayID,
@@ -786,7 +1155,6 @@ func (e *Endpoint) distribute(deltas <-chan core.Delta) {
 			// handleWithdraw, and anything else is a local cache drop
 			// the next anti-entropy sync may legitimately refill. Either
 			// way the withdrawal names the buried instance's epoch.
-			key := viewKey(d.Record.Origin, d.Record.URL)
 			e.mu.Lock()
 			epoch := e.epochs[key]
 			if t, ok := e.tombs[key]; ok && t.epoch > epoch {
@@ -809,59 +1177,150 @@ func (e *Endpoint) distribute(deltas <-chan core.Delta) {
 			}
 			e.mu.Unlock()
 			w.Epoch = epoch
-			e.flood(d.Record, func(s *session) []byte {
-				s.wbuf = AppendWithdraw(s.wbuf[:0], w)
-				return s.wbuf
-			})
+			p.rec = d.Record
+			p.announce = nil
+			p.withdraw = &w
 		case core.DeltaExpire:
 			// TTLs travel with records; every cache expires on its own.
+			// An Expire after a Put in the same window still leaves the
+			// Put frame pending — the receiver's own clock retires it.
 		}
 	}
+	return order
 }
 
-// flood sends a frame to every connected peer except, per split horizon,
-// the one the record was learned from and its origin gateway.
-func (e *Endpoint) flood(rec core.ServiceRecord, frame func(*session) []byte) {
+// flushDeltas emits one window's coalesced deltas to every session,
+// split horizon applied per record per peer.
+func (e *Endpoint) flushDeltas(order []string, pending map[string]*pendingDelta) {
+	if len(order) == 0 {
+		return
+	}
 	e.mu.Lock()
 	targets := make([]*session, 0, len(e.sessions))
 	for s := range e.sessions {
 		targets = append(targets, s)
 	}
 	e.mu.Unlock()
+	if len(targets) == 0 {
+		return
+	}
+	entries := make([]BatchEntry, 0, len(order))
 	for _, s := range targets {
-		if e.skipForPeer(rec, s) {
-			continue
+		entries = entries[:0]
+		for _, key := range order {
+			p := pending[key]
+			if p.announce == nil && p.withdraw == nil {
+				continue
+			}
+			if e.skipForPeer(p.rec, s) {
+				continue
+			}
+			entries = append(entries, BatchEntry{Announce: p.announce, Withdraw: p.withdraw})
 		}
-		s.writeMu.Lock()
-		_ = s.writeFrame(frame(s))
-		s.writeMu.Unlock()
+		if len(entries) > 0 {
+			e.enqueueEntries(s, entries)
+		}
 	}
 }
 
-// antiEntropyLoop periodically re-sends the full snapshot to every peer.
-// The accept filter on the receiving side absorbs echoes silently, so
-// steady state costs bandwidth proportional to view size — and repairs
-// any delta lost to a slow subscriber, an overflow, or a reconnect race.
+// enqueueEntries sends a run of deltas to one session in its wire
+// dialect: BATCH frames (chunked under the payload cap) for v3,
+// per-record frames for v2. It reports whether everything was enqueued.
+func (e *Endpoint) enqueueEntries(s *session, entries []BatchEntry) bool {
+	ok := true
+	if s.version < 3 {
+		for i := range entries {
+			en := &entries[i]
+			switch {
+			case en.Announce != nil:
+				if !s.enqueue(FrameAnnounce, AppendAnnounce(nil, *en.Announce)) {
+					ok = false
+				}
+			case en.Withdraw != nil:
+				if !s.enqueue(FrameWithdraw, AppendWithdraw(nil, *en.Withdraw)) {
+					ok = false
+				}
+			}
+		}
+		return ok
+	}
+	for len(entries) > 0 {
+		n := min(len(entries), maxFlushBatch)
+		chunk := entries[:n]
+		entries = entries[n:]
+		frame := AppendBatch(nil, chunk)
+		if len(frame)-frameHeaderLen > MaxFramePayload {
+			// Pathologically large records: fall back to singles so one
+			// giant doesn't poison the whole chunk.
+			for i := range chunk {
+				en := &chunk[i]
+				var single []byte
+				var t FrameType
+				if en.Announce != nil {
+					single, t = AppendAnnounce(nil, *en.Announce), FrameAnnounce
+				} else {
+					single, t = AppendWithdraw(nil, *en.Withdraw), FrameWithdraw
+				}
+				if len(single)-frameHeaderLen > MaxFramePayload {
+					e.stats.queueDrops.Add(1)
+					ok = false
+					continue
+				}
+				if !s.enqueue(t, single) {
+					ok = false
+				}
+			}
+			continue
+		}
+		if s.enqueue(FrameBatch, frame) {
+			e.stats.batchEntriesSent.Add(uint64(n))
+		} else {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// --- anti-entropy ---
+
+// jitterInterval spreads anti-entropy rounds ±20% around base so a
+// fleet's gateways drift apart instead of flooding in lockstep.
+func jitterInterval(base time.Duration) time.Duration {
+	if base <= 0 {
+		return base
+	}
+	return time.Duration(float64(base) * (0.8 + 0.4*rand.Float64()))
+}
+
+// antiEntropyLoop periodically repairs divergence: digests to v3
+// peers (records cross the wire only when a digest proves them missing
+// or stale), full snapshots to v2 peers. Each round also prunes dead
+// split-horizon and grave state and tops up the overlay.
 func (e *Endpoint) antiEntropyLoop() {
-	ticker := time.NewTicker(e.cfg.antiEntropy())
-	defer ticker.Stop()
 	for {
+		timer := time.NewTimer(jitterInterval(e.cfg.antiEntropy()))
 		select {
 		case <-e.stop:
+			timer.Stop()
 			return
-		case <-ticker.C:
-			e.mu.Lock()
-			targets := make([]*session, 0, len(e.sessions))
-			for s := range e.sessions {
-				targets = append(targets, s)
-			}
-			e.mu.Unlock()
-			for _, s := range targets {
+		case <-timer.C:
+		}
+		e.mu.Lock()
+		targets := make([]*session, 0, len(e.sessions))
+		for s := range e.sessions {
+			targets = append(targets, s)
+		}
+		e.mu.Unlock()
+		for _, s := range targets {
+			if s.version >= 3 {
+				e.enqueueDigest(s)
+			} else {
 				e.sendSnapshot(s)
 			}
-			e.pruneLearned()
-			e.pruneTombs()
 		}
+		e.pruneLearned()
+		e.pruneTombs()
+		e.maintainOverlay()
 	}
 }
 
@@ -879,9 +1338,11 @@ func (e *Endpoint) pruneTombs() {
 	// own locks and never takes e.mu, so the nested Get cannot deadlock.
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	pruned := false
 	for key, t := range e.tombs {
 		if now.After(t.expires) {
 			delete(e.tombs, key)
+			pruned = true
 		}
 	}
 	for key := range e.epochs {
@@ -895,6 +1356,10 @@ func (e *Endpoint) pruneTombs() {
 			}
 		}
 		delete(e.epochs, key)
+		pruned = true
+	}
+	if pruned {
+		e.bumpSummaries()
 	}
 }
 

@@ -1,0 +1,300 @@
+package federation
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"indiss/internal/netapi"
+)
+
+// The overlay grows peering beyond the hand-wired Peers list: every
+// HELLO and DIGEST carries a bounded sample of the sender's known
+// peers, each endpoint folds those into a peer table, and a
+// maintenance pass (riding the anti-entropy tick) dials the
+// best-scored unconnected peers until the active view reaches
+// MaxActivePeers. A fleet seeded with a single address self-organizes:
+// the seed caps its sessions (MaxSessions), bounced joiners leave the
+// handshake with the seed's peer sample, and redial sideways.
+//
+// A full active view then keeps shuffling: every few rounds one
+// uniformly random known peer replaces the least recently useful link.
+// The randomness is load-bearing — gossip spreads peer knowledge
+// neighborhood-first, so score-driven refill alone connects neighbors
+// of neighbors and freezes a large fleet into a high-diameter chain of
+// cliques; the random long-range links are what pull the flood
+// diameter down to gossip scale.
+
+// gossipSampleSize bounds the peer sample attached to outgoing HELLO
+// and DIGEST frames.
+const gossipSampleSize = 8
+
+// knownPeer is one entry in the overlay's peer table.
+type knownPeer struct {
+	id   string
+	addr string // "ip:port"; empty when only the identity is known
+
+	lastSeen   time.Time // last handshake or gossip mention
+	lastUseful time.Time // last accepted record over a session to it
+	failures   int       // consecutive dial failures
+	nextDial   time.Time // backoff gate for overlay-initiated dials
+}
+
+// learnPeer folds one peer into the table. An empty id, our own id, or
+// an empty addr for an unknown peer are ignored; a fresh addr for a
+// known peer replaces the stale one.
+func (e *Endpoint) learnPeer(id, addr string) {
+	if id == "" || id == e.cfg.GatewayID {
+		return
+	}
+	now := time.Now()
+	e.overlayMu.Lock()
+	defer e.overlayMu.Unlock()
+	p, ok := e.knownPeers[id]
+	if !ok {
+		if addr == "" {
+			return
+		}
+		p = &knownPeer{id: id}
+		e.knownPeers[id] = p
+	}
+	if addr != "" {
+		p.addr = addr
+	}
+	p.lastSeen = now
+}
+
+// learnPeers folds a gossiped sample into the table.
+func (e *Endpoint) learnPeers(peers []PeerInfo) {
+	for _, p := range peers {
+		e.learnPeer(p.ID, p.Addr)
+	}
+}
+
+// peerUseful records that a session with the peer delivered knowledge
+// we accepted — the usefulness half of the dial score.
+func (e *Endpoint) peerUseful(id string) {
+	e.overlayMu.Lock()
+	if p, ok := e.knownPeers[id]; ok {
+		p.lastUseful = time.Now()
+	}
+	e.overlayMu.Unlock()
+}
+
+// peerDialed records an overlay dial outcome, applying capped
+// exponential backoff on failure.
+func (e *Endpoint) peerDialed(id string, ok bool) {
+	e.overlayMu.Lock()
+	defer e.overlayMu.Unlock()
+	p, found := e.knownPeers[id]
+	if !found {
+		return
+	}
+	if ok {
+		p.failures = 0
+		p.nextDial = time.Time{}
+		return
+	}
+	p.failures++
+	p.nextDial = time.Now().Add(e.cfg.dialRetry() * (1 << min(p.failures, 6)))
+}
+
+// peerSample returns up to n dialable known peers, excluding the given
+// recipient — the gossip payload for HELLO and DIGEST frames.
+func (e *Endpoint) peerSample(exclude string, n int) []PeerInfo {
+	e.overlayMu.Lock()
+	defer e.overlayMu.Unlock()
+	if len(e.knownPeers) == 0 {
+		return nil
+	}
+	out := make([]PeerInfo, 0, min(n, len(e.knownPeers)))
+	for id, p := range e.knownPeers {
+		if id == exclude || p.addr == "" {
+			continue
+		}
+		out = append(out, PeerInfo{ID: id, Addr: p.addr})
+		if len(out) >= n {
+			break
+		}
+	}
+	return out
+}
+
+// connectedIDs snapshots the peer identities of the current sessions.
+func (e *Endpoint) connectedIDs() map[string]bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]bool, len(e.sessions))
+	for s := range e.sessions {
+		out[s.peerID] = true
+	}
+	return out
+}
+
+// seedConnected reports whether any current session belongs to the
+// peer known to listen at addr — the dial loops use it to tell "seed
+// link alive" from "overlay full but the configured backbone is cut".
+func (e *Endpoint) seedConnected(addr string) bool {
+	connected := e.connectedIDs()
+	e.overlayMu.Lock()
+	defer e.overlayMu.Unlock()
+	for id := range connected {
+		if p, ok := e.knownPeers[id]; ok && p.addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// maintainOverlay tops the active view up to MaxActivePeers by dialing
+// the best-scored unconnected known peers. Scoring prefers peers with
+// no recent dial failures, then the most recently useful, then the
+// most recently seen — recently productive links are re-established
+// first, flappy ones sink. Each pass dials at most the missing count;
+// failures back off exponentially so a dead entry cannot monopolize
+// the tick.
+func (e *Endpoint) maintainOverlay() {
+	want := e.cfg.maxActivePeers()
+	if want <= 0 {
+		return
+	}
+	connected := e.connectedIDs()
+	missing := want - len(connected)
+	if missing <= 0 {
+		e.shuffleOverlay(connected)
+		return
+	}
+	now := time.Now()
+	e.overlayMu.Lock()
+	cands := make([]*knownPeer, 0, len(e.knownPeers))
+	for id, p := range e.knownPeers {
+		if connected[id] || p.addr == "" || now.Before(p.nextDial) {
+			continue
+		}
+		cands = append(cands, p)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.failures != b.failures {
+			return a.failures < b.failures
+		}
+		if !a.lastUseful.Equal(b.lastUseful) {
+			return a.lastUseful.After(b.lastUseful)
+		}
+		return a.lastSeen.After(b.lastSeen)
+	})
+	if len(cands) > missing {
+		cands = cands[:missing]
+	}
+	targets := make([]struct{ id, addr string }, 0, len(cands))
+	for _, p := range cands {
+		targets = append(targets, struct{ id, addr string }{p.id, p.addr})
+	}
+	e.overlayMu.Unlock()
+
+	for _, t := range targets {
+		addr, err := netapi.ParseAddr(t.addr)
+		if err != nil {
+			continue
+		}
+		t := t
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			stream, err := e.host.DialTCP(addr)
+			if err != nil {
+				e.peerDialed(t.id, false)
+				return
+			}
+			e.peerDialed(t.id, true)
+			e.runSession(stream, t.addr)
+		}()
+	}
+}
+
+// shuffleEvery is how many full-view maintenance passes separate
+// overlay shuffles.
+const shuffleEvery = 4
+
+// shuffleOverlay rotates one link of a full active view: dial a
+// uniformly random known-but-unconnected peer and retire the least
+// recently useful current link to make room. Seed sessions are never
+// the victim — the configured backbone is the partition-heal guarantee
+// and would only flap (their dial loops reconnect them straight away).
+// Runs on the anti-entropy goroutine, which owns shuffleTick.
+func (e *Endpoint) shuffleOverlay(connected map[string]bool) {
+	e.shuffleTick++
+	if e.shuffleTick%shuffleEvery != 0 {
+		return
+	}
+	now := time.Now()
+	e.overlayMu.Lock()
+	var cands []*knownPeer
+	for id, p := range e.knownPeers {
+		if connected[id] || p.addr == "" || now.Before(p.nextDial) {
+			continue
+		}
+		cands = append(cands, p)
+	}
+	var target struct{ id, addr string }
+	if len(cands) > 0 {
+		p := cands[rand.Intn(len(cands))]
+		target.id, target.addr = p.id, p.addr
+	}
+	e.overlayMu.Unlock()
+	if target.id == "" {
+		return
+	}
+	addr, err := netapi.ParseAddr(target.addr)
+	if err != nil {
+		return
+	}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		stream, err := e.host.DialTCP(addr)
+		if err != nil {
+			e.peerDialed(target.id, false)
+			return
+		}
+		e.peerDialed(target.id, true)
+		e.retireOneSession(target.id)
+		e.runSession(stream, target.addr)
+	}()
+}
+
+// retireOneSession closes the established session whose peer has been
+// useful least recently, sparing configured seeds and the peer named
+// newID (the incoming shuffle replacement).
+func (e *Endpoint) retireOneSession(newID string) {
+	e.mu.Lock()
+	ids := make([]string, 0, len(e.sessions))
+	byID := make(map[string]*session, len(e.sessions))
+	for s := range e.sessions {
+		ids = append(ids, s.peerID)
+		byID[s.peerID] = s
+	}
+	e.mu.Unlock()
+
+	var (
+		victim *session
+		oldest time.Time
+	)
+	e.overlayMu.Lock()
+	for _, id := range ids {
+		if id == newID {
+			continue
+		}
+		p, ok := e.knownPeers[id]
+		if !ok || e.seedAddrs[p.addr] {
+			continue
+		}
+		if victim == nil || p.lastUseful.Before(oldest) {
+			victim, oldest = byID[id], p.lastUseful
+		}
+	}
+	e.overlayMu.Unlock()
+	if victim != nil {
+		victim.close()
+	}
+}

@@ -4,15 +4,23 @@
 // by a gateway several routed hops away — the scale-out the paper's §3
 // gateway placement implies but never builds.
 //
-// The protocol is deliberately small: a version handshake (HELLO), then
-// a stream of ANNOUNCE/WITHDRAW frames. A peer receives a full snapshot
-// on connect, incremental deltas afterwards, and a periodic anti-entropy
-// re-sync that repairs anything lost to slow consumers or reconnects.
-// Loop safety in meshed peerings rests on three guards applied at every
+// The protocol stays small: a version handshake (HELLO) negotiating
+// min(local, peer), then — on a v3 session — BATCH frames carrying the
+// flush window's coalesced ANNOUNCE/WITHDRAW deltas, and a jittered
+// per-origin DIGEST each anti-entropy round. At quiescence a round
+// costs one digest per link regardless of view size; records cross the
+// wire only when a digest proves the peer missing or stale (the peer
+// pushes, or answers a DIGEST-DIFF request). HELLO and DIGEST also
+// gossip a bounded peer sample, from which the overlay self-organizes
+// (see overlay.go). A v2 peer gets the legacy stream instead:
+// per-record frames, a full snapshot on connect and every anti-entropy
+// round.
+//
+// Loop safety in meshed peerings rests on the same guards at every
 // hop: the originating gateway drops its own records coming back, a hop
 // counter caps propagation radius, and a record is only accepted (and
 // hence re-flooded) when it adds knowledge — a shorter path or a
-// meaningfully extended lifetime. See DESIGN.md §7.
+// meaningfully extended lifetime. See DESIGN.md §7 and §10.
 package federation
 
 import (
@@ -24,11 +32,17 @@ import (
 
 // Protocol constants.
 const (
-	// Version is the peering protocol version exchanged in HELLO.
+	// Version is the newest peering protocol version this build speaks.
 	// Version 2 added the Epoch field to ANNOUNCE and the TTL and Epoch
-	// fields to WITHDRAW; frames are not parseable across versions, so
-	// the handshake refuses mixed-version peers.
-	Version = 2
+	// fields to WITHDRAW. Version 3 added BATCH frames (many deltas per
+	// frame), DIGEST/DIGEST-DIFF anti-entropy, and peer gossip in HELLO
+	// and DIGEST. Since v3 the handshake negotiates: each side speaks
+	// min(its own version, the peer's), so a v3 endpoint peers with a v2
+	// one using per-record frames and snapshot anti-entropy.
+	Version = 3
+
+	// MinVersion is the oldest peer version a session still accepts.
+	MinVersion = 2
 
 	// DefaultPort is the IANA-style default TCP port of the federation
 	// endpoint.
@@ -46,6 +60,16 @@ const (
 
 	// maxWireAttrs bounds a record's attribute count.
 	maxWireAttrs = 256
+
+	// maxBatchEntries bounds the deltas one BATCH frame may carry.
+	maxBatchEntries = 8192
+
+	// maxDigestOrigins bounds the per-origin summaries in one DIGEST or
+	// DIGEST-DIFF.
+	maxDigestOrigins = 8192
+
+	// maxWirePeers bounds the peer sample gossiped in HELLO and DIGEST.
+	maxWirePeers = 64
 )
 
 // Frame magic bytes ("IF": INDISS Federation).
@@ -65,17 +89,47 @@ const (
 	FrameAnnounce
 	// FrameWithdraw retracts one record.
 	FrameWithdraw
+	// FrameBatch carries many announce/withdraw deltas in one frame
+	// (v3+): one length-prefixed payload, one write, one read.
+	FrameBatch
+	// FrameDigest carries a per-origin summary of the sender's view
+	// (v3+ anti-entropy): the receiver pushes only what the digest
+	// proves the sender is missing or holds stale.
+	FrameDigest
+	// FrameDigestDiff requests full records for the listed origins
+	// (v3+): sent when a digest names an origin the receiver lacks
+	// entirely or disagrees about.
+	FrameDigestDiff
 )
 
 // ErrWire reports a malformed frame.
 var ErrWire = errors.New("federation: malformed frame")
 
+// PeerInfo is one gossiped peer: identity plus dialable address. It
+// rides HELLO and DIGEST frames so gateways learn peers-of-peers and
+// self-organize the overlay instead of needing hand-wired topology.
+type PeerInfo struct {
+	// ID is the peer's gateway identity.
+	ID string
+	// Addr is the peer's federation listener as "ip:port".
+	Addr string
+}
+
 // Hello is the session-opening handshake.
 type Hello struct {
-	// Version is the sender's protocol version.
+	// Version is the sender's protocol version. Both sides then speak
+	// min(local, remote); a peer below MinVersion is refused.
 	Version uint8
 	// GatewayID is the sender's federation identity.
 	GatewayID string
+	// ListenAddr is the sender's own federation listener as "ip:port",
+	// so the accepting side can gossip a dialable address for the
+	// dialer (whose ephemeral source port is useless). v3+; empty on
+	// v2 sessions.
+	ListenAddr string
+	// Peers is a bounded sample of the sender's known overlay peers.
+	// v3+; nil on v2 sessions.
+	Peers []PeerInfo
 }
 
 // Announce advertises one service record to a peer.
@@ -129,6 +183,65 @@ type Withdraw struct {
 	Epoch uint64
 }
 
+// Batch entry operation tags.
+const (
+	batchOpAnnounce = 1
+	batchOpWithdraw = 2
+)
+
+// BatchEntry is one delta inside a BATCH frame. Exactly one of
+// Announce/Withdraw is meaningful, selected by the op tag on the wire;
+// entry order is preserved (the sender coalesces same-record updates,
+// so order only matters across distinct records).
+type BatchEntry struct {
+	// Withdraw is set when the entry retracts a record.
+	Withdraw *Withdraw
+	// Announce is set when the entry inserts or refreshes a record.
+	Announce *Announce
+}
+
+// OriginSummary is one origin gateway's bucket in a DIGEST: enough to
+// prove two views agree about that origin's records without shipping
+// them. The hashes are order-independent XORs of per-record FNV-1a-64
+// over (key, epoch) — expiry is deliberately excluded, since TTLs are
+// re-derived per hop and would never compare equal.
+type OriginSummary struct {
+	// OriginGW is the origin gateway the bucket summarizes.
+	OriginGW string
+	// LiveCount is how many live records from this origin the sender
+	// holds.
+	LiveCount uint64
+	// LiveHash is the set hash over the live records.
+	LiveHash uint64
+	// MaxEpoch is the newest epoch seen from this origin, across live
+	// records and graves.
+	MaxEpoch uint64
+	// GraveCount is how many unexpired tombstones for this origin the
+	// sender holds.
+	GraveCount uint64
+	// GraveHash is the set hash over those tombstones.
+	GraveHash uint64
+}
+
+// Digest is one anti-entropy round's summary: the sender's view rolled
+// up per origin gateway, plus a peer-gossip sample piggybacked so the
+// overlay keeps learning even at quiescence.
+type Digest struct {
+	// Origins are the per-origin summaries, one per origin gateway the
+	// sender knows (live records or graves).
+	Origins []OriginSummary
+	// Peers is a bounded sample of the sender's known overlay peers.
+	Peers []PeerInfo
+}
+
+// DigestDiff asks the peer for full records of the listed origins —
+// sent when its digest names origins the sender lacks or disagrees
+// about and the peer is the one holding the knowledge.
+type DigestDiff struct {
+	// Origins are the origin gateways whose records are requested.
+	Origins []string
+}
+
 // --- marshalling (AppendTo style: whole frames appended to dst) ---
 
 // appendHeader reserves a frame header, returning dst and the offset of
@@ -148,19 +261,37 @@ func appendString(dst []byte, s string) []byte {
 	return append(dst, s...)
 }
 
-// AppendHello appends a HELLO frame to dst.
+func appendPeers(dst []byte, peers []PeerInfo) []byte {
+	if len(peers) > maxWirePeers {
+		peers = peers[:maxWirePeers]
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(peers)))
+	for _, p := range peers {
+		dst = appendString(dst, p.ID)
+		dst = appendString(dst, p.Addr)
+	}
+	return dst
+}
+
+// AppendHello appends a HELLO frame to dst. The v3 fields (listen
+// address, peer sample) are only emitted when h.Version >= 3, so the
+// frame a v2 peer receives is exactly the v2 shape.
 func AppendHello(dst []byte, h Hello) []byte {
 	dst, at := appendHeader(dst, FrameHello)
 	dst = append(dst, h.Version)
 	dst = appendString(dst, h.GatewayID)
+	if h.Version >= 3 {
+		dst = appendString(dst, h.ListenAddr)
+		dst = appendPeers(dst, h.Peers)
+	}
 	return finishFrame(dst, at)
 }
 
-// AppendAnnounce appends an ANNOUNCE frame to dst. Attribute order on
-// the wire follows map iteration; receivers rebuild a map, so the
-// encoding stays deterministic in meaning if not in bytes.
-func AppendAnnounce(dst []byte, a Announce) []byte {
-	dst, at := appendHeader(dst, FrameAnnounce)
+// appendAnnounceBody appends an announce's fields (no frame header) —
+// shared by the standalone ANNOUNCE frame and BATCH entries. Attribute
+// order on the wire follows map iteration; receivers rebuild a map, so
+// the encoding stays deterministic in meaning if not in bytes.
+func appendAnnounceBody(dst []byte, a *Announce) []byte {
 	dst = appendString(dst, a.OriginGW)
 	dst = append(dst, a.Hops)
 	dst = appendString(dst, a.Origin)
@@ -174,12 +305,11 @@ func AppendAnnounce(dst []byte, a Announce) []byte {
 		dst = appendString(dst, k)
 		dst = appendString(dst, v)
 	}
-	return finishFrame(dst, at)
+	return dst
 }
 
-// AppendWithdraw appends a WITHDRAW frame to dst.
-func AppendWithdraw(dst []byte, w Withdraw) []byte {
-	dst, at := appendHeader(dst, FrameWithdraw)
+// appendWithdrawBody appends a withdraw's fields (no frame header).
+func appendWithdrawBody(dst []byte, w *Withdraw) []byte {
 	dst = appendString(dst, w.OriginGW)
 	dst = append(dst, w.Hops)
 	dst = appendString(dst, w.Origin)
@@ -187,6 +317,65 @@ func AppendWithdraw(dst []byte, w Withdraw) []byte {
 	dst = appendString(dst, w.URL)
 	dst = binary.BigEndian.AppendUint32(dst, w.TTL)
 	dst = binary.AppendUvarint(dst, w.Epoch)
+	return dst
+}
+
+// AppendAnnounce appends an ANNOUNCE frame to dst.
+func AppendAnnounce(dst []byte, a Announce) []byte {
+	dst, at := appendHeader(dst, FrameAnnounce)
+	dst = appendAnnounceBody(dst, &a)
+	return finishFrame(dst, at)
+}
+
+// AppendWithdraw appends a WITHDRAW frame to dst.
+func AppendWithdraw(dst []byte, w Withdraw) []byte {
+	dst, at := appendHeader(dst, FrameWithdraw)
+	dst = appendWithdrawBody(dst, &w)
+	return finishFrame(dst, at)
+}
+
+// AppendBatch appends a BATCH frame carrying the entries to dst.
+// Callers keep batches under maxBatchEntries and MaxFramePayload; the
+// endpoint's flush loop splits larger backlogs across frames.
+func AppendBatch(dst []byte, entries []BatchEntry) []byte {
+	dst, at := appendHeader(dst, FrameBatch)
+	dst = binary.AppendUvarint(dst, uint64(len(entries)))
+	for i := range entries {
+		switch e := &entries[i]; {
+		case e.Announce != nil:
+			dst = append(dst, batchOpAnnounce)
+			dst = appendAnnounceBody(dst, e.Announce)
+		case e.Withdraw != nil:
+			dst = append(dst, batchOpWithdraw)
+			dst = appendWithdrawBody(dst, e.Withdraw)
+		}
+	}
+	return finishFrame(dst, at)
+}
+
+// AppendDigest appends a DIGEST frame to dst.
+func AppendDigest(dst []byte, d Digest) []byte {
+	dst, at := appendHeader(dst, FrameDigest)
+	dst = binary.AppendUvarint(dst, uint64(len(d.Origins)))
+	for _, o := range d.Origins {
+		dst = appendString(dst, o.OriginGW)
+		dst = binary.AppendUvarint(dst, o.LiveCount)
+		dst = binary.BigEndian.AppendUint64(dst, o.LiveHash)
+		dst = binary.AppendUvarint(dst, o.MaxEpoch)
+		dst = binary.AppendUvarint(dst, o.GraveCount)
+		dst = binary.BigEndian.AppendUint64(dst, o.GraveHash)
+	}
+	dst = appendPeers(dst, d.Peers)
+	return finishFrame(dst, at)
+}
+
+// AppendDigestDiff appends a DIGEST-DIFF frame to dst.
+func AppendDigestDiff(dst []byte, d DigestDiff) []byte {
+	dst, at := appendHeader(dst, FrameDigestDiff)
+	dst = binary.AppendUvarint(dst, uint64(len(d.Origins)))
+	for _, o := range d.Origins {
+		dst = appendString(dst, o)
+	}
 	return finishFrame(dst, at)
 }
 
@@ -222,6 +411,16 @@ func (r *reader) uint32() uint32 {
 	}
 	v := binary.BigEndian.Uint32(r.b[r.pos:])
 	r.pos += 4
+	return v
+}
+
+func (r *reader) uint64() uint64 {
+	if r.err != nil || r.pos+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.pos:])
+	r.pos += 8
 	return v
 }
 
@@ -262,11 +461,45 @@ func (r *reader) done() error {
 	return nil
 }
 
-// ParseHello decodes a HELLO payload.
+func parsePeers(r *reader) []PeerInfo {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxWirePeers {
+		r.fail()
+		return nil
+	}
+	var peers []PeerInfo
+	if n > 0 {
+		peers = make([]PeerInfo, 0, n)
+	}
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		p := PeerInfo{ID: r.string(), Addr: r.string()}
+		if r.err == nil {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
+
+// ParseHello decodes a HELLO payload. The payload shape follows the
+// *sender's* version byte: v2 hellos end after the gateway id, v3+
+// hellos add a listen address and peer sample. Trailing bytes are
+// tolerated only from versions newer than this build, so a future v4
+// can extend HELLO without breaking the v3 handshake.
 func ParseHello(payload []byte) (Hello, error) {
 	r := &reader{b: payload}
 	h := Hello{Version: r.byte(), GatewayID: r.string()}
-	if err := r.done(); err != nil {
+	if h.Version >= 3 && r.err == nil {
+		h.ListenAddr = r.string()
+		h.Peers = parsePeers(r)
+	}
+	if h.Version > Version {
+		if r.err != nil {
+			return Hello{}, r.err
+		}
+	} else if err := r.done(); err != nil {
 		return Hello{}, err
 	}
 	if h.GatewayID == "" {
@@ -275,9 +508,9 @@ func ParseHello(payload []byte) (Hello, error) {
 	return h, nil
 }
 
-// ParseAnnounce decodes an ANNOUNCE payload.
-func ParseAnnounce(payload []byte) (Announce, error) {
-	r := &reader{b: payload}
+// parseAnnounceBody decodes an announce's fields from r — shared by the
+// standalone ANNOUNCE frame and BATCH entries.
+func parseAnnounceBody(r *reader) (Announce, error) {
 	a := Announce{OriginGW: r.string()}
 	a.Hops = r.byte()
 	a.Origin = r.string()
@@ -300,8 +533,8 @@ func ParseAnnounce(payload []byte) (Announce, error) {
 			}
 		}
 	}
-	if err := r.done(); err != nil {
-		return Announce{}, err
+	if r.err != nil {
+		return Announce{}, r.err
 	}
 	if a.URL == "" {
 		return Announce{}, fmt.Errorf("%w: announce without URL", ErrWire)
@@ -309,9 +542,8 @@ func ParseAnnounce(payload []byte) (Announce, error) {
 	return a, nil
 }
 
-// ParseWithdraw decodes a WITHDRAW payload.
-func ParseWithdraw(payload []byte) (Withdraw, error) {
-	r := &reader{b: payload}
+// parseWithdrawBody decodes a withdraw's fields from r.
+func parseWithdrawBody(r *reader) (Withdraw, error) {
 	w := Withdraw{OriginGW: r.string()}
 	w.Hops = r.byte()
 	w.Origin = r.string()
@@ -319,13 +551,134 @@ func ParseWithdraw(payload []byte) (Withdraw, error) {
 	w.URL = r.string()
 	w.TTL = r.uint32()
 	w.Epoch = r.uvarint()
-	if err := r.done(); err != nil {
-		return Withdraw{}, err
+	if r.err != nil {
+		return Withdraw{}, r.err
 	}
 	if w.URL == "" {
 		return Withdraw{}, fmt.Errorf("%w: withdraw without URL", ErrWire)
 	}
 	return w, nil
+}
+
+// ParseAnnounce decodes an ANNOUNCE payload.
+func ParseAnnounce(payload []byte) (Announce, error) {
+	r := &reader{b: payload}
+	a, err := parseAnnounceBody(r)
+	if err != nil {
+		return Announce{}, err
+	}
+	if err := r.done(); err != nil {
+		return Announce{}, err
+	}
+	return a, nil
+}
+
+// ParseWithdraw decodes a WITHDRAW payload.
+func ParseWithdraw(payload []byte) (Withdraw, error) {
+	r := &reader{b: payload}
+	w, err := parseWithdrawBody(r)
+	if err != nil {
+		return Withdraw{}, err
+	}
+	if err := r.done(); err != nil {
+		return Withdraw{}, err
+	}
+	return w, nil
+}
+
+// ParseBatch decodes a BATCH payload into its entries.
+func ParseBatch(payload []byte) ([]BatchEntry, error) {
+	r := &reader{b: payload}
+	n := r.uvarint()
+	if r.err == nil && n > maxBatchEntries {
+		return nil, fmt.Errorf("%w: %d batch entries", ErrWire, n)
+	}
+	var entries []BatchEntry
+	if r.err == nil && n > 0 {
+		entries = make([]BatchEntry, 0, min(n, 256))
+	}
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		switch op := r.byte(); op {
+		case batchOpAnnounce:
+			a, err := parseAnnounceBody(r)
+			if err != nil {
+				return nil, err
+			}
+			entries = append(entries, BatchEntry{Announce: &a})
+		case batchOpWithdraw:
+			w, err := parseWithdrawBody(r)
+			if err != nil {
+				return nil, err
+			}
+			entries = append(entries, BatchEntry{Withdraw: &w})
+		default:
+			if r.err == nil {
+				return nil, fmt.Errorf("%w: batch op %d", ErrWire, op)
+			}
+		}
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// ParseDigest decodes a DIGEST payload.
+func ParseDigest(payload []byte) (Digest, error) {
+	r := &reader{b: payload}
+	n := r.uvarint()
+	if r.err == nil && n > maxDigestOrigins {
+		return Digest{}, fmt.Errorf("%w: %d digest origins", ErrWire, n)
+	}
+	var d Digest
+	if r.err == nil && n > 0 {
+		d.Origins = make([]OriginSummary, 0, min(n, 256))
+	}
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		o := OriginSummary{OriginGW: r.string()}
+		o.LiveCount = r.uvarint()
+		o.LiveHash = r.uint64()
+		o.MaxEpoch = r.uvarint()
+		o.GraveCount = r.uvarint()
+		o.GraveHash = r.uint64()
+		if r.err == nil {
+			if o.OriginGW == "" {
+				return Digest{}, fmt.Errorf("%w: empty digest origin", ErrWire)
+			}
+			d.Origins = append(d.Origins, o)
+		}
+	}
+	d.Peers = parsePeers(r)
+	if err := r.done(); err != nil {
+		return Digest{}, err
+	}
+	return d, nil
+}
+
+// ParseDigestDiff decodes a DIGEST-DIFF payload.
+func ParseDigestDiff(payload []byte) (DigestDiff, error) {
+	r := &reader{b: payload}
+	n := r.uvarint()
+	if r.err == nil && n > maxDigestOrigins {
+		return DigestDiff{}, fmt.Errorf("%w: %d diff origins", ErrWire, n)
+	}
+	var d DigestDiff
+	if r.err == nil && n > 0 {
+		d.Origins = make([]string, 0, min(n, 256))
+	}
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		o := r.string()
+		if r.err == nil {
+			if o == "" {
+				return DigestDiff{}, fmt.Errorf("%w: empty diff origin", ErrWire)
+			}
+			d.Origins = append(d.Origins, o)
+		}
+	}
+	if err := r.done(); err != nil {
+		return DigestDiff{}, err
+	}
+	return d, nil
 }
 
 // ParseFrameHeader validates a frame header and returns its type and
@@ -338,7 +691,7 @@ func ParseFrameHeader(hdr []byte) (FrameType, int, error) {
 		return 0, 0, fmt.Errorf("%w: bad magic %x%x", ErrWire, hdr[0], hdr[1])
 	}
 	t := FrameType(hdr[2])
-	if t < FrameHello || t > FrameWithdraw {
+	if t < FrameHello || t > FrameDigestDiff {
 		return 0, 0, fmt.Errorf("%w: unknown frame type %d", ErrWire, hdr[2])
 	}
 	n := binary.BigEndian.Uint32(hdr[3:7])

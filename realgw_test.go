@@ -43,11 +43,16 @@ func TestRealGatewayBinary(t *testing.T) {
 	}
 	defer func() { _ = cmd.Process.Kill() }()
 
-	// Collect output while watching for the ready marker.
+	// Collect output while watching for the ready marker. scanDone
+	// closes once the pipe hits EOF — cmd.Wait must not run before
+	// then: Wait closes the read end of the StdoutPipe, and any
+	// shutdown lines still buffered in the pipe are silently lost.
 	var mu sync.Mutex
 	var output bytes.Buffer
 	ready := make(chan struct{})
+	scanDone := make(chan struct{})
 	go func() {
+		defer close(scanDone)
 		sc := bufio.NewScanner(stdout)
 		for sc.Scan() {
 			mu.Lock()
@@ -89,29 +94,24 @@ func TestRealGatewayBinary(t *testing.T) {
 	}
 	t.Logf("live gateway bridged the exchange: %s", urls[0].URL)
 
-	// Clean SIGINT shutdown.
+	// Clean SIGINT shutdown. Drain the pipe to EOF before reaping: the
+	// EOF proves every shutdown line was captured, and only then is
+	// cmd.Wait (which closes the pipe) safe to call.
 	if err := cmd.Process.Signal(os.Interrupt); err != nil {
 		t.Fatalf("signal: %v", err)
 	}
-	done := make(chan error, 1)
-	go func() { done <- cmd.Wait() }()
 	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatalf("gateway exited uncleanly after SIGINT: %v\n%s", err, readOutput(&mu, &output))
-		}
+	case <-scanDone:
 	case <-time.After(10 * time.Second):
 		t.Fatalf("gateway did not exit within 10s of SIGINT\n%s", readOutput(&mu, &output))
 	}
-	// Give the scanner goroutine a beat to drain the pipe.
-	deadline := time.Now().Add(2 * time.Second)
-	for !strings.Contains(readOutput(&mu, &output), "shutdown complete") {
-		if time.Now().After(deadline) {
-			t.Fatalf("no clean-shutdown marker in output:\n%s", readOutput(&mu, &output))
-		}
-		time.Sleep(10 * time.Millisecond)
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("gateway exited uncleanly after SIGINT: %v\n%s", err, readOutput(&mu, &output))
 	}
 	out := readOutput(&mu, &output)
+	if !strings.Contains(out, "shutdown complete") {
+		t.Fatalf("no clean-shutdown marker in output:\n%s", out)
+	}
 	if !strings.Contains(out, "units instantiated at run time") {
 		t.Errorf("shutdown summary missing from output:\n%s", out)
 	}
