@@ -2,6 +2,7 @@ package indiss_test
 
 import (
 	"fmt"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -35,6 +36,25 @@ type chaosFixture struct {
 	svcHosts []*simnet.Host
 	gws      []*indiss.System
 	checker  *chaos.Checker
+	// dataDirs, when non-nil, gives every gateway a persistent view
+	// store; a restart then warm-boots from disk instead of starting
+	// from an empty view.
+	dataDirs []string
+}
+
+// chaosOpt tweaks the fixture before the gateways deploy.
+type chaosOpt func(*chaosFixture)
+
+// withPersistence gives each gateway its own DataDir under the test's
+// temp root, so crash/restart cycles exercise the warm-boot path.
+func withPersistence() chaosOpt {
+	return func(f *chaosFixture) {
+		root := f.tb.TempDir()
+		f.dataDirs = make([]string, f.segs)
+		for i := range f.dataDirs {
+			f.dataDirs[i] = filepath.Join(root, chaosGWID(i))
+		}
+	}
 }
 
 func chaosGWName(i int) string { return "gw" + fmt.Sprint(i+1) }
@@ -61,6 +81,9 @@ func (f *chaosFixture) chaosDeployCfg(i int) indiss.Config {
 	if i+1 < f.segs {
 		cfg.Peers = []string{fmt.Sprintf("10.0.%d.9:%d", i+2, indiss.FederationDefaultPort)}
 	}
+	if f.dataDirs != nil {
+		cfg.DataDir = f.dataDirs[i]
+	}
 	return cfg
 }
 
@@ -70,7 +93,7 @@ func (f *chaosFixture) chaosDeployCfg(i int) indiss.Config {
 // anti-entropy interval: snappy for small fault scenarios, but it MUST
 // scale with fleet size — a full-view snapshot every 250ms is O(view²)
 // background traffic while thousands of services register.
-func newChaosCampus(tb testing.TB, segs, svcPerSeg int, lanLoss float64, fedSync time.Duration) *chaosFixture {
+func newChaosCampus(tb testing.TB, segs, svcPerSeg int, lanLoss float64, fedSync time.Duration, opts ...chaosOpt) *chaosFixture {
 	tb.Helper()
 	topo := indiss.NewTopology(simnet.Config{
 		LANLatency:      100 * time.Microsecond,
@@ -89,6 +112,9 @@ func newChaosCampus(tb testing.TB, segs, svcPerSeg int, lanLoss float64, fedSync
 	tb.Cleanup(n.Close)
 
 	f := &chaosFixture{tb: tb, net: n, segs: segs, fedSync: fedSync}
+	for _, opt := range opts {
+		opt(f)
+	}
 	for i := 0; i < segs; i++ {
 		f.gwHosts = append(f.gwHosts,
 			n.MustAddHostOn(chaosGWName(i), fmt.Sprintf("10.0.%d.9", i+1), indiss.CampusSegment(i+1)))
@@ -218,6 +244,73 @@ func TestChaosGatewayCrashRestart(t *testing.T) {
 
 	// And the withdrawn services must eventually be gone everywhere —
 	// including the ones withdrawn while the transit gateway was dead.
+	deadline := time.Until(w.MaxStaleness()) + 5*time.Second
+	if err := f.checker.WaitBuried(w.Expectation(), deadline); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosWarmRestart is the crash/restart scenario with persistence:
+// the middle gateway keeps its DataDir across the crash, so the reboot
+// is warm — the view replays from the log and federation epochs seed
+// from disk instead of a full re-learn. The invariant set sharpens
+// accordingly: services withdrawn while the gateway was down sit on its
+// disk as live records, and replaying them must not resurrect them
+// anywhere (digest anti-entropy has to repair the stale replay), while
+// every replayed record stays bounded by its pre-crash TTL.
+func TestChaosWarmRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak; skipped in -short")
+	}
+	t.Parallel()
+	f := newChaosCampus(t, 3, 1, 0, 250*time.Millisecond, withPersistence())
+	w := f.newWorkload(soakConfig())
+
+	if err := w.Register(45); err != nil {
+		t.Fatal(err)
+	}
+	f.checkpoint("pre-crash", w, 30*time.Second)
+
+	crashAt := f.crash(1)
+
+	// The world moves on while the gateway is down — including
+	// withdrawals its disk still records as live.
+	if err := w.Churn(20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Deregister(5); err != nil {
+		t.Fatal(err)
+	}
+	if vs := f.checker.CheckOrphans(chaosGWID(1), crashAt, soakConfig().TTL); len(vs) > 0 {
+		t.Fatalf("orphan staleness during outage: %v", vs)
+	}
+
+	f.restart(1)
+
+	// The reboot must actually have been warm.
+	rc := f.gws[1].Recovered()
+	if rc.Segments == 0 {
+		t.Fatal("restart replayed no segments; warm boot did not happen")
+	}
+	if len(rc.Records) == 0 {
+		t.Fatalf("restart replayed no live records (dropped-expired=%d); "+
+			"the pre-crash view never made it to disk", rc.DroppedExpired)
+	}
+	// No replayed record may outlive what was advertised before the
+	// crash: disk must not mint freshness.
+	for _, r := range rc.Records {
+		if exp := time.UnixMilli(r.Expires); exp.After(crashAt.Add(soakConfig().TTL)) {
+			t.Fatalf("replayed record %s expires %v, later than crash+TTL %v",
+				r.URL, exp, crashAt.Add(soakConfig().TTL))
+		}
+	}
+	if st := f.gws[1].Federation().(*federation.Endpoint).Stats(); st.WarmEpochs == 0 {
+		t.Fatal("federation seeded no epochs from the warm boot")
+	}
+
+	// Convergence with the stale replay repaired, then every withdrawal
+	// — including the mid-outage ones the disk contradicts — stays gone.
+	f.checkpoint("post-restart", w, 30*time.Second)
 	deadline := time.Until(w.MaxStaleness()) + 5*time.Second
 	if err := f.checker.WaitBuried(w.Expectation(), deadline); err != nil {
 		t.Fatal(err)

@@ -28,7 +28,9 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -52,6 +54,60 @@ func printFedStats(sys *indiss.System) {
 	}
 }
 
+// printStoreStats dumps the persistent view store's counters, when the
+// gateway runs with -data-dir.
+func printStoreStats(sys *indiss.System) {
+	st := sys.ViewStore()
+	if st == nil {
+		return
+	}
+	for _, line := range strings.Split(st.Stats().String(), "\n") {
+		fmt.Println("indiss-gw: " + line)
+	}
+}
+
+// printWarmBoot reports what the start-up replay recovered from the
+// data directory.
+func printWarmBoot(sys *indiss.System, dir string) {
+	if dir == "" {
+		return
+	}
+	rec := sys.Recovered()
+	if len(rec.Records) == 0 && len(rec.Graves) == 0 && len(rec.Epochs) == 0 {
+		fmt.Printf("indiss-gw: cold start: no prior view state under %s\n", dir)
+		return
+	}
+	fmt.Printf("indiss-gw: warm boot: %d records, %d graves, %d epochs replayed from %s in %s (dropped-expired=%d truncated-bytes=%d)\n",
+		len(rec.Records), len(rec.Graves), len(rec.Epochs), dir,
+		rec.Elapsed.Round(time.Millisecond), rec.DroppedExpired, rec.TruncatedBytes)
+}
+
+// startStatsLoop prints federation and store stats every interval until
+// the returned stop function is called. A zero interval disables it.
+func startStatsLoop(sys *indiss.System, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				fmt.Printf("indiss-gw: --- stats @ %s ---\n", time.Now().Format(time.TimeOnly))
+				fmt.Printf("indiss-gw: view: %d records\n", sys.View().Len())
+				printFedStats(sys)
+				printStoreStats(sys)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
 // peerList is a repeatable -peer flag.
 type peerList []string
 
@@ -70,6 +126,8 @@ func main() {
 	iface := flag.String("iface", "", "real mode: network interface to bind (default auto-detect)")
 	ip := flag.String("ip", "", "real mode: IPv4 source address (default: the interface's first)")
 	fedPort := flag.Int("federation-port", 0, "real mode: listen for federation peers on this TCP port (0 = only when -peer is set)")
+	dataDir := flag.String("data-dir", "", "persist the service view under this directory (warm boot on restart; -segments > 1 uses per-gateway subdirectories)")
+	statsInterval := flag.Duration("stats-interval", 0, "print view/federation/store stats every interval (0 = only on shutdown)")
 	var peers peerList
 	flag.Var(&peers, "peer", "federation peer for the first gateway (ip:port, repeatable)")
 	flag.Parse()
@@ -84,9 +142,9 @@ func main() {
 				d = *duration
 			}
 		})
-		err = runReal(*specFile, *iface, *ip, d, *fedPort, peers)
+		err = runReal(*specFile, *iface, *ip, d, *fedPort, peers, *dataDir, *statsInterval)
 	} else {
-		err = run(*specFile, *duration, *segments, peers)
+		err = run(*specFile, *duration, *segments, peers, *dataDir, *statsInterval)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -96,7 +154,7 @@ func main() {
 
 // runReal deploys the gateway on live sockets and serves until a
 // SIGINT/SIGTERM (or the optional duration) stops it.
-func runReal(specFile, iface, ip string, duration time.Duration, fedPort int, peers []string) error {
+func runReal(specFile, iface, ip string, duration time.Duration, fedPort int, peers []string, dataDir string, statsInterval time.Duration) error {
 	spec := ""
 	if specFile != "" {
 		data, err := os.ReadFile(specFile)
@@ -121,6 +179,7 @@ func runReal(specFile, iface, ip string, duration time.Duration, fedPort int, pe
 		Role:    indiss.RoleGateway,
 		Dynamic: true,
 		Spec:    spec,
+		DataDir: dataDir,
 	}
 	// Federation: -peer dials out; -federation-port (or -peer without an
 	// explicit port) opens the listener, so a gateway that is only the
@@ -141,7 +200,10 @@ func runReal(specFile, iface, ip string, duration time.Duration, fedPort int, pe
 	defer sys.Close()
 
 	fmt.Printf("indiss-gw: real mode: gateway up on %s (interface %s)\n", stack.IP(), stack.Segment())
+	printWarmBoot(sys, dataDir)
 	fmt.Println("indiss-gw: monitoring the IANA SDP multicast groups; Ctrl-C to stop")
+	stopStats := startStatsLoop(sys, statsInterval)
+	defer stopStats()
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
@@ -158,15 +220,17 @@ func runReal(specFile, iface, ip string, duration time.Duration, fedPort int, pe
 	case <-expiry:
 		fmt.Println("indiss-gw: duration elapsed, shutting down")
 	}
+	stopStats()
 	fmt.Printf("indiss-gw: units instantiated at run time: %v\n", sys.Units())
 	fmt.Printf("indiss-gw: services in the gateway's view: %d\n", len(sys.View().Find("", time.Now())))
 	printFedStats(sys)
+	printStoreStats(sys)
 	sys.Close()
 	fmt.Println("indiss-gw: shutdown complete")
 	return nil
 }
 
-func run(specFile string, duration time.Duration, segments int, peers []string) error {
+func run(specFile string, duration time.Duration, segments int, peers []string, dataDir string, statsInterval time.Duration) error {
 	spec := ""
 	if specFile != "" {
 		data, err := os.ReadFile(specFile)
@@ -179,9 +243,9 @@ func run(specFile string, duration time.Duration, segments int, peers []string) 
 		return fmt.Errorf("indiss-gw: -segments must be >= 1")
 	}
 	if segments == 1 {
-		return runSingleLAN(spec, duration)
+		return runSingleLAN(spec, duration, dataDir, statsInterval)
 	}
-	return runCampus(spec, duration, segments, peers)
+	return runCampus(spec, duration, segments, peers, dataDir, statsInterval)
 }
 
 // gwIP returns the i-th (1-based) gateway's address.
@@ -189,7 +253,7 @@ func gwIP(i int) string { return fmt.Sprintf("10.0.%d.9", i) }
 
 // runCampus is the multi-segment scenario: services on the last segment,
 // clients on the first, a federated gateway on every segment.
-func runCampus(spec string, duration time.Duration, segments int, peers []string) error {
+func runCampus(spec string, duration time.Duration, segments int, peers []string, dataDir string, statsInterval time.Duration) error {
 	net := indiss.NewCampus(segments)
 	defer net.Close()
 
@@ -215,6 +279,9 @@ func runCampus(spec string, duration time.Duration, segments int, peers []string
 			cfg.Spec = spec
 			cfg.Peers = peers
 		}
+		if dataDir != "" {
+			cfg.DataDir = filepath.Join(dataDir, fmt.Sprintf("gw%d", i))
+		}
 		if i < segments && len(cfg.Peers) == 0 {
 			cfg.Peers = []string{fmt.Sprintf("%s:%d", gwIP(i+1), indiss.FederationDefaultPort)}
 		}
@@ -225,8 +292,11 @@ func runCampus(spec string, duration time.Duration, segments int, peers []string
 		if err != nil {
 			return err
 		}
+		printWarmBoot(sys, cfg.DataDir)
 		systems = append(systems, sys)
 	}
+	stopStats := startStatsLoop(systems[0], statsInterval)
+	defer stopStats()
 
 	if err := startServices(clockHost, printerHost); err != nil {
 		return err
@@ -251,6 +321,7 @@ func runCampus(spec string, duration time.Duration, segments int, peers []string
 	fmt.Printf("indiss-gw: gw1 units: %v, records: %d\n",
 		systems[0].Units(), len(systems[0].View().Find("", time.Now())))
 	printFedStats(systems[0])
+	printStoreStats(systems[0])
 	return nil
 }
 
@@ -262,7 +333,7 @@ func orLocal(gw string) string {
 }
 
 // runSingleLAN is the classic one-segment scenario.
-func runSingleLAN(spec string, duration time.Duration) error {
+func runSingleLAN(spec string, duration time.Duration, dataDir string, statsInterval time.Duration) error {
 	net := indiss.NewLAN()
 	defer net.Close()
 	gw := net.MustAddHost("gateway", "10.0.0.9")
@@ -275,11 +346,15 @@ func runSingleLAN(spec string, duration time.Duration) error {
 		Role:    indiss.RoleGateway,
 		Dynamic: true,
 		Spec:    spec,
+		DataDir: dataDir,
 	})
 	if err != nil {
 		return err
 	}
 	defer sys.Close()
+	printWarmBoot(sys, dataDir)
+	stopStats := startStatsLoop(sys, statsInterval)
+	defer stopStats()
 
 	if err := startServices(clockHost, printerHost); err != nil {
 		return err
@@ -287,6 +362,7 @@ func runSingleLAN(spec string, duration time.Duration) error {
 	runClients(clientHost, duration)
 	fmt.Printf("indiss-gw: units instantiated at run time: %v\n", sys.Units())
 	fmt.Printf("indiss-gw: services in the gateway's view: %d\n", len(sys.View().Find("", time.Now())))
+	printStoreStats(sys)
 	return nil
 }
 

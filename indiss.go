@@ -152,6 +152,22 @@ type Config struct {
 	// port table.
 	Spec string
 
+	// DataDir, when non-empty, makes the service view persistent: the
+	// instance opens a log-structured store under the directory,
+	// replays it on start (warm boot — discovery knowledge survives a
+	// crash or restart, bounded by each record's TTL), and mirrors
+	// every view change back into it. With federation enabled, epoch
+	// and tombstone state persists too, so a restarted gateway resumes
+	// digest anti-entropy instead of re-learning the federation. Empty
+	// keeps everything memory-only.
+	DataDir string
+	// ViewMemBudget caps the view's estimated in-memory footprint in
+	// bytes. Past the budget, cold remote records spill to the DataDir
+	// store and are served from disk on point lookups; locally
+	// observed records always stay resident. Zero means unbounded.
+	// Requires DataDir.
+	ViewMemBudget int64
+
 	// Peers lists the "ip:port" federation endpoints of peer gateways.
 	// A non-empty list (or a non-zero FederationPort) enables the
 	// view-sync peering plane: the instance listens for peers, dials
@@ -205,6 +221,9 @@ func Deploy(stack Stack, cfg Config) (*System, error) {
 	if cfg.Role == 0 {
 		return nil, fmt.Errorf("indiss: Config.Role is required")
 	}
+	if cfg.ViewMemBudget > 0 && cfg.DataDir == "" {
+		return nil, fmt.Errorf("indiss: ViewMemBudget requires DataDir (spilled records need somewhere to live)")
+	}
 	coreCfg := core.Config{
 		Role:           cfg.Role,
 		Units:          cfg.SDPs,
@@ -212,6 +231,8 @@ func Deploy(stack Stack, cfg Config) (*System, error) {
 		ThresholdBps:   cfg.ThresholdBps,
 		Profile:        cfg.Profile,
 		NoCache:        cfg.NoCache,
+		DataDir:        cfg.DataDir,
+		ViewMemBudget:  cfg.ViewMemBudget,
 		GatewayID:      cfg.GatewayID,
 		Peers:          cfg.Peers,
 		FederationPort: cfg.FederationPort,
@@ -226,14 +247,18 @@ func Deploy(stack Stack, cfg Config) (*System, error) {
 			peers = append(peers, addr)
 		}
 		coreCfg.Federation = func(s *core.System) (io.Closer, error) {
-			return federation.New(stack, s.View(), federation.Config{
+			fcfg := federation.Config{
 				GatewayID:           s.GatewayID(),
 				ListenPort:          cfg.FederationPort,
 				Peers:               peers,
 				AntiEntropyInterval: cfg.FederationSyncInterval,
 				FlushInterval:       cfg.FederationFlushInterval,
 				MaxActivePeers:      cfg.FederationFanout,
-			})
+			}
+			if st := s.ViewStore(); st != nil {
+				fcfg.Persistence = st
+			}
+			return federation.New(stack, s.View(), fcfg)
 		}
 	}
 	if cfg.Spec != "" {

@@ -10,6 +10,7 @@ import (
 
 	"indiss/internal/events"
 	"indiss/internal/netapi"
+	"indiss/internal/viewstore"
 )
 
 // Config defines one INDISS instance: "configuration of a INDISS instance
@@ -41,6 +42,20 @@ type Config struct {
 	Profile TranslationProfile
 	// NoCache disables view-cache answers (see UnitContext.NoCache).
 	NoCache bool
+
+	// DataDir, when non-empty, makes the service view persistent: the
+	// system opens a log-structured store under the directory, replays
+	// it into the view on start (warm boot), and mirrors every view
+	// change back into it. Empty keeps the view memory-only.
+	DataDir string
+	// ViewMemBudget caps the view's in-memory footprint (bytes,
+	// estimated): past it, cold remote records are spilled to the
+	// DataDir store and served from disk on point lookups. Zero means
+	// unbounded. Only meaningful with DataDir set.
+	ViewMemBudget int64
+	// MaintainInterval paces store compaction and budget enforcement
+	// (default 1s). Only meaningful with DataDir set.
+	MaintainInterval time.Duration
 
 	// GatewayID names this instance in a gateway federation. Empty
 	// defaults to the host name. Only meaningful with federation
@@ -83,6 +98,9 @@ type System struct {
 	self    *SelfFilter
 	monitor *Monitor
 
+	store       *viewstore.Store
+	storeCancel func()
+
 	mu         sync.Mutex
 	units      map[SDP]Unit
 	allowed    map[SDP]struct{}
@@ -123,11 +141,27 @@ func NewSystem(stack netapi.Stack, registry *Registry, cfg Config) (*System, err
 		s.allowed[sdp] = struct{}{}
 	}
 
+	if cfg.DataDir != "" {
+		// Storage opens (and the warm boot replays) before the monitor
+		// or any unit: the first native request already answers from
+		// the recovered view.
+		if err := s.openStorage(); err != nil {
+			s.bus.Close()
+			return nil, err
+		}
+	}
+
 	monitor, err := NewMonitor(stack, MonitorConfig{
 		Table:   cfg.Table,
 		Handler: s.onDetection,
 	})
 	if err != nil {
+		if s.store != nil {
+			close(s.stop)
+			s.storeCancel()
+			s.wg.Wait()
+			s.store.Close()
+		}
 		s.bus.Close()
 		return nil, err
 	}
@@ -210,7 +244,16 @@ func (s *System) Close() {
 	for _, u := range units {
 		u.Stop()
 	}
+	if s.storeCancel != nil {
+		// Units have stopped mutating: release the pump so it drains
+		// whatever the feed still holds and exits.
+		s.storeCancel()
+	}
 	s.wg.Wait()
+	if s.store != nil {
+		// Last out: everything that could write the log has stopped.
+		s.store.Close()
+	}
 	s.bus.Close()
 }
 

@@ -77,12 +77,21 @@ type armedState struct {
 	at  time.Time
 }
 
+// kindBucket holds one lowercased kind's records plus a coarse recency
+// stamp the eviction pass ranks buckets by. The stamp is written at
+// most once per second per bucket (see touchBucket), so concurrent
+// readers under the shard RLock do not fight over the cache line.
+type kindBucket struct {
+	recs  map[string]ServiceRecord // key → record
+	touch atomic.Int64             // unix seconds of the last read hit
+}
+
 // viewShard holds the records of the kinds hashing to it, bucketed by
 // lowercased kind so a Find touches exactly the records it returns.
 type viewShard struct {
 	mu     sync.RWMutex
-	kinds  map[string]map[string]ServiceRecord // lowered kind → key → record
-	expiry []expiryEntry                       // min-heap by at
+	kinds  map[string]*kindBucket // lowered kind → bucket
+	expiry []expiryEntry          // min-heap by at
 	// armed maps each (kind,key) to its single live heap entry. Put
 	// pushes only when unarmed or when the new deadline is earlier than
 	// the armed one (the superseded entry becomes an orphan its seq
@@ -166,6 +175,17 @@ type ServiceView struct {
 	deltaSeq  int
 	subs      map[int]chan Delta
 	batchSubs map[int]*batchSub
+
+	// Two-tier storage (see viewtier.go). tiered gates every cold-path
+	// branch so a memory-only view pays one predictable-false branch at
+	// most. storage and memBudget are set once by AttachStorage, before
+	// concurrent use.
+	tiered    bool
+	storage   ViewStorage
+	memBudget int64
+	memBytes  atomic.Int64
+	evicted   atomic.Uint64
+	coldHits  atomic.Uint64
 }
 
 // batchSub spools delta batches for one SubscribeDeltaBatches consumer.
@@ -221,7 +241,7 @@ func NewServiceView() *ServiceView {
 		batchSubs: make(map[int]*batchSub),
 	}
 	for i := range v.shards {
-		v.shards[i].kinds = make(map[string]map[string]ServiceRecord)
+		v.shards[i].kinds = make(map[string]*kindBucket)
 		v.shards[i].armed = make(map[string]armedState)
 	}
 	return v
@@ -355,7 +375,7 @@ func (v *ServiceView) Put(rec ServiceRecord) {
 		// key stays unique across shards.
 		sh := v.shardFor(old)
 		sh.mu.Lock()
-		deleteFromBucket(sh, old, key)
+		v.deleteFromBucket(sh, old, key)
 		sh.mu.Unlock()
 	}
 	v.keys[key] = lk
@@ -364,11 +384,15 @@ func (v *ServiceView) Put(rec ServiceRecord) {
 	sh.mu.Lock()
 	bucket := sh.kinds[lk]
 	if bucket == nil {
-		bucket = make(map[string]ServiceRecord)
+		bucket = &kindBucket{recs: make(map[string]ServiceRecord)}
 		sh.kinds[lk] = bucket
 	}
 	stored := rec.Clone()
-	bucket[key] = stored
+	if old, ok := bucket.recs[key]; ok {
+		v.memBytes.Add(-recSize(&old))
+	}
+	bucket.recs[key] = stored
+	v.memBytes.Add(recSize(&stored))
 	ak := armedKey(lk, key)
 	if a, ok := sh.armed[ak]; !ok || rec.Expires.Before(a.at) {
 		// Arm (or re-arm earlier). An armed entry with an equal-or-
@@ -409,17 +433,26 @@ func (v *ServiceView) Remove(origin SDP, url string) bool {
 	lk, ok := v.keys[key]
 	if !ok {
 		v.keysMu.Unlock()
+		// The record may live only in the cold tier (spilled): withdraw
+		// it from there, announcing the removal so the storage pump and
+		// the federation see the withdrawal like any other.
+		if rec, spilled := v.coldLookup(origin, url, time.Now()); spilled {
+			v.emitDeltas([]Delta{{Op: DeltaRemove, Record: rec}})
+			return true
+		}
 		return false
 	}
 	delete(v.keys, key)
 	sh := v.shardFor(lk)
 	sh.mu.Lock()
 	if v.wantDeltas() {
-		if rec, live := sh.kinds[lk][key]; live {
-			deltas = append(deltas, Delta{Op: DeltaRemove, Record: rec})
+		if bucket := sh.kinds[lk]; bucket != nil {
+			if rec, live := bucket.recs[key]; live {
+				deltas = append(deltas, Delta{Op: DeltaRemove, Record: rec})
+			}
 		}
 	}
-	deleteFromBucket(sh, lk, key)
+	v.deleteFromBucket(sh, lk, key)
 	sh.mu.Unlock()
 	v.keysMu.Unlock()
 	v.emitDeltas(deltas)
@@ -436,12 +469,22 @@ func (v *ServiceView) Get(origin SDP, url string) (ServiceRecord, bool) {
 	lk, ok := v.keys[key]
 	v.keysMu.Unlock()
 	if !ok {
-		return ServiceRecord{}, false
+		// Point-miss: the record may have been spilled to the cold tier.
+		return v.coldLookup(origin, url, now)
 	}
 	sh := v.shardFor(lk)
 	sh.mu.RLock()
-	rec, ok := sh.kinds[lk][key]
+	var rec ServiceRecord
+	bucket := sh.kinds[lk]
+	if bucket != nil {
+		rec, ok = bucket.recs[key]
+	} else {
+		ok = false
+	}
 	sh.mu.RUnlock()
+	if bucket != nil {
+		v.touchBucket(bucket, now)
+	}
 	if !ok || !rec.Expires.After(now) {
 		return ServiceRecord{}, false
 	}
@@ -482,7 +525,7 @@ func (v *ServiceView) find(kind string, now time.Time, skip SDP, filterOrigin bo
 		lk := strings.ToLower(kind)
 		sh := v.shardFor(lk)
 		sh.mu.RLock()
-		out := collectLocked(sh, lk, now, skip, filterOrigin, nil, true)
+		out := v.collectLocked(sh, lk, now, skip, filterOrigin, nil, true)
 		due := sweepDueLocked(sh, now)
 		sh.mu.RUnlock()
 		if due {
@@ -499,7 +542,7 @@ func (v *ServiceView) find(kind string, now time.Time, skip SDP, filterOrigin bo
 		sh := &v.shards[i]
 		sh.mu.RLock()
 		for lk := range sh.kinds {
-			out = collectLocked(sh, lk, now, skip, filterOrigin, out, false)
+			out = v.collectLocked(sh, lk, now, skip, filterOrigin, out, false)
 		}
 		due := sweepDueLocked(sh, now)
 		sh.mu.RUnlock()
@@ -520,15 +563,16 @@ func sweepDueLocked(sh *viewShard, now time.Time) bool {
 	return len(sh.expiry) > 0 && !sh.expiry[0].at.After(now)
 }
 
-func collectLocked(sh *viewShard, lk string, now time.Time, skip SDP, filterOrigin bool, out []ServiceRecord, presize bool) []ServiceRecord {
+func (v *ServiceView) collectLocked(sh *viewShard, lk string, now time.Time, skip SDP, filterOrigin bool, out []ServiceRecord, presize bool) []ServiceRecord {
 	bucket := sh.kinds[lk]
-	if len(bucket) == 0 {
+	if bucket == nil || len(bucket.recs) == 0 {
 		return out
 	}
+	v.touchBucket(bucket, now)
 	if presize && out == nil {
-		out = make([]ServiceRecord, 0, len(bucket))
+		out = make([]ServiceRecord, 0, len(bucket.recs))
 	}
-	for _, rec := range bucket {
+	for _, rec := range bucket.recs {
 		if !rec.Expires.After(now) {
 			continue // lazily skipped; the heap sweep reclaims it
 		}
@@ -555,11 +599,12 @@ func sortRecords(recs []ServiceRecord, preferLocal bool) {
 	})
 }
 
-// Len returns the number of records, live or not.
+// Len returns the number of records, live or not, across both tiers.
 func (v *ServiceView) Len() int {
 	v.keysMu.Lock()
-	defer v.keysMu.Unlock()
-	return len(v.keys)
+	n := len(v.keys)
+	v.keysMu.Unlock()
+	return n + v.spillTotal()
 }
 
 // sweepShard expires due records of one shard: pop heap entries whose
@@ -586,7 +631,11 @@ func (v *ServiceView) sweepShardLocked(sh *viewShard, now time.Time, deltas []De
 			continue // orphan superseded by an earlier re-arm: discard
 		}
 		bucket := sh.kinds[entry.kind]
-		rec, ok := bucket[entry.key]
+		var rec ServiceRecord
+		var ok bool
+		if bucket != nil {
+			rec, ok = bucket.recs[entry.key]
+		}
 		if !ok {
 			// Removed or re-put under another kind: the live entry is
 			// consumed, so the pair is no longer armed.
@@ -604,7 +653,7 @@ func (v *ServiceView) sweepShardLocked(sh *viewShard, now time.Time, deltas []De
 		if v.wantDeltas() {
 			deltas = append(deltas, Delta{Op: DeltaExpire, Record: rec})
 		}
-		deleteFromBucket(sh, entry.kind, entry.key)
+		v.deleteFromBucket(sh, entry.kind, entry.key)
 		delete(sh.armed, ak)
 		// Only unindex the key if it still routes to this bucket (it may
 		// have been re-put under another kind).
@@ -615,13 +664,19 @@ func (v *ServiceView) sweepShardLocked(sh *viewShard, now time.Time, deltas []De
 	return deltas
 }
 
-func deleteFromBucket(sh *viewShard, lk, key string) {
+// deleteFromBucket removes one record and settles its memory account;
+// every removal path (withdrawal, expiry, kind change, eviction) funnels
+// through here so the budget estimate cannot drift.
+func (v *ServiceView) deleteFromBucket(sh *viewShard, lk, key string) {
 	bucket := sh.kinds[lk]
 	if bucket == nil {
 		return
 	}
-	delete(bucket, key)
-	if len(bucket) == 0 {
+	if rec, ok := bucket.recs[key]; ok {
+		v.memBytes.Add(-recSize(&rec))
+	}
+	delete(bucket.recs, key)
+	if len(bucket.recs) == 0 {
 		delete(sh.kinds, lk)
 	}
 }

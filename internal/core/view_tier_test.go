@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stubStorage is an in-memory ViewStorage for tier tests.
+type stubStorage struct {
+	mu   sync.Mutex
+	recs map[string]ServiceRecord
+}
+
+func newStubStorage() *stubStorage {
+	return &stubStorage{recs: make(map[string]ServiceRecord)}
+}
+
+func (s *stubStorage) Spill(recs []ServiceRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range recs {
+		s.recs[viewKey(r.Origin, r.URL)] = r
+	}
+	return nil
+}
+
+func (s *stubStorage) Lookup(origin SDP, url string, now time.Time) (ServiceRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.recs[viewKey(origin, url)]
+	if !ok || !rec.Expires.After(now) {
+		return ServiceRecord{}, false
+	}
+	return rec, true
+}
+
+func (s *stubStorage) SpilledCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+func tierRec(i int, remote bool) ServiceRecord {
+	rec := ServiceRecord{
+		Origin: SDPUPnP, Kind: "clock",
+		URL:     fmt.Sprintf("soap://10.0.1.%d:4004", i),
+		Attrs:   map[string]string{"friendlyName": "clock"},
+		Expires: time.Now().Add(time.Hour),
+	}
+	if remote {
+		rec.OriginGW, rec.Hops, rec.Remote = "gw-b", 1, true
+	}
+	return rec
+}
+
+// TestBudgetEvictsColdRemoteOnly: over budget, remote records spill to
+// storage and stay reachable by Get; local records never leave memory.
+func TestBudgetEvictsColdRemoteOnly(t *testing.T) {
+	v := NewServiceView()
+	stub := newStubStorage()
+	v.AttachStorage(stub, 1) // a budget nothing fits under
+
+	local := tierRec(1, false)
+	v.Put(local)
+	var remotes []ServiceRecord
+	for i := 10; i < 40; i++ {
+		r := tierRec(i, true)
+		v.Put(r)
+		remotes = append(remotes, r)
+	}
+	before := v.Len()
+
+	spilled := v.EnforceBudget(time.Now())
+	if spilled != len(remotes) {
+		t.Fatalf("spilled %d records, want %d", spilled, len(remotes))
+	}
+	if v.Len() != before {
+		t.Fatalf("Len changed across eviction: %d -> %d", before, v.Len())
+	}
+	// The local record is untouched and in memory.
+	if _, ok := stub.recs[viewKey(local.Origin, local.URL)]; ok {
+		t.Fatal("local record was evicted")
+	}
+	if rec, ok := v.Get(local.Origin, local.URL); !ok || rec.Remote {
+		t.Fatalf("local record lost: %+v ok=%v", rec, ok)
+	}
+	// Every remote record still answers a point lookup, via the cold tier.
+	for _, r := range remotes {
+		got, ok := v.Get(r.Origin, r.URL)
+		if !ok || got.URL != r.URL || !got.Remote {
+			t.Fatalf("spilled record unreachable: %s ok=%v", r.URL, ok)
+		}
+	}
+	if v.ColdHits() == 0 {
+		t.Fatal("cold lookups not counted")
+	}
+	// Memory accounting reflects the spill.
+	if v.MemUsage() > recSize(&local)*4 {
+		t.Fatalf("memory estimate %d still holds the remote records", v.MemUsage())
+	}
+}
+
+// TestRemoveSpilledRecordEmitsWithdrawal: withdrawing a record that
+// lives only in the cold tier still reports true and emits the
+// DeltaRemove the federation and the storage pump depend on.
+func TestRemoveSpilledRecordEmitsWithdrawal(t *testing.T) {
+	v := NewServiceView()
+	stub := newStubStorage()
+	v.AttachStorage(stub, 1)
+	deltas, cancel := v.SubscribeDeltaBatches(16)
+	defer cancel()
+
+	r := tierRec(7, true)
+	v.Put(r)
+	if v.EnforceBudget(time.Now()) != 1 {
+		t.Fatal("record not spilled")
+	}
+	if !v.Remove(r.Origin, r.URL) {
+		t.Fatal("Remove of a spilled record reported false")
+	}
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case batch := <-deltas:
+			for _, d := range batch {
+				if d.Op == DeltaRemove && d.Record.URL == r.URL {
+					return
+				}
+			}
+		case <-deadline:
+			t.Fatal("no DeltaRemove emitted for the spilled record")
+		}
+	}
+}
+
+// TestEvictionSkipsRefreshedRecords: a record refreshed between the
+// spill copy and the deletion pass keeps its (newer) memory copy — the
+// concurrent Put wins, and the other batch member satisfies the budget.
+func TestEvictionSkipsRefreshedRecords(t *testing.T) {
+	v := NewServiceView()
+	stub := newStubStorage()
+	refreshed := tierRec(3, true)
+	refreshed.Expires = time.Now().Add(2 * time.Hour)
+	fired := false
+	wrapper := &hookedStorage{stubStorage: stub, onSpill: func() {
+		if !fired {
+			fired = true
+			v.Put(refreshed) // lands between Spill and the deletion pass
+		}
+	}}
+
+	stale := refreshed
+	stale.Expires = time.Now().Add(time.Hour)
+	other := tierRec(4, true)
+	v.Put(stale)
+	v.Put(other)
+	// A budget one record fits under: evicting `other` is enough.
+	v.AttachStorage(wrapper, recSize(&refreshed)+32)
+
+	if n := v.EnforceBudget(time.Now()); n != 1 {
+		t.Fatalf("evicted %d records, want 1 (just the unrefreshed one)", n)
+	}
+	got, ok := v.Get(refreshed.Origin, refreshed.URL)
+	if !ok || !got.Expires.Equal(refreshed.Expires) {
+		t.Fatalf("refreshed record lost or stale: %+v ok=%v", got, ok)
+	}
+	if v.ColdHits() != 0 {
+		t.Fatal("refreshed record was served from the cold tier")
+	}
+}
+
+type hookedStorage struct {
+	*stubStorage
+	onSpill func()
+}
+
+func (h *hookedStorage) Spill(recs []ServiceRecord) error {
+	err := h.stubStorage.Spill(recs)
+	if h.onSpill != nil {
+		h.onSpill()
+	}
+	return err
+}

@@ -62,6 +62,12 @@ type Config struct {
 	// carries a peer sample, so the joiner can redial sideways — and is
 	// then closed. Zero means unlimited.
 	MaxSessions int
+	// Persistence, when non-nil, durably mirrors the endpoint's epoch
+	// and grave state and seeds it back on construction — the warm
+	// boot that lets a restarted gateway resume digest anti-entropy
+	// where it left off. A gateway with a persistent view store wires
+	// its *viewstore.Store in here. Nil keeps the state memory-only.
+	Persistence Persistence
 	// MaxWireVersion pins the newest protocol version this endpoint
 	// offers in its HELLO (default: Version). Pinning to 2 makes the
 	// endpoint indistinguishable from a v2 peer on the wire — the
@@ -210,6 +216,10 @@ type Endpoint struct {
 	epochs map[string]uint64
 	closed bool
 
+	// Warm-boot census, set once before any goroutine runs.
+	warmEpochs int
+	warmGraves int
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
@@ -244,6 +254,7 @@ func New(host netapi.Stack, view *core.ServiceView, cfg Config) (*Endpoint, erro
 		epochs:      make(map[string]uint64),
 		stop:        make(chan struct{}),
 	}
+	e.seedFromPersistence()
 	batches, cancel := view.SubscribeDeltaBatches(1024)
 	e.deltaCancel = cancel
 
@@ -723,6 +734,7 @@ func (e *Endpoint) mintEpochLocked(key string) uint64 {
 		ep = t.epoch + 1
 	}
 	e.epochs[key] = ep
+	e.persistEpoch(key, ep)
 	return ep
 }
 
@@ -800,6 +812,21 @@ func (e *Endpoint) sendSnapshot(s *session) {
 			continue
 		}
 		s.enqueue(FrameAnnounce, AppendAnnounce(nil, a))
+	}
+	if p := e.cfg.Persistence; p != nil {
+		// Budget-spilled records are live knowledge too; Find skipped
+		// them, so resolve each through the view's cold-tier lookup.
+		for _, sp := range p.Spilled(now) {
+			rec, ok := e.view.Get(core.SDP(sp.Origin), sp.URL)
+			if !ok || e.skipForPeer(rec, s) {
+				continue
+			}
+			a, ok := e.announceFor(rec)
+			if !ok {
+				continue
+			}
+			s.enqueue(FrameAnnounce, AppendAnnounce(nil, a))
+		}
 	}
 	for _, t := range tombs {
 		w := Withdraw{
@@ -914,6 +941,7 @@ func (e *Endpoint) handleAnnounce(s *session, a Announce) {
 	} else {
 		delete(e.epochs, key) // unknown instance: no stale epoch may linger
 	}
+	e.persistEpoch(key, a.Epoch)
 	// The Put happens under the same e.mu hold that stored the epoch, so
 	// the prune sweep (which checks view liveness under e.mu) can never
 	// observe the epoch without its record. The view's own locks nest
@@ -972,6 +1000,7 @@ func (e *Endpoint) handleWithdraw(s *session, w Withdraw) {
 		epoch = w.Epoch
 	}
 	delete(e.epochs, key)
+	e.persistEpoch(key, 0)
 	e.buryLocked(key, tombstone{
 		originGW: w.OriginGW,
 		origin:   w.Origin,
@@ -1006,6 +1035,7 @@ func (e *Endpoint) buryLocked(key string, t tombstone) {
 		}
 	}
 	e.tombs[key] = t
+	e.persistGrave(t)
 }
 
 // withdrawBack answers one session's stale ANNOUNCE with a directed
@@ -1161,6 +1191,7 @@ func (e *Endpoint) collectDeltas(order []string, pending map[string]*pendingDelt
 				epoch = t.epoch
 			}
 			delete(e.epochs, key)
+			e.persistEpoch(key, 0)
 			if !d.Record.Remote {
 				graveUntil := time.Now().Add(tombstoneGuard)
 				if d.Record.Expires.After(graveUntil) {

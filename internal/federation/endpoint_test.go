@@ -10,7 +10,7 @@ import (
 
 // fedNet builds a segmented network with one gateway host per segment,
 // linked in a chain. Hosts are "gw1".."gwN" at 10.0.<i>.9.
-func fedNet(t *testing.T, segments int) (*simnet.Network, []*simnet.Host) {
+func fedNet(t testing.TB, segments int) (*simnet.Network, []*simnet.Host) {
 	t.Helper()
 	topo := simnet.NewTopology(simnet.Config{})
 	names := make([]string, segments)

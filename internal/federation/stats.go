@@ -78,6 +78,14 @@ type Stats struct {
 	Sessions int
 	// KnownPeers is the overlay's learned peer-table size.
 	KnownPeers int
+
+	// Warm-boot census: epochs and graves seeded from the persistent
+	// view store at construction. Zero when the endpoint started cold
+	// or runs without persistence — a restarted gateway that shows
+	// nonzero values here resumed digest anti-entropy from disk state
+	// instead of re-learning the federation from scratch.
+	WarmEpochs int
+	WarmGraves int
 }
 
 // Stats snapshots the endpoint's counters.
@@ -111,6 +119,8 @@ func (e *Endpoint) Stats() Stats {
 		QueueDrops: c.queueDrops.Load(),
 		PeersShed:  c.peersShed.Load(),
 	}
+	st.WarmEpochs = e.warmEpochs
+	st.WarmGraves = e.warmGraves
 	e.mu.Lock()
 	st.Sessions = len(e.sessions)
 	for s := range e.sessions {
@@ -131,10 +141,12 @@ func (s Stats) String() string {
 			"  sent: bytes=%d hello=%d announce=%d withdraw=%d batch=%d(entries=%d) digest=%d diff=%d\n"+
 			"  recv: bytes=%d hello=%d announce=%d withdraw=%d batch=%d(entries=%d) digest=%d diff=%d\n"+
 			"  digest: hits=%d misses=%d pushes=%d requests=%d\n"+
-			"  backpressure: queue-drops=%d peers-shed=%d",
+			"  backpressure: queue-drops=%d peers-shed=%d\n"+
+			"  warm-boot: epochs=%d graves=%d",
 		s.Sessions, s.KnownPeers, s.QueueDepth,
 		s.BytesSent, s.HelloSent, s.AnnounceSent, s.WithdrawSent, s.BatchSent, s.BatchEntriesSent, s.DigestSent, s.DigestDiffSent,
 		s.BytesRecv, s.HelloRecv, s.AnnounceRecv, s.WithdrawRecv, s.BatchRecv, s.BatchEntriesRecv, s.DigestRecv, s.DigestDiffRecv,
 		s.DigestHits, s.DigestMisses, s.DigestPushes, s.DigestRequests,
-		s.QueueDrops, s.PeersShed)
+		s.QueueDrops, s.PeersShed,
+		s.WarmEpochs, s.WarmGraves)
 }

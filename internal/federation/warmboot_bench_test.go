@@ -1,0 +1,132 @@
+package federation
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"indiss/internal/core"
+	"indiss/internal/simnet"
+	"indiss/internal/viewstore"
+)
+
+// benchRestartConvergence measures restart-to-converged time for one
+// gateway that knows `records` federated records, either warm (replay
+// its view store, reconnect, digests hit) or cold (empty view, full
+// re-sync over the wire). PERF.md records both medians side by side.
+func benchRestartConvergence(b *testing.B, records int, warm bool) {
+	_, hosts := fedNet(b, 2)
+	viewA := core.NewServiceView()
+	for i := 0; i < records; i++ {
+		viewA.Put(localRec("svc-"+fmt.Sprint(i), fmt.Sprintf("soap://10.0.1.%d:%d", 2+i%200, 4000+i), time.Hour))
+	}
+	ea, err := New(hosts[0], viewA, fastCfg("gw-a"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ea.Close()
+
+	dir := b.TempDir()
+	st, err := viewstore.Open(dir, viewstore.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	peerA := simnet.Addr{IP: hosts[0].IP(), Port: DefaultPort}
+	cfgB := fastCfg("gw-b", peerA)
+	cfgB.Persistence = st
+	viewB := core.NewServiceView()
+	eb, err := New(hosts[1], viewB, cfgB)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	wait := func(v *core.ServiceView) {
+		deadline := time.Now().Add(30 * time.Second)
+		for len(v.Find("", time.Now())) < records {
+			if time.Now().After(deadline) {
+				b.Fatalf("gateway converged to %d/%d records", len(v.Find("", time.Now())), records)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	wait(viewB)
+	// Mirror the learned view into the log, the way the core delta pump
+	// does continuously in a deployed system.
+	for _, rec := range viewB.Find("", time.Now()) {
+		if err := st.Put(&viewstore.Record{
+			Origin: string(rec.Origin), Kind: rec.Kind, URL: rec.URL,
+			Location: rec.Location, Attrs: rec.Attrs,
+			Expires: rec.Expires.UnixMilli(), OriginGW: rec.OriginGW,
+			Hops: uint8(rec.Hops), Remote: rec.Remote,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Flush(); err != nil {
+		b.Fatal(err)
+	}
+
+	durations := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		hosts[1].SetDown(true)
+		eb.Close()
+		if st != nil {
+			st.Close()
+		}
+		hosts[1].SetDown(false)
+		b.StartTimer()
+
+		start := time.Now()
+		v2 := core.NewServiceView()
+		cfg := fastCfg("gw-b", peerA)
+		if warm {
+			st, err = viewstore.Open(dir, viewstore.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := range st.Recovered().Records {
+				r := &st.Recovered().Records[j]
+				v2.Put(core.ServiceRecord{
+					Origin: core.SDP(r.Origin), Kind: r.Kind, URL: r.URL,
+					Location: r.Location, Attrs: r.Attrs,
+					Expires: time.UnixMilli(r.Expires), OriginGW: r.OriginGW,
+					Hops: int(r.Hops), Remote: r.Remote,
+				})
+			}
+			cfg.Persistence = st
+		} else {
+			st = nil
+		}
+		eb, err = New(hosts[1], v2, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wait(v2)
+		durations = append(durations, time.Since(start))
+	}
+	b.StopTimer()
+	eb.Close()
+	if st != nil {
+		st.Close()
+	}
+	if len(durations) > 0 {
+		sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+		b.ReportMetric(float64(durations[len(durations)/2].Microseconds())/1000, "ms-median/restart")
+	}
+}
+
+// BenchmarkWarmRestartConvergence: restart-to-converged with the view
+// store replayed — knowledge is back before the first frame is sent,
+// so the measured time is log replay plus endpoint start.
+func BenchmarkWarmRestartConvergence(b *testing.B) {
+	benchRestartConvergence(b, 500, true)
+}
+
+// BenchmarkColdRestartConvergence: the same restart with no DataDir —
+// the rebooted gateway must pull all records back over the federation.
+func BenchmarkColdRestartConvergence(b *testing.B) {
+	benchRestartConvergence(b, 500, false)
+}

@@ -78,6 +78,7 @@ func DefaultGroups() []Group {
 		{Name: "Jini Unit", Paths: []string{"internal/units/jiniunit.go"}},
 		{Name: "DNS-SD Unit", Paths: []string{"internal/units/dnssdunit.go"}},
 		{Name: "Federation plane", Paths: []string{"internal/federation"}},
+		{Name: "View storage (viewstore)", Paths: []string{"internal/viewstore"}},
 		{Name: "SLP stack (OpenSLP equivalent)", Paths: []string{"internal/slp"}},
 		{Name: "UPnP stack (CyberLink equivalent)", Paths: []string{
 			"internal/upnp", "internal/ssdp", "internal/httpx", "internal/xmlx",

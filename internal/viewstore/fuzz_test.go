@@ -1,0 +1,98 @@
+package viewstore
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzViewstoreLog throws raw bytes at the segment scanner: whatever
+// the tail looks like — torn, truncated, bit-rotted, adversarial — the
+// scan must never panic, must only surface entries that re-encode and
+// re-scan to the same value, and must return a valid-prefix length
+// that really is replayable.
+func FuzzViewstoreLog(f *testing.F) {
+	hdr := append([]byte(segMagic), segVersion)
+	rec := Record{Origin: "UPnP", Kind: "clock", URL: "soap://10.0.1.2:4004",
+		Location: "http://10.0.1.2:5431/d.xml",
+		Attrs:    map[string]string{"friendlyName": "clock"},
+		Expires:  time.Now().Add(time.Hour).UnixMilli(),
+		OriginGW: "gw-a", Hops: 2, Remote: true}
+	g := Grave{OriginGW: "gw-a", Origin: "SLP", Kind: "k",
+		URL: "service:k://10.0.0.2", Epoch: 9,
+		Expires: time.Now().Add(time.Minute).UnixMilli()}
+	full := AppendRecord(append([]byte{}, hdr...), &rec)
+	full = AppendErase(full, "SLP", "service:k://10.0.0.2")
+	full = AppendGrave(full, &g)
+	full = AppendEpoch(full, Key(rec.Origin, rec.URL), 41)
+	f.Add(full)
+	f.Add(full[:len(full)-3]) // torn tail
+	f.Add(hdr)
+	f.Add([]byte("IVSL\x01\x00\x00\x00\x00\xff\xff\xff\xff"))
+	f.Add([]byte("not a segment at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var entries []entry
+		valid, err := ScanSegment(data, func(e entry) { entries = append(entries, e) })
+		if err != nil {
+			if len(entries) != 0 {
+				t.Fatalf("header rejected but %d entries surfaced", len(entries))
+			}
+			return
+		}
+		if valid < segHeaderLen || valid > int64(len(data)) {
+			t.Fatalf("valid prefix %d out of range [%d,%d]", valid, segHeaderLen, len(data))
+		}
+		// The reported prefix must itself replay to the same entries —
+		// that is what Open trusts when it truncates a torn tail.
+		var again []entry
+		validAgain, err := ScanSegment(data[:valid], func(e entry) { again = append(again, e) })
+		if err != nil || validAgain != valid || len(again) != len(entries) {
+			t.Fatalf("valid prefix not self-consistent: %d/%d entries, %d vs %d bytes (%v)",
+				len(again), len(entries), validAgain, valid, err)
+		}
+		// Every surfaced entry must survive a re-encode round trip.
+		for i, e := range entries {
+			var buf []byte
+			switch e.kind {
+			case entryRecord:
+				buf = AppendRecord(append([]byte{}, hdr...), e.rec)
+			case entryErase:
+				buf = AppendErase(append([]byte{}, hdr...), e.origin, e.url)
+			case entryGrave:
+				buf = AppendGrave(append([]byte{}, hdr...), e.grave)
+			case entryEpoch:
+				buf = AppendEpoch(append([]byte{}, hdr...), e.key, e.epoch)
+			default:
+				t.Fatalf("entry %d has unknown kind %d", i, e.kind)
+			}
+			var got []entry
+			if _, err := ScanSegment(buf, func(e entry) { got = append(got, e) }); err != nil || len(got) != 1 {
+				t.Fatalf("entry %d did not re-scan: %d entries (%v)", i, len(got), err)
+			}
+			r := got[0]
+			if r.kind != e.kind {
+				t.Fatalf("entry %d kind changed %d -> %d", i, e.kind, r.kind)
+			}
+			switch e.kind {
+			case entryRecord:
+				if r.rec.URL != e.rec.URL || r.rec.Expires != e.rec.Expires ||
+					r.rec.OriginGW != e.rec.OriginGW || r.rec.Remote != e.rec.Remote ||
+					len(r.rec.Attrs) != len(e.rec.Attrs) {
+					t.Fatalf("record remarshal mismatch: %+v vs %+v", e.rec, r.rec)
+				}
+			case entryErase:
+				if r.origin != e.origin || r.url != e.url {
+					t.Fatalf("erase remarshal mismatch: %q|%q vs %q|%q", e.origin, e.url, r.origin, r.url)
+				}
+			case entryGrave:
+				if *r.grave != *e.grave {
+					t.Fatalf("grave remarshal mismatch: %+v vs %+v", e.grave, r.grave)
+				}
+			case entryEpoch:
+				if r.key != e.key || r.epoch != e.epoch {
+					t.Fatalf("epoch remarshal mismatch: %q=%d vs %q=%d", e.key, e.epoch, r.key, r.epoch)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package indiss_test
+
+import (
+	"testing"
+	"time"
+
+	"indiss"
+)
+
+// putRec inserts one record into a running system's view.
+func putRec(sys *indiss.System, url string, ttl time.Duration) {
+	sys.View().Put(indiss.ServiceRecord{
+		Origin:  indiss.UPnP,
+		Kind:    "urn:schemas-upnp-org:service:Clock:1",
+		URL:     url,
+		Attrs:   map[string]string{"friendlyName": "clock"},
+		Expires: time.Now().Add(ttl),
+	})
+}
+
+// waitStoreKeys polls the system's store until the keydir holds n live
+// keys, proving the delta pump has caught up with the view mutations.
+func waitStoreKeys(t *testing.T, sys *indiss.System, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for sys.ViewStore().Stats().IndexKeys != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("store never reached %d live keys (have %d)",
+				n, sys.ViewStore().Stats().IndexKeys)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWarmBootRestoresViewAcrossRestart is the end-to-end persistence
+// contract: a redeployed system with the same DataDir replays the log
+// and serves pre-restart discovery knowledge — except what the world
+// retracted while the process was down. A record that expired or was
+// withdrawn before the crash must not resurrect on replay.
+func TestWarmBootRestoresViewAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	net := indiss.NewLAN()
+	defer net.Close()
+	host := net.MustAddHost("gw", "10.0.0.9")
+
+	sys, err := indiss.Deploy(host, indiss.Config{Role: indiss.RoleGateway, DataDir: dir})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	const (
+		longURL      = "soap://10.0.0.2:4004/clock"
+		shortURL     = "soap://10.0.0.3:4004/clock"
+		withdrawnURL = "soap://10.0.0.4:4004/clock"
+	)
+	putRec(sys, longURL, time.Hour)
+	putRec(sys, shortURL, 120*time.Millisecond)
+	putRec(sys, withdrawnURL, time.Hour)
+	waitStoreKeys(t, sys, 3)
+	if !sys.View().Remove(indiss.UPnP, withdrawnURL) {
+		t.Fatal("Remove returned false")
+	}
+	waitStoreKeys(t, sys, 2)
+	sys.Close()
+
+	// Let the short record's lifetime lapse while "down".
+	time.Sleep(150 * time.Millisecond)
+
+	sys2, err := indiss.Deploy(host, indiss.Config{Role: indiss.RoleGateway, DataDir: dir})
+	if err != nil {
+		t.Fatalf("redeploy: %v", err)
+	}
+	defer sys2.Close()
+
+	rc := sys2.Recovered()
+	if len(rc.Records) != 1 {
+		t.Fatalf("warm boot replayed %d records, want 1", len(rc.Records))
+	}
+	if rc.DroppedExpired != 1 {
+		t.Fatalf("DroppedExpired = %d, want 1 (the short-TTL record)", rc.DroppedExpired)
+	}
+	if _, ok := sys2.View().Get(indiss.UPnP, longURL); !ok {
+		t.Fatal("long-lived record did not survive the restart")
+	}
+	if _, ok := sys2.View().Get(indiss.UPnP, shortURL); ok {
+		t.Fatal("record that expired while down resurrected on replay")
+	}
+	if _, ok := sys2.View().Get(indiss.UPnP, withdrawnURL); ok {
+		t.Fatal("withdrawn record resurrected on replay")
+	}
+}
+
+// TestColdStartWithoutDataDir pins the default: no DataDir, no store,
+// zero-value recovery report.
+func TestColdStartWithoutDataDir(t *testing.T) {
+	net := indiss.NewLAN()
+	defer net.Close()
+	host := net.MustAddHost("gw", "10.0.0.9")
+	sys, err := indiss.Deploy(host, indiss.Config{Role: indiss.RoleGateway})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	defer sys.Close()
+	if sys.ViewStore() != nil {
+		t.Fatal("ViewStore non-nil without DataDir")
+	}
+	if rc := sys.Recovered(); len(rc.Records) != 0 || rc.Segments != 0 {
+		t.Fatalf("Recovered not zero without DataDir: %+v", rc)
+	}
+}
+
+// TestViewMemBudgetRequiresDataDir pins the config validation.
+func TestViewMemBudgetRequiresDataDir(t *testing.T) {
+	net := indiss.NewLAN()
+	defer net.Close()
+	host := net.MustAddHost("gw", "10.0.0.9")
+	_, err := indiss.Deploy(host, indiss.Config{Role: indiss.RoleGateway, ViewMemBudget: 1 << 20})
+	if err == nil {
+		t.Fatal("Deploy with ViewMemBudget but no DataDir succeeded")
+	}
+}
+
+// TestBudgetedDeploySpillsAndServes drives the full stack under a tiny
+// memory budget: remote records spill to disk, point lookups still find
+// them, and the in-memory estimate respects the budget.
+func TestBudgetedDeploySpillsAndServes(t *testing.T) {
+	dir := t.TempDir()
+	net := indiss.NewLAN()
+	defer net.Close()
+	host := net.MustAddHost("gw", "10.0.0.9")
+	sys, err := indiss.Deploy(host, indiss.Config{
+		Role:          indiss.RoleGateway,
+		DataDir:       dir,
+		ViewMemBudget: 1, // force everything remote out
+	})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	defer sys.Close()
+
+	const n = 40
+	urls := make([]string, n)
+	for i := range urls {
+		urls[i] = "soap://10.0.1." + string(rune('0'+i%10)) + ":4004/svc" + string(rune('a'+i%26))
+		sys.View().Put(indiss.ServiceRecord{
+			Origin:   indiss.UPnP,
+			Kind:     "urn:schemas-upnp-org:service:Clock:1",
+			URL:      urls[i],
+			Expires:  time.Now().Add(time.Hour),
+			OriginGW: "gw-far",
+			Hops:     1,
+			Remote:   true,
+		})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sys.ViewStore().SpilledCount() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d records spilled", sys.ViewStore().SpilledCount(), n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, u := range urls {
+		if _, ok := sys.View().Get(indiss.UPnP, u); !ok {
+			t.Fatalf("spilled record %s unreachable via Get", u)
+		}
+	}
+	if mu := sys.View().MemUsage(); mu > 4096 {
+		t.Fatalf("MemUsage %d after full spill; want near zero", mu)
+	}
+}
