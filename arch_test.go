@@ -21,6 +21,7 @@ var simnetFreePackages = []string{
 	"indiss/internal/upnp",
 	"indiss/internal/httpx",
 	"indiss/internal/federation",
+	"indiss/internal/query",
 	"indiss/internal/netapi",
 	"indiss/internal/realnet",
 	"indiss/internal/events",

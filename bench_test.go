@@ -19,6 +19,7 @@ import (
 	"indiss/internal/fsm"
 	"indiss/internal/httpx"
 	"indiss/internal/netapi"
+	"indiss/internal/query"
 	"indiss/internal/realnet"
 	"indiss/internal/simnet"
 	"indiss/internal/sizereport"
@@ -650,6 +651,174 @@ func BenchmarkViewFindHotParallel(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- query plane (PR 8): serving, answer cache, predicate pushdown ---
+
+// benchQueryView fills a view with nRecs records of one kind; every
+// 64th record carries the attribute the selective predicate matches.
+func benchQueryView(nRecs int) (*core.ServiceView, time.Time) {
+	view := core.NewServiceView()
+	now := time.Now()
+	exp := now.Add(time.Hour)
+	for i := 0; i < nRecs; i++ {
+		color := "no"
+		if i%64 == 0 {
+			color = "yes"
+		}
+		view.Put(core.ServiceRecord{
+			Origin:  core.SDPSLP,
+			Kind:    "printer",
+			URL:     "service:printer://10.0.0.1/" + strconv.Itoa(i),
+			Attrs:   map[string]string{"color": color, "ppm": strconv.Itoa(i % 40)},
+			Expires: exp,
+		})
+	}
+	return view, now
+}
+
+// BenchmarkQueryServe is the query plane end-to-end: a keep-alive HTTP
+// client on the simulated LAN issuing cached find-by-kind requests.
+// ns/op is the full request latency a campus dashboard sees.
+func BenchmarkQueryServe(b *testing.B) {
+	net := indiss.NewLAN()
+	defer net.Close()
+	gw := net.MustAddHost("gw", "10.0.0.9")
+	view, _ := benchQueryView(256)
+	srv, err := query.New(gw, view, query.Config{ListenPort: -1, GatewayID: "gw"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := net.MustAddHost("client", "10.0.0.10")
+	st, err := client.DialTCP(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	st.SetReadTimeout(10 * time.Second)
+	req := []byte("GET /v1/services?kind=printer&pred=(color%3Dyes) HTTP/1.1\r\nHost: gw\r\n\r\n")
+	buf := make([]byte, 64<<10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Write(req); err != nil {
+			b.Fatal(err)
+		}
+		if err := benchReadResponse(st, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchReadResponse consumes one Content-Length-framed response.
+func benchReadResponse(st netapi.Stream, buf []byte) error {
+	total := 0
+	for {
+		n, err := st.Read(buf[total:])
+		if err != nil {
+			return err
+		}
+		total += n
+		head := buf[:total]
+		i := indexCRLFCRLF(head)
+		if i < 0 {
+			continue
+		}
+		if total >= i+4+benchContentLength(head[:i]) {
+			return nil
+		}
+	}
+}
+
+func indexCRLFCRLF(b []byte) int {
+	for i := 0; i+3 < len(b); i++ {
+		if b[i] == '\r' && b[i+1] == '\n' && b[i+2] == '\r' && b[i+3] == '\n' {
+			return i
+		}
+	}
+	return -1
+}
+
+func benchContentLength(head []byte) int {
+	const key = "Content-Length: "
+	s := string(head)
+	i := 0
+	for {
+		j := i
+		for j < len(s) && s[j] != '\r' {
+			j++
+		}
+		line := s[i:j]
+		if len(line) > len(key) && line[:len(key)] == key {
+			n, _ := strconv.Atoi(line[len(key):])
+			return n
+		}
+		if j+2 >= len(s) {
+			return 0
+		}
+		i = j + 2
+	}
+}
+
+// BenchmarkQueryCachedAnswer is the engine alone: one cached
+// find-by-kind answer appended to a reused buffer — the wire-image
+// fast path under the end-to-end number above.
+func BenchmarkQueryCachedAnswer(b *testing.B) {
+	view, now := benchQueryView(256)
+	e := query.NewEngine(view, "gw")
+	buf := make([]byte, 0, 64<<10)
+	var err error
+	if buf, _, err = e.AppendAnswer(buf[:0], "printer", "(color=yes)", now); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, _, err = e.AppendAnswer(buf[:0], "printer", "(color=yes)", now)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryPredicatePushdown evaluates a selective predicate
+// inside the shard scan: rejected records are never copied. Compare
+// with BenchmarkQueryPredicateCopyFilter, the same query phrased the
+// pre-PR-8 way — PERF.md tabulates the pair.
+func BenchmarkQueryPredicatePushdown(b *testing.B) {
+	view, now := benchQueryView(4096)
+	pred := slp.MustParsePredicate("(color=yes)")
+	keep := func(r *core.ServiceRecord) bool { return pred.EvalMap(r.Attrs) }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(view.FindWhere("printer", now, keep)) != 4096/64 {
+			b.Fatal("pushdown miscounted")
+		}
+	}
+}
+
+// BenchmarkQueryPredicateCopyFilter is the baseline the pushdown
+// replaces: copy every record of the kind out of the view, then filter.
+func BenchmarkQueryPredicateCopyFilter(b *testing.B) {
+	view, now := benchQueryView(4096)
+	pred := slp.MustParsePredicate("(color=yes)")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		all := view.Find("printer", now)
+		kept := all[:0]
+		for j := range all {
+			if pred.EvalMap(all[j].Attrs) {
+				kept = append(kept, all[j])
+			}
+		}
+		if len(kept) != 4096/64 {
+			b.Fatal("filter miscounted")
+		}
+	}
 }
 
 // benchHTTPXMessages returns the M-SEARCH request / 200 OK response pair

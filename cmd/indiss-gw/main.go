@@ -37,6 +37,7 @@ import (
 	"indiss"
 	"indiss/internal/federation"
 	"indiss/internal/jini"
+	"indiss/internal/query"
 	"indiss/internal/realnet"
 	"indiss/internal/slp"
 	"indiss/internal/upnp"
@@ -51,6 +52,24 @@ func printFedStats(sys *indiss.System) {
 	}
 	for _, line := range strings.Split(fed.Stats().String(), "\n") {
 		fmt.Println("indiss-gw: " + line)
+	}
+}
+
+// printQueryStats dumps the query plane's counters, when the gateway
+// runs with -query-port.
+func printQueryStats(sys *indiss.System) {
+	qp, ok := sys.QueryPlane().(*query.Server)
+	if !ok {
+		return
+	}
+	fmt.Println("indiss-gw: query: " + qp.Stats().String())
+}
+
+// announceQueryPlane prints where the HTTP/JSON query API listens, when
+// the gateway runs with -query-port.
+func announceQueryPlane(sys *indiss.System) {
+	if qp, ok := sys.QueryPlane().(*query.Server); ok {
+		fmt.Printf("indiss-gw: query plane listening on %s\n", qp.Addr())
 	}
 }
 
@@ -100,6 +119,7 @@ func startStatsLoop(sys *indiss.System, interval time.Duration) (stop func()) {
 				fmt.Printf("indiss-gw: --- stats @ %s ---\n", time.Now().Format(time.TimeOnly))
 				fmt.Printf("indiss-gw: view: %d records\n", sys.View().Len())
 				printFedStats(sys)
+				printQueryStats(sys)
 				printStoreStats(sys)
 			}
 		}
@@ -127,6 +147,7 @@ func main() {
 	ip := flag.String("ip", "", "real mode: IPv4 source address (default: the interface's first)")
 	fedPort := flag.Int("federation-port", 0, "real mode: listen for federation peers on this TCP port (0 = only when -peer is set)")
 	dataDir := flag.String("data-dir", "", "persist the service view under this directory (warm boot on restart; -segments > 1 uses per-gateway subdirectories)")
+	queryPort := flag.Int("query-port", 0, "serve the HTTP/JSON query API on this TCP port (0 = disabled, -1 = ephemeral)")
 	statsInterval := flag.Duration("stats-interval", 0, "print view/federation/store stats every interval (0 = only on shutdown)")
 	var peers peerList
 	flag.Var(&peers, "peer", "federation peer for the first gateway (ip:port, repeatable)")
@@ -142,9 +163,9 @@ func main() {
 				d = *duration
 			}
 		})
-		err = runReal(*specFile, *iface, *ip, d, *fedPort, peers, *dataDir, *statsInterval)
+		err = runReal(*specFile, *iface, *ip, d, *fedPort, peers, *dataDir, *queryPort, *statsInterval)
 	} else {
-		err = run(*specFile, *duration, *segments, peers, *dataDir, *statsInterval)
+		err = run(*specFile, *duration, *segments, peers, *dataDir, *queryPort, *statsInterval)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -154,7 +175,7 @@ func main() {
 
 // runReal deploys the gateway on live sockets and serves until a
 // SIGINT/SIGTERM (or the optional duration) stops it.
-func runReal(specFile, iface, ip string, duration time.Duration, fedPort int, peers []string, dataDir string, statsInterval time.Duration) error {
+func runReal(specFile, iface, ip string, duration time.Duration, fedPort int, peers []string, dataDir string, queryPort int, statsInterval time.Duration) error {
 	spec := ""
 	if specFile != "" {
 		data, err := os.ReadFile(specFile)
@@ -176,10 +197,11 @@ func runReal(specFile, iface, ip string, duration time.Duration, fedPort int, pe
 	}
 
 	cfg := indiss.Config{
-		Role:    indiss.RoleGateway,
-		Dynamic: true,
-		Spec:    spec,
-		DataDir: dataDir,
+		Role:      indiss.RoleGateway,
+		Dynamic:   true,
+		Spec:      spec,
+		DataDir:   dataDir,
+		QueryPort: queryPort,
 	}
 	// Federation: -peer dials out; -federation-port (or -peer without an
 	// explicit port) opens the listener, so a gateway that is only the
@@ -201,6 +223,7 @@ func runReal(specFile, iface, ip string, duration time.Duration, fedPort int, pe
 
 	fmt.Printf("indiss-gw: real mode: gateway up on %s (interface %s)\n", stack.IP(), stack.Segment())
 	printWarmBoot(sys, dataDir)
+	announceQueryPlane(sys)
 	fmt.Println("indiss-gw: monitoring the IANA SDP multicast groups; Ctrl-C to stop")
 	stopStats := startStatsLoop(sys, statsInterval)
 	defer stopStats()
@@ -224,13 +247,14 @@ func runReal(specFile, iface, ip string, duration time.Duration, fedPort int, pe
 	fmt.Printf("indiss-gw: units instantiated at run time: %v\n", sys.Units())
 	fmt.Printf("indiss-gw: services in the gateway's view: %d\n", len(sys.View().Find("", time.Now())))
 	printFedStats(sys)
+	printQueryStats(sys)
 	printStoreStats(sys)
 	sys.Close()
 	fmt.Println("indiss-gw: shutdown complete")
 	return nil
 }
 
-func run(specFile string, duration time.Duration, segments int, peers []string, dataDir string, statsInterval time.Duration) error {
+func run(specFile string, duration time.Duration, segments int, peers []string, dataDir string, queryPort int, statsInterval time.Duration) error {
 	spec := ""
 	if specFile != "" {
 		data, err := os.ReadFile(specFile)
@@ -243,9 +267,9 @@ func run(specFile string, duration time.Duration, segments int, peers []string, 
 		return fmt.Errorf("indiss-gw: -segments must be >= 1")
 	}
 	if segments == 1 {
-		return runSingleLAN(spec, duration, dataDir, statsInterval)
+		return runSingleLAN(spec, duration, dataDir, queryPort, statsInterval)
 	}
-	return runCampus(spec, duration, segments, peers, dataDir, statsInterval)
+	return runCampus(spec, duration, segments, peers, dataDir, queryPort, statsInterval)
 }
 
 // gwIP returns the i-th (1-based) gateway's address.
@@ -253,7 +277,7 @@ func gwIP(i int) string { return fmt.Sprintf("10.0.%d.9", i) }
 
 // runCampus is the multi-segment scenario: services on the last segment,
 // clients on the first, a federated gateway on every segment.
-func runCampus(spec string, duration time.Duration, segments int, peers []string, dataDir string, statsInterval time.Duration) error {
+func runCampus(spec string, duration time.Duration, segments int, peers []string, dataDir string, queryPort int, statsInterval time.Duration) error {
 	net := indiss.NewCampus(segments)
 	defer net.Close()
 
@@ -272,6 +296,7 @@ func runCampus(spec string, duration time.Duration, segments int, peers []string
 		cfg := indiss.Config{
 			Role:      indiss.RoleGateway,
 			GatewayID: fmt.Sprintf("gw%d", i),
+			QueryPort: queryPort,
 			// Chain peering: every gateway dials its successor.
 			FederationPort: indiss.FederationDefaultPort,
 		}
@@ -293,6 +318,7 @@ func runCampus(spec string, duration time.Duration, segments int, peers []string
 			return err
 		}
 		printWarmBoot(sys, cfg.DataDir)
+		announceQueryPlane(sys)
 		systems = append(systems, sys)
 	}
 	stopStats := startStatsLoop(systems[0], statsInterval)
@@ -321,6 +347,7 @@ func runCampus(spec string, duration time.Duration, segments int, peers []string
 	fmt.Printf("indiss-gw: gw1 units: %v, records: %d\n",
 		systems[0].Units(), len(systems[0].View().Find("", time.Now())))
 	printFedStats(systems[0])
+	printQueryStats(systems[0])
 	printStoreStats(systems[0])
 	return nil
 }
@@ -333,7 +360,7 @@ func orLocal(gw string) string {
 }
 
 // runSingleLAN is the classic one-segment scenario.
-func runSingleLAN(spec string, duration time.Duration, dataDir string, statsInterval time.Duration) error {
+func runSingleLAN(spec string, duration time.Duration, dataDir string, queryPort int, statsInterval time.Duration) error {
 	net := indiss.NewLAN()
 	defer net.Close()
 	gw := net.MustAddHost("gateway", "10.0.0.9")
@@ -343,16 +370,18 @@ func runSingleLAN(spec string, duration time.Duration, dataDir string, statsInte
 
 	fmt.Println("indiss-gw: deploying INDISS on gateway 10.0.0.9")
 	sys, err := indiss.Deploy(gw, indiss.Config{
-		Role:    indiss.RoleGateway,
-		Dynamic: true,
-		Spec:    spec,
-		DataDir: dataDir,
+		Role:      indiss.RoleGateway,
+		Dynamic:   true,
+		Spec:      spec,
+		DataDir:   dataDir,
+		QueryPort: queryPort,
 	})
 	if err != nil {
 		return err
 	}
 	defer sys.Close()
 	printWarmBoot(sys, dataDir)
+	announceQueryPlane(sys)
 	stopStats := startStatsLoop(sys, statsInterval)
 	defer stopStats()
 
@@ -362,6 +391,7 @@ func runSingleLAN(spec string, duration time.Duration, dataDir string, statsInte
 	runClients(clientHost, duration)
 	fmt.Printf("indiss-gw: units instantiated at run time: %v\n", sys.Units())
 	fmt.Printf("indiss-gw: services in the gateway's view: %d\n", len(sys.View().Find("", time.Now())))
+	printQueryStats(sys)
 	printStoreStats(sys)
 	return nil
 }

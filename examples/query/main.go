@@ -1,0 +1,178 @@
+// Query plane: the HTTP/JSON lookup API over the gateway's service view.
+//
+// A gateway runs with the query port enabled; an SLP printer registers
+// on the LAN. A plain HTTP client — no SDP stack at all — then asks the
+// gateway what it knows: find-by-kind, an SLP predicate filter pushed
+// down into the view scan, and a long-poll watch that sees the delta
+// when a second printer appears.
+//
+//	go run ./examples/query
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"time"
+
+	"indiss"
+	"indiss/internal/query"
+	"indiss/internal/slp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "query:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	net := indiss.NewLAN()
+	defer net.Close()
+	gwHost := net.MustAddHost("gateway", "10.0.0.9")
+	printerHost := net.MustAddHost("printer", "10.0.0.2")
+	clientHost := net.MustAddHost("client", "10.0.0.1")
+
+	// The gateway: discovery bridging as usual, plus the query plane on
+	// an ephemeral port next to it.
+	sys, err := indiss.Deploy(gwHost, indiss.Config{
+		Role:      indiss.RoleGateway,
+		QueryPort: -1,
+	})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	qaddr := sys.QueryPlane().(*query.Server).Addr()
+	fmt.Println("gateway: query plane listening on", qaddr)
+
+	// A native SLP printer announces itself; the gateway's monitor
+	// learns it passively.
+	sa, err := slp.NewServiceAgent(printerHost, slp.AgentConfig{
+		AnnounceInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	err = sa.Register("service:printer", "service:printer://10.0.0.2:515", time.Hour,
+		slp.AttrList{{Name: "color", Values: []string{"yes"}}, {Name: "ppm", Values: []string{"30"}}})
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(sys.View().Find("printer", time.Now())) == 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("gateway never learned the printer")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Println("gateway: learned the SLP printer from its announcement")
+
+	// A second printer, as a federated peer would deliver it: the
+	// attribute list rides along with the record. (SLP's passive
+	// SAAdverts carry only URL/type/lifetime, so the local printer has
+	// no attrs — which is exactly what the predicate below will show.)
+	sys.View().Put(indiss.ServiceRecord{
+		Origin:   indiss.SLP,
+		Kind:     "printer",
+		URL:      "service:printer://10.0.3.7:515",
+		Attrs:    map[string]string{"color": "yes", "ppm": "30"},
+		Expires:  time.Now().Add(time.Hour),
+		OriginGW: "gw-lab",
+		Hops:     1,
+		Remote:   true,
+	})
+
+	// 1. Find by kind — any HTTP client can ask.
+	body, err := httpGet(clientHost, qaddr, "/v1/services?kind=printer")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("client: GET /v1/services?kind=printer ->\n  %s\n", body)
+
+	// 2. The same lookup with an SLP predicate, URL-encoded. The filter
+	// runs inside the view scan — records that fail it are never copied,
+	// so only the color printer from the lab survives.
+	body, err = httpGet(clientHost, qaddr, "/v1/services?kind=printer&pred=(%26(color%3Dyes)(ppm%3E%3D20))")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("client: ... &pred=(&(color=yes)(ppm>=20)) ->\n  %s\n", body)
+	if !bytes.Contains(body, []byte(`"count":1`)) {
+		return fmt.Errorf("predicate should have matched exactly the lab printer")
+	}
+
+	// 3. Watch: take a cursor, register a second printer, long-poll for
+	// the delta.
+	body, err = httpGet(clientHost, qaddr, "/v1/watch")
+	if err != nil {
+		return err
+	}
+	next := cursorFrom(body)
+	fmt.Printf("client: GET /v1/watch -> cursor %s\n", next)
+
+	errCh := make(chan error, 1)
+	go func() {
+		err := sa.Register("service:printer", "service:printer://10.0.0.2:516", time.Hour, nil)
+		errCh <- err
+	}()
+	body, err = httpGet(clientHost, qaddr, "/v1/watch?since="+next+"&wait=5s")
+	if err != nil {
+		return err
+	}
+	if err := <-errCh; err != nil {
+		return err
+	}
+	fmt.Printf("client: long-poll saw the delta:\n  %s\n", body)
+	fmt.Println("client: watched a service appear over plain HTTP")
+	return nil
+}
+
+// httpGet issues one close-delimited GET against the query plane and
+// returns the response body.
+func httpGet(stack indiss.Stack, addr indiss.Addr, target string) ([]byte, error) {
+	st, err := stack.DialTCP(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	st.SetReadTimeout(10 * time.Second)
+	req := fmt.Sprintf("GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n", target, addr)
+	if _, err := st.Write([]byte(req)); err != nil {
+		return nil, err
+	}
+	var buf []byte
+	tmp := make([]byte, 4096)
+	for {
+		n, err := st.Read(tmp)
+		buf = append(buf, tmp[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	head, body, ok := bytes.Cut(buf, []byte("\r\n\r\n"))
+	if !ok {
+		return nil, fmt.Errorf("malformed response %q", buf)
+	}
+	if !bytes.HasPrefix(head, []byte("HTTP/1.1 200")) {
+		return nil, fmt.Errorf("status %q, body %q", bytes.Split(head, []byte("\r\n"))[0], body)
+	}
+	return body, nil
+}
+
+// cursorFrom pulls the "next" field out of a watch response without a
+// JSON library — good enough for the example's known-shape body.
+func cursorFrom(body []byte) string {
+	const marker = `"next":`
+	i := bytes.Index(body, []byte(marker))
+	if i < 0 {
+		return "0"
+	}
+	j := i + len(marker)
+	k := j
+	for k < len(body) && body[k] >= '0' && body[k] <= '9' {
+		k++
+	}
+	return string(body[j:k])
+}

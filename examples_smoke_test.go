@@ -27,6 +27,7 @@ func exampleSmokes() []exampleSmoke {
 		{dir: "placements", want: "succeeds in every placement"},
 		{dir: "federation", want: "found the seg3 UPnP clock"},
 		{dir: "chaos", want: "records healed after partition"},
+		{dir: "query", want: "watched a service appear over plain HTTP"},
 	}
 }
 

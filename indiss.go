@@ -35,6 +35,7 @@ import (
 	"indiss/internal/core"
 	"indiss/internal/federation"
 	"indiss/internal/netapi"
+	"indiss/internal/query"
 	"indiss/internal/realnet"
 	"indiss/internal/units"
 )
@@ -48,6 +49,10 @@ type Stack = netapi.Stack
 
 // Addr identifies a UDP or TCP endpoint ("ip:port" form via String).
 type Addr = netapi.Addr
+
+// Stream is one reliable byte-stream connection (a TCP socket or its
+// simulated equivalent), as returned by Stack.DialTCP.
+type Stream = netapi.Stream
 
 // RealStack opens a live network stack on this machine, auto-detecting
 // the first up, multicast-capable, non-loopback IPv4 interface (loopback
@@ -199,10 +204,21 @@ type Config struct {
 	// dialing the best-scored ones until it holds this many sessions.
 	// Zero peers exactly as configured.
 	FederationFanout int
+
+	// QueryPort enables the HTTP/JSON query plane: a read-only lookup
+	// API over the instance's service view (find by kind, SLP-predicate
+	// filtering, long-poll watch), listening on its own TCP port next
+	// to the federation port. Zero disables it; a positive value
+	// listens on that port; a negative value listens on an ephemeral
+	// port (tests). See DESIGN.md §12 for the wire schema.
+	QueryPort int
 }
 
 // FederationDefaultPort is the default federation listening port.
 const FederationDefaultPort = federation.DefaultPort
+
+// QueryDefaultPort is the default query-plane listening port.
+const QueryDefaultPort = query.DefaultPort
 
 // Registry builds the production unit registry for the given options.
 func Registry(opts UnitOptions) *core.Registry {
@@ -259,6 +275,15 @@ func Deploy(stack Stack, cfg Config) (*System, error) {
 				fcfg.Persistence = st
 			}
 			return federation.New(stack, s.View(), fcfg)
+		}
+	}
+	if cfg.QueryPort != 0 {
+		coreCfg.QueryPort = cfg.QueryPort
+		coreCfg.Query = func(s *core.System) (io.Closer, error) {
+			return query.New(stack, s.View(), query.Config{
+				ListenPort: cfg.QueryPort,
+				GatewayID:  s.GatewayID(),
+			})
 		}
 	}
 	if cfg.Spec != "" {

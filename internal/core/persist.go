@@ -87,6 +87,16 @@ func (a storeAdapter) Lookup(origin SDP, url string, now time.Time) (ServiceReco
 
 func (a storeAdapter) SpilledCount() int { return a.st.SpilledCount() }
 
+// ScanKind satisfies the optional KindScanner extension: the query
+// plane's cold fallthrough enumerates spilled records of one kind
+// through it. The store's fn runs under its lock, so the view-form copy
+// is taken inside and handed out by value.
+func (a storeAdapter) ScanKind(kind string, now time.Time, fn func(ServiceRecord) bool) {
+	a.st.ScanSpilledKind(kind, now, func(r *viewstore.Record) bool {
+		return fn(fromStoreRecord(r))
+	})
+}
+
 // openStorage opens the view log, replays it into the view, attaches
 // the cold tier, and starts the pump and maintenance goroutines. Runs
 // during NewSystem, before the monitor or any unit — the warm records

@@ -72,6 +72,15 @@ type Config struct {
 	// free of a dependency on internal/federation, which itself imports
 	// core for the view and records. Nil disables federation.
 	Federation FederationHook
+
+	// QueryPort is the TCP port the HTTP/JSON query plane listens on.
+	// Zero uses the query package's default; only meaningful with Query
+	// set.
+	QueryPort int
+	// Query builds the HTTP/JSON read plane once the system is up —
+	// the same hook indirection as Federation, keeping core free of a
+	// dependency on internal/query. Nil disables the query plane.
+	Query QueryHook
 }
 
 // FederationHook constructs the view-sync peering endpoint for a running
@@ -79,6 +88,11 @@ type Config struct {
 // the monitor and units, so no remote knowledge flows into a closing
 // instance.
 type FederationHook func(*System) (io.Closer, error)
+
+// QueryHook constructs the HTTP/JSON query plane for a running system.
+// Closed alongside the federation endpoint, before the monitor and
+// units, so in-flight reads drain against a still-live view.
+type QueryHook func(*System) (io.Closer, error)
 
 // ErrSystemClosed reports use of a closed system.
 var ErrSystemClosed = errors.New("core: system closed")
@@ -107,6 +121,7 @@ type System struct {
 	closed     bool
 	reAdv      bool
 	federation io.Closer
+	query      io.Closer
 
 	sem  chan struct{}
 	stop chan struct{}
@@ -192,6 +207,16 @@ func NewSystem(stack netapi.Stack, registry *Registry, cfg Config) (*System, err
 		s.federation = fed
 		s.mu.Unlock()
 	}
+	if cfg.Query != nil {
+		qp, err := cfg.Query(s)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("core: query plane: %w", err)
+		}
+		s.mu.Lock()
+		s.query = qp
+		s.mu.Unlock()
+	}
 	return s, nil
 }
 
@@ -217,6 +242,16 @@ func (s *System) Federation() io.Closer {
 	return s.federation
 }
 
+// QueryPlane returns the running HTTP/JSON query server, or nil when
+// the query plane is disabled. Callers needing more than io.Closer —
+// the query package's *Server with its Addr() and Stats() —
+// type-assert the result; core itself stays free of that dependency.
+func (s *System) QueryPlane() io.Closer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.query
+}
+
 // Close stops the monitor, every unit and the bus.
 func (s *System) Close() {
 	s.mu.Lock()
@@ -232,9 +267,16 @@ func (s *System) Close() {
 	s.units = make(map[SDP]Unit)
 	fed := s.federation
 	s.federation = nil
+	qp := s.query
+	s.query = nil
 	s.mu.Unlock()
 
 	close(s.stop)
+	if qp != nil {
+		// The read plane goes before everything: queries should drain
+		// against a view whose writers are still orderly.
+		qp.Close()
+	}
 	if fed != nil {
 		// The peering plane goes first: no remote knowledge should flow
 		// into (or out of) an instance whose units are stopping.

@@ -167,6 +167,15 @@ type ServiceView struct {
 
 	shards [viewShardCount]viewShard
 
+	// gen counts view mutations: every Put, Remove and expiry bumps it.
+	// Consumers that memoize derived answers (the query plane's answer
+	// cache, after the federation digest cache's bumpSummaries pattern)
+	// tag their cache with the generation read before the scan and
+	// revalidate with one atomic load. Eviction to the cold tier does
+	// NOT bump it: spilling moves a record's residence, not the answer
+	// set (ScanCold serves it from disk).
+	gen atomic.Uint64
+
 	// Delta feed. numSubs mirrors the total subscriber count so the
 	// mutating paths can skip all delta work with one atomic load when
 	// nobody listens — the common case, which stays allocation-free.
@@ -178,10 +187,11 @@ type ServiceView struct {
 
 	// Two-tier storage (see viewtier.go). tiered gates every cold-path
 	// branch so a memory-only view pays one predictable-false branch at
-	// most. storage and memBudget are set once by AttachStorage, before
-	// concurrent use.
+	// most. storage, kindScan and memBudget are set once by
+	// AttachStorage, before concurrent use.
 	tiered    bool
 	storage   ViewStorage
+	kindScan  KindScanner
 	memBudget int64
 	memBytes  atomic.Int64
 	evicted   atomic.Uint64
@@ -315,6 +325,19 @@ func (v *ServiceView) SubscribeDeltaBatches(buf int) (<-chan []Delta, func()) {
 	return sub.ch, cancel
 }
 
+// Generation returns the view's mutation counter. Any change to the
+// answer a Find/FindWhere could give — insert, refresh, withdrawal,
+// expiry — has bumped it, so an answer rendered at generation G is
+// still exact while Generation() == G (modulo the records' own TTLs,
+// which the caller bounds separately: expiry only bumps the counter
+// when the lazy sweep collects the record, not at the instant its
+// lifetime lapses).
+func (v *ServiceView) Generation() uint64 { return v.gen.Load() }
+
+// bumpGen invalidates generation-memoized consumers; every mutation
+// that can change a query answer calls it.
+func (v *ServiceView) bumpGen() { v.gen.Add(1) }
+
 // wantDeltas gates delta collection on the mutating paths.
 func (v *ServiceView) wantDeltas() bool { return v.numSubs.Load() > 0 }
 
@@ -404,6 +427,7 @@ func (v *ServiceView) Put(rec ServiceRecord) {
 		pushExpiry(sh, expiryEntry{at: rec.Expires, kind: lk, key: key, seq: sh.seq})
 		sh.armed[ak] = armedState{seq: sh.seq, at: rec.Expires}
 	}
+	v.bumpGen()
 	if v.wantDeltas() {
 		deltas = append(deltas, Delta{Op: DeltaPut, Record: stored})
 	}
@@ -437,6 +461,7 @@ func (v *ServiceView) Remove(origin SDP, url string) bool {
 		// it from there, announcing the removal so the storage pump and
 		// the federation see the withdrawal like any other.
 		if rec, spilled := v.coldLookup(origin, url, time.Now()); spilled {
+			v.bumpGen()
 			v.emitDeltas([]Delta{{Op: DeltaRemove, Record: rec}})
 			return true
 		}
@@ -453,6 +478,7 @@ func (v *ServiceView) Remove(origin SDP, url string) bool {
 		}
 	}
 	v.deleteFromBucket(sh, lk, key)
+	v.bumpGen()
 	sh.mu.Unlock()
 	v.keysMu.Unlock()
 	v.emitDeltas(deltas)
@@ -501,7 +527,23 @@ func (v *ServiceView) Get(origin SDP, url string) (ServiceRecord, bool) {
 // whole record), so a returned map is immutable in practice. Callers that
 // need a mutable copy take one explicitly with ServiceRecord.Clone.
 func (v *ServiceView) Find(kind string, now time.Time) []ServiceRecord {
-	return v.find(kind, now, "", false)
+	return v.find(kind, now, "", false, nil)
+}
+
+// FindWhere is Find with a pushed-down filter: keep is evaluated inside
+// the shard scan, against the stored record, BEFORE the value copy into
+// the result slice — so a selective predicate never pays, in copies or
+// in result growth, for the records it rejects. This is the query
+// plane's predicate path (SLP-style attribute filters lifted to the
+// view): filter-then-copy, where the naive layering would copy the
+// whole bucket and filter afterwards.
+//
+// keep must be fast, must not retain the record pointer past the call
+// (it aliases the shard's storage, guarded by the shard read lock), and
+// must not call back into the view. A nil keep is exactly Find. The
+// Attrs sharing contract of Find applies to the results.
+func (v *ServiceView) FindWhere(kind string, now time.Time, keep func(*ServiceRecord) bool) []ServiceRecord {
+	return v.find(kind, now, "", false, keep)
 }
 
 // FindForeign returns live records of the given kind that did NOT
@@ -517,15 +559,15 @@ func (v *ServiceView) Find(kind string, now time.Time) []ServiceRecord {
 // prefers the service on its own segment over an equivalent one that is
 // several routed hops away. Within each class, order is by URL.
 func (v *ServiceView) FindForeign(asking SDP, kind string, now time.Time) []ServiceRecord {
-	return v.find(kind, now, asking, true)
+	return v.find(kind, now, asking, true, nil)
 }
 
-func (v *ServiceView) find(kind string, now time.Time, skip SDP, filterOrigin bool) []ServiceRecord {
+func (v *ServiceView) find(kind string, now time.Time, skip SDP, filterOrigin bool, keep func(*ServiceRecord) bool) []ServiceRecord {
 	if kind != "" {
 		lk := strings.ToLower(kind)
 		sh := v.shardFor(lk)
 		sh.mu.RLock()
-		out := v.collectLocked(sh, lk, now, skip, filterOrigin, nil, true)
+		out := v.collectLocked(sh, lk, now, skip, filterOrigin, keep, nil, true)
 		due := sweepDueLocked(sh, now)
 		sh.mu.RUnlock()
 		if due {
@@ -542,7 +584,7 @@ func (v *ServiceView) find(kind string, now time.Time, skip SDP, filterOrigin bo
 		sh := &v.shards[i]
 		sh.mu.RLock()
 		for lk := range sh.kinds {
-			out = v.collectLocked(sh, lk, now, skip, filterOrigin, out, false)
+			out = v.collectLocked(sh, lk, now, skip, filterOrigin, keep, out, false)
 		}
 		due := sweepDueLocked(sh, now)
 		sh.mu.RUnlock()
@@ -563,7 +605,7 @@ func sweepDueLocked(sh *viewShard, now time.Time) bool {
 	return len(sh.expiry) > 0 && !sh.expiry[0].at.After(now)
 }
 
-func (v *ServiceView) collectLocked(sh *viewShard, lk string, now time.Time, skip SDP, filterOrigin bool, out []ServiceRecord, presize bool) []ServiceRecord {
+func (v *ServiceView) collectLocked(sh *viewShard, lk string, now time.Time, skip SDP, filterOrigin bool, keep func(*ServiceRecord) bool, out []ServiceRecord, presize bool) []ServiceRecord {
 	bucket := sh.kinds[lk]
 	if bucket == nil || len(bucket.recs) == 0 {
 		return out
@@ -571,6 +613,23 @@ func (v *ServiceView) collectLocked(sh *viewShard, lk string, now time.Time, ski
 	v.touchBucket(bucket, now)
 	if presize && out == nil {
 		out = make([]ServiceRecord, 0, len(bucket.recs))
+	}
+	if keep != nil {
+		// One reusable evaluation slot, not &rec: the predicate is an
+		// unknown function, so escape analysis would heap-allocate the
+		// loop variable on every iteration if its address were taken.
+		probe := new(ServiceRecord)
+		for _, rec := range bucket.recs {
+			if !rec.Expires.After(now) || (filterOrigin && rec.Origin == skip) {
+				continue
+			}
+			*probe = rec
+			if !keep(probe) {
+				continue // pushed-down predicate: rejected before the copy
+			}
+			out = append(out, *probe) // value copy; Attrs shared read-only
+		}
+		return out
 	}
 	for _, rec := range bucket.recs {
 		if !rec.Expires.After(now) {
@@ -654,6 +713,7 @@ func (v *ServiceView) sweepShardLocked(sh *viewShard, now time.Time, deltas []De
 			deltas = append(deltas, Delta{Op: DeltaExpire, Record: rec})
 		}
 		v.deleteFromBucket(sh, entry.kind, entry.key)
+		v.bumpGen()
 		delete(sh.armed, ak)
 		// Only unindex the key if it still routes to this bucket (it may
 		// have been re-put under another kind).

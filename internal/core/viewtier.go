@@ -25,6 +25,19 @@ type ViewStorage interface {
 	SpilledCount() int
 }
 
+// KindScanner is the optional ViewStorage extension the query plane
+// needs: enumerate the live records of one kind that exist only in the
+// cold tier. Without it, kind scans cover the memory tier only (point
+// lookups still fall through via Lookup). The log-structured store
+// implements it with a kind-tagged keydir, so only matching records pay
+// a disk read.
+type KindScanner interface {
+	// ScanKind calls fn for every live spilled record of the kind
+	// (case-insensitive; empty matches every kind), stopping early when
+	// fn returns false. fn must not call back into the storage tier.
+	ScanKind(kind string, now time.Time, fn func(ServiceRecord) bool)
+}
+
 // recSize estimates one record's resident footprint: struct, strings,
 // attribute map, and its share of the bucket and key indexes. A
 // heuristic, not an accountant — the budget it feeds is a soft target
@@ -47,6 +60,20 @@ func (v *ServiceView) AttachStorage(s ViewStorage, memBudget int64) {
 	v.storage = s
 	v.memBudget = memBudget
 	v.tiered = s != nil
+	v.kindScan, _ = s.(KindScanner)
+}
+
+// ScanCold invokes fn for each live cold-tier (spilled) record of the
+// kind, value copies safe to retain. A no-op when the view is
+// memory-only or its storage lacks a KindScanner — then every live
+// record is resident and the shard scan already saw it. The query
+// plane's kind queries merge this under their answer cache, so HTTP
+// clients see records the memory budget moved to disk.
+func (v *ServiceView) ScanCold(kind string, now time.Time, fn func(ServiceRecord) bool) {
+	if !v.tiered || v.kindScan == nil {
+		return
+	}
+	v.kindScan.ScanKind(kind, now, fn)
 }
 
 // MemUsage returns the estimated resident bytes of the memory tier.

@@ -1,0 +1,56 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"indiss/internal/slp"
+)
+
+// FuzzParseQuery hardens the query plane's outermost parsers — the
+// query-string decoder and, through the pred key, the SLP predicate
+// compiler — against arbitrary client bytes: whatever arrives on the
+// query port must error cleanly, never panic, and accepted input must
+// obey the parser's own invariants.
+func FuzzParseQuery(f *testing.F) {
+	f.Add("kind=printer")
+	f.Add("kind=printer&pred=(color%3Dyes)")
+	f.Add("kind=a+b&pred=(%26(x=*)(y>=2))")
+	f.Add("since=18446744073709551615&wait=30s")
+	f.Add("pred=(!(a=b*c))&wait=250ms")
+	f.Add("kind=%ff%00&pred=(a<=b)")
+	f.Add("pred=(|(a=1)(b=2)(c=3))")
+	f.Add("kind=&pred=&since=0&wait=0")
+
+	f.Fuzz(func(t *testing.T, qs string) {
+		p, err := ParseQuery(qs)
+		if err != nil {
+			return
+		}
+		// Accepted waits are always within the long-poll cap.
+		if p.Wait < 0 || p.Wait > maxWait {
+			t.Fatalf("wait %v escaped the clamp (input %q)", p.Wait, qs)
+		}
+		// Decoded values never carry an undecoded escape marker that
+		// was present as a clean decode (idempotence: decoding the
+		// decoded form must not change it again).
+		for _, v := range []string{p.Kind, p.Pred} {
+			if strings.ContainsAny(v, "%+") {
+				continue // literal bytes produced by decoding are fine
+			}
+			again, err := unescapeComponent(v)
+			if err != nil || again != v {
+				t.Fatalf("decode not idempotent: %q -> %q, %v", v, again, err)
+			}
+		}
+		// An accepted predicate must compile-or-error without panicking,
+		// and a compiled one must evaluate on representative inputs.
+		pred, err := slp.ParsePredicate(p.Pred)
+		if err != nil {
+			return
+		}
+		pred.EvalMap(nil)
+		pred.EvalMap(map[string]string{"a": "1", "color": "yes", "b*": "x"})
+		pred.Eval(slp.AttrList{{Name: "a", Values: []string{"1", "2"}}, {Name: "kw"}})
+	})
+}

@@ -1,0 +1,179 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ErrBadQuery reports a malformed request target or query string.
+var ErrBadQuery = errors.New("query: malformed query string")
+
+// Params is a parsed request query string. The string fields alias or
+// decode the input; they are only valid while the request buffer is.
+type Params struct {
+	// Kind filters /v1/services by canonical service kind; empty
+	// matches every kind.
+	Kind string
+	// Pred is the raw SLP predicate (RFC 2254 subset), empty for none.
+	Pred string
+	// Since is the /v1/watch cursor: the first event sequence the
+	// client has not seen. Meaningful only when HasSince.
+	Since    uint64
+	HasSince bool
+	// Wait bounds how long /v1/watch parks when no events are ready.
+	// Zero answers immediately.
+	Wait time.Duration
+}
+
+// maxWait caps a long-poll park so an abandoned client cannot pin a
+// handler goroutine past the idle window.
+const maxWait = 30 * time.Second
+
+// ParseQuery parses an application/x-www-form-urlencoded query string
+// (the part after '?'). Recognized keys: kind, pred, since, wait.
+// Unknown keys are rejected — the API is small and a typo should fail
+// loudly, not silently match everything. Values without '%' or '+'
+// are aliased, not copied, so the common clean query allocates nothing
+// beyond the Params value itself.
+func ParseQuery(qs string) (Params, error) {
+	var p Params
+	for len(qs) > 0 {
+		pair := qs
+		if i := strings.IndexByte(qs, '&'); i >= 0 {
+			pair, qs = qs[:i], qs[i+1:]
+		} else {
+			qs = ""
+		}
+		if pair == "" {
+			continue
+		}
+		key, val, _ := strings.Cut(pair, "=")
+		key, err := unescapeComponent(key)
+		if err != nil {
+			return Params{}, err
+		}
+		val, err = unescapeComponent(val)
+		if err != nil {
+			return Params{}, err
+		}
+		switch key {
+		case "kind":
+			p.Kind = val
+		case "pred":
+			p.Pred = val
+		case "since":
+			n, err := parseUint(val)
+			if err != nil {
+				return Params{}, fmt.Errorf("%w: since=%q", ErrBadQuery, val)
+			}
+			p.Since = n
+			p.HasSince = true
+		case "wait":
+			d, err := parseWait(val)
+			if err != nil {
+				return Params{}, err
+			}
+			p.Wait = d
+		default:
+			return Params{}, fmt.Errorf("%w: unknown key %q", ErrBadQuery, key)
+		}
+	}
+	return p, nil
+}
+
+// parseWait accepts a Go duration ("500ms", "5s") or a bare integer
+// second count, clamped to maxWait.
+func parseWait(val string) (time.Duration, error) {
+	if val == "" {
+		return 0, nil
+	}
+	var d time.Duration
+	if n, err := parseUint(val); err == nil {
+		if n > uint64(maxWait/time.Second) {
+			return maxWait, nil // clamp before multiplying: no overflow
+		}
+		d = time.Duration(n) * time.Second
+	} else {
+		parsed, err := time.ParseDuration(val)
+		if err != nil || parsed < 0 {
+			return 0, fmt.Errorf("%w: wait=%q", ErrBadQuery, val)
+		}
+		d = parsed
+	}
+	if d > maxWait {
+		d = maxWait
+	}
+	return d, nil
+}
+
+// parseUint is strconv.ParseUint(val, 10, 64) with overflow checking
+// and no empty-string acceptance.
+func parseUint(s string) (uint64, error) {
+	if s == "" {
+		return 0, ErrBadQuery
+	}
+	var n uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, ErrBadQuery
+		}
+		d := uint64(c - '0')
+		if n > (1<<64-1-d)/10 {
+			return 0, ErrBadQuery // overflow
+		}
+		n = n*10 + d
+	}
+	return n, nil
+}
+
+// unescapeComponent %-decodes one key or value, with '+' as space.
+// The clean case (no '%', no '+') returns the input unchanged.
+func unescapeComponent(s string) (string, error) {
+	if !strings.ContainsAny(s, "%+") {
+		return s, nil
+	}
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '+':
+			out = append(out, ' ')
+		case '%':
+			if i+2 >= len(s) {
+				return "", fmt.Errorf("%w: truncated %%-escape", ErrBadQuery)
+			}
+			hi, okh := unhex(s[i+1])
+			lo, okl := unhex(s[i+2])
+			if !okh || !okl {
+				return "", fmt.Errorf("%w: bad %%-escape %q", ErrBadQuery, s[i:i+3])
+			}
+			out = append(out, hi<<4|lo)
+			i += 2
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out), nil
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// splitTarget cuts a request target into path and query string.
+func splitTarget(target string) (path, qs string) {
+	if i := strings.IndexByte(target, '?'); i >= 0 {
+		return target[:i], target[i+1:]
+	}
+	return target, ""
+}

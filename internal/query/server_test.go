@@ -1,0 +1,293 @@
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"indiss/internal/core"
+	"indiss/internal/netapi"
+	"indiss/internal/simnet"
+)
+
+// testServer stands a query server on a one-host simnet segment and
+// returns a dial helper.
+func testServer(t *testing.T, view *core.ServiceView) (*Server, func(target string) (int, []byte)) {
+	t.Helper()
+	net := simnet.New(simnet.Config{})
+	t.Cleanup(func() { net.Close() })
+	host := net.MustAddHost("gw", "10.0.0.9")
+	srv, err := New(host, view, Config{ListenPort: -1, GatewayID: "gw-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	client := net.MustAddHost("client", "10.0.0.10")
+	get := func(target string) (int, []byte) {
+		t.Helper()
+		code, body, err := httpGet(client, srv.Addr(), target, 10*time.Second)
+		if err != nil {
+			t.Fatalf("GET %s: %v", target, err)
+		}
+		return code, body
+	}
+	return srv, get
+}
+
+// httpGet is a minimal one-shot client for tests and the load rig's
+// shape: dial, write a GET, read one response.
+func httpGet(stack netapi.Stack, addr netapi.Addr, target string, timeout time.Duration) (int, []byte, error) {
+	st, err := stack.DialTCP(addr)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer st.Close()
+	st.SetReadTimeout(timeout)
+	req := fmt.Sprintf("GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n", target, addr)
+	if _, err := st.Write([]byte(req)); err != nil {
+		return 0, nil, err
+	}
+	var buf []byte
+	tmp := make([]byte, 4096)
+	for {
+		n, err := st.Read(tmp)
+		buf = append(buf, tmp[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	return parseTestResponse(buf)
+}
+
+func parseTestResponse(raw []byte) (int, []byte, error) {
+	i := bytes.Index(raw, []byte("\r\n\r\n"))
+	if i < 0 {
+		return 0, nil, fmt.Errorf("no head/body split in %q", raw)
+	}
+	var code int
+	if _, err := fmt.Sscanf(string(raw[:i]), "HTTP/1.1 %d", &code); err != nil {
+		return 0, nil, err
+	}
+	return code, raw[i+4:], nil
+}
+
+func TestServerServices(t *testing.T) {
+	now := time.Now()
+	view := core.NewServiceView()
+	view.Put(rec("printer", "service:printer://a", map[string]string{"color": "yes"}, time.Hour, now))
+	view.Put(rec("printer", "service:printer://b", map[string]string{"color": "no"}, time.Hour, now))
+	srv, get := testServer(t, view)
+
+	code, body := get("/v1/services?kind=printer")
+	if code != 200 {
+		t.Fatalf("status = %d body=%s", code, body)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("body: %v", err)
+	}
+	if m["count"].(float64) != 2 {
+		t.Fatalf("count = %v", m["count"])
+	}
+
+	code, body = get("/v1/services?kind=printer&pred=(color%3Dyes)")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	_ = json.Unmarshal(body, &m)
+	if m["count"].(float64) != 1 {
+		t.Fatalf("predicate count = %v (body %s)", m["count"], body)
+	}
+
+	if code, _ := get("/v1/services?kind=printer&pred=(broken"); code != 400 {
+		t.Fatalf("bad predicate: status = %d", code)
+	}
+	if code, _ := get("/v1/nope"); code != 404 {
+		t.Fatalf("unknown path: status = %d", code)
+	}
+
+	st := srv.Stats()
+	if st.Queries < 2 || st.BadRequests < 2 || st.BytesOut == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestServerKeepAlive(t *testing.T) {
+	now := time.Now()
+	view := core.NewServiceView()
+	view.Put(rec("clock", "service:clock://x", nil, time.Hour, now))
+	srv, _ := testServer(t, view)
+
+	// Two requests down one connection: the second must be answered
+	// (keep-alive), and the second answer should be a cache hit.
+	client := serverPeer(t, srv)
+	st, err := client.DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	st.SetReadTimeout(5 * time.Second)
+	for i := 0; i < 2; i++ {
+		if _, err := st.Write([]byte("GET /v1/services?kind=clock HTTP/1.1\r\nHost: gw\r\n\r\n")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if err := readOneResponse(st); err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+	}
+	if s := srv.Stats(); s.CacheHits == 0 {
+		t.Fatalf("no cache hit across keep-alive requests: %+v", s)
+	}
+}
+
+// serverPeer adds a client host to the network the server's stack lives
+// on.
+func serverPeer(t *testing.T, srv *Server) netapi.Stack {
+	t.Helper()
+	host, ok := srv.stack.(*simnet.Host)
+	if !ok {
+		t.Fatal("test server not on simnet")
+	}
+	return host.Network().MustAddHost("peer-"+t.Name(), "10.0.0.77")
+}
+
+// readOneResponse consumes exactly one Content-Length-framed response.
+func readOneResponse(st netapi.Stream) error {
+	var buf []byte
+	tmp := make([]byte, 2048)
+	for {
+		i := bytes.Index(buf, []byte("\r\n\r\n"))
+		if i >= 0 {
+			want := 0
+			fmt.Sscanf(string(buf[:i]), "HTTP/1.1 %d", new(int))
+			for _, line := range strings.Split(string(buf[:i]), "\r\n") {
+				if n, ok := strings.CutPrefix(line, "Content-Length: "); ok {
+					fmt.Sscanf(n, "%d", &want)
+				}
+			}
+			if len(buf) >= i+4+want {
+				return nil
+			}
+		}
+		n, err := st.Read(tmp)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, tmp[:n]...)
+	}
+}
+
+func TestServerDebugVars(t *testing.T) {
+	view := core.NewServiceView()
+	_, get := testServer(t, view)
+	get("/v1/services?kind=x")
+	code, body := get("/debug/vars")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	var vars map[string]float64
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("vars not JSON: %v\n%s", err, body)
+	}
+	if vars["queries"] != 1 {
+		t.Fatalf("vars = %v", vars)
+	}
+}
+
+func TestServerPprof(t *testing.T) {
+	view := core.NewServiceView()
+	_, get := testServer(t, view)
+	code, body := get("/debug/pprof/goroutine")
+	if code != 200 || !bytes.Contains(body, []byte("goroutine")) {
+		t.Fatalf("goroutine profile: status=%d body[:40]=%q", code, body[:min(40, len(body))])
+	}
+	if code, _ := get("/debug/pprof/nosuch"); code != 404 {
+		t.Fatalf("unknown profile: status = %d", code)
+	}
+	code, body = get("/debug/pprof/")
+	if code != 200 || !bytes.Contains(body, []byte("heap")) {
+		t.Fatalf("profile index: status=%d body=%q", code, body)
+	}
+}
+
+func TestWatchLongPoll(t *testing.T) {
+	now := time.Now()
+	view := core.NewServiceView()
+	_, get := testServer(t, view)
+
+	// First poll with no cursor: learn the head.
+	_, body := get("/v1/watch")
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	next := uint64(m["next"].(float64))
+
+	// Park a long-poll, then mutate the view; the poll must deliver.
+	resc := make(chan []byte, 1)
+	go func() {
+		_, b := get(fmt.Sprintf("/v1/watch?since=%d&wait=5s", next))
+		resc <- b
+	}()
+	time.Sleep(50 * time.Millisecond)
+	view.Put(rec("printer", "service:printer://w", nil, time.Hour, now))
+
+	select {
+	case b := <-resc:
+		if err := json.Unmarshal(b, &m); err != nil {
+			t.Fatal(err)
+		}
+		events := m["events"].([]any)
+		if len(events) != 1 {
+			t.Fatalf("events = %v", m)
+		}
+		ev := events[0].(map[string]any)
+		if ev["op"].(string) != "put" || ev["service"].(map[string]any)["url"].(string) != "service:printer://w" {
+			t.Fatalf("event = %v", ev)
+		}
+		if uint64(m["next"].(float64)) != next+1 {
+			t.Fatalf("next = %v, want %d", m["next"], next+1)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("long-poll never delivered")
+	}
+
+	// A cursor far off the ring: resync.
+	_, body = get("/v1/watch?since=999999&wait=0")
+	_ = json.Unmarshal(body, &m)
+	if m["resync"] != true {
+		t.Fatalf("no resync for wild cursor: %v", m)
+	}
+}
+
+func TestWatchImmediateDrain(t *testing.T) {
+	now := time.Now()
+	view := core.NewServiceView()
+	_, get := testServer(t, view)
+
+	_, body := get("/v1/watch")
+	var m map[string]any
+	_ = json.Unmarshal(body, &m)
+	next := uint64(m["next"].(float64))
+
+	for i := 0; i < 5; i++ {
+		view.Put(rec("clock", fmt.Sprintf("service:clock://%d", i), nil, time.Hour, now))
+	}
+	// Give the hub goroutine a beat to drain the batch feed.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, body = get(fmt.Sprintf("/v1/watch?since=%d", next))
+		_ = json.Unmarshal(body, &m)
+		if len(m["events"].([]any)) == 5 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if events := m["events"].([]any); len(events) != 5 {
+		t.Fatalf("drained %d events, want 5", len(events))
+	}
+}

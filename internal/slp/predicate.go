@@ -19,8 +19,32 @@ type Predicate struct {
 	root filterNode
 }
 
+// attrSource is the evaluation input: either an SLP attribute list
+// (native replies, multi-valued) or a flat name→value map (the core
+// view's record attributes). A struct, not an interface, so wrapping a
+// map for EvalMap allocates nothing.
+type attrSource struct {
+	list AttrList
+	m    map[string]string
+}
+
+// mapGet resolves a name in a flat attribute map case-insensitively:
+// direct hit first (the common case — registrations store lowercase
+// names), then a fold scan.
+func mapGet(m map[string]string, name string) (string, bool) {
+	if v, ok := m[name]; ok {
+		return v, true
+	}
+	for k, v := range m {
+		if len(k) == len(name) && strings.EqualFold(k, name) {
+			return v, true
+		}
+	}
+	return "", false
+}
+
 type filterNode interface {
-	eval(attrs AttrList) bool
+	eval(src attrSource) bool
 }
 
 // ParsePredicate compiles a filter. The empty string compiles to a
@@ -54,16 +78,24 @@ func MustParsePredicate(s string) *Predicate {
 
 // Eval reports whether the attribute list satisfies the filter.
 func (p *Predicate) Eval(attrs AttrList) bool {
-	return p.root.eval(attrs)
+	return p.root.eval(attrSource{list: attrs})
+}
+
+// EvalMap reports whether a flat attribute map (one value per name, as
+// the core view stores record attributes) satisfies the filter. The
+// query plane's predicate pushdown calls this per candidate record
+// inside the shard scan, so it allocates nothing.
+func (p *Predicate) EvalMap(attrs map[string]string) bool {
+	return p.root.eval(attrSource{m: attrs})
 }
 
 type matchAll struct{}
 
-func (matchAll) eval(AttrList) bool { return true }
+func (matchAll) eval(attrSource) bool { return true }
 
 type andNode struct{ kids []filterNode }
 
-func (n andNode) eval(a AttrList) bool {
+func (n andNode) eval(a attrSource) bool {
 	for _, k := range n.kids {
 		if !k.eval(a) {
 			return false
@@ -74,7 +106,7 @@ func (n andNode) eval(a AttrList) bool {
 
 type orNode struct{ kids []filterNode }
 
-func (n orNode) eval(a AttrList) bool {
+func (n orNode) eval(a attrSource) bool {
 	for _, k := range n.kids {
 		if k.eval(a) {
 			return true
@@ -85,7 +117,7 @@ func (n orNode) eval(a AttrList) bool {
 
 type notNode struct{ kid filterNode }
 
-func (n notNode) eval(a AttrList) bool { return !n.kid.eval(a) }
+func (n notNode) eval(a attrSource) bool { return !n.kid.eval(a) }
 
 type cmpOp uint8
 
@@ -102,8 +134,18 @@ type itemNode struct {
 	pattern string // for opEq, may contain '*'
 }
 
-func (n itemNode) eval(attrs AttrList) bool {
-	values, ok := attrs.Get(n.attr)
+func (n itemNode) eval(src attrSource) bool {
+	if src.m != nil {
+		v, ok := mapGet(src.m, n.attr)
+		if !ok {
+			return false
+		}
+		if n.op == opPresent {
+			return true
+		}
+		return n.match(v)
+	}
+	values, ok := src.list.Get(n.attr)
 	if !ok {
 		return false
 	}

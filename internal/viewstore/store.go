@@ -66,6 +66,10 @@ type recLoc struct {
 	// originGW identifies the bridging gateway; the string value is
 	// shared across records of the same origin, so the slot stays small.
 	originGW string
+	// kind is the record's lowercased service kind, interned like
+	// originGW. It lets the query plane's cold kind scan skip
+	// non-matching records without touching disk.
+	kind string
 }
 
 // segMeta tracks one segment's garbage ratio for compaction.
@@ -169,7 +173,8 @@ type Store struct {
 	spilled  map[string]struct{}
 	graves   map[string]Grave
 	epochs   map[string]uint64
-	neg      map[string]int64 // key -> suppress-until unix ms
+	neg      map[string]int64  // key -> suppress-until unix ms
+	kinds    map[string]string // interned lowercased kinds for recLoc
 
 	recovered Recovered
 	stats     storeCounters
@@ -196,6 +201,7 @@ func Open(dir string, opt Options) (*Store, error) {
 		graves:  make(map[string]Grave),
 		epochs:  make(map[string]uint64),
 		neg:     make(map[string]int64),
+		kinds:   make(map[string]string),
 	}
 
 	names, err := filepath.Glob(filepath.Join(dir, "view-*.log"))
@@ -237,7 +243,8 @@ func Open(dir string, opt Options) (*Store, error) {
 					gwIntern[gw] = gw
 				}
 				st.index[key] = recLoc{seg: id, off: e.off, size: e.size,
-					expires: e.rec.Expires, originGW: gw}
+					expires: e.rec.Expires, originGW: gw,
+					kind: st.internKindLocked(e.rec.Kind)}
 				records[key] = *e.rec
 			case entryErase:
 				key := Key(e.origin, e.url)
@@ -375,6 +382,17 @@ func (st *Store) flushLocked() error {
 	return nil
 }
 
+// internKindLocked returns the shared lowercase form of kind, so every
+// keydir slot of the same kind points at one string.
+func (st *Store) internKindLocked(kind string) string {
+	lk := strings.ToLower(kind)
+	if s, ok := st.kinds[lk]; ok {
+		return s
+	}
+	st.kinds[lk] = lk
+	return lk
+}
+
 func (st *Store) addGarbage(seg uint32, n int64) {
 	if m, ok := st.segs[seg]; ok {
 		m.garbage += n
@@ -425,7 +443,8 @@ func (st *Store) Put(rec *Record) error {
 		st.addGarbage(old.seg, old.size)
 	}
 	st.index[key] = recLoc{seg: seg, off: off, size: size,
-		expires: rec.Expires, originGW: rec.OriginGW}
+		expires: rec.Expires, originGW: rec.OriginGW,
+		kind: st.internKindLocked(rec.Kind)}
 	delete(st.spilled, key)
 	delete(st.neg, key)
 	return nil
@@ -520,7 +539,8 @@ func (st *Store) Spill(recs []Record) (int, error) {
 			st.addGarbage(old.seg, old.size)
 		}
 		st.index[key] = recLoc{seg: seg, off: off, size: size,
-			expires: rec.Expires, originGW: rec.OriginGW}
+			expires: rec.Expires, originGW: rec.OriginGW,
+			kind: st.internKindLocked(rec.Kind)}
 		st.spilled[key] = struct{}{}
 		delete(st.neg, key)
 		n++
@@ -648,6 +668,38 @@ func (st *Store) Spilled(now time.Time) []SpillInfo {
 	return out
 }
 
+// ScanSpilledKind calls fn for each live disk-only record of the kind
+// (case-insensitive; empty matches every kind), stopping early when fn
+// returns false. The kind filter runs against the keydir's interned
+// kind tags, so only matching records pay a disk read — a cold scan for
+// a kind with no spilled records costs one map walk and zero I/O. fn
+// runs under the store lock and must not call back into the store.
+func (st *Store) ScanSpilledKind(kind string, now time.Time, fn func(*Record) bool) {
+	nowMs := now.UnixMilli()
+	lk := strings.ToLower(kind)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed || len(st.spilled) == 0 {
+		return
+	}
+	for key := range st.spilled {
+		loc, ok := st.index[key]
+		if !ok || loc.expires <= nowMs {
+			continue
+		}
+		if lk != "" && loc.kind != lk {
+			continue
+		}
+		rec, err := st.readRecordLocked(loc)
+		if err != nil {
+			continue
+		}
+		if !fn(&rec) {
+			return
+		}
+	}
+}
+
 // Flush pushes buffered appends to the OS.
 func (st *Store) Flush() error {
 	st.mu.Lock()
@@ -734,7 +786,7 @@ func (st *Store) compactOneLocked(nowMs int64) error {
 				return
 			}
 			st.index[key] = recLoc{seg: seg, off: off, size: size,
-				expires: loc.expires, originGW: loc.originGW}
+				expires: loc.expires, originGW: loc.originGW, kind: loc.kind}
 			st.stats.compactedOut.Add(uint64(size))
 		case entryGrave:
 			key := Key(e.grave.Origin, e.grave.URL)

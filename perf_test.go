@@ -13,6 +13,7 @@ import (
 	"indiss/internal/dnssd"
 	"indiss/internal/events"
 	"indiss/internal/httpx"
+	"indiss/internal/query"
 )
 
 // TestBusPublishAllocFree: the bus publish fast path performs zero
@@ -73,6 +74,43 @@ func TestViewFindHotAllocBudget(t *testing.T) {
 	})
 	if allocs > 2 {
 		t.Errorf("cached Find hit allocates %.1f times, budget is 2", allocs)
+	}
+}
+
+// TestQueryCachedAnswerAllocBudget: serving a cached find-by-kind HTTP
+// answer — the query plane's steady state under read-heavy traffic —
+// costs at most 4 allocations. The path is one struct-keyed map lookup
+// and one append of the prerendered wire image into the caller's
+// buffer, so in practice it allocates zero; the budget leaves headroom
+// without letting a per-request map or encoder sneak back in.
+func TestQueryCachedAnswerAllocBudget(t *testing.T) {
+	view := core.NewServiceView()
+	now := time.Now()
+	for i := 0; i < 64; i++ {
+		view.Put(core.ServiceRecord{
+			Origin:  core.SDPSLP,
+			Kind:    "printer",
+			URL:     "service:printer://10.0.0." + string(rune('0'+i%10)) + "/" + string(rune('a'+i%26)),
+			Attrs:   map[string]string{"color": "yes", "ppm": "30"},
+			Expires: now.Add(time.Hour),
+		})
+	}
+	e := query.NewEngine(view, "gw-perf")
+	buf := make([]byte, 0, 64<<10)
+	var err error
+	// Warm the cache, then measure pure hits.
+	if buf, _, err = e.AppendAnswer(buf[:0], "printer", "(color=yes)", now); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		var hit bool
+		buf, hit, err = e.AppendAnswer(buf[:0], "printer", "(color=yes)", now)
+		if err != nil || !hit {
+			t.Fatalf("cache miss during measurement: hit=%v err=%v", hit, err)
+		}
+	})
+	if allocs > 4 {
+		t.Errorf("cached query answer allocates %.1f times, budget is 4", allocs)
 	}
 }
 

@@ -1,0 +1,320 @@
+package indiss_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"indiss"
+	"indiss/internal/query"
+)
+
+// queryGet is a one-shot HTTP client against the query plane: dial,
+// one GET, read the close-delimited exchange.
+func queryGet(stack indiss.Stack, addr indiss.Addr, target string, timeout time.Duration) (int, []byte, error) {
+	st, err := stack.DialTCP(addr)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer st.Close()
+	st.SetReadTimeout(timeout)
+	req := fmt.Sprintf("GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n", target, addr)
+	if _, err := st.Write([]byte(req)); err != nil {
+		return 0, nil, err
+	}
+	var buf []byte
+	tmp := make([]byte, 4096)
+	for {
+		n, err := st.Read(tmp)
+		buf = append(buf, tmp[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	i := bytes.Index(buf, []byte("\r\n\r\n"))
+	if i < 0 {
+		return 0, nil, fmt.Errorf("no head/body split in %q", buf)
+	}
+	var code int
+	if _, err := fmt.Sscanf(string(buf[:i]), "HTTP/1.1 %d", &code); err != nil {
+		return 0, nil, err
+	}
+	return code, buf[i+4:], nil
+}
+
+// queryServer unwraps the deployed system's query plane.
+func queryServer(t *testing.T, sys *indiss.System) *query.Server {
+	t.Helper()
+	qp, ok := sys.QueryPlane().(*query.Server)
+	if !ok {
+		t.Fatalf("QueryPlane() = %T, want *query.Server", sys.QueryPlane())
+	}
+	return qp
+}
+
+// TestQueryPlaneEndToEnd deploys a gateway with the query port enabled
+// and exercises the HTTP surface: find-by-kind, predicate filtering,
+// the counters endpoint.
+func TestQueryPlaneEndToEnd(t *testing.T) {
+	net := indiss.NewLAN()
+	defer net.Close()
+	gw := net.MustAddHost("gw", "10.0.0.9")
+	client := net.MustAddHost("client", "10.0.0.10")
+
+	sys, err := indiss.Deploy(gw, indiss.Config{Role: indiss.RoleGateway, QueryPort: -1})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	defer sys.Close()
+	qaddr := queryServer(t, sys).Addr()
+
+	now := time.Now()
+	for i, attrs := range []map[string]string{
+		{"color": "yes", "ppm": "30"},
+		{"color": "no", "ppm": "12"},
+	} {
+		sys.View().Put(indiss.ServiceRecord{
+			Origin:  indiss.SLP,
+			Kind:    "printer",
+			URL:     fmt.Sprintf("service:printer://10.0.0.%d", 20+i),
+			Attrs:   attrs,
+			Expires: now.Add(time.Hour),
+		})
+	}
+
+	code, body, err := queryGet(client, qaddr, "/v1/services?kind=printer", 5*time.Second)
+	if err != nil || code != 200 {
+		t.Fatalf("find: code=%d err=%v", code, err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("body: %v\n%s", err, body)
+	}
+	if m["count"].(float64) != 2 {
+		t.Fatalf("count = %v", m["count"])
+	}
+
+	code, body, err = queryGet(client, qaddr,
+		"/v1/services?kind=printer&pred=(%26(color%3Dyes)(ppm%3E%3D20))", 5*time.Second)
+	if err != nil || code != 200 {
+		t.Fatalf("predicate find: code=%d err=%v", code, err)
+	}
+	_ = json.Unmarshal(body, &m)
+	if m["count"].(float64) != 1 {
+		t.Fatalf("predicate count = %v (%s)", m["count"], body)
+	}
+
+	code, body, err = queryGet(client, qaddr, "/debug/vars", 5*time.Second)
+	if err != nil || code != 200 {
+		t.Fatalf("vars: code=%d err=%v", code, err)
+	}
+	var vars map[string]float64
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("vars body: %v", err)
+	}
+	if vars["queries"] != 2 {
+		t.Fatalf("queries counter = %v", vars["queries"])
+	}
+}
+
+// TestQueryPlaneServesSpilledRecords pins the cold-tier fallthrough:
+// records the memory budget pushed to disk must still appear in HTTP
+// answers, merged under the answer cache.
+func TestQueryPlaneServesSpilledRecords(t *testing.T) {
+	net := indiss.NewLAN()
+	defer net.Close()
+	gw := net.MustAddHost("gw", "10.0.0.9")
+	client := net.MustAddHost("client", "10.0.0.10")
+
+	sys, err := indiss.Deploy(gw, indiss.Config{
+		Role:          indiss.RoleGateway,
+		DataDir:       t.TempDir(),
+		ViewMemBudget: 1, // everything remote spills
+		QueryPort:     -1,
+	})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	defer sys.Close()
+	qsrv := queryServer(t, sys)
+
+	const n = 40
+	for i := 0; i < n; i++ {
+		sys.View().Put(indiss.ServiceRecord{
+			Origin:   indiss.UPnP,
+			Kind:     "spillkind",
+			URL:      fmt.Sprintf("soap://10.0.1.%d:4004/svc", i),
+			Expires:  time.Now().Add(time.Hour),
+			OriginGW: "gw-far",
+			Hops:     1,
+			Remote:   true,
+		})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sys.ViewStore().SpilledCount() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d spilled", sys.ViewStore().SpilledCount(), n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	code, body, err := queryGet(client, qsrv.Addr(), "/v1/services?kind=spillkind", 5*time.Second)
+	if err != nil || code != 200 {
+		t.Fatalf("query: code=%d err=%v", code, err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if got := int(m["count"].(float64)); got != n {
+		t.Fatalf("HTTP answer has %d records, want %d (spilled slice dropped?)", got, n)
+	}
+	if st := qsrv.Stats(); st.ColdMerged == 0 {
+		t.Fatalf("no cold merges recorded: %+v", st)
+	}
+}
+
+// TestQueryPlaneUnderChurn is the query plane's race-on soak:
+// predicate-filtered queries and long-poll watchers run concurrently
+// with view churn, sub-second TTL expiry and continuous EnforceBudget
+// spilling. The assertions are liveness and sanity — the value of the
+// test is every interleaving the race detector sees.
+func TestQueryPlaneUnderChurn(t *testing.T) {
+	net := indiss.NewLAN()
+	defer net.Close()
+	gw := net.MustAddHost("gw", "10.0.0.9")
+
+	sys, err := indiss.Deploy(gw, indiss.Config{
+		Role:          indiss.RoleGateway,
+		DataDir:       t.TempDir(),
+		ViewMemBudget: 4 << 10, // tight: spill pressure throughout
+		QueryPort:     -1,
+	})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	defer sys.Close()
+	qaddr := queryServer(t, sys).Addr()
+
+	const runFor = 1200 * time.Millisecond
+	stop := make(chan struct{})
+	time.AfterFunc(runFor, func() { close(stop) })
+	var wg sync.WaitGroup
+	var queries, watches atomic.Uint64
+
+	// Churner: put records with mixed TTLs (some lapse mid-run), remove
+	// a slice explicitly, keep every spill candidate remote.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ttl := time.Hour
+			if i%3 == 0 {
+				ttl = 40 * time.Millisecond // expires under the watchers
+			}
+			url := fmt.Sprintf("soap://10.0.2.%d:4004/svc%d", i%50, i%200)
+			sys.View().Put(indiss.ServiceRecord{
+				Origin:   indiss.UPnP,
+				Kind:     "churnkind",
+				URL:      url,
+				Attrs:    map[string]string{"slot": fmt.Sprintf("%d", i%8)},
+				Expires:  time.Now().Add(ttl),
+				OriginGW: "gw-far",
+				Hops:     1,
+				Remote:   i%2 == 0,
+			})
+			if i%7 == 0 {
+				sys.View().Remove(indiss.UPnP, url)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Budget enforcer: continuous spilling racing the scans.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+				sys.View().EnforceBudget(time.Now())
+			}
+		}
+	}()
+
+	// Query clients: predicate-filtered finds, each from its own host.
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		client := net.MustAddHost(fmt.Sprintf("qc-%d", c), fmt.Sprintf("10.0.0.%d", 30+c))
+		go func(stack indiss.Stack, slot int) {
+			defer wg.Done()
+			target := fmt.Sprintf("/v1/services?kind=churnkind&pred=(slot%%3D%d)", slot)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, _, err := queryGet(stack, qaddr, target, 5*time.Second)
+				if err == nil && code == 200 {
+					queries.Add(1)
+				}
+			}
+		}(client, c)
+	}
+
+	// Watcher: cursor through the delta feed, tolerating resyncs.
+	wg.Add(1)
+	watcher := net.MustAddHost("watcher", "10.0.0.40")
+	go func() {
+		defer wg.Done()
+		var next uint64
+		haveCursor := false
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			target := "/v1/watch"
+			if haveCursor {
+				target = fmt.Sprintf("/v1/watch?since=%d&wait=100ms", next)
+			}
+			code, body, err := queryGet(watcher, qaddr, target, 5*time.Second)
+			if err != nil || code != 200 {
+				continue
+			}
+			var m map[string]any
+			if json.Unmarshal(body, &m) != nil {
+				continue
+			}
+			next = uint64(m["next"].(float64))
+			haveCursor = true
+			watches.Add(1)
+		}
+	}()
+
+	wg.Wait()
+
+	// The plane survived; one more query must still be served, and the
+	// soak must have actually exercised both read paths.
+	probe := net.MustAddHost("probe", "10.0.0.50")
+	code, _, err := queryGet(probe, qaddr, "/v1/services?kind=churnkind", 5*time.Second)
+	if err != nil || code != 200 {
+		t.Fatalf("post-churn query: code=%d err=%v", code, err)
+	}
+	if queries.Load() == 0 || watches.Load() == 0 {
+		t.Fatalf("soak idle: queries=%d watches=%d", queries.Load(), watches.Load())
+	}
+}
