@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"indiss/internal/dnssd"
 	"indiss/internal/federation"
 	"indiss/internal/netapi"
+	"indiss/internal/predict"
 	"indiss/internal/simnet"
 	"indiss/internal/slp"
 	"indiss/internal/units"
@@ -40,6 +42,9 @@ type chaosFixture struct {
 	// store; a restart then warm-boots from disk instead of starting
 	// from an empty view.
 	dataDirs []string
+	// predict gives every gateway a query plane and a predictive cache
+	// (fast mining thresholds, so rules form in test time).
+	predict bool
 }
 
 // chaosOpt tweaks the fixture before the gateways deploy.
@@ -55,6 +60,12 @@ func withPersistence() chaosOpt {
 			f.dataDirs[i] = filepath.Join(root, chaosGWID(i))
 		}
 	}
+}
+
+// withPredict enables the query plane and the predictive cache on every
+// gateway, tuned so the miner distills rules within test time.
+func withPredict() chaosOpt {
+	return func(f *chaosFixture) { f.predict = true }
 }
 
 func chaosGWName(i int) string { return "gw" + fmt.Sprint(i+1) }
@@ -83,6 +94,17 @@ func (f *chaosFixture) chaosDeployCfg(i int) indiss.Config {
 	}
 	if f.dataDirs != nil {
 		cfg.DataDir = f.dataDirs[i]
+	}
+	if f.predict {
+		cfg.QueryPort = -1
+		cfg.Predict = true
+		cfg.PredictConfig = predict.Config{
+			Window:          2 * time.Second,
+			MinSupport:      2,
+			MinConfidence:   0.3,
+			DistillInterval: 50 * time.Millisecond,
+			RefreshInterval: 100 * time.Millisecond,
+		}
 	}
 	return cfg
 }
@@ -836,4 +858,209 @@ func sortDurations(d []time.Duration) {
 			d[j], d[j-1] = d[j-1], d[j]
 		}
 	}
+}
+
+// --- mobility ---
+
+// TestChaosRoamHandover: a churn host roams to the other campus segment
+// mid-soak (the chaos schedule's move verb over simnet Host.Move) and
+// later roams home. Invariants: the new segment's gateway adopts every
+// roamed service as a local record within a bounded handover gap; once
+// the old leases lapse, the old gateway serves no stale local answers —
+// its remaining copies are federation bridges from the new home; and the
+// re-registrations on the new segment never produce duplicates (the
+// full checker runs at every checkpoint). The mix sticks to the
+// multicast-scoped SDPs: Jini's registrar polling is unicast and
+// segment-agnostic, so a roam is invisible to it and it would only blur
+// the handover signal this test measures.
+func TestChaosRoamHandover(t *testing.T) {
+	t.Parallel()
+	f := newChaosCampus(t, 2, 1, 0, 250*time.Millisecond)
+	cfg := soakConfig()
+	cfg.Mix = chaos.Mix{SLP: 1, DNSSD: 1, UPnP: 1}
+	w, err := chaos.NewWorkload(f.svcHosts[:1], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	if err := w.Register(6); err != nil {
+		t.Fatal(err)
+	}
+	f.checkpoint("pre-roam", w, 30*time.Second)
+	live := w.Expectation().Live
+
+	ops, err := chaos.ParseSchedule(fmt.Sprintf(
+		"at 0ms move svc1-0 %s\n", indiss.CampusSegment(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	roamAt := time.Now()
+	if err := chaos.Bind(f.net, ops).Run(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Handover gap: every roamed service must re-register natively with
+	// the new segment's gateway before its old lease would have lapsed —
+	// the workload's refresh plus the announce loops get there in about
+	// a second; TTL plus checker slack is the hard bound.
+	handoverBound := cfg.TTL + 2*time.Second
+	for {
+		now := time.Now()
+		missing := 0
+		for _, svc := range live {
+			adopted := false
+			for _, r := range f.gws[1].View().Find(svc.Kind, now) {
+				if !r.Remote {
+					adopted = true
+				}
+			}
+			if !adopted {
+				missing++
+			}
+		}
+		if missing == 0 {
+			t.Logf("handover gap: %v for %d services", time.Since(roamAt), len(live))
+			break
+		}
+		if time.Since(roamAt) > handoverBound {
+			t.Fatalf("handover gap exceeded %v: %d of %d services not adopted on %s",
+				handoverBound, missing, len(live), indiss.CampusSegment(2))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// No stale answers at the old home: once the pre-roam leases run
+	// out, gw1 must hold each roamed service exactly as a federation
+	// bridge (Remote) — a local record still answering there would be a
+	// stale answer from the abandoned segment.
+	staleBound := roamAt.Add(cfg.TTL + 4*time.Second)
+	for {
+		now := time.Now()
+		stale, missing := 0, 0
+		for _, svc := range live {
+			recs := f.gws[0].View().Find(svc.Kind, now)
+			if len(recs) == 0 {
+				missing++
+				continue
+			}
+			for i := range recs {
+				if !recs[i].Remote {
+					stale++
+				}
+			}
+		}
+		if stale == 0 && missing == 0 {
+			break
+		}
+		if time.Now().After(staleBound) {
+			t.Fatalf("after roam: %d stale local records, %d missing at the old home", stale, missing)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	f.checkpoint("post-roam", w, 30*time.Second)
+
+	// Roam home: the reverse handover must hold the same invariants —
+	// the checker would flag a duplicate if the re-registration ever
+	// produced a second record.
+	if err := f.net.MoveHost("svc1-0", indiss.CampusSegment(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Readvertise(len(live)); err != nil {
+		t.Fatal(err)
+	}
+	f.checkpoint("roam-home", w, 30*time.Second)
+}
+
+// TestPredictUnderChurn races the predictive cache against everything
+// at once: four-SDP churn, a roaming churn host, and a lookup driver
+// hammering both gateways' views with a stable co-discovery pattern
+// (printer then scanner) plus churn-kind noise. The race detector is
+// the main assert; on top of it, the miner must distill the pattern
+// into a rule, the rule must drive prefetches, and the full soak
+// invariant set must hold at the closing checkpoint.
+func TestPredictUnderChurn(t *testing.T) {
+	t.Parallel()
+	f := newChaosCampus(t, 2, 2, 0, 250*time.Millisecond, withPredict())
+	w := f.newWorkload(soakConfig())
+	if err := w.Register(16); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // lookup driver
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			now := time.Now()
+			v := f.gws[i%2].View()
+			v.Find("printer", now)
+			v.Find("scanner", now)
+			if live := w.Expectation().Live; len(live) > 0 {
+				v.Find(live[i%len(live)].Kind, now)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	go func() { // roamer: one churn host hops segments under the miner
+		defer wg.Done()
+		seg := 2
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(150 * time.Millisecond):
+			}
+			if err := f.net.MoveHost("svc1-0", indiss.CampusSegment(seg)); err != nil {
+				t.Errorf("move: %v", err)
+				return
+			}
+			seg = 3 - seg
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		if err := w.Churn(2); err != nil {
+			close(stop)
+			t.Fatal(err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	// The stable pattern must have distilled into a rule and fired
+	// prefetches; keep presenting it until the next distill tick lands.
+	p0, ok := f.gws[0].Predictor().(*predict.Predictor)
+	if !ok {
+		t.Fatal("gateway deployed without a predictor")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := p0.Stats()
+		if st.Rules > 0 && st.Prefetches > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no rule or prefetch after the storm: %+v", st)
+		}
+		now := time.Now()
+		f.gws[0].View().Find("printer", now)
+		f.gws[0].View().Find("scanner", now)
+		time.Sleep(20 * time.Millisecond)
+	}
+	for i, sys := range f.gws {
+		p, ok := sys.Predictor().(*predict.Predictor)
+		if !ok {
+			t.Fatalf("gw%d has no predictor", i+1)
+		}
+		if st := p.Stats(); st.Observed == 0 {
+			t.Errorf("gw%d predictor observed nothing: %+v", i+1, st)
+		}
+	}
+	f.checkpoint("post-storm", w, 30*time.Second)
 }

@@ -37,6 +37,7 @@ import (
 	"indiss"
 	"indiss/internal/federation"
 	"indiss/internal/jini"
+	"indiss/internal/predict"
 	"indiss/internal/query"
 	"indiss/internal/realnet"
 	"indiss/internal/slp"
@@ -63,6 +64,16 @@ func printQueryStats(sys *indiss.System) {
 		return
 	}
 	fmt.Println("indiss-gw: query: " + qp.Stats().String())
+}
+
+// printPredictStats dumps the predictive cache's counters, when the
+// gateway runs with -predict.
+func printPredictStats(sys *indiss.System) {
+	p, ok := sys.Predictor().(*predict.Predictor)
+	if !ok {
+		return
+	}
+	fmt.Println("indiss-gw: predict: " + p.Stats().String())
 }
 
 // announceQueryPlane prints where the HTTP/JSON query API listens, when
@@ -120,6 +131,7 @@ func startStatsLoop(sys *indiss.System, interval time.Duration) (stop func()) {
 				fmt.Printf("indiss-gw: view: %d records\n", sys.View().Len())
 				printFedStats(sys)
 				printQueryStats(sys)
+				printPredictStats(sys)
 				printStoreStats(sys)
 			}
 		}
@@ -148,6 +160,7 @@ func main() {
 	fedPort := flag.Int("federation-port", 0, "real mode: listen for federation peers on this TCP port (0 = only when -peer is set)")
 	dataDir := flag.String("data-dir", "", "persist the service view under this directory (warm boot on restart; -segments > 1 uses per-gateway subdirectories)")
 	queryPort := flag.Int("query-port", 0, "serve the HTTP/JSON query API on this TCP port (0 = disabled, -1 = ephemeral)")
+	predictOn := flag.Bool("predict", false, "enable the predictive discovery cache (mines co-discovery rules from the lookup stream; prefetches the query plane, refreshes remote records ahead of expiry)")
 	statsInterval := flag.Duration("stats-interval", 0, "print view/federation/store stats every interval (0 = only on shutdown)")
 	var peers peerList
 	flag.Var(&peers, "peer", "federation peer for the first gateway (ip:port, repeatable)")
@@ -163,9 +176,9 @@ func main() {
 				d = *duration
 			}
 		})
-		err = runReal(*specFile, *iface, *ip, d, *fedPort, peers, *dataDir, *queryPort, *statsInterval)
+		err = runReal(*specFile, *iface, *ip, d, *fedPort, peers, *dataDir, *queryPort, *predictOn, *statsInterval)
 	} else {
-		err = run(*specFile, *duration, *segments, peers, *dataDir, *queryPort, *statsInterval)
+		err = run(*specFile, *duration, *segments, peers, *dataDir, *queryPort, *predictOn, *statsInterval)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -175,7 +188,7 @@ func main() {
 
 // runReal deploys the gateway on live sockets and serves until a
 // SIGINT/SIGTERM (or the optional duration) stops it.
-func runReal(specFile, iface, ip string, duration time.Duration, fedPort int, peers []string, dataDir string, queryPort int, statsInterval time.Duration) error {
+func runReal(specFile, iface, ip string, duration time.Duration, fedPort int, peers []string, dataDir string, queryPort int, predictOn bool, statsInterval time.Duration) error {
 	spec := ""
 	if specFile != "" {
 		data, err := os.ReadFile(specFile)
@@ -202,6 +215,7 @@ func runReal(specFile, iface, ip string, duration time.Duration, fedPort int, pe
 		Spec:      spec,
 		DataDir:   dataDir,
 		QueryPort: queryPort,
+		Predict:   predictOn,
 	}
 	// Federation: -peer dials out; -federation-port (or -peer without an
 	// explicit port) opens the listener, so a gateway that is only the
@@ -248,13 +262,14 @@ func runReal(specFile, iface, ip string, duration time.Duration, fedPort int, pe
 	fmt.Printf("indiss-gw: services in the gateway's view: %d\n", len(sys.View().Find("", time.Now())))
 	printFedStats(sys)
 	printQueryStats(sys)
+	printPredictStats(sys)
 	printStoreStats(sys)
 	sys.Close()
 	fmt.Println("indiss-gw: shutdown complete")
 	return nil
 }
 
-func run(specFile string, duration time.Duration, segments int, peers []string, dataDir string, queryPort int, statsInterval time.Duration) error {
+func run(specFile string, duration time.Duration, segments int, peers []string, dataDir string, queryPort int, predictOn bool, statsInterval time.Duration) error {
 	spec := ""
 	if specFile != "" {
 		data, err := os.ReadFile(specFile)
@@ -267,9 +282,9 @@ func run(specFile string, duration time.Duration, segments int, peers []string, 
 		return fmt.Errorf("indiss-gw: -segments must be >= 1")
 	}
 	if segments == 1 {
-		return runSingleLAN(spec, duration, dataDir, queryPort, statsInterval)
+		return runSingleLAN(spec, duration, dataDir, queryPort, predictOn, statsInterval)
 	}
-	return runCampus(spec, duration, segments, peers, dataDir, queryPort, statsInterval)
+	return runCampus(spec, duration, segments, peers, dataDir, queryPort, predictOn, statsInterval)
 }
 
 // gwIP returns the i-th (1-based) gateway's address.
@@ -277,7 +292,7 @@ func gwIP(i int) string { return fmt.Sprintf("10.0.%d.9", i) }
 
 // runCampus is the multi-segment scenario: services on the last segment,
 // clients on the first, a federated gateway on every segment.
-func runCampus(spec string, duration time.Duration, segments int, peers []string, dataDir string, queryPort int, statsInterval time.Duration) error {
+func runCampus(spec string, duration time.Duration, segments int, peers []string, dataDir string, queryPort int, predictOn bool, statsInterval time.Duration) error {
 	net := indiss.NewCampus(segments)
 	defer net.Close()
 
@@ -297,6 +312,7 @@ func runCampus(spec string, duration time.Duration, segments int, peers []string
 			Role:      indiss.RoleGateway,
 			GatewayID: fmt.Sprintf("gw%d", i),
 			QueryPort: queryPort,
+			Predict:   predictOn,
 			// Chain peering: every gateway dials its successor.
 			FederationPort: indiss.FederationDefaultPort,
 		}
@@ -348,6 +364,7 @@ func runCampus(spec string, duration time.Duration, segments int, peers []string
 		systems[0].Units(), len(systems[0].View().Find("", time.Now())))
 	printFedStats(systems[0])
 	printQueryStats(systems[0])
+	printPredictStats(systems[0])
 	printStoreStats(systems[0])
 	return nil
 }
@@ -360,7 +377,7 @@ func orLocal(gw string) string {
 }
 
 // runSingleLAN is the classic one-segment scenario.
-func runSingleLAN(spec string, duration time.Duration, dataDir string, queryPort int, statsInterval time.Duration) error {
+func runSingleLAN(spec string, duration time.Duration, dataDir string, queryPort int, predictOn bool, statsInterval time.Duration) error {
 	net := indiss.NewLAN()
 	defer net.Close()
 	gw := net.MustAddHost("gateway", "10.0.0.9")
@@ -375,6 +392,7 @@ func runSingleLAN(spec string, duration time.Duration, dataDir string, queryPort
 		Spec:      spec,
 		DataDir:   dataDir,
 		QueryPort: queryPort,
+		Predict:   predictOn,
 	})
 	if err != nil {
 		return err
@@ -392,6 +410,7 @@ func runSingleLAN(spec string, duration time.Duration, dataDir string, queryPort
 	fmt.Printf("indiss-gw: units instantiated at run time: %v\n", sys.Units())
 	fmt.Printf("indiss-gw: services in the gateway's view: %d\n", len(sys.View().Find("", time.Now())))
 	printQueryStats(sys)
+	printPredictStats(sys)
 	printStoreStats(sys)
 	return nil
 }

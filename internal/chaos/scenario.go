@@ -64,6 +64,11 @@ func (sc *Scenario) SetLink(at time.Duration, n *simnet.Network, a, b string, l 
 	return sc.At(at, fmt.Sprintf("link %s %s", a, b), func() error { return n.SetLink(a, b, l) })
 }
 
+// Move roams a host onto another segment at the given offset.
+func (sc *Scenario) Move(at time.Duration, n *simnet.Network, host, seg string) *Scenario {
+	return sc.At(at, fmt.Sprintf("move %s %s", host, seg), func() error { return n.MoveHost(host, seg) })
+}
+
 // Run executes the schedule: each step fires at its offset from the call
 // (steps sharing an offset fire in insertion order). A closed stop
 // channel aborts between steps. The first failing step aborts the run

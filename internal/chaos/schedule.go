@@ -18,20 +18,23 @@ import (
 //	at 500ms down gw2
 //	at 900ms up gw2
 //	at 1s link seg2 seg3 latency=5ms bandwidth=1000000 loss=0.25
+//	at 2s move client1 seg3
 //
 // Verbs: partition/heal take two segment names, down/up take a host
 // name, link takes two segment names plus latency=/bandwidth=/loss=
-// options (omitted options are the zero profile). Blank lines and
+// options (omitted options are the zero profile), move takes a host
+// name and its destination segment (a roam/handover). Blank lines and
 // #-comments are ignored. ParseSchedule and FormatSchedule round-trip.
 
 // Op is one parsed schedule line.
 type Op struct {
 	// At is the fault's offset from scenario start.
 	At time.Duration
-	// Verb is one of "partition", "heal", "down", "up", "link".
+	// Verb is one of "partition", "heal", "down", "up", "link", "move".
 	Verb string
 	// A and B name the fault's targets: two segments (partition, heal,
-	// link) or a host in A with B empty (down, up).
+	// link), a host in A with B empty (down, up), or a host in A and a
+	// segment in B (move).
 	A, B string
 	// Link is the new link profile (Verb "link" only).
 	Link simnet.Link
@@ -86,6 +89,11 @@ func parseLine(line string) (Op, error) {
 			return Op{}, fmt.Errorf("%s wants one host, got %d args", op.Verb, len(args))
 		}
 		op.A = args[0]
+	case "move":
+		if len(args) != 2 {
+			return Op{}, fmt.Errorf("move wants a host and a segment, got %d args", len(args))
+		}
+		op.A, op.B = args[0], args[1]
 	case "link":
 		if len(args) < 2 {
 			return Op{}, fmt.Errorf("link wants two segments, got %d args", len(args))
@@ -175,6 +183,8 @@ func Bind(n *simnet.Network, ops []Op) *Scenario {
 			sc.HostUp(op.At, n, op.A)
 		case "link":
 			sc.SetLink(op.At, n, op.A, op.B, op.Link)
+		case "move":
+			sc.Move(op.At, n, op.A, op.B)
 		}
 	}
 	return sc

@@ -18,6 +18,7 @@ at 400ms heal seg1 seg2
 at 500ms down gw2
 at 900ms up gw2
 at 1s link seg2 seg3 latency=5ms bandwidth=1000000 loss=0.25
+at 2s move client1 seg3
 `
 	ops, err := ParseSchedule(src)
 	if err != nil {
@@ -30,6 +31,7 @@ at 1s link seg2 seg3 latency=5ms bandwidth=1000000 loss=0.25
 		{At: 900 * time.Millisecond, Verb: "up", A: "gw2"},
 		{At: time.Second, Verb: "link", A: "seg2", B: "seg3",
 			Link: simnet.Link{Latency: 5 * time.Millisecond, BandwidthBps: 1_000_000, LossRate: 0.25}},
+		{At: 2 * time.Second, Verb: "move", A: "client1", B: "seg3"},
 	}
 	if !reflect.DeepEqual(ops, want) {
 		t.Fatalf("parsed %+v\nwant %+v", ops, want)
@@ -57,6 +59,8 @@ func TestParseScheduleErrors(t *testing.T) {
 		"at 1s link a b loss=-0",    // negative zero does not round-trip
 		"at 1s link a b speed=fast", // unknown option
 		"at 1s link a b latency",    // not key=value
+		"at 1s move gw1",            // missing destination segment
+		"at 1s move gw1 seg2 seg3",  // too many args
 	} {
 		if _, err := ParseSchedule(src); err == nil {
 			t.Errorf("ParseSchedule(%q) succeeded, want error", src)
@@ -81,6 +85,7 @@ at 20ms down gw2
 at 40ms up gw2
 at 60ms heal seg1 seg2
 at 80ms link seg1 seg2 latency=1ms
+at 90ms move gw2 seg1
 `)
 	if err != nil {
 		t.Fatal(err)
@@ -96,6 +101,9 @@ at 80ms link seg1 seg2 latency=1ms
 	}
 	if l, ok := n.GetLink("seg1", "seg2"); !ok || l.Latency != time.Millisecond {
 		t.Errorf("link = %+v, want latency=1ms", l)
+	}
+	if seg := n.HostByName("gw2").Segment(); seg != "seg1" {
+		t.Errorf("gw2 on %q after move, want seg1", seg)
 	}
 
 	// A bad target surfaces as the step's error.
@@ -113,6 +121,8 @@ func FuzzParseSchedule(f *testing.F) {
 	f.Add("at 0s down gw\nat 1h up gw\n# comment\n")
 	f.Add("at 1ns link x y")
 	f.Add("at 9999h heal é ß")
+	f.Add("at 2s move client1 seg3")
+	f.Add("at 0s move a b\nat 1ms move b a")
 	f.Fuzz(func(t *testing.T, src string) {
 		ops, err := ParseSchedule(src)
 		if err != nil {

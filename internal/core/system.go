@@ -81,6 +81,13 @@ type Config struct {
 	// the same hook indirection as Federation, keeping core free of a
 	// dependency on internal/query. Nil disables the query plane.
 	Query QueryHook
+
+	// Predict builds the predictive discovery cache once the query
+	// plane is up — the same hook indirection again, keeping core free
+	// of a dependency on internal/predict. It runs last in the start
+	// order (it observes the planes the other hooks built) and closes
+	// first. Nil disables prediction.
+	Predict PredictHook
 }
 
 // FederationHook constructs the view-sync peering endpoint for a running
@@ -93,6 +100,13 @@ type FederationHook func(*System) (io.Closer, error)
 // Closed alongside the federation endpoint, before the monitor and
 // units, so in-flight reads drain against a still-live view.
 type QueryHook func(*System) (io.Closer, error)
+
+// PredictHook constructs the predictive discovery cache for a running
+// system. It is invoked after the federation and query hooks, so
+// System.Federation() and System.QueryPlane() already answer; it is
+// closed before both, so prediction never drives planes that are
+// shutting down.
+type PredictHook func(*System) (io.Closer, error)
 
 // ErrSystemClosed reports use of a closed system.
 var ErrSystemClosed = errors.New("core: system closed")
@@ -122,6 +136,7 @@ type System struct {
 	reAdv      bool
 	federation io.Closer
 	query      io.Closer
+	predictor  io.Closer
 
 	sem  chan struct{}
 	stop chan struct{}
@@ -217,6 +232,16 @@ func NewSystem(stack netapi.Stack, registry *Registry, cfg Config) (*System, err
 		s.query = qp
 		s.mu.Unlock()
 	}
+	if cfg.Predict != nil {
+		pr, err := cfg.Predict(s)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("core: predict: %w", err)
+		}
+		s.mu.Lock()
+		s.predictor = pr
+		s.mu.Unlock()
+	}
 	return s, nil
 }
 
@@ -252,6 +277,16 @@ func (s *System) QueryPlane() io.Closer {
 	return s.query
 }
 
+// Predictor returns the running predictive discovery cache, or nil
+// when prediction is disabled. Callers needing more than io.Closer —
+// the predict package's *Predictor with its Stats() — type-assert the
+// result; core itself stays free of that dependency.
+func (s *System) Predictor() io.Closer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.predictor
+}
+
 // Close stops the monitor, every unit and the bus.
 func (s *System) Close() {
 	s.mu.Lock()
@@ -269,9 +304,16 @@ func (s *System) Close() {
 	s.federation = nil
 	qp := s.query
 	s.query = nil
+	pr := s.predictor
+	s.predictor = nil
 	s.mu.Unlock()
 
 	close(s.stop)
+	if pr != nil {
+		// Prediction goes before the planes it drives: no prefetch or
+		// refresh may land on a closing query engine or endpoint.
+		pr.Close()
+	}
 	if qp != nil {
 		// The read plane goes before everything: queries should drain
 		// against a view whose writers are still orderly.

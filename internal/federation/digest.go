@@ -359,3 +359,41 @@ func (e *Endpoint) pushOrigin(s *session, agg *originAgg) bool {
 	return e.enqueueEntries(s, entries)
 }
 
+// PullOrigins asks every live v3 peer to push its current knowledge of
+// the named origin gateways — records and graves — as if a digest round
+// had just proven them diverged. It is the targeted-refresh entry point
+// for layers above the plane (the predictive cache re-pulls remote
+// records nearing TTL expiry instead of letting them lapse): the peers'
+// pushes arrive as ordinary BATCH frames and re-derive fresh TTLs, so a
+// still-registered record's lease renews without a cold miss. No memo
+// gating on either side — the caller throttles itself, exactly like a
+// digest-diff requester. Returns the number of sessions asked.
+func (e *Endpoint) PullOrigins(origins []string) int {
+	if len(origins) == 0 {
+		return 0
+	}
+	if len(origins) > maxDigestOrigins {
+		origins = origins[:maxDigestOrigins]
+	}
+	e.mu.Lock()
+	targets := make([]*session, 0, len(e.sessions))
+	for s := range e.sessions {
+		targets = append(targets, s)
+	}
+	e.mu.Unlock()
+	if len(targets) == 0 {
+		return 0
+	}
+	frame := AppendDigestDiff(nil, DigestDiff{Origins: origins})
+	asked := 0
+	for _, s := range targets {
+		if s.version < 3 {
+			continue // v2 peers have no targeted pull; anti-entropy covers them
+		}
+		if s.enqueue(FrameDigestDiff, frame) {
+			e.stats.digestRequests.Add(uint64(len(origins)))
+			asked++
+		}
+	}
+	return asked
+}

@@ -7,6 +7,7 @@ import (
 	"runtime/pprof"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"indiss/internal/core"
@@ -39,6 +40,11 @@ type Server struct {
 	listener netapi.Listener
 	gwID     string
 	ctrs     counters
+
+	// observer, when set, sees every well-formed find-by-kind lookup
+	// (client IP, kind) — the predictive subsystem's feed. An atomic
+	// pointer so the serve hot path pays one load and a nil check.
+	observer atomic.Pointer[func(client, kind string)]
 
 	mu     sync.Mutex
 	closed bool
@@ -85,6 +91,17 @@ func (s *Server) Addr() netapi.Addr { return s.listener.Addr() }
 
 // Engine exposes the answer cache (benchmarks, budget tests).
 func (s *Server) Engine() *Engine { return s.engine }
+
+// SetLookupObserver installs (or, with nil, removes) the lookup
+// observer. The observer runs on the request path and must be cheap and
+// non-blocking; it sees the client's IP and the queried kind.
+func (s *Server) SetLookupObserver(fn func(client, kind string)) {
+	if fn == nil {
+		s.observer.Store(nil)
+		return
+	}
+	s.observer.Store(&fn)
+}
 
 // Stats snapshots the query-plane counters.
 func (s *Server) Stats() Stats { return s.ctrs.snapshot() }
@@ -133,6 +150,7 @@ func (s *Server) serveConn(st netapi.Stream) {
 	wb := httpx.AcquireBuf()
 	defer httpx.ReleaseBuf(rb)
 	defer httpx.ReleaseBuf(wb)
+	client := st.RemoteAddr().IP
 
 	for {
 		st.SetReadTimeout(idleTimeout)
@@ -151,7 +169,7 @@ func (s *Server) serveConn(st netapi.Stream) {
 		case method != "GET":
 			out = s.errorResponse(out, 405, "Method Not Allowed", "GET only")
 		default:
-			out, keepAlive = s.route(out, target, st)
+			out, keepAlive = s.route(out, target, client, st)
 		}
 		if out != nil {
 			if _, err := st.Write(out); err != nil {
@@ -170,11 +188,11 @@ func (s *Server) serveConn(st netapi.Stream) {
 // route dispatches one request. It returns the response bytes (nil if
 // the handler already wrote to the stream, e.g. a streamed CPU
 // profile) and whether to keep the connection.
-func (s *Server) route(out []byte, target string, st netapi.Stream) ([]byte, bool) {
+func (s *Server) route(out []byte, target, client string, st netapi.Stream) ([]byte, bool) {
 	path, qs := splitTarget(target)
 	switch {
 	case path == "/v1/services":
-		return s.handleServices(out, qs), true
+		return s.handleServices(out, qs, client), true
 	case path == "/v1/watch":
 		return s.handleWatch(out, qs), true
 	case path == "/debug/vars":
@@ -188,13 +206,16 @@ func (s *Server) route(out []byte, target string, st netapi.Stream) ([]byte, boo
 	}
 }
 
-func (s *Server) handleServices(out []byte, qs string) []byte {
+func (s *Server) handleServices(out []byte, qs, client string) []byte {
 	p, err := ParseQuery(qs)
 	if err != nil {
 		s.ctrs.badRequests.Add(1)
 		return s.errorResponse(out, 400, "Bad Request", err.Error())
 	}
 	s.ctrs.queries.Add(1)
+	if obs := s.observer.Load(); obs != nil {
+		(*obs)(client, p.Kind)
+	}
 	out, _, err = s.engine.AppendAnswer(out, p.Kind, p.Pred, time.Now())
 	if err != nil {
 		s.ctrs.badRequests.Add(1)

@@ -1,0 +1,173 @@
+package simnet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"indiss/internal/netapi"
+)
+
+func TestMoveRehomesMulticast(t *testing.T) {
+	n, ha, hb, _ := chain3(t)
+
+	const group = "239.0.0.1"
+	onA, err := ha.ListenUDP(7000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := onA.JoinGroup(group); err != nil {
+		t.Fatal(err)
+	}
+	onB, err := hb.ListenUDP(7000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := onB.JoinGroup(group); err != nil {
+		t.Fatal(err)
+	}
+	roamer := n.MustAddHostOn("roamer", "10.0.1.99", "A")
+	sender, err := roamer.ListenUDP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// On A: the group send lands on A's listener, never B's.
+	if err := sender.WriteTo([]byte("from-A"), Addr{IP: group, Port: 7000}); err != nil {
+		t.Fatal(err)
+	}
+	if dg, err := recvOne(t, onA, time.Second); err != nil || string(dg.Payload) != "from-A" {
+		t.Fatalf("recv on A: %q, %v", dg.Payload, err)
+	}
+	if _, err := recvOne(t, onB, 50*time.Millisecond); err == nil {
+		t.Fatal("multicast crossed into B before the move")
+	}
+
+	// Roam to B: the very next send is scoped to B only.
+	if err := roamer.Move("B"); err != nil {
+		t.Fatal(err)
+	}
+	if seg := roamer.Segment(); seg != "B" {
+		t.Fatalf("Segment() = %q after move, want B", seg)
+	}
+	if err := sender.WriteTo([]byte("from-B"), Addr{IP: group, Port: 7000}); err != nil {
+		t.Fatal(err)
+	}
+	if dg, err := recvOne(t, onB, time.Second); err != nil || string(dg.Payload) != "from-B" {
+		t.Fatalf("recv on B: %q, %v", dg.Payload, err)
+	}
+	if _, err := recvOne(t, onA, 50*time.Millisecond); err == nil {
+		t.Fatal("multicast still landing on A after the move")
+	}
+}
+
+func TestMoveResetsStreamsAndValidates(t *testing.T) {
+	n, ha, hb, _ := chain3(t)
+
+	l, err := hb.ListenTCP(6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan netapi.Stream, 1)
+	go func() {
+		st, err := l.Accept()
+		if err == nil {
+			accepted <- st
+		}
+	}()
+	st, err := ha.DialTCP(Addr{IP: hb.IP(), Port: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := <-accepted
+
+	// Handover: the mover's established stream resets abruptly — both
+	// ends see EOF, like a crash.
+	if err := ha.Move("C"); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if _, err := st.Read(buf); err == nil {
+		t.Fatal("mover's stream survived the handover")
+	}
+	peer.SetReadTimeout(time.Second)
+	if _, err := peer.Read(buf); err == nil {
+		t.Fatal("peer's end survived the handover")
+	}
+
+	// Bindings survive: the same conn re-dials from the new segment.
+	st2, err := ha.DialTCP(Addr{IP: hb.IP(), Port: 6000})
+	if err != nil {
+		t.Fatalf("re-dial after move: %v", err)
+	}
+	st2.Close()
+
+	// Validation: unknown host, unknown segment, and the no-op move.
+	if err := n.MoveHost("nobody", "A"); err == nil {
+		t.Error("MoveHost(unknown host) succeeded")
+	}
+	if err := ha.Move("nowhere"); err == nil {
+		t.Error("Move(unknown segment) succeeded")
+	}
+	if err := ha.Move("C"); err != nil {
+		t.Errorf("no-op move: %v", err)
+	}
+	n.Close()
+	if err := ha.Move("A"); !errors.Is(err, ErrClosed) {
+		t.Errorf("move on closed network: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestMoveRaceAgainstTraffic hammers Move while senders unicast and
+// multicast through the roaming host — the race detector is the assert.
+func TestMoveRaceAgainstTraffic(t *testing.T) {
+	n, ha, hb, hc := chain3(t)
+	roamer := n.MustAddHostOn("roamer", "10.0.1.99", "A")
+	sender, err := roamer.ListenUDP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := hb.ListenUDP(7000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.JoinGroup("239.0.0.1"); err != nil {
+		t.Fatal(err)
+	}
+	sink, err := hc.ListenUDP(7001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sink
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sender.WriteTo([]byte("m"), Addr{IP: "239.0.0.1", Port: 7000})
+			sender.WriteTo([]byte("u"), Addr{IP: hc.IP(), Port: 7001})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		segs := []string{"A", "B", "C"}
+		for i := 0; i < 200; i++ {
+			if err := roamer.Move(segs[i%len(segs)]); err != nil {
+				t.Errorf("move %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	_ = ha
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"indiss/internal/netapi"
@@ -151,11 +152,11 @@ func (n *Network) addHostLocked(name, ip, seg string) (*Host, error) {
 		net:       n,
 		name:      name,
 		ip:        ip,
-		seg:       seg,
 		udp:       make(map[int]*UDPConn),
 		mcast:     make(map[int][]*UDPConn),
 		listeners: make(map[int]*Listener),
 	}
+	h.seg.Store(&seg)
 	n.hosts[ip] = h
 	n.names[name] = h
 	return h, nil
@@ -202,10 +203,11 @@ func (n *Network) Hosts() []*Host {
 // delay/loss helpers below, so one send takes the network mutex at most
 // twice (route-cache hit + loss rng) instead of once per helper.
 func (n *Network) resolvePath(from, to *Host) ([]Link, bool) {
-	if from.seg == to.seg {
+	fs, ts := from.segment(), to.segment()
+	if fs == ts {
 		return nil, true
 	}
-	return n.route(from.seg, to.seg)
+	return n.route(fs, ts)
 }
 
 // linkDelayPath computes the one-way delay for a payload of size bytes:
@@ -282,7 +284,7 @@ type Host struct {
 	net  *Network
 	name string
 	ip   string
-	seg  string
+	seg  atomic.Pointer[string] // current segment; swapped by Move
 
 	mu        sync.Mutex
 	udp       map[int]*UDPConn
@@ -300,7 +302,12 @@ func (h *Host) Name() string { return h.name }
 func (h *Host) IP() string { return h.ip }
 
 // Segment returns the name of the multicast segment the host lives on.
-func (h *Host) Segment() string { return h.seg }
+func (h *Host) Segment() string { return h.segment() }
+
+// segment loads the current segment name. Senders read it per packet,
+// racing against Move's swap; either value is a coherent answer (the
+// packet left just before or just after the handover).
+func (h *Host) segment() string { return *h.seg.Load() }
 
 // Network returns the network the host belongs to.
 func (h *Host) Network() *Network { return h.net }

@@ -230,8 +230,9 @@ func (c *UDPConn) sendUnicast(dg Datagram) error {
 func (c *UDPConn) sendMulticast(dg Datagram) error {
 	n := c.host.net
 	n.metrics.addUDP(dg.Dst.Port, len(dg.Payload), true)
+	seg := c.host.segment()
 	for _, to := range n.Hosts() {
-		if to.seg != c.host.seg {
+		if to.segment() != seg {
 			continue // multicast never crosses a segment boundary
 		}
 		to.mu.Lock()
