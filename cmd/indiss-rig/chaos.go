@@ -1,0 +1,80 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"indiss/internal/chaos"
+)
+
+// targetList is the repeatable -target flag: name=container:iface maps
+// a schedule target (a segment or host name) onto the container and
+// interface the fault lands on.
+type targetList map[string]chaos.TCTarget
+
+func (t targetList) String() string { return fmt.Sprint(map[string]chaos.TCTarget(t)) }
+
+func (t targetList) Set(v string) error {
+	name, rest, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want name=container:iface, got %q", v)
+	}
+	container, iface, ok := strings.Cut(rest, ":")
+	if !ok || name == "" || container == "" || iface == "" {
+		return fmt.Errorf("want name=container:iface, got %q", v)
+	}
+	t[name] = chaos.TCTarget{Container: container, Iface: iface}
+	return nil
+}
+
+// cmdChaos replays a schedule file — the very same text format simnet
+// soaks parse — against live containers through tc/netem and ip link.
+func cmdChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	schedule := fs.String("schedule", "", "chaos schedule file (the simnet schedule DSL)")
+	compose := fs.String("compose", "", "compose file; faults run via 'docker compose -f FILE exec' (empty: plain 'docker exec')")
+	grace := fs.Duration("grace", 2*time.Second, "extra wall time after the last op before returning")
+	dryRun := fs.Bool("n", false, "print the parsed ops and resolved targets, execute nothing")
+	targets := targetList{}
+	fs.Var(targets, "target", "schedule target mapping name=container:iface (repeatable)")
+	_ = fs.Parse(args)
+
+	if *schedule == "" {
+		return fmt.Errorf("chaos: -schedule is required")
+	}
+	src, err := os.ReadFile(*schedule)
+	if err != nil {
+		return err
+	}
+	ops, err := chaos.ParseSchedule(string(src))
+	if err != nil {
+		return err
+	}
+	if len(ops) == 0 {
+		return fmt.Errorf("chaos: %s holds no ops", *schedule)
+	}
+	if *dryRun {
+		fmt.Printf("rig: chaos would run %d ops over %v against %d targets:\n%s",
+			len(ops), chaos.ScheduleSpan(ops, 0), len(targets), chaos.FormatSchedule(ops))
+		return nil
+	}
+
+	backend := &chaos.TCBackend{
+		Targets: targets,
+		Run:     chaos.DockerExecRunner(*compose),
+	}
+	fmt.Printf("rig: chaos replaying %d ops from %s over %v\n",
+		len(ops), *schedule, chaos.ScheduleSpan(ops, 0))
+	start := time.Now()
+	if err := chaos.BindBackend(backend, ops).Run(nil); err != nil {
+		return fmt.Errorf("chaos: %w", err)
+	}
+	if rest := chaos.ScheduleSpan(ops, *grace) - time.Since(start); rest > 0 {
+		time.Sleep(rest)
+	}
+	fmt.Printf("rig: chaos schedule complete in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,239 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"syscall"
+	"time"
+
+	"indiss/internal/dnssd"
+	"indiss/internal/realnet"
+)
+
+// Local mode: the full rig drill on one machine, no containers. Two
+// indiss-gw processes share the loopback interface — live kernel
+// sockets, real multicast, a real TCP federation dial — and the driver
+// runs the matrix, the churn soak, and a kill-and-restart repair
+// measurement against them, then tears both down over SIGTERM and
+// checks they exit cleanly. gw1 runs every unit; gw2 is restricted to
+// SLP (-sdps slp), so the DNS-SD churn reaches gw2's query plane only
+// through the federation — which is exactly the path the soak times.
+// This records PERF.md's live single-host numbers; the containerized
+// topologies (deploy/) add real segmentation and tc faults on top.
+
+type localResult struct {
+	Matrix        *matrixResult `json:"matrix"`
+	Soak          *soakResult   `json:"soak"`
+	RestartRepair summary       `json:"restart_repair"`
+}
+
+type localGW struct {
+	id         string
+	cmd        *exec.Cmd
+	args       []string
+	healthAddr string
+	queryURL   string
+}
+
+func cmdLocal(args []string) error {
+	fs := flag.NewFlagSet("local", flag.ExitOnError)
+	gwBin := fs.String("gw-bin", "", "path to the indiss-gw binary (required)")
+	services := fs.Int("services", 8, "services per churn burst")
+	rounds := fs.Int("rounds", 5, "soak rounds")
+	repairs := fs.Int("repairs", 3, "kill-and-restart repair measurements")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-phase convergence deadline")
+	jsonOut := fs.String("json", "", "write all medians as JSON to this file")
+	_ = fs.Parse(args)
+	if *gwBin == "" {
+		return fmt.Errorf("local: -gw-bin is required (go build -o indiss-gw ./cmd/indiss-gw)")
+	}
+
+	// Probe multicast before spawning anything: a sandbox that forbids
+	// group joins fails here with the reason, not with two dead
+	// gateways.
+	probe, err := realnet.Loopback("rig-probe")
+	if err != nil {
+		return fmt.Errorf("local: no loopback interface: %w", err)
+	}
+	if err := probe.ProbeMulticast(2 * time.Second); err != nil {
+		return fmt.Errorf("local: this host cannot join multicast groups: %w", err)
+	}
+
+	dataDir, err := os.MkdirTemp("", "indiss-rig-local-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dataDir)
+
+	ports := make([]int, 6)
+	for i := range ports {
+		if ports[i], err = freePort(); err != nil {
+			return err
+		}
+	}
+	gw1 := &localGW{
+		id:         "gw1",
+		healthAddr: fmt.Sprintf("127.0.0.1:%d", ports[0]),
+		queryURL:   fmt.Sprintf("http://127.0.0.1:%d", ports[1]),
+		args: []string{
+			"-real", "-iface", "lo", "-ip", "127.0.0.1", "-gateway-id", "gw1",
+			"-health-port", fmt.Sprint(ports[0]),
+			"-query-port", fmt.Sprint(ports[1]),
+			"-federation-port", fmt.Sprint(ports[2]),
+			"-data-dir", dataDir + "/gw1",
+		},
+	}
+	gw2 := &localGW{
+		id:         "gw2",
+		healthAddr: fmt.Sprintf("127.0.0.1:%d", ports[3]),
+		queryURL:   fmt.Sprintf("http://127.0.0.1:%d", ports[4]),
+		args: []string{
+			"-real", "-iface", "lo", "-ip", "127.0.0.1", "-gateway-id", "gw2",
+			"-sdps", "slp",
+			"-health-port", fmt.Sprint(ports[3]),
+			"-query-port", fmt.Sprint(ports[4]),
+			"-federation-port", fmt.Sprint(ports[5]),
+			"-peer", fmt.Sprintf("127.0.0.1:%d", ports[2]),
+			"-data-dir", dataDir + "/gw2",
+		},
+	}
+	gws := []*localGW{gw1, gw2}
+	defer func() {
+		for _, gw := range gws {
+			if gw.cmd != nil && gw.cmd.Process != nil {
+				_ = gw.cmd.Process.Kill()
+				_ = gw.cmd.Wait()
+			}
+		}
+	}()
+	for _, gw := range gws {
+		if err := gw.start(*gwBin); err != nil {
+			return err
+		}
+	}
+	for _, gw := range gws {
+		status, err := realnet.WaitHealthy(gw.healthAddr, 30*time.Second)
+		if err != nil {
+			return fmt.Errorf("local: %s never became healthy: %w", gw.id, err)
+		}
+		fmt.Printf("rig: local %s ready: %s\n", gw.id, status)
+	}
+
+	res := &localResult{}
+
+	fmt.Println("rig: local phase 1/3: live interop matrix")
+	res.Matrix, err = runMatrix("lo", "127.0.0.1", 20*time.Second)
+	if err != nil {
+		return fmt.Errorf("local: %w", err)
+	}
+
+	fmt.Println("rig: local phase 2/3: churn soak across the federation")
+	soakStack, err := realnet.Loopback("rig-soak")
+	if err != nil {
+		return err
+	}
+	res.Soak, err = runSoak(soakStack, []string{gw1.queryURL, gw2.queryURL}, *services, *rounds, *timeout)
+	if err != nil {
+		return fmt.Errorf("local: %w", err)
+	}
+
+	fmt.Println("rig: local phase 3/3: kill-and-restart repair")
+	repair, err := runRestartRepair(soakStack, gw1, gw2, *gwBin, *repairs, *timeout)
+	if err != nil {
+		return fmt.Errorf("local: %w", err)
+	}
+	res.RestartRepair = summarize(repair)
+	fmt.Printf("rig: local restart repair median %.1fms p95 %.1fms over %d kills\n",
+		res.RestartRepair.Median, res.RestartRepair.P95, len(repair))
+
+	// Teardown is part of the drill: both gateways must exit cleanly on
+	// SIGTERM — the signal compose delivers on every `down`.
+	for _, gw := range gws {
+		if err := gw.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			return fmt.Errorf("local: signal %s: %w", gw.id, err)
+		}
+	}
+	for _, gw := range gws {
+		if err := gw.cmd.Wait(); err != nil {
+			return fmt.Errorf("local: %s exited uncleanly on SIGTERM: %w", gw.id, err)
+		}
+		gw.cmd = nil
+		fmt.Printf("rig: local %s exited cleanly on SIGTERM\n", gw.id)
+	}
+	return writeJSON(*jsonOut, res)
+}
+
+func (gw *localGW) start(bin string) error {
+	cmd := exec.Command(bin, gw.args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("local: start %s: %w", gw.id, err)
+	}
+	gw.cmd = cmd
+	return nil
+}
+
+// runRestartRepair registers a marker batch, waits until both planes
+// hold it, then repeatedly SIGKILLs gw2 and measures how long the
+// restarted process takes to serve the full batch again — warm boot
+// from its data dir plus federation anti-entropy, timed end to end
+// through the public query plane.
+func runRestartRepair(stack *realnet.Stack, gw1, gw2 *localGW, bin string, repairs int, timeout time.Duration) ([]time.Duration, error) {
+	resp, err := dnssd.NewResponder(stack, dnssd.ResponderConfig{})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Close()
+	const kind, batch = "repair", 8
+	for i := 0; i < batch; i++ {
+		if err := resp.Register(dnssd.Registration{
+			Instance: fmt.Sprintf("repair-%d", i),
+			Service:  dnssd.ServiceType(kind),
+			Port:     7100 + i,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	planes := []string{gw1.queryURL, gw2.queryURL}
+	if err := waitCounts(planes, kind, []int{0, 0}, batch, timeout); err != nil {
+		return nil, fmt.Errorf("marker batch never converged: %w", err)
+	}
+
+	var durations []time.Duration
+	for i := 0; i < repairs; i++ {
+		if err := gw2.cmd.Process.Kill(); err != nil {
+			return nil, err
+		}
+		_ = gw2.cmd.Wait()
+		t0 := time.Now()
+		if err := gw2.start(bin); err != nil {
+			return nil, err
+		}
+		if _, err := realnet.WaitHealthy(gw2.healthAddr, timeout); err != nil {
+			return nil, fmt.Errorf("restarted gw2 never became healthy: %w", err)
+		}
+		if err := waitCounts([]string{gw2.queryURL}, kind, []int{0}, batch, timeout); err != nil {
+			return nil, fmt.Errorf("restarted gw2 never repaired the batch: %w", err)
+		}
+		d := time.Since(t0)
+		durations = append(durations, d)
+		fmt.Printf("rig: local repair %d/%d: gw2 killed, restarted, full batch served after %v\n",
+			i+1, repairs, d.Round(time.Millisecond))
+	}
+	return durations, nil
+}
+
+// freePort reserves an ephemeral TCP port and frees it for a child to
+// bind; the race window is acceptable for a test rig.
+func freePort() (int, error) {
+	l, err := net.Listen("tcp4", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	return port, l.Close()
+}

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"indiss/internal/dnssd"
+	"indiss/internal/realnet"
+)
+
+// The churn soak: bursts of native DNS-SD registrations on the live
+// segment, convergence measured from the OUTSIDE through every
+// gateway's HTTP query plane. A round is register → all planes hold the
+// full burst (convergence) → goodbye → all planes drain back (repair).
+// DNS-SD carries the churn because both edges are advertised on the
+// wire (RFC 6762 §8.3 announcements, TTL-0 goodbyes), so the measured
+// times are pure gateway+federation propagation, not protocol timers.
+// The medians of both distributions are the rig's headline live-network
+// numbers; the simnet ChurnConvergence benchmark is their simulated
+// twin in PERF.md.
+
+type soakResult struct {
+	Rounds    int     `json:"rounds"`
+	Services  int     `json:"services_per_round"`
+	Gateways  int     `json:"gateways"`
+	Converge  summary `json:"converge"`
+	Drain     summary `json:"drain"`
+	converges []time.Duration
+	drains    []time.Duration
+}
+
+func cmdSoak(args []string) error {
+	fs := flag.NewFlagSet("soak", flag.ExitOnError)
+	iface := fs.String("iface", "", "interface to register churn services on (default auto-detect; \"lo\" for loopback)")
+	ip := fs.String("ip", "", "IPv4 source address on -iface")
+	queries := fs.String("query", "", "comma-separated gateway query-plane base URLs (http://host:port)")
+	services := fs.Int("services", 8, "services per churn burst")
+	rounds := fs.Int("rounds", 5, "register/deregister rounds")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-phase convergence deadline")
+	jsonOut := fs.String("json", "", "write the soak result as JSON to this file")
+	_ = fs.Parse(args)
+
+	planes := splitList(*queries)
+	if len(planes) == 0 {
+		return fmt.Errorf("soak: -query is required")
+	}
+	var stack *realnet.Stack
+	var err error
+	if *iface == "lo" || *iface == "lo0" || *ip == "127.0.0.1" {
+		stack, err = realnet.Loopback("rig-soak")
+	} else {
+		stack, err = realnet.NewStack(realnet.Options{Name: "rig-soak", Interface: *iface, IP: *ip})
+	}
+	if err != nil {
+		return err
+	}
+	res, err := runSoak(stack, planes, *services, *rounds, *timeout)
+	if jerr := writeJSON(*jsonOut, res); jerr != nil && err == nil {
+		err = jerr
+	}
+	return err
+}
+
+func runSoak(stack *realnet.Stack, planes []string, services, rounds int, timeout time.Duration) (*soakResult, error) {
+	if err := stack.ProbeMulticast(2 * time.Second); err != nil {
+		return nil, fmt.Errorf("soak: this host cannot join multicast groups: %w", err)
+	}
+	res := &soakResult{Rounds: rounds, Services: services, Gateways: len(planes)}
+	const kind = "soak"
+
+	// The planes may already hold leftovers from earlier runs; churn is
+	// measured relative to each plane's own baseline.
+	base := make([]int, len(planes))
+	for i, p := range planes {
+		n, err := queryCount(p, kind)
+		if err != nil {
+			return nil, fmt.Errorf("soak: baseline query against %s: %w", p, err)
+		}
+		base[i] = n
+	}
+
+	resp, err := dnssd.NewResponder(stack, dnssd.ResponderConfig{})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Close()
+	svcType := dnssd.ServiceType(kind)
+
+	for r := 0; r < rounds; r++ {
+		instances := make([]string, services)
+		for i := range instances {
+			instances[i] = fmt.Sprintf("soak-r%d-%d", r, i)
+		}
+		t0 := time.Now()
+		for i, inst := range instances {
+			if err := resp.Register(dnssd.Registration{
+				Instance: inst,
+				Service:  svcType,
+				Port:     7000 + i,
+				Text:     map[string]string{"round": fmt.Sprint(r)},
+			}); err != nil {
+				return nil, fmt.Errorf("soak: register: %w", err)
+			}
+		}
+		if err := waitCounts(planes, kind, base, services, timeout); err != nil {
+			return res, fmt.Errorf("soak: round %d converge: %w", r+1, err)
+		}
+		conv := time.Since(t0)
+		res.converges = append(res.converges, conv)
+
+		t1 := time.Now()
+		for _, inst := range instances {
+			resp.Unregister(inst, svcType)
+		}
+		if err := waitCounts(planes, kind, base, 0, timeout); err != nil {
+			return res, fmt.Errorf("soak: round %d drain: %w", r+1, err)
+		}
+		drain := time.Since(t1)
+		res.drains = append(res.drains, drain)
+		fmt.Printf("rig: soak round %d/%d: %d services converged on %d planes in %v, drained in %v\n",
+			r+1, rounds, services, len(planes), conv.Round(time.Millisecond), drain.Round(time.Millisecond))
+	}
+	res.Converge = summarize(res.converges)
+	res.Drain = summarize(res.drains)
+	fmt.Printf("rig: soak medians over %d rounds: converge %.1fms (p95 %.1fms), drain %.1fms (p95 %.1fms)\n",
+		rounds, res.Converge.Median, res.Converge.P95, res.Drain.Median, res.Drain.P95)
+	return res, nil
+}
+
+// waitCounts polls every query plane until each reports its baseline
+// plus delta records of the kind, or the deadline passes — in which
+// case the error names the lagging plane and its last count, so a rig
+// failure points at the unconverged gateway directly.
+func waitCounts(planes []string, kind string, base []int, delta int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	last := make([]int, len(planes))
+	for {
+		all := true
+		for i, p := range planes {
+			n, err := queryCount(p, kind)
+			if err != nil {
+				all, last[i] = false, -1
+				if time.Now().After(deadline) {
+					return fmt.Errorf("%s unreachable: %w", p, err)
+				}
+				continue
+			}
+			last[i] = n
+			if n != base[i]+delta {
+				all = false
+			}
+		}
+		if all {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			for i, p := range planes {
+				if last[i] != base[i]+delta {
+					return fmt.Errorf("%s stuck at %d of %d %q records after %v",
+						p, last[i]-base[i], delta, kind, timeout)
+				}
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// queryCount asks one gateway's query plane how many records of kind it
+// holds. The rig talks to the planes over plain HTTP — the same path a
+// real client uses, so convergence is measured end to end.
+func queryCount(baseURL, kind string) (int, error) {
+	cli := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cli.Get(baseURL + "/v1/services?kind=" + url.QueryEscape(kind))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("query plane returned %s", resp.Status)
+	}
+	var ans struct {
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(body, &ans); err != nil {
+		return 0, fmt.Errorf("bad query answer: %w", err)
+	}
+	return ans.Count, nil
+}

@@ -69,7 +69,7 @@ func newFedFixture(t *testing.T) *fedFixture {
 		if err != nil {
 			t.Fatalf("deploy gateway %d: %v", i, err)
 		}
-		t.Cleanup(sys.Close)
+		t.Cleanup(func() { _ = sys.Close() })
 		f.gws[i] = sys
 	}
 	return f

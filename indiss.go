@@ -206,6 +206,13 @@ type Config struct {
 	// dialing the best-scored ones until it holds this many sessions.
 	// Zero peers exactly as configured.
 	FederationFanout int
+	// FederationStack, when non-nil, carries the peering plane on its
+	// own network stack instead of the deployment stack — the
+	// multihomed-gateway shape of the containerized rig (DESIGN.md
+	// §14): discovery multicast stays pinned to the segment interface
+	// while federation listens and dials on the backbone. Nil keeps
+	// federation on the deployment stack.
+	FederationStack Stack
 
 	// QueryPort enables the HTTP/JSON query plane: a read-only lookup
 	// API over the instance's service view (find by kind, SLP-predicate
@@ -277,6 +284,10 @@ func Deploy(stack Stack, cfg Config) (*System, error) {
 			}
 			peers = append(peers, addr)
 		}
+		fedStack := stack
+		if cfg.FederationStack != nil {
+			fedStack = cfg.FederationStack
+		}
 		coreCfg.Federation = func(s *core.System) (io.Closer, error) {
 			fcfg := federation.Config{
 				GatewayID:           s.GatewayID(),
@@ -289,7 +300,7 @@ func Deploy(stack Stack, cfg Config) (*System, error) {
 			if st := s.ViewStore(); st != nil {
 				fcfg.Persistence = st
 			}
-			return federation.New(stack, s.View(), fcfg)
+			return federation.New(fedStack, s.View(), fcfg)
 		}
 	}
 	if cfg.QueryPort != 0 {

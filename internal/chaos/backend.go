@@ -1,0 +1,72 @@
+package chaos
+
+import (
+	"fmt"
+
+	"indiss/internal/simnet"
+)
+
+// Backend applies the schedule DSL's fault verbs to one fabric. Two
+// implementations exist: NetBackend drives the simulated network
+// (simnet link mutation, partitions, host crashes), and TCBackend
+// (tcexec.go) drives real gateway containers through tc/netem and ip
+// link — so one schedule file runs unmodified against either fabric.
+type Backend interface {
+	// Partition cuts connectivity between segments a and b.
+	Partition(a, b string) error
+	// Heal restores connectivity between segments a and b.
+	Heal(a, b string) error
+	// HostDown crashes (or isolates) the named host.
+	HostDown(host string) error
+	// HostUp revives the named host.
+	HostUp(host string) error
+	// SetLink mutates the a↔b link's latency/bandwidth/loss profile.
+	SetLink(a, b string, l simnet.Link) error
+	// Move roams a host onto another segment.
+	Move(host, seg string) error
+}
+
+// NetBackend drives the schedule verbs against a live simnet fabric —
+// the executor every chaos soak used before the containerized rig
+// existed, now behind the same interface the tc executor satisfies.
+type NetBackend struct {
+	Net *simnet.Network
+}
+
+var _ Backend = NetBackend{}
+
+func (b NetBackend) Partition(a, c string) error              { return b.Net.Partition(a, c) }
+func (b NetBackend) Heal(a, c string) error                   { return b.Net.Heal(a, c) }
+func (b NetBackend) HostDown(host string) error               { return b.Net.SetHostDown(host, true) }
+func (b NetBackend) HostUp(host string) error                 { return b.Net.SetHostDown(host, false) }
+func (b NetBackend) SetLink(a, c string, l simnet.Link) error { return b.Net.SetLink(a, c, l) }
+func (b NetBackend) Move(host, seg string) error              { return b.Net.MoveHost(host, seg) }
+
+// BindBackend turns parsed ops into a runnable Scenario against any
+// fault backend. Target names are validated at execution time, so
+// binding never fails; a bad name surfaces as the step's error from
+// Run. This is the join point of the schedule DSL's portability
+// contract: ParseSchedule → BindBackend(NetBackend{...}) replays a
+// schedule in simulation, ParseSchedule → BindBackend(&TCBackend{...})
+// replays the same bytes against real containers.
+func BindBackend(b Backend, ops []Op) *Scenario {
+	sc := NewScenario()
+	for _, op := range ops {
+		op := op
+		switch op.Verb {
+		case "partition":
+			sc.At(op.At, fmt.Sprintf("partition %s %s", op.A, op.B), func() error { return b.Partition(op.A, op.B) })
+		case "heal":
+			sc.At(op.At, fmt.Sprintf("heal %s %s", op.A, op.B), func() error { return b.Heal(op.A, op.B) })
+		case "down":
+			sc.At(op.At, "down "+op.A, func() error { return b.HostDown(op.A) })
+		case "up":
+			sc.At(op.At, "up "+op.A, func() error { return b.HostUp(op.A) })
+		case "link":
+			sc.At(op.At, fmt.Sprintf("link %s %s", op.A, op.B), func() error { return b.SetLink(op.A, op.B, op.Link) })
+		case "move":
+			sc.At(op.At, fmt.Sprintf("move %s %s", op.A, op.B), func() error { return b.Move(op.A, op.B) })
+		}
+	}
+	return sc
+}

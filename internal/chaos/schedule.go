@@ -165,27 +165,12 @@ func FormatSchedule(ops []Op) string {
 	return b.String()
 }
 
-// Bind turns parsed ops into a runnable Scenario against a live network.
-// Target names are validated at execution time (a host may legitimately
-// be added after parse), so binding never fails; a bad name surfaces as
-// the step's error from Run.
+// Bind turns parsed ops into a runnable Scenario against a live
+// simulated network. Target names are validated at execution time (a
+// host may legitimately be added after parse), so binding never fails;
+// a bad name surfaces as the step's error from Run. Bind is
+// BindBackend over the simnet executor; hand BindBackend a *TCBackend
+// to run the same ops against real containers instead.
 func Bind(n *simnet.Network, ops []Op) *Scenario {
-	sc := NewScenario()
-	for _, op := range ops {
-		switch op.Verb {
-		case "partition":
-			sc.Partition(op.At, n, op.A, op.B)
-		case "heal":
-			sc.Heal(op.At, n, op.A, op.B)
-		case "down":
-			sc.HostDown(op.At, n, op.A)
-		case "up":
-			sc.HostUp(op.At, n, op.A)
-		case "link":
-			sc.SetLink(op.At, n, op.A, op.B, op.Link)
-		case "move":
-			sc.Move(op.At, n, op.A, op.B)
-		}
-	}
-	return sc
+	return BindBackend(NetBackend{Net: n}, ops)
 }

@@ -1,0 +1,196 @@
+package chaos
+
+import (
+	"fmt"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"indiss/internal/simnet"
+)
+
+// TCBackend executes the schedule DSL's faults against *real* gateway
+// containers: latency/bandwidth/loss through tc/netem qdiscs, hosts
+// crashed by taking their links administratively down — the
+// containerized rig's fault plane (DESIGN.md §14). The same schedule
+// file that drives a simnet soak drives this executor unmodified; only
+// the binding differs.
+//
+// Fault semantics, mapped onto interface-granular tooling:
+//
+//   - `link A B latency=.. bandwidth=.. loss=..` installs a netem
+//     qdisc on the fault interface of BOTH segments' gateways, so each
+//     crossing direction pays the profile once — the same accounting
+//     as a simnet link.
+//   - `partition A B` is netem loss 100% on both gateways' fault
+//     interfaces: sockets stay bound, multicast memberships survive,
+//     but nothing crosses — a real split, heal-able in place.
+//   - `heal A B` replaces the netem qdisc with a zero-impairment one.
+//   - `down H` / `up H` run `ip link set <iface> down/up` in H's
+//     container: the gateway process stays alive but falls off the
+//     fabric, the closest real-world analogue of a simnet host crash
+//     that does not also discard the container's state.
+//   - `move` has no container analogue and fails the step.
+//
+// In the shipped topologies each gateway has exactly one fault
+// interface (the shared LAN in deploy/lan2, the backbone in
+// deploy/campus3), so interface granularity and link granularity
+// coincide; a schedule against a custom topology must respect this.
+type TCBackend struct {
+	// Targets maps every schedule target name — segment names for
+	// partition/heal/link, host names for down/up — to the container
+	// and interface the fault applies to.
+	Targets map[string]TCTarget
+	// Run executes one command inside a named container. Nil defaults
+	// to DockerExecRunner("").
+	Run Runner
+}
+
+// TCTarget is one gateway container's fault surface.
+type TCTarget struct {
+	// Container is the container (or compose service) name.
+	Container string
+	// Iface is the interface inside the container that faults apply
+	// to, e.g. "eth0".
+	Iface string
+}
+
+// Runner executes argv inside a named container and returns the
+// combined output on failure. The indirection keeps the executor
+// testable without a docker daemon and portable across `docker exec`,
+// `docker compose exec`, podman, or plain nsenter.
+type Runner func(container string, argv ...string) error
+
+// DockerExecRunner runs commands via `docker exec <container> ...`.
+// With a non-empty composeFile it runs `docker compose -f <file> exec
+// -T <service> ...` instead, resolving compose service names without
+// depending on the project's container-name template.
+func DockerExecRunner(composeFile string) Runner {
+	return func(container string, argv ...string) error {
+		var cmd *exec.Cmd
+		if composeFile != "" {
+			args := append([]string{"compose", "-f", composeFile, "exec", "-T", container}, argv...)
+			cmd = exec.Command("docker", args...)
+		} else {
+			args := append([]string{"exec", container}, argv...)
+			cmd = exec.Command("docker", args...)
+		}
+		if out, err := cmd.CombinedOutput(); err != nil {
+			return fmt.Errorf("chaos: %s: %v: %s", strings.Join(argv, " "), err, strings.TrimSpace(string(out)))
+		}
+		return nil
+	}
+}
+
+var _ Backend = (*TCBackend)(nil)
+
+func (b *TCBackend) runner() Runner {
+	if b.Run != nil {
+		return b.Run
+	}
+	return DockerExecRunner("")
+}
+
+// target resolves a schedule name or fails with the known names — the
+// same late-binding contract as the simnet executor.
+func (b *TCBackend) target(name string) (TCTarget, error) {
+	t, ok := b.Targets[name]
+	if !ok {
+		known := make([]string, 0, len(b.Targets))
+		for k := range b.Targets {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return TCTarget{}, fmt.Errorf("chaos: no tc target %q (have %v)", name, known)
+	}
+	return t, nil
+}
+
+// netemArgs renders a link profile as netem parameters. A zero profile
+// renders no parameters: a bare netem qdisc forwards unimpaired, which
+// is how heal restores service without needing a fragile `qdisc del`.
+func netemArgs(l simnet.Link) []string {
+	var args []string
+	if l.Latency > 0 {
+		args = append(args, "delay", fmt.Sprintf("%dus", l.Latency.Microseconds()))
+	}
+	if l.LossRate > 0 {
+		args = append(args, "loss", strconv.FormatFloat(l.LossRate*100, 'f', -1, 64)+"%")
+	}
+	if l.BandwidthBps > 0 {
+		// simnet prices bandwidth in bytes/s; tc rates are in bits/s.
+		args = append(args, "rate", strconv.FormatInt(l.BandwidthBps*8, 10)+"bit")
+	}
+	return args
+}
+
+// applyNetem replaces the root qdisc on both named segments' fault
+// interfaces. `replace` (not add/change) keeps every transition legal
+// whatever qdisc is installed.
+func (b *TCBackend) applyNetem(a, c string, args []string) error {
+	run := b.runner()
+	for _, name := range []string{a, c} {
+		t, err := b.target(name)
+		if err != nil {
+			return err
+		}
+		argv := append([]string{"tc", "qdisc", "replace", "dev", t.Iface, "root", "netem"}, args...)
+		if err := run(t.Container, argv...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Partition blackholes both directions with netem loss 100%.
+func (b *TCBackend) Partition(a, c string) error {
+	return b.applyNetem(a, c, []string{"loss", "100%"})
+}
+
+// Heal replaces the impairment with a pass-through netem qdisc.
+func (b *TCBackend) Heal(a, c string) error {
+	return b.applyNetem(a, c, nil)
+}
+
+// SetLink installs the profile on both endpoints' fault interfaces.
+func (b *TCBackend) SetLink(a, c string, l simnet.Link) error {
+	return b.applyNetem(a, c, netemArgs(l))
+}
+
+// HostDown takes the target's fault interface administratively down.
+func (b *TCBackend) HostDown(host string) error {
+	t, err := b.target(host)
+	if err != nil {
+		return err
+	}
+	return b.runner()(t.Container, "ip", "link", "set", "dev", t.Iface, "down")
+}
+
+// HostUp brings the target's fault interface back up.
+func (b *TCBackend) HostUp(host string) error {
+	t, err := b.target(host)
+	if err != nil {
+		return err
+	}
+	return b.runner()(t.Container, "ip", "link", "set", "dev", t.Iface, "up")
+}
+
+// Move is a simnet-only verb: containers do not roam between networks
+// mid-run.
+func (b *TCBackend) Move(host, seg string) error {
+	return fmt.Errorf("chaos: verb \"move\" (%s -> %s) has no container executor; run this schedule against simnet", host, seg)
+}
+
+// ScheduleSpan returns the offset of the last op plus grace — how long
+// a driver should let a bound schedule run before checking invariants.
+func ScheduleSpan(ops []Op, grace time.Duration) time.Duration {
+	var max time.Duration
+	for _, op := range ops {
+		if op.At > max {
+			max = op.At
+		}
+	}
+	return max + grace
+}

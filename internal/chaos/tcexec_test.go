@@ -1,0 +1,226 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"indiss/internal/simnet"
+)
+
+// fakeRunner records every command the executor would run in a
+// container, as "container: argv...".
+type fakeRunner struct {
+	calls []string
+	fail  map[string]error // container -> injected error
+}
+
+func (f *fakeRunner) run(container string, argv ...string) error {
+	f.calls = append(f.calls, container+": "+strings.Join(argv, " "))
+	if err := f.fail[container]; err != nil {
+		return err
+	}
+	return nil
+}
+
+func rigTargets() map[string]TCTarget {
+	return map[string]TCTarget{
+		"seg1": {Container: "gw1", Iface: "eth0"},
+		"seg2": {Container: "gw2", Iface: "eth0"},
+		"gw2":  {Container: "gw2", Iface: "eth0"},
+	}
+}
+
+// The heart of the rig's fault plane: each schedule verb must render
+// the exact tc/ip command lines on the right containers.
+func TestTCBackendCommandLines(t *testing.T) {
+	fr := &fakeRunner{}
+	b := &TCBackend{Targets: rigTargets(), Run: fr.run}
+
+	if err := b.Partition("seg1", "seg2"); err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	if err := b.Heal("seg1", "seg2"); err != nil {
+		t.Fatalf("Heal: %v", err)
+	}
+	if err := b.SetLink("seg1", "seg2", simnet.Link{
+		Latency:      5 * time.Millisecond,
+		LossRate:     0.25,
+		BandwidthBps: 1_000_000,
+	}); err != nil {
+		t.Fatalf("SetLink: %v", err)
+	}
+	if err := b.HostDown("gw2"); err != nil {
+		t.Fatalf("HostDown: %v", err)
+	}
+	if err := b.HostUp("gw2"); err != nil {
+		t.Fatalf("HostUp: %v", err)
+	}
+
+	want := []string{
+		"gw1: tc qdisc replace dev eth0 root netem loss 100%",
+		"gw2: tc qdisc replace dev eth0 root netem loss 100%",
+		"gw1: tc qdisc replace dev eth0 root netem",
+		"gw2: tc qdisc replace dev eth0 root netem",
+		"gw1: tc qdisc replace dev eth0 root netem delay 5000us loss 25% rate 8000000bit",
+		"gw2: tc qdisc replace dev eth0 root netem delay 5000us loss 25% rate 8000000bit",
+		"gw2: ip link set dev eth0 down",
+		"gw2: ip link set dev eth0 up",
+	}
+	if len(fr.calls) != len(want) {
+		t.Fatalf("got %d commands, want %d:\n%s", len(fr.calls), len(want), strings.Join(fr.calls, "\n"))
+	}
+	for i := range want {
+		if fr.calls[i] != want[i] {
+			t.Errorf("command %d:\n got %q\nwant %q", i, fr.calls[i], want[i])
+		}
+	}
+}
+
+func TestTCBackendUnknownTarget(t *testing.T) {
+	fr := &fakeRunner{}
+	b := &TCBackend{Targets: rigTargets(), Run: fr.run}
+	err := b.Partition("seg1", "seg9")
+	if err == nil || !strings.Contains(err.Error(), `"seg9"`) {
+		t.Fatalf("want unknown-target error naming seg9, got %v", err)
+	}
+	// The known names must appear so a typo in a schedule is a
+	// one-glance fix.
+	if !strings.Contains(err.Error(), "seg1") {
+		t.Errorf("error should list known targets: %v", err)
+	}
+	// seg1 resolves first, so exactly its command ran before the miss.
+	if len(fr.calls) != 1 {
+		t.Errorf("got %d commands before failure, want 1: %v", len(fr.calls), fr.calls)
+	}
+}
+
+func TestTCBackendRunnerErrorPropagates(t *testing.T) {
+	fr := &fakeRunner{fail: map[string]error{"gw2": fmt.Errorf("container not running")}}
+	b := &TCBackend{Targets: rigTargets(), Run: fr.run}
+	if err := b.Heal("seg1", "seg2"); err == nil || !strings.Contains(err.Error(), "container not running") {
+		t.Fatalf("want runner error surfaced, got %v", err)
+	}
+}
+
+func TestTCBackendMoveRefused(t *testing.T) {
+	b := &TCBackend{Targets: rigTargets(), Run: (&fakeRunner{}).run}
+	if err := b.Move("gw2", "seg1"); err == nil || !strings.Contains(err.Error(), "simnet") {
+		t.Fatalf("move must refuse and point at simnet, got %v", err)
+	}
+}
+
+// The portability contract in one test: the same schedule bytes bind
+// and execute against both the simnet backend and the tc backend.
+func TestScheduleRunsAgainstBothBackends(t *testing.T) {
+	const src = `
+# partition + heal with a lossy interlude — the rig's standard drill
+at 0ms link seg1 seg2 latency=2ms loss=0.1
+at 5ms partition seg1 seg2
+at 10ms heal seg1 seg2
+at 15ms down gw2
+at 20ms up gw2
+`
+	ops, err := ParseSchedule(src)
+	if err != nil {
+		t.Fatalf("ParseSchedule: %v", err)
+	}
+
+	t.Run("simnet", func(t *testing.T) {
+		n, err := simnet.NewTopology(simnet.Config{}).
+			Segment("seg1").Segment("seg2").
+			Chain(simnet.Link{}).
+			Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(n.Close)
+		n.MustAddHostOn("gw2", "10.0.2.9", "seg2")
+		if err := Bind(n, ops).Run(nil); err != nil {
+			t.Fatalf("simnet replay: %v", err)
+		}
+	})
+
+	t.Run("tc", func(t *testing.T) {
+		fr := &fakeRunner{}
+		sc := BindBackend(&TCBackend{Targets: rigTargets(), Run: fr.run}, ops)
+		if err := sc.Run(nil); err != nil {
+			t.Fatalf("tc replay: %v", err)
+		}
+		// 3 two-sided verbs + down + up = 8 container commands.
+		if len(fr.calls) != 8 {
+			t.Fatalf("got %d commands, want 8:\n%s", len(fr.calls), strings.Join(fr.calls, "\n"))
+		}
+		for _, c := range fr.calls {
+			if !strings.Contains(c, "tc qdisc") && !strings.Contains(c, "ip link") {
+				t.Errorf("unexpected command %q", c)
+			}
+		}
+	})
+}
+
+// The shipped rig schedule itself must honour the portability
+// contract: deploy/schedules/partition-heal.chaos parses and binds
+// against both executors, byte-for-byte as the rig runs it.
+func TestShippedScheduleBindsBothBackends(t *testing.T) {
+	src, err := os.ReadFile("../../deploy/schedules/partition-heal.chaos")
+	if err != nil {
+		t.Fatalf("shipped schedule missing: %v", err)
+	}
+	ops, err := ParseSchedule(string(src))
+	if err != nil {
+		t.Fatalf("shipped schedule does not parse: %v", err)
+	}
+	if len(ops) == 0 {
+		t.Fatal("shipped schedule holds no ops")
+	}
+	for _, op := range ops {
+		if op.Verb == "move" {
+			t.Errorf("shipped schedule uses %q, which the tc executor refuses", op.Verb)
+		}
+	}
+	// Squash the offsets so the simnet replay is instant; the verbs and
+	// targets are what the contract is about.
+	for i := range ops {
+		ops[i].At = 0
+	}
+
+	n, err := simnet.NewTopology(simnet.Config{}).
+		Segment("seg1").Segment("seg2").
+		Chain(simnet.Link{}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	if err := Bind(n, ops).Run(nil); err != nil {
+		t.Fatalf("simnet replay of the shipped schedule: %v", err)
+	}
+
+	fr := &fakeRunner{}
+	tcb := &TCBackend{
+		Targets: map[string]TCTarget{
+			"seg1": {Container: "gw1", Iface: "eth0"},
+			"seg2": {Container: "gw2", Iface: "eth0"},
+		},
+		Run: fr.run,
+	}
+	if err := BindBackend(tcb, ops).Run(nil); err != nil {
+		t.Fatalf("tc replay of the shipped schedule: %v", err)
+	}
+	if len(fr.calls) == 0 {
+		t.Fatal("tc replay issued no container commands")
+	}
+}
+
+func TestScheduleSpan(t *testing.T) {
+	ops := []Op{{At: 5 * time.Millisecond}, {At: 40 * time.Millisecond}, {At: 10 * time.Millisecond}}
+	if got := ScheduleSpan(ops, 10*time.Millisecond); got != 50*time.Millisecond {
+		t.Fatalf("ScheduleSpan = %v, want 50ms", got)
+	}
+	if got := ScheduleSpan(nil, time.Second); got != time.Second {
+		t.Fatalf("ScheduleSpan(nil) = %v, want 1s", got)
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"indiss/internal/events"
+	"indiss/internal/simnet"
+)
+
+// countingUnit counts Stop calls — the observable for the double-Close
+// regression: however many times callers Close the system, the shutdown
+// sequence must run exactly once.
+type countingUnit struct {
+	sdp   SDP
+	stops atomic.Int32
+}
+
+func (u *countingUnit) SDP() SDP                     { return u.sdp }
+func (u *countingUnit) Start(ctx *UnitContext) error { return nil }
+func (u *countingUnit) HandleNative(det Detection)   {}
+func (u *countingUnit) OnEvents(env events.Envelope) {}
+func (u *countingUnit) SetReadvertise(enabled bool)  {}
+func (u *countingUnit) Stop()                        { u.stops.Add(1) }
+
+// errCloser is a plane closer that fails, and counts how often it is
+// asked to.
+type errCloser struct {
+	err    error
+	closes atomic.Int32
+}
+
+func (c *errCloser) Close() error {
+	c.closes.Add(1)
+	return c.err
+}
+
+// TestSystemCloseIdempotent is the regression test for the gateway
+// binary's double-Close path (a deferred Close plus the explicit
+// shutdown-sequence Close on SIGTERM): the second call must be a no-op
+// that reports the first call's error, and no component may be stopped
+// twice.
+func TestSystemCloseIdempotent(t *testing.T) {
+	n := simnet.New(simnet.Config{})
+	t.Cleanup(n.Close)
+	host := n.MustAddHost("gw", "10.0.0.9")
+
+	unit := &countingUnit{sdp: SDPSLP}
+	reg := NewRegistry()
+	reg.Register(SDPSLP, func() Unit { return unit })
+
+	wantErr := errors.New("query plane failed to drain")
+	qp := &errCloser{err: wantErr}
+	sys, err := NewSystem(host, reg, Config{
+		Role:  RoleGateway,
+		Units: []SDP{SDPSLP},
+		Query: func(*System) (io.Closer, error) { return qp, nil },
+	})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+
+	if err := sys.Close(); !errors.Is(err, wantErr) {
+		t.Fatalf("first Close = %v, want the query plane's %v", err, wantErr)
+	}
+	if err := sys.Close(); !errors.Is(err, wantErr) {
+		t.Fatalf("second Close = %v, want the first call's error %v", err, wantErr)
+	}
+	if got := unit.stops.Load(); got != 1 {
+		t.Errorf("unit stopped %d times across two Close calls, want exactly 1", got)
+	}
+	if got := qp.closes.Load(); got != 1 {
+		t.Errorf("query plane closed %d times, want exactly 1", got)
+	}
+}
+
+// TestSystemCloseConcurrent races many Close calls: all must return the
+// same first error and the sequence must still run once. This is the
+// shape a real SIGTERM produces — the signal handler and the deferred
+// cleanup close from different goroutines.
+func TestSystemCloseConcurrent(t *testing.T) {
+	n := simnet.New(simnet.Config{})
+	t.Cleanup(n.Close)
+	host := n.MustAddHost("gw", "10.0.0.9")
+
+	unit := &countingUnit{sdp: SDPUPnP}
+	reg := NewRegistry()
+	reg.Register(SDPUPnP, func() Unit { return unit })
+
+	wantErr := errors.New("peering teardown error")
+	fed := &errCloser{err: wantErr}
+	sys, err := NewSystem(host, reg, Config{
+		Role:       RoleGateway,
+		Units:      []SDP{SDPUPnP},
+		Federation: func(*System) (io.Closer, error) { return fed, nil },
+	})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = sys.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, wantErr) {
+			t.Errorf("caller %d: Close = %v, want %v", i, err, wantErr)
+		}
+	}
+	if got := unit.stops.Load(); got != 1 {
+		t.Errorf("unit stopped %d times across %d concurrent Close calls, want exactly 1", got, callers)
+	}
+	if got := fed.closes.Load(); got != 1 {
+		t.Errorf("federation closed %d times, want exactly 1", got)
+	}
+}

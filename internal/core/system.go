@@ -133,6 +133,8 @@ type System struct {
 	units      map[SDP]Unit
 	allowed    map[SDP]struct{}
 	closed     bool
+	closeErr   error
+	closeDone  chan struct{}
 	reAdv      bool
 	federation io.Closer
 	query      io.Closer
@@ -287,14 +289,27 @@ func (s *System) Predictor() io.Closer {
 	return s.predictor
 }
 
-// Close stops the monitor, every unit and the bus.
-func (s *System) Close() {
+// Close stops the monitor, every unit and the bus. It is idempotent and
+// safe to call concurrently: the first call runs the shutdown sequence
+// exactly once and returns the first error any component reported;
+// every later (or concurrent) call waits for that sequence to finish
+// and returns the same error. Gateway binaries lean on this — a
+// SIGTERM path and a deferred cleanup may both close the system, and
+// only one shutdown may actually run.
+func (s *System) Close() error {
 	s.mu.Lock()
 	if s.closed {
+		done := s.closeDone
 		s.mu.Unlock()
-		return
+		<-done
+		s.mu.Lock()
+		err := s.closeErr
+		s.mu.Unlock()
+		return err
 	}
 	s.closed = true
+	s.closeDone = make(chan struct{})
+	defer close(s.closeDone)
 	units := make([]Unit, 0, len(s.units))
 	for _, u := range s.units {
 		units = append(units, u)
@@ -308,21 +323,27 @@ func (s *System) Close() {
 	s.predictor = nil
 	s.mu.Unlock()
 
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	close(s.stop)
 	if pr != nil {
 		// Prediction goes before the planes it drives: no prefetch or
 		// refresh may land on a closing query engine or endpoint.
-		pr.Close()
+		keep(pr.Close())
 	}
 	if qp != nil {
 		// The read plane goes before everything: queries should drain
 		// against a view whose writers are still orderly.
-		qp.Close()
+		keep(qp.Close())
 	}
 	if fed != nil {
 		// The peering plane goes first: no remote knowledge should flow
 		// into (or out of) an instance whose units are stopping.
-		fed.Close()
+		keep(fed.Close())
 	}
 	s.monitor.Close()
 	for _, u := range units {
@@ -336,9 +357,14 @@ func (s *System) Close() {
 	s.wg.Wait()
 	if s.store != nil {
 		// Last out: everything that could write the log has stopped.
-		s.store.Close()
+		keep(s.store.Close())
 	}
 	s.bus.Close()
+
+	s.mu.Lock()
+	s.closeErr = firstErr
+	s.mu.Unlock()
+	return firstErr
 }
 
 // Stack returns the network stack the instance runs on — the

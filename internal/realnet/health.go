@@ -1,0 +1,152 @@
+package realnet
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The health endpoint is the rig's readiness contract (DESIGN.md §14):
+// a live gateway serves a one-line status over plain TCP, and the rig
+// driver gates "gateway up" on reading it. The protocol is a single
+// line per connection —
+//
+//	ok gw=gw1 view=12 units=slp,upnp uptime=3.2s
+//
+// written immediately on accept, then the connection closes. One line
+// keeps the probe scriptable (curl, nc, docker-compose healthcheck,
+// shell) and keeps the surface too small to ever interfere with the
+// discovery planes it reports on. The listener binds the wildcard
+// address deliberately: a multihomed gateway container (segment +
+// backbone interface) must answer probes on whichever network the
+// prober can reach, unlike the discovery stack, which is pinned to one
+// interface by design.
+
+// HealthServer answers readiness probes with a one-line status.
+type HealthServer struct {
+	l      net.Listener
+	status func() string
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ServeHealth starts the health endpoint on the TCP port (0 picks an
+// ephemeral one). status is called per probe and should return the
+// status body without the "ok " prefix or trailing newline; it must be
+// safe for concurrent use. A nil status serves a bare "ok".
+func ServeHealth(port int, status func() string) (*HealthServer, error) {
+	l, err := net.Listen("tcp4", fmt.Sprintf(":%d", port))
+	if err != nil {
+		return nil, fmt.Errorf("realnet: health listen: %w", err)
+	}
+	if status == nil {
+		status = func() string { return "" }
+	}
+	h := &HealthServer{l: l, status: status}
+	h.wg.Add(1)
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Port returns the bound TCP port.
+func (h *HealthServer) Port() int {
+	return h.l.Addr().(*net.TCPAddr).Port
+}
+
+func (h *HealthServer) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		c, err := h.l.Accept()
+		if err != nil {
+			h.mu.Lock()
+			closed := h.closed
+			h.mu.Unlock()
+			if closed {
+				return
+			}
+			if transientAcceptError(err) {
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
+			return
+		}
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			defer c.Close()
+			_ = c.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			line := "ok"
+			if body := h.status(); body != "" {
+				line += " " + body
+			}
+			_, _ = c.Write(append([]byte(line), '\n'))
+		}()
+	}
+}
+
+// Close stops the endpoint. In-flight probe answers are allowed to
+// finish (they are deadline-bounded).
+func (h *HealthServer) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	h.mu.Unlock()
+	err := h.l.Close()
+	h.wg.Wait()
+	return err
+}
+
+// ProbeHealth dials a health endpoint once and returns its status line
+// (without the trailing newline). A reachable endpoint that does not
+// answer "ok" within the timeout is an error: the rig must never treat
+// a half-started gateway as ready.
+func ProbeHealth(addr string, timeout time.Duration) (string, error) {
+	c, err := net.DialTimeout("tcp4", addr, timeout)
+	if err != nil {
+		return "", fmt.Errorf("realnet: health probe %s: %w", addr, err)
+	}
+	defer c.Close()
+	_ = c.SetReadDeadline(time.Now().Add(timeout))
+	line, err := bufio.NewReader(c).ReadString('\n')
+	if err != nil {
+		return "", fmt.Errorf("realnet: health probe %s: read: %w", addr, err)
+	}
+	line = strings.TrimRight(line, "\n")
+	if line != "ok" && !strings.HasPrefix(line, "ok ") {
+		return "", fmt.Errorf("realnet: health probe %s: endpoint not ready: %q", addr, line)
+	}
+	return line, nil
+}
+
+// WaitHealthy polls a health endpoint until it answers ok or the
+// timeout lapses — the rig driver's readiness gate. It returns the
+// first healthy status line; the error wraps the last probe failure so
+// a never-ready gateway is diagnosable from the gate's message alone.
+func WaitHealthy(addr string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	var last error
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return "", fmt.Errorf("realnet: %s not healthy within %v: %w", addr, timeout, last)
+		}
+		probeTimeout := remaining
+		if probeTimeout > 2*time.Second {
+			probeTimeout = 2 * time.Second
+		}
+		line, err := ProbeHealth(addr, probeTimeout)
+		if err == nil {
+			return line, nil
+		}
+		last = err
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -1,0 +1,97 @@
+package realnet
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHealthProbeRoundTrip is the readiness-contract test the rig
+// driver depends on: a served endpoint answers "ok <body>" to a probe,
+// and WaitHealthy gates on it.
+func TestHealthProbeRoundTrip(t *testing.T) {
+	var probes atomic.Int32
+	h, err := ServeHealth(0, func() string {
+		probes.Add(1)
+		return "gw=gw1 view=3 units=slp,upnp"
+	})
+	if err != nil {
+		t.Fatalf("ServeHealth: %v", err)
+	}
+	defer h.Close()
+
+	addr := fmt.Sprintf("127.0.0.1:%d", h.Port())
+	line, err := ProbeHealth(addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("ProbeHealth: %v", err)
+	}
+	if want := "ok gw=gw1 view=3 units=slp,upnp"; line != want {
+		t.Errorf("probe line = %q, want %q", line, want)
+	}
+	if _, err := WaitHealthy(addr, 2*time.Second); err != nil {
+		t.Errorf("WaitHealthy on a live endpoint: %v", err)
+	}
+	if probes.Load() < 2 {
+		t.Errorf("status func called %d times, want one per probe", probes.Load())
+	}
+}
+
+// TestHealthProbeNilStatus: a nil status func serves a bare "ok".
+func TestHealthProbeNilStatus(t *testing.T) {
+	h, err := ServeHealth(0, nil)
+	if err != nil {
+		t.Fatalf("ServeHealth: %v", err)
+	}
+	defer h.Close()
+	line, err := ProbeHealth(fmt.Sprintf("127.0.0.1:%d", h.Port()), 2*time.Second)
+	if err != nil {
+		t.Fatalf("ProbeHealth: %v", err)
+	}
+	if line != "ok" {
+		t.Errorf("probe line = %q, want bare ok", line)
+	}
+}
+
+// TestWaitHealthyTimesOutWithReason: the readiness gate must fail with
+// a diagnosable error when nothing listens — the rig prints this
+// verbatim when a container never comes up.
+func TestWaitHealthyTimesOutWithReason(t *testing.T) {
+	// An address nothing listens on: bind-then-close leaves the port
+	// free and guaranteed unoccupied for the probe window.
+	h, err := ServeHealth(0, nil)
+	if err != nil {
+		t.Fatalf("ServeHealth: %v", err)
+	}
+	addr := fmt.Sprintf("127.0.0.1:%d", h.Port())
+	_ = h.Close()
+
+	start := time.Now()
+	_, err = WaitHealthy(addr, 500*time.Millisecond)
+	if err == nil {
+		t.Fatal("WaitHealthy succeeded against a closed endpoint")
+	}
+	if elapsed := time.Since(start); elapsed < 400*time.Millisecond {
+		t.Errorf("gate gave up after %v, want it to poll out the full timeout", elapsed)
+	}
+	if !strings.Contains(err.Error(), addr) {
+		t.Errorf("timeout error %q does not name the endpoint", err)
+	}
+}
+
+// TestHealthServerCloseIdempotent mirrors the system-level double-Close
+// regression at the probe layer: the rig's teardown and the gateway's
+// own shutdown may both close the endpoint.
+func TestHealthServerCloseIdempotent(t *testing.T) {
+	h, err := ServeHealth(0, nil)
+	if err != nil {
+		t.Fatalf("ServeHealth: %v", err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

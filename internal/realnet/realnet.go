@@ -53,7 +53,7 @@ var _ netapi.Stack = (*Stack)(nil)
 
 // NewStack opens a stack on a real interface.
 func NewStack(opts Options) (*Stack, error) {
-	iface, err := pickInterface(opts.Interface)
+	iface, err := pickInterface(opts.Interface, opts.IP)
 	if err != nil {
 		return nil, err
 	}
@@ -88,15 +88,21 @@ func Loopback(name string) (*Stack, error) {
 	return nil, errors.New("realnet: no loopback interface")
 }
 
-// pickInterface resolves the named interface, or auto-detects: first
-// up+multicast+non-loopback interface carrying IPv4, loopback otherwise.
-func pickInterface(name string) (*net.Interface, error) {
+// pickInterface resolves the named interface; with no name but a pinned
+// IP it picks the interface owning that address (the multihomed-container
+// case, where docker's eth0/eth1 ordering is not worth depending on);
+// otherwise it auto-detects: first up+multicast+non-loopback interface
+// carrying IPv4, loopback as the fallback.
+func pickInterface(name, wantIP string) (*net.Interface, error) {
 	if name != "" {
 		ifc, err := net.InterfaceByName(name)
 		if err != nil {
 			return nil, fmt.Errorf("realnet: interface %q: %w", name, err)
 		}
 		return ifc, nil
+	}
+	if wantIP != "" {
+		return interfaceByIP(wantIP)
 	}
 	ifaces, err := net.Interfaces()
 	if err != nil {
@@ -125,6 +131,38 @@ func pickInterface(name string) (*net.Interface, error) {
 		return loopback, nil
 	}
 	return nil, errors.New("realnet: no usable IPv4 interface")
+}
+
+// interfaceByIP finds the interface that owns the given IPv4 address.
+func interfaceByIP(want string) (*net.Interface, error) {
+	ip := net.ParseIP(want)
+	if ip == nil || ip.To4() == nil {
+		return nil, fmt.Errorf("realnet: %q is not an IPv4 address", want)
+	}
+	ifaces, err := net.Interfaces()
+	if err != nil {
+		return nil, fmt.Errorf("realnet: list interfaces: %w", err)
+	}
+	for i := range ifaces {
+		ifc := &ifaces[i]
+		addrs, err := ifc.Addrs()
+		if err != nil {
+			continue
+		}
+		for _, a := range addrs {
+			var have net.IP
+			switch v := a.(type) {
+			case *net.IPNet:
+				have = v.IP
+			case *net.IPAddr:
+				have = v.IP
+			}
+			if have != nil && have.To4() != nil && have.Equal(ip) {
+				return ifc, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("realnet: no interface owns %s", want)
 }
 
 func pickIP(iface *net.Interface, want string) (net.IP, error) {

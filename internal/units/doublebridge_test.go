@@ -37,7 +37,7 @@ func TestTwoGatewaysOneSegmentNoReabsorption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(gw1.Close)
+	t.Cleanup(func() { _ = gw1.Close() })
 	gw2, err := core.NewSystem(gw2Host, registry(), core.Config{
 		Role:           core.RoleServiceSide,
 		ThresholdBps:   1 << 20,
@@ -46,7 +46,7 @@ func TestTwoGatewaysOneSegmentNoReabsorption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(gw2.Close)
+	t.Cleanup(func() { _ = gw2.Close() })
 
 	// One native service per protocol.
 	sa, err := slp.NewServiceAgent(svcHost, slp.AgentConfig{AnnounceInterval: 100 * time.Millisecond})

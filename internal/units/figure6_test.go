@@ -31,7 +31,7 @@ func TestFigure6BlockedCaseServiceSidePassive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(sys.Close)
+	t.Cleanup(func() { _ = sys.Close() })
 	clockDevice(t, serviceHost)
 
 	// The passive SLP client listens and never transmits.
@@ -102,7 +102,7 @@ func TestFigure6UnsolvableCase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(sys.Close)
+	t.Cleanup(func() { _ = sys.Close() })
 
 	select {
 	case <-heard:

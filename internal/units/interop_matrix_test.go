@@ -212,7 +212,7 @@ func TestDNSSDReadvertisement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(sys.Close)
+	t.Cleanup(func() { _ = sys.Close() })
 	clockDevice(t, serviceHost)
 
 	deadline := time.Now().Add(5 * time.Second)
@@ -393,7 +393,7 @@ func TestBrowseComposesEveryResponse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(sys.Close)
+	t.Cleanup(func() { _ = sys.Close() })
 
 	q := dnssd.NewQuerier(clientHost, dnssd.QuerierConfig{})
 	urls := map[string]bool{}

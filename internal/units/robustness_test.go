@@ -160,7 +160,7 @@ func TestUPnPReadvertisesForeignService(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(sys.Close)
+	t.Cleanup(func() { _ = sys.Close() })
 
 	notifies := make(chan *ssdp.Notify, 16)
 	listener, err := ssdp.Listen(clientHost, func(m *ssdp.Notify) {

@@ -62,7 +62,7 @@ func indissOn(t *testing.T, host *simnet.Host, role core.Role, sdps ...core.SDP)
 	if err != nil {
 		t.Fatalf("NewSystem: %v", err)
 	}
-	t.Cleanup(sys.Close)
+	t.Cleanup(func() { _ = sys.Close() })
 	return sys
 }
 
@@ -415,7 +415,7 @@ func TestReadvertisementUnderThreshold(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(sys.Close)
+	t.Cleanup(func() { _ = sys.Close() })
 	clockDevice(t, serviceHost)
 
 	deadline := time.Now().Add(5 * time.Second)

@@ -3,14 +3,18 @@ package indiss_test
 import (
 	"bufio"
 	"bytes"
+	"fmt"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
+	"indiss/internal/realnet"
 	"indiss/internal/slp"
 	"indiss/internal/upnp"
 )
@@ -18,10 +22,12 @@ import (
 // TestRealGatewayBinary exercises the acceptance path of the -real mode:
 // the indiss-gw binary starts on the loopback interface, binds real
 // sockets, bridges a live SLP→UPnP discovery exchange between two native
-// endpoints in this process, and shuts down cleanly on SIGINT.
+// endpoints in this process, serves its readiness probe, and shuts down
+// cleanly — once — on SIGINT and on SIGTERM (the signal `docker compose
+// stop` delivers, so the rig hits this path on every teardown).
 func TestRealGatewayBinary(t *testing.T) {
 	if testing.Short() {
-		t.Skip("builds and runs the gateway binary")
+		t.Skip("skipped in -short: builds and runs the live gateway binary")
 	}
 	stack := realLoopbackStack(t, "real-gw-test")
 	requireRealMulticast(t, stack)
@@ -32,7 +38,39 @@ func TestRealGatewayBinary(t *testing.T) {
 		t.Fatalf("go build cmd/indiss-gw: %v\n%s", err, out)
 	}
 
-	cmd := exec.Command(bin, "-real", "-iface", stack.Segment(), "-ip", "127.0.0.1")
+	for _, tc := range []struct {
+		name      string
+		signal    os.Signal
+		discovery bool
+	}{
+		{"SIGINT_bridges_and_exits", os.Interrupt, true},
+		{"SIGTERM_exits_once", syscall.SIGTERM, false},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			runGatewayOnce(t, bin, stack, tc.signal, tc.discovery)
+		})
+	}
+}
+
+// freeTCPPort reserves an ephemeral TCP port and releases it for the
+// gateway to bind. The race window (port reused before the child binds)
+// is acceptable for a test.
+func freeTCPPort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp4", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	_ = l.Close()
+	return port
+}
+
+func runGatewayOnce(t *testing.T, bin string, stack *realnet.Stack, sig os.Signal, discovery bool) {
+	healthPort := freeTCPPort(t)
+	cmd := exec.Command(bin, "-real", "-iface", stack.Segment(), "-ip", "127.0.0.1",
+		"-health-port", fmt.Sprint(healthPort))
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -75,45 +113,67 @@ func TestRealGatewayBinary(t *testing.T) {
 		t.Fatal("gateway never reported ready")
 	}
 
-	// A native UPnP clock on one side, a native SLP client on the other;
-	// only the external gateway process can connect them.
-	dev, err := upnp.NewRootDevice(stack, upnp.DeviceConfig{
-		Kind:         "clock",
-		FriendlyName: "Gateway Acceptance Clock",
-		Services:     []upnp.ServiceConfig{{Kind: "timer"}},
-	})
+	// The rig's readiness gate: the health endpoint must answer ok.
+	healthAddr := fmt.Sprintf("127.0.0.1:%d", healthPort)
+	status, err := realnet.WaitHealthy(healthAddr, 10*time.Second)
 	if err != nil {
-		t.Fatalf("NewRootDevice: %v", err)
+		t.Fatalf("readiness gate failed against the live binary: %v", err)
 	}
-	defer dev.Close()
-
-	ua := slp.NewUserAgent(stack, slp.AgentConfig{})
-	urls, err := ua.FindFirst("service:clock", "", 10*time.Second)
-	if err != nil {
-		t.Fatalf("no discovery answer through the live gateway: %v", err)
+	if !strings.Contains(status, "gw=") || !strings.Contains(status, "view=") {
+		t.Errorf("health status %q missing gw=/view= fields", status)
 	}
-	t.Logf("live gateway bridged the exchange: %s", urls[0].URL)
 
-	// Clean SIGINT shutdown. Drain the pipe to EOF before reaping: the
-	// EOF proves every shutdown line was captured, and only then is
-	// cmd.Wait (which closes the pipe) safe to call.
-	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+	if discovery {
+		// A native UPnP clock on one side, a native SLP client on the
+		// other; only the external gateway process can connect them.
+		dev, err := upnp.NewRootDevice(stack, upnp.DeviceConfig{
+			Kind:         "clock",
+			FriendlyName: "Gateway Acceptance Clock",
+			Services:     []upnp.ServiceConfig{{Kind: "timer"}},
+		})
+		if err != nil {
+			t.Fatalf("NewRootDevice: %v", err)
+		}
+		defer dev.Close()
+
+		ua := slp.NewUserAgent(stack, slp.AgentConfig{})
+		urls, err := ua.FindFirst("service:clock", "", 10*time.Second)
+		if err != nil {
+			t.Fatalf("no discovery answer through the live gateway: %v", err)
+		}
+		t.Logf("live gateway bridged the exchange: %s", urls[0].URL)
+	}
+
+	// Clean shutdown on the signal. Drain the pipe to EOF before
+	// reaping: the EOF proves every shutdown line was captured, and
+	// only then is cmd.Wait (which closes the pipe) safe to call.
+	if err := cmd.Process.Signal(sig); err != nil {
 		t.Fatalf("signal: %v", err)
 	}
 	select {
 	case <-scanDone:
 	case <-time.After(10 * time.Second):
-		t.Fatalf("gateway did not exit within 10s of SIGINT\n%s", readOutput(&mu, &output))
+		t.Fatalf("gateway did not exit within 10s of %v\n%s", sig, readOutput(&mu, &output))
 	}
 	if err := cmd.Wait(); err != nil {
-		t.Fatalf("gateway exited uncleanly after SIGINT: %v\n%s", err, readOutput(&mu, &output))
+		t.Fatalf("gateway exited uncleanly after %v: %v\n%s", sig, err, readOutput(&mu, &output))
 	}
 	out := readOutput(&mu, &output)
-	if !strings.Contains(out, "shutdown complete") {
-		t.Fatalf("no clean-shutdown marker in output:\n%s", out)
+	// Exactly one shutdown sequence: the double-Close regression showed
+	// as a second sequence in this log.
+	if got := strings.Count(out, "received, shutting down"); got != 1 {
+		t.Errorf("%d shutdown-start markers in output, want exactly 1:\n%s", got, out)
 	}
-	if !strings.Contains(out, "units instantiated at run time") {
-		t.Errorf("shutdown summary missing from output:\n%s", out)
+	if got := strings.Count(out, "shutdown complete"); got != 1 {
+		t.Errorf("%d shutdown-complete markers in output, want exactly 1:\n%s", got, out)
+	}
+	if got := strings.Count(out, "units instantiated at run time"); got != 1 {
+		t.Errorf("%d shutdown summaries in output, want exactly 1:\n%s", got, out)
+	}
+
+	// The health endpoint must be gone with the process.
+	if _, err := realnet.ProbeHealth(healthAddr, time.Second); err == nil {
+		t.Error("health endpoint still answers after the gateway exited")
 	}
 }
 

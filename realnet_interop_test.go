@@ -38,7 +38,7 @@ func requireRealMulticast(t *testing.T, s *realnet.Stack) {
 // a native SLP user agent discovers it across the protocol boundary.
 func TestRealLoopbackInterop(t *testing.T) {
 	if testing.Short() {
-		t.Skip("binds real sockets")
+		t.Skip("skipped in -short: binds live loopback sockets and joins real multicast groups")
 	}
 	clientStack := realLoopbackStack(t, "real-client")
 	serviceStack := realLoopbackStack(t, "real-service")

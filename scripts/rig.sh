@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Host-side driver for the containerized rig (deploy/, DESIGN.md §14):
+# brings a compose topology up, gates on gateway readiness, runs the
+# live interop matrix and churn soak from inside the rig container,
+# replays the tc/netem partition-heal drill, collects the medians
+# artifact, and tears everything down — the teardown is trapped, so a
+# failed phase can never leak containers onto the host or a CI runner.
+#
+#   scripts/rig.sh lan2            # full drill on the 2-node LAN
+#   scripts/rig.sh campus3         # full drill on the 3-segment campus
+#   scripts/rig.sh lan2 smoke      # up + wait + matrix only
+#   RIG_KEEP=1 scripts/rig.sh ...  # skip teardown (debugging)
+#   RIG_OUT=dir scripts/rig.sh ... # where medians JSON lands (default ./rig-out)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+topo="${1:-lan2}"
+phase="${2:-full}"
+out="${RIG_OUT:-rig-out}"
+compose="deploy/$topo/compose.yml"
+[ -f "$compose" ] || { echo "rig.sh: unknown topology '$topo' (no $compose)" >&2; exit 2; }
+mkdir -p "$out"
+
+dc() { docker compose -f "$compose" "$@"; }
+
+# Per-topology wiring: gateway health/query addresses as the rig
+# container reaches them, and the chaos target map (schedule name ->
+# container). The fault interface is resolved at run time below.
+case "$topo" in
+  lan2)
+    health="172.28.10.11:9091,172.28.10.12:9091"
+    query="http://172.28.10.11:8080,http://172.28.10.12:8080"
+    chaos_ips=(seg1=gw1/172.28.10.11 seg2=gw2/172.28.10.12)
+    soak_iface=""   # single network: let the rig auto-detect
+    ;;
+  campus3)
+    health="172.28.1.11:9091,172.28.2.11:9091,172.28.3.11:9091"
+    query="http://172.28.1.11:8080,http://172.28.2.11:8080,http://172.28.3.11:8080"
+    # Campus faults land on the backbone: a seg1/seg2 partition is the
+    # federation path between gw1 and gw2 going dark.
+    chaos_ips=(seg1=gw1/172.28.9.11 seg2=gw2/172.28.9.12 seg3=gw3/172.28.9.13)
+    # Churn on seg3: it reaches seg1/seg2 planes only via federation.
+    soak_iface="-ip 172.28.3.100"
+    ;;
+  *) echo "rig.sh: no wiring for topology '$topo'" >&2; exit 2 ;;
+esac
+
+teardown() {
+  code=$?
+  if [ "${RIG_KEEP:-0}" = "1" ]; then
+    echo "rig.sh: RIG_KEEP=1 — leaving $topo up"
+  else
+    echo "rig.sh: tearing down $topo"
+    dc logs --no-color >"$out/$topo-compose.log" 2>&1 || true
+    dc down -v --remove-orphans --timeout 20 || true
+  fi
+  exit $code
+}
+trap teardown EXIT
+
+echo "rig.sh: compose config lint"
+dc config -q
+
+echo "rig.sh: building image and starting $topo"
+dc up -d --build
+
+echo "rig.sh: readiness gate"
+dc exec -T rig indiss-rig wait -gw "$health" -timeout 120s
+
+echo "rig.sh: live interop matrix"
+dc exec -T rig indiss-rig matrix -timeout 30s -json /tmp/matrix.json
+dc exec -T rig cat /tmp/matrix.json >"$out/$topo-matrix.json"
+
+if [ "$phase" = smoke ]; then exit 0; fi
+
+echo "rig.sh: churn soak"
+# shellcheck disable=SC2086
+dc exec -T rig indiss-rig soak -query "$query" $soak_iface \
+  -services 8 -rounds 5 -timeout 60s -json /tmp/soak.json
+dc exec -T rig cat /tmp/soak.json >"$out/$topo-soak.json"
+
+echo "rig.sh: tc partition-heal drill"
+# The chaos executor shells into the gateway containers, so it runs on
+# the HOST (where docker lives), not in the rig container.
+go build -o "$out/indiss-rig" ./cmd/indiss-rig
+# Resolve each gateway's fault interface from its fault-plane IP — the
+# interface name inside a multihomed container is an implementation
+# detail of docker, so it is looked up, never assumed.
+targets=()
+for spec in "${chaos_ips[@]}"; do
+  name="${spec%%=*}" rest="${spec#*=}"
+  ctr="${rest%%/*}" ip="${rest#*/}"
+  iface=$(dc exec -T "$ctr" ip -o -4 addr show | awk -v ip="$ip" '$4 ~ "^"ip"/" {print $2; exit}')
+  [ -n "$iface" ] || { echo "rig.sh: $ctr owns no interface with $ip" >&2; exit 1; }
+  targets+=(-target "$name=$ctr:$iface")
+done
+t0=$(date +%s%N)
+"$out/indiss-rig" chaos -schedule deploy/schedules/partition-heal.chaos \
+  -compose "$compose" "${targets[@]}" -grace 2s &
+chaos_pid=$!
+# While the schedule runs, the soak keeps churning: its convergence
+# deadline spans the partition, so a pass means federation repaired
+# within TTL after the heal.
+# shellcheck disable=SC2086
+dc exec -T rig indiss-rig soak -query "$query" $soak_iface \
+  -services 4 -rounds 2 -timeout 90s -json /tmp/chaos-soak.json
+wait "$chaos_pid"
+t1=$(date +%s%N)
+dc exec -T rig cat /tmp/chaos-soak.json >"$out/$topo-chaos-soak.json"
+echo "{\"schedule\":\"partition-heal.chaos\",\"wall_ms\":$(( (t1 - t0) / 1000000 ))}" \
+  >"$out/$topo-chaos.json"
+
+echo "rig.sh: $topo drill complete; medians in $out/"
